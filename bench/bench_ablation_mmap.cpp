@@ -1,0 +1,69 @@
+// mmap-vs-kreadv ablation (paper §3, Table 1 discussion): TPCD's
+// significant OS calls are "kwritev, kreadv, mmap, munmap and msync" —
+// DB2's DSS scans could reach file data either through read calls or
+// through mapped files. This bench runs the same Q1 aggregation through
+// (a) the buffer pool (kreadv per miss) and (b) an mmap'ed file (one bulk
+// paging I/O + user-mode references), and compares cycles and the
+// user/kernel split.
+#include <cstdio>
+
+#include "stats/report.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+int main() {
+  workloads::TpcdScenario base;
+  base.tpcd.lineitems = 4000;
+  base.tpcd.db.pool_pages = 48;  // pool misses on every scan
+  base.tpcd.db.direct_io = false;
+  base.workers = 1;
+  base.repeats = 2;
+
+  auto run_variant = [&](bool use_mmap) {
+    workloads::TpcdScenario sc = base;
+    sc.use_mmap = use_mmap;
+    sim::SimulationConfig cfg;
+    cfg.core.num_cpus = 2;
+    return workloads::run_tpcd(cfg, sc);
+  };
+
+  const auto via_read = run_variant(false);
+  const auto via_mmap = run_variant(true);
+
+  stats::Table table({"access path", "sim cycles", "user %", "kernel %",
+                      "interrupt %", "disk reads", "syscalls"});
+  auto add = [&](const char* name, const workloads::ScenarioStats& s) {
+    table.add_row({name, stats::with_commas(s.cycles),
+                   stats::fmt(s.shares.user, 1), stats::fmt(s.shares.kernel, 1),
+                   stats::fmt(s.shares.interrupt, 1),
+                   stats::with_commas(s.disk_reads),
+                   stats::with_commas(s.syscalls)});
+  };
+  add("buffer pool (kreadv)", via_read);
+  add("mmap + msync", via_mmap);
+  std::fputs(table
+                 .to_string("TPCD Q1 access-path ablation (Q1+Q6 via pool vs "
+                            "Q1 via mmap)")
+                 .c_str(),
+             stdout);
+
+  int failures = 0;
+  // mmap collapses per-page read calls into a handful of mmap/msync/munmap
+  // calls plus bulk paging I/O.
+  if (!(via_mmap.syscalls < via_read.syscalls / 2)) {
+    std::printf("SHAPE MISMATCH: mmap should need far fewer OS calls "
+                "(%llu vs %llu)\n",
+                static_cast<unsigned long long>(via_mmap.syscalls),
+                static_cast<unsigned long long>(via_read.syscalls));
+    ++failures;
+  }
+  if (!(via_mmap.shares.kernel < via_read.shares.kernel)) {
+    std::printf("SHAPE MISMATCH: mmap should shift time out of the kernel "
+                "(%.1f%% vs %.1f%%)\n",
+                via_mmap.shares.kernel, via_read.shares.kernel);
+    ++failures;
+  }
+  if (failures == 0) std::printf("\nall mmap ablation checks passed\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks of the backend architecture models (google-benchmark):
+// per-reference cost of the flat, simple (MESI bus) and complex (directory
+// CC-NUMA) machines, cache array operations, VM translation, and the
+// global event scheduler. These are the host-side costs behind the
+// simple-vs-complex slowdown gap of Table 2.
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.h"
+#include "mem/arena.h"
+#include "mem/machine.h"
+#include "util/rng.h"
+
+using namespace compass;
+
+namespace {
+
+core::Event ref_at(Addr a, Cycles t, bool write) {
+  return core::Event::mem_ref(ExecMode::kUser,
+                              write ? RefType::kStore : RefType::kLoad, a, 8, t);
+}
+
+void BM_FlatMemoryAccess(benchmark::State& state) {
+  mem::Vm vm({.num_nodes = 1});
+  mem::FlatMemory flat(10, &vm);
+  util::Rng rng(1);
+  Cycles t = 0;
+  for (auto _ : state) {
+    const Addr a = rng.next_below(1 << 22);
+    benchmark::DoNotOptimize(flat.access(0, 0, ref_at(a, t, false)));
+    t += 10;
+  }
+}
+BENCHMARK(BM_FlatMemoryAccess);
+
+void BM_SimpleMachineAccess(benchmark::State& state) {
+  const int cpus = static_cast<int>(state.range(0));
+  mem::Vm vm({.num_nodes = 1});
+  mem::SimpleMachine machine({}, cpus, vm);
+  util::Rng rng(2);
+  Cycles t = 0;
+  CpuId cpu = 0;
+  for (auto _ : state) {
+    const Addr a = mem::kKernelBase + rng.next_below(1 << 20);
+    benchmark::DoNotOptimize(
+        machine.access(cpu, cpu, ref_at(a, t, rng.next_bool(0.3))));
+    cpu = (cpu + 1) % cpus;
+    t += 10;
+  }
+}
+BENCHMARK(BM_SimpleMachineAccess)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_NumaMachineAccess(benchmark::State& state) {
+  const int cpus = static_cast<int>(state.range(0));
+  mem::Vm vm({.num_nodes = 2, .placement = mem::PlacementPolicy::kFirstTouch});
+  mem::NumaMachine machine({}, cpus, 2, vm);
+  util::Rng rng(3);
+  Cycles t = 0;
+  CpuId cpu = 0;
+  for (auto _ : state) {
+    const Addr a = mem::kKernelBase + rng.next_below(1 << 20);
+    benchmark::DoNotOptimize(
+        machine.access(cpu, cpu, ref_at(a, t, rng.next_bool(0.3))));
+    cpu = (cpu + 1) % cpus;
+    t += 10;
+  }
+}
+BENCHMARK(BM_NumaMachineAccess)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  mem::Cache cache("t", mem::CacheConfig{32 * 1024, 4, 64});
+  for (Addr a = 0; a < 16 * 1024; a += 64) cache.insert(a, mem::Mesi::kShared);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(rng.next_below(16 * 1024)));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_VmTranslateWarm(benchmark::State& state) {
+  mem::Vm vm({.num_nodes = 4, .placement = mem::PlacementPolicy::kRoundRobin});
+  for (Addr a = 0; a < (1 << 24); a += mem::kPageSize) vm.translate(0, a, 0);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.translate(0, rng.next_below(1 << 24), 0));
+  }
+}
+BENCHMARK(BM_VmTranslateWarm);
+
+void BM_GlobalSchedulerChurn(benchmark::State& state) {
+  core::GlobalScheduler sched;
+  Cycles t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sched.schedule_at(t + 100, [&sink] { ++sink; });
+    sched.schedule_at(t + 50, [&sink] { ++sink; });
+    sched.pop_next().second();
+    sched.pop_next().second();
+    t += 10;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_GlobalSchedulerChurn);
+
+void BM_ArenaAllocFree(benchmark::State& state) {
+  mem::Arena arena("b", 0x1000, 1 << 20);
+  for (auto _ : state) {
+    const Addr a = arena.alloc(64, 8);
+    const Addr b = arena.alloc(128, 16);
+    arena.free(a, 64);
+    arena.free(b, 128);
+  }
+}
+BENCHMARK(BM_ArenaAllocFree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Event-port / communicator microbenchmark (google-benchmark): the
+// frontend-to-backend round trip is the fundamental cost of COMPASS's
+// execution-driven design ("sending an event from the frontend to the
+// backend will not cause a context switch" on an SMP host — here, host
+// threads).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/communicator.h"
+
+using namespace compass;
+
+namespace {
+
+/// Round trip with a dedicated backend thread replying as fast as possible.
+void BM_EventPortRoundTrip(benchmark::State& state) {
+  core::Communicator comm(1);
+  core::EventPort& port = comm.create_port(0);
+  std::atomic<bool> stop{false};
+  std::thread backend([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!port.has_pending()) continue;
+      (void)port.take_batch();
+      core::Reply r;
+      r.resume_time = 1;
+      port.reply(r);
+    }
+  });
+  std::vector<core::Event> batch{
+      core::Event::mem_ref(ExecMode::kUser, RefType::kLoad, 0x1000, 8, 0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port.post_and_wait(batch));
+  }
+  stop = true;
+  backend.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventPortRoundTrip);
+
+/// Larger batches amortize the round trip (the interleave ablation's
+/// mechanism).
+void BM_EventPortBatched(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  core::Communicator comm(1);
+  core::EventPort& port = comm.create_port(0);
+  std::atomic<bool> stop{false};
+  std::thread backend([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!port.has_pending()) continue;
+      (void)port.take_batch();
+      core::Reply r;
+      r.resume_time = 1;
+      port.reply(r);
+    }
+  });
+  std::vector<core::Event> batch;
+  for (std::size_t i = 0; i < batch_size; ++i)
+    batch.push_back(core::Event::mem_ref(ExecMode::kUser, RefType::kLoad,
+                                         0x1000 + i * 64, 8, i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port.post_and_wait(batch));
+  }
+  stop = true;
+  backend.join();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_EventPortBatched)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_PickMinScan(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  core::Communicator comm(1);
+  std::vector<ProcId> running;
+  std::vector<std::thread> posters;
+  std::atomic<bool> stop{false};
+  for (ProcId p = 0; p < nprocs; ++p) {
+    core::EventPort& port = comm.create_port(p);
+    running.push_back(p);
+    posters.emplace_back([&port, &stop, p] {
+      std::vector<core::Event> batch{core::Event::mem_ref(
+          ExecMode::kUser, RefType::kLoad, 0x1000, 8, static_cast<Cycles>(p))};
+      while (!stop.load(std::memory_order_relaxed)) {
+        const core::Reply r = port.post_and_wait(batch);
+        if (r.aborted) return;
+        batch[0].time += 10;
+      }
+    });
+  }
+  for (auto _ : state) {
+    comm.wait_all_pending(running);
+    const ProcId winner = comm.pick_min(running);
+    core::EventPort& port = comm.port(winner);
+    (void)port.take_batch();
+    core::Reply r;
+    r.resume_time = 1;
+    port.reply(r);
+  }
+  stop = true;
+  comm.close_all_ports();
+  for (auto& t : posters) t.join();
+}
+BENCHMARK(BM_PickMinScan)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// OS-server cost benchmark: simulated-cycle cost of representative
+// category-1 OS calls (paper §3.1's stub → OS port → OS thread → event
+// port pipeline), measured from inside a simulation, plus the host-side
+// cost of the whole round trip.
+#include <chrono>
+#include <cstdio>
+
+#include "stats/report.h"
+#include "os/fs.h"
+#include "sim/simulation.h"
+
+using namespace compass;
+
+int main() {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  std::vector<std::uint8_t> content(64 * 1024, 0x5A);
+  sim.kernel().fs().populate("/bench/data", content);
+
+  struct Row {
+    std::string name;
+    Cycles cycles;
+    int count;
+  };
+  std::vector<Row> rows;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t total_calls = 0;
+
+  sim.spawn("bench", [&](sim::Proc& p) {
+    auto measure = [&](const std::string& name, int n, auto&& fn) {
+      const Cycles before = p.ctx().time();
+      for (int i = 0; i < n; ++i) fn(i);
+      rows.push_back(Row{name, (p.ctx().time() - before) / static_cast<Cycles>(n), n});
+      total_calls += static_cast<std::uint64_t>(n);
+    };
+
+    measure("getpid (null call)", 50, [&](int) { p.getpid(); });
+    measure("statx (cached path)", 50, [&](int) { p.statx("/bench/data"); });
+
+    const auto fd = p.open("/bench/data");
+    const Addr buf = p.alloc(8192);
+    // Warm the buffer cache.
+    p.read_fd(fd, buf, 4096);
+    measure("kread 4KB (buffer-cache hit)", 30, [&](int) {
+      p.lseek(fd, 0, 0);
+      p.read_fd(fd, buf, 4096);
+    });
+    measure("kread 4KB (disk miss)", 10, [&](int i) {
+      // A fresh page each time: page i+2 of the 16-page file.
+      p.lseek(fd, (2 + i) * 4096, 0);
+      p.read_fd(fd, buf, 4096);
+    });
+    measure("kwrite 4KB (cache)", 30, [&](int) {
+      p.lseek(fd, 0, 0);
+      p.write_fd(fd, buf, 4096);
+    });
+    measure("fsync (1 dirty page)", 5, [&](int) {
+      p.write_fd(fd, buf, 128);
+      p.fsync(fd);
+    });
+    p.close(fd);
+
+    measure("sem P/V pair (uncontended)", 50, [&](int) {
+      p.sem_init(1, 0);
+      p.sem_v(1);
+      p.sem_p(1);
+    });
+  });
+  sim.run();
+  const double host_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  stats::Table table({"OS call", "simulated cycles/call", "samples"});
+  for (const auto& r : rows)
+    table.add_row({r.name, stats::with_commas(r.cycles), std::to_string(r.count)});
+  std::fputs(table.to_string("OS-server call costs").c_str(), stdout);
+  std::printf("\ntotal %llu calls, %.3f host seconds, %.1f us host per call "
+              "(incl. all simulation overhead)\n",
+              static_cast<unsigned long long>(total_calls), host_s,
+              1e6 * host_s / static_cast<double>(total_calls));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 1 reproduction: "User vs. OS time" for the three commercial
+// workloads on a 4-way SMP, plus the scientific baseline the introduction
+// contrasts against.
+//
+// Paper (4-way AIX/PowerPC SMP, CPU time excluding disk-wait):
+//   SPECWeb/Apache:   user 14.9%, OS 85.1% (interrupt 37.8%, kernel 47.3%)
+//   TPCD/DB2 (100MB): user 81%,   OS 19%   (interrupt  8.6%, kernel 10.4%)
+//   TPCC/DB2 (400MB): user 79%,   OS 21%   (interrupt 14.6%, kernel  6.4%)
+//
+// We run scaled-down synthetic equivalents; the shape to check is the
+// ordering (web ≫ OLTP ≈ DSS ≫ scientific in OS share) and the interrupt/
+// kernel split per workload.
+#include <cstdio>
+
+#include "stats/report.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+struct Row {
+  const char* name;
+  const char* paper;
+  workloads::ScenarioStats stats;
+};
+
+sim::SimulationConfig four_way() {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 4;
+  cfg.model = sim::BackendModel::kSimple;
+  // Interval timer on: its handler is part of the paper's interrupt share.
+  cfg.devices.timer_interval = 1'000'000;  // 10ms at 100MHz
+  cfg.devices.timer_per_cpu = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+
+  {
+    workloads::WebScenario sc;
+    sc.fileset.dirs = 3;
+    sc.fileset.files_per_class = 2;
+    sc.fileset.size_scale = 0.25;
+    sc.requests = 60;
+    sc.servers = 3;
+    sc.concurrency = 6;
+    sc.mean_gap = 20'000;
+    sc.think = 10'000;
+    rows.push_back({"SPECWeb/Apache", "14.9 / 85.1 (37.8 + 47.3)",
+                    workloads::run_web(four_way(), sc)});
+  }
+  {
+    workloads::TpcdScenario sc;
+    sc.tpcd.lineitems = 8000;      // ~127-page fact table
+    sc.tpcd.db.pool_pages = 112;   // smaller than the table: scans do I/O
+    sc.tpcd.db.direct_io = false;  // DSS reads through the file-system cache
+    sc.workers = 4;
+    sc.repeats = 3;
+    sim::SimulationConfig cfg = four_way();
+    cfg.kernel.buffer_cache_buffers = 96;  // < table: scans reach the disks
+    rows.push_back({"TPCD/DB2 (scaled)", "81 / 19 (8.6 + 10.4)",
+                    workloads::run_tpcd(cfg, sc)});
+  }
+  {
+    workloads::TpccScenario sc;
+    sc.tpcc.warehouses = 4;
+    sc.tpcc.items = 1500;          // stock spans ~100 pages
+    sc.tpcc.txns_per_worker = 30;
+    sc.tpcc.db.pool_pages = 96;    // hot set mostly resident; tail I/O
+    sc.workers = 4;
+    rows.push_back({"TPCC/DB2 (scaled)", "79 / 21 (14.6 + 6.4)",
+                    workloads::run_tpcc(four_way(), sc)});
+  }
+  {
+    workloads::SciScenario sc;
+    sc.matmul.n = 48;
+    sc.matmul.nprocs = 4;
+    rows.push_back({"SPLASH-like matmul", "~100 / ~0 (baseline)",
+                    workloads::run_sci(four_way(), sc)});
+  }
+
+  stats::Table table({"benchmark", "user", "OS total", "interrupt", "kernel",
+                      "paper (user/OS (int + kern))"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, stats::pct(r.stats.shares.user),
+                   stats::pct(r.stats.shares.os_total),
+                   stats::pct(r.stats.shares.interrupt),
+                   stats::pct(r.stats.shares.kernel), r.paper});
+  }
+  std::fputs(
+      table
+          .to_string(
+              "Table 1: user vs OS time, 4 simulated CPUs (busy time only)")
+          .c_str(),
+      stdout);
+
+  // Shape checks (exit nonzero if the qualitative result is off).
+  const auto& web = rows[0].stats.shares;
+  const auto& tpcd = rows[1].stats.shares;
+  const auto& tpcc = rows[2].stats.shares;
+  const auto& sci = rows[3].stats.shares;
+  int failures = 0;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::printf("SHAPE MISMATCH: %s\n", what);
+      ++failures;
+    }
+  };
+  expect(web.os_total > 60.0, "web should be OS-dominated (>60%)");
+  expect(web.os_total > tpcc.os_total + 20.0,
+         "web OS share should far exceed OLTP's");
+  expect(tpcc.os_total > 8.0 && tpcc.os_total < 45.0,
+         "TPCC OS share should be moderate (~21% in the paper)");
+  expect(tpcd.os_total > 8.0 && tpcd.os_total < 45.0,
+         "TPCD OS share should be moderate (~19% in the paper)");
+  expect(tpcc.interrupt > tpcc.kernel * 0.8,
+         "TPCC interrupt share should rival its kernel share");
+  expect(sci.os_total < 10.0, "scientific kernel should be OS-light");
+  if (failures == 0) std::printf("\nall Table 1 shape checks passed\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Shared harness for the Table 2 / Table 3 slowdown experiments.
+//
+// Paper §5, Table 2 (uniprocessor 133 MHz PowerPC, TPCD query on a 12 MB
+// database): raw 52 s; simple backend 16149 s (310x); complex backend
+// 34841 s (670x). Table 3: the same on a 4-way SMP, where COMPASS runs
+// "more than twice as fast ... for the complex backend".
+//
+// Reproduction: the same scaled TPCD-like query runs (a) natively
+// (detached contexts — the raw run), (b) under the simple backend, and
+// (c) under the complex CC-NUMA backend; host parallelism is limited with
+// the HostThrottle (1 permit = uniprocessor host; 0 = all host CPUs).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/report.h"
+#include "workloads/runner.h"
+
+namespace compass::bench {
+
+struct SlowdownResult {
+  double raw_seconds = 0;
+  double simple_seconds = 0;
+  double complex_seconds = 0;
+  double simple_slowdown = 0;
+  double complex_slowdown = 0;
+};
+
+inline workloads::TpcdScenario slowdown_scenario() {
+  workloads::TpcdScenario sc;
+  sc.tpcd.lineitems = 2500;
+  sc.tpcd.db.pool_pages = 96;
+  sc.workers = 2;
+  sc.repeats = 2;
+  return sc;
+}
+
+/// Run raw + simple + complex with the given host-CPU limit.
+inline SlowdownResult run_slowdown(int host_cpus, int native_repeats = 5) {
+  const workloads::TpcdScenario sc = slowdown_scenario();
+
+  // Raw: average several runs (it is fast enough to be noisy).
+  double raw = 0;
+  for (int i = 0; i < native_repeats; ++i)
+    raw += workloads::run_tpcd_native_seconds(sc);
+  raw /= native_repeats;
+
+  // The simulated target is a 4-way machine (as in the paper's
+  // architecture studies); the HOST parallelism is what Tables 2/3 vary.
+  sim::SimulationConfig simple;
+  simple.core.num_cpus = 4;
+  simple.core.host_cpus = host_cpus;
+  simple.model = sim::BackendModel::kSimple;
+
+  sim::SimulationConfig complex_cfg;
+  complex_cfg.core.num_cpus = 4;
+  complex_cfg.core.num_nodes = 2;
+  complex_cfg.core.host_cpus = host_cpus;
+  complex_cfg.model = sim::BackendModel::kNuma;
+
+  // Take the minimum of several runs: host scheduling noise on a shared
+  // machine easily exceeds the simple/complex model-cost gap.
+  auto best_of = [&sc](const sim::SimulationConfig& cfg, int n) {
+    double best = 1e30;
+    for (int i = 0; i < n; ++i)
+      best = std::min(best, workloads::run_tpcd(cfg, sc).host_seconds);
+    return best;
+  };
+  SlowdownResult r;
+  r.raw_seconds = raw;
+  r.simple_seconds = best_of(simple, 3);
+  r.complex_seconds = best_of(complex_cfg, 3);
+  r.simple_slowdown = r.simple_seconds / raw;
+  r.complex_slowdown = r.complex_seconds / raw;
+  return r;
+}
+
+inline void print_slowdown_table(const char* title, const SlowdownResult& r) {
+  stats::Table table({"", "Raw", "Simple Backend", "Complex Backend"});
+  table.add_row({"execution time (s)", stats::fmt(r.raw_seconds, 4),
+                 stats::fmt(r.simple_seconds, 3),
+                 stats::fmt(r.complex_seconds, 3)});
+  table.add_row({"slowdown", "1", stats::fmt(r.simple_slowdown, 0),
+                 stats::fmt(r.complex_slowdown, 0)});
+  std::fputs(table.to_string(title).c_str(), stdout);
+}
+
+}  // namespace compass::bench

@@ -1,0 +1,95 @@
+// The instrumentation pipeline end to end: assemble a program in the
+// synthetic PowerPC-like ISA, run it through the instrumentation pass, and
+// execute it as a simulated frontend process — the paper's "compile to
+// assembly, instrument each basic block and memory reference" path, with
+// two instances sharing data through a shared segment.
+//
+//   ./examples/isa_frontend [--cpus=2] [--iters=2000]
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "sim/simulation.h"
+#include "util/flags.h"
+
+using namespace compass;
+
+namespace {
+
+// Each instance atomically increments a shared counter `iters` times and
+// sums a shared array. r1 = array base, r2 = counter address, r3 = iters.
+constexpr std::string_view kProgram = R"(
+      li   r4, 0        ; running sum
+      li   r5, 0        ; index
+      li   r6, 1
+      li   r7, 512      ; array elements
+  loop:
+      ldx  r8, r1, r9   ; load array[index * 8]
+      add  r4, r4, r8
+      sync r10, r2, r6  ; fetch&add(counter, 1)
+      addi r5, r5, 1
+      addi r9, r9, 8
+      sub  r3, r3, r6
+      bne  r3, r0, wrap
+      b    done
+  wrap:
+      blt  r5, r7, loop
+      li   r5, 0
+      li   r9, 0
+      b    loop
+  done:
+      st   r4, r2, 8    ; publish the sum next to the counter
+      halt
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv, {{"cpus", "2"}, {"iters", "2000"}}, {});
+  if (flags.help_requested()) {
+    std::fputs(flags.usage("isa_frontend").c_str(), stdout);
+    return 0;
+  }
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
+  const auto iters = flags.get_int("iters");
+
+  const isa::Program program = isa::assemble(kProgram);
+  std::printf("program: %zu basic blocks, %zu instructions\n%s\n",
+              program.num_blocks(), program.total_insns(),
+              program.to_string().c_str());
+
+  sim::Simulation sim(cfg);
+  std::uint64_t executed[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn("isa" + std::to_string(i), [&, i, iters](sim::Proc& p) {
+      // Shared segment: counter at +0, published sums at +8/+16, array
+      // at +64.
+      const auto segid = p.shmget(0x15A, 64 + 512 * 8);
+      const auto base = static_cast<Addr>(p.shmat(segid));
+      if (i == 0)
+        for (int e = 0; e < 512; ++e)
+          p.write<std::int64_t>(base + 64 + static_cast<Addr>(e) * 8, e);
+      isa::Interpreter interp(program, p.ctx(), p.mem());
+      interp.set_reg(1, static_cast<std::int64_t>(base + 64));
+      interp.set_reg(2, static_cast<std::int64_t>(base) + i * 8);
+      interp.set_reg(3, iters);
+      const isa::RunResult r = interp.run();
+      executed[i] = r.insns;
+      std::printf("instance %d: %llu insns, %llu blocks, %llu refs, sum=%lld\n",
+                  i, static_cast<unsigned long long>(r.insns),
+                  static_cast<unsigned long long>(r.blocks),
+                  static_cast<unsigned long long>(r.mem_refs),
+                  static_cast<long long>(interp.reg(4)));
+    });
+  }
+  sim.run();
+
+  const auto s = sim.breakdown().shares();
+  std::printf("\nsimulated cycles: %llu  (user %.1f%%, OS %.1f%%)\n",
+              static_cast<unsigned long long>(sim.now()), s.user, s.os_total);
+  std::printf("memory refs simulated: %llu\n",
+              static_cast<unsigned long long>(
+                  sim.stats().counter_value("backend.mem_refs")));
+  return executed[0] > 0 && executed[1] > 0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// OLTP scenario: a TPC-C-like transaction mix on the mini database engine,
+// run by several server processes sharing a buffer pool — the paper's
+// "TPCC/DB2" study setup.
+//
+//   ./examples/oltp_server [--cpus=4] [--workers=4] [--txns=40]
+//                          [--warehouses=2] [--model=simple|numa]
+//                          [--sched=fcfs|affinity] [--preemptive]
+#include <cstdio>
+
+#include "util/flags.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {{"cpus", "4"},
+                     {"workers", "4"},
+                     {"txns", "40"},
+                     {"warehouses", "2"},
+                     {"model", "simple"},
+                     {"sched", "fcfs"},
+                     {"preemptive", "false"}},
+                    {{"workers", "database server processes"},
+                     {"txns", "transactions per worker"},
+                     {"sched", "process scheduler policy"}});
+  if (flags.help_requested()) {
+    std::fputs(flags.usage("oltp_server").c_str(), stdout);
+    return 0;
+  }
+
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
+  cfg.model = flags.get("model") == "numa" ? sim::BackendModel::kNuma
+                                           : sim::BackendModel::kSimple;
+  if (cfg.model == sim::BackendModel::kNuma) {
+    cfg.core.num_nodes = cfg.core.num_cpus >= 2 ? 2 : 1;
+    while (cfg.core.num_cpus % cfg.core.num_nodes != 0) --cfg.core.num_nodes;
+  }
+  cfg.core.sched_policy = flags.get("sched") == "affinity"
+                              ? core::SchedPolicy::kAffinity
+                              : core::SchedPolicy::kFcfs;
+  cfg.core.preemptive = flags.get_bool("preemptive");
+
+  workloads::TpccScenario sc;
+  sc.workers = static_cast<int>(flags.get_int("workers"));
+  sc.tpcc.warehouses = static_cast<int>(flags.get_int("warehouses"));
+  sc.tpcc.txns_per_worker = static_cast<int>(flags.get_int("txns"));
+
+  std::printf("TPCC-like OLTP: %d workers x %d txns on %d CPUs (%s backend, %s sched%s)\n",
+              sc.workers, sc.tpcc.txns_per_worker, cfg.core.num_cpus,
+              flags.get("model").c_str(), flags.get("sched").c_str(),
+              cfg.core.preemptive ? ", preemptive" : "");
+
+  const auto stats = workloads::run_tpcc(cfg, sc);
+
+  std::printf("\ncompleted %llu transactions in %llu simulated cycles (%.3f s)\n",
+              static_cast<unsigned long long>(stats.work_units),
+              static_cast<unsigned long long>(stats.cycles),
+              stats.simulated_seconds);
+  std::printf("throughput: %.0f txn/simulated-second\n",
+              static_cast<double>(stats.work_units) /
+                  std::max(1e-9, stats.simulated_seconds));
+  std::printf("time breakdown: user %.1f%%  OS %.1f%% (interrupt %.1f%%, kernel %.1f%%)\n",
+              stats.shares.user, stats.shares.os_total, stats.shares.interrupt,
+              stats.shares.kernel);
+  std::printf("mem refs %llu  syscalls %llu  disk R/W %llu/%llu  ctx switches %llu  preemptions %llu\n",
+              static_cast<unsigned long long>(stats.mem_refs),
+              static_cast<unsigned long long>(stats.syscalls),
+              static_cast<unsigned long long>(stats.disk_reads),
+              static_cast<unsigned long long>(stats.disk_writes),
+              static_cast<unsigned long long>(stats.context_switches),
+              static_cast<unsigned long long>(stats.preemptions));
+  if (stats.l1_hits + stats.l1_misses > 0)
+    std::printf("L1 hit rate: %.2f%%\n",
+                100.0 * static_cast<double>(stats.l1_hits) /
+                    static_cast<double>(stats.l1_hits + stats.l1_misses));
+  std::printf("host wall time: %.2f s\n", stats.host_seconds);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Web-serving scenario: SPECWeb96-like trace replayed against prefork HTTP
+// server processes — the paper's "SPECWeb/Apache" study setup, including
+// the request-trace-file methodology of §4.2 (the trace is generated,
+// serialized to the trace-file format, parsed back, and fed by the player).
+//
+//   ./examples/web_server [--cpus=4] [--servers=2] [--requests=30]
+//                         [--concurrency=4] [--print-trace]
+#include <cstdio>
+
+#include "util/flags.h"
+#include "workloads/runner.h"
+#include "workloads/web/server.h"
+
+using namespace compass;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv,
+                    {{"cpus", "4"},
+                     {"servers", "2"},
+                     {"requests", "30"},
+                     {"concurrency", "4"},
+                     {"print-trace", "false"}},
+                    {{"servers", "prefork httpd processes"},
+                     {"requests", "trace length"},
+                     {"print-trace", "dump the generated trace file"}});
+  if (flags.help_requested()) {
+    std::fputs(flags.usage("web_server").c_str(), stdout);
+    return 0;
+  }
+
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
+
+  workloads::WebScenario sc;
+  sc.servers = static_cast<int>(flags.get_int("servers"));
+  sc.requests = static_cast<std::uint64_t>(flags.get_int("requests"));
+  sc.concurrency = static_cast<int>(flags.get_int("concurrency"));
+
+  if (flags.get_bool("print-trace")) {
+    workloads::web::Fileset fileset(sc.fileset);
+    const workloads::web::Trace trace =
+        workloads::web::Trace::generate(fileset, sc.requests, sc.mean_gap, sc.seed);
+    std::fputs(trace.serialize().c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("SPECWeb-like: %llu requests, %d servers, concurrency %d on %d CPUs\n",
+              static_cast<unsigned long long>(sc.requests), sc.servers,
+              sc.concurrency, cfg.core.num_cpus);
+
+  const auto stats = workloads::run_web(cfg, sc);
+
+  std::printf("\nserved %llu requests in %llu cycles (%.3f simulated s)\n",
+              static_cast<unsigned long long>(stats.work_units),
+              static_cast<unsigned long long>(stats.cycles),
+              stats.simulated_seconds);
+  std::printf("time breakdown: user %.1f%%  OS %.1f%% (interrupt %.1f%%, kernel %.1f%%)\n",
+              stats.shares.user, stats.shares.os_total, stats.shares.interrupt,
+              stats.shares.kernel);
+  std::printf("request latency (cycles): mean %.0f  p50 %llu  p95 %llu  max %llu\n",
+              stats.latency.mean(),
+              static_cast<unsigned long long>(stats.latency.quantile(0.5)),
+              static_cast<unsigned long long>(stats.latency.quantile(0.95)),
+              static_cast<unsigned long long>(stats.latency.max()));
+  std::printf("frames in/out: %llu/%llu  syscalls %llu  interrupts %llu\n",
+              static_cast<unsigned long long>(stats.net_frames_in),
+              static_cast<unsigned long long>(stats.net_frames_out),
+              static_cast<unsigned long long>(stats.syscalls),
+              static_cast<unsigned long long>(stats.interrupts));
+  std::printf("host wall time: %.2f s\n", stats.host_seconds);
+  return 0;
+}

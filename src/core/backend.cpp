@@ -1,0 +1,530 @@
+#include "core/backend.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace compass::core {
+
+Backend::Backend(const SimConfig& cfg, Communicator& comm, Hooks hooks,
+                 stats::StatsRegistry* registry)
+    : cfg_(cfg),
+      comm_(comm),
+      hooks_(hooks),
+      proc_sched_(cfg),
+      breakdown_(cfg.num_cpus),
+      stats_(registry != nullptr ? registry : &own_stats_),
+      cpus_(static_cast<std::size_t>(cfg.num_cpus)) {
+  cfg_.validate();
+  COMPASS_CHECK_MSG(hooks_.memsys != nullptr, "Backend requires a MemorySystem");
+  COMPASS_CHECK_MSG(comm.num_cpus() == cfg.num_cpus,
+                    "Communicator/SimConfig CPU count mismatch");
+  comm_.set_stall_handler([this](std::span<const ProcId> missing) {
+    std::ostringstream os;
+    os << "COMPASS backend stalled waiting for frontends to post:";
+    for (const ProcId p : missing) os << ' ' << p << " (" << info(p).name << ")";
+    os << '\n' << dump_states();
+    std::fputs(os.str().c_str(), stderr);
+  });
+}
+
+ProcId Backend::add_process(const std::string& name) {
+  const auto id = static_cast<ProcId>(procs_.size());
+  procs_.push_back(ProcInfo{.name = name});
+  comm_.create_port(id);
+  running_dirty_ = true;
+  return id;
+}
+
+ProcId Backend::add_bottom_half(const std::string& name) {
+  const ProcId id = add_process(name);
+  procs_.back().is_bottom_half = true;
+  procs_.back().state = RunState::kParked;
+  return id;
+}
+
+ProcId Backend::add_daemon(const std::string& name) {
+  const ProcId id = add_process(name);
+  procs_.back().is_daemon = true;
+  return id;
+}
+
+void Backend::init_channel_permits(WaitChannel channel, std::uint64_t permits) {
+  if (permits > 0) permits_[channel] += permits;
+}
+
+Backend::ProcInfo& Backend::info(ProcId proc) {
+  COMPASS_CHECK_MSG(proc >= 0 && static_cast<std::size_t>(proc) < procs_.size(),
+                    "bad proc id " << proc);
+  return procs_[static_cast<std::size_t>(proc)];
+}
+
+const Backend::ProcInfo& Backend::info(ProcId proc) const {
+  COMPASS_CHECK_MSG(proc >= 0 && static_cast<std::size_t>(proc) < procs_.size(),
+                    "bad proc id " << proc);
+  return procs_[static_cast<std::size_t>(proc)];
+}
+
+RunState Backend::state_of(ProcId proc) const { return info(proc).state; }
+ExecMode Backend::mode_of(ProcId proc) const { return info(proc).mode; }
+
+void Backend::charge(CpuId cpu, ExecMode mode, Cycles cycles) {
+  if (cycles == 0) return;
+  breakdown_.charge(cpu, mode, cycles);
+}
+
+void Backend::account_idle_until(CpuId cpu, Cycles when) {
+  CpuInfo& ci = cpus_[static_cast<std::size_t>(cpu)];
+  if (when > ci.busy_until) {
+    charge(cpu, ExecMode::kIdle, when - ci.busy_until);
+    ci.busy_until = when;
+  }
+}
+
+bool Backend::all_apps_exited() const {
+  // Kernel daemons (netd) and bottom halves never exit; the simulation ends
+  // when every ordinary application process has.
+  return std::all_of(procs_.begin(), procs_.end(), [](const ProcInfo& p) {
+    return p.is_bottom_half || p.is_daemon || p.state == RunState::kExited;
+  });
+}
+
+bool Backend::interrupt_pending_for(ProcId proc) const {
+  const ProcInfo& pi = info(proc);
+  if (pi.cpu == kNoCpu) return false;
+  if (pi.mode == ExecMode::kInterrupt) return false;  // handler loop drains
+  return comm_.cpu_state(pi.cpu).deliverable();
+}
+
+void Backend::rebuild_running() {
+  running_.clear();
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const RunState s = procs_[i].state;
+    // kStarting processes are awaited too: the simulation begins only once
+    // every registered frontend has announced itself, which keeps startup
+    // interleaving deterministic.
+    if (s == RunState::kRunning || s == RunState::kStarting)
+      running_.push_back(static_cast<ProcId>(i));
+  }
+  running_dirty_ = false;
+}
+
+void Backend::schedule_ready_procs() {
+  for (const auto& [proc, cpu] : proc_sched_.schedule()) {
+    ProcInfo& pi = info(proc);
+    CpuInfo& ci = cpus_[static_cast<std::size_t>(cpu)];
+    EventPort& port = comm_.port(proc);
+
+    const Cycles switch_begin = std::max(now_, ci.busy_until);
+    account_idle_until(cpu, switch_begin);
+    charge(cpu, ExecMode::kKernel, cfg_.context_switch_cycles);
+    const Cycles start = switch_begin + cfg_.context_switch_cycles;
+    ci.busy_until = start;
+    ci.slice_start = start;
+
+    hooks_.memsys->on_context_switch(cpu, kNoProc, proc);
+    stats_->counter("backend.context_switches").inc();
+
+    pi.cpu = cpu;
+    pi.state = RunState::kRunning;
+    if (pi.reply_deferred) {
+      pi.reply_deferred = false;
+      pi.last_time = start;
+      Reply r;
+      r.resume_time = start;
+      r.retval = pi.wake_retval;
+      r.cpu = cpu;
+      r.interrupt_pending = interrupt_pending_for(proc);
+      pi.wake_retval = 0;
+      port.reply(r);
+    } else {
+      // Preempted with its batch still pending: rebase it to the new start.
+      COMPASS_CHECK_MSG(port.has_pending(),
+                        "scheduled proc " << proc
+                                          << " has neither deferred reply nor batch");
+      const Cycles base = std::max(start, port.pending_time());
+      port.rebase_pending(base);
+      pi.last_time = base;
+    }
+    running_dirty_ = true;
+  }
+}
+
+void Backend::run_one_task() {
+  auto [when, task] = sched_queue_.pop_next();
+  now_ = std::max(now_, when);
+  stats_->counter("backend.tasks").inc();
+  task();
+}
+
+bool Backend::maybe_preempt(ProcId proc, Cycles event_time) {
+  if (!cfg_.preemptive) return false;
+  ProcInfo& pi = info(proc);
+  if (pi.cpu == kNoCpu || pi.is_bottom_half) return false;
+  if (pi.mode != ExecMode::kUser) return false;  // never preempt kernel paths
+  if (!proc_sched_.has_ready()) return false;
+  CpuInfo& ci = cpus_[static_cast<std::size_t>(pi.cpu)];
+  if (event_time < ci.slice_start || event_time - ci.slice_start < cfg_.quantum)
+    return false;
+
+  // Charge the compute the process did up to its (unprocessed) event, then
+  // hand the CPU over; the pending batch is rebased when it is rescheduled.
+  now_ = std::max(now_, event_time);
+  if (event_time > pi.last_time) {
+    charge(pi.cpu, pi.mode, event_time - pi.last_time);
+    pi.last_time = event_time;
+  }
+  ci.busy_until = std::max(ci.busy_until, event_time);
+  const CpuId cpu = pi.cpu;
+  proc_sched_.release_cpu(proc);
+  pi.cpu = kNoCpu;
+  pi.state = RunState::kReady;
+  proc_sched_.add_ready(proc);
+  stats_->counter("backend.preemptions").inc();
+  running_dirty_ = true;
+  maybe_dispatch_idle_irq(cpu);
+  return true;
+}
+
+void Backend::run() {
+  try {
+    run_loop();
+  } catch (...) {
+    // Unwind every frontend thread before propagating so callers can join.
+    comm_.close_all_ports();
+    throw;
+  }
+  // Normal completion: daemons and bottom halves may still be blocked on
+  // their ports; closing lets their host threads unwind cleanly.
+  comm_.close_all_ports();
+}
+
+void Backend::run_loop() {
+  HostThrottle::Hold hold(comm_.throttle());
+  while (true) {
+    schedule_ready_procs();
+    if (all_apps_exited()) break;
+    if (running_dirty_) rebuild_running();
+    if (running_.empty()) {
+      if (sched_queue_.empty()) {
+        throw util::SimError("COMPASS deadlock: no runnable process and no "
+                             "scheduled task\n" +
+                             dump_states());
+      }
+      run_one_task();
+      continue;
+    }
+    comm_.wait_all_pending(running_);
+    const ProcId proc = comm_.pick_min(running_);
+    const Cycles t = comm_.port(proc).pending_time();
+    if (sched_queue_.next_time() <= t) {
+      // Device completions and timer ticks scheduled before the earliest
+      // frontend event run first; they may change run states, so loop.
+      run_one_task();
+      continue;
+    }
+    dispatch(proc);
+  }
+  // Close out idle accounting so per-CPU totals cover the same interval.
+  for (CpuId c = 0; c < cfg_.num_cpus; ++c) account_idle_until(c, now_);
+}
+
+void Backend::dispatch(ProcId proc) {
+  EventPort& port = comm_.port(proc);
+  if (maybe_preempt(proc, port.pending_time())) return;
+
+  const std::span<const Event> batch = port.take_batch();
+  COMPASS_CHECK(!batch.empty());
+  const bool is_control = batch.front().kind != EventKind::kMemRef &&
+                          batch.front().kind != EventKind::kYield;
+  if (is_control) {
+    COMPASS_CHECK_MSG(batch.size() == 1,
+                      "control events must be posted alone (proc " << proc << ")");
+    handle_control(proc, batch.front(), port);
+    return;
+  }
+
+  ProcInfo& pi = info(proc);
+  COMPASS_CHECK_MSG(pi.cpu != kNoCpu,
+                    "data batch from proc " << proc << " with no CPU");
+  const CpuId cpu = pi.cpu;
+  bool first = true;
+  for (const Event& ev : batch) {
+    COMPASS_CHECK_MSG(ev.kind == EventKind::kMemRef || ev.kind == EventKind::kYield,
+                      "mixed control/data batch (proc " << proc << ")");
+    COMPASS_CHECK_MSG(!first || ev.time >= pi.last_time,
+                      "time went backwards for proc " << proc << ": " << ev.time
+                                                      << " < " << pi.last_time);
+    first = false;
+    // Within a batch, later references were stamped before earlier stall
+    // latencies were known; they issue no earlier than the previous
+    // completion (stalls serialize).
+    const Cycles issue = std::max(ev.time, pi.last_time);
+    now_ = std::max(now_, issue);
+    charge(cpu, ev.mode, issue - pi.last_time);
+    Cycles latency = 0;
+    if (ev.kind == EventKind::kMemRef) {
+      Event issued = ev;
+      issued.time = issue;
+      latency = hooks_.memsys->access(cpu, proc, issued);
+      stats_->counter("backend.mem_refs").inc();
+    }
+    charge(cpu, ev.mode, latency);
+    pi.last_time = issue + latency;
+  }
+  cpus_[static_cast<std::size_t>(cpu)].busy_until =
+      std::max(cpus_[static_cast<std::size_t>(cpu)].busy_until, pi.last_time);
+  stats_->counter("backend.batches").inc();
+
+  Reply r;
+  r.resume_time = pi.last_time;
+  r.cpu = pi.cpu;
+  r.interrupt_pending = interrupt_pending_for(proc);
+  port.reply(r);
+}
+
+void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
+  ProcInfo& pi = info(proc);
+  now_ = std::max(now_, ev.time);
+  stats_->counter("backend.control_events").inc();
+
+  // Compute interval since the previous event, charged to the mode the
+  // frontend was executing in (carried on the event).
+  auto charge_lead_in = [&] {
+    COMPASS_CHECK_MSG(pi.cpu != kNoCpu,
+                      "control event " << to_string(ev.kind) << " from proc "
+                                       << proc << " with no CPU");
+    COMPASS_CHECK(ev.time >= pi.last_time);
+    charge(pi.cpu, ev.mode, ev.time - pi.last_time);
+    pi.last_time = ev.time;
+    cpus_[static_cast<std::size_t>(pi.cpu)].busy_until =
+        std::max(cpus_[static_cast<std::size_t>(pi.cpu)].busy_until, ev.time);
+  };
+  auto reply_at = [&](Cycles resume, std::int64_t retval = 0) {
+    Reply r;
+    r.resume_time = resume;
+    r.retval = retval;
+    r.cpu = pi.cpu;
+    r.interrupt_pending = interrupt_pending_for(proc);
+    port.reply(r);
+  };
+
+  switch (ev.kind) {
+    case EventKind::kStart: {
+      COMPASS_CHECK_MSG(pi.state == RunState::kStarting,
+                        "kStart from proc " << proc << " in wrong state");
+      pi.state = RunState::kReady;
+      pi.reply_deferred = true;
+      proc_sched_.add_ready(proc);
+      running_dirty_ = true;
+      break;
+    }
+    case EventKind::kExit: {
+      charge_lead_in();
+      const CpuId cpu = pi.cpu;
+      proc_sched_.release_cpu(proc);
+      proc_sched_.remove(proc);
+      pi.cpu = kNoCpu;
+      pi.state = RunState::kExited;
+      running_dirty_ = true;
+      reply_at(ev.time);
+      maybe_dispatch_idle_irq(cpu);
+      break;
+    }
+    case EventKind::kOsEnter: {
+      charge_lead_in();
+      charge(pi.cpu, ExecMode::kKernel, cfg_.syscall_entry_cycles);
+      pi.mode = ExecMode::kKernel;
+      pi.last_time = ev.time + cfg_.syscall_entry_cycles;
+      cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
+      stats_->counter("os.syscalls").inc();
+      reply_at(pi.last_time);
+      break;
+    }
+    case EventKind::kOsExit: {
+      charge_lead_in();
+      charge(pi.cpu, ExecMode::kKernel, cfg_.syscall_exit_cycles);
+      pi.mode = ExecMode::kUser;
+      pi.last_time = ev.time + cfg_.syscall_exit_cycles;
+      cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
+      reply_at(pi.last_time);
+      break;
+    }
+    case EventKind::kIrqEnter: {
+      charge_lead_in();
+      charge(pi.cpu, ExecMode::kInterrupt, cfg_.irq_entry_cycles);
+      pi.saved_mode = pi.mode;
+      pi.mode = ExecMode::kInterrupt;
+      pi.last_time = ev.time + cfg_.irq_entry_cycles;
+      cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
+      stats_->counter("os.interrupts").inc();
+      reply_at(pi.last_time);
+      break;
+    }
+    case EventKind::kIrqExit: {
+      charge_lead_in();
+      charge(pi.cpu, ExecMode::kInterrupt, cfg_.irq_exit_cycles);
+      pi.mode = pi.saved_mode;
+      pi.last_time = ev.time + cfg_.irq_exit_cycles;
+      cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
+      if (pi.is_bottom_half) {
+        const CpuId cpu = pi.cpu;
+        reply_at(pi.last_time);
+        pi.cpu = kNoCpu;
+        pi.state = RunState::kParked;
+        pi.mode = ExecMode::kUser;
+        proc_sched_.unreserve_cpu(cpu);
+        running_dirty_ = true;
+        // A bottom half just became available: service pending interrupts
+        // on ANY idle CPU (they may have been skipped while every bottom
+        // half was busy).
+        for (CpuId c = 0; c < cfg_.num_cpus; ++c) maybe_dispatch_idle_irq(c);
+      } else {
+        reply_at(pi.last_time);
+      }
+      break;
+    }
+    case EventKind::kBlock: {
+      charge_lead_in();
+      const WaitChannel ch = ev.arg[0];
+      // Semaphore semantics: consume a stored permit instead of blocking if
+      // a wakeup already arrived (lost-wakeup avoidance).
+      if (const auto it = permits_.find(ch); it != permits_.end() && it->second > 0) {
+        if (--it->second == 0) permits_.erase(it);
+        reply_at(ev.time);
+        break;
+      }
+      const CpuId cpu = pi.cpu;
+      proc_sched_.release_cpu(proc);
+      pi.cpu = kNoCpu;
+      pi.state = RunState::kBlocked;
+      pi.channel = ch;
+      pi.reply_deferred = true;
+      blocked_.emplace(ch, proc);
+      running_dirty_ = true;
+      stats_->counter("os.blocks").inc();
+      maybe_dispatch_idle_irq(cpu);
+      break;
+    }
+    case EventKind::kWakeup: {
+      charge_lead_in();
+      const std::uint64_t count = ev.arg[1] == 0 ? 1 : ev.arg[1];
+      handle_wakeup(ev.arg[0], count);
+      reply_at(ev.time);
+      break;
+    }
+    case EventKind::kDevRequest: {
+      charge_lead_in();
+      COMPASS_CHECK_MSG(hooks_.devices != nullptr,
+                        "kDevRequest with no DeviceManager configured");
+      const std::int64_t tag =
+          hooks_.devices->device_request(proc, pi.cpu, now_, ev.arg);
+      reply_at(ev.time, tag);
+      break;
+    }
+    case EventKind::kBackendCall: {
+      charge_lead_in();
+      COMPASS_CHECK_MSG(hooks_.backend_calls != nullptr,
+                        "kBackendCall with no handler configured");
+      const std::int64_t rv =
+          hooks_.backend_calls->backend_call(proc, pi.cpu, now_, ev.arg);
+      reply_at(ev.time, rv);
+      break;
+    }
+    default:
+      COMPASS_CHECK_MSG(false, "unexpected control event "
+                                   << to_string(ev.kind) << " from proc " << proc);
+  }
+}
+
+void Backend::handle_wakeup(WaitChannel channel, std::uint64_t count) {
+  // Wake up to `count` blocked processes in FIFO order; leftover wakeups are
+  // stored as permits for future kBlocks on this channel.
+  auto [first, last] = blocked_.equal_range(channel);
+  while (count > 0 && first != last) {
+    ProcInfo& pi = info(first->second);
+    COMPASS_CHECK(pi.state == RunState::kBlocked);
+    pi.state = RunState::kReady;
+    proc_sched_.add_ready(first->second);
+    stats_->counter("os.wakeups").inc();
+    first = blocked_.erase(first);
+    --count;
+    running_dirty_ = true;
+  }
+  if (count > 0) permits_[channel] += count;
+}
+
+void Backend::wakeup_channel(WaitChannel channel, std::uint64_t count) {
+  handle_wakeup(channel, count);
+}
+
+void Backend::raise_irq(CpuId cpu, IrqDesc desc) {
+  COMPASS_CHECK(cpu >= 0 && cpu < cfg_.num_cpus);
+  desc.raised_at = now_;
+  comm_.cpu_state(cpu).raise(desc);
+  stats_->counter("backend.irqs_raised").inc();
+  maybe_dispatch_idle_irq(cpu);
+}
+
+CpuId Backend::pick_irq_cpu() {
+  for (CpuId c = 0; c < cfg_.num_cpus; ++c)
+    if (proc_sched_.proc_on(c) == kNoProc && proc_sched_.cpu_free(c)) return c;
+  irq_rr_ = (irq_rr_ + 1) % cfg_.num_cpus;
+  return irq_rr_;
+}
+
+void Backend::maybe_dispatch_idle_irq(CpuId cpu) {
+  if (cpu == kNoCpu) return;
+  if (hooks_.idle_irq == nullptr) return;
+  if (!comm_.cpu_state(cpu).interrupt_requested()) return;
+  if (!comm_.cpu_state(cpu).interrupts_enabled()) return;
+  if (!proc_sched_.cpu_free(cpu)) return;  // someone will see the flag
+  // Find a parked bottom-half pseudo-process to run the handler.
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    ProcInfo& pi = procs_[i];
+    if (!pi.is_bottom_half || pi.state != RunState::kParked) continue;
+    proc_sched_.reserve_cpu(cpu);
+    CpuInfo& ci = cpus_[static_cast<std::size_t>(cpu)];
+    const Cycles when = std::max(now_, ci.busy_until);
+    account_idle_until(cpu, when);
+    pi.state = RunState::kRunning;
+    pi.cpu = cpu;
+    pi.saved_mode = ExecMode::kUser;
+    pi.last_time = when;
+    ci.slice_start = when;
+    running_dirty_ = true;
+    stats_->counter("os.bottom_half_dispatches").inc();
+    hooks_.idle_irq->dispatch_idle_irq(cpu, static_cast<ProcId>(i), when);
+    return;
+  }
+  // No parked bottom half: retried when one parks (kIrqExit) or when the
+  // flag is seen by whichever process next runs on this CPU.
+}
+
+std::string Backend::dump_states() const {
+  std::ostringstream os;
+  os << "simulated cycle " << now_ << '\n';
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const ProcInfo& p = procs_[i];
+    const char* state = "?";
+    switch (p.state) {
+      case RunState::kStarting: state = "starting"; break;
+      case RunState::kRunning: state = "running"; break;
+      case RunState::kReady: state = "ready"; break;
+      case RunState::kBlocked: state = "blocked"; break;
+      case RunState::kParked: state = "parked"; break;
+      case RunState::kExited: state = "exited"; break;
+    }
+    os << "  proc " << i << " (" << p.name << "): " << state << " mode "
+       << to_string(p.mode) << " cpu " << p.cpu << " last_time " << p.last_time;
+    if (p.state == RunState::kBlocked) os << " channel 0x" << std::hex << p.channel << std::dec;
+    os << '\n';
+  }
+  os << "  scheduler tasks: " << sched_queue_.size()
+     << ", ready procs: " << proc_sched_.ready_count() << '\n';
+  return os.str();
+}
+
+}  // namespace compass::core

@@ -1,0 +1,174 @@
+// The backend simulation process (paper §2).
+//
+// The backend owns global simulated time, the global event scheduler, the
+// process-to-CPU mapping, blocking/wakeup channels, interrupt delivery and
+// the per-mode time accounting. Its main loop:
+//
+//   1. assign free CPUs to ready processes (category-2 process scheduler);
+//   2. wait until every running frontend has a pending batch;
+//   3. run device/internal tasks scheduled before the earliest pending
+//      event;
+//   4. take the batch of the frontend with the smallest execution time,
+//      simulate each reference through the MemorySystem, and reply with the
+//      cycle at which the frontend may resume.
+//
+// Control events (OS entry/exit, blocking, wakeups, device requests,
+// interrupts, lifecycle) are dispatched to the configured hooks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/communicator.h"
+#include "core/config.h"
+#include "core/event.h"
+#include "core/memory_system.h"
+#include "core/proc_sched.h"
+#include "core/scheduler.h"
+#include "stats/counters.h"
+#include "stats/time_breakdown.h"
+
+namespace compass::core {
+
+/// Lifecycle state of a simulated process as seen by the backend.
+enum class RunState : std::uint8_t {
+  kStarting,  ///< registered; its kStart event is awaited
+  kRunning,   ///< on a CPU, generating events
+  kReady,     ///< wants a CPU, none assigned
+  kBlocked,   ///< waiting on a channel; reply withheld
+  kParked,    ///< bottom-half pseudo-process waiting for interrupt work
+  kExited,
+};
+
+class Backend {
+ public:
+  struct Hooks {
+    MemorySystem* memsys = nullptr;           ///< required
+    BackendCallHandler* backend_calls = nullptr;
+    DeviceManager* devices = nullptr;
+    IdleIrqDispatcher* idle_irq = nullptr;
+  };
+
+  /// `registry` lets the embedder share one stats registry across all
+  /// models; the backend owns one internally when null.
+  Backend(const SimConfig& cfg, Communicator& comm, Hooks hooks,
+          stats::StatsRegistry* registry = nullptr);
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  // ---- setup (before run) ---------------------------------------------
+
+  /// Register a simulated application process; creates its event port.
+  ProcId add_process(const std::string& name);
+
+  /// Register a bottom-half pseudo-process (one per CPU is typical). It is
+  /// parked until an interrupt is dispatched to it.
+  ProcId add_bottom_half(const std::string& name);
+
+  /// Register a kernel daemon process (e.g. the network-input daemon): it
+  /// behaves like an application process but is excluded from the
+  /// simulation-termination condition; its port is closed at shutdown.
+  ProcId add_daemon(const std::string& name);
+
+  /// Seed a wait channel with permits before the run starts. Used to create
+  /// kernel mutexes/semaphores: a mutex is a channel with one permit, lock
+  /// is kBlock (granted in deterministic event order), unlock is kWakeup.
+  void init_channel_permits(WaitChannel channel, std::uint64_t permits);
+
+  // ---- main loop --------------------------------------------------------
+
+  /// Run the simulation until every application process has exited.
+  /// Throws SimError on deadlock (non-exited processes but no possible
+  /// progress).
+  void run();
+
+  // ---- services for tasks/handlers (backend thread only) ---------------
+
+  /// Raise an interrupt on `cpu`: queues the descriptor, sets the request
+  /// flag and, if the CPU is idle, dispatches a bottom-half runner.
+  void raise_irq(CpuId cpu, IrqDesc desc);
+
+  /// Post wakeups to a channel from backend context (scheduler tasks,
+  /// category-2 handlers) — e.g. timer expirations.
+  void wakeup_channel(WaitChannel channel, std::uint64_t count = 1);
+
+  /// Pick the CPU that should service a device interrupt: the first idle
+  /// CPU if any (cheap to steal), else round-robin over all CPUs.
+  CpuId pick_irq_cpu();
+
+  GlobalScheduler& scheduler() { return sched_queue_; }
+  Communicator& communicator() { return comm_; }
+  const SimConfig& config() const { return cfg_; }
+  Cycles now() const { return now_; }
+
+  stats::TimeBreakdown& time_breakdown() { return breakdown_; }
+  const stats::TimeBreakdown& time_breakdown() const { return breakdown_; }
+  stats::StatsRegistry& stats() { return *stats_; }
+  ProcessScheduler& proc_sched() { return proc_sched_; }
+
+  RunState state_of(ProcId proc) const;
+  ExecMode mode_of(ProcId proc) const;
+  /// Human-readable dump of all process states (deadlock diagnostics).
+  std::string dump_states() const;
+
+ private:
+  struct ProcInfo {
+    std::string name;
+    RunState state = RunState::kStarting;
+    ExecMode mode = ExecMode::kUser;
+    ExecMode saved_mode = ExecMode::kUser;  ///< mode to restore at kIrqExit
+    CpuId cpu = kNoCpu;
+    Cycles last_time = 0;       ///< completion cycle of its latest event
+    bool reply_deferred = false;///< a taken batch awaits a deferred reply
+    bool is_bottom_half = false;
+    bool is_daemon = false;
+    WaitChannel channel = 0;    ///< channel it is blocked on (kBlocked)
+    std::int64_t wake_retval = 0;
+  };
+
+  struct CpuInfo {
+    Cycles busy_until = 0;      ///< last cycle this CPU was doing work
+    Cycles slice_start = 0;     ///< when the current proc got the CPU
+  };
+
+  void run_loop();
+  void rebuild_running();
+  void schedule_ready_procs();
+  void run_one_task();
+  void dispatch(ProcId proc);
+  void handle_control(ProcId proc, const Event& ev, EventPort& port);
+  void handle_wakeup(WaitChannel channel, std::uint64_t count);
+  void maybe_dispatch_idle_irq(CpuId cpu);
+  bool maybe_preempt(ProcId proc, Cycles event_time);
+  void charge(CpuId cpu, ExecMode mode, Cycles cycles);
+  void account_idle_until(CpuId cpu, Cycles when);
+  bool all_apps_exited() const;
+  ProcInfo& info(ProcId proc);
+  const ProcInfo& info(ProcId proc) const;
+  bool interrupt_pending_for(ProcId proc) const;
+
+  const SimConfig cfg_;
+  Communicator& comm_;
+  Hooks hooks_;
+
+  GlobalScheduler sched_queue_;
+  ProcessScheduler proc_sched_;
+  stats::TimeBreakdown breakdown_;
+  stats::StatsRegistry own_stats_;
+  stats::StatsRegistry* stats_;
+
+  Cycles now_ = 0;
+  std::vector<ProcInfo> procs_;
+  std::vector<CpuInfo> cpus_;
+  std::multimap<WaitChannel, ProcId> blocked_;
+  std::map<WaitChannel, std::uint64_t> permits_;
+  std::vector<ProcId> running_;  // cache of procs to wait on / pick among
+  bool running_dirty_ = true;
+  CpuId irq_rr_ = 0;
+};
+
+}  // namespace compass::core

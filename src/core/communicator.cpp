@@ -1,0 +1,102 @@
+#include "core/communicator.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace compass::core {
+
+Communicator::Communicator(int num_cpus, int host_cpus)
+    : throttle_(host_cpus), cpu_states_(static_cast<std::size_t>(num_cpus)) {
+  COMPASS_CHECK_MSG(num_cpus > 0, "need at least one simulated CPU");
+}
+
+CpuState& Communicator::cpu_state(CpuId cpu) {
+  COMPASS_CHECK_MSG(cpu >= 0 && cpu < num_cpus(), "bad cpu id " << cpu);
+  return cpu_states_[static_cast<std::size_t>(cpu)];
+}
+
+const CpuState& Communicator::cpu_state(CpuId cpu) const {
+  COMPASS_CHECK_MSG(cpu >= 0 && cpu < num_cpus(), "bad cpu id " << cpu);
+  return cpu_states_[static_cast<std::size_t>(cpu)];
+}
+
+EventPort& Communicator::create_port(ProcId proc) {
+  std::lock_guard lock(ports_mu_);
+  auto [it, inserted] =
+      ports_.emplace(proc, std::make_unique<EventPort>(proc, *this));
+  COMPASS_CHECK_MSG(inserted, "event port for proc " << proc << " already exists");
+  return *it->second;
+}
+
+EventPort& Communicator::port(ProcId proc) {
+  std::lock_guard lock(ports_mu_);
+  const auto it = ports_.find(proc);
+  COMPASS_CHECK_MSG(it != ports_.end(), "no event port for proc " << proc);
+  return *it->second;
+}
+
+bool Communicator::has_port(ProcId proc) const {
+  std::lock_guard lock(ports_mu_);
+  return ports_.contains(proc);
+}
+
+void Communicator::wait_all_pending(std::span<const ProcId> running) {
+  if (running.empty()) return;
+  auto all_pending = [&] {
+    for (const ProcId p : running)
+      if (!port(p).has_pending()) return false;
+    return true;
+  };
+  if (all_pending()) return;
+  // Release the host permit while the backend sleeps: on a 1-way host this
+  // is what lets frontends make progress at all.
+  throttle_.release();
+  {
+    std::unique_lock lock(backend_mu_);
+    bool reported = false;
+    while (!backend_cv_.wait_for(lock, std::chrono::seconds(10), all_pending)) {
+      if (reported || !stall_handler_) continue;
+      reported = true;
+      std::vector<ProcId> missing;
+      for (const ProcId p : running)
+        if (!port(p).has_pending()) missing.push_back(p);
+      stall_handler_(missing);
+    }
+  }
+  throttle_.acquire();
+}
+
+ProcId Communicator::pick_min(std::span<const ProcId> running) const {
+  COMPASS_CHECK(!running.empty());
+  std::lock_guard lock(ports_mu_);
+  ProcId best = kNoProc;
+  Cycles best_time = std::numeric_limits<Cycles>::max();
+  for (const ProcId p : running) {
+    const auto it = ports_.find(p);
+    COMPASS_CHECK_MSG(it != ports_.end(), "pick_min: no port for proc " << p);
+    const EventPort& port = *it->second;
+    COMPASS_CHECK_MSG(port.has_pending(),
+                      "pick_min: proc " << p << " has no pending batch");
+    const Cycles t = port.pending_time();
+    if (best == kNoProc || t < best_time || (t == best_time && p < best)) {
+      best_time = t;
+      best = p;
+    }
+  }
+  return best;
+}
+
+void Communicator::close_all_ports() {
+  std::lock_guard lock(ports_mu_);
+  for (auto& [_, port] : ports_) port->close();
+}
+
+void Communicator::notify_backend() {
+  // Taking the mutex orders this notification after the predicate data
+  // written by the caller, so the backend cannot miss the wakeup.
+  std::lock_guard lock(backend_mu_);
+  backend_cv_.notify_one();
+}
+
+}  // namespace compass::core

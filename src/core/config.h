@@ -1,0 +1,70 @@
+// Simulation-kernel configuration.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::core {
+
+/// Which process-scheduling policy the backend uses (paper §3.3.2).
+enum class SchedPolicy {
+  kFcfs,      ///< default: first available processor
+  kAffinity,  ///< optimized: prefer a processor (or node) used before
+};
+
+struct SimConfig {
+  /// Number of simulated processors.
+  int num_cpus = 4;
+  /// Number of NUMA nodes (CPUs are split evenly across nodes); the
+  /// affinity scheduler uses the node mapping, and the complex backend
+  /// assigns memory homes per node.
+  int num_nodes = 1;
+  /// Host-parallelism limit for slowdown experiments; 0 = unlimited.
+  int host_cpus = 0;
+
+  /// Events per event-port post. 1 reproduces the paper's reference-level
+  /// synchronization; larger values coarsen interleaving granularity (the
+  /// interleave ablation knob).
+  int batch_size = 1;
+  /// Post a kYield after this much uninterrupted compute so the backend can
+  /// advance global time and deliver interrupts during long CPU bursts.
+  Cycles yield_threshold = 20'000;
+
+  // Fixed-cost model for mode transitions (cycles).
+  Cycles syscall_entry_cycles = 200;
+  Cycles syscall_exit_cycles = 100;
+  Cycles irq_entry_cycles = 150;
+  Cycles irq_exit_cycles = 80;
+  Cycles context_switch_cycles = 800;
+
+  // Process scheduling (paper §3.3.2).
+  SchedPolicy sched_policy = SchedPolicy::kFcfs;
+  /// Preemptive scheduling: a process is preempted when it has held its CPU
+  /// for `quantum` cycles and another process is ready. "The pre-emptive
+  /// scheduler can be used with the default or optimized scheduler."
+  bool preemptive = false;
+  Cycles quantum = 1'000'000;
+
+  /// Target-processor clock, used to convert cycles to seconds in reports.
+  double cpu_mhz = 133.0;  // the paper's 133 MHz PowerPC
+
+  void validate() const {
+    COMPASS_CHECK_MSG(num_cpus > 0, "num_cpus must be positive");
+    COMPASS_CHECK_MSG(num_nodes > 0 && num_cpus % num_nodes == 0,
+                      "num_cpus must divide evenly across num_nodes");
+    COMPASS_CHECK_MSG(batch_size >= 1, "batch_size must be >= 1");
+    COMPASS_CHECK_MSG(!preemptive || quantum > 0, "preemptive needs a quantum");
+  }
+
+  NodeId node_of_cpu(CpuId cpu) const {
+    return static_cast<NodeId>(cpu / (num_cpus / num_nodes));
+  }
+
+  double cycles_to_seconds(Cycles c) const {
+    return static_cast<double>(c) / (cpu_mhz * 1e6);
+  }
+};
+
+}  // namespace compass::core

@@ -1,0 +1,98 @@
+// The "CPU-states" data structure of the paper (§3.2).
+//
+// One record per simulated processor, held in shared memory (here: process
+// memory shared between the backend thread, frontend threads and OS-server
+// threads). Each CPU has an "interrupt request" flag and an "interrupt
+// enable" bit; the backend sets the request flag when a device model raises
+// an interrupt, and frontends check it on return from the event-port IPC.
+// A small descriptor queue carries *which* interrupts are pending so the
+// handler dispatch loop knows what to service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/types.h"
+
+namespace compass::core {
+
+/// Interrupt source numbers. Kernel code registers a handler per Irq.
+enum class Irq : std::uint32_t {
+  kTimer = 0,     ///< interval timer tick
+  kDisk = 1,      ///< disk request completion
+  kEthernetRx = 2,///< ethernet frame received
+  kEthernetTx = 3,///< ethernet transmit complete
+  kIpi = 4,       ///< inter-processor interrupt (resched)
+  kCount,
+};
+
+inline constexpr std::size_t kNumIrqs = static_cast<std::size_t>(Irq::kCount);
+
+/// Descriptor of one pending interrupt: which source, plus a device-chosen
+/// payload (typically the tag of the completed request).
+struct IrqDesc {
+  Irq irq = Irq::kTimer;
+  std::uint64_t payload = 0;
+  Cycles raised_at = 0;
+};
+
+/// Per-CPU shared state. The request flag is an atomic so frontends can poll
+/// it cheaply without taking the descriptor-queue mutex.
+class CpuState {
+ public:
+  /// Backend: queue a descriptor and set the request flag.
+  void raise(const IrqDesc& d) {
+    {
+      std::lock_guard lock(mu_);
+      pending_.push_back(d);
+    }
+    int_request_.store(true, std::memory_order_release);
+  }
+
+  /// Handler dispatch loop: pop the next pending interrupt. Clears the
+  /// request flag when the queue drains.
+  std::optional<IrqDesc> pop() {
+    std::lock_guard lock(mu_);
+    if (pending_.empty()) {
+      int_request_.store(false, std::memory_order_release);
+      return std::nullopt;
+    }
+    IrqDesc d = pending_.front();
+    pending_.pop_front();
+    if (pending_.empty()) int_request_.store(false, std::memory_order_release);
+    return d;
+  }
+
+  bool interrupt_requested() const {
+    return int_request_.load(std::memory_order_acquire);
+  }
+
+  /// Kernel critical sections disable interrupt delivery (AIX spl-style).
+  void set_interrupts_enabled(bool on) {
+    int_enable_.store(on, std::memory_order_release);
+  }
+  bool interrupts_enabled() const {
+    return int_enable_.load(std::memory_order_acquire);
+  }
+
+  /// True when an interrupt should be delivered right now.
+  bool deliverable() const {
+    return interrupt_requested() && interrupts_enabled();
+  }
+
+  std::size_t pending_count() const {
+    std::lock_guard lock(mu_);
+    return pending_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<IrqDesc> pending_;
+  std::atomic<bool> int_request_{false};
+  std::atomic<bool> int_enable_{true};
+};
+
+}  // namespace compass::core

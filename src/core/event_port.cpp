@@ -1,0 +1,97 @@
+#include "core/event_port.h"
+
+#include "core/communicator.h"
+
+namespace compass::core {
+
+EventPort::EventPort(ProcId proc, Communicator& comm)
+    : proc_(proc), comm_(comm) {}
+
+Reply EventPort::post_and_wait(std::span<const Event> batch) {
+  COMPASS_CHECK_MSG(!batch.empty(), "empty batch posted by proc " << proc_);
+  for (std::size_t i = 1; i < batch.size(); ++i)
+    COMPASS_CHECK_MSG(batch[i].time >= batch[i - 1].time,
+                      "event times must be nondecreasing (proc " << proc_ << ")");
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) {
+      Reply r;
+      r.aborted = true;
+      return r;
+    }
+    COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kEmpty,
+                      "double post on event port of proc " << proc_);
+    batch_.assign(batch.begin(), batch.end());
+    rebase_delta_ = 0;
+    pending_time_.store(batch_.front().time, std::memory_order_release);
+    state_.store(State::kPending, std::memory_order_release);
+  }
+  comm_.notify_backend();
+
+  // Give up the host-CPU permit while blocked waiting for the reply; this is
+  // the point where, on the paper's SMP host, the backend runs in parallel.
+  comm_.throttle().release();
+  Reply r;
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] {
+      return state_.load(std::memory_order_relaxed) == State::kReplied;
+    });
+    r = reply_;
+    state_.store(State::kEmpty, std::memory_order_release);
+  }
+  comm_.throttle().acquire();
+  return r;
+}
+
+std::span<const Event> EventPort::take_batch() {
+  COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kPending,
+                    "take_batch with no pending batch (proc " << proc_ << ")");
+  std::span<const Event> result;
+  if (rebase_delta_ != 0) {
+    rebased_.assign(batch_.begin(), batch_.end());
+    for (auto& e : rebased_) e.time += rebase_delta_;
+    result = rebased_;
+  } else {
+    result = batch_;
+  }
+  state_.store(State::kTaken, std::memory_order_release);
+  return result;
+}
+
+void EventPort::rebase_pending(Cycles new_base) {
+  COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kPending,
+                    "rebase with no pending batch (proc " << proc_ << ")");
+  const Cycles orig = batch_.front().time;
+  COMPASS_CHECK_MSG(new_base >= orig + rebase_delta_,
+                    "rebase must move the batch forward in time");
+  rebase_delta_ = new_base - orig;
+  pending_time_.store(new_base, std::memory_order_release);
+}
+
+void EventPort::reply(const Reply& r) {
+  COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kTaken,
+                    "reply to a batch that was not taken (proc " << proc_ << ")");
+  {
+    std::lock_guard lock(mu_);
+    reply_ = r;
+    state_.store(State::kReplied, std::memory_order_release);
+  }
+  cv_.notify_one();
+}
+
+void EventPort::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    const State s = state_.load(std::memory_order_acquire);
+    if (s == State::kPending || s == State::kTaken) {
+      reply_ = Reply{};
+      reply_.aborted = true;
+      state_.store(State::kReplied, std::memory_order_release);
+    }
+  }
+  cv_.notify_one();
+}
+
+}  // namespace compass::core

@@ -1,0 +1,102 @@
+// The event port: the shared-memory mailbox through which a frontend
+// process sends memory-reference events to the backend (paper Figure 2).
+//
+// Protocol (one batch in flight per port, frontend blocks until replied):
+//
+//   frontend: post_and_wait(batch)  ──►  [Pending]
+//   backend:  pick-min scan sees pending_time(); take_batch() ──► [Taken]
+//   backend:  ... simulate ... reply(r)                       ──► [Replied]
+//   frontend: wakes, returns r                                ──► [Empty]
+//
+// The backend may *defer* the reply after take_batch() (blocking OS calls,
+// processes waiting for a CPU): the frontend simply stays blocked — exactly
+// the paper's "which prevents the frontend process from proceeding".
+//
+// A batch is either (a) any number of kMemRef/kYield events — the
+// interleaving-granularity knob; the paper's basic-block granularity
+// corresponds to flushing at every reference — or (b) exactly one control
+// event. SimContext enforces this; the backend checks it.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/event.h"
+#include "core/host_throttle.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::core {
+
+class Communicator;
+
+class EventPort {
+ public:
+  EventPort(ProcId proc, Communicator& comm);
+
+  EventPort(const EventPort&) = delete;
+  EventPort& operator=(const EventPort&) = delete;
+
+  ProcId proc() const { return proc_; }
+
+  // ---- frontend side -------------------------------------------------
+
+  /// Post a batch and block until the backend replies. The batch must be
+  /// nonempty and events must be in nondecreasing time order.
+  Reply post_and_wait(std::span<const Event> batch);
+
+  // ---- backend side --------------------------------------------------
+
+  /// True when a batch is posted and not yet taken. Lock-free; pairs with
+  /// the release store in post_and_wait.
+  bool has_pending() const {
+    return state_.load(std::memory_order_acquire) == State::kPending;
+  }
+
+  /// Issue time of the first event of the pending batch, including any
+  /// preemption rebase applied by the backend. Only meaningful when
+  /// has_pending().
+  Cycles pending_time() const {
+    return pending_time_.load(std::memory_order_acquire);
+  }
+
+  /// Backend: claim the pending batch for processing. Returns the events
+  /// with the preemption rebase delta already folded into their times.
+  std::span<const Event> take_batch();
+
+  /// Backend: rebase the pending batch so its first event issues at
+  /// `new_base` (>= original time). Used when a preempted process is
+  /// rescheduled later: its already-posted references issue after the
+  /// context switch, not at their original cycle.
+  void rebase_pending(Cycles new_base);
+
+  /// Backend: complete the in-flight batch (taken or still pending —
+  /// replying to a pending batch is a protocol error).
+  void reply(const Reply& r);
+
+  /// Backend shutdown path: any in-flight batch is answered with an aborted
+  /// reply and all future posts return aborted immediately, letting frontend
+  /// threads unwind after a backend failure instead of hanging.
+  void close();
+
+ private:
+  enum class State { kEmpty, kPending, kTaken, kReplied };
+
+  const ProcId proc_;
+  Communicator& comm_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::atomic<State> state_{State::kEmpty};
+  std::atomic<Cycles> pending_time_{0};
+
+  std::vector<Event> batch_;     // written by frontend while kEmpty
+  std::vector<Event> rebased_;   // scratch for rebase_pending
+  Cycles rebase_delta_ = 0;      // backend-only; applied in take_batch
+  Reply reply_{};
+};
+
+}  // namespace compass::core

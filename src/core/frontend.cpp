@@ -1,0 +1,50 @@
+#include "core/frontend.h"
+
+namespace compass::core {
+
+Frontend::Frontend(Backend& backend, const std::string& name,
+                   SimContext::Options opts, Kind kind)
+    : backend_(backend),
+      name_(name),
+      id_(kind == Kind::kDaemon ? backend.add_daemon(name)
+                                : backend.add_process(name)) {
+  ctx_ = std::make_unique<SimContext>(backend_.communicator().port(id_),
+                                      ExecMode::kUser, opts);
+}
+
+Frontend::~Frontend() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Frontend::start(Body body) {
+  COMPASS_CHECK_MSG(!thread_.joinable(), "frontend " << name_ << " already started");
+  COMPASS_CHECK(body != nullptr);
+  thread_ = std::thread([this, body = std::move(body)] {
+    HostThrottle::Hold hold(backend_.communicator().throttle());
+    try {
+      ctx_->control(EventKind::kStart);
+      if (!ctx_->aborted()) body(*ctx_);
+    } catch (const SimAbortedError&) {
+      // Backend shutdown; not a workload failure.
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+    try {
+      ctx_->control(EventKind::kExit);
+    } catch (const SimAbortedError&) {
+    } catch (...) {
+      if (!error_) error_ = std::current_exception();
+    }
+  });
+}
+
+void Frontend::join() {
+  if (thread_.joinable()) thread_.join();
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace compass::core

@@ -1,0 +1,68 @@
+// Frontend: a simulated application process running on its own host thread.
+//
+// In the paper each simulated application process is a real UNIX process;
+// here it is a host thread executing arbitrary C++ workload code against a
+// SimContext. The lifecycle protocol:
+//
+//   thread start ──► post kStart, blocked until the backend's process
+//                    scheduler assigns a simulated CPU
+//   body(ctx)    ──► generates events; OS calls go through the router
+//   body returns ──► post kExit; backend frees the CPU
+//
+// A body exception is captured and rethrown from join(); backend aborts
+// (port closed) unwind silently.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/backend.h"
+#include "core/sim_context.h"
+
+namespace compass::core {
+
+class Frontend {
+ public:
+  using Body = std::function<void(SimContext&)>;
+
+  enum class Kind { kApp, kDaemon };
+
+  /// Registers a new process with the backend and creates its context.
+  /// Daemons (kernel service processes like netd) never terminate the
+  /// simulation; their bodies unwind via the port-close abort at shutdown.
+  Frontend(Backend& backend, const std::string& name,
+           SimContext::Options opts = {}, Kind kind = Kind::kApp);
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  ProcId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Context accessor for installing the OS-call router / interrupt hook
+  /// before start(). Not thread-safe once the thread runs.
+  SimContext& context() { return *ctx_; }
+
+  /// Spawn the host thread running `body`.
+  void start(Body body);
+
+  /// Wait for the thread; rethrows any workload exception (except
+  /// backend-abort unwinds, which are reported by aborted()).
+  void join();
+
+  bool aborted() const { return ctx_->aborted(); }
+
+ private:
+  Backend& backend_;
+  std::string name_;
+  ProcId id_;
+  std::unique_ptr<SimContext> ctx_;
+  std::thread thread_;
+  std::exception_ptr error_;
+};
+
+}  // namespace compass::core

@@ -1,0 +1,73 @@
+// Host-parallelism throttle for the slowdown experiments (paper §5).
+//
+// Table 2 measures COMPASS on a uniprocessor host where frontends, the OS
+// server and the backend time-share one CPU; Table 3 measures the same run
+// on a 4-way SMP where they overlap. HostThrottle emulates an N-way host on
+// any machine: every simulation thread must hold one of N permits while
+// executing and releases it whenever it blocks. With permits == 0 the
+// throttle is disabled (use all host CPUs).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace compass::core {
+
+class HostThrottle {
+ public:
+  /// permits == 0 disables throttling entirely.
+  explicit HostThrottle(int permits = 0) : permits_(permits), free_(permits) {
+    COMPASS_CHECK(permits >= 0);
+  }
+
+  bool enabled() const { return permits_ > 0; }
+
+  void acquire() {
+    if (!enabled()) return;
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return free_ > 0; });
+    --free_;
+  }
+
+  void release() {
+    if (!enabled()) return;
+    std::lock_guard lock(mu_);
+    ++free_;
+    COMPASS_CHECK(free_ <= permits_);
+    cv_.notify_one();
+  }
+
+  /// RAII: hold a permit for a scope (thread entry points).
+  class Hold {
+   public:
+    explicit Hold(HostThrottle& t) : t_(t) { t_.acquire(); }
+    ~Hold() { t_.release(); }
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+
+   private:
+    HostThrottle& t_;
+  };
+
+  /// RAII: give up the permit across a blocking wait, reacquire after.
+  class Yield {
+   public:
+    explicit Yield(HostThrottle& t) : t_(t) { t_.release(); }
+    ~Yield() { t_.acquire(); }
+    Yield(const Yield&) = delete;
+    Yield& operator=(const Yield&) = delete;
+
+   private:
+    HostThrottle& t_;
+  };
+
+ private:
+  const int permits_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int free_;
+};
+
+}  // namespace compass::core

@@ -1,0 +1,72 @@
+// Interfaces the backend simulation loop is parameterized over.
+//
+// The paper: "The backend simulation process simulates the target shared
+// memory multiprocessor architecture including several levels of caches,
+// memory buses, memory controllers, coherence controllers, network, and
+// physical devices... The simplest backend consists of only a one-level
+// cache per processor and the most complex backend models all the other
+// system components along with a two-level cache per processor."
+//
+// core depends only on these interfaces; concrete models live in mem/, os/
+// and dev/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/event.h"
+#include "core/types.h"
+
+namespace compass::core {
+
+/// Target memory-system model: maps a timed reference to a stall latency.
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  /// Simulate one memory reference issued by `proc` on `cpu` at cycle
+  /// `ev.time`; returns the stall latency in cycles.
+  virtual Cycles access(CpuId cpu, ProcId proc, const Event& ev) = 0;
+
+  /// Notification that the process scheduler switched `cpu` from `from` to
+  /// `to` (either may be kNoProc). Cache contents persist — this is what
+  /// makes the affinity scheduler matter — but models may account switches.
+  virtual void on_context_switch(CpuId cpu, ProcId from, ProcId to) {
+    (void)cpu;
+    (void)from;
+    (void)to;
+  }
+};
+
+/// Handler for kBackendCall events: category-2 OS services modeled inside
+/// the backend (shared-memory segment management, page placement, scheduler
+/// controls...). Call numbers are defined by the OS layer.
+class BackendCallHandler {
+ public:
+  virtual ~BackendCallHandler() = default;
+  virtual std::int64_t backend_call(ProcId proc, CpuId cpu, Cycles now,
+                                    std::span<const std::uint64_t, 4> args) = 0;
+};
+
+/// Handler for kDevRequest events: starts an asynchronous physical-device
+/// operation; returns a request tag. Completion is delivered later as an
+/// interrupt via Backend::raise_irq.
+class DeviceManager {
+ public:
+  virtual ~DeviceManager() = default;
+  virtual std::int64_t device_request(ProcId proc, CpuId cpu, Cycles now,
+                                      std::span<const std::uint64_t, 4> args) = 0;
+};
+
+/// Dispatches an interrupt raised on a CPU with no process running to a
+/// bottom-half runner thread (paper §3.1: "dedicated threads can be
+/// scheduled to simulate bottom half kernel activities").
+class IdleIrqDispatcher {
+ public:
+  virtual ~IdleIrqDispatcher() = default;
+  /// Backend has bound bottom-half pseudo-process `bh_proc` to `cpu` and
+  /// expects it to start posting (kIrqEnter ... kIrqExit) from cycle `when`.
+  virtual void dispatch_idle_irq(CpuId cpu, ProcId bh_proc, Cycles when) = 0;
+};
+
+}  // namespace compass::core

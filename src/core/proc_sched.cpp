@@ -1,0 +1,120 @@
+#include "core/proc_sched.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace compass::core {
+
+namespace {
+const std::set<CpuId> kEmptyHistory;
+}
+
+ProcessScheduler::ProcessScheduler(const SimConfig& cfg)
+    : cfg_(cfg),
+      on_cpu_(static_cast<std::size_t>(cfg.num_cpus), kNoProc),
+      reserved_(static_cast<std::size_t>(cfg.num_cpus), false) {}
+
+void ProcessScheduler::add_ready(ProcId proc) {
+  COMPASS_CHECK_MSG(!cpu_of_.contains(proc),
+                    "proc " << proc << " is already on a CPU");
+  COMPASS_CHECK_MSG(std::find(ready_.begin(), ready_.end(), proc) == ready_.end(),
+                    "proc " << proc << " is already ready");
+  ready_.push_back(proc);
+}
+
+void ProcessScheduler::release_cpu(ProcId proc) {
+  const auto it = cpu_of_.find(proc);
+  COMPASS_CHECK_MSG(it != cpu_of_.end(), "proc " << proc << " holds no CPU");
+  on_cpu_[static_cast<std::size_t>(it->second)] = kNoProc;
+  cpu_of_.erase(it);
+}
+
+void ProcessScheduler::reserve_cpu(CpuId cpu) {
+  COMPASS_CHECK(cpu >= 0 && cpu < cfg_.num_cpus);
+  COMPASS_CHECK_MSG(!reserved_[static_cast<std::size_t>(cpu)],
+                    "cpu " << cpu << " already reserved");
+  COMPASS_CHECK_MSG(on_cpu_[static_cast<std::size_t>(cpu)] == kNoProc,
+                    "cpu " << cpu << " is not idle");
+  reserved_[static_cast<std::size_t>(cpu)] = true;
+}
+
+void ProcessScheduler::unreserve_cpu(CpuId cpu) {
+  COMPASS_CHECK(cpu >= 0 && cpu < cfg_.num_cpus);
+  COMPASS_CHECK(reserved_[static_cast<std::size_t>(cpu)]);
+  reserved_[static_cast<std::size_t>(cpu)] = false;
+}
+
+void ProcessScheduler::remove(ProcId proc) {
+  if (cpu_of_.contains(proc)) release_cpu(proc);
+  const auto it = std::find(ready_.begin(), ready_.end(), proc);
+  if (it != ready_.end()) ready_.erase(it);
+  last_cpu_.erase(proc);
+  history_.erase(proc);
+}
+
+bool ProcessScheduler::cpu_free(CpuId cpu) const {
+  const auto i = static_cast<std::size_t>(cpu);
+  return on_cpu_[i] == kNoProc && !reserved_[i];
+}
+
+CpuId ProcessScheduler::pick_cpu_fcfs() const {
+  for (CpuId c = 0; c < cfg_.num_cpus; ++c)
+    if (cpu_free(c)) return c;
+  return kNoCpu;
+}
+
+CpuId ProcessScheduler::pick_cpu_affinity(ProcId proc) const {
+  // 1. The CPU it was using before it blocked.
+  if (const auto it = last_cpu_.find(proc); it != last_cpu_.end())
+    if (cpu_free(it->second)) return it->second;
+  // 2. Any CPU it has used before.
+  const auto hist = history_.find(proc);
+  if (hist != history_.end()) {
+    for (const CpuId c : hist->second)
+      if (cpu_free(c)) return c;
+    // 3. A CPU on the same node as a CPU it used before.
+    for (const CpuId used : hist->second) {
+      const NodeId node = cfg_.node_of_cpu(used);
+      for (CpuId c = 0; c < cfg_.num_cpus; ++c)
+        if (cfg_.node_of_cpu(c) == node && cpu_free(c)) return c;
+    }
+  }
+  // 4. Fall back to the first free CPU.
+  return pick_cpu_fcfs();
+}
+
+std::vector<std::pair<ProcId, CpuId>> ProcessScheduler::schedule() {
+  std::vector<std::pair<ProcId, CpuId>> out;
+  while (!ready_.empty()) {
+    const ProcId proc = ready_.front();
+    const CpuId cpu = cfg_.sched_policy == SchedPolicy::kAffinity
+                          ? pick_cpu_affinity(proc)
+                          : pick_cpu_fcfs();
+    if (cpu == kNoCpu) break;
+    ready_.pop_front();
+    on_cpu_[static_cast<std::size_t>(cpu)] = proc;
+    cpu_of_[proc] = cpu;
+    last_cpu_[proc] = cpu;
+    history_[proc].insert(cpu);
+    out.emplace_back(proc, cpu);
+  }
+  return out;
+}
+
+CpuId ProcessScheduler::cpu_of(ProcId proc) const {
+  const auto it = cpu_of_.find(proc);
+  return it == cpu_of_.end() ? kNoCpu : it->second;
+}
+
+ProcId ProcessScheduler::proc_on(CpuId cpu) const {
+  COMPASS_CHECK(cpu >= 0 && cpu < cfg_.num_cpus);
+  return on_cpu_[static_cast<std::size_t>(cpu)];
+}
+
+const std::set<CpuId>& ProcessScheduler::history(ProcId proc) const {
+  const auto it = history_.find(proc);
+  return it == history_.end() ? kEmptyHistory : it->second;
+}
+
+}  // namespace compass::core

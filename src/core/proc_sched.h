@@ -1,0 +1,73 @@
+// The backend process scheduler (paper §3.3.2) — a category-2 OS function.
+//
+// "This process scheduler keeps a mapping of processes and their associated
+// processors. If there are more processes than processors in the system,
+// then certain processes will not be assigned a processor, and that process
+// will be blocked. ... Processors become available as the processes assigned
+// to them execute blocking OS calls."
+//
+// Two placement policies:
+//  * FCFS ("default"): a process is assigned the first available processor.
+//  * Affinity ("optimized"): prefer the processor the process was using
+//    before it blocked, then any processor it has used before, then a
+//    processor on the same node as one it used before, then any free one.
+// Preemption is driven by the backend (quantum expiry) and composes with
+// either policy, as in the paper.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/types.h"
+
+namespace compass::core {
+
+class ProcessScheduler {
+ public:
+  ProcessScheduler(const SimConfig& cfg);
+
+  /// A process wants a CPU (new, unblocked, or preempted). FIFO order is
+  /// preserved across schedule() calls.
+  void add_ready(ProcId proc);
+
+  /// Free the CPU held by `proc` (blocking call, preemption, or exit).
+  void release_cpu(ProcId proc);
+
+  /// Reserve `cpu` for bottom-half interrupt processing; it will not be
+  /// handed to ready processes until released.
+  void reserve_cpu(CpuId cpu);
+  void unreserve_cpu(CpuId cpu);
+
+  /// Remove an exited process from all bookkeeping.
+  void remove(ProcId proc);
+
+  /// Assign free CPUs to ready processes according to the policy. Returns
+  /// the new (proc, cpu) pairs in assignment order.
+  std::vector<std::pair<ProcId, CpuId>> schedule();
+
+  CpuId cpu_of(ProcId proc) const;
+  ProcId proc_on(CpuId cpu) const;
+  bool has_ready() const { return !ready_.empty(); }
+  std::size_t ready_count() const { return ready_.size(); }
+  bool cpu_free(CpuId cpu) const;
+
+  /// CPUs `proc` has ever run on (affinity history).
+  const std::set<CpuId>& history(ProcId proc) const;
+
+ private:
+  CpuId pick_cpu_fcfs() const;
+  CpuId pick_cpu_affinity(ProcId proc) const;
+
+  const SimConfig cfg_;
+  std::vector<ProcId> on_cpu_;       // per-CPU: running proc or kNoProc
+  std::vector<bool> reserved_;       // per-CPU: held by bottom half
+  std::deque<ProcId> ready_;
+  std::map<ProcId, CpuId> cpu_of_;   // only procs currently on a CPU
+  std::map<ProcId, CpuId> last_cpu_; // most recent CPU of each proc
+  std::map<ProcId, std::set<CpuId>> history_;
+};
+
+}  // namespace compass::core

@@ -1,0 +1,64 @@
+// The global event scheduler of the backend simulation process (paper §2):
+// a time-ordered queue of tasks. "When the event information is received by
+// the backend, the backend creates a task and inserts it in the global event
+// scheduler with a time stamp indicating at which global simulation cycle
+// the task is to be dispatched. ... Functions may cause additional tasks to
+// be generated and placed in the global event queue."
+//
+// Only the backend thread touches the scheduler; no locking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::core {
+
+class GlobalScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  /// Insert a task to run at absolute simulated cycle `when`. Tasks with
+  /// equal timestamps run in insertion order.
+  void schedule_at(Cycles when, Task task) {
+    COMPASS_CHECK(task != nullptr);
+    queue_.push(Entry{when, seq_++, std::move(task)});
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Timestamp of the earliest task; kNeverCycles when empty.
+  Cycles next_time() const {
+    return queue_.empty() ? kNeverCycles : queue_.top().when;
+  }
+
+  /// Pop and return the earliest task. Precondition: !empty().
+  std::pair<Cycles, Task> pop_next() {
+    COMPASS_CHECK(!queue_.empty());
+    // priority_queue::top() is const; the task is moved out via const_cast,
+    // which is safe because the entry is popped immediately after.
+    auto& top = const_cast<Entry&>(queue_.top());
+    std::pair<Cycles, Task> result{top.when, std::move(top.task)};
+    queue_.pop();
+    return result;
+  }
+
+ private:
+  struct Entry {
+    Cycles when;
+    std::uint64_t seq;
+    Task task;
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace compass::core

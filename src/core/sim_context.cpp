@@ -1,0 +1,132 @@
+#include "core/sim_context.h"
+
+#include <exception>
+
+namespace compass::core {
+
+SimContext::SimContext(EventPort& port, ExecMode mode, Options opts)
+    : port_(&port), mode_(mode), opts_(opts) {
+  COMPASS_CHECK(opts_.batch_size >= 1);
+  batch_.reserve(static_cast<std::size_t>(opts_.batch_size));
+}
+
+SimContext::SimContext() = default;
+
+void SimContext::compute(Cycles c) {
+  if (!sim_enabled() || aborted_) return;
+  time_ += c;
+  compute_since_event_ += c;
+  if (compute_since_event_ >= opts_.yield_threshold) {
+    // Let the backend advance global time / deliver interrupts during long
+    // CPU bursts with no memory traffic.
+    Event e;
+    e.kind = EventKind::kYield;
+    e.mode = mode_;
+    e.time = time_;
+    append(e);
+    flush();
+  }
+}
+
+void SimContext::load(Addr a, std::uint32_t size) {
+  if (!sim_enabled() || aborted_) return;
+  append(Event::mem_ref(mode_, RefType::kLoad, a, size, time_));
+}
+
+void SimContext::store(Addr a, std::uint32_t size) {
+  if (!sim_enabled() || aborted_) return;
+  append(Event::mem_ref(mode_, RefType::kStore, a, size, time_));
+}
+
+void SimContext::sync_ref(Addr a, std::uint32_t size) {
+  if (!sim_enabled() || aborted_) return;
+  append(Event::mem_ref(mode_, RefType::kSync, a, size, time_));
+  flush();
+}
+
+void SimContext::append(Event ev) {
+  batch_.push_back(ev);
+  if (batch_.size() >= static_cast<std::size_t>(opts_.batch_size)) flush();
+}
+
+void SimContext::flush() {
+  if (batch_.empty() || aborted_) return;
+  const Reply r = post_batch();
+  handle_reply(r);
+}
+
+Reply SimContext::post_batch() {
+  COMPASS_CHECK(attached());
+  const Reply r = port_->post_and_wait(batch_);
+  batch_.clear();
+  compute_since_event_ = 0;
+  return r;
+}
+
+void SimContext::handle_reply(const Reply& r) {
+  if (r.aborted) {
+    // Throw at the moment the abort is first observed: this unwinds
+    // kernel/workload code through its RAII guards. Afterwards the context
+    // is inert (every primitive no-ops). Never throw while another
+    // exception is unwinding (cleanup paths post events too).
+    aborted_ = true;
+    if (std::uncaught_exceptions() == 0) throw SimAbortedError();
+    return;
+  }
+  if (r.resume_time > time_) time_ = r.resume_time;
+  if (r.cpu != kNoCpu) cpu_ = r.cpu;
+  if (r.interrupt_pending) {
+    if (defer_depth_ > 0)
+      deferred_interrupt_ = true;
+    else
+      maybe_run_interrupt_hook();
+  }
+}
+
+void SimContext::maybe_run_interrupt_hook() {
+  if (!int_hook_ || in_int_hook_ || aborted_) return;
+  in_int_hook_ = true;
+  try {
+    int_hook_(*this);
+  } catch (...) {
+    in_int_hook_ = false;
+    throw;
+  }
+  in_int_hook_ = false;
+}
+
+SimContext::InterruptDeferral::~InterruptDeferral() {
+  if (--ctx_.defer_depth_ == 0 && ctx_.deferred_interrupt_) {
+    ctx_.deferred_interrupt_ = false;
+    ctx_.maybe_run_interrupt_hook();
+  }
+}
+
+std::int64_t SimContext::control(EventKind kind, std::uint64_t a0,
+                                 std::uint64_t a1, std::uint64_t a2,
+                                 std::uint64_t a3) {
+  if (!attached() || aborted_) return 0;
+  flush();
+  if (aborted_) return 0;
+  const Event ev = Event::control(kind, mode_, time_, a0, a1, a2, a3);
+  batch_.push_back(ev);
+  const Reply r = post_batch();
+  handle_reply(r);
+  return r.retval;
+}
+
+std::int64_t SimContext::oscall(std::uint32_t sysno,
+                                std::span<const std::int64_t> args) {
+  COMPASS_CHECK_MSG(router_ != nullptr,
+                    "oscall " << sysno << " with no OS-call router installed");
+  return router_(*this, sysno, args);
+}
+
+void SimContext::set_time(Cycles t) {
+  COMPASS_CHECK_MSG(batch_.empty(),
+                    "set_time with buffered references would corrupt timing");
+  time_ = t;
+  compute_since_event_ = 0;
+}
+
+}  // namespace compass::core

@@ -1,0 +1,199 @@
+// SimContext: the frontend-side instrumentation interface.
+//
+// In COMPASS the instrumentor inserts assembly after each basic block and
+// memory reference that (a) accumulates the process's execution-time value
+// and (b) fills an event record and passes it to the backend via the event
+// port. SimContext is that inserted code as an API: workload code (and the
+// instrumented kernel code in the OS server) calls compute()/load()/store()
+// instead of being binary-rewritten. The synthetic-ISA interpreter in
+// src/isa drives the same API from basic-block programs.
+//
+// A SimContext is either *attached* to an event port (simulating) or
+// *detached* (the paper's "raw" run / simulation-OFF binary): detached
+// contexts make every primitive a no-op so workloads run at native speed.
+//
+// The simulation ON/OFF switch (paper §5) is set_sim_enabled(): with
+// instrumentation off, references and compute generate no events and no
+// time, matching the paper's selective instrumentation of "interesting"
+// code regions. The per-process event-generation control flag used for
+// signal handlers and static constructors (paper §4.1) is the same switch.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_port.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::core {
+
+/// Thrown (once) inside frontend/kernel code when the backend aborted; the
+/// thread unwinds through its RAII guards and the Frontend swallows it.
+class SimAbortedError : public util::SimError {
+ public:
+  SimAbortedError() : util::SimError("simulation aborted") {}
+};
+
+struct SimContextOptions {
+  /// Memory references per event-port post. 1 = the paper's
+  /// reference-granularity synchronization.
+  int batch_size = 1;
+  /// Post a kYield when this much compute accumulates without any memory
+  /// reference, so global time advances and interrupts get delivered.
+  Cycles yield_threshold = 20'000;
+};
+
+class SimContext {
+ public:
+  using Options = SimContextOptions;
+
+  /// Routes an OS call either to the OS server (category 1, via the OS
+  /// port) or to the backend (category 2) — installed by the OS layer.
+  using OscallRouter = std::function<std::int64_t(
+      SimContext&, std::uint32_t sysno, std::span<const std::int64_t> args)>;
+
+  /// Invoked when a reply carries interrupt_pending: user-mode contexts
+  /// forward a pseudo interrupt request to their OS thread, kernel-mode
+  /// contexts run the handler inline (paper §3.2).
+  using InterruptHook = std::function<void(SimContext&)>;
+
+  /// Attached context bound to an event port.
+  SimContext(EventPort& port, ExecMode mode, Options opts = {});
+  /// Detached context: all primitives are no-ops (raw runs).
+  SimContext();
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  bool attached() const { return port_ != nullptr; }
+  ProcId proc() const { return port_ != nullptr ? port_->proc() : kNoProc; }
+  /// The simulated CPU this process was on at its last reply.
+  CpuId cpu() const { return cpu_; }
+
+  // ---- instrumentation primitives --------------------------------------
+
+  /// Advance the execution-time value by `c` cycles of computation.
+  void compute(Cycles c);
+  /// Record a data load of `size` bytes at virtual address `a`.
+  void load(Addr a, std::uint32_t size);
+  /// Record a data store.
+  void store(Addr a, std::uint32_t size);
+  /// Record a synchronizing access (atomic RMW); flushes immediately so
+  /// lock interleavings are simulated at full fidelity.
+  void sync_ref(Addr a, std::uint32_t size);
+  /// Post any buffered references now.
+  void flush();
+
+  // ---- control events ---------------------------------------------------
+
+  /// Flush, then post one control event and return its reply value.
+  std::int64_t control(EventKind kind, std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+                       std::uint64_t a2 = 0, std::uint64_t a3 = 0);
+
+  void os_enter(std::uint32_t sysno) { control(EventKind::kOsEnter, sysno); }
+  void os_exit() { control(EventKind::kOsExit); }
+  void irq_enter(std::uint32_t irq) { control(EventKind::kIrqEnter, irq); }
+  void irq_exit() { control(EventKind::kIrqExit); }
+  /// Sleep on a wait channel until a wakeup arrives (or consume a stored
+  /// permit). Returns immediately in detached contexts.
+  void block_on(WaitChannel ch) { control(EventKind::kBlock, ch); }
+  /// Post `count` wakeups to a channel.
+  void wakeup(WaitChannel ch, std::uint64_t count = 1) {
+    control(EventKind::kWakeup, ch, count);
+  }
+  std::int64_t dev_request(std::uint64_t a0, std::uint64_t a1 = 0,
+                           std::uint64_t a2 = 0, std::uint64_t a3 = 0) {
+    return control(EventKind::kDevRequest, a0, a1, a2, a3);
+  }
+  std::int64_t backend_call(std::uint64_t a0, std::uint64_t a1 = 0,
+                            std::uint64_t a2 = 0, std::uint64_t a3 = 0) {
+    return control(EventKind::kBackendCall, a0, a1, a2, a3);
+  }
+
+  // ---- OS calls ----------------------------------------------------------
+
+  /// Invoke an OS call through the installed router (the COMPASS OS stub).
+  std::int64_t oscall(std::uint32_t sysno, std::span<const std::int64_t> args);
+  std::int64_t oscall(std::uint32_t sysno, std::initializer_list<std::int64_t> args) {
+    return oscall(sysno, std::span<const std::int64_t>(args.begin(), args.size()));
+  }
+  void set_oscall_router(OscallRouter router) { router_ = std::move(router); }
+
+  // ---- execution-time / mode management ----------------------------------
+
+  Cycles time() const { return time_; }
+  /// Rebase the execution-time value; used when the OS thread picks up this
+  /// process's CPU (OS-call handoff) and when handlers start.
+  void set_time(Cycles t);
+  ExecMode mode() const { return mode_; }
+  void set_mode(ExecMode m) { mode_ = m; }
+
+  // ---- simulation ON/OFF switch -------------------------------------------
+
+  bool sim_enabled() const { return attached() && sim_enabled_; }
+  void set_sim_enabled(bool on) { sim_enabled_ = on; }
+
+  /// RAII region with instrumentation disabled (signal handlers, static
+  /// constructors, uninteresting code).
+  class SimOff {
+   public:
+    explicit SimOff(SimContext& ctx) : ctx_(ctx), prev_(ctx.sim_enabled_) {
+      ctx_.sim_enabled_ = false;
+    }
+    ~SimOff() { ctx_.sim_enabled_ = prev_; }
+    SimOff(const SimOff&) = delete;
+    SimOff& operator=(const SimOff&) = delete;
+
+   private:
+    SimContext& ctx_;
+    bool prev_;
+  };
+
+  // ---- interrupt delivery --------------------------------------------------
+
+  void set_interrupt_hook(InterruptHook hook) { int_hook_ = std::move(hook); }
+
+  /// RAII region during which the interrupt hook is not invoked (e.g. while
+  /// the OS-call stub owns the OS port); a deferred interrupt fires on exit.
+  class InterruptDeferral {
+   public:
+    explicit InterruptDeferral(SimContext& ctx) : ctx_(ctx) { ++ctx_.defer_depth_; }
+    ~InterruptDeferral();
+    InterruptDeferral(const InterruptDeferral&) = delete;
+    InterruptDeferral& operator=(const InterruptDeferral&) = delete;
+
+   private:
+    SimContext& ctx_;
+  };
+
+  /// True once the backend aborted; all primitives become no-ops.
+  bool aborted() const { return aborted_; }
+
+ private:
+  void append(Event ev);
+  Reply post_batch();
+  void handle_reply(const Reply& r);
+  void maybe_run_interrupt_hook();
+
+  EventPort* port_ = nullptr;
+  ExecMode mode_ = ExecMode::kUser;
+  Options opts_;
+  OscallRouter router_;
+  InterruptHook int_hook_;
+
+  Cycles time_ = 0;
+  CpuId cpu_ = kNoCpu;
+  Cycles compute_since_event_ = 0;
+  std::vector<Event> batch_;
+  bool sim_enabled_ = true;
+  bool aborted_ = false;
+  bool in_int_hook_ = false;
+  int defer_depth_ = 0;
+  bool deferred_interrupt_ = false;
+};
+
+}  // namespace compass::core

@@ -1,0 +1,66 @@
+// Fundamental simulator-wide types.
+//
+// Header-only and dependency-free: every COMPASS library includes this.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace compass {
+
+/// Simulated time in target-processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Simulated (virtual or physical) memory address.
+using Addr = std::uint64_t;
+
+/// Identifier of a simulated application process (frontend).
+using ProcId = std::int32_t;
+
+/// Identifier of a simulated (virtual) processor.
+using CpuId = std::int32_t;
+
+/// Identifier of a NUMA node in the complex backend.
+using NodeId = std::int32_t;
+
+inline constexpr ProcId kNoProc = -1;
+inline constexpr CpuId kNoCpu = -1;
+inline constexpr Cycles kNeverCycles = ~Cycles{0};
+
+/// The kind of a memory reference, as recorded by the instrumentation code
+/// the paper inserts after each memory-reference instruction.
+enum class RefType : std::uint8_t {
+  kLoad,   ///< data load
+  kStore,  ///< data store
+  kSync,   ///< synchronizing access (atomic RMW / lock primitive)
+};
+
+/// Which execution mode generated a memory reference / burned cycles.
+/// Mirrors the paper's Table 1 columns: user, kernel, interrupt handlers.
+enum class ExecMode : std::uint8_t {
+  kUser,       ///< application process code
+  kKernel,     ///< OS-server kernel service code (category 1 OS calls)
+  kInterrupt,  ///< interrupt handler / bottom-half code
+  kIdle,       ///< no process scheduled on the CPU
+};
+
+inline constexpr std::string_view to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::kUser: return "user";
+    case ExecMode::kKernel: return "kernel";
+    case ExecMode::kInterrupt: return "interrupt";
+    case ExecMode::kIdle: return "idle";
+  }
+  return "?";
+}
+
+inline constexpr std::string_view to_string(RefType t) {
+  switch (t) {
+    case RefType::kLoad: return "load";
+    case RefType::kStore: return "store";
+    case RefType::kSync: return "sync";
+  }
+  return "?";
+}
+
+}  // namespace compass

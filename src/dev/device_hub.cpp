@@ -1,0 +1,71 @@
+#include "dev/device_hub.h"
+
+namespace compass::dev {
+
+DeviceHub::DeviceHub(const DeviceHubConfig& cfg, stats::StatsRegistry* stats)
+    : cfg_(cfg),
+      eth_(cfg.eth, stats),
+      clock_(cfg.timer_interval, cfg.timer_per_cpu) {
+  COMPASS_CHECK(cfg_.num_disks >= 1);
+  for (int d = 0; d < cfg_.num_disks; ++d)
+    disks_.push_back(std::make_unique<Disk>(d, cfg_.disk, stats));
+}
+
+void DeviceHub::bind(core::Backend& backend) {
+  COMPASS_CHECK_MSG(backend_ == nullptr, "DeviceHub already bound");
+  backend_ = &backend;
+  clock_.start(backend);
+}
+
+Disk& DeviceHub::disk(int id) {
+  COMPASS_CHECK_MSG(id >= 0 && id < num_disks(), "no disk " << id);
+  return *disks_[static_cast<std::size_t>(id)];
+}
+
+void DeviceHub::deliver_rx_frame(std::vector<std::uint8_t> frame) {
+  COMPASS_CHECK(backend_ != nullptr);
+  const Cycles when = backend_->now() + cfg_.rx_wire_delay;
+  backend_->scheduler().schedule_at(
+      when, [this, frame = std::move(frame)]() mutable {
+        const std::uint64_t id = eth_.inject_rx(std::move(frame));
+        backend_->raise_irq(backend_->pick_irq_cpu(),
+                            core::IrqDesc{core::Irq::kEthernetRx, id, 0});
+      });
+}
+
+std::int64_t DeviceHub::device_request(ProcId, CpuId, Cycles now,
+                                       std::span<const std::uint64_t, 4> args) {
+  COMPASS_CHECK(backend_ != nullptr);
+  switch (static_cast<DevOp>(args[0])) {
+    case DevOp::kDiskRead:
+    case DevOp::kDiskWrite: {
+      const bool write = static_cast<DevOp>(args[0]) == DevOp::kDiskWrite;
+      const std::uint64_t block = args[1];
+      const int disk_id = static_cast<int>(args[2] >> 32);
+      const auto nblocks = static_cast<std::uint32_t>(args[2]);
+      const std::uint64_t tag = args[3];
+      const Cycles done = disk(disk_id).submit(block, nblocks, write, now);
+      backend_->scheduler().schedule_at(done, [this, tag] {
+        backend_->raise_irq(backend_->pick_irq_cpu(),
+                            core::IrqDesc{core::Irq::kDisk, tag, 0});
+      });
+      return static_cast<std::int64_t>(done - now);
+    }
+    case DevOp::kEthTx: {
+      const std::uint64_t id = args[1];
+      const std::uint64_t tag = args[3];
+      const Cycles done = eth_.transmit(id, now);
+      // Every transmit completion interrupts (descriptor reclaim); the
+      // handler additionally wakes `tag` when the sender asked for it.
+      backend_->scheduler().schedule_at(done, [this, tag] {
+        backend_->raise_irq(backend_->pick_irq_cpu(),
+                            core::IrqDesc{core::Irq::kEthernetTx, tag, 0});
+      });
+      return static_cast<std::int64_t>(done - now);
+    }
+  }
+  COMPASS_CHECK_MSG(false, "unknown device op " << args[0]);
+  return -1;
+}
+
+}  // namespace compass::dev

@@ -1,0 +1,68 @@
+// DeviceHub: the backend's physical-device complex — disks, the Ethernet
+// NIC and the real-time clock — implementing core::DeviceManager.
+//
+// Kernel code requests asynchronous operations with kDevRequest events; the
+// hub models their timing and delivers completions as interrupts whose
+// descriptor payload carries the requester-chosen tag (conventionally the
+// wait channel of the sleeping process or the staged-frame id).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/memory_system.h"
+#include "dev/disk.h"
+#include "dev/ethernet.h"
+#include "dev/rtclock.h"
+
+namespace compass::dev {
+
+/// Operation selector in kDevRequest arg[0].
+enum class DevOp : std::uint64_t {
+  /// arg[1]=block, arg[2]=(disk_id<<32)|nblocks, arg[3]=completion tag.
+  kDiskRead = 1,
+  kDiskWrite = 2,
+  /// arg[1]=staged tx frame id, arg[3]=optional tx-complete tag (0 = none).
+  kEthTx = 3,
+};
+
+struct DeviceHubConfig {
+  int num_disks = 1;
+  DiskConfig disk;
+  EthernetConfig eth;
+  /// Interval-timer period in cycles (0 = off).
+  Cycles timer_interval = 0;
+  bool timer_per_cpu = false;
+  /// Wire propagation delay for injected rx frames.
+  Cycles rx_wire_delay = 1'000;
+};
+
+class DeviceHub : public core::DeviceManager {
+ public:
+  DeviceHub(const DeviceHubConfig& cfg, stats::StatsRegistry* stats = nullptr);
+
+  /// Attach to the backend and start the clock. Call before Backend::run().
+  void bind(core::Backend& backend);
+
+  Disk& disk(int id);
+  Ethernet& ethernet() { return eth_; }
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+
+  /// Deliver a frame from the wire to the host NIC after the configured
+  /// wire delay: stages it and raises kEthernetRx with the rx id as
+  /// payload. Backend-thread only (call from scheduler tasks / on_tx).
+  void deliver_rx_frame(std::vector<std::uint8_t> frame);
+
+  std::int64_t device_request(ProcId proc, CpuId cpu, Cycles now,
+                              std::span<const std::uint64_t, 4> args) override;
+
+ private:
+  DeviceHubConfig cfg_;
+  core::Backend* backend_ = nullptr;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  Ethernet eth_;
+  RtClock clock_;
+};
+
+}  // namespace compass::dev

@@ -1,0 +1,44 @@
+#include "dev/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace compass::dev {
+
+Disk::Disk(int id, const DiskConfig& cfg, stats::StatsRegistry* stats)
+    : id_(id), cfg_(cfg) {
+  if (stats != nullptr) {
+    const std::string prefix = "disk" + std::to_string(id) + ".";
+    reads_ = &stats->counter(prefix + "reads");
+    writes_ = &stats->counter(prefix + "writes");
+    blocks_ = &stats->counter(prefix + "blocks");
+    latency_ = &stats->histogram(prefix + "latency");
+  }
+}
+
+Cycles Disk::service_time(std::uint64_t block, std::uint32_t nblocks) const {
+  const std::uint64_t distance =
+      block > last_block_ ? block - last_block_ : last_block_ - block;
+  const auto seek = std::min(
+      cfg_.seek_max,
+      static_cast<Cycles>(cfg_.seek_per_block * static_cast<double>(distance)));
+  return cfg_.fixed_overhead + seek + cfg_.rotational_avg +
+         static_cast<Cycles>(nblocks) * cfg_.per_block_transfer;
+}
+
+Cycles Disk::submit(std::uint64_t block, std::uint32_t nblocks, bool write,
+                    Cycles now) {
+  COMPASS_CHECK_MSG(nblocks > 0, "disk request with zero blocks");
+  const Cycles start = std::max(now, busy_until_);
+  const Cycles done = start + service_time(block, nblocks);
+  busy_until_ = done;
+  last_block_ = block + nblocks;
+  if (reads_ != nullptr) {
+    (write ? *writes_ : *reads_).inc();
+    blocks_->inc(nblocks);
+    latency_->record(done - now);
+  }
+  return done;
+}
+
+}  // namespace compass::dev

@@ -1,0 +1,53 @@
+// Hard-disk-drive timing model (paper §3.4).
+//
+// The disk only models *timing* (seek + rotation + transfer + FIFO
+// queueing); data content lives in the file-system model, which copies it
+// during the completion interrupt handler so the memory traffic of the copy
+// is simulated as kernel references.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "stats/counters.h"
+#include "util/check.h"
+
+namespace compass::dev {
+
+struct DiskConfig {
+  std::uint32_t block_size = 4096;
+  /// Fixed controller/command overhead per request.
+  Cycles fixed_overhead = 20'000;
+  /// Seek cost per unit of block distance from the previous request.
+  double seek_per_block = 0.02;
+  Cycles seek_max = 1'500'000;     ///< full-stroke seek bound
+  Cycles rotational_avg = 400'000; ///< half-rotation average latency
+  Cycles per_block_transfer = 30'000;
+};
+
+class Disk {
+ public:
+  Disk(int id, const DiskConfig& cfg, stats::StatsRegistry* stats = nullptr);
+
+  /// Submit a request at `now`; returns the absolute completion cycle.
+  /// Requests are serviced FIFO: a busy disk queues the new request.
+  Cycles submit(std::uint64_t block, std::uint32_t nblocks, bool write,
+                Cycles now);
+
+  int id() const { return id_; }
+  const DiskConfig& config() const { return cfg_; }
+
+ private:
+  Cycles service_time(std::uint64_t block, std::uint32_t nblocks) const;
+
+  int id_;
+  DiskConfig cfg_;
+  Cycles busy_until_ = 0;
+  std::uint64_t last_block_ = 0;
+  stats::Counter* reads_ = nullptr;
+  stats::Counter* writes_ = nullptr;
+  stats::Counter* blocks_ = nullptr;
+  stats::Histogram* latency_ = nullptr;
+};
+
+}  // namespace compass::dev

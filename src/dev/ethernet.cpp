@@ -1,0 +1,76 @@
+#include "dev/ethernet.h"
+
+#include <algorithm>
+
+namespace compass::dev {
+
+Ethernet::Ethernet(const EthernetConfig& cfg, stats::StatsRegistry* stats)
+    : cfg_(cfg) {
+  COMPASS_CHECK(cfg_.bytes_per_cycle > 0);
+  if (stats != nullptr) {
+    tx_frames_ = &stats->counter("eth.tx_frames");
+    tx_bytes_ = &stats->counter("eth.tx_bytes");
+    rx_frames_ = &stats->counter("eth.rx_frames");
+    rx_bytes_ = &stats->counter("eth.rx_bytes");
+  }
+}
+
+std::uint64_t Ethernet::stage_tx(std::vector<std::uint8_t> frame) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_tx_id_++;
+  tx_staged_.emplace(id, std::move(frame));
+  return id;
+}
+
+std::vector<std::uint8_t> Ethernet::take_next_rx() {
+  std::lock_guard lock(mu_);
+  COMPASS_CHECK_MSG(!rx_ring_.empty(), "rx ring empty");
+  std::vector<std::uint8_t> frame = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  return frame;
+}
+
+Cycles Ethernet::transmit(std::uint64_t id, Cycles now) {
+  std::vector<std::uint8_t> frame;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = tx_staged_.find(id);
+    COMPASS_CHECK_MSG(it != tx_staged_.end(), "no staged tx frame " << id);
+    frame = std::move(it->second);
+    tx_staged_.erase(it);
+  }
+  const auto wire_time = static_cast<Cycles>(
+      static_cast<double>(frame.size()) / cfg_.bytes_per_cycle);
+  const Cycles start = std::max(now + cfg_.tx_overhead, busy_until_);
+  const Cycles done = start + wire_time;
+  busy_until_ = done;
+  if (tx_frames_ != nullptr) {
+    tx_frames_->inc();
+    tx_bytes_->inc(frame.size());
+  }
+  if (wire_ != nullptr) wire_->on_tx(std::move(frame), done);
+  return done;
+}
+
+std::uint64_t Ethernet::inject_rx(std::vector<std::uint8_t> frame) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_rx_seq_++;
+  if (rx_frames_ != nullptr) {
+    rx_frames_->inc();
+    rx_bytes_->inc(frame.size());
+  }
+  rx_ring_.push_back(std::move(frame));
+  return id;
+}
+
+std::size_t Ethernet::pending_tx() const {
+  std::lock_guard lock(mu_);
+  return tx_staged_.size();
+}
+
+std::size_t Ethernet::pending_rx() const {
+  std::lock_guard lock(mu_);
+  return rx_ring_.size();
+}
+
+}  // namespace compass::dev

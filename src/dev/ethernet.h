@@ -1,0 +1,85 @@
+// Ethernet NIC model (paper §3.4).
+//
+// TX: kernel code builds a frame (from mbufs), stages its bytes with the
+// NIC, then posts a kDevRequest; the backend models wire time and hands the
+// frame to the attached Wire (the modeled client network / trace player).
+// RX: the Wire injects frames; each arrival raises an kEthernetRx interrupt
+// whose payload identifies the staged frame, which the kernel's interrupt
+// handler collects into mbufs.
+//
+// Staged payloads are keyed by id so that event-order (deterministic)
+// drives processing, independent of host-thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "stats/counters.h"
+#include "util/check.h"
+
+namespace compass::dev {
+
+struct EthernetConfig {
+  double bytes_per_cycle = 0.1;   ///< ~10 Mbit/s at 100 MHz ≈ 0.0125; default faster
+  Cycles tx_overhead = 4'000;     ///< driver + DMA setup per frame
+  std::uint32_t mtu = 1500;
+};
+
+/// Consumer of transmitted frames (client model / trace player / loopback).
+class Wire {
+ public:
+  virtual ~Wire() = default;
+  /// A frame finished transmitting at simulated cycle `done`.
+  virtual void on_tx(std::vector<std::uint8_t> frame, Cycles done) = 0;
+};
+
+class Ethernet {
+ public:
+  Ethernet(const EthernetConfig& cfg, stats::StatsRegistry* stats = nullptr);
+
+  void set_wire(Wire* wire) { wire_ = wire; }
+  const EthernetConfig& config() const { return cfg_; }
+
+  // ---- kernel side (any thread) -----------------------------------------
+
+  /// Stage an outgoing frame; returns the id to pass in the kDevRequest.
+  std::uint64_t stage_tx(std::vector<std::uint8_t> frame);
+  /// Dequeue the oldest received frame (the rx ring is FIFO in injection
+  /// order, which the backend fills deterministically; the network-input
+  /// daemon consumes one frame per rx-interrupt wakeup).
+  std::vector<std::uint8_t> take_next_rx();
+
+  // ---- backend side -------------------------------------------------------
+
+  /// Model the transmission of staged frame `id` starting at `now`; calls
+  /// the wire at completion and returns the completion cycle.
+  Cycles transmit(std::uint64_t id, Cycles now);
+
+  /// Inject a frame from the wire into the rx ring; returns the rx
+  /// sequence number carried in the interrupt payload (ring bookkeeping).
+  std::uint64_t inject_rx(std::vector<std::uint8_t> frame);
+
+  std::size_t pending_tx() const;
+  std::size_t pending_rx() const;
+
+ private:
+  EthernetConfig cfg_;
+  Wire* wire_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> tx_staged_;
+  std::deque<std::vector<std::uint8_t>> rx_ring_;
+  std::uint64_t next_tx_id_ = 1;
+  std::uint64_t next_rx_seq_ = 1;
+  Cycles busy_until_ = 0;
+  stats::Counter* tx_frames_ = nullptr;
+  stats::Counter* tx_bytes_ = nullptr;
+  stats::Counter* rx_frames_ = nullptr;
+  stats::Counter* rx_bytes_ = nullptr;
+};
+
+}  // namespace compass::dev

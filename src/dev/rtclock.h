@@ -1,0 +1,41 @@
+// Real-time clock / interval timer (paper §3.4).
+//
+// Raises a periodic kTimer interrupt; the paper's TPCC/TPCD interrupt-time
+// share is partly interval-timer handling, and the preemptive process
+// scheduler is driven by it.
+#pragma once
+
+#include "core/backend.h"
+#include "core/types.h"
+
+namespace compass::dev {
+
+class RtClock {
+ public:
+  /// `interval` in cycles; 0 disables the clock. With `per_cpu`, every
+  /// simulated CPU receives its own decrementer-style tick; otherwise only
+  /// CPU 0 takes timer interrupts.
+  RtClock(Cycles interval, bool per_cpu) : interval_(interval), per_cpu_(per_cpu) {}
+
+  Cycles interval() const { return interval_; }
+
+  /// Schedule the first tick(s). Call once before Backend::run().
+  void start(core::Backend& backend) {
+    if (interval_ == 0) return;
+    const int cpus = per_cpu_ ? backend.config().num_cpus : 1;
+    for (CpuId c = 0; c < cpus; ++c) schedule_tick(backend, c, interval_);
+  }
+
+ private:
+  void schedule_tick(core::Backend& backend, CpuId cpu, Cycles when) {
+    backend.scheduler().schedule_at(when, [this, &backend, cpu, when] {
+      backend.raise_irq(cpu, core::IrqDesc{core::Irq::kTimer, 0, 0});
+      schedule_tick(backend, cpu, when + interval_);
+    });
+  }
+
+  Cycles interval_;
+  bool per_cpu_;
+};
+
+}  // namespace compass::dev

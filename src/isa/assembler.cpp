@@ -1,0 +1,200 @@
+#include "isa/assembler.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace compass::isa {
+
+namespace {
+
+struct Stmt {
+  Insn insn;
+  std::string label_operand;  // branch target to resolve in pass 2
+  int line = 0;
+};
+
+std::optional<Op> parse_op(std::string_view name) {
+  static const std::map<std::string_view, Op> kOps = {
+      {"add", Op::kAdd},   {"sub", Op::kSub}, {"mul", Op::kMul},
+      {"div", Op::kDiv},   {"and", Op::kAnd}, {"or", Op::kOr},
+      {"xor", Op::kXor},   {"shl", Op::kShl}, {"shr", Op::kShr},
+      {"cmp", Op::kCmp},   {"li", Op::kLi},   {"addi", Op::kAddi},
+      {"ld", Op::kLd},     {"lw", Op::kLw},   {"st", Op::kSt},
+      {"stw", Op::kStw},   {"ldx", Op::kLdx}, {"stx", Op::kStx},
+      {"sync", Op::kSync}, {"beq", Op::kBeq}, {"bne", Op::kBne},
+      {"blt", Op::kBlt},   {"b", Op::kB},     {"halt", Op::kHalt},
+  };
+  const auto it = kOps.find(name);
+  return it == kOps.end() ? std::nullopt : std::optional{it->second};
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw util::ConfigError("asm line " + std::to_string(line) + ": " + what);
+}
+
+int parse_reg(std::string_view tok, int line) {
+  if (tok.size() < 2 || tok[0] != 'r') fail(line, "expected register, got '" + std::string(tok) + "'");
+  int r = 0;
+  for (const char c : tok.substr(1)) {
+    if (c < '0' || c > '9') fail(line, "bad register '" + std::string(tok) + "'");
+    r = r * 10 + (c - '0');
+  }
+  if (r >= kNumRegs) fail(line, "register out of range");
+  return r;
+}
+
+std::int64_t parse_imm(std::string_view tok, int line) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(std::string(tok), &pos, 0);
+    if (pos != tok.size()) throw std::invalid_argument("trail");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "bad immediate '" + std::string(tok) + "'");
+  }
+}
+
+std::vector<std::string> split_operands(std::string_view rest) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : rest) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+  // Pass 1: tokenize into blocks, collecting label -> block index.
+  std::map<std::string, std::uint32_t> labels;
+  std::vector<std::vector<Stmt>> blocks;
+  std::vector<Stmt> current;
+  int line_no = 0;
+
+  auto close_block = [&](bool add_fallthrough) {
+    if (current.empty()) return;
+    if (add_fallthrough && !is_terminator(current.back().insn.op)) {
+      // Explicit fall-through to the next block.
+      Stmt s;
+      s.insn.op = Op::kB;
+      s.insn.imm = static_cast<std::int64_t>(blocks.size() + 1);
+      s.line = line_no;
+      current.push_back(s);
+    }
+    blocks.push_back(std::move(current));
+    current.clear();
+  };
+
+  std::istringstream in{std::string(source)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    if (const auto c = raw.find_first_of(";#"); c != std::string::npos)
+      raw.erase(c);
+    const auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = raw.find_last_not_of(" \t\r");
+    std::string text = raw.substr(first, last - first + 1);
+
+    if (text.back() == ':') {
+      const std::string label = text.substr(0, text.size() - 1);
+      if (labels.contains(label)) fail(line_no, "duplicate label '" + label + "'");
+      close_block(true);
+      labels[label] = static_cast<std::uint32_t>(blocks.size());
+      continue;
+    }
+
+    const auto sp = text.find_first_of(" \t");
+    const std::string mnemonic = text.substr(0, sp);
+    const auto op = parse_op(mnemonic);
+    if (!op.has_value()) fail(line_no, "unknown mnemonic '" + mnemonic + "'");
+    const auto ops = sp == std::string::npos
+                         ? std::vector<std::string>{}
+                         : split_operands(std::string_view(text).substr(sp));
+
+    Stmt s;
+    s.insn.op = *op;
+    s.line = line_no;
+    switch (*op) {
+      case Op::kHalt:
+        break;
+      case Op::kB:
+        if (ops.size() != 1) fail(line_no, "b needs 1 operand");
+        s.label_operand = ops[0];
+        break;
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+        if (ops.size() != 3) fail(line_no, "branch needs ra, rb, label");
+        s.insn.ra = static_cast<std::uint8_t>(parse_reg(ops[0], line_no));
+        s.insn.rb = static_cast<std::uint8_t>(parse_reg(ops[1], line_no));
+        s.label_operand = ops[2];
+        break;
+      case Op::kLi:
+        if (ops.size() != 2) fail(line_no, "li needs rd, imm");
+        s.insn.rd = static_cast<std::uint8_t>(parse_reg(ops[0], line_no));
+        s.insn.imm = parse_imm(ops[1], line_no);
+        break;
+      case Op::kAddi:
+      case Op::kLd:
+      case Op::kLw:
+      case Op::kSt:
+      case Op::kStw:
+      case Op::kSync:
+        if (ops.size() != 3) fail(line_no, std::string(to_string(*op)) + " needs rd, ra, imm");
+        s.insn.rd = static_cast<std::uint8_t>(parse_reg(ops[0], line_no));
+        s.insn.ra = static_cast<std::uint8_t>(parse_reg(ops[1], line_no));
+        if (*op == Op::kSync) {
+          s.insn.rb = static_cast<std::uint8_t>(parse_reg(ops[2], line_no));
+        } else {
+          s.insn.imm = parse_imm(ops[2], line_no);
+        }
+        break;
+      default:  // three-register ALU ops / indexed memory ops
+        if (ops.size() != 3) fail(line_no, std::string(to_string(*op)) + " needs rd, ra, rb");
+        s.insn.rd = static_cast<std::uint8_t>(parse_reg(ops[0], line_no));
+        s.insn.ra = static_cast<std::uint8_t>(parse_reg(ops[1], line_no));
+        s.insn.rb = static_cast<std::uint8_t>(parse_reg(ops[2], line_no));
+        break;
+    }
+    current.push_back(std::move(s));
+    if (is_terminator(current.back().insn.op)) close_block(false);
+  }
+  close_block(false);
+  if (!blocks.empty() && !blocks.back().empty() &&
+      !is_terminator(blocks.back().back().insn.op)) {
+    Stmt s;
+    s.insn.op = Op::kHalt;
+    blocks.back().push_back(s);
+  }
+
+  // Pass 2: resolve labels and build the program.
+  Program program;
+  for (auto& stmts : blocks) {
+    std::vector<Insn> insns;
+    insns.reserve(stmts.size());
+    for (auto& s : stmts) {
+      if (!s.label_operand.empty()) {
+        const auto it = labels.find(s.label_operand);
+        if (it == labels.end()) fail(s.line, "undefined label '" + s.label_operand + "'");
+        s.insn.imm = it->second;
+      }
+      insns.push_back(s.insn);
+    }
+    program.add_block(std::move(insns));
+  }
+  program.instrument();
+  return program;
+}
+
+}  // namespace compass::isa

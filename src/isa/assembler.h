@@ -1,0 +1,30 @@
+// A tiny two-pass text assembler for writing test/example programs.
+//
+// Syntax (one statement per line; ';' or '#' starts a comment):
+//
+//   loop:                     ; label — starts a new basic block
+//     li   r1, 100
+//     addi r2, r2, 8
+//     ld   r3, r2, 0          ; rd, ra, displacement
+//     st   r3, r4, 16
+//     sync r5, r6, r7         ; rd = fetch&add(mem[ra], rb)
+//     bne  r1, r0, loop       ; terminator; label operand
+//     halt
+//
+// Every label starts a basic block; fall-through between blocks is made
+// explicit by the assembler (an unconditional branch is appended when a
+// block does not end in a terminator).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace compass::isa {
+
+/// Assemble `source` into an instrumented Program. Throws ConfigError with
+/// a line number on syntax errors.
+Program assemble(std::string_view source);
+
+}  // namespace compass::isa

@@ -1,0 +1,146 @@
+#include "isa/interpreter.h"
+
+#include <cstring>
+
+namespace compass::isa {
+
+Interpreter::Interpreter(const Program& program, core::SimContext& ctx,
+                         mem::AddressMap& mem)
+    : program_(program), ctx_(ctx), mem_(mem) {
+  COMPASS_CHECK_MSG(program_.instrumented(),
+                    "program must be instrumented before execution");
+}
+
+void Interpreter::set_reg(int r, std::int64_t v) {
+  COMPASS_CHECK(r >= 0 && r < kNumRegs);
+  regs_[static_cast<std::size_t>(r)] = v;
+}
+
+std::int64_t Interpreter::reg(int r) const {
+  COMPASS_CHECK(r >= 0 && r < kNumRegs);
+  return regs_[static_cast<std::size_t>(r)];
+}
+
+Addr Interpreter::effective(const Insn& i, bool indexed) const {
+  const auto base = static_cast<Addr>(regs_[i.ra]);
+  return indexed ? base + static_cast<Addr>(regs_[i.rb])
+                 : base + static_cast<Addr>(i.imm);
+}
+
+RunResult Interpreter::run(std::uint32_t entry_block, std::uint64_t max_insns) {
+  RunResult res;
+  std::uint32_t pc = entry_block;
+  for (;;) {
+    const BasicBlock& bb = program_.block(pc);
+    ++res.blocks;
+    std::uint32_t next = pc + 1;
+    bool halted = false;
+    Cycles pending = 0;  // issue cycles since the last event
+
+    for (const Insn& i : bb.insns) {
+      if (res.insns >= max_insns) {
+        ctx_.compute(pending);
+        return res;
+      }
+      ++res.insns;
+      pending += op_cycles(i.op);
+      auto& rd = regs_[i.rd];
+      const std::int64_t ra = regs_[i.ra];
+      const std::int64_t rb = regs_[i.rb];
+      switch (i.op) {
+        case Op::kAdd: rd = ra + rb; break;
+        case Op::kSub: rd = ra - rb; break;
+        case Op::kMul: rd = ra * rb; break;
+        case Op::kDiv:
+          COMPASS_CHECK_MSG(rb != 0, "division by zero");
+          rd = ra / rb;
+          break;
+        case Op::kAnd: rd = ra & rb; break;
+        case Op::kOr: rd = ra | rb; break;
+        case Op::kXor: rd = ra ^ rb; break;
+        case Op::kShl: rd = ra << (rb & 63); break;
+        case Op::kShr:
+          rd = static_cast<std::int64_t>(static_cast<std::uint64_t>(ra) >>
+                                         (rb & 63));
+          break;
+        case Op::kCmp: rd = ra < rb ? -1 : (ra > rb ? 1 : 0); break;
+        case Op::kLi: rd = i.imm; break;
+        case Op::kAddi: rd = ra + i.imm; break;
+
+        case Op::kLd:
+        case Op::kLw:
+        case Op::kLdx: {
+          const Addr ea = effective(i, i.op == Op::kLdx);
+          const std::uint32_t size = i.op == Op::kLw ? 4 : 8;
+          ctx_.compute(pending);
+          pending = 0;
+          ctx_.load(ea, size);
+          ++res.mem_refs;
+          if (size == 8) {
+            std::memcpy(&rd, mem_.host(ea), 8);
+          } else {
+            std::uint32_t v = 0;
+            std::memcpy(&v, mem_.host(ea), 4);
+            rd = v;
+          }
+          break;
+        }
+        case Op::kSt:
+        case Op::kStw:
+        case Op::kStx: {
+          const Addr ea = effective(i, i.op == Op::kStx);
+          const std::uint32_t size = i.op == Op::kStw ? 4 : 8;
+          ctx_.compute(pending);
+          pending = 0;
+          ctx_.store(ea, size);
+          ++res.mem_refs;
+          const std::int64_t v = regs_[i.rd];
+          std::memcpy(mem_.host(ea), &v, size);
+          break;
+        }
+        case Op::kSync: {
+          // lwarx/stwcx-style atomic fetch&add of rb into mem[ra+imm].
+          const Addr ea = effective(i, false);
+          ctx_.compute(pending);
+          pending = 0;
+          ctx_.sync_ref(ea, 8);
+          ++res.mem_refs;
+          std::int64_t old = 0;
+          std::memcpy(&old, mem_.host(ea), 8);
+          const std::int64_t updated = old + rb;
+          std::memcpy(mem_.host(ea), &updated, 8);
+          rd = old;
+          break;
+        }
+
+        case Op::kBeq:
+          if (ra == rb) next = static_cast<std::uint32_t>(i.imm);
+          break;
+        case Op::kBne:
+          if (ra != rb) next = static_cast<std::uint32_t>(i.imm);
+          break;
+        case Op::kBlt:
+          if (ra < rb) next = static_cast<std::uint32_t>(i.imm);
+          break;
+        case Op::kB:
+          next = static_cast<std::uint32_t>(i.imm);
+          break;
+        case Op::kHalt:
+          halted = true;
+          break;
+        case Op::kCount:
+          COMPASS_CHECK(false);
+      }
+    }
+    // Inserted code at the end of each basic block: flush the remaining
+    // issue cycles into the execution-time value.
+    ctx_.compute(pending);
+    if (halted) {
+      res.halted = true;
+      return res;
+    }
+    pc = next;
+  }
+}
+
+}  // namespace compass::isa

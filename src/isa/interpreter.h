@@ -1,0 +1,50 @@
+// Interpreter for instrumented basic-block programs.
+//
+// Executes a Program against a SimContext exactly as the paper's inserted
+// assembly would behave at run time: the execution-time value advances by
+// the estimated issue cycles, and each memory-reference instruction fills
+// an event (type, effective address, size, cycle) and passes it to the
+// backend through the event port. Register and memory state are real, so
+// program results are exact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/sim_context.h"
+#include "isa/program.h"
+#include "mem/arena.h"
+
+namespace compass::isa {
+
+struct RunResult {
+  std::uint64_t insns = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t mem_refs = 0;
+  bool halted = false;  ///< false = stopped at max_insns
+};
+
+class Interpreter {
+ public:
+  /// `mem` resolves effective addresses to host storage; programs address
+  /// whatever arenas the embedder registered (user heap, shared segments).
+  Interpreter(const Program& program, core::SimContext& ctx,
+              mem::AddressMap& mem);
+
+  void set_reg(int r, std::int64_t v);
+  std::int64_t reg(int r) const;
+
+  /// Run from `entry_block` until kHalt or `max_insns`.
+  RunResult run(std::uint32_t entry_block = 0,
+                std::uint64_t max_insns = ~std::uint64_t{0});
+
+ private:
+  Addr effective(const Insn& i, bool indexed) const;
+
+  const Program& program_;
+  core::SimContext& ctx_;
+  mem::AddressMap& mem_;
+  std::array<std::int64_t, kNumRegs> regs_{};
+};
+
+}  // namespace compass::isa

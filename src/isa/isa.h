@@ -1,0 +1,130 @@
+// A synthetic PowerPC-like instruction set with a static timing table.
+//
+// COMPASS builds its frontends by compiling the application to assembly and
+// running it through an instrumentation program that inserts code after
+// each basic block and memory reference; the inserted code "calculates the
+// timing information of the process by using the estimated execution time
+// of each instruction based on the specifications of the microprocessor
+// instruction set, assuming 100% instruction cache hits" (paper §2).
+//
+// We cannot rewrite host binaries, so this module provides the equivalent
+// substrate: a small register ISA, an assembler-level program
+// representation organized into basic blocks, an instrumentation pass that
+// attaches the per-block timing and event-generation metadata the paper's
+// tool would insert, and an interpreter that executes instrumented programs
+// against a SimContext. The backend sees exactly what it would see from the
+// paper's pipeline: timed memory-reference events at basic-block
+// interleaving granularity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "core/types.h"
+
+namespace compass::isa {
+
+/// Opcodes, PowerPC-604-flavoured.
+enum class Op : std::uint8_t {
+  // arithmetic / logic (register-register)
+  kAdd, kSub, kMul, kDiv, kAnd, kOr, kXor, kShl, kShr, kCmp,
+  // immediates
+  kLi,   ///< load immediate: rD = imm
+  kAddi, ///< rD = rA + imm
+  // memory
+  kLd,   ///< rD = mem[rA + imm]   (8 bytes)
+  kLw,   ///< rD = mem32[rA + imm] (4 bytes, zero-extended)
+  kSt,   ///< mem[rA + imm] = rS   (8 bytes)
+  kStw,  ///< mem32[rA + imm] = rS (4 bytes)
+  kLdx,  ///< rD = mem[rA + rB]
+  kStx,  ///< mem[rA + rB] = rS
+  kSync, ///< atomic fetch&add on mem[rA + imm] (lwarx/stwcx pair)
+  // control flow (basic-block terminators)
+  kBeq,  ///< branch to block `target` when rA == rB
+  kBne,
+  kBlt,  ///< signed rA < rB
+  kB,    ///< unconditional branch
+  kHalt, ///< stop the program
+  kCount,
+};
+
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kCount);
+inline constexpr int kNumRegs = 32;
+
+/// Estimated execution cycles per instruction (100% i-cache hits); the
+/// memory-access stall of loads/stores comes from the backend, so their
+/// entry here is the issue cost only.
+constexpr std::array<Cycles, kNumOps> kOpCycles = {
+    /*kAdd*/ 1, /*kSub*/ 1, /*kMul*/ 4, /*kDiv*/ 20, /*kAnd*/ 1,
+    /*kOr*/ 1,  /*kXor*/ 1, /*kShl*/ 1, /*kShr*/ 1,  /*kCmp*/ 1,
+    /*kLi*/ 1,  /*kAddi*/ 1,
+    /*kLd*/ 1,  /*kLw*/ 1,  /*kSt*/ 1,  /*kStw*/ 1,
+    /*kLdx*/ 1, /*kStx*/ 1, /*kSync*/ 3,
+    /*kBeq*/ 1, /*kBne*/ 1, /*kBlt*/ 1, /*kB*/ 1, /*kHalt*/ 1,
+};
+
+inline constexpr Cycles op_cycles(Op op) {
+  return kOpCycles[static_cast<std::size_t>(op)];
+}
+
+inline constexpr bool is_memory_op(Op op) {
+  switch (op) {
+    case Op::kLd: case Op::kLw: case Op::kSt: case Op::kStw:
+    case Op::kLdx: case Op::kStx: case Op::kSync:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline constexpr bool is_terminator(Op op) {
+  switch (op) {
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kB: case Op::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline constexpr std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kCmp: return "cmp";
+    case Op::kLi: return "li";
+    case Op::kAddi: return "addi";
+    case Op::kLd: return "ld";
+    case Op::kLw: return "lw";
+    case Op::kSt: return "st";
+    case Op::kStw: return "stw";
+    case Op::kLdx: return "ldx";
+    case Op::kStx: return "stx";
+    case Op::kSync: return "sync";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kB: return "b";
+    case Op::kHalt: return "halt";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+/// One instruction. Fields are interpreted per opcode (see Op docs).
+struct Insn {
+  Op op = Op::kHalt;
+  std::uint8_t rd = 0;  ///< destination / source (stores) register
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int64_t imm = 0; ///< immediate / displacement / branch target block
+};
+
+}  // namespace compass::isa

@@ -1,0 +1,64 @@
+#include "isa/program.h"
+
+#include <sstream>
+
+namespace compass::isa {
+
+std::uint32_t Program::add_block(std::vector<Insn> insns) {
+  COMPASS_CHECK_MSG(!insns.empty(), "empty basic block");
+  instrumented_ = false;
+  BasicBlock bb;
+  bb.insns = std::move(insns);
+  blocks_.push_back(std::move(bb));
+  return static_cast<std::uint32_t>(blocks_.size() - 1);
+}
+
+void Program::instrument() {
+  COMPASS_CHECK_MSG(!blocks_.empty(), "instrumenting an empty program");
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    BasicBlock& bb = blocks_[b];
+    bb.est_cycles = 0;
+    bb.mem_refs.clear();
+    for (std::size_t i = 0; i < bb.insns.size(); ++i) {
+      const Insn& insn = bb.insns[i];
+      COMPASS_CHECK_MSG(
+          is_terminator(insn.op) == (i == bb.insns.size() - 1),
+          "block " << b << ": terminator must be exactly the last instruction");
+      bb.est_cycles += op_cycles(insn.op);
+      if (is_memory_op(insn.op))
+        bb.mem_refs.push_back(static_cast<std::uint32_t>(i));
+      if (insn.op == Op::kBeq || insn.op == Op::kBne || insn.op == Op::kBlt ||
+          insn.op == Op::kB) {
+        COMPASS_CHECK_MSG(static_cast<std::size_t>(insn.imm) < blocks_.size(),
+                          "block " << b << ": branch target " << insn.imm
+                                   << " out of range");
+      }
+    }
+    bb.instrumented = true;
+  }
+  instrumented_ = true;
+}
+
+std::size_t Program::total_insns() const {
+  std::size_t n = 0;
+  for (const auto& bb : blocks_) n += bb.insns.size();
+  return n;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    os << "B" << b << ":";
+    if (blocks_[b].instrumented)
+      os << "  ; est " << blocks_[b].est_cycles << " cyc, "
+         << blocks_[b].mem_refs.size() << " refs";
+    os << '\n';
+    for (const auto& insn : blocks_[b].insns) {
+      os << "  " << isa::to_string(insn.op) << " r" << int{insn.rd} << ", r"
+         << int{insn.ra} << ", r" << int{insn.rb} << ", " << insn.imm << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace compass::isa

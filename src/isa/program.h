@@ -1,0 +1,93 @@
+// Basic-block program representation and the instrumentation pass.
+//
+// A Program is a list of basic blocks (straight-line instruction runs
+// ending in a terminator). The instrumentation pass computes, per block,
+// the metadata the paper's tool inserts as assembly: the block's estimated
+// execution time and the positions of its memory references. The
+// interpreter uses it to update the frontend's execution-time value per
+// block and emit an event per reference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "util/check.h"
+
+namespace compass::isa {
+
+struct BasicBlock {
+  std::vector<Insn> insns;
+
+  // ---- filled in by Program::instrument() --------------------------------
+  /// Total issue cycles of the block (100% i-cache hit assumption).
+  Cycles est_cycles = 0;
+  /// Indices of memory-reference instructions within `insns`.
+  std::vector<std::uint32_t> mem_refs;
+  bool instrumented = false;
+};
+
+class Program {
+ public:
+  /// Append a block; returns its index (branch targets refer to these).
+  std::uint32_t add_block(std::vector<Insn> insns);
+
+  const BasicBlock& block(std::uint32_t i) const {
+    COMPASS_CHECK_MSG(i < blocks_.size(), "no basic block " << i);
+    return blocks_[i];
+  }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// The instrumentation pass: validates block structure (exactly one
+  /// terminator, at the end; branch targets in range) and attaches timing
+  /// and reference metadata.
+  void instrument();
+  bool instrumented() const { return instrumented_; }
+
+  std::size_t total_insns() const;
+  std::string to_string() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  bool instrumented_ = false;
+};
+
+/// Builder utility: assembles blocks with a fluent interface.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& op(Op o, int rd = 0, int ra = 0, int rb = 0,
+                     std::int64_t imm = 0) {
+    Insn i;
+    i.op = o;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.ra = static_cast<std::uint8_t>(ra);
+    i.rb = static_cast<std::uint8_t>(rb);
+    i.imm = imm;
+    current_.push_back(i);
+    return *this;
+  }
+  ProgramBuilder& li(int rd, std::int64_t v) { return op(Op::kLi, rd, 0, 0, v); }
+  ProgramBuilder& addi(int rd, int ra, std::int64_t v) {
+    return op(Op::kAddi, rd, ra, 0, v);
+  }
+  ProgramBuilder& add(int rd, int ra, int rb) { return op(Op::kAdd, rd, ra, rb); }
+  ProgramBuilder& ld(int rd, int ra, std::int64_t d = 0) {
+    return op(Op::kLd, rd, ra, 0, d);
+  }
+  ProgramBuilder& st(int rs, int ra, std::int64_t d = 0) {
+    return op(Op::kSt, rs, ra, 0, d);
+  }
+  /// End the block with a terminator; returns the finished block's index.
+  std::uint32_t end_block(Program& p, Op term, int ra = 0, int rb = 0,
+                          std::int64_t target = 0) {
+    op(term, 0, ra, rb, target);
+    const auto idx = p.add_block(std::move(current_));
+    current_.clear();
+    return idx;
+  }
+
+ private:
+  std::vector<Insn> current_;
+};
+
+}  // namespace compass::isa

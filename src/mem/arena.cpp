@@ -1,0 +1,141 @@
+#include "mem/arena.h"
+
+#include <algorithm>
+
+namespace compass::mem {
+
+Arena::Arena(std::string name, Addr base, std::size_t capacity)
+    : name_(std::move(name)), base_(base), capacity_(capacity) {
+  COMPASS_CHECK_MSG(capacity_ > 0, name_ << ": arena capacity must be > 0");
+  data_ = std::make_unique<std::byte[]>(capacity_);
+  std::memset(data_.get(), 0, capacity_);
+  free_list_.emplace(base_, capacity_);
+}
+
+Addr Arena::alloc(std::size_t size, std::size_t align) {
+  COMPASS_CHECK(size > 0);
+  COMPASS_CHECK((align & (align - 1)) == 0 && align >= 1);
+  std::lock_guard lock(mu_);
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    const Addr start = it->first;
+    const std::size_t block = it->second;
+    const Addr aligned = (start + align - 1) & ~(static_cast<Addr>(align) - 1);
+    const std::size_t waste = aligned - start;
+    if (block < waste + size) continue;
+    // Carve [aligned, aligned+size) out of the block.
+    free_list_.erase(it);
+    if (waste > 0) free_list_.emplace(start, waste);
+    const std::size_t tail = block - waste - size;
+    if (tail > 0) free_list_.emplace(aligned + size, tail);
+    return aligned;
+  }
+  throw util::SimError(name_ + ": arena exhausted allocating " +
+                       std::to_string(size) + " bytes");
+}
+
+void Arena::free(Addr addr, std::size_t size) {
+  COMPASS_CHECK_MSG(contains(addr) && addr + size <= limit(),
+                    name_ << ": freeing range outside arena");
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = free_list_.emplace(addr, size);
+  COMPASS_CHECK_MSG(inserted, name_ << ": double free at 0x" << std::hex << addr);
+  // Coalesce with successor.
+  if (auto next = std::next(it); next != free_list_.end()) {
+    COMPASS_CHECK_MSG(addr + size <= next->first,
+                      name_ << ": free overlaps following block");
+    if (addr + size == next->first) {
+      it->second += next->second;
+      free_list_.erase(next);
+    }
+  }
+  // Coalesce with predecessor.
+  if (it != free_list_.begin()) {
+    auto prev = std::prev(it);
+    COMPASS_CHECK_MSG(prev->first + prev->second <= addr,
+                      name_ << ": free overlaps preceding block");
+    if (prev->first + prev->second == addr) {
+      prev->second += it->second;
+      free_list_.erase(it);
+    }
+  }
+}
+
+std::size_t Arena::bytes_in_use() const {
+  std::lock_guard lock(mu_);
+  std::size_t free_bytes = 0;
+  for (const auto& [_, size] : free_list_) free_bytes += size;
+  return capacity_ - free_bytes;
+}
+
+void AddressMap::add(Arena& arena) {
+  std::lock_guard lock(mu_);
+  // Overlap check against neighbors.
+  const auto next = by_base_.lower_bound(arena.base());
+  if (next != by_base_.end())
+    COMPASS_CHECK_MSG(arena.limit() <= next->first,
+                      "arena " << arena.name() << " overlaps " << next->second->name());
+  if (next != by_base_.begin()) {
+    const auto prev = std::prev(next);
+    COMPASS_CHECK_MSG(prev->second->limit() <= arena.base(),
+                      "arena " << arena.name() << " overlaps " << prev->second->name());
+  }
+  by_base_.emplace(arena.base(), &arena);
+}
+
+void AddressMap::remove(const Arena& arena) {
+  std::lock_guard lock(mu_);
+  by_base_.erase(arena.base());
+}
+
+Arena& AddressMap::arena_of(Addr a) {
+  std::lock_guard lock(mu_);
+  auto it = by_base_.upper_bound(a);
+  COMPASS_CHECK_MSG(it != by_base_.begin(),
+                    "no arena maps simulated address 0x" << std::hex << a);
+  --it;
+  Arena* arena = it->second;
+  COMPASS_CHECK_MSG(arena->contains(a),
+                    "no arena maps simulated address 0x" << std::hex << a);
+  return *arena;
+}
+
+void sim_memcpy(core::SimContext& ctx, AddressMap& mem, Addr dst, Addr src,
+                std::size_t n, std::size_t chunk) {
+  std::size_t off = 0;
+  while (off < n) {
+    const auto step = static_cast<std::uint32_t>(std::min(chunk, n - off));
+    ctx.load(src + off, step);
+    ctx.store(dst + off, step);
+    ctx.compute(2);
+    // Host copy resolves both sides independently (they may be in
+    // different arenas, e.g. user buffer to kernel buffer).
+    std::memcpy(mem.host(dst + off), mem.host(src + off), step);
+    off += step;
+  }
+}
+
+void sim_scan(core::SimContext& ctx, AddressMap& mem, Addr src, std::size_t n,
+              Cycles per_chunk_compute, std::size_t chunk) {
+  std::size_t off = 0;
+  while (off < n) {
+    const auto step = static_cast<std::uint32_t>(std::min(chunk, n - off));
+    ctx.load(src + off, step);
+    ctx.compute(per_chunk_compute);
+    (void)mem;
+    off += step;
+  }
+}
+
+void sim_memset(core::SimContext& ctx, AddressMap& mem, Addr dst, int value,
+                std::size_t n, std::size_t chunk) {
+  std::size_t off = 0;
+  while (off < n) {
+    const auto step = static_cast<std::uint32_t>(std::min(chunk, n - off));
+    ctx.store(dst + off, step);
+    ctx.compute(1);
+    std::memset(mem.host(dst + off), value, step);
+    off += step;
+  }
+}
+
+}  // namespace compass::mem

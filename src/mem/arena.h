@@ -1,0 +1,124 @@
+// Simulated-address arenas backed by host memory.
+//
+// Workload and kernel code in this reproduction is real C++ operating on
+// real data; what the simulator needs is the *simulated effective address*
+// of every touched datum. An Arena carves a simulated virtual range and
+// backs it with host memory, so code can allocate simulated objects, access
+// them through typed helpers that both perform the host access and emit the
+// memory-reference event, and pass simulated addresses across the
+// user/kernel boundary (the AddressMap resolves any registered simulated
+// address back to host memory, as the shared address space of a real
+// machine would).
+//
+// Allocation uses a first-fit free list with coalescing; all methods are
+// thread-safe (arenas are shared between frontend threads and OS-server
+// threads).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sim_context.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::mem {
+
+class Arena {
+ public:
+  /// A simulated range [base, base+capacity) backed by a host buffer.
+  Arena(std::string name, Addr base, std::size_t capacity);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  const std::string& name() const { return name_; }
+  Addr base() const { return base_; }
+  Addr limit() const { return base_ + capacity_; }
+  std::size_t capacity() const { return capacity_; }
+  bool contains(Addr a) const { return a >= base_ && a < limit(); }
+
+  /// Allocate `size` bytes (aligned); throws SimError when exhausted.
+  Addr alloc(std::size_t size, std::size_t align = 8);
+  /// Return a block to the free list.
+  void free(Addr addr, std::size_t size);
+
+  /// Host pointer for a simulated address inside this arena.
+  std::byte* host(Addr a) {
+    COMPASS_CHECK_MSG(contains(a), name_ << ": address 0x" << std::hex << a
+                                         << " outside arena");
+    return data_.get() + (a - base_);
+  }
+  const std::byte* host(Addr a) const {
+    return const_cast<Arena*>(this)->host(a);
+  }
+
+  std::size_t bytes_in_use() const;
+
+ private:
+  std::string name_;
+  Addr base_;
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> data_;
+  mutable std::mutex mu_;
+  std::map<Addr, std::size_t> free_list_;  // start -> size, coalesced
+};
+
+/// Registry of arenas resolving any simulated address to host memory.
+class AddressMap {
+ public:
+  /// Register an arena; ranges must not overlap.
+  void add(Arena& arena);
+  void remove(const Arena& arena);
+
+  Arena& arena_of(Addr a);
+  std::byte* host(Addr a) { return arena_of(a).host(a); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Addr, Arena*> by_base_;
+};
+
+// ---- typed simulated access helpers ---------------------------------------
+//
+// Each helper emits the memory-reference event (when the context is
+// attached and instrumentation is on) and performs the host access, so the
+// workload's results are exact while the architecture model sees the
+// reference stream.
+
+template <class T>
+T sim_read(core::SimContext& ctx, AddressMap& mem, Addr addr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ctx.load(addr, sizeof(T));
+  T out;
+  std::memcpy(&out, mem.host(addr), sizeof(T));
+  return out;
+}
+
+template <class T>
+void sim_write(core::SimContext& ctx, AddressMap& mem, Addr addr, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ctx.store(addr, sizeof(T));
+  std::memcpy(mem.host(addr), &v, sizeof(T));
+}
+
+/// Copy `n` bytes of simulated memory, emitting one load and one store per
+/// cache-line-sized chunk (the instrumented copy loop of kernel code).
+void sim_memcpy(core::SimContext& ctx, AddressMap& mem, Addr dst, Addr src,
+                std::size_t n, std::size_t chunk = 64);
+
+/// Touch `n` bytes read-only (checksum/scan loops): one load per chunk plus
+/// `per_chunk_compute` cycles.
+void sim_scan(core::SimContext& ctx, AddressMap& mem, Addr src, std::size_t n,
+              Cycles per_chunk_compute = 2, std::size_t chunk = 64);
+
+/// Write `n` bytes of a constant (memset-style), one store per chunk.
+void sim_memset(core::SimContext& ctx, AddressMap& mem, Addr dst, int value,
+                std::size_t n, std::size_t chunk = 64);
+
+}  // namespace compass::mem

@@ -1,0 +1,108 @@
+#include "mem/cache.h"
+
+#include <bit>
+
+namespace compass::mem {
+
+Cache::Cache(std::string name, const CacheConfig& cfg,
+             stats::StatsRegistry* stats)
+    : name_(std::move(name)), cfg_(cfg) {
+  cfg_.validate();
+  line_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.line_size));
+  line_mask_ = cfg_.line_size - 1;
+  lines_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.assoc);
+  if (stats != nullptr) {
+    hits_ = &stats->counter(name_ + ".hits");
+    misses_ = &stats->counter(name_ + ".misses");
+    evictions_ = &stats->counter(name_ + ".evictions");
+    writebacks_ = &stats->counter(name_ + ".writebacks");
+  }
+}
+
+Cache::Line* Cache::find(PhysAddr addr) {
+  const std::uint64_t tag = tag_of(addr);
+  Line* set = &lines_[set_index(addr) * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
+    if (set[w].state != Mesi::kInvalid && set[w].tag == tag) return &set[w];
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(PhysAddr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+Mesi Cache::probe(PhysAddr addr) const {
+  const Line* line = find(addr);
+  return line == nullptr ? Mesi::kInvalid : line->state;
+}
+
+Mesi Cache::lookup(PhysAddr addr) {
+  Line* line = find(addr);
+  if (line == nullptr) {
+    if (misses_ != nullptr) misses_->inc();
+    return Mesi::kInvalid;
+  }
+  line->lru = ++lru_clock_;
+  if (hits_ != nullptr) hits_->inc();
+  return line->state;
+}
+
+void Cache::set_state(PhysAddr addr, Mesi state) {
+  Line* line = find(addr);
+  if (line == nullptr) {
+    COMPASS_CHECK_MSG(state == Mesi::kInvalid,
+                      name_ << ": set_state on absent line 0x" << std::hex
+                            << addr);
+    return;
+  }
+  line->state = state;
+}
+
+void Cache::set_state_if_present(PhysAddr addr, Mesi state) {
+  Line* line = find(addr);
+  if (line != nullptr) line->state = state;
+}
+
+std::optional<Cache::Victim> Cache::insert(PhysAddr addr, Mesi state) {
+  COMPASS_CHECK(state != Mesi::kInvalid);
+  Line* line = find(addr);
+  if (line != nullptr) {
+    // Re-insert of a resident line is a state change.
+    line->state = state;
+    line->lru = ++lru_clock_;
+    return std::nullopt;
+  }
+  Line* set = &lines_[set_index(addr) * cfg_.assoc];
+  Line* victim = &set[0];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (set[w].state == Mesi::kInvalid) {
+      victim = &set[w];
+      break;
+    }
+    if (set[w].lru < victim->lru) victim = &set[w];
+  }
+  std::optional<Victim> out;
+  if (victim->state != Mesi::kInvalid) {
+    out = Victim{victim->tag << line_shift_, victim->state};
+    if (evictions_ != nullptr) evictions_->inc();
+    if (victim->state == Mesi::kModified && writebacks_ != nullptr)
+      writebacks_->inc();
+  }
+  victim->tag = tag_of(addr);
+  victim->state = state;
+  victim->lru = ++lru_clock_;
+  return out;
+}
+
+void Cache::invalidate_all() {
+  for (auto& line : lines_) line.state = Mesi::kInvalid;
+}
+
+std::size_t Cache::resident_lines() const {
+  std::size_t n = 0;
+  for (const auto& line : lines_)
+    if (line.state != Mesi::kInvalid) ++n;
+  return n;
+}
+
+}  // namespace compass::mem

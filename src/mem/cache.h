@@ -1,0 +1,98 @@
+// Set-associative cache array with MESI line states and true-LRU
+// replacement. Used as the building block for both the simple (snooping)
+// and complex (directory CC-NUMA) backend machines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/mem_config.h"
+#include "stats/counters.h"
+
+namespace compass::mem {
+
+enum class Mesi : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+inline constexpr std::string_view to_string(Mesi s) {
+  switch (s) {
+    case Mesi::kInvalid: return "I";
+    case Mesi::kShared: return "S";
+    case Mesi::kExclusive: return "E";
+    case Mesi::kModified: return "M";
+  }
+  return "?";
+}
+
+class Cache {
+ public:
+  /// `stats` may be null (no counting); otherwise hit/miss/eviction counters
+  /// are registered under "<name>.".
+  Cache(std::string name, const CacheConfig& cfg,
+        stats::StatsRegistry* stats = nullptr);
+
+  const CacheConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+
+  PhysAddr line_addr(PhysAddr addr) const { return addr & ~line_mask_; }
+
+  /// State of the line containing `addr` (kInvalid when absent). No LRU
+  /// side effects — usable for snooping.
+  Mesi probe(PhysAddr addr) const;
+
+  /// Lookup for an access: returns state and refreshes LRU on hit.
+  Mesi lookup(PhysAddr addr);
+
+  /// Set the state of a resident line (upgrade/downgrade). The line must be
+  /// present unless `state` is kInvalid (idempotent invalidation).
+  void set_state(PhysAddr addr, Mesi state);
+
+  /// Downgrade/update the line if it is still resident (L1 lines may have
+  /// been silently replaced while the outer level kept them).
+  void set_state_if_present(PhysAddr addr, Mesi state);
+
+  /// A line evicted to make room: address and whether it was dirty.
+  struct Victim {
+    PhysAddr addr = 0;
+    Mesi state = Mesi::kInvalid;
+  };
+
+  /// Insert the line containing `addr` with `state`, evicting the LRU way
+  /// if the set is full. Returns the victim if one was displaced.
+  std::optional<Victim> insert(PhysAddr addr, Mesi state);
+
+  /// Drop every line (used when modeling cache-flush operations).
+  void invalidate_all();
+
+  /// Number of resident (non-invalid) lines.
+  std::size_t resident_lines() const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    Mesi state = Mesi::kInvalid;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  std::size_t set_index(PhysAddr addr) const {
+    return static_cast<std::size_t>((addr >> line_shift_) % cfg_.num_sets());
+  }
+  std::uint64_t tag_of(PhysAddr addr) const { return addr >> line_shift_; }
+
+  Line* find(PhysAddr addr);
+  const Line* find(PhysAddr addr) const;
+
+  std::string name_;
+  CacheConfig cfg_;
+  unsigned line_shift_;
+  PhysAddr line_mask_;
+  std::vector<Line> lines_;  // num_sets * assoc, set-major
+  std::uint64_t lru_clock_ = 0;
+  stats::Counter* hits_ = nullptr;
+  stats::Counter* misses_ = nullptr;
+  stats::Counter* evictions_ = nullptr;
+  stats::Counter* writebacks_ = nullptr;
+};
+
+}  // namespace compass::mem

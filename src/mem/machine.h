@@ -1,0 +1,120 @@
+// Target architecture models implementing core::MemorySystem.
+//
+//  * FlatMemory     — fixed-latency memory, no caches (unit tests, micro
+//                     benches, fastest backend).
+//  * SimpleMachine  — "the simplest backend": a one-level cache per
+//                     processor kept coherent with a MESI snooping bus over
+//                     a shared memory (UMA).
+//  * NumaMachine    — "the most complex backend": two-level caches per
+//                     processor, per-node full-map directories, memory
+//                     controllers and an interconnection network (CC-NUMA).
+//
+// All models translate virtual addresses through the Vm page-table model
+// first (paper §3.3.1) and charge a soft-fault cost when a mapping is
+// created. Contended resources (bus, memory controllers, network ports) are
+// modeled with busy-until reservations, so queueing delay emerges from the
+// reference stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_system.h"
+#include "mem/cache.h"
+#include "mem/mem_config.h"
+#include "mem/vm.h"
+#include "stats/counters.h"
+
+namespace compass::mem {
+
+/// Fixed-latency memory with optional VM translation.
+class FlatMemory : public core::MemorySystem {
+ public:
+  explicit FlatMemory(Cycles latency = 10, Vm* vm = nullptr,
+                      stats::StatsRegistry* stats = nullptr);
+  Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
+
+ private:
+  Cycles latency_;
+  Vm* vm_;
+  stats::Counter* refs_ = nullptr;
+};
+
+/// One-level cache per CPU + MESI snooping bus (UMA).
+class SimpleMachine : public core::MemorySystem {
+ public:
+  SimpleMachine(const SimpleMachineConfig& cfg, int num_cpus, Vm& vm,
+                stats::StatsRegistry* stats = nullptr);
+
+  Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
+  void on_context_switch(CpuId cpu, ProcId from, ProcId to) override;
+
+  const Cache& cache(CpuId cpu) const {
+    return caches_[static_cast<std::size_t>(cpu)];
+  }
+
+ private:
+  /// Acquire the bus at `now`: returns queueing delay and holds the bus for
+  /// `occupancy` cycles.
+  Cycles bus_acquire(Cycles now, Cycles occupancy);
+  void invalidate_others(CpuId cpu, PhysAddr line);
+
+  SimpleMachineConfig cfg_;
+  Vm& vm_;
+  std::vector<Cache> caches_;
+  Cycles bus_free_ = 0;
+  stats::Counter* bus_txns_ = nullptr;
+  stats::Counter* invalidations_ = nullptr;
+  stats::Counter* interventions_ = nullptr;
+  stats::Counter* faults_charged_ = nullptr;
+};
+
+/// Two-level caches per CPU + directory-based CC-NUMA.
+class NumaMachine : public core::MemorySystem {
+ public:
+  NumaMachine(const NumaMachineConfig& cfg, int num_cpus, int num_nodes,
+              Vm& vm, stats::StatsRegistry* stats = nullptr);
+
+  Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
+  void on_context_switch(CpuId cpu, ProcId from, ProcId to) override;
+
+  NodeId node_of_cpu(CpuId cpu) const {
+    return static_cast<NodeId>(cpu / cpus_per_node_);
+  }
+
+ private:
+  /// Directory entry for one cached line, held at the line's home node.
+  struct DirEntry {
+    enum class State : std::uint8_t { kShared, kOwned } state = State::kShared;
+    std::uint64_t sharers = 0;  ///< bitmask of CPUs (kShared)
+    CpuId owner = kNoCpu;       ///< exclusive/dirty owner (kOwned)
+  };
+
+  Cycles mem_service(NodeId node, Cycles now);
+  /// One network message from `from` to `to` carrying `bytes` of payload.
+  Cycles net_msg(NodeId from, NodeId to, std::uint32_t bytes, Cycles now);
+  int ring_hops(NodeId a, NodeId b) const;
+  /// Handle an L2 victim: notify the home directory, write back if dirty.
+  void evict_l2(CpuId cpu, const Cache::Victim& victim, Cycles now);
+  void fill(CpuId cpu, PhysAddr line, Mesi state, Cycles now);
+  void drop_from_cpu(CpuId cpu, PhysAddr line);
+
+  NumaMachineConfig cfg_;
+  Vm& vm_;
+  int num_nodes_;
+  int cpus_per_node_;
+  std::vector<Cache> l1_, l2_;
+  std::vector<std::unordered_map<PhysAddr, DirEntry>> dirs_;  // per node
+  std::vector<Cycles> mem_free_;  // per-node memory controller
+  std::vector<Cycles> net_free_;  // per-node network port
+  stats::Counter* local_accesses_ = nullptr;
+  stats::Counter* remote_accesses_ = nullptr;
+  stats::Counter* dir_forwards_ = nullptr;
+  stats::Counter* dir_invalidations_ = nullptr;
+  stats::Counter* net_msgs_ = nullptr;
+  stats::Counter* faults_charged_ = nullptr;
+};
+
+}  // namespace compass::mem

@@ -1,0 +1,256 @@
+// NumaMachine: the "complex backend" — two-level caches per processor with
+// a full-map directory protocol, per-node memory controllers, and a ring
+// interconnection network.
+#include "mem/machine.h"
+
+#include <algorithm>
+
+namespace compass::mem {
+
+NumaMachine::NumaMachine(const NumaMachineConfig& cfg, int num_cpus,
+                         int num_nodes, Vm& vm, stats::StatsRegistry* stats)
+    : cfg_(cfg), vm_(vm), num_nodes_(num_nodes) {
+  cfg_.validate();
+  COMPASS_CHECK(num_cpus > 0 && num_nodes > 0);
+  COMPASS_CHECK_MSG(num_cpus % num_nodes == 0,
+                    "CPUs must divide evenly across nodes");
+  COMPASS_CHECK_MSG(num_cpus <= 64, "directory sharer bitmask holds 64 CPUs");
+  cpus_per_node_ = num_cpus / num_nodes;
+  l1_.reserve(static_cast<std::size_t>(num_cpus));
+  l2_.reserve(static_cast<std::size_t>(num_cpus));
+  for (int c = 0; c < num_cpus; ++c) {
+    l1_.emplace_back("l1.cpu" + std::to_string(c), cfg_.l1, stats);
+    l2_.emplace_back("l2.cpu" + std::to_string(c), cfg_.l2, stats);
+  }
+  dirs_.resize(static_cast<std::size_t>(num_nodes));
+  mem_free_.resize(static_cast<std::size_t>(num_nodes), 0);
+  net_free_.resize(static_cast<std::size_t>(num_nodes), 0);
+  if (stats != nullptr) {
+    local_accesses_ = &stats->counter("numa.local_accesses");
+    remote_accesses_ = &stats->counter("numa.remote_accesses");
+    dir_forwards_ = &stats->counter("numa.dir_forwards");
+    dir_invalidations_ = &stats->counter("numa.dir_invalidations");
+    net_msgs_ = &stats->counter("numa.net_msgs");
+    faults_charged_ = &stats->counter("machine.page_faults");
+  }
+}
+
+int NumaMachine::ring_hops(NodeId a, NodeId b) const {
+  const int d = std::abs(a - b);
+  return std::min(d, num_nodes_ - d);
+}
+
+Cycles NumaMachine::mem_service(NodeId node, Cycles now) {
+  Cycles& free = mem_free_[static_cast<std::size_t>(node)];
+  const Cycles start = std::max(now, free);
+  free = start + cfg_.mem_access;
+  return (start - now) + cfg_.mem_access;
+}
+
+Cycles NumaMachine::net_msg(NodeId from, NodeId to, std::uint32_t bytes,
+                            Cycles now) {
+  if (from == to) return 0;
+  if (net_msgs_ != nullptr) net_msgs_->inc();
+  const auto transfer =
+      static_cast<Cycles>(static_cast<double>(bytes) / cfg_.net_bytes_per_cycle);
+  // Sender-port contention: the port is occupied for the payload transfer.
+  Cycles& free = net_free_[static_cast<std::size_t>(from)];
+  const Cycles start = std::max(now, free);
+  free = start + transfer + 1;
+  const Cycles queue = start - now;
+  return queue + cfg_.net_base +
+         static_cast<Cycles>(ring_hops(from, to)) * cfg_.net_per_hop + transfer;
+}
+
+void NumaMachine::drop_from_cpu(CpuId cpu, PhysAddr line) {
+  l1_[static_cast<std::size_t>(cpu)].set_state(line, Mesi::kInvalid);
+  l2_[static_cast<std::size_t>(cpu)].set_state(line, Mesi::kInvalid);
+}
+
+void NumaMachine::evict_l2(CpuId cpu, const Cache::Victim& victim, Cycles now) {
+  // The L1 copy must go too (inclusive semantics for coherence).
+  l1_[static_cast<std::size_t>(cpu)].set_state(victim.addr, Mesi::kInvalid);
+  const NodeId home = vm_.home_of(victim.addr);
+  auto& dir = dirs_[static_cast<std::size_t>(home)];
+  const auto it = dir.find(victim.addr);
+  if (it == dir.end()) return;
+  DirEntry& e = it->second;
+  if (e.state == DirEntry::State::kOwned && e.owner == cpu) {
+    // Dirty or exclusive-clean owner eviction: memory becomes the owner.
+    if (victim.state == Mesi::kModified) (void)mem_service(home, now);
+    dir.erase(it);
+  } else if (e.state == DirEntry::State::kShared) {
+    e.sharers &= ~(1ull << cpu);
+    if (e.sharers == 0) dir.erase(it);
+  }
+}
+
+void NumaMachine::fill(CpuId cpu, PhysAddr line, Mesi state, Cycles now) {
+  Cache& l1 = l1_[static_cast<std::size_t>(cpu)];
+  Cache& l2 = l2_[static_cast<std::size_t>(cpu)];
+  const auto l2_victim = l2.insert(line, state);
+  if (l2_victim.has_value()) evict_l2(cpu, *l2_victim, now);
+  const auto l1_victim = l1.insert(line, state);
+  if (l1_victim.has_value() && l1_victim->state == Mesi::kModified) {
+    // Fold dirty L1 victims into L2 when the line is still there.
+    if (l2.probe(l1_victim->addr) != Mesi::kInvalid)
+      l2.set_state(l1_victim->addr, Mesi::kModified);
+  }
+}
+
+Cycles NumaMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
+  Cache& l1 = l1_[static_cast<std::size_t>(cpu)];
+  Cache& l2 = l2_[static_cast<std::size_t>(cpu)];
+  const NodeId my_node = node_of_cpu(cpu);
+
+  const Vm::Translation tr = vm_.translate(proc, ev.addr, my_node);
+  Cycles lat = 0;
+  if (tr.fault) {
+    lat += cfg_.page_fault;
+    if (faults_charged_ != nullptr) faults_charged_->inc();
+  }
+  const PhysAddr line = l2.line_addr(tr.paddr);
+  const bool is_write = ev.ref_type != RefType::kLoad;
+  const Cycles sync_extra =
+      ev.ref_type == RefType::kSync ? cfg_.sync_overhead : 0;
+
+  // ---- L1 ----------------------------------------------------------------
+  const Mesi s1 = l1.lookup(line);
+  if (s1 != Mesi::kInvalid) {
+    if (!is_write || s1 == Mesi::kModified) return lat + cfg_.l1_hit + sync_extra;
+    if (s1 == Mesi::kExclusive) {
+      l1.set_state(line, Mesi::kModified);
+      l2.set_state(line, Mesi::kModified);
+      return lat + cfg_.l1_hit + sync_extra;
+    }
+    // Shared in L1, write: fall through to the directory for ownership.
+  }
+  lat += cfg_.l1_hit;
+
+  // ---- L2 ----------------------------------------------------------------
+  const Mesi s2 = l2.lookup(line);
+  if (s2 != Mesi::kInvalid) {
+    if (!is_write || s2 == Mesi::kModified) {
+      lat += cfg_.l2_hit;
+      fill(cpu, line, s2, ev.time + lat);
+      return lat + sync_extra;
+    }
+    if (s2 == Mesi::kExclusive) {
+      lat += cfg_.l2_hit;
+      l2.set_state(line, Mesi::kModified);
+      fill(cpu, line, Mesi::kModified, ev.time + lat);
+      return lat + sync_extra;
+    }
+    // Shared in L2, write: ownership request below.
+  }
+  lat += cfg_.l2_hit;
+
+  // ---- Directory transaction at the home node -----------------------------
+  const NodeId home = tr.home;
+  if (home == my_node) {
+    if (local_accesses_ != nullptr) local_accesses_->inc();
+  } else if (remote_accesses_ != nullptr) {
+    remote_accesses_->inc();
+  }
+  const std::uint32_t line_bytes = cfg_.l2.line_size;
+  constexpr std::uint32_t kCtrlBytes = 8;
+
+  // Request message to the home directory.
+  lat += net_msg(my_node, home, kCtrlBytes, ev.time + lat);
+  lat += cfg_.dir_lookup;
+
+  auto& dir = dirs_[static_cast<std::size_t>(home)];
+  const auto it = dir.find(line);
+  Mesi grant;
+  if (it == dir.end()) {
+    // Uncached: memory supplies the line.
+    lat += mem_service(home, ev.time + lat);
+    DirEntry e;
+    if (is_write) {
+      e.state = DirEntry::State::kOwned;
+      e.owner = cpu;
+      grant = Mesi::kModified;
+    } else {
+      e.state = DirEntry::State::kOwned;  // exclusive-clean grant
+      e.owner = cpu;
+      grant = Mesi::kExclusive;
+    }
+    dir.emplace(line, e);
+    lat += net_msg(home, my_node, line_bytes, ev.time + lat);
+  } else {
+    DirEntry& e = it->second;
+    if (e.state == DirEntry::State::kOwned && e.owner != cpu) {
+      // Forward to the owner; it supplies the line.
+      const NodeId owner_node = node_of_cpu(e.owner);
+      if (dir_forwards_ != nullptr) dir_forwards_->inc();
+      lat += net_msg(home, owner_node, kCtrlBytes, ev.time + lat);
+      lat += cfg_.l2_hit;  // owner cache probe
+      if (is_write) {
+        drop_from_cpu(e.owner, line);
+        if (dir_invalidations_ != nullptr) dir_invalidations_->inc();
+        e.owner = cpu;
+        grant = Mesi::kModified;
+      } else {
+        // The owner's L1 may have silently replaced the line; L2 still
+        // holds it (the directory is notified of L2 evictions).
+        l1_[static_cast<std::size_t>(e.owner)].set_state_if_present(
+            line, Mesi::kShared);
+        l2_[static_cast<std::size_t>(e.owner)].set_state_if_present(
+            line, Mesi::kShared);
+        // Memory is updated in the background; the directory now tracks
+        // both as sharers.
+        const CpuId prev = e.owner;
+        e.state = DirEntry::State::kShared;
+        e.owner = kNoCpu;
+        e.sharers = (1ull << prev) | (1ull << cpu);
+        (void)mem_service(home, ev.time + lat);
+        grant = Mesi::kShared;
+      }
+      lat += net_msg(owner_node, my_node, line_bytes, ev.time + lat);
+    } else if (e.state == DirEntry::State::kOwned && e.owner == cpu) {
+      // We own it per the directory but missed locally — the line was
+      // silently replaced from L1 while L2 kept it, or this is an upgrade
+      // of our own exclusive line. The home already treats us as owner.
+      grant = is_write ? Mesi::kModified : Mesi::kExclusive;
+      lat += net_msg(home, my_node, line_bytes, ev.time + lat);
+    } else {
+      // Shared.
+      if (is_write) {
+        // Invalidate every sharer (in parallel); latency is one round trip
+        // plus a small per-sharer directory cost.
+        int n_sharers = 0;
+        for (CpuId c = 0; c < static_cast<CpuId>(l2_.size()); ++c) {
+          if (c == cpu) continue;
+          if (e.sharers & (1ull << c)) {
+            drop_from_cpu(c, line);
+            ++n_sharers;
+            if (dir_invalidations_ != nullptr) dir_invalidations_->inc();
+          }
+        }
+        if (n_sharers > 0)
+          lat += cfg_.net_base + cfg_.net_per_hop +
+                 static_cast<Cycles>(n_sharers) * 2;
+        lat += mem_service(home, ev.time + lat);
+        e.state = DirEntry::State::kOwned;
+        e.owner = cpu;
+        e.sharers = 0;
+        grant = Mesi::kModified;
+      } else {
+        lat += mem_service(home, ev.time + lat);
+        e.sharers |= 1ull << cpu;
+        grant = Mesi::kShared;
+      }
+      lat += net_msg(home, my_node, line_bytes, ev.time + lat);
+    }
+  }
+  fill(cpu, line, grant, ev.time + lat);
+  return lat + sync_extra;
+}
+
+void NumaMachine::on_context_switch(CpuId, ProcId, ProcId) {
+  // Cache contents persist; migration cost (cold caches on the new CPU)
+  // emerges from the miss stream — this is what the affinity scheduler
+  // exploits.
+}
+
+}  // namespace compass::mem

@@ -1,0 +1,139 @@
+// FlatMemory and SimpleMachine (MESI snooping bus) implementations.
+#include "mem/machine.h"
+
+namespace compass::mem {
+
+// ----------------------------------------------------------- FlatMemory
+
+FlatMemory::FlatMemory(Cycles latency, Vm* vm, stats::StatsRegistry* stats)
+    : latency_(latency), vm_(vm) {
+  if (stats != nullptr) refs_ = &stats->counter("flat.refs");
+}
+
+Cycles FlatMemory::access(CpuId, ProcId proc, const core::Event& ev) {
+  if (refs_ != nullptr) refs_->inc();
+  if (vm_ != nullptr) (void)vm_->translate(proc, ev.addr, 0);
+  return latency_;
+}
+
+// --------------------------------------------------------- SimpleMachine
+
+SimpleMachine::SimpleMachine(const SimpleMachineConfig& cfg, int num_cpus,
+                             Vm& vm, stats::StatsRegistry* stats)
+    : cfg_(cfg), vm_(vm) {
+  cfg_.validate();
+  COMPASS_CHECK(num_cpus > 0);
+  caches_.reserve(static_cast<std::size_t>(num_cpus));
+  for (int c = 0; c < num_cpus; ++c)
+    caches_.emplace_back("l1.cpu" + std::to_string(c), cfg_.l1, stats);
+  if (stats != nullptr) {
+    bus_txns_ = &stats->counter("bus.transactions");
+    invalidations_ = &stats->counter("bus.invalidations");
+    interventions_ = &stats->counter("bus.interventions");
+    faults_charged_ = &stats->counter("machine.page_faults");
+  }
+}
+
+Cycles SimpleMachine::bus_acquire(Cycles now, Cycles occupancy) {
+  const Cycles start = std::max(now, bus_free_);
+  bus_free_ = start + occupancy;
+  if (bus_txns_ != nullptr) bus_txns_->inc();
+  return (start - now) + occupancy;
+}
+
+void SimpleMachine::invalidate_others(CpuId cpu, PhysAddr line) {
+  for (std::size_t c = 0; c < caches_.size(); ++c) {
+    if (static_cast<CpuId>(c) == cpu) continue;
+    if (caches_[c].probe(line) != Mesi::kInvalid) {
+      caches_[c].set_state(line, Mesi::kInvalid);
+      if (invalidations_ != nullptr) invalidations_->inc();
+    }
+  }
+}
+
+Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
+  Cache& cache = caches_[static_cast<std::size_t>(cpu)];
+  const Vm::Translation tr = vm_.translate(proc, ev.addr, 0);
+  Cycles lat = 0;
+  if (tr.fault) {
+    lat += cfg_.page_fault;
+    if (faults_charged_ != nullptr) faults_charged_->inc();
+  }
+  const PhysAddr line = cache.line_addr(tr.paddr);
+  const bool is_write = ev.ref_type != RefType::kLoad;
+  const Cycles now = ev.time + lat;
+
+  const Mesi state = cache.lookup(line);
+  if (state != Mesi::kInvalid) {
+    if (!is_write || state == Mesi::kModified) {
+      lat += cfg_.l1_hit;
+    } else if (state == Mesi::kExclusive) {
+      cache.set_state(line, Mesi::kModified);
+      lat += cfg_.l1_hit;
+    } else {
+      // Shared, write: bus upgrade invalidating other copies.
+      lat += cfg_.l1_hit + bus_acquire(now, cfg_.upgrade_latency);
+      invalidate_others(cpu, line);
+      cache.set_state(line, Mesi::kModified);
+    }
+  } else {
+    // Miss: full bus transaction with a snoop of every other cache.
+    lat += cfg_.l1_hit;  // probe
+    CpuId dirty_owner = kNoCpu;
+    bool shared_elsewhere = false;
+    for (std::size_t c = 0; c < caches_.size(); ++c) {
+      if (static_cast<CpuId>(c) == cpu) continue;
+      const Mesi s = caches_[c].probe(line);
+      if (s == Mesi::kModified) dirty_owner = static_cast<CpuId>(c);
+      else if (s != Mesi::kInvalid) shared_elsewhere = true;
+    }
+    lat += bus_acquire(now, cfg_.bus_occupancy);
+    Mesi fill_state;
+    if (dirty_owner != kNoCpu) {
+      // Dirty intervention: the owning cache supplies the line.
+      lat += cfg_.cache_to_cache;
+      if (interventions_ != nullptr) interventions_->inc();
+      if (is_write) {
+        caches_[static_cast<std::size_t>(dirty_owner)].set_state(line,
+                                                                 Mesi::kInvalid);
+        if (invalidations_ != nullptr) invalidations_->inc();
+        fill_state = Mesi::kModified;
+      } else {
+        caches_[static_cast<std::size_t>(dirty_owner)].set_state(line,
+                                                                 Mesi::kShared);
+        fill_state = Mesi::kShared;
+      }
+    } else {
+      lat += cfg_.mem_latency;
+      if (is_write) {
+        invalidate_others(cpu, line);
+        fill_state = Mesi::kModified;
+      } else if (shared_elsewhere) {
+        // Other clean copies downgrade any E to S.
+        for (std::size_t c = 0; c < caches_.size(); ++c) {
+          if (static_cast<CpuId>(c) == cpu) continue;
+          if (caches_[c].probe(line) == Mesi::kExclusive)
+            caches_[c].set_state(line, Mesi::kShared);
+        }
+        fill_state = Mesi::kShared;
+      } else {
+        fill_state = Mesi::kExclusive;
+      }
+    }
+    const auto victim = cache.insert(line, fill_state);
+    if (victim.has_value() && victim->state == Mesi::kModified) {
+      // Write the victim back; occupies the bus but completes asynchronously
+      // with respect to the requester.
+      (void)bus_acquire(bus_free_, cfg_.bus_occupancy);
+    }
+  }
+  if (ev.ref_type == RefType::kSync) lat += cfg_.sync_overhead;
+  return lat;
+}
+
+void SimpleMachine::on_context_switch(CpuId, ProcId, ProcId) {
+  // Cache contents persist across context switches; nothing to do. Cold
+  // misses for the incoming process emerge naturally.
+}
+
+}  // namespace compass::mem

@@ -1,0 +1,103 @@
+// Configuration structures for the target memory-system models.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::mem {
+
+/// Physical address in the simulated machine.
+using PhysAddr = std::uint64_t;
+
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+
+/// Virtual address map of a simulated process. Private ranges are
+/// per-process (distinct page tables); the shared-segment and kernel ranges
+/// are mapped identically in every process.
+inline constexpr Addr kShmBase = 0x7000'0000'0000ull;
+inline constexpr Addr kKernelBase = 0xF000'0000'0000ull;
+
+inline bool is_kernel_addr(Addr va) { return va >= kKernelBase; }
+inline bool is_shm_addr(Addr va) { return va >= kShmBase && va < kKernelBase; }
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t assoc = 4;
+  std::uint32_t line_size = 64;
+
+  std::uint32_t num_sets() const { return size_bytes / (assoc * line_size); }
+
+  void validate() const {
+    COMPASS_CHECK_MSG(line_size >= 8 && (line_size & (line_size - 1)) == 0,
+                      "line_size must be a power of two >= 8");
+    COMPASS_CHECK_MSG(assoc >= 1, "associativity must be >= 1");
+    COMPASS_CHECK_MSG(size_bytes % (assoc * line_size) == 0,
+                      "cache size must be a whole number of sets");
+    COMPASS_CHECK_MSG(num_sets() >= 1, "cache must have at least one set");
+  }
+};
+
+/// Page placement policy for assigning home nodes to physical pages
+/// (paper §3.3.1): at page creation (round-robin / block) or at first
+/// reference (first-touch).
+enum class PlacementPolicy : std::uint8_t {
+  kRoundRobin,
+  kBlock,
+  kFirstTouch,
+};
+
+inline constexpr std::string_view to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kRoundRobin: return "round-robin";
+    case PlacementPolicy::kBlock: return "block";
+    case PlacementPolicy::kFirstTouch: return "first-touch";
+  }
+  return "?";
+}
+
+/// "The simplest backend consists of only a one-level cache per processor":
+/// per-CPU L1s kept coherent by a MESI snooping bus over a shared memory.
+struct SimpleMachineConfig {
+  CacheConfig l1{32 * 1024, 4, 64};
+  Cycles l1_hit = 1;
+  Cycles mem_latency = 40;        ///< DRAM access after bus grant
+  Cycles bus_occupancy = 8;       ///< bus cycles held per transaction
+  Cycles cache_to_cache = 24;     ///< dirty intervention latency
+  Cycles upgrade_latency = 10;    ///< S->M invalidation transaction
+  Cycles page_fault = 500;        ///< soft fault on first touch
+  Cycles sync_overhead = 6;       ///< extra cycles for atomic RMW
+
+  void validate() const { l1.validate(); }
+};
+
+/// "The most complex backend models all the other system components along
+/// with a two-level cache per processor": CC-NUMA with per-node directories,
+/// memory controllers and an interconnection network.
+struct NumaMachineConfig {
+  CacheConfig l1{16 * 1024, 2, 64};
+  CacheConfig l2{512 * 1024, 8, 64};
+  Cycles l1_hit = 1;
+  Cycles l2_hit = 8;
+  Cycles dir_lookup = 20;         ///< directory/coherence controller access
+  Cycles mem_access = 50;         ///< node memory controller service time
+  Cycles net_base = 16;           ///< per-message network launch latency
+  Cycles net_per_hop = 10;
+  double net_bytes_per_cycle = 8; ///< link bandwidth for the data payload
+  Cycles page_fault = 500;
+  Cycles sync_overhead = 6;
+  PlacementPolicy placement = PlacementPolicy::kFirstTouch;
+
+  void validate() const {
+    l1.validate();
+    l2.validate();
+    COMPASS_CHECK_MSG(l2.line_size == l1.line_size,
+                      "L1/L2 line sizes must match");
+    COMPASS_CHECK(net_bytes_per_cycle > 0);
+  }
+};
+
+}  // namespace compass::mem

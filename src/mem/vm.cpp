@@ -1,0 +1,164 @@
+#include "mem/vm.h"
+
+namespace compass::mem {
+
+Vm::Vm(const VmConfig& cfg, stats::StatsRegistry* stats) : cfg_(cfg) {
+  COMPASS_CHECK(cfg_.num_nodes >= 1);
+  if (stats != nullptr) {
+    faults_ = &stats->counter("vm.page_faults");
+    shm_attaches_ = &stats->counter("vm.shm_attaches");
+  }
+}
+
+std::uint64_t Vm::alloc_ppage(NodeId touching_node, std::uint64_t block_index,
+                              std::uint64_t block_total) {
+  const std::uint64_t ppage = next_ppage_++;
+  NodeId home = 0;
+  switch (cfg_.placement) {
+    case PlacementPolicy::kRoundRobin:
+      home = static_cast<NodeId>(rr_next_node_++ % static_cast<std::uint64_t>(cfg_.num_nodes));
+      break;
+    case PlacementPolicy::kBlock: {
+      // Contiguous regions are split into num_nodes equal blocks.
+      const std::uint64_t total = block_total == 0 ? 1 : block_total;
+      const std::uint64_t per_node = (total + static_cast<std::uint64_t>(cfg_.num_nodes) - 1) /
+                                     static_cast<std::uint64_t>(cfg_.num_nodes);
+      home = static_cast<NodeId>(block_index / per_node);
+      if (home >= cfg_.num_nodes) home = cfg_.num_nodes - 1;
+      break;
+    }
+    case PlacementPolicy::kFirstTouch:
+      home = touching_node;
+      break;
+  }
+  COMPASS_CHECK(home >= 0 && home < cfg_.num_nodes);
+  page_homes_.emplace(ppage, home);
+  return ppage;
+}
+
+const Vm::Segment* Vm::segment_containing(Addr vaddr) const {
+  return const_cast<Vm*>(this)->segment_containing(vaddr);
+}
+
+Vm::Segment* Vm::segment_containing(Addr vaddr) {
+  for (auto& [_, seg] : segments_)
+    if (vaddr >= seg.base && vaddr < seg.base + seg.size) return &seg;
+  return nullptr;
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t>& Vm::table_for(ProcId proc,
+                                                                Addr vaddr) {
+  if (is_kernel_addr(vaddr)) return kernel_table_;
+  return tables_[proc];
+}
+
+Vm::Translation Vm::translate(ProcId proc, Addr vaddr, NodeId touching_node) {
+  auto& table = table_for(proc, vaddr);
+  const std::uint64_t vpage = vaddr >> kPageShift;
+  Translation t;
+  if (const auto it = table.find(vpage); it != table.end()) {
+    t.paddr = (it->second << kPageShift) | (vaddr & (kPageSize - 1));
+    t.home = home_of_ppage(it->second);
+    return t;
+  }
+  // Fault: create the mapping.
+  t.fault = true;
+  if (faults_ != nullptr) faults_->inc();
+  std::uint64_t ppage = 0;
+  if (Segment* seg = is_shm_addr(vaddr) ? segment_containing(vaddr) : nullptr;
+      seg != nullptr) {
+    // Shared-segment page: allocate the common physical page once, then map
+    // it into this process.
+    const std::uint64_t seg_page = (vaddr - seg->base) >> kPageShift;
+    COMPASS_CHECK(seg_page < seg->ppages.size());
+    if (!seg->ppages[seg_page].has_value())
+      seg->ppages[seg_page] =
+          alloc_ppage(touching_node, seg_page, seg->ppages.size());
+    ppage = *seg->ppages[seg_page];
+  } else {
+    // Anonymous private (or kernel) page.
+    ppage = alloc_ppage(touching_node, vpage, 0);
+  }
+  table.emplace(vpage, ppage);
+  t.paddr = (ppage << kPageShift) | (vaddr & (kPageSize - 1));
+  t.home = home_of_ppage(ppage);
+  return t;
+}
+
+NodeId Vm::home_of_ppage(std::uint64_t ppage) const {
+  const auto it = page_homes_.find(ppage);
+  COMPASS_CHECK_MSG(it != page_homes_.end(), "no home for ppage " << ppage);
+  return it->second;
+}
+
+NodeId Vm::home_of(PhysAddr paddr) const {
+  return home_of_ppage(paddr >> kPageShift);
+}
+
+std::int64_t Vm::shmget(std::uint64_t key, std::uint64_t size) {
+  if (const auto it = seg_by_key_.find(key); it != seg_by_key_.end())
+    return it->second;
+  COMPASS_CHECK_MSG(size > 0, "shmget with zero size");
+  const std::int64_t id = next_segid_++;
+  Segment seg;
+  seg.key = key;
+  seg.size = (size + kPageSize - 1) & ~(kPageSize - 1);
+  seg.base = next_shm_base_;
+  next_shm_base_ += seg.size + kPageSize;  // guard page between segments
+  seg.ppages.resize(seg.size >> kPageShift);
+  segments_.emplace(id, std::move(seg));
+  seg_by_key_.emplace(key, id);
+  return id;
+}
+
+std::int64_t Vm::shmat(ProcId proc, std::int64_t segid) {
+  const auto it = segments_.find(segid);
+  if (it == segments_.end()) return -1;
+  Segment& seg = it->second;
+  ++seg.attach_count;
+  if (shm_attaches_ != nullptr) shm_attaches_->inc();
+  // Pages are mapped lazily in translate(); pre-populate already-allocated
+  // common pages into this process's table so repeated attaches are cheap.
+  auto& table = tables_[proc];
+  for (std::size_t i = 0; i < seg.ppages.size(); ++i)
+    if (seg.ppages[i].has_value())
+      table.emplace((seg.base >> kPageShift) + i, *seg.ppages[i]);
+  return static_cast<std::int64_t>(seg.base);
+}
+
+std::int64_t Vm::shmdt(ProcId proc, std::int64_t segid) {
+  const auto it = segments_.find(segid);
+  if (it == segments_.end()) return -1;
+  Segment& seg = it->second;
+  if (seg.attach_count <= 0) return -1;
+  --seg.attach_count;
+  auto& table = tables_[proc];
+  for (std::size_t i = 0; i < seg.ppages.size(); ++i)
+    table.erase((seg.base >> kPageShift) + i);
+  return 0;
+}
+
+std::uint64_t Vm::segment_size(std::int64_t segid) const {
+  const auto it = segments_.find(segid);
+  COMPASS_CHECK_MSG(it != segments_.end(), "no such segment " << segid);
+  return it->second.size;
+}
+
+Addr Vm::segment_base(std::int64_t segid) const {
+  const auto it = segments_.find(segid);
+  COMPASS_CHECK_MSG(it != segments_.end(), "no such segment " << segid);
+  return it->second.base;
+}
+
+std::size_t Vm::mapped_pages(ProcId proc) const {
+  const auto it = tables_.find(proc);
+  return it == tables_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::size_t> Vm::pages_per_node() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(cfg_.num_nodes), 0);
+  for (const auto& [_, home] : page_homes_) ++out[static_cast<std::size_t>(home)];
+  return out;
+}
+
+}  // namespace compass::mem

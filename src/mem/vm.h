@@ -1,0 +1,107 @@
+// Virtual-memory management in the backend (paper §3.3.1, category 2).
+//
+// Each process has its own page table model, with entries for private pages
+// and for shared-segment pages (which map to common physical pages across
+// processes). A separate hash table records the home node of every physical
+// page; homes are assigned at page creation (round-robin / block placement)
+// or at first reference (first-touch), exactly as the paper describes.
+// Kernel addresses (>= kKernelBase) use one global page table shared by all
+// processes, modeling the shared kernel address space.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "mem/mem_config.h"
+#include "stats/counters.h"
+
+namespace compass::mem {
+
+struct VmConfig {
+  int num_nodes = 1;
+  PlacementPolicy placement = PlacementPolicy::kFirstTouch;
+};
+
+class Vm {
+ public:
+  Vm(const VmConfig& cfg, stats::StatsRegistry* stats = nullptr);
+
+  /// Result of a virtual-to-physical translation.
+  struct Translation {
+    PhysAddr paddr = 0;
+    NodeId home = 0;
+    bool fault = false;  ///< a mapping was created by this access
+  };
+
+  /// Translate `vaddr` for `proc`, creating the mapping on demand.
+  /// `touching_node` is the node of the accessing CPU (first-touch homes).
+  Translation translate(ProcId proc, Addr vaddr, NodeId touching_node);
+
+  // ---- shared memory segments (shmget / shmat / shmdt) ------------------
+
+  /// Create (or look up) the common shared-memory descriptor for `key`.
+  /// Returns the segment id.
+  std::int64_t shmget(std::uint64_t key, std::uint64_t size);
+  /// Map the segment into `proc`'s page table; returns the (process-
+  /// independent) virtual base address of the segment.
+  std::int64_t shmat(ProcId proc, std::int64_t segid);
+  /// Unmap the segment from `proc`'s page table. Returns 0, or -1 if the
+  /// segment was not attached.
+  std::int64_t shmdt(ProcId proc, std::int64_t segid);
+
+  std::uint64_t segment_size(std::int64_t segid) const;
+  Addr segment_base(std::int64_t segid) const;
+
+  /// Home node of a physical page (the paper's hash table, keyed by
+  /// physical address). The page must exist.
+  NodeId home_of(PhysAddr paddr) const;
+  NodeId home_of_ppage(std::uint64_t ppage) const;
+
+  /// Number of mapped pages for a process (diagnostics / tests).
+  std::size_t mapped_pages(ProcId proc) const;
+  std::size_t allocated_pages() const { return page_homes_.size(); }
+
+  /// Pages homed on each node (placement diagnostics).
+  std::vector<std::size_t> pages_per_node() const;
+
+ private:
+  struct Segment {
+    std::uint64_t key = 0;
+    std::uint64_t size = 0;
+    Addr base = 0;
+    /// Lazily-allocated common physical pages, one per segment page.
+    std::vector<std::optional<std::uint64_t>> ppages;
+    int attach_count = 0;
+  };
+
+  /// Allocate a fresh physical page homed according to the placement
+  /// policy. `block_index/block_total` position the page within its region
+  /// for block placement; `touching_node` is used for first-touch.
+  std::uint64_t alloc_ppage(NodeId touching_node, std::uint64_t block_index,
+                            std::uint64_t block_total);
+
+  std::unordered_map<std::uint64_t, std::uint64_t>& table_for(ProcId proc,
+                                                              Addr vaddr);
+  const Segment* segment_containing(Addr vaddr) const;
+  Segment* segment_containing(Addr vaddr);
+
+  VmConfig cfg_;
+  std::uint64_t next_ppage_ = 1;  // ppage 0 reserved
+  std::uint64_t rr_next_node_ = 0;
+  Addr next_shm_base_ = kShmBase;
+  std::unordered_map<std::uint64_t, NodeId> page_homes_;
+  std::map<ProcId, std::unordered_map<std::uint64_t, std::uint64_t>> tables_;
+  std::unordered_map<std::uint64_t, std::uint64_t> kernel_table_;
+  std::map<std::int64_t, Segment> segments_;
+  std::map<std::uint64_t, std::int64_t> seg_by_key_;
+  std::int64_t next_segid_ = 1;
+  stats::Counter* faults_ = nullptr;
+  stats::Counter* shm_attaches_ = nullptr;
+};
+
+}  // namespace compass::mem

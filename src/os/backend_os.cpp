@@ -1,0 +1,34 @@
+#include "os/backend_os.h"
+
+namespace compass::os {
+
+std::int64_t BackendOs::backend_call(ProcId proc, CpuId cpu, Cycles now,
+                                     std::span<const std::uint64_t, 4> args) {
+  (void)cpu;
+  COMPASS_CHECK_MSG(backend_ != nullptr, "BackendOs not bound");
+  switch (static_cast<BackendCall>(args[0])) {
+    case BackendCall::kShmget:
+      return vm_.shmget(args[1], args[2]);
+    case BackendCall::kShmat:
+      return vm_.shmat(proc, static_cast<std::int64_t>(args[1]));
+    case BackendCall::kShmdt:
+      return vm_.shmdt(proc, static_cast<std::int64_t>(args[1]));
+    case BackendCall::kTimerArm: {
+      const Cycles delay = args[1];
+      const core::WaitChannel channel = args[2];
+      backend_->scheduler().schedule_at(now + delay, [this, channel] {
+        backend_->wakeup_channel(channel);
+      });
+      return 0;
+    }
+    case BackendCall::kSchedYield:
+      return 0;
+    case BackendCall::kResetBreakdown:
+      backend_->time_breakdown().reset();
+      return 0;
+  }
+  COMPASS_CHECK_MSG(false, "unknown backend call " << args[0]);
+  return -1;
+}
+
+}  // namespace compass::os

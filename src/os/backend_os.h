@@ -1,0 +1,42 @@
+// Category-2 OS functions modeled inside the backend (paper §3.3).
+//
+// "We do not simulate these functions in detail... However, we attempt to
+// model the resulting effect of these functions on the application's memory
+// behavior fairly accurately." Shared-memory segment management updates the
+// backend's page-table models (Vm); timer arming schedules wakeup tasks in
+// the global event scheduler.
+#pragma once
+
+#include "core/backend.h"
+#include "core/memory_system.h"
+#include "mem/vm.h"
+
+namespace compass::os {
+
+/// Call selector in kBackendCall arg[0].
+enum class BackendCall : std::uint64_t {
+  kShmget = 1,   ///< (key, size) -> segid
+  kShmat,        ///< (segid) -> base address
+  kShmdt,        ///< (segid) -> 0
+  kTimerArm,     ///< (delay_cycles, channel): wakeup(channel) after delay
+  kSchedYield,   ///< () hint; modeled as a no-op
+  /// Reset the per-CPU time breakdown: experiment harnesses call this after
+  /// workload setup so Table-1-style shares measure steady state only.
+  kResetBreakdown,
+};
+
+class BackendOs : public core::BackendCallHandler {
+ public:
+  BackendOs(mem::Vm& vm) : vm_(vm) {}
+
+  void bind(core::Backend& backend) { backend_ = &backend; }
+
+  std::int64_t backend_call(ProcId proc, CpuId cpu, Cycles now,
+                            std::span<const std::uint64_t, 4> args) override;
+
+ private:
+  mem::Vm& vm_;
+  core::Backend* backend_ = nullptr;
+};
+
+}  // namespace compass::os

@@ -1,0 +1,510 @@
+#include "os/fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mem/mem_config.h"
+#include "os/kernel.h"
+
+namespace compass::os {
+
+namespace {
+constexpr Addr kMmapBase = 0x9000'0000'0000ull;
+
+std::uint64_t buf_key(std::uint64_t inode, std::uint64_t page) {
+  return (inode << 20) | page;
+}
+}  // namespace
+
+std::uint8_t* Inode::page_data(std::uint64_t page, std::uint32_t block_size) {
+  auto& slot = pages[page];
+  if (!slot) slot = std::make_unique<std::vector<std::uint8_t>>(block_size, 0);
+  return slot->data();
+}
+
+FileSystem::FileSystem(Kernel& kernel)
+    : kernel_(kernel), next_map_base_(kMmapBase) {
+  fslock_ = std::make_unique<KMutex>(kernel_.backend(), kernel_.new_channel());
+  // Buffer headers and data blocks live in kernel memory so cache lookups
+  // and copies generate kernel-mode references.
+  core::SimContext setup;  // detached: setup costs are not simulated
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  for (std::size_t i = 0; i < kernel_.config().buffer_cache_buffers; ++i) {
+    auto buf = std::make_unique<Buf>();
+    buf->header_addr = kernel_.kalloc(setup, 64, 64);
+    buf->data_addr = kernel_.kalloc(setup, bs, 64);
+    bufs_.push_back(std::move(buf));
+  }
+  if (kernel_.backend() != nullptr) {
+    auto& stats = kernel_.backend()->stats();
+    reads_ = &stats.counter("fs.reads");
+    writes_ = &stats.counter("fs.writes");
+    cache_hits_ = &stats.counter("fs.cache_hits");
+    cache_misses_ = &stats.counter("fs.cache_misses");
+  }
+}
+
+FileSystem::~FileSystem() {
+  for (auto& [_, m] : mappings_) kernel_.mem().remove(*m.arena);
+}
+
+Inode* FileSystem::lookup(const std::string& path) {
+  const auto it = names_.find(path);
+  return it == names_.end() ? nullptr : it->second.get();
+}
+
+Inode* FileSystem::inode_by_id(std::uint64_t id) {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+Inode* FileSystem::create_locked(core::SimContext& ctx, const std::string& path,
+                                 std::uint64_t size_hint) {
+  auto inode = std::make_unique<Inode>();
+  inode->id = next_inode_++;
+  inode->size = 0;
+  inode->disk = kernel_.devices() != nullptr
+                    ? static_cast<int>(inode->id % static_cast<std::uint64_t>(
+                                                       kernel_.devices()->num_disks()))
+                    : 0;
+  // Spread files across the disk for the seek model; leave room for 16 MB
+  // of contiguous growth per file.
+  inode->first_block = inode->id * 4096;
+  inode->header_addr = kernel_.kalloc(ctx, 64, 64);
+  (void)size_hint;
+  Inode* raw = inode.get();
+  by_id_.emplace(inode->id, raw);
+  names_.emplace(path, std::move(inode));
+  return raw;
+}
+
+std::int64_t FileSystem::open(core::SimContext& ctx, ProcId proc,
+                              const std::string& path, std::uint64_t flags) {
+  KMutex::Guard g(*fslock_, ctx);
+  ctx.compute(60);  // directory hash walk
+  Inode* inode = lookup(path);
+  if (inode == nullptr) return -kENOENT;
+  mem::sim_read<std::uint64_t>(ctx, kernel_.mem(), inode->header_addr);
+  return kernel_.fd_alloc(proc, FdEntry::Kind::kFile, inode->id, flags);
+}
+
+std::int64_t FileSystem::creat(core::SimContext& ctx, ProcId proc,
+                               const std::string& path,
+                               std::uint64_t size_hint) {
+  KMutex::Guard g(*fslock_, ctx);
+  ctx.compute(120);
+  Inode* inode = lookup(path);
+  if (inode == nullptr) inode = create_locked(ctx, path, size_hint);
+  mem::sim_write<std::uint64_t>(ctx, kernel_.mem(), inode->header_addr, inode->id);
+  return kernel_.fd_alloc(proc, FdEntry::Kind::kFile, inode->id);
+}
+
+std::int64_t FileSystem::statx(core::SimContext& ctx, const std::string& path) {
+  KMutex::Guard g(*fslock_, ctx);
+  ctx.compute(60);
+  Inode* inode = lookup(path);
+  if (inode == nullptr) return -kENOENT;
+  mem::sim_read<std::uint64_t>(ctx, kernel_.mem(), inode->header_addr);
+  return static_cast<std::int64_t>(inode->size);
+}
+
+std::int64_t FileSystem::unlink(core::SimContext& ctx, const std::string& path) {
+  KMutex::Guard g(*fslock_, ctx);
+  ctx.compute(100);
+  const auto it = names_.find(path);
+  if (it == names_.end()) return -kENOENT;
+  Inode* inode = it->second.get();
+  // Drop any cached buffers of the dead file.
+  for (auto& buf : bufs_) {
+    if (buf->inode_id == inode->id && buf_hash_.contains(buf->key)) {
+      COMPASS_CHECK_MSG(!buf->busy, "unlink of a file with I/O in flight");
+      buf_hash_.erase(buf->key);
+      buf->valid = buf->dirty = false;
+      buf->key = 0;
+      buf->inode_id = 0;
+    }
+  }
+  by_id_.erase(inode->id);
+  names_.erase(it);
+  return 0;
+}
+
+std::uint64_t FileSystem::disk_block(const Buf& buf) const {
+  Inode* inode = const_cast<FileSystem*>(this)->inode_by_id(buf.inode_id);
+  COMPASS_CHECK(inode != nullptr);
+  return inode->first_block + buf.page;
+}
+
+void FileSystem::dma_fill(Buf& buf) {
+  Inode* inode = inode_by_id(buf.inode_id);
+  COMPASS_CHECK(inode != nullptr);
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  std::memcpy(kernel_.kmem().host(buf.data_addr),
+              inode->page_data(buf.page, bs), bs);
+}
+
+void FileSystem::dma_drain(Buf& buf) {
+  Inode* inode = inode_by_id(buf.inode_id);
+  COMPASS_CHECK(inode != nullptr);
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  std::memcpy(inode->page_data(buf.page, bs),
+              kernel_.kmem().host(buf.data_addr), bs);
+}
+
+void FileSystem::write_back(core::SimContext& ctx, Buf& buf) {
+  // fslock held on entry and exit; dropped across the device wait.
+  COMPASS_CHECK(!buf.busy);
+  buf.busy = true;
+  buf.dirty = false;
+  dma_drain(buf);
+  fslock_->unlock(ctx);
+  if (kernel_.simulating() && kernel_.devices() != nullptr) {
+    Inode* inode = inode_by_id(buf.inode_id);
+    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
+                    disk_block(buf),
+                    (static_cast<std::uint64_t>(inode->disk) << 32) | 1,
+                    buf.header_addr);
+    ctx.block_on(buf.header_addr);
+  }
+  fslock_->lock(ctx);
+  buf.busy = false;
+  buf.waiters.wake_all(ctx);
+}
+
+FileSystem::Buf& FileSystem::bget_locked(core::SimContext& ctx,
+                                         std::uint64_t key) {
+  for (;;) {
+    ctx.compute(20);  // hash bucket walk
+    if (const auto it = buf_hash_.find(key); it != buf_hash_.end()) {
+      Buf& b = *it->second;
+      mem::sim_read<std::uint64_t>(ctx, kernel_.mem(), b.header_addr);
+      b.lru = ++lru_clock_;
+      if (cache_hits_ != nullptr) cache_hits_->inc();
+      return b;
+    }
+    if (cache_misses_ != nullptr) cache_misses_->inc();
+    // Choose the least-recently-used non-busy buffer as the victim.
+    Buf* victim = nullptr;
+    for (auto& buf : bufs_)
+      if (!buf->busy && (victim == nullptr || buf->lru < victim->lru))
+        victim = buf.get();
+    COMPASS_CHECK_MSG(victim != nullptr,
+                      "buffer cache exhausted: every buffer busy");
+    if (victim->dirty) {
+      write_back(ctx, *victim);
+      continue;  // the world changed while unlocked; retry the lookup
+    }
+    if (buf_hash_.contains(victim->key)) buf_hash_.erase(victim->key);
+    victim->key = key;
+    victim->inode_id = key >> 20;
+    victim->page = key & ((1u << 20) - 1);
+    victim->valid = false;
+    victim->dirty = false;
+    victim->lru = ++lru_clock_;
+    buf_hash_.emplace(key, victim);
+    mem::sim_write<std::uint64_t>(ctx, kernel_.mem(), victim->header_addr, key);
+    return *victim;
+  }
+}
+
+FileSystem::Buf& FileSystem::bread(core::SimContext& ctx, Inode& inode,
+                                   std::uint64_t page, bool fetch) {
+  for (;;) {
+    Buf& b = bget_locked(ctx, buf_key(inode.id, page));
+    if (b.busy) {
+      b.waiters.sleep(ctx, *fslock_);
+      continue;  // re-lookup: the buffer may have been recycled
+    }
+    if (b.valid) return b;
+    if (!fetch) {
+      // Full-block overwrite: no need to read the old contents.
+      b.valid = true;
+      return b;
+    }
+    b.busy = true;
+    fslock_->unlock(ctx);
+    if (kernel_.simulating() && kernel_.devices() != nullptr) {
+      ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
+                      inode.first_block + page,
+                      (static_cast<std::uint64_t>(inode.disk) << 32) | 1,
+                      b.header_addr);
+      ctx.block_on(b.header_addr);
+    }
+    dma_fill(b);  // DMA: no CPU references
+    fslock_->lock(ctx);
+    b.valid = true;
+    b.busy = false;
+    b.waiters.wake_all(ctx);
+    return b;
+  }
+}
+
+std::int64_t FileSystem::read_direct(core::SimContext& ctx, Inode& inode,
+                                     std::uint64_t offset, Addr user_buf,
+                                     std::uint64_t len) {
+  // Raw I/O: one disk request for the whole contiguous range; the DMA
+  // engine places the data straight into the caller's buffer — the CPU
+  // cost is request setup plus the completion interrupt, not a copy loop.
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  const std::uint64_t first_page = offset / bs;
+  const std::uint64_t nblocks = (len + bs - 1) / bs;
+  ctx.compute(500);  // build and queue the raw-I/O request
+  mem::sim_write<std::uint64_t>(ctx, kernel_.mem(), inode.header_addr + 16,
+                                offset);
+  if (kernel_.simulating() && kernel_.devices() != nullptr) {
+    // The caller sleeps on its own per-request channel so concurrent raw
+    // I/Os on the same file do not wake each other.
+    const core::WaitChannel ch = proc_io_channel(ctx.proc());
+    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
+                    inode.first_block + first_page,
+                    (static_cast<std::uint64_t>(inode.disk) << 32) | nblocks,
+                    ch);
+    ctx.block_on(ch);
+  }
+  {
+    std::lock_guard host_lock(inode.host_mu);
+    for (std::uint64_t page = 0; page < nblocks; ++page) {
+      const std::uint64_t n = std::min<std::uint64_t>(bs, len - page * bs);
+      std::memcpy(kernel_.mem().host(user_buf + page * bs),
+                  inode.page_data(first_page + page, bs), n);
+    }
+  }
+  return static_cast<std::int64_t>(len);
+}
+
+std::int64_t FileSystem::write_direct(core::SimContext& ctx, Inode& inode,
+                                      std::uint64_t offset, Addr user_buf,
+                                      std::uint64_t len) {
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  const std::uint64_t first_page = offset / bs;
+  const std::uint64_t nblocks = (len + bs - 1) / bs;
+  ctx.compute(500);
+  mem::sim_write<std::uint64_t>(ctx, kernel_.mem(), inode.header_addr + 16,
+                                offset);
+  {
+    std::lock_guard host_lock(inode.host_mu);
+    for (std::uint64_t page = 0; page < nblocks; ++page) {
+      const std::uint64_t n = std::min<std::uint64_t>(bs, len - page * bs);
+      std::memcpy(inode.page_data(first_page + page, bs),
+                  kernel_.mem().host(user_buf + page * bs), n);
+    }
+    inode.size = std::max(inode.size, offset + len);
+  }
+  if (kernel_.simulating() && kernel_.devices() != nullptr) {
+    const core::WaitChannel ch = proc_io_channel(ctx.proc());
+    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
+                    inode.first_block + first_page,
+                    (static_cast<std::uint64_t>(inode.disk) << 32) | nblocks,
+                    ch);
+    ctx.block_on(ch);
+  }
+  return static_cast<std::int64_t>(len);
+}
+
+std::int64_t FileSystem::read(core::SimContext& ctx, std::uint64_t inode_id,
+                              std::uint64_t offset, Addr user_buf,
+                              std::uint64_t len, bool direct) {
+  if (reads_ != nullptr) reads_->inc();
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  if (direct && offset % bs == 0) {
+    // Raw I/O runs outside the fslock (only the namespace lookup is
+    // serialized), so concurrent raw reads overlap at the disk queue.
+    Inode* inode = nullptr;
+    {
+      KMutex::Guard g(*fslock_, ctx);
+      inode = inode_by_id(inode_id);
+      if (inode == nullptr) return -kEBADF;
+      if (offset >= inode->size) return 0;
+      len = std::min(len, inode->size - offset);
+    }
+    return read_direct(ctx, *inode, offset, user_buf, len);
+  }
+  KMutex::Guard g(*fslock_, ctx);
+  Inode* inode = inode_by_id(inode_id);
+  if (inode == nullptr) return -kEBADF;
+  if (offset >= inode->size) return 0;
+  len = std::min(len, inode->size - offset);
+  std::uint64_t copied = 0;
+  while (copied < len) {
+    const std::uint64_t pos = offset + copied;
+    const std::uint64_t page = pos / bs;
+    const std::uint64_t in_page = pos % bs;
+    const std::uint64_t n = std::min<std::uint64_t>(bs - in_page, len - copied);
+    Buf& b = bread(ctx, *inode, page, true);
+    mem::sim_memcpy(ctx, kernel_.mem(), user_buf + copied,
+                    b.data_addr + in_page, n);
+    copied += n;
+  }
+  return static_cast<std::int64_t>(copied);
+}
+
+std::int64_t FileSystem::write(core::SimContext& ctx, std::uint64_t inode_id,
+                               std::uint64_t offset, Addr user_buf,
+                               std::uint64_t len, bool direct) {
+  if (writes_ != nullptr) writes_->inc();
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  if (direct && offset % bs == 0 && len % bs == 0) {
+    Inode* inode = nullptr;
+    {
+      KMutex::Guard g(*fslock_, ctx);
+      inode = inode_by_id(inode_id);
+      if (inode == nullptr) return -kEBADF;
+    }
+    return write_direct(ctx, *inode, offset, user_buf, len);
+  }
+  KMutex::Guard g(*fslock_, ctx);
+  Inode* inode = inode_by_id(inode_id);
+  if (inode == nullptr) return -kEBADF;
+  std::uint64_t copied = 0;
+  while (copied < len) {
+    const std::uint64_t pos = offset + copied;
+    const std::uint64_t page = pos / bs;
+    const std::uint64_t in_page = pos % bs;
+    const std::uint64_t n = std::min<std::uint64_t>(bs - in_page, len - copied);
+    // Partial-block writes into existing data must fetch; whole-block
+    // writes (or writes past EOF) allocate without a disk read.
+    const bool fetch = (in_page != 0 || n != bs) && pos < inode->size;
+    Buf& b = bread(ctx, *inode, page, fetch);
+    mem::sim_memcpy(ctx, kernel_.mem(), b.data_addr + in_page,
+                    user_buf + copied, n);
+    b.dirty = true;
+    copied += n;
+  }
+  inode->size = std::max(inode->size, offset + len);
+  mem::sim_write<std::uint64_t>(ctx, kernel_.mem(), inode->header_addr,
+                                inode->size);
+  return static_cast<std::int64_t>(copied);
+}
+
+std::int64_t FileSystem::fsync(core::SimContext& ctx, std::uint64_t inode_id) {
+  KMutex::Guard g(*fslock_, ctx);
+  Inode* inode = inode_by_id(inode_id);
+  if (inode == nullptr) return -kEBADF;
+  for (;;) {
+    Buf* dirty = nullptr;
+    for (auto& buf : bufs_)
+      if (buf->dirty && !buf->busy && buf->inode_id == inode_id) {
+        dirty = buf.get();
+        break;
+      }
+    if (dirty == nullptr) break;
+    write_back(ctx, *dirty);
+  }
+  return 0;
+}
+
+std::int64_t FileSystem::mmap(core::SimContext& ctx, ProcId proc,
+                              std::uint64_t inode_id, std::uint64_t offset,
+                              std::uint64_t len) {
+  (void)proc;
+  // mmap coherence: flush dirty buffers first, then map a copy of the file
+  // contents; one bulk disk read models the paging traffic.
+  fsync(ctx, inode_id);
+  KMutex::Guard g(*fslock_, ctx);
+  Inode* inode = inode_by_id(inode_id);
+  if (inode == nullptr) return -kEBADF;
+  if (len == 0) return -kEINVAL;
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  const std::uint64_t aligned = (len + bs - 1) / bs * bs;
+  Mapping m;
+  m.inode_id = inode_id;
+  m.offset = offset;
+  m.len = len;
+  m.arena = std::make_unique<mem::Arena>("mmap." + std::to_string(inode_id),
+                                         next_map_base_, aligned);
+  next_map_base_ += aligned + mem::kPageSize;
+  kernel_.mem().add(*m.arena);
+  const Addr base = m.arena->base();
+  // Populate from the platter (paging I/O, DMA semantics).
+  for (std::uint64_t page = 0; page * bs < aligned; ++page) {
+    const std::uint64_t fpage = (offset / bs) + page;
+    std::memcpy(m.arena->host(base + page * bs), inode->page_data(fpage, bs),
+                bs);
+  }
+  if (kernel_.simulating() && kernel_.devices() != nullptr) {
+    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
+                    inode->first_block + offset / bs,
+                    (static_cast<std::uint64_t>(inode->disk) << 32) |
+                        (aligned / bs),
+                    inode->header_addr);
+    ctx.block_on(inode->header_addr);
+  }
+  ctx.compute(200 + 30 * (aligned / bs));  // page-table population
+  mappings_.emplace(base, std::move(m));
+  return static_cast<std::int64_t>(base);
+}
+
+std::int64_t FileSystem::msync(core::SimContext& ctx, Addr base) {
+  KMutex::Guard g(*fslock_, ctx);
+  const auto it = mappings_.find(base);
+  if (it == mappings_.end()) return -kEINVAL;
+  Mapping& m = it->second;
+  Inode* inode = inode_by_id(m.inode_id);
+  COMPASS_CHECK(inode != nullptr);
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  const std::uint64_t aligned = m.arena->capacity();
+  // Page-table dirty scan + copy back to the platter.
+  ctx.compute(20 * (aligned / bs));
+  for (std::uint64_t page = 0; page * bs < aligned; ++page) {
+    const std::uint64_t fpage = (m.offset / bs) + page;
+    std::memcpy(inode->page_data(fpage, bs), m.arena->host(base + page * bs),
+                bs);
+  }
+  inode->size = std::max(inode->size, m.offset + m.len);
+  if (kernel_.simulating() && kernel_.devices() != nullptr) {
+    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
+                    inode->first_block + m.offset / bs,
+                    (static_cast<std::uint64_t>(inode->disk) << 32) |
+                        (aligned / bs),
+                    inode->header_addr);
+    ctx.block_on(inode->header_addr);
+  }
+  return 0;
+}
+
+std::int64_t FileSystem::munmap(core::SimContext& ctx, Addr base) {
+  KMutex::Guard g(*fslock_, ctx);
+  const auto it = mappings_.find(base);
+  if (it == mappings_.end()) return -kEINVAL;
+  ctx.compute(100);
+  kernel_.mem().remove(*it->second.arena);
+  mappings_.erase(it);
+  return 0;
+}
+
+void FileSystem::disk_intr(core::SimContext& ctx, std::uint64_t payload) {
+  // iodone bookkeeping: touch the request/buffer record, then wake the
+  // sleeper. Lock-free by design — interrupt context must not block.
+  ctx.compute(kernel_.config().intr_service_cycles);
+  if (payload >= mem::kKernelBase) {
+    ctx.load(payload, 8);
+    ctx.store(payload + 8, 8);
+  }
+  ctx.wakeup(payload);
+}
+
+void FileSystem::populate(const std::string& path,
+                          std::span<const std::uint8_t> data) {
+  core::SimContext setup;  // detached
+  KMutex::Guard g(*fslock_, setup);
+  Inode* inode = lookup(path);
+  if (inode == nullptr) inode = create_locked(setup, path, data.size());
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  for (std::uint64_t off = 0; off < data.size(); off += bs) {
+    const std::uint64_t n = std::min<std::uint64_t>(bs, data.size() - off);
+    std::memcpy(inode->page_data(off / bs, bs), data.data() + off, n);
+  }
+  inode->size = data.size();
+}
+
+std::uint64_t FileSystem::file_size(const std::string& path) const {
+  const auto it = names_.find(path);
+  COMPASS_CHECK_MSG(it != names_.end(), "no such file: " << path);
+  return it->second->size;
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  return names_.contains(path);
+}
+
+}  // namespace compass::os

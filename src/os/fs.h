@@ -1,0 +1,148 @@
+// The simulated file system: flat namespace, per-inode extents on the
+// disks, and a kernel buffer cache (hash + LRU) whose headers and data
+// blocks live in kernel memory, so every lookup and copy emits kernel-mode
+// memory events.
+//
+// I/O path: a read miss marks the buffer busy, issues a kDevRequest to the
+// disk model and sleeps on the buffer's channel; the disk-completion
+// interrupt handler does iodone bookkeeping and wakes the channel; the
+// woken reader validates the buffer (DMA placed the data) and copies
+// buffer → user with instrumented kernel references. Writes go to the
+// buffer cache (dirty) and reach the disk at fsync or eviction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sim_context.h"
+#include "mem/arena.h"
+#include "os/ksync.h"
+#include "os/syscall.h"
+
+namespace compass::os {
+
+class Kernel;
+
+/// On-"disk" file. Data pages are stable host storage (the platter).
+struct Inode {
+  std::uint64_t id = 0;
+  std::uint64_t size = 0;
+  int disk = 0;
+  std::uint64_t first_block = 0;  ///< disk block of page 0 (seek model)
+  Addr header_addr = 0;           ///< kernel-resident inode record
+  std::map<std::uint64_t, std::unique_ptr<std::vector<std::uint8_t>>> pages;
+  /// Host-level guard for `pages`/`size`: direct I/O runs outside the
+  /// fslock, so concurrent raw readers/writers of one file synchronize
+  /// their host-side platter access here (no simulated cost).
+  std::mutex host_mu;
+
+  std::uint8_t* page_data(std::uint64_t page, std::uint32_t block_size);
+};
+
+class FileSystem {
+ public:
+  FileSystem(Kernel& kernel);
+  ~FileSystem();
+
+  // All calls run on OS threads (or natively); `proc` is the calling
+  // process for fd bookkeeping done by the Kernel.
+
+  std::int64_t open(core::SimContext& ctx, ProcId proc, const std::string& path,
+                    std::uint64_t flags = 0);
+  std::int64_t creat(core::SimContext& ctx, ProcId proc, const std::string& path,
+                     std::uint64_t size_hint);
+  std::int64_t statx(core::SimContext& ctx, const std::string& path);
+  std::int64_t unlink(core::SimContext& ctx, const std::string& path);
+
+  /// `direct`: raw I/O — DMA between disk and the caller's buffer (no
+  /// buffer-cache copy); requires block-aligned offset and length.
+  std::int64_t read(core::SimContext& ctx, std::uint64_t inode_id,
+                    std::uint64_t offset, Addr user_buf, std::uint64_t len,
+                    bool direct = false);
+  std::int64_t write(core::SimContext& ctx, std::uint64_t inode_id,
+                     std::uint64_t offset, Addr user_buf, std::uint64_t len,
+                     bool direct = false);
+  std::int64_t fsync(core::SimContext& ctx, std::uint64_t inode_id);
+
+  // mmap family (paper: mmap/munmap/msync dominate TPCD's kernel time).
+  std::int64_t mmap(core::SimContext& ctx, ProcId proc, std::uint64_t inode_id,
+                    std::uint64_t offset, std::uint64_t len);
+  std::int64_t munmap(core::SimContext& ctx, Addr base);
+  std::int64_t msync(core::SimContext& ctx, Addr base);
+
+  /// Disk-completion interrupt handler (lock-free: bookkeeping + wakeup).
+  void disk_intr(core::SimContext& ctx, std::uint64_t payload);
+
+  /// Host-side helper for tests and workload setup: create a file with
+  /// content without simulating (uses a detached context).
+  void populate(const std::string& path, std::span<const std::uint8_t> data);
+  std::uint64_t file_size(const std::string& path) const;
+  bool exists(const std::string& path) const;
+
+  Inode* inode_by_id(std::uint64_t id);
+
+ private:
+  struct Buf {
+    std::uint64_t key = 0;        ///< (inode_id << 20) | page
+    std::uint64_t inode_id = 0;
+    std::uint64_t page = 0;
+    Addr header_addr = 0;         ///< kernel record; also the wait channel
+    Addr data_addr = 0;           ///< block-sized kernel data area
+    bool valid = false;
+    bool dirty = false;
+    bool busy = false;            ///< owned by an in-flight I/O
+    std::uint64_t lru = 0;
+    KWaitQueue waiters;           ///< procs waiting for !busy
+  };
+
+  Inode* lookup(const std::string& path);
+  Inode* create_locked(core::SimContext& ctx, const std::string& path,
+                       std::uint64_t size_hint);
+  /// Get the buffer for (inode, page), filling it from disk if needed.
+  /// Returns with the buffer valid and not busy; fslock held on entry and
+  /// exit (dropped across I/O).
+  Buf& bread(core::SimContext& ctx, Inode& inode, std::uint64_t page,
+             bool fetch);
+  Buf& bget_locked(core::SimContext& ctx, std::uint64_t key);
+  std::int64_t read_direct(core::SimContext& ctx, Inode& inode,
+                           std::uint64_t offset, Addr user_buf,
+                           std::uint64_t len);
+  std::int64_t write_direct(core::SimContext& ctx, Inode& inode,
+                            std::uint64_t offset, Addr user_buf,
+                            std::uint64_t len);
+  void write_back(core::SimContext& ctx, Buf& buf);
+  void dma_fill(Buf& buf);
+  void dma_drain(Buf& buf);
+  std::uint64_t disk_block(const Buf& buf) const;
+
+  Kernel& kernel_;
+  std::unique_ptr<KMutex> fslock_;
+  std::map<std::string, std::unique_ptr<Inode>> names_;
+  std::map<std::uint64_t, Inode*> by_id_;
+  std::uint64_t next_inode_ = 1;
+  std::vector<std::unique_ptr<Buf>> bufs_;
+  std::map<std::uint64_t, Buf*> buf_hash_;
+  std::uint64_t lru_clock_ = 0;
+
+  struct Mapping {
+    std::unique_ptr<mem::Arena> arena;
+    std::uint64_t inode_id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+  };
+  std::map<Addr, Mapping> mappings_;
+  Addr next_map_base_;
+
+  stats::Counter* reads_ = nullptr;
+  stats::Counter* writes_ = nullptr;
+  stats::Counter* cache_hits_ = nullptr;
+  stats::Counter* cache_misses_ = nullptr;
+};
+
+}  // namespace compass::os

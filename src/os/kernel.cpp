@@ -1,0 +1,349 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "mem/mem_config.h"
+#include "os/backend_os.h"
+#include "os/fs.h"
+#include "os/tcpip.h"
+
+namespace compass::os {
+
+namespace {
+/// Kernel channel ids live in their own namespace below the per-proc range.
+constexpr core::WaitChannel kKernelChannelBase = 0xD000'0000'0000'0000ull;
+}  // namespace
+
+Kernel::Kernel(const KernelConfig& cfg, core::Backend* backend,
+               mem::AddressMap& mem, dev::DeviceHub* devices)
+    : cfg_(cfg),
+      backend_(backend),
+      mem_(mem),
+      devices_(devices),
+      next_channel_(kKernelChannelBase) {
+  kmem_ = std::make_unique<mem::Arena>("kmem", mem::kKernelBase, cfg_.kmem_bytes);
+  mem_.add(*kmem_);
+  semlock_ = std::make_unique<KMutex>(backend_, new_channel());
+  fs_ = std::make_unique<FileSystem>(*this);
+  net_ = std::make_unique<TcpIp>(*this);
+}
+
+Kernel::~Kernel() {
+  // Subsystems unregister their arenas first (fs mmaps reference mem_).
+  fs_.reset();
+  net_.reset();
+  for (auto& [_, arena] : shm_arenas_) mem_.remove(*arena);
+  mem_.remove(*kmem_);
+}
+
+Addr Kernel::kalloc(core::SimContext& ctx, std::size_t size, std::size_t align) {
+  ctx.compute(40);  // allocator freelist walk
+  return kmem_->alloc(size, align);
+}
+
+void Kernel::kfree(core::SimContext& ctx, Addr addr, std::size_t size) {
+  ctx.compute(25);
+  kmem_->free(addr, size);
+}
+
+core::WaitChannel Kernel::new_channel() {
+  return next_channel_.fetch_add(64, std::memory_order_relaxed);
+}
+
+std::string Kernel::copy_path(core::SimContext& ctx, Addr addr,
+                              std::uint64_t len) {
+  COMPASS_CHECK_MSG(len < 4096, "path too long");
+  // copyinstr: the kernel reads the user buffer.
+  mem::sim_scan(ctx, mem_, addr, len, 1, 64);
+  const auto* host = reinterpret_cast<const char*>(mem_.host(addr));
+  return std::string(host, len);
+}
+
+std::int64_t Kernel::fd_alloc(ProcId proc, FdEntry::Kind kind,
+                              std::uint64_t obj, std::uint64_t flags) {
+  std::lock_guard lock(fd_mu_);
+  auto& table = fd_tables_[proc];
+  if (table.empty()) table.resize(static_cast<std::size_t>(cfg_.max_fds));
+  for (std::size_t fd = 3; fd < table.size(); ++fd) {  // 0-2 reserved
+    if (table[fd].kind == FdEntry::Kind::kFree) {
+      table[fd] = FdEntry{kind, obj, 0, flags};
+      return static_cast<std::int64_t>(fd);
+    }
+  }
+  return -kEMFILE;
+}
+
+FdEntry* Kernel::fd_get(ProcId proc, std::int64_t fd) {
+  std::lock_guard lock(fd_mu_);
+  const auto it = fd_tables_.find(proc);
+  if (it == fd_tables_.end()) return nullptr;
+  if (fd < 0 || static_cast<std::size_t>(fd) >= it->second.size()) return nullptr;
+  FdEntry& e = it->second[static_cast<std::size_t>(fd)];
+  return e.kind == FdEntry::Kind::kFree ? nullptr : &e;
+}
+
+void Kernel::fd_close(ProcId proc, std::int64_t fd) {
+  std::lock_guard lock(fd_mu_);
+  const auto it = fd_tables_.find(proc);
+  if (it == fd_tables_.end()) return;
+  if (fd < 0 || static_cast<std::size_t>(fd) >= it->second.size()) return;
+  it->second[static_cast<std::size_t>(fd)] = FdEntry{};
+}
+
+void Kernel::note_shm_size(std::int64_t segid, std::uint64_t size) {
+  std::lock_guard lock(shm_mu_);
+  shm_sizes_.emplace(segid, size);
+}
+
+void Kernel::ensure_shm_host(std::int64_t segid, Addr base) {
+  std::lock_guard lock(shm_mu_);
+  if (shm_arenas_.contains(segid)) return;
+  const auto it = shm_sizes_.find(segid);
+  COMPASS_CHECK_MSG(it != shm_sizes_.end(),
+                    "shmat of segment " << segid << " before shmget");
+  auto arena = std::make_unique<mem::Arena>("shm" + std::to_string(segid),
+                                            base, it->second);
+  mem_.add(*arena);
+  shm_arenas_.emplace(segid, std::move(arena));
+}
+
+void Kernel::handle_irqs(core::SimContext& ctx, CpuId cpu) {
+  COMPASS_CHECK_MSG(backend_ != nullptr, "interrupts need a backend");
+  core::CpuState& cs = backend_->communicator().cpu_state(cpu);
+  ctx.irq_enter(0);
+  const ExecMode saved = ctx.mode();
+  ctx.set_mode(ExecMode::kInterrupt);
+  while (auto d = cs.pop()) {
+    switch (d->irq) {
+      case core::Irq::kTimer:
+        // Timekeeping: bump the tick count, scan the callout list head.
+        ctx.compute(cfg_.intr_service_cycles);
+        ctx.load(mem::kKernelBase, 8);
+        ctx.store(mem::kKernelBase, 8);
+        break;
+      case core::Irq::kDisk:
+        fs_->disk_intr(ctx, d->payload);
+        break;
+      case core::Irq::kEthernetRx:
+        net_->rx_intr(ctx, d->payload);
+        break;
+      case core::Irq::kEthernetTx:
+        net_->tx_intr(ctx, d->payload);
+        break;
+      case core::Irq::kIpi:
+      case core::Irq::kCount:
+        break;
+    }
+  }
+  ctx.set_mode(saved);
+  ctx.irq_exit();
+}
+
+std::int64_t Kernel::sys_sem(core::SimContext& ctx, ProcId proc, Sys sys,
+                             std::span<const std::int64_t> args) {
+  (void)proc;
+  KMutex::Guard g(*semlock_, ctx);
+  const std::int64_t id = args[0];
+  switch (sys) {
+    case Sys::kSemInit: {
+      // Create-if-absent (semget semantics): a second initializer must not
+      // reset the count and lose posted V's.
+      const auto [it, inserted] = sems_.try_emplace(id);
+      if (inserted) it->second.count = args[1];
+      return 0;
+    }
+    case Sys::kSemP: {
+      auto it = sems_.find(id);
+      if (it == sems_.end()) return -kEINVAL;
+      while (it->second.count == 0) {
+        it->second.waiters.sleep(ctx, *semlock_);
+        if (ctx.aborted()) return -kEINVAL;
+        it = sems_.find(id);
+        if (it == sems_.end()) return -kEINVAL;
+      }
+      --it->second.count;
+      return 0;
+    }
+    case Sys::kSemV: {
+      const auto it = sems_.find(id);
+      if (it == sems_.end()) return -kEINVAL;
+      ++it->second.count;
+      it->second.waiters.wake_one(ctx);
+      return 0;
+    }
+    default:
+      return -kEINVAL;
+  }
+}
+
+std::int64_t Kernel::sys_usleep(core::SimContext& ctx, ProcId proc,
+                                Cycles delay) {
+  if (!ctx.attached()) return 0;  // native: sleeping wastes no simulated time
+  const core::WaitChannel ch = proc_channel(proc);
+  ctx.backend_call(static_cast<std::uint64_t>(BackendCall::kTimerArm), delay, ch);
+  ctx.block_on(ch);
+  return 0;
+}
+
+std::int64_t Kernel::syscall(core::SimContext& ctx, ProcId proc,
+                             std::uint32_t sysno,
+                             std::span<const std::int64_t> args) {
+  const Sys sys = static_cast<Sys>(sysno);
+  COMPASS_CHECK_MSG(!is_backend_call(sys),
+                    "category-2 call " << to_string(sys)
+                                       << " routed to the OS server");
+  ctx.compute(cfg_.syscall_dispatch_cycles);
+  auto arg = [&](std::size_t i) -> std::int64_t {
+    return i < args.size() ? args[i] : 0;
+  };
+  auto uarg = [&](std::size_t i) { return static_cast<std::uint64_t>(arg(i)); };
+
+  switch (sys) {
+    case Sys::kOpen:
+      return fs_->open(ctx, proc, copy_path(ctx, uarg(0), uarg(1)), uarg(2));
+    case Sys::kCreat:
+      return fs_->creat(ctx, proc, copy_path(ctx, uarg(0), uarg(1)), uarg(2));
+    case Sys::kStatx:
+      return fs_->statx(ctx, copy_path(ctx, uarg(0), uarg(1)));
+    case Sys::kUnlink:
+      return fs_->unlink(ctx, copy_path(ctx, uarg(0), uarg(1)));
+    case Sys::kClose: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr) return -kEBADF;
+      std::int64_t rv = 0;
+      if (e->kind == FdEntry::Kind::kSocket)
+        rv = net_->sys_sockclose(ctx, e->obj);
+      fd_close(proc, arg(0));
+      return rv;
+    }
+    case Sys::kRead:
+    case Sys::kWrite: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr) return -kEBADF;
+      if (e->kind == FdEntry::Kind::kSocket) {
+        return sys == Sys::kRead
+                   ? net_->sys_recv(ctx, proc, e->obj, uarg(1), uarg(2))
+                   : net_->sys_send(ctx, e->obj, uarg(1), uarg(2));
+      }
+      const bool direct = (e->flags & kOpenDirect) != 0;
+      const std::int64_t n =
+          sys == Sys::kRead
+              ? fs_->read(ctx, e->obj, e->offset, uarg(1), uarg(2), direct)
+              : fs_->write(ctx, e->obj, e->offset, uarg(1), uarg(2), direct);
+      if (n > 0) e->offset += static_cast<std::uint64_t>(n);
+      return n;
+    }
+    case Sys::kReadv:
+    case Sys::kWritev: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr) return -kEBADF;
+      const Addr iov_addr = uarg(1);
+      const std::uint64_t iovcnt = uarg(2);
+      std::int64_t total = 0;
+      for (std::uint64_t i = 0; i < iovcnt; ++i) {
+        const auto iov = mem::sim_read<KIovec>(ctx, mem_,
+                                               iov_addr + i * sizeof(KIovec));
+        std::int64_t n = 0;
+        if (e->kind == FdEntry::Kind::kSocket) {
+          n = sys == Sys::kReadv
+                  ? net_->sys_recv(ctx, proc, e->obj, iov.base, iov.len)
+                  : net_->sys_send(ctx, e->obj, iov.base, iov.len);
+        } else {
+          const bool direct = (e->flags & kOpenDirect) != 0;
+          n = sys == Sys::kReadv
+                  ? fs_->read(ctx, e->obj, e->offset, iov.base, iov.len, direct)
+                  : fs_->write(ctx, e->obj, e->offset, iov.base, iov.len, direct);
+          if (n > 0) e->offset += static_cast<std::uint64_t>(n);
+        }
+        if (n < 0) return total > 0 ? total : n;
+        total += n;
+        if (static_cast<std::uint64_t>(n) < iov.len) break;  // short transfer
+      }
+      return total;
+    }
+    case Sys::kLseek: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kFile) return -kEBADF;
+      Inode* inode = fs_->inode_by_id(e->obj);
+      if (inode == nullptr) return -kEBADF;
+      switch (arg(2)) {
+        case 0: e->offset = uarg(1); break;
+        case 1: e->offset += uarg(1); break;
+        case 2: e->offset = inode->size + uarg(1); break;
+        default: return -kEINVAL;
+      }
+      return static_cast<std::int64_t>(e->offset);
+    }
+    case Sys::kFsync: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kFile) return -kEBADF;
+      return fs_->fsync(ctx, e->obj);
+    }
+    case Sys::kMmap: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kFile) return -kEBADF;
+      return fs_->mmap(ctx, proc, e->obj, uarg(1), uarg(2));
+    }
+    case Sys::kMunmap:
+      return fs_->munmap(ctx, uarg(0));
+    case Sys::kMsync:
+      return fs_->msync(ctx, uarg(0));
+
+    case Sys::kSocket:
+      return net_->sys_socket(ctx, proc);
+    case Sys::kBind: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      return net_->sys_bind(ctx, e->obj, static_cast<std::uint16_t>(uarg(1)));
+    }
+    case Sys::kListen: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      return net_->sys_listen(ctx, e->obj, static_cast<int>(arg(1)));
+    }
+    case Sys::kNaccept: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      return net_->sys_naccept(ctx, proc, e->obj);
+    }
+    case Sys::kConnect: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      return net_->sys_connect(ctx, e->obj, static_cast<std::uint16_t>(uarg(1)));
+    }
+    case Sys::kSend: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      return net_->sys_send(ctx, e->obj, uarg(1), uarg(2));
+    }
+    case Sys::kRecv: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      return net_->sys_recv(ctx, proc, e->obj, uarg(1), uarg(2));
+    }
+    case Sys::kSelect:
+      return net_->sys_select(ctx, proc, uarg(0), uarg(1));
+    case Sys::kSockClose: {
+      FdEntry* e = fd_get(proc, arg(0));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -kEBADF;
+      const std::int64_t rv = net_->sys_sockclose(ctx, e->obj);
+      fd_close(proc, arg(0));
+      return rv;
+    }
+
+    case Sys::kSemInit:
+    case Sys::kSemP:
+    case Sys::kSemV:
+      return sys_sem(ctx, proc, sys, args);
+    case Sys::kGetpid:
+      return proc;
+    case Sys::kUsleep:
+      return sys_usleep(ctx, proc, uarg(0));
+
+    default:
+      COMPASS_CHECK_MSG(false, "unimplemented syscall " << sysno);
+  }
+  return -kEINVAL;
+}
+
+}  // namespace compass::os

@@ -1,0 +1,152 @@
+// The simulated AIX-like kernel serviced by the OS server.
+//
+// Category-1 OS functions are implemented here as real C++ code operating
+// on kernel data structures allocated in a kernel-address-space arena; the
+// code runs under an attached SimContext, so every touch of a buffer
+// header, mbuf or inode emits kernel-mode memory events — the memory access
+// behaviour of these OS functions is "captured and simulated" as §3 of the
+// paper requires. The same code runs detached for native (raw) runs.
+//
+// The kernel is shared by all OS threads and bottom-half runners; all
+// shared state is guarded by KMutexes (deterministic, backend-granted sleep
+// locks) and interrupt handlers touch only lock-free structures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/sim_context.h"
+#include "dev/device_hub.h"
+#include "mem/arena.h"
+#include "os/ksync.h"
+#include "os/syscall.h"
+
+namespace compass::os {
+
+class FileSystem;
+class TcpIp;
+
+struct KernelConfig {
+  std::size_t kmem_bytes = 64ull << 20;     ///< kernel heap arena size
+  std::size_t buffer_cache_buffers = 256;   ///< buffer cache capacity
+  std::uint32_t fs_block_size = 4096;
+  std::size_t mbuf_count = 4096;
+  std::uint32_t mbuf_data = 1024;           ///< payload bytes per mbuf
+  int max_fds = 256;                        ///< per-process fd limit
+  /// Fixed kernel path work per syscall dispatch (table lookup etc.).
+  Cycles syscall_dispatch_cycles = 80;
+  /// Per-64B checksum compute in the TCP/IP stack.
+  Cycles checksum_per_chunk = 4;
+  /// Interrupt-handler bookkeeping cycles (iodone / rx ring service /
+  /// timer callout processing). AIX-era first-level handlers plus their
+  /// off-level processing ran thousands of cycles.
+  Cycles intr_service_cycles = 2'000;
+};
+
+/// One open-file-table entry.
+struct FdEntry {
+  enum class Kind : std::uint8_t { kFree, kFile, kSocket };
+  Kind kind = Kind::kFree;
+  std::uint64_t obj = 0;   ///< inode id or socket id
+  std::uint64_t offset = 0;
+  std::uint64_t flags = 0; ///< kOpenDirect etc.
+};
+
+class Kernel {
+ public:
+  /// `backend` may be null for native-only use (raw runs): no devices, no
+  /// channels — all I/O completes synchronously and locks are host locks.
+  Kernel(const KernelConfig& cfg, core::Backend* backend,
+         mem::AddressMap& mem, dev::DeviceHub* devices);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- OS-call service (OS threads / native threads) ---------------------
+
+  std::int64_t syscall(core::SimContext& ctx, ProcId proc, std::uint32_t sysno,
+                       std::span<const std::int64_t> args);
+
+  // ---- interrupt dispatch (OS threads, bottom halves) ---------------------
+
+  /// Drain and service the pending interrupts of `cpu`: the handler
+  /// dispatch loop of §3.2 (kIrqEnter … handlers … kIrqExit).
+  void handle_irqs(core::SimContext& ctx, CpuId cpu);
+
+  // ---- infrastructure for kernel subsystems -------------------------------
+
+  const KernelConfig& config() const { return cfg_; }
+  core::Backend* backend() { return backend_; }
+  dev::DeviceHub* devices() { return devices_; }
+  mem::AddressMap& mem() { return mem_; }
+  mem::Arena& kmem() { return *kmem_; }
+  FileSystem& fs() { return *fs_; }
+  TcpIp& net() { return *net_; }
+  bool simulating() const { return backend_ != nullptr; }
+
+  /// Allocate/free kernel memory, charging allocator path cycles.
+  Addr kalloc(core::SimContext& ctx, std::size_t size, std::size_t align = 8);
+  void kfree(core::SimContext& ctx, Addr addr, std::size_t size);
+
+  /// Fresh unique wait-channel id inside the kernel channel namespace.
+  core::WaitChannel new_channel();
+
+  /// Copy a NUL-free path string out of user memory (copyinstr): emits
+  /// kernel loads over the user buffer.
+  std::string copy_path(core::SimContext& ctx, Addr addr, std::uint64_t len);
+
+  // ---- fd tables -----------------------------------------------------------
+
+  /// Allocate the lowest free fd for `proc`. Returns -EMFILE when full.
+  std::int64_t fd_alloc(ProcId proc, FdEntry::Kind kind, std::uint64_t obj,
+                        std::uint64_t flags = 0);
+  FdEntry* fd_get(ProcId proc, std::int64_t fd);
+  void fd_close(ProcId proc, std::int64_t fd);
+
+  // ---- shared-segment host backing ----------------------------------------
+  // The backend's Vm models the page tables; the host-side bytes of each
+  // segment live in an arena created at first attach so workload code can
+  // access them through the AddressMap.
+
+  void note_shm_size(std::int64_t segid, std::uint64_t size);
+  void ensure_shm_host(std::int64_t segid, Addr base);
+
+ private:
+  std::int64_t sys_sem(core::SimContext& ctx, ProcId proc, Sys sys,
+                       std::span<const std::int64_t> args);
+  std::int64_t sys_usleep(core::SimContext& ctx, ProcId proc, Cycles delay);
+
+  KernelConfig cfg_;
+  core::Backend* backend_;
+  mem::AddressMap& mem_;
+  dev::DeviceHub* devices_;
+  std::unique_ptr<mem::Arena> kmem_;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<TcpIp> net_;
+
+  std::mutex fd_mu_;  // host-level guard; fd tables are per-proc serial
+  std::map<ProcId, std::vector<FdEntry>> fd_tables_;
+
+  std::atomic<std::uint64_t> next_channel_;
+
+  struct Sem {
+    std::int64_t count = 0;
+    KWaitQueue waiters;
+  };
+  std::unique_ptr<KMutex> semlock_;
+  std::map<std::int64_t, Sem> sems_;
+
+  std::mutex shm_mu_;
+  std::map<std::int64_t, std::uint64_t> shm_sizes_;
+  std::map<std::int64_t, std::unique_ptr<mem::Arena>> shm_arenas_;
+};
+
+}  // namespace compass::os

@@ -1,0 +1,84 @@
+#include "os/ksync.h"
+
+namespace compass::os {
+
+KMutex::KMutex(core::Backend* backend, core::WaitChannel channel)
+    : channel_(channel) {
+  if (backend != nullptr) backend->init_channel_permits(channel_, 1);
+}
+
+void KMutex::lock(core::SimContext& ctx) {
+  if (!ctx.attached()) {
+    native_mu_.lock();
+    return;
+  }
+  // The atomic test&set of the lock word, then the (possibly blocking)
+  // acquisition granted by the backend in event order.
+  ctx.sync_ref(channel_, 8);
+  ctx.block_on(channel_);
+}
+
+void KMutex::unlock(core::SimContext& ctx) {
+  if (!ctx.attached()) {
+    native_mu_.unlock();
+    return;
+  }
+  ctx.sync_ref(channel_, 8);
+  ctx.wakeup(channel_);
+}
+
+void KWaitQueue::sleep(core::SimContext& ctx, KMutex& guard) {
+  if (ctx.attached()) {
+    Waiter w;
+    w.channel = proc_channel(ctx.proc());
+    waiters_.push_back(w);
+    guard.unlock(ctx);
+    ctx.block_on(w.channel);
+    guard.lock(ctx);
+  } else {
+    NativeWaiter native;
+    Waiter w;
+    w.native = &native;
+    waiters_.push_back(w);
+    guard.unlock(ctx);
+    {
+      std::unique_lock l(native.m);
+      native.cv.wait(l, [&] { return native.signaled; });
+    }
+    guard.lock(ctx);
+  }
+}
+
+void KWaitQueue::wake_one(core::SimContext& ctx) {
+  if (waiters_.empty()) return;
+  const Waiter w = waiters_.front();
+  waiters_.pop_front();
+  if (w.native != nullptr) {
+    std::lock_guard l(w.native->m);
+    w.native->signaled = true;
+    w.native->cv.notify_one();
+  } else {
+    ctx.wakeup(w.channel);
+  }
+}
+
+void KWaitQueue::wake_all(core::SimContext& ctx) {
+  while (!waiters_.empty()) wake_one(ctx);
+}
+
+void KWaitQueue::register_channel(core::WaitChannel ch) {
+  Waiter w;
+  w.channel = ch;
+  waiters_.push_back(w);
+}
+
+void KWaitQueue::remove_channel(core::WaitChannel ch) {
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (it->native == nullptr && it->channel == ch)
+      it = waiters_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace compass::os

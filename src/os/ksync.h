@@ -1,0 +1,114 @@
+// Deterministic kernel synchronization primitives.
+//
+// KMutex is a sleep lock implemented as a backend-managed semaphore channel
+// (one initial permit): lock posts kBlock — granted in simulated-event
+// order, which makes lock acquisition deterministic regardless of host
+// thread scheduling — and unlock posts kWakeup. The happens-before chain
+// through the event port makes the protected host data race-free.
+//
+// KWaitQueue provides sleep/wakeup condition semantics over per-process
+// channels (classic kernel sleep queues), guarded by a KMutex.
+//
+// Both degrade to plain host primitives for detached contexts (the "raw"
+// native runs of Table 2).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "core/backend.h"
+#include "core/sim_context.h"
+
+namespace compass::os {
+
+/// Base of the per-process wait-channel namespace used by KWaitQueue.
+inline constexpr core::WaitChannel kProcChannelBase = 0xE000'0000'0000'0000ull;
+
+inline core::WaitChannel proc_channel(ProcId proc) {
+  return kProcChannelBase + static_cast<core::WaitChannel>(proc);
+}
+
+/// Separate per-process channel namespace for raw-I/O completions, so disk
+/// wakeups can never interfere with sleep-queue wakeups on proc_channel.
+inline core::WaitChannel proc_io_channel(ProcId proc) {
+  return kProcChannelBase + (1ull << 56) + static_cast<core::WaitChannel>(proc);
+}
+
+class KMutex {
+ public:
+  /// Simulating mode: `channel` must be unique (conventionally the
+  /// simulated address of the lock word); registers one permit with the
+  /// backend. Pass backend == nullptr for native-only mutexes.
+  KMutex(core::Backend* backend, core::WaitChannel channel);
+
+  KMutex(const KMutex&) = delete;
+  KMutex& operator=(const KMutex&) = delete;
+
+  void lock(core::SimContext& ctx);
+  void unlock(core::SimContext& ctx);
+
+  core::WaitChannel channel() const { return channel_; }
+
+  /// RAII guard.
+  class Guard {
+   public:
+    Guard(KMutex& m, core::SimContext& ctx) : m_(m), ctx_(ctx) { m_.lock(ctx_); }
+    ~Guard() { m_.unlock(ctx_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    KMutex& m_;
+    core::SimContext& ctx_;
+  };
+
+ private:
+  friend class KWaitQueue;
+  core::WaitChannel channel_;
+  std::mutex native_mu_;
+};
+
+/// A kernel sleep queue. All operations require the caller to hold the
+/// guarding KMutex (passed so sleep can drop and retake it atomically with
+/// respect to wakeups).
+class KWaitQueue {
+ public:
+  KWaitQueue() = default;
+  KWaitQueue(const KWaitQueue&) = delete;
+  KWaitQueue& operator=(const KWaitQueue&) = delete;
+
+  /// Sleep until woken. Caller holds `guard`; it is released while asleep
+  /// and re-acquired before returning.
+  void sleep(core::SimContext& ctx, KMutex& guard);
+
+  /// Wake the oldest sleeper / all sleepers. Caller holds the guard.
+  void wake_one(core::SimContext& ctx);
+  void wake_all(core::SimContext& ctx);
+
+  /// Register/deregister an externally-managed wait channel (select-style
+  /// multi-queue waits: the waiter registers in several queues, blocks on
+  /// its own channel, then removes itself from all of them). Caller holds
+  /// the guard. Stale wakeups are possible when several queues fire
+  /// concurrently, so such waits must re-check their condition in a loop.
+  void register_channel(core::WaitChannel ch);
+  void remove_channel(core::WaitChannel ch);
+
+  bool empty() const { return waiters_.empty(); }
+  std::size_t size() const { return waiters_.size(); }
+
+ private:
+  struct NativeWaiter {
+    std::mutex m;
+    std::condition_variable cv;
+    bool signaled = false;
+  };
+  struct Waiter {
+    core::WaitChannel channel = 0;   // simulating mode
+    NativeWaiter* native = nullptr;  // detached mode
+  };
+
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace compass::os

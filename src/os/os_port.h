@@ -1,0 +1,128 @@
+// The OS port (paper Figure 2): the IPC mailbox through which an
+// application process sends OS-call requests (and pseudo interrupt
+// requests, §3.2) to its paired OS thread.
+//
+// One request in flight: the application halts until the OS thread sends
+// the result back, exactly as in the paper ("The application process then
+// halts... The OS thread returns the OS call by sending the result and/or
+// the error code back to the application process").
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <mutex>
+
+#include "core/host_throttle.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::os {
+
+struct OsRequest {
+  enum class Kind : std::uint8_t {
+    kConnect,    ///< bind this OS thread to the requesting process
+    kCall,       ///< service an OS call
+    kPseudoIrq,  ///< run the interrupt handlers for the process's CPU
+    kDisconnect, ///< process exited; thread becomes "single" again
+  };
+  Kind kind = Kind::kCall;
+  ProcId proc = kNoProc;
+  CpuId cpu = kNoCpu;
+  std::uint32_t sysno = 0;
+  Cycles time = 0;  ///< execution-time handoff to the OS thread
+  std::array<std::int64_t, 6> args{};
+  int nargs = 0;
+};
+
+struct OsResponse {
+  std::int64_t retval = 0;
+  Cycles time = 0;  ///< execution-time handoff back to the process
+  bool aborted = false;
+};
+
+class OsPort {
+ public:
+  explicit OsPort(core::HostThrottle& throttle) : throttle_(throttle) {}
+
+  OsPort(const OsPort&) = delete;
+  OsPort& operator=(const OsPort&) = delete;
+
+  /// Application side: send a request and block for the response. Gives up
+  /// the host permit while waiting (on the paper's SMP host the OS server
+  /// runs on another processor meanwhile).
+  OsResponse call(const OsRequest& req) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return aborted_response();
+      COMPASS_CHECK_MSG(state_ == State::kIdle, "OS port busy (double call)");
+      request_ = req;
+      state_ = State::kRequested;
+    }
+    cv_.notify_all();
+    throttle_.release();
+    OsResponse out;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return state_ == State::kResponded || closed_; });
+      if (state_ == State::kResponded) {
+        out = response_;
+        state_ = State::kIdle;
+      } else {
+        out = aborted_response();
+      }
+    }
+    throttle_.acquire();
+    return out;
+  }
+
+  /// OS-thread side: wait for the next request. Returns false when the
+  /// port is closed (server shutdown). The OS thread holds no host permit
+  /// while "single"/waiting.
+  bool wait_request(OsRequest* out) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return state_ == State::kRequested || closed_; });
+    if (state_ != State::kRequested) return false;
+    *out = request_;
+    state_ = State::kServing;
+    return true;
+  }
+
+  /// OS-thread side: complete the in-flight request.
+  void respond(const OsResponse& resp) {
+    {
+      std::lock_guard lock(mu_);
+      COMPASS_CHECK_MSG(state_ == State::kServing, "respond with no request");
+      response_ = resp;
+      state_ = State::kResponded;
+    }
+    cv_.notify_all();
+  }
+
+  /// Shutdown: both sides unblock; future calls return aborted.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  enum class State { kIdle, kRequested, kServing, kResponded };
+
+  static OsResponse aborted_response() {
+    OsResponse r;
+    r.aborted = true;
+    return r;
+  }
+
+  core::HostThrottle& throttle_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kIdle;
+  bool closed_ = false;
+  OsRequest request_;
+  OsResponse response_;
+};
+
+}  // namespace compass::os

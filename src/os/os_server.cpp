@@ -1,0 +1,275 @@
+#include "os/os_server.h"
+
+#include "os/backend_os.h"
+#include "os/syscall.h"
+
+namespace compass::os {
+
+namespace {
+
+/// Category-2 routing: translate the syscall into a kBackendCall event.
+std::int64_t route_backend_call(core::SimContext& ctx, Kernel& kernel, Sys sys,
+                                std::span<const std::int64_t> args) {
+  auto a = [&](std::size_t i) -> std::uint64_t {
+    return i < args.size() ? static_cast<std::uint64_t>(args[i]) : 0;
+  };
+  switch (sys) {
+    case Sys::kShmget: {
+      const std::int64_t segid = ctx.backend_call(
+          static_cast<std::uint64_t>(BackendCall::kShmget), a(0), a(1));
+      if (segid >= 0) kernel.note_shm_size(segid, a(1));
+      return segid;
+    }
+    case Sys::kShmat: {
+      const std::int64_t base = ctx.backend_call(
+          static_cast<std::uint64_t>(BackendCall::kShmat), a(0));
+      if (base > 0)
+        kernel.ensure_shm_host(static_cast<std::int64_t>(a(0)),
+                               static_cast<Addr>(base));
+      return base;
+    }
+    case Sys::kShmdt:
+      return ctx.backend_call(static_cast<std::uint64_t>(BackendCall::kShmdt),
+                              a(0));
+    case Sys::kSchedYield:
+      return ctx.backend_call(
+          static_cast<std::uint64_t>(BackendCall::kSchedYield));
+    default:
+      COMPASS_CHECK_MSG(false, "not a category-2 call: " << to_string(sys));
+  }
+  return -1;
+}
+
+}  // namespace
+
+OsServer::OsServer(const OsServerConfig& cfg, core::Backend& backend,
+                   Kernel& kernel)
+    : cfg_(cfg), backend_(backend), kernel_(kernel) {
+  const int bhs = cfg_.num_bottom_halves < 0 ? backend.config().num_cpus
+                                             : cfg_.num_bottom_halves;
+  for (int i = 0; i < bhs; ++i) {
+    auto runner = std::make_unique<BhRunner>();
+    runner->proc = backend_.add_bottom_half("bh" + std::to_string(i));
+    runner->ctx = std::make_unique<core::SimContext>(
+        backend_.communicator().port(runner->proc), ExecMode::kKernel,
+        cfg_.ctx_opts);
+    bh_by_proc_[runner->proc] = runner.get();
+    bh_runners_.push_back(std::move(runner));
+  }
+  if (cfg_.start_netd) {
+    netd_ = std::make_unique<core::Frontend>(backend_, "netd", cfg_.ctx_opts,
+                                             core::Frontend::Kind::kDaemon);
+    netd_->context().set_interrupt_hook([this](core::SimContext& c) {
+      kernel_.handle_irqs(c, c.cpu());
+    });
+  }
+}
+
+OsServer::~OsServer() { stop(); }
+
+void OsServer::attach_client(core::Frontend& frontend) {
+  COMPASS_CHECK_MSG(!started_, "attach_client must precede start()");
+  auto t = std::make_unique<OsThread>();
+  t->port = std::make_unique<OsPort>(backend_.communicator().throttle());
+  OsPort* port = t->port.get();
+  threads_.push_back(std::move(t));
+
+  const ProcId proc = frontend.id();
+  // Per-client connection state lives with the router closure (the stub
+  // library's "companion OS thread" binding).
+  auto connected = std::make_shared<bool>(false);
+
+  frontend.context().set_oscall_router(
+      [this, port, proc, connected](core::SimContext& ctx, std::uint32_t sysno,
+                                    std::span<const std::int64_t> args)
+          -> std::int64_t {
+        const Sys sys = static_cast<Sys>(sysno);
+        if (is_backend_call(sys))
+          return route_backend_call(ctx, kernel_, sys, args);
+        if (!*connected) {
+          OsRequest c;
+          c.kind = OsRequest::Kind::kConnect;
+          c.proc = proc;
+          c.time = ctx.time();
+          const OsResponse resp = port->call(c);
+          if (resp.aborted) throw core::SimAbortedError();
+          *connected = true;
+        }
+        ctx.os_enter(sysno);
+        OsRequest r;
+        r.kind = OsRequest::Kind::kCall;
+        r.proc = proc;
+        r.cpu = ctx.cpu();
+        r.sysno = sysno;
+        r.time = ctx.time();
+        r.nargs = static_cast<int>(std::min<std::size_t>(args.size(), 6));
+        for (int i = 0; i < r.nargs; ++i) r.args[static_cast<std::size_t>(i)] = args[i];
+        const OsResponse resp = port->call(r);
+        if (resp.aborted) throw core::SimAbortedError();
+        ctx.set_time(resp.time);
+        ctx.os_exit();
+        return resp.retval;
+      });
+
+  // User-mode pseudo interrupt forwarding (paper §3.2). An interrupt can
+  // arrive before the process ever made an OS call, so the hook performs
+  // the connection handshake too.
+  frontend.context().set_interrupt_hook(
+      [port, proc, connected](core::SimContext& ctx) {
+        if (!*connected) {
+          OsRequest c;
+          c.kind = OsRequest::Kind::kConnect;
+          c.proc = proc;
+          c.time = ctx.time();
+          const OsResponse conn = port->call(c);
+          if (conn.aborted) throw core::SimAbortedError();
+          *connected = true;
+        }
+        OsRequest r;
+        r.kind = OsRequest::Kind::kPseudoIrq;
+        r.proc = proc;
+        r.cpu = ctx.cpu();
+        r.time = ctx.time();
+        const OsResponse resp = port->call(r);
+        if (resp.aborted) throw core::SimAbortedError();
+        ctx.set_time(resp.time);
+      });
+}
+
+void OsServer::start() {
+  COMPASS_CHECK_MSG(!started_, "OsServer already started");
+  started_ = true;
+  for (auto& t : threads_)
+    t->thread = std::thread([this, raw = t.get()] { os_thread_main(*raw); });
+  for (auto& r : bh_runners_)
+    r->thread = std::thread([this, raw = r.get()] { bh_main(*raw); });
+  if (netd_ != nullptr)
+    netd_->start([this](core::SimContext& ctx) { kernel_.net().netd_body(ctx); });
+}
+
+void OsServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& t : threads_) t->port->close();
+  for (auto& r : bh_runners_) {
+    {
+      std::lock_guard lock(r->mu);
+      r->stop = true;
+    }
+    r->cv.notify_one();
+  }
+  for (auto& t : threads_)
+    if (t->thread.joinable()) t->thread.join();
+  for (auto& r : bh_runners_)
+    if (r->thread.joinable()) r->thread.join();
+  if (netd_ != nullptr) netd_->join();
+}
+
+int OsServer::paired_threads() const {
+  std::lock_guard lock(pair_mu_);
+  int n = 0;
+  for (const auto& t : threads_)
+    if (t->paired != kNoProc) ++n;
+  return n;
+}
+
+void OsServer::os_thread_main(OsThread& t) {
+  for (;;) {
+    OsRequest req;
+    if (!t.port->wait_request(&req)) return;  // server shutdown
+    core::HostThrottle::Hold hold(backend_.communicator().throttle());
+    switch (req.kind) {
+      case OsRequest::Kind::kConnect: {
+        {
+          std::lock_guard lock(pair_mu_);
+          t.paired = req.proc;
+        }
+        // The OS thread adopts the application's event port: its kernel
+        // references are simulated on the same (virtual) CPU.
+        t.ctx = std::make_unique<core::SimContext>(
+            backend_.communicator().port(req.proc), ExecMode::kKernel,
+            cfg_.ctx_opts);
+        t.ctx->set_interrupt_hook([this](core::SimContext& c) {
+          kernel_.handle_irqs(c, c.cpu());
+        });
+        t.port->respond(OsResponse{0, req.time, false});
+        break;
+      }
+      case OsRequest::Kind::kCall: {
+        COMPASS_CHECK_MSG(t.ctx != nullptr, "kCall before kConnect");
+        OsResponse resp;
+        try {
+          t.ctx->set_time(req.time);
+          resp.retval = kernel_.syscall(
+              *t.ctx, req.proc, req.sysno,
+              std::span<const std::int64_t>(req.args.data(),
+                                            static_cast<std::size_t>(req.nargs)));
+          t.ctx->flush();
+          resp.time = t.ctx->time();
+        } catch (const core::SimAbortedError&) {
+          resp.aborted = true;
+        }
+        t.port->respond(resp);
+        break;
+      }
+      case OsRequest::Kind::kPseudoIrq: {
+        COMPASS_CHECK_MSG(t.ctx != nullptr, "kPseudoIrq before kConnect");
+        OsResponse resp;
+        try {
+          t.ctx->set_time(req.time);
+          kernel_.handle_irqs(*t.ctx, req.cpu);
+          t.ctx->flush();
+          resp.time = t.ctx->time();
+        } catch (const core::SimAbortedError&) {
+          resp.aborted = true;
+        }
+        t.port->respond(resp);
+        break;
+      }
+      case OsRequest::Kind::kDisconnect: {
+        {
+          std::lock_guard lock(pair_mu_);
+          t.paired = kNoProc;
+        }
+        t.ctx.reset();
+        t.port->respond(OsResponse{});
+        break;
+      }
+    }
+  }
+}
+
+void OsServer::bh_main(BhRunner& r) {
+  for (;;) {
+    BhRunner::Item item{};
+    {
+      std::unique_lock lock(r.mu);
+      r.cv.wait(lock, [&r] { return r.stop || !r.work.empty(); });
+      if (r.stop && r.work.empty()) return;
+      item = r.work.front();
+      r.work.erase(r.work.begin());
+    }
+    core::HostThrottle::Hold hold(backend_.communicator().throttle());
+    try {
+      r.ctx->set_time(item.when);
+      kernel_.handle_irqs(*r.ctx, item.cpu);
+      r.ctx->flush();
+    } catch (const core::SimAbortedError&) {
+      // Shutdown while servicing; keep draining work items until stop.
+    }
+  }
+}
+
+void OsServer::dispatch_idle_irq(CpuId cpu, ProcId bh_proc, Cycles when) {
+  const auto it = bh_by_proc_.find(bh_proc);
+  COMPASS_CHECK_MSG(it != bh_by_proc_.end(),
+                    "idle irq dispatched to unknown bottom half " << bh_proc);
+  BhRunner& r = *it->second;
+  {
+    std::lock_guard lock(r.mu);
+    r.work.push_back(BhRunner::Item{cpu, when});
+  }
+  r.cv.notify_one();
+}
+
+}  // namespace compass::os

@@ -1,0 +1,104 @@
+// The OS server (paper §3.1): "a stand-alone, multi-threaded program that
+// simulates category 1 OS functions".
+//
+// Upon start it spawns a pool of OS threads, each monitoring its OS port in
+// the "single" state. An application's first OS call sends a connection
+// request; the receiving thread binds itself to the process ("paired") and
+// from then on services its OS calls, generating kernel memory events on
+// the application's own event port. Pseudo interrupt requests (§3.2) from
+// user-mode processes are serviced the same way, and per-CPU bottom-half
+// runner threads handle interrupts raised on idle CPUs.
+//
+// The server also hosts the netd kernel daemon (network input processing).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/frontend.h"
+#include "os/kernel.h"
+#include "os/os_port.h"
+#include "os/tcpip.h"
+
+namespace compass::os {
+
+struct OsServerConfig {
+  core::SimContextOptions ctx_opts;
+  /// Spawn the network-input daemon (needed whenever the ethernet is used).
+  bool start_netd = true;
+  /// Bottom-half runners; one per simulated CPU by default (-1).
+  int num_bottom_halves = -1;
+};
+
+class OsServer : public core::IdleIrqDispatcher {
+ public:
+  /// Must be constructed before Backend::run(): it registers the
+  /// bottom-half pseudo-processes and the netd daemon with the backend.
+  OsServer(const OsServerConfig& cfg, core::Backend& backend, Kernel& kernel);
+  ~OsServer();
+
+  OsServer(const OsServer&) = delete;
+  OsServer& operator=(const OsServer&) = delete;
+
+  /// Install the COMPASS OS stub (OS-call router) and the pseudo-interrupt
+  /// hook on an application frontend. Call before Frontend::start().
+  void attach_client(core::Frontend& frontend);
+
+  /// Spawn OS threads, bottom-half runners and netd. Call before
+  /// Backend::run() (from any thread; the backend loop may already be
+  /// waiting).
+  void start();
+
+  /// Join all server threads. Call after Backend::run() returns (it closes
+  /// the event ports, which unwinds everything here).
+  void stop();
+
+  void dispatch_idle_irq(CpuId cpu, ProcId bh_proc, Cycles when) override;
+
+  int num_os_threads() const { return static_cast<int>(threads_.size()); }
+  /// How many OS threads are currently paired with a process.
+  int paired_threads() const;
+
+ private:
+  struct OsThread {
+    std::unique_ptr<OsPort> port;
+    std::thread thread;
+    ProcId paired = kNoProc;  ///< kNoProc = "single"
+    std::unique_ptr<core::SimContext> ctx;
+  };
+
+  struct BhRunner {
+    ProcId proc = kNoProc;
+    std::unique_ptr<core::SimContext> ctx;
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    struct Item {
+      CpuId cpu;
+      Cycles when;
+    };
+    std::vector<Item> work;
+    bool stop = false;
+  };
+
+  void os_thread_main(OsThread& t);
+  void bh_main(BhRunner& r);
+
+  OsServerConfig cfg_;
+  core::Backend& backend_;
+  Kernel& kernel_;
+  std::vector<std::unique_ptr<OsThread>> threads_;
+  std::vector<std::unique_ptr<BhRunner>> bh_runners_;
+  std::map<ProcId, BhRunner*> bh_by_proc_;
+  std::unique_ptr<core::Frontend> netd_;
+  mutable std::mutex pair_mu_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace compass::os

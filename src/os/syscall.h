@@ -1,0 +1,125 @@
+// OS-call numbers and argument conventions.
+//
+// Category-1 calls (the profiled hot set of Table 1: kreadv/kwritev, select,
+// statx, connect, open, close, naccept, send, mmap/munmap/msync, plus the
+// rest of the file and socket API) are serviced by the OS server, whose
+// instrumented kernel code generates memory events. Category-2 calls
+// (shared-memory segments, scheduling hints) are handled inside the backend
+// (kBackendCall) and only their *effect* on memory behaviour is modeled.
+//
+// Arguments are int64s. Strings and buffers are passed as simulated
+// addresses in the caller's address space; kernel code reads them through
+// the AddressMap exactly like copyin/copyout would.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace compass::os {
+
+/// kOpen flag: raw/direct I/O — reads and writes DMA straight between the
+/// disk and the caller's buffer, bypassing the kernel buffer cache (DB2
+/// raw-device style; most of the I/O cost becomes interrupt handling).
+inline constexpr std::int64_t kOpenDirect = 1;
+
+enum class Sys : std::uint32_t {
+  // ---- file system (category 1) ----
+  kOpen = 1,    ///< (path_addr, path_len, flags) -> fd
+  kClose,       ///< (fd)
+  kRead,        ///< (fd, buf_addr, len) -> bytes
+  kWrite,       ///< (fd, buf_addr, len) -> bytes
+  kReadv,       ///< (fd, iov_addr, iovcnt) -> bytes        [paper: kreadv]
+  kWritev,      ///< (fd, iov_addr, iovcnt) -> bytes        [paper: kwritev]
+  kLseek,       ///< (fd, offset, whence) -> new offset
+  kStatx,       ///< (path_addr, path_len) -> size or -1    [paper: statx]
+  kFsync,       ///< (fd)
+  kCreat,       ///< (path_addr, path_len, size_hint) -> fd
+  kUnlink,      ///< (path_addr, path_len)
+  kMmap,        ///< (fd, offset, len) -> mapped sim address
+  kMunmap,      ///< (map_addr)
+  kMsync,       ///< (map_addr) write back dirty mapped pages
+
+  // ---- sockets / TCP-IP (category 1) ----
+  kSocket = 64, ///< () -> sockfd
+  kBind,        ///< (sockfd, port)
+  kListen,      ///< (sockfd, backlog)
+  kNaccept,     ///< (sockfd) -> connfd (blocks)            [paper: naccept]
+  kConnect,     ///< (sockfd, port) -> 0 (client side)
+  kSend,        ///< (sockfd, buf_addr, len) -> bytes
+  kRecv,        ///< (sockfd, buf_addr, len) -> bytes (blocks)
+  kSelect,      ///< (fdset_addr, nfds) -> ready fd (blocks)
+  kSockClose,   ///< (sockfd) send FIN and release
+
+  // ---- semaphores / misc (category 1) ----
+  kSemInit = 96,///< (sem_id, count)
+  kSemP,        ///< (sem_id) down, may block
+  kSemV,        ///< (sem_id) up
+  kGetpid,      ///< () -> proc id
+  kUsleep,      ///< (cycles) block for simulated time
+
+  // ---- category 2: handled in the backend ----
+  kShmget = 128,///< (key, size) -> segid
+  kShmat,       ///< (segid) -> segment base address
+  kShmdt,       ///< (segid)
+  kSchedYield,  ///< () give up the CPU slice
+};
+
+inline constexpr bool is_backend_call(Sys s) {
+  return static_cast<std::uint32_t>(s) >= 128;
+}
+
+inline constexpr std::string_view to_string(Sys s) {
+  switch (s) {
+    case Sys::kOpen: return "open";
+    case Sys::kClose: return "close";
+    case Sys::kRead: return "kread";
+    case Sys::kWrite: return "kwrite";
+    case Sys::kReadv: return "kreadv";
+    case Sys::kWritev: return "kwritev";
+    case Sys::kLseek: return "lseek";
+    case Sys::kStatx: return "statx";
+    case Sys::kFsync: return "fsync";
+    case Sys::kCreat: return "creat";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kMmap: return "mmap";
+    case Sys::kMunmap: return "munmap";
+    case Sys::kMsync: return "msync";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kNaccept: return "naccept";
+    case Sys::kConnect: return "connect";
+    case Sys::kSend: return "send";
+    case Sys::kRecv: return "recv";
+    case Sys::kSelect: return "select";
+    case Sys::kSockClose: return "sockclose";
+    case Sys::kSemInit: return "seminit";
+    case Sys::kSemP: return "semp";
+    case Sys::kSemV: return "semv";
+    case Sys::kGetpid: return "getpid";
+    case Sys::kUsleep: return "usleep";
+    case Sys::kShmget: return "shmget";
+    case Sys::kShmat: return "shmat";
+    case Sys::kShmdt: return "shmdt";
+    case Sys::kSchedYield: return "sched_yield";
+  }
+  return "?";
+}
+
+/// User-visible iovec layout for kReadv/kWritev (lives in user memory).
+struct KIovec {
+  std::uint64_t base;  ///< simulated address
+  std::uint64_t len;
+};
+
+/// Simulated-OS error numbers (returned negated, Linux-style).
+enum KErr : std::int64_t {
+  kEBADF = 9,
+  kENOENT = 2,
+  kEINVAL = 22,
+  kEMFILE = 24,
+  kENOTCONN = 107,
+  kEADDRINUSE = 98,
+};
+
+}  // namespace compass::os

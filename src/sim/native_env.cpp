@@ -1,0 +1,83 @@
+#include "sim/native_env.h"
+
+#include "mem/mem_config.h"
+#include "os/backend_os.h"
+
+namespace compass::sim {
+
+namespace {
+constexpr Addr kUserHeapBase = 0x1000'0000'0000ull;
+constexpr Addr kUserHeapStride = 0x10'0000'0000ull;
+}  // namespace
+
+NativeEnv::NativeEnv(os::KernelConfig kcfg, std::size_t user_heap_bytes)
+    : user_heap_bytes_(user_heap_bytes), next_shm_base_(mem::kShmBase) {
+  kernel_ = std::make_unique<os::Kernel>(kcfg, nullptr, mem_map_, nullptr);
+}
+
+NativeEnv::~NativeEnv() {
+  for (auto& slot : slots_) mem_map_.remove(*slot->heap);
+  for (auto& [_, seg] : shm_by_key_) mem_map_.remove(*seg.arena);
+}
+
+std::int64_t NativeEnv::native_backend_call(
+    os::Sys sys, std::span<const std::int64_t> args) {
+  auto a = [&](std::size_t i) -> std::uint64_t {
+    return i < args.size() ? static_cast<std::uint64_t>(args[i]) : 0;
+  };
+  std::lock_guard lock(shm_mu_);
+  switch (sys) {
+    case os::Sys::kShmget: {
+      const std::uint64_t key = a(0);
+      const std::uint64_t size = a(1);
+      if (const auto it = shm_by_key_.find(key); it != shm_by_key_.end())
+        return it->second.id;
+      NativeSeg seg;
+      seg.id = next_segid_++;
+      seg.arena = std::make_unique<mem::Arena>("nshm" + std::to_string(seg.id),
+                                               next_shm_base_, size);
+      next_shm_base_ += (size + mem::kPageSize) & ~(mem::kPageSize - 1);
+      mem_map_.add(*seg.arena);
+      shm_by_id_.emplace(seg.id, seg.arena.get());
+      const std::int64_t id = seg.id;
+      shm_by_key_.emplace(key, std::move(seg));
+      return id;
+    }
+    case os::Sys::kShmat: {
+      const auto it = shm_by_id_.find(static_cast<std::int64_t>(a(0)));
+      if (it == shm_by_id_.end()) return -1;
+      return static_cast<std::int64_t>(it->second->base());
+    }
+    case os::Sys::kShmdt:
+      return 0;
+    case os::Sys::kSchedYield:
+      return 0;
+    default:
+      COMPASS_CHECK_MSG(false, "not a category-2 call");
+  }
+  return -1;
+}
+
+Proc& NativeEnv::add_process(const std::string& name) {
+  auto slot = std::make_unique<Slot>();
+  slot->ctx = std::make_unique<core::SimContext>();  // detached
+  const auto index = static_cast<Addr>(slots_.size());
+  slot->heap = std::make_unique<mem::Arena>(
+      "uheap." + name, kUserHeapBase + index * kUserHeapStride,
+      user_heap_bytes_);
+  mem_map_.add(*slot->heap);
+  const auto proc_id = static_cast<ProcId>(index);
+  slot->ctx->set_oscall_router(
+      [this, proc_id](core::SimContext& ctx, std::uint32_t sysno,
+                      std::span<const std::int64_t> args) -> std::int64_t {
+        const auto sys = static_cast<os::Sys>(sysno);
+        if (os::is_backend_call(sys)) return native_backend_call(sys, args);
+        return kernel_->syscall(ctx, proc_id, sysno, args);
+      });
+  slot->proc = std::make_unique<Proc>(*slot->ctx, mem_map_, *slot->heap);
+  Proc& p = *slot->proc;
+  slots_.push_back(std::move(slot));
+  return p;
+}
+
+}  // namespace compass::sim

@@ -1,0 +1,64 @@
+// NativeEnv: the "raw" execution environment of the slowdown study
+// (paper §5, Table 2's first column).
+//
+// The same workload code runs against detached SimContexts: no events, no
+// backend, no timing — OS calls invoke the kernel service code directly on
+// the calling thread (with host locking and synchronous I/O), so the
+// application executes at native host speed. Comparing a NativeEnv wall
+// clock against a Simulation wall clock gives the simulation slowdown.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "sim/proc.h"
+
+namespace compass::sim {
+
+class NativeEnv {
+ public:
+  explicit NativeEnv(os::KernelConfig kcfg = {},
+                     std::size_t user_heap_bytes = 64ull << 20);
+  ~NativeEnv();
+
+  NativeEnv(const NativeEnv&) = delete;
+  NativeEnv& operator=(const NativeEnv&) = delete;
+
+  /// Create a native process: detached context + private heap, with OS
+  /// calls routed straight into the kernel code.
+  Proc& add_process(const std::string& name);
+
+  os::Kernel& kernel() { return *kernel_; }
+  mem::AddressMap& mem() { return mem_map_; }
+
+ private:
+  std::int64_t native_backend_call(os::Sys sys,
+                                   std::span<const std::int64_t> args);
+
+  struct Slot {
+    std::unique_ptr<core::SimContext> ctx;
+    std::unique_ptr<mem::Arena> heap;
+    std::unique_ptr<Proc> proc;
+  };
+
+  mem::AddressMap mem_map_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::size_t user_heap_bytes_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::mutex shm_mu_;
+  struct NativeSeg {
+    std::int64_t id;
+    std::unique_ptr<mem::Arena> arena;
+  };
+  std::map<std::uint64_t, NativeSeg> shm_by_key_;
+  std::map<std::int64_t, mem::Arena*> shm_by_id_;
+  std::int64_t next_segid_ = 1;
+  Addr next_shm_base_;
+};
+
+}  // namespace compass::sim

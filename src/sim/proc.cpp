@@ -1,0 +1,180 @@
+#include "sim/proc.h"
+
+#include <cstring>
+
+namespace compass::sim {
+
+namespace {
+constexpr std::size_t kScratchBytes = 8192;
+}
+
+Proc::Proc(core::SimContext& ctx, mem::AddressMap& mem, mem::Arena& heap)
+    : ctx_(ctx), mem_(mem), heap_(heap) {
+  scratch_ = heap_.alloc(kScratchBytes, 64);
+}
+
+void Proc::put_bytes(Addr addr, std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto step = static_cast<std::uint32_t>(
+        std::min<std::size_t>(64, data.size() - off));
+    ctx_.store(addr + off, step);
+    std::memcpy(mem_.host(addr + off), data.data() + off, step);
+    off += step;
+  }
+}
+
+std::vector<std::uint8_t> Proc::get_bytes(Addr addr, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::size_t off = 0;
+  while (off < n) {
+    const auto step =
+        static_cast<std::uint32_t>(std::min<std::size_t>(64, n - off));
+    ctx_.load(addr + off, step);
+    std::memcpy(out.data() + off, mem_.host(addr + off), step);
+    off += step;
+  }
+  return out;
+}
+
+Addr Proc::path_arg(std::string_view path) {
+  COMPASS_CHECK_MSG(path.size() < 1024, "path too long");
+  put_bytes(scratch_, std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(path.data()),
+                          path.size()));
+  return scratch_;
+}
+
+std::int64_t Proc::open(std::string_view path, std::int64_t flags) {
+  const Addr p = path_arg(path);
+  return oscall(os::Sys::kOpen, {static_cast<std::int64_t>(p),
+                                 static_cast<std::int64_t>(path.size()), flags});
+}
+
+std::int64_t Proc::creat(std::string_view path, std::uint64_t size_hint) {
+  const Addr p = path_arg(path);
+  return oscall(os::Sys::kCreat, {static_cast<std::int64_t>(p),
+                                  static_cast<std::int64_t>(path.size()),
+                                  static_cast<std::int64_t>(size_hint)});
+}
+
+std::int64_t Proc::statx(std::string_view path) {
+  const Addr p = path_arg(path);
+  return oscall(os::Sys::kStatx, {static_cast<std::int64_t>(p),
+                                  static_cast<std::int64_t>(path.size())});
+}
+
+std::int64_t Proc::unlink(std::string_view path) {
+  const Addr p = path_arg(path);
+  return oscall(os::Sys::kUnlink, {static_cast<std::int64_t>(p),
+                                   static_cast<std::int64_t>(path.size())});
+}
+
+std::int64_t Proc::close(std::int64_t fd) { return oscall(os::Sys::kClose, {fd}); }
+
+std::int64_t Proc::read_fd(std::int64_t fd, Addr buf, std::uint64_t len) {
+  return oscall(os::Sys::kRead, {fd, static_cast<std::int64_t>(buf),
+                                 static_cast<std::int64_t>(len)});
+}
+
+std::int64_t Proc::write_fd(std::int64_t fd, Addr buf, std::uint64_t len) {
+  return oscall(os::Sys::kWrite, {fd, static_cast<std::int64_t>(buf),
+                                  static_cast<std::int64_t>(len)});
+}
+
+std::int64_t Proc::readv(std::int64_t fd, std::span<const os::KIovec> iov) {
+  const Addr p = scratch_ + 2048;
+  put_bytes(p, std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(iov.data()),
+                   iov.size_bytes()));
+  return oscall(os::Sys::kReadv, {fd, static_cast<std::int64_t>(p),
+                                  static_cast<std::int64_t>(iov.size())});
+}
+
+std::int64_t Proc::writev(std::int64_t fd, std::span<const os::KIovec> iov) {
+  const Addr p = scratch_ + 2048;
+  put_bytes(p, std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(iov.data()),
+                   iov.size_bytes()));
+  return oscall(os::Sys::kWritev, {fd, static_cast<std::int64_t>(p),
+                                   static_cast<std::int64_t>(iov.size())});
+}
+
+std::int64_t Proc::lseek(std::int64_t fd, std::int64_t off, int whence) {
+  return oscall(os::Sys::kLseek, {fd, off, whence});
+}
+
+std::int64_t Proc::fsync(std::int64_t fd) { return oscall(os::Sys::kFsync, {fd}); }
+
+std::int64_t Proc::mmap(std::int64_t fd, std::uint64_t off, std::uint64_t len) {
+  return oscall(os::Sys::kMmap, {fd, static_cast<std::int64_t>(off),
+                                 static_cast<std::int64_t>(len)});
+}
+
+std::int64_t Proc::munmap(Addr base) {
+  return oscall(os::Sys::kMunmap, {static_cast<std::int64_t>(base)});
+}
+
+std::int64_t Proc::msync(Addr base) {
+  return oscall(os::Sys::kMsync, {static_cast<std::int64_t>(base)});
+}
+
+std::int64_t Proc::socket() { return oscall(os::Sys::kSocket, {}); }
+
+std::int64_t Proc::bind(std::int64_t fd, std::uint16_t port) {
+  return oscall(os::Sys::kBind, {fd, port});
+}
+
+std::int64_t Proc::listen(std::int64_t fd, int backlog) {
+  return oscall(os::Sys::kListen, {fd, backlog});
+}
+
+std::int64_t Proc::naccept(std::int64_t fd) {
+  return oscall(os::Sys::kNaccept, {fd});
+}
+
+std::int64_t Proc::connect(std::int64_t fd, std::uint16_t port) {
+  return oscall(os::Sys::kConnect, {fd, port});
+}
+
+std::int64_t Proc::send(std::int64_t fd, Addr buf, std::uint64_t len) {
+  return oscall(os::Sys::kSend, {fd, static_cast<std::int64_t>(buf),
+                                 static_cast<std::int64_t>(len)});
+}
+
+std::int64_t Proc::recv(std::int64_t fd, Addr buf, std::uint64_t len) {
+  return oscall(os::Sys::kRecv, {fd, static_cast<std::int64_t>(buf),
+                                 static_cast<std::int64_t>(len)});
+}
+
+std::int64_t Proc::select(std::span<const std::int32_t> fds) {
+  const Addr p = scratch_ + 4096;
+  put_bytes(p, std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(fds.data()),
+                   fds.size_bytes()));
+  return oscall(os::Sys::kSelect, {static_cast<std::int64_t>(p),
+                                   static_cast<std::int64_t>(fds.size())});
+}
+
+std::int64_t Proc::sem_init(std::int64_t id, std::int64_t count) {
+  return oscall(os::Sys::kSemInit, {id, count});
+}
+std::int64_t Proc::sem_p(std::int64_t id) { return oscall(os::Sys::kSemP, {id}); }
+std::int64_t Proc::sem_v(std::int64_t id) { return oscall(os::Sys::kSemV, {id}); }
+std::int64_t Proc::getpid() { return oscall(os::Sys::kGetpid, {}); }
+std::int64_t Proc::usleep(Cycles cycles) {
+  return oscall(os::Sys::kUsleep, {static_cast<std::int64_t>(cycles)});
+}
+
+std::int64_t Proc::shmget(std::uint64_t key, std::uint64_t size) {
+  return oscall(os::Sys::kShmget, {static_cast<std::int64_t>(key),
+                                   static_cast<std::int64_t>(size)});
+}
+std::int64_t Proc::shmat(std::int64_t segid) {
+  return oscall(os::Sys::kShmat, {segid});
+}
+std::int64_t Proc::shmdt(std::int64_t segid) {
+  return oscall(os::Sys::kShmdt, {segid});
+}
+
+}  // namespace compass::sim

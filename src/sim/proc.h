@@ -1,0 +1,112 @@
+// Proc: the user-space runtime of one simulated application process.
+//
+// Workload code is written against this facade and runs unchanged in two
+// environments:
+//  * simulating — the SimContext is attached to an event port and the
+//    OS-call router goes through the OS server (Simulation);
+//  * native ("raw", paper §5) — the SimContext is detached (all
+//    instrumentation no-ops) and OS calls invoke the kernel code directly
+//    (NativeEnv), so the workload runs at host speed.
+//
+// Heap allocations come from the process's private arena; shared-memory
+// segments are attached with shmget/shmat like a real process-model
+// application (paper §3.3.1).
+#pragma once
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "core/sim_context.h"
+#include "mem/arena.h"
+#include "os/syscall.h"
+
+namespace compass::sim {
+
+class Proc {
+ public:
+  /// `heap` is the process-private user arena; `mem` resolves every
+  /// simulated address (heap, attached segments, kernel — for the typed
+  /// helpers).
+  Proc(core::SimContext& ctx, mem::AddressMap& mem, mem::Arena& heap);
+
+  core::SimContext& ctx() { return ctx_; }
+  mem::AddressMap& mem() { return mem_; }
+  mem::Arena& heap() { return heap_; }
+
+  // ---- user-space memory ---------------------------------------------------
+
+  Addr alloc(std::size_t size, std::size_t align = 8) {
+    ctx_.compute(30);  // user allocator work
+    return heap_.alloc(size, align);
+  }
+  void free(Addr addr, std::size_t size) {
+    ctx_.compute(20);
+    heap_.free(addr, size);
+  }
+
+  template <class T>
+  T read(Addr addr) {
+    return mem::sim_read<T>(ctx_, mem_, addr);
+  }
+  template <class T>
+  void write(Addr addr, const T& v) {
+    mem::sim_write<T>(ctx_, mem_, addr, v);
+  }
+  /// User code writing a byte buffer (emits stores).
+  void put_bytes(Addr addr, std::span<const std::uint8_t> data);
+  /// User code reading a byte buffer (emits loads); returns the bytes.
+  std::vector<std::uint8_t> get_bytes(Addr addr, std::size_t n);
+
+  // ---- OS calls ------------------------------------------------------------
+
+  std::int64_t oscall(os::Sys sys, std::initializer_list<std::int64_t> args) {
+    return ctx_.oscall(static_cast<std::uint32_t>(sys), args);
+  }
+
+  std::int64_t open(std::string_view path, std::int64_t flags = 0);
+  std::int64_t creat(std::string_view path, std::uint64_t size_hint = 0);
+  std::int64_t statx(std::string_view path);
+  std::int64_t unlink(std::string_view path);
+  std::int64_t close(std::int64_t fd);
+  std::int64_t read_fd(std::int64_t fd, Addr buf, std::uint64_t len);
+  std::int64_t write_fd(std::int64_t fd, Addr buf, std::uint64_t len);
+  std::int64_t readv(std::int64_t fd, std::span<const os::KIovec> iov);
+  std::int64_t writev(std::int64_t fd, std::span<const os::KIovec> iov);
+  std::int64_t lseek(std::int64_t fd, std::int64_t off, int whence);
+  std::int64_t fsync(std::int64_t fd);
+  std::int64_t mmap(std::int64_t fd, std::uint64_t off, std::uint64_t len);
+  std::int64_t munmap(Addr base);
+  std::int64_t msync(Addr base);
+
+  std::int64_t socket();
+  std::int64_t bind(std::int64_t fd, std::uint16_t port);
+  std::int64_t listen(std::int64_t fd, int backlog = 16);
+  std::int64_t naccept(std::int64_t fd);
+  std::int64_t connect(std::int64_t fd, std::uint16_t port);
+  std::int64_t send(std::int64_t fd, Addr buf, std::uint64_t len);
+  std::int64_t recv(std::int64_t fd, Addr buf, std::uint64_t len);
+  /// Returns a ready fd from the set (blocking).
+  std::int64_t select(std::span<const std::int32_t> fds);
+
+  std::int64_t sem_init(std::int64_t id, std::int64_t count);
+  std::int64_t sem_p(std::int64_t id);
+  std::int64_t sem_v(std::int64_t id);
+  std::int64_t getpid();
+  std::int64_t usleep(Cycles cycles);
+
+  std::int64_t shmget(std::uint64_t key, std::uint64_t size);
+  std::int64_t shmat(std::int64_t segid);
+  std::int64_t shmdt(std::int64_t segid);
+
+ private:
+  /// Marshal a path into the process's scratch buffer (user stores).
+  Addr path_arg(std::string_view path);
+
+  core::SimContext& ctx_;
+  mem::AddressMap& mem_;
+  mem::Arena& heap_;
+  Addr scratch_;  ///< path/iovec marshalling buffer
+};
+
+}  // namespace compass::sim

@@ -1,0 +1,117 @@
+#include "sim/simulation.h"
+
+namespace compass::sim {
+
+namespace {
+constexpr Addr kUserHeapBase = 0x1000'0000'0000ull;
+constexpr Addr kUserHeapStride = 0x10'0000'0000ull;  // 64 GB per process
+}  // namespace
+
+Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.core.validate();
+  comm_ = std::make_unique<core::Communicator>(cfg_.core.num_cpus,
+                                               cfg_.core.host_cpus);
+
+  // VM / page-table models (category 2).
+  mem::VmConfig vm_cfg;
+  vm_cfg.num_nodes = cfg_.core.num_nodes;
+  vm_cfg.placement = cfg_.placement;
+
+  // The Backend owns the canonical stats registry but requires its
+  // MemorySystem hook at construction; a forwarding trampoline breaks the
+  // cycle so the real machine can be built against Backend::stats().
+  auto trampoline = std::make_unique<MemTrampoline>();
+
+  vm_ = std::make_unique<mem::Vm>(vm_cfg, &registry_);
+
+  devices_ = std::make_unique<dev::DeviceHub>(cfg_.devices, &registry_);
+  backend_os_ = std::make_unique<os::BackendOs>(*vm_);
+
+  core::Backend::Hooks hooks;
+  hooks.memsys = trampoline.get();
+  hooks.backend_calls = backend_os_.get();
+  hooks.devices = devices_.get();
+  hooks.idle_irq = &idle_binder_;
+  backend_ = std::make_unique<core::Backend>(cfg_.core, *comm_, hooks, &registry_);
+
+  stats::StatsRegistry* reg = &registry_;
+  switch (cfg_.model) {
+    case BackendModel::kFlat:
+      machine_ = std::make_unique<mem::FlatMemory>(cfg_.flat_latency, vm_.get(), reg);
+      break;
+    case BackendModel::kSimple:
+      machine_ = std::make_unique<mem::SimpleMachine>(cfg_.simple,
+                                                      cfg_.core.num_cpus, *vm_, reg);
+      break;
+    case BackendModel::kNuma: {
+      mem::NumaMachineConfig numa = cfg_.numa;
+      numa.placement = cfg_.placement;
+      machine_ = std::make_unique<mem::NumaMachine>(
+          numa, cfg_.core.num_cpus, cfg_.core.num_nodes, *vm_, reg);
+      break;
+    }
+  }
+  trampoline->real = machine_.get();
+  // Keep the trampoline alive alongside the machine.
+  machine_trampoline_ = std::move(trampoline);
+
+  devices_->bind(*backend_);
+  backend_os_->bind(*backend_);
+
+  kernel_ = std::make_unique<os::Kernel>(cfg_.kernel, backend_.get(), mem_map_,
+                                         devices_.get());
+  os_server_ = std::make_unique<os::OsServer>(cfg_.os_server, *backend_, *kernel_);
+  idle_binder_.target = os_server_.get();
+}
+
+Simulation::~Simulation() {
+  if (os_server_ != nullptr) os_server_->stop();
+  for (auto& slot : procs_)
+    if (slot.heap != nullptr) mem_map_.remove(*slot.heap);
+}
+
+core::Frontend& Simulation::spawn(const std::string& name, Body body) {
+  COMPASS_CHECK_MSG(!ran_, "spawn after run()");
+  COMPASS_CHECK(body != nullptr);
+  ProcSlot slot;
+  slot.frontend = std::make_unique<core::Frontend>(*backend_, name,
+                                                   cfg_.os_server.ctx_opts);
+  os_server_->attach_client(*slot.frontend);
+  const auto index = static_cast<Addr>(procs_.size());
+  slot.heap = std::make_unique<mem::Arena>(
+      "uheap." + name, kUserHeapBase + index * kUserHeapStride,
+      cfg_.user_heap_bytes);
+  mem_map_.add(*slot.heap);
+  slot.proc = std::make_unique<Proc>(slot.frontend->context(), mem_map_,
+                                     *slot.heap);
+  core::Frontend& fe = *slot.frontend;
+  Proc* proc = slot.proc.get();
+  procs_.push_back(std::move(slot));
+  fe.start([proc, body = std::move(body)](core::SimContext&) { body(*proc); });
+  return fe;
+}
+
+void Simulation::run() {
+  COMPASS_CHECK_MSG(!ran_, "Simulation::run() called twice");
+  ran_ = true;
+  os_server_->start();
+  std::exception_ptr backend_error;
+  try {
+    backend_->run();
+  } catch (...) {
+    backend_error = std::current_exception();
+  }
+  std::exception_ptr workload_error;
+  for (auto& slot : procs_) {
+    try {
+      slot.frontend->join();
+    } catch (...) {
+      if (!workload_error) workload_error = std::current_exception();
+    }
+  }
+  os_server_->stop();
+  if (backend_error) std::rethrow_exception(backend_error);
+  if (workload_error) std::rethrow_exception(workload_error);
+}
+
+}  // namespace compass::sim

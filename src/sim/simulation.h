@@ -1,0 +1,121 @@
+// Simulation: the assembled COMPASS environment (paper Figure 1).
+//
+// Wires together the communicator, the backend simulation process with its
+// architecture model (flat / simple one-level-cache MESI bus / complex
+// two-level-cache CC-NUMA), the VM and category-2 OS models, the physical
+// devices, the OS server with its OS threads, bottom halves and netd, and
+// the application frontends. One call to run() executes the simulation to
+// completion.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/frontend.h"
+#include "dev/device_hub.h"
+#include "mem/machine.h"
+#include "os/backend_os.h"
+#include "os/kernel.h"
+#include "os/os_server.h"
+#include "sim/proc.h"
+
+namespace compass::sim {
+
+enum class BackendModel {
+  kFlat,    ///< fixed-latency memory (no caches)
+  kSimple,  ///< paper's "simplest backend": one-level cache + MESI bus
+  kNuma,    ///< paper's "most complex backend": L1+L2 + directory CC-NUMA
+};
+
+struct SimulationConfig {
+  core::SimConfig core;
+  BackendModel model = BackendModel::kSimple;
+  Cycles flat_latency = 10;
+  mem::SimpleMachineConfig simple;
+  mem::NumaMachineConfig numa;
+  mem::PlacementPolicy placement = mem::PlacementPolicy::kFirstTouch;
+  dev::DeviceHubConfig devices;
+  os::KernelConfig kernel;
+  os::OsServerConfig os_server;
+  std::size_t user_heap_bytes = 64ull << 20;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig cfg);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Spawn a simulated application process running `body`. Must be called
+  /// before run().
+  using Body = std::function<void(Proc&)>;
+  core::Frontend& spawn(const std::string& name, Body body);
+
+  /// Run the simulation to completion: starts the OS server, runs the
+  /// backend main loop on the calling thread, joins every frontend and
+  /// stops the server. Rethrows the first workload exception.
+  void run();
+
+  core::Backend& backend() { return *backend_; }
+  core::Communicator& communicator() { return *comm_; }
+  os::Kernel& kernel() { return *kernel_; }
+  os::OsServer& os_server() { return *os_server_; }
+  dev::DeviceHub& devices() { return *devices_; }
+  mem::Vm& vm() { return *vm_; }
+  mem::AddressMap& mem() { return mem_map_; }
+  const SimulationConfig& config() const { return cfg_; }
+
+  const stats::TimeBreakdown& breakdown() const {
+    return backend_->time_breakdown();
+  }
+  stats::StatsRegistry& stats() { return backend_->stats(); }
+  Cycles now() const { return backend_->now(); }
+
+ private:
+  struct IdleBinder : core::IdleIrqDispatcher {
+    core::IdleIrqDispatcher* target = nullptr;
+    void dispatch_idle_irq(CpuId cpu, ProcId bh, Cycles when) override {
+      COMPASS_CHECK_MSG(target != nullptr, "idle irq before OS server exists");
+      target->dispatch_idle_irq(cpu, bh, when);
+    }
+  };
+
+  struct MemTrampoline : core::MemorySystem {
+    core::MemorySystem* real = nullptr;
+    Cycles access(CpuId c, ProcId p, const core::Event& e) override {
+      return real->access(c, p, e);
+    }
+    void on_context_switch(CpuId c, ProcId f, ProcId t) override {
+      real->on_context_switch(c, f, t);
+    }
+  };
+
+  struct ProcSlot {
+    std::unique_ptr<core::Frontend> frontend;
+    std::unique_ptr<mem::Arena> heap;
+    std::unique_ptr<Proc> proc;
+  };
+
+  SimulationConfig cfg_;
+  stats::StatsRegistry registry_;  ///< shared by backend + all models
+  mem::AddressMap mem_map_;
+  std::unique_ptr<core::Communicator> comm_;
+  std::unique_ptr<mem::Vm> vm_;
+  std::unique_ptr<core::MemorySystem> machine_;
+  std::unique_ptr<MemTrampoline> machine_trampoline_;
+  std::unique_ptr<dev::DeviceHub> devices_;
+  std::unique_ptr<os::BackendOs> backend_os_;
+  IdleBinder idle_binder_;
+  std::unique_ptr<core::Backend> backend_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<os::OsServer> os_server_;
+  std::vector<ProcSlot> procs_;
+  bool ran_ = false;
+};
+
+}  // namespace compass::sim

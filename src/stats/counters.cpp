@@ -1,0 +1,46 @@
+#include "stats/counters.h"
+
+#include <bit>
+
+namespace compass::stats {
+
+void Histogram::record(std::uint64_t sample) {
+  const std::size_t bucket =
+      sample == 0 ? 0 : static_cast<std::size_t>(std::bit_width(sample));
+  COMPASS_CHECK(bucket < kBuckets);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += sample;
+  if (count_ == 1 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  COMPASS_CHECK(q >= 0.0 && q <= 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Midpoint of the bucket range as the representative value.
+      if (i == 0) return 0;
+      const std::uint64_t lo = 1ull << (i - 1);
+      const std::uint64_t hi = (i >= 64) ? ~0ull : (1ull << i) - 1;
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+void StatsRegistry::reset_all() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, h] : histograms_) h.reset();
+}
+
+}  // namespace compass::stats

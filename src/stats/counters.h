@@ -1,0 +1,78 @@
+// Named counters and histograms for simulator statistics.
+//
+// All statistics in COMPASS are updated from the (single) backend thread, so
+// these are plain integers — no atomics. Frontend threads never touch them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace compass::stats {
+
+/// A monotonically increasing event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Log2-bucketed histogram of nonnegative samples (latencies, sizes).
+/// Bucket i covers [2^(i-1), 2^i) with bucket 0 covering {0}.
+class Histogram {
+ public:
+  Histogram() : buckets_(kBuckets, 0) {}
+
+  void record(std::uint64_t sample);
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Approximate quantile (within the containing power-of-two bucket).
+  std::uint64_t quantile(double q) const;
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  void reset();
+
+ private:
+  static constexpr std::size_t kBuckets = 65;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// A registry of named counters/histograms; modules register their stats here
+/// so reports can enumerate everything without compile-time coupling.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  /// Value of a named counter, 0 if it was never registered.
+  std::uint64_t counter_value(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  void reset_all();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace compass::stats

@@ -1,0 +1,65 @@
+#include "stats/report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace compass::stats {
+
+void Table::add_row(std::vector<std::string> row) {
+  COMPASS_CHECK_MSG(row.size() == header_.size(),
+                    "row width " << row.size() << " != header width "
+                                 << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[i]))
+         << row[i];
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    os << std::string(widths[i] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string pct(double v, int precision) { return fmt(v, precision) + "%"; }
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace compass::stats

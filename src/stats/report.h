@@ -1,0 +1,35 @@
+// Plain-text table rendering for experiment harnesses.
+//
+// The bench binaries print the same rows the paper's tables report; this
+// formatter keeps those outputs aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace compass::stats {
+
+/// A simple column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+  /// Render with a title line, a header row, a separator, and all rows.
+  std::string to_string(const std::string& title = "") const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 1);
+/// Format a percentage cell, e.g. "85.1%".
+std::string pct(double v, int precision = 1);
+/// Format an integer with thousands separators, e.g. "34,841".
+std::string with_commas(std::uint64_t v);
+
+}  // namespace compass::stats

@@ -1,0 +1,42 @@
+#include "stats/time_breakdown.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace compass::stats {
+
+CpuTime TimeBreakdown::total() const {
+  CpuTime t;
+  for (const auto& c : cpus_)
+    for (std::size_t m = 0; m < t.by_mode.size(); ++m) t.by_mode[m] += c.by_mode[m];
+  return t;
+}
+
+TimeShares TimeBreakdown::shares() const {
+  const CpuTime t = total();
+  const auto busy = static_cast<double>(t.busy());
+  TimeShares s;
+  if (busy <= 0.0) return s;
+  s.user = 100.0 * static_cast<double>(t[ExecMode::kUser]) / busy;
+  s.kernel = 100.0 * static_cast<double>(t[ExecMode::kKernel]) / busy;
+  s.interrupt = 100.0 * static_cast<double>(t[ExecMode::kInterrupt]) / busy;
+  s.os_total = s.kernel + s.interrupt;
+  return s;
+}
+
+std::string TimeBreakdown::to_string(const std::string& label) const {
+  const TimeShares s = shares();
+  const CpuTime t = total();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << label << ": user " << s.user << "%  OS " << s.os_total << "% (interrupt "
+     << s.interrupt << "%, kernel " << s.kernel << "%)  busy cycles " << t.busy()
+     << "  idle cycles " << t[ExecMode::kIdle];
+  return os.str();
+}
+
+void TimeBreakdown::reset() {
+  for (auto& c : cpus_) c = CpuTime{};
+}
+
+}  // namespace compass::stats

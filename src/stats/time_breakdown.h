@@ -1,0 +1,71 @@
+// Per-CPU execution-time accounting by mode (user / kernel / interrupt /
+// idle) — the machinery behind the paper's Table 1.
+//
+// The backend attributes every simulated cycle of every CPU to exactly one
+// mode: compute intervals and memory stalls are charged to the mode of the
+// event that consumed them; gaps with no scheduled process are idle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::stats {
+
+/// Accumulated cycles per mode for one CPU.
+struct CpuTime {
+  std::array<Cycles, 4> by_mode{};  // indexed by ExecMode
+
+  Cycles& operator[](ExecMode m) { return by_mode[static_cast<std::size_t>(m)]; }
+  Cycles operator[](ExecMode m) const { return by_mode[static_cast<std::size_t>(m)]; }
+  Cycles busy() const {
+    return by_mode[0] + by_mode[1] + by_mode[2];
+  }
+  Cycles total() const { return busy() + by_mode[3]; }
+};
+
+/// Mode-split totals as fractions of busy (non-idle) CPU time. This matches
+/// the paper's Table 1, which reports percentages of "total CPU time which
+/// excludes wait time due to disk IO".
+struct TimeShares {
+  double user = 0.0;
+  double os_total = 0.0;   ///< kernel + interrupt
+  double interrupt = 0.0;
+  double kernel = 0.0;
+};
+
+class TimeBreakdown {
+ public:
+  explicit TimeBreakdown(int num_cpus) : cpus_(static_cast<std::size_t>(num_cpus)) {
+    COMPASS_CHECK(num_cpus > 0);
+  }
+
+  /// Charge `cycles` on `cpu` to `mode`.
+  void charge(CpuId cpu, ExecMode mode, Cycles cycles) {
+    COMPASS_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < cpus_.size());
+    cpus_[static_cast<std::size_t>(cpu)][mode] += cycles;
+  }
+
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  const CpuTime& cpu(CpuId c) const { return cpus_.at(static_cast<std::size_t>(c)); }
+
+  /// Sum over all CPUs.
+  CpuTime total() const;
+
+  /// Percent shares of busy time across all CPUs (Table 1 semantics).
+  TimeShares shares() const;
+
+  /// Render a Table-1-style breakdown block.
+  std::string to_string(const std::string& label) const;
+
+  void reset();
+
+ private:
+  std::vector<CpuTime> cpus_;
+};
+
+}  // namespace compass::stats

@@ -1,0 +1,65 @@
+// Invariant-checking macros used across COMPASS.
+//
+// COMPASS_CHECK is always on (release included): simulator invariants guard
+// against silent corruption of simulated time or protocol state, which would
+// invalidate every downstream statistic. Violations throw util::SimError so
+// tests can assert on misuse and long simulations fail loudly with context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace compass::util {
+
+/// Base error for all simulator failures (protocol misuse, bad config,
+/// invariant violations). Carries the human-readable reason in what().
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Config-time validation failure (bad parameter combination).
+class ConfigError : public SimError {
+ public:
+  explicit ConfigError(const std::string& what) : SimError(what) {}
+};
+
+/// Frontend/backend protocol violation (e.g. double-post on an event port).
+class ProtocolError : public SimError {
+ public:
+  explicit ProtocolError(const std::string& what) : SimError(what) {}
+};
+
+/// Simulated-OS level failure surfaced to workload code as an errno-like
+/// result rather than thrown; thrown only for kernel invariant violations.
+class KernelPanic : public SimError {
+ public:
+  explicit KernelPanic(const std::string& what) : SimError(what) {}
+};
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "COMPASS_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+
+}  // namespace compass::util
+
+#define COMPASS_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::compass::util::throw_check_failure(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define COMPASS_CHECK_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      std::ostringstream compass_check_os_;                                  \
+      compass_check_os_ << msg; /* NOLINT */                                 \
+      ::compass::util::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                           compass_check_os_.str());         \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,88 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace compass::util {
+
+Flags::Flags(int argc, const char* const* argv,
+             std::map<std::string, std::string> defaults,
+             std::map<std::string, std::string> help)
+    : values_(std::move(defaults)), help_(std::move(help)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare boolean flag
+    }
+    if (!values_.contains(name))
+      throw ConfigError("unknown flag --" + name);
+    values_[name] = std::move(value);
+  }
+}
+
+std::string Flags::get(std::string_view name) const {
+  const auto it = values_.find(std::string(name));
+  COMPASS_CHECK_MSG(it != values_.end(), "no such flag --" << name);
+  return it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t r = std::stoll(v, &pos, 0);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + std::string(name) + " is not an integer: " + v);
+  }
+}
+
+double Flags::get_double(std::string_view name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double r = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + std::string(name) + " is not a number: " + v);
+  }
+}
+
+bool Flags::get_bool(std::string_view name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("flag --" + std::string(name) + " is not a boolean: " + v);
+}
+
+std::string Flags::usage(std::string_view program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, def] : values_) {
+    os << "  --" << name << " (default: " << def << ")";
+    if (const auto it = help_.find(name); it != help_.end())
+      os << "  " << it->second;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace compass::util

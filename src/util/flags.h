@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Supports --name=value and --name value forms plus --help generation.
+// Deliberately tiny: COMPASS binaries are configured programmatically via
+// SimConfig; flags only override a handful of experiment knobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compass::util {
+
+class Flags {
+ public:
+  /// Parse argv. Unknown flags throw ConfigError; positional args collect.
+  Flags(int argc, const char* const* argv,
+        std::map<std::string, std::string> defaults,
+        std::map<std::string, std::string> help = {});
+
+  std::string get(std::string_view name) const;
+  std::int64_t get_int(std::string_view name) const;
+  double get_double(std::string_view name) const;
+  bool get_bool(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+  /// Render the --help text (flag, default, description).
+  std::string usage(std::string_view program) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> help_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace compass::util

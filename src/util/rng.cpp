@@ -1,0 +1,27 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace compass::util {
+
+Zipf::Zipf(std::size_t n, double theta) {
+  COMPASS_CHECK(n > 0);
+  COMPASS_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+std::size_t Zipf::next(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                   : it - cdf_.begin());
+}
+
+}  // namespace compass::util

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// All COMPASS workloads (TPC-C-like keys, SPECWeb-like file picks, disk
+// layouts) draw from this RNG so that a (config, seed) pair fully determines
+// the simulation. xoshiro256** — fast, high quality, trivially seedable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace compass::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-seed via splitmix64 so nearby seeds give uncorrelated streams.
+  void reseed(std::uint64_t seed) {
+    auto splitmix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = splitmix();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    COMPASS_CHECK(bound != 0);
+    // Lemire's debiased multiply-shift reduction.
+    const auto x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    COMPASS_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// TPC-style NURand non-uniform random in [lo, hi].
+  std::int64_t nurand(std::int64_t a, std::int64_t lo, std::int64_t hi) {
+    const std::int64_t c = a / 2;
+    return (((next_in(0, a) | next_in(lo, hi)) + c) % (hi - lo + 1)) + lo;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed integer sampler over [0, n); used by the SPECWeb-like
+/// fileset picker and hot-page generators. Precomputes the harmonic table.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double theta);
+  /// Draw the next rank in [0, n).
+  std::size_t next(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace compass::util

@@ -1,0 +1,278 @@
+#include "workloads/db/btree.h"
+
+namespace compass::workloads::db {
+
+BTree::BTree(BufferPool& pool, std::uint32_t file_id)
+    : pool_(pool), file_(file_id) {
+  // Keys and fanout+1 values must fit after the 16-byte header.
+  fanout_ = (pool_.config().page_size - 16 - 8) / 16;
+  COMPASS_CHECK(fanout_ >= 4);
+}
+
+void BTree::create(sim::Proc& p) {
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  p.write<std::uint64_t>(meta + 0, 1);   // root = page 1
+  p.write<std::uint64_t>(meta + 8, 2);   // next free page
+  p.write<std::uint64_t>(meta + 16, 0);  // count
+  pool_.unpin(p, meta_pid, true);
+
+  const PageId root_pid{file_, 1};
+  const Addr root = pool_.pin(p, root_pid);
+  p.write<std::uint32_t>(root + 0, 1);  // leaf
+  p.write<std::uint32_t>(root + 4, 0);  // nkeys
+  p.write<std::uint64_t>(root + 8, 0);  // next_leaf
+  pool_.unpin(p, root_pid, true);
+
+  tree_latch_.init(p, pool_.segment_base() +
+                          static_cast<Addr>(pool_.config().pool_pages) *
+                              pool_.config().page_size +
+                          1024 + file_ * 8);
+  latch_ready_ = true;
+}
+
+std::uint32_t BTree::alloc_page(sim::Proc& p, Addr meta_base) {
+  const auto next = p.read<std::uint64_t>(meta_base + 8);
+  p.write<std::uint64_t>(meta_base + 8, next + 1);
+  return static_cast<std::uint32_t>(next);
+}
+
+std::uint32_t BTree::search(sim::Proc& p, Addr base, std::uint32_t nkeys,
+                            std::int64_t key) {
+  // Binary search over the key array (each probe is a real reference).
+  std::uint32_t lo = 0, hi = nkeys;
+  while (lo < hi) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    p.ctx().compute(4);
+    if (p.read<std::int64_t>(key_addr(base, mid)) < key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+BTree::SplitResult BTree::insert_rec(sim::Proc& p, std::uint32_t page,
+                                     std::int64_t key, std::uint64_t value,
+                                     Addr meta_base) {
+  const PageId pid{file_, page};
+  const Addr base = pool_.pin(p, pid);
+  const bool leaf = p.read<std::uint32_t>(base + 0) != 0;
+  std::uint32_t nkeys = p.read<std::uint32_t>(base + 4);
+  SplitResult out;
+
+  if (!leaf) {
+    const std::uint32_t pos = search(p, base, nkeys, key);
+    // Child pointer i covers keys < keys[i]; the last pointer covers the
+    // tail. For an interior node, descend right of equal keys.
+    std::uint32_t slot = pos;
+    if (pos < nkeys && p.read<std::int64_t>(key_addr(base, pos)) == key)
+      slot = pos + 1;
+    const auto child =
+        static_cast<std::uint32_t>(p.read<std::uint64_t>(val_addr(base, slot)));
+    const SplitResult child_split = insert_rec(p, child, key, value, meta_base);
+    if (!child_split.split) {
+      pool_.unpin(p, pid, false);
+      return out;
+    }
+    // Insert (sep_key, right_page) into this node at `slot`.
+    for (std::uint32_t i = nkeys; i > slot; --i) {
+      p.write<std::int64_t>(key_addr(base, i),
+                            p.read<std::int64_t>(key_addr(base, i - 1)));
+      p.write<std::uint64_t>(val_addr(base, i + 1),
+                             p.read<std::uint64_t>(val_addr(base, i)));
+    }
+    p.write<std::int64_t>(key_addr(base, slot), child_split.sep_key);
+    p.write<std::uint64_t>(val_addr(base, slot + 1), child_split.right_page);
+    ++nkeys;
+    p.write<std::uint32_t>(base + 4, nkeys);
+    if (nkeys < fanout_) {
+      pool_.unpin(p, pid, true);
+      return out;
+    }
+    // Split the interior node: move the upper half to a new node; the
+    // middle key moves up.
+    const std::uint32_t mid = nkeys / 2;
+    const std::uint32_t right_page = alloc_page(p, meta_base);
+    const PageId rpid{file_, right_page};
+    const Addr right = pool_.pin(p, rpid);
+    p.write<std::uint32_t>(right + 0, 0);
+    const std::uint32_t rkeys = nkeys - mid - 1;
+    p.write<std::uint32_t>(right + 4, rkeys);
+    p.write<std::uint64_t>(right + 8, 0);
+    for (std::uint32_t i = 0; i < rkeys; ++i)
+      p.write<std::int64_t>(key_addr(right, i),
+                            p.read<std::int64_t>(key_addr(base, mid + 1 + i)));
+    for (std::uint32_t i = 0; i <= rkeys; ++i)
+      p.write<std::uint64_t>(val_addr(right, i),
+                             p.read<std::uint64_t>(val_addr(base, mid + 1 + i)));
+    out.split = true;
+    out.sep_key = p.read<std::int64_t>(key_addr(base, mid));
+    out.right_page = right_page;
+    p.write<std::uint32_t>(base + 4, mid);
+    pool_.unpin(p, rpid, true);
+    pool_.unpin(p, pid, true);
+    return out;
+  }
+
+  // Leaf insert (duplicate keys overwrite).
+  const std::uint32_t pos = search(p, base, nkeys, key);
+  if (pos < nkeys && p.read<std::int64_t>(key_addr(base, pos)) == key) {
+    p.write<std::uint64_t>(val_addr(base, pos), value);
+    pool_.unpin(p, pid, true);
+    return out;
+  }
+  for (std::uint32_t i = nkeys; i > pos; --i) {
+    p.write<std::int64_t>(key_addr(base, i),
+                          p.read<std::int64_t>(key_addr(base, i - 1)));
+    p.write<std::uint64_t>(val_addr(base, i),
+                           p.read<std::uint64_t>(val_addr(base, i - 1)));
+  }
+  p.write<std::int64_t>(key_addr(base, pos), key);
+  p.write<std::uint64_t>(val_addr(base, pos), value);
+  ++nkeys;
+  p.write<std::uint32_t>(base + 4, nkeys);
+  p.write<std::uint64_t>(meta_base + 16,
+                         p.read<std::uint64_t>(meta_base + 16) + 1);
+  if (nkeys < fanout_) {
+    pool_.unpin(p, pid, true);
+    return out;
+  }
+  // Split the leaf: upper half moves right; separator = first right key.
+  const std::uint32_t mid = nkeys / 2;
+  const std::uint32_t right_page = alloc_page(p, meta_base);
+  const PageId rpid{file_, right_page};
+  const Addr right = pool_.pin(p, rpid);
+  p.write<std::uint32_t>(right + 0, 1);
+  const std::uint32_t rkeys = nkeys - mid;
+  p.write<std::uint32_t>(right + 4, rkeys);
+  p.write<std::uint64_t>(right + 8, p.read<std::uint64_t>(base + 8));
+  for (std::uint32_t i = 0; i < rkeys; ++i) {
+    p.write<std::int64_t>(key_addr(right, i),
+                          p.read<std::int64_t>(key_addr(base, mid + i)));
+    p.write<std::uint64_t>(val_addr(right, i),
+                           p.read<std::uint64_t>(val_addr(base, mid + i)));
+  }
+  p.write<std::uint32_t>(base + 4, mid);
+  p.write<std::uint64_t>(base + 8, right_page);
+  out.split = true;
+  out.sep_key = p.read<std::int64_t>(key_addr(right, 0));
+  out.right_page = right_page;
+  pool_.unpin(p, rpid, true);
+  pool_.unpin(p, pid, true);
+  return out;
+}
+
+void BTree::insert(sim::Proc& p, std::int64_t key, std::uint64_t value) {
+  COMPASS_CHECK_MSG(latch_ready_, "BTree::create must run first");
+  ULatch::Guard g(tree_latch_, p);
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  const auto root = static_cast<std::uint32_t>(p.read<std::uint64_t>(meta + 0));
+  const SplitResult split = insert_rec(p, root, key, value, meta);
+  if (split.split) {
+    // Grow a new root.
+    const std::uint32_t new_root = alloc_page(p, meta);
+    const PageId rpid{file_, new_root};
+    const Addr base = pool_.pin(p, rpid);
+    p.write<std::uint32_t>(base + 0, 0);
+    p.write<std::uint32_t>(base + 4, 1);
+    p.write<std::uint64_t>(base + 8, 0);
+    p.write<std::int64_t>(key_addr(base, 0), split.sep_key);
+    p.write<std::uint64_t>(val_addr(base, 0), root);
+    p.write<std::uint64_t>(val_addr(base, 1), split.right_page);
+    p.write<std::uint64_t>(meta + 0, new_root);
+    pool_.unpin(p, rpid, true);
+  }
+  pool_.unpin(p, meta_pid, true);
+}
+
+std::optional<std::uint64_t> BTree::lookup(sim::Proc& p, std::int64_t key) {
+  COMPASS_CHECK_MSG(latch_ready_, "BTree::create must run first");
+  ULatch::Guard g(tree_latch_, p);
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  auto page = static_cast<std::uint32_t>(p.read<std::uint64_t>(meta + 0));
+  pool_.unpin(p, meta_pid, false);
+  for (;;) {
+    const PageId pid{file_, page};
+    const Addr base = pool_.pin(p, pid);
+    const bool leaf = p.read<std::uint32_t>(base + 0) != 0;
+    const std::uint32_t nkeys = p.read<std::uint32_t>(base + 4);
+    const std::uint32_t pos = search(p, base, nkeys, key);
+    if (leaf) {
+      std::optional<std::uint64_t> out;
+      if (pos < nkeys && p.read<std::int64_t>(key_addr(base, pos)) == key)
+        out = p.read<std::uint64_t>(val_addr(base, pos));
+      pool_.unpin(p, pid, false);
+      return out;
+    }
+    std::uint32_t slot = pos;
+    if (pos < nkeys && p.read<std::int64_t>(key_addr(base, pos)) == key)
+      slot = pos + 1;
+    const auto child =
+        static_cast<std::uint32_t>(p.read<std::uint64_t>(val_addr(base, slot)));
+    pool_.unpin(p, pid, false);
+    page = child;
+  }
+}
+
+std::uint64_t BTree::scan(
+    sim::Proc& p, std::int64_t lo, std::int64_t hi,
+    const std::function<void(std::int64_t, std::uint64_t)>& fn) {
+  COMPASS_CHECK_MSG(latch_ready_, "BTree::create must run first");
+  ULatch::Guard g(tree_latch_, p);
+  // Descend to the leaf containing lo.
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  auto page = static_cast<std::uint32_t>(p.read<std::uint64_t>(meta + 0));
+  pool_.unpin(p, meta_pid, false);
+  for (;;) {
+    const PageId pid{file_, page};
+    const Addr base = pool_.pin(p, pid);
+    if (p.read<std::uint32_t>(base + 0) != 0) {
+      pool_.unpin(p, pid, false);
+      break;
+    }
+    const std::uint32_t nkeys = p.read<std::uint32_t>(base + 4);
+    const std::uint32_t pos = search(p, base, nkeys, lo);
+    std::uint32_t slot = pos;
+    if (pos < nkeys && p.read<std::int64_t>(key_addr(base, pos)) == lo)
+      slot = pos + 1;
+    const auto child =
+        static_cast<std::uint32_t>(p.read<std::uint64_t>(val_addr(base, slot)));
+    pool_.unpin(p, pid, false);
+    page = child;
+  }
+  // Walk the leaf chain.
+  std::uint64_t count = 0;
+  while (page != 0) {
+    const PageId pid{file_, page};
+    const Addr base = pool_.pin(p, pid);
+    const std::uint32_t nkeys = p.read<std::uint32_t>(base + 4);
+    for (std::uint32_t i = 0; i < nkeys; ++i) {
+      const auto k = p.read<std::int64_t>(key_addr(base, i));
+      if (k < lo) continue;
+      if (k > hi) {
+        pool_.unpin(p, pid, false);
+        return count;
+      }
+      fn(k, p.read<std::uint64_t>(val_addr(base, i)));
+      ++count;
+    }
+    const auto next = static_cast<std::uint32_t>(p.read<std::uint64_t>(base + 8));
+    pool_.unpin(p, pid, false);
+    page = next;
+  }
+  return count;
+}
+
+std::uint64_t BTree::size(sim::Proc& p) {
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  const auto n = p.read<std::uint64_t>(meta + 16);
+  pool_.unpin(p, meta_pid, false);
+  return n;
+}
+
+}  // namespace compass::workloads::db

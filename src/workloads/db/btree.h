@@ -1,0 +1,73 @@
+// A B+-tree index over int64 keys and uint64 values, stored in buffer-pool
+// pages. Node layout (page_size bytes):
+//
+//   +0   u32 is_leaf
+//   +4   u32 nkeys
+//   +8   u64 next_leaf (leaf chain, 0 = none)
+//   +16  i64 keys[fanout]
+//   +16+fanout*8  u64 vals_or_children[fanout+1]
+//
+// All node accesses go through Proc typed reads/writes, so index walks
+// generate the pointer-chasing reference pattern a real index produces.
+// A single tree latch serializes structural operations (coarse but
+// correct; concurrent readers of distinct trees proceed in parallel).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "workloads/db/buffer_pool.h"
+
+namespace compass::workloads::db {
+
+class BTree {
+ public:
+  /// Page 0 of `file_id` is the tree's meta page:
+  ///   +0 u64 root_page  +8 u64 next_free_page  +16 u64 count
+  BTree(BufferPool& pool, std::uint32_t file_id);
+
+  /// Coordinator, once: format the meta page and an empty root leaf.
+  void create(sim::Proc& p);
+
+  void insert(sim::Proc& p, std::int64_t key, std::uint64_t value);
+  std::optional<std::uint64_t> lookup(sim::Proc& p, std::int64_t key);
+
+  /// Visit entries with lo <= key <= hi in key order; returns the count.
+  std::uint64_t scan(sim::Proc& p, std::int64_t lo, std::int64_t hi,
+                     const std::function<void(std::int64_t, std::uint64_t)>& fn);
+
+  std::uint64_t size(sim::Proc& p);
+  std::uint32_t fanout() const { return fanout_; }
+
+ private:
+  struct Node {
+    Addr base = 0;
+    std::uint32_t page = 0;
+  };
+  struct SplitResult {
+    std::int64_t sep_key = 0;
+    std::uint32_t right_page = 0;
+    bool split = false;
+  };
+
+  Addr key_addr(Addr base, std::uint32_t i) const {
+    return base + 16 + static_cast<Addr>(i) * 8;
+  }
+  Addr val_addr(Addr base, std::uint32_t i) const {
+    return base + 16 + static_cast<Addr>(fanout_) * 8 + static_cast<Addr>(i) * 8;
+  }
+  std::uint32_t alloc_page(sim::Proc& p, Addr meta_base);
+  SplitResult insert_rec(sim::Proc& p, std::uint32_t page, std::int64_t key,
+                         std::uint64_t value, Addr meta_base);
+  /// Lower-bound position of `key` among the node's keys.
+  std::uint32_t search(sim::Proc& p, Addr base, std::uint32_t nkeys,
+                       std::int64_t key);
+
+  BufferPool& pool_;
+  std::uint32_t file_;
+  std::uint32_t fanout_;
+  ULatch tree_latch_;
+  bool latch_ready_ = false;
+};
+
+}  // namespace compass::workloads::db

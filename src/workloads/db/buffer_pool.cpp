@@ -1,0 +1,185 @@
+#include "workloads/db/buffer_pool.h"
+
+#include <algorithm>
+
+namespace compass::workloads::db {
+
+BufferPool::BufferPool(const DbConfig& cfg) : cfg_(cfg) {
+  COMPASS_CHECK(cfg_.pool_pages >= 2);
+  frames_.resize(cfg_.pool_pages);
+}
+
+void BufferPool::register_file(std::uint32_t file_id, std::string path) {
+  COMPASS_CHECK_MSG(!initialized_, "register_file after init");
+  files_[file_id] = std::move(path);
+}
+
+void BufferPool::init(sim::Proc& p) {
+  COMPASS_CHECK_MSG(!initialized_, "BufferPool::init called twice");
+  attach(p);
+  // The pool latch word lives at the end of the segment (64 reserved
+  // bytes past the frames).
+  pool_latch_.init(p, seg_base_ + static_cast<Addr>(cfg_.pool_pages) * cfg_.page_size);
+  for (std::size_t i = 0; i < shard_latches_.size(); ++i)
+    shard_latches_[i].init(
+        p, seg_base_ + static_cast<Addr>(cfg_.pool_pages) * cfg_.page_size + 64 +
+               static_cast<Addr>(i) * 8);
+  // Create the database files.
+  for (const auto& [id, path] : files_) {
+    const auto fd = p.creat(path);
+    COMPASS_CHECK_MSG(fd >= 0, "cannot create db file " << path);
+    p.close(fd);
+  }
+  initialized_ = true;
+}
+
+void BufferPool::attach(sim::Proc& p) {
+  const std::uint64_t seg_bytes =
+      static_cast<std::uint64_t>(cfg_.pool_pages) * cfg_.page_size + 4096;
+  const auto segid = p.shmget(cfg_.shm_key, seg_bytes);
+  COMPASS_CHECK_MSG(segid >= 0, "shmget failed for the buffer pool");
+  const auto base = p.shmat(segid);
+  COMPASS_CHECK_MSG(base > 0, "shmat failed for the buffer pool");
+  if (seg_base_ == 0) seg_base_ = static_cast<Addr>(base);
+  COMPASS_CHECK_MSG(seg_base_ == static_cast<Addr>(base),
+                    "buffer pool attached at different addresses");
+}
+
+std::int64_t BufferPool::fd_for(sim::Proc& p, std::uint32_t file) {
+  // Called with the pool latch held.
+  const auto key = std::make_pair(static_cast<const sim::Proc*>(&p), file);
+  if (const auto it = fds_.find(key); it != fds_.end()) return it->second;
+  const auto pit = files_.find(file);
+  COMPASS_CHECK_MSG(pit != files_.end(), "unregistered db file " << file);
+  const auto fd =
+      p.open(pit->second, cfg_.direct_io ? os::kOpenDirect : 0);
+  COMPASS_CHECK_MSG(fd >= 0, "cannot open db file " << pit->second);
+  fds_.emplace(key, fd);
+  return fd;
+}
+
+std::int64_t BufferPool::fd_for_locked(sim::Proc& p, std::uint32_t file,
+                                       bool latch_dropped) {
+  if (!latch_dropped) return fd_for(p, file);
+  pool_latch_.lock(p);
+  const auto fd = fd_for(p, file);
+  pool_latch_.unlock(p);
+  return fd;
+}
+
+void BufferPool::write_back(sim::Proc& p, std::size_t i) {
+  Frame& f = frames_[i];
+  const auto fd = fd_for(p, f.pid.file);
+  p.lseek(fd, static_cast<std::int64_t>(f.pid.page) * cfg_.page_size, 0);
+  const os::KIovec iov[1] = {{frame_addr(i), cfg_.page_size}};
+  const auto n = p.writev(fd, iov);
+  COMPASS_CHECK_MSG(n == static_cast<std::int64_t>(cfg_.page_size),
+                    "short page write: " << n);
+  f.dirty = false;
+}
+
+Addr BufferPool::pin(sim::Proc& p, PageId pid) {
+  // In simulating mode the pool latch is dropped across fill/write-back
+  // I/O (a "filling" frame parks other interested processes), so misses
+  // overlap at the disk queue instead of serializing the whole pool. In
+  // native mode I/O is a host memcpy, so the latch is simply held.
+  const bool drop_latch = p.ctx().attached();
+  pool_latch_.lock(p);
+  for (;;) {
+    p.ctx().compute(60);  // hash lookup
+    if (const auto it = page_table_.find(pid); it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.filling) {
+        // Another process is bringing this page in; wait and re-check.
+        pool_latch_.unlock(p);
+        p.ctx().block_on(fill_channel(it->second));
+        pool_latch_.lock(p);
+        continue;
+      }
+      ++f.pins;
+      f.lru = ++lru_clock_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      pool_latch_.unlock(p);
+      return frame_addr(it->second);
+    }
+    break;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Victim selection: LRU among unpinned, non-filling frames, preferring
+  // invalid ones.
+  std::size_t victim = frames_.size();
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.pins != 0 || f.filling) continue;
+    if (!f.valid) {
+      victim = i;
+      break;
+    }
+    if (victim == frames_.size() || f.lru < frames_[victim].lru) victim = i;
+  }
+  COMPASS_CHECK_MSG(victim != frames_.size(),
+                    "buffer pool exhausted: every frame pinned");
+  Frame& f = frames_[victim];
+  const bool was_dirty = f.valid && f.dirty;
+  const PageId old_pid = f.pid;
+  if (f.valid) page_table_.erase(f.pid);
+  // Claim the frame for the new page before releasing the latch: lookups
+  // for `pid` now find it filling and wait.
+  f.pid = pid;
+  f.pins = 1;
+  f.valid = true;
+  f.dirty = false;
+  f.filling = true;
+  f.lru = ++lru_clock_;
+  page_table_[pid] = victim;
+  if (drop_latch) pool_latch_.unlock(p);
+
+  if (was_dirty) {
+    // Write the victim's old contents back (its bytes are still in the
+    // frame; content latches guarantee no one mutates an unpinned page).
+    const auto wfd = fd_for_locked(p, old_pid.file, drop_latch);
+    p.lseek(wfd, static_cast<std::int64_t>(old_pid.page) * cfg_.page_size, 0);
+    const os::KIovec wiov[1] = {{frame_addr(victim), cfg_.page_size}};
+    const auto wn = p.writev(wfd, wiov);
+    COMPASS_CHECK_MSG(wn == static_cast<std::int64_t>(cfg_.page_size),
+                      "short page write: " << wn);
+  }
+  // Fill from the file (a short read past EOF leaves a fresh page; the
+  // caller formats it).
+  const auto fd = fd_for_locked(p, pid.file, drop_latch);
+  p.lseek(fd, static_cast<std::int64_t>(pid.page) * cfg_.page_size, 0);
+  const os::KIovec iov[1] = {{frame_addr(victim), cfg_.page_size}};
+  const auto n = p.readv(fd, iov);
+  COMPASS_CHECK_MSG(n >= 0, "page read failed: " << n);
+  if (n < static_cast<std::int64_t>(cfg_.page_size)) {
+    // Fresh page: zero the frame (user-mode stores).
+    const std::vector<std::uint8_t> zeros(
+        cfg_.page_size - static_cast<std::uint64_t>(n), 0);
+    p.put_bytes(frame_addr(victim) + static_cast<Addr>(n), zeros);
+  }
+  if (drop_latch) pool_latch_.lock(p);
+  f.filling = false;
+  if (drop_latch) p.ctx().wakeup(fill_channel(victim), 16);
+  pool_latch_.unlock(p);
+  return frame_addr(victim);
+}
+
+void BufferPool::unpin(sim::Proc& p, PageId pid, bool dirty) {
+  ULatch::Guard g(pool_latch_, p);
+  const auto it = page_table_.find(pid);
+  COMPASS_CHECK_MSG(it != page_table_.end(), "unpin of unmapped page");
+  Frame& f = frames_[it->second];
+  COMPASS_CHECK_MSG(f.pins > 0, "unpin of unpinned page");
+  --f.pins;
+  f.dirty = f.dirty || dirty;
+}
+
+void BufferPool::flush_all(sim::Proc& p) {
+  ULatch::Guard g(pool_latch_, p);
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.valid && f.dirty && f.pins == 0) write_back(p, i);
+  }
+}
+
+}  // namespace compass::workloads::db

@@ -1,0 +1,95 @@
+// The shared buffer pool: page frames in a shared-memory segment, a
+// host-side page table guarded by a pool latch, and file I/O through the
+// simulated OS (kreadv/kwritev on per-process descriptors).
+//
+// Concurrency discipline:
+//  * the pool latch protects the page table, frame metadata and the fd
+//    cache — and is held across the fill/writeback I/O of a miss, which
+//    serializes misses (a deliberate, DB2-era-style coarse design; the
+//    latch-contention ablation bench measures its cost);
+//  * pinned frames are never evicted;
+//  * page *content* is protected by sharded page latches the callers
+//    acquire around record reads/updates.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "workloads/db/db.h"
+#include "workloads/usync.h"
+
+namespace compass::workloads::db {
+
+class BufferPool {
+ public:
+  explicit BufferPool(const DbConfig& cfg);
+
+  const DbConfig& config() const { return cfg_; }
+
+  /// Register a database file before the run. Files are created at init().
+  void register_file(std::uint32_t file_id, std::string path);
+
+  /// Coordinator, once: attach the segment, create the files, initialize
+  /// the latches.
+  void init(sim::Proc& p);
+
+  /// Every process (including the coordinator) before first use.
+  void attach(sim::Proc& p);
+
+  /// Pin a page into the pool; returns the simulated address of its frame.
+  Addr pin(sim::Proc& p, PageId pid);
+  void unpin(sim::Proc& p, PageId pid, bool dirty);
+
+  /// Write back every dirty unpinned frame.
+  void flush_all(sim::Proc& p);
+
+  /// Content latch shard for a page.
+  ULatch& page_latch(PageId pid) {
+    return shard_latches_[(pid.file * 2654435761u + pid.page) %
+                          shard_latches_.size()];
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  Addr segment_base() const { return seg_base_; }
+
+ private:
+  struct Frame {
+    PageId pid;
+    std::uint32_t pins = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool filling = false;  ///< fill/write-back I/O in flight (latch dropped)
+    std::uint64_t lru = 0;
+  };
+
+  core::WaitChannel fill_channel(std::size_t frame) const {
+    return seg_base_ + static_cast<Addr>(cfg_.pool_pages) * cfg_.page_size +
+           512 + static_cast<Addr>(frame) * 8;
+  }
+
+  Addr frame_addr(std::size_t i) const {
+    return seg_base_ + static_cast<Addr>(i) * cfg_.page_size;
+  }
+  std::int64_t fd_for(sim::Proc& p, std::uint32_t file);
+  std::int64_t fd_for_locked(sim::Proc& p, std::uint32_t file,
+                             bool latch_dropped);
+  void write_back(sim::Proc& p, std::size_t frame_index);
+
+  DbConfig cfg_;
+  std::map<std::uint32_t, std::string> files_;
+  ULatch pool_latch_;
+  std::array<ULatch, 64> shard_latches_;
+  std::vector<Frame> frames_;
+  std::map<PageId, std::size_t> page_table_;
+  std::map<std::pair<const sim::Proc*, std::uint32_t>, std::int64_t> fds_;
+  Addr seg_base_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  bool initialized_ = false;
+};
+
+}  // namespace compass::workloads::db

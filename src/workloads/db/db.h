@@ -1,0 +1,55 @@
+// Common types for the miniature database engine (the DB2 substitute).
+//
+// The engine is a process-model database: worker processes share a buffer
+// pool living in a SysV-style shared segment (shmget/shmat), synchronize
+// with user-space latches, and reach the database files through kreadv /
+// kwritev / fsync OS calls — the access pattern the paper profiles for
+// TPCC/TPCD on DB2 (Table 1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace compass::workloads::db {
+
+/// A page address: (file id, page number within the file).
+struct PageId {
+  std::uint32_t file = ~0u;
+  std::uint32_t page = ~0u;
+
+  auto operator<=>(const PageId&) const = default;
+  bool valid() const { return file != ~0u; }
+};
+
+/// Record id: (page number, slot within the page) of a heap table.
+struct Rid {
+  std::uint32_t page = 0;
+  std::uint32_t slot = 0;
+
+  std::uint64_t encode() const {
+    return (static_cast<std::uint64_t>(page) << 32) | slot;
+  }
+  static Rid decode(std::uint64_t v) {
+    return Rid{static_cast<std::uint32_t>(v >> 32),
+               static_cast<std::uint32_t>(v)};
+  }
+  auto operator<=>(const Rid&) const = default;
+};
+
+struct DbConfig {
+  std::uint32_t page_size = 4096;
+  std::uint32_t pool_pages = 128;       ///< buffer-pool frames
+  std::uint64_t shm_key = 0xDB2;
+  std::string data_dir = "/db";
+  int wal_group_commit = 8;             ///< fsync the WAL every N commits
+  /// Raw (O_DIRECT-style) I/O for the data files: DMA straight into the
+  /// pool, most I/O cost in interrupt handlers (DB2-on-raw-devices, the
+  /// OLTP configuration). Buffered I/O goes through the kernel buffer
+  /// cache with copy loops (kernel-time heavy, the DSS configuration).
+  bool direct_io = true;
+};
+
+}  // namespace compass::workloads::db

@@ -1,0 +1,113 @@
+#include "workloads/db/table.h"
+
+namespace compass::workloads::db {
+
+Table::Table(BufferPool& pool, std::uint32_t file_id, std::uint32_t record_size)
+    : pool_(pool), file_(file_id), record_size_(record_size) {
+  COMPASS_CHECK(record_size_ >= 8 && record_size_ <= pool_.config().page_size - 16);
+  slots_per_page_ = (pool_.config().page_size - 16) / record_size_;
+}
+
+void Table::create(sim::Proc& p) {
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  p.write<std::uint64_t>(meta + 0, 0);  // count
+  p.write<std::uint64_t>(meta + 8, 1);  // pages (meta only)
+  p.write<std::uint32_t>(meta + 16, record_size_);
+  pool_.unpin(p, meta_pid, true);
+  table_latch_.init(p, pool_.segment_base() +
+                           static_cast<Addr>(pool_.config().pool_pages) *
+                               pool_.config().page_size +
+                           2048 + file_ * 8);
+  latch_ready_ = true;
+}
+
+Rid Table::append(sim::Proc& p, std::span<const std::uint8_t> record) {
+  COMPASS_CHECK(record.size() == record_size_);
+  COMPASS_CHECK_MSG(latch_ready_, "Table::create must run first");
+  ULatch::Guard g(table_latch_, p);
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  const auto count = p.read<std::uint64_t>(meta + 0);
+  const Rid rid = rid_of(count);
+  const PageId pid{file_, rid.page};
+  const Addr base = pool_.pin(p, pid);
+  if (rid.slot == 0) p.write<std::uint32_t>(base + 0, 0);  // fresh page
+  p.put_bytes(slot_addr(base, rid.slot), record);
+  p.write<std::uint32_t>(base + 0, rid.slot + 1);
+  pool_.unpin(p, pid, true);
+  p.write<std::uint64_t>(meta + 0, count + 1);
+  if (rid.slot == 0)
+    p.write<std::uint64_t>(meta + 8, p.read<std::uint64_t>(meta + 8) + 1);
+  pool_.unpin(p, meta_pid, true);
+  return rid;
+}
+
+void Table::read(sim::Proc& p, Rid rid, std::span<std::uint8_t> out) {
+  COMPASS_CHECK(out.size() >= record_size_);
+  const PageId pid{file_, rid.page};
+  ULatch::Guard g(pool_.page_latch(pid), p);
+  const Addr base = pool_.pin(p, pid);
+  const auto bytes = p.get_bytes(slot_addr(base, rid.slot), record_size_);
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  pool_.unpin(p, pid, false);
+}
+
+void Table::update(sim::Proc& p, Rid rid,
+                   const std::function<void(Addr)>& mutate) {
+  const PageId pid{file_, rid.page};
+  ULatch::Guard g(pool_.page_latch(pid), p);
+  const Addr base = pool_.pin(p, pid);
+  mutate(slot_addr(base, rid.slot));
+  pool_.unpin(p, pid, true);
+}
+
+void Table::with_record(sim::Proc& p, Rid rid,
+                        const std::function<void(Addr)>& fn) {
+  const PageId pid{file_, rid.page};
+  ULatch::Guard g(pool_.page_latch(pid), p);
+  const Addr base = pool_.pin(p, pid);
+  fn(slot_addr(base, rid.slot));
+  pool_.unpin(p, pid, false);
+}
+
+std::uint64_t Table::for_each(sim::Proc& p,
+                              const std::function<void(Rid, Addr)>& fn) {
+  return for_each_partition(p, 0, 1, fn);
+}
+
+std::uint64_t Table::for_each_partition(
+    sim::Proc& p, int worker, int nworkers,
+    const std::function<void(Rid, Addr)>& fn) {
+  const std::uint64_t total = count(p);
+  const std::uint64_t npages = (total + slots_per_page_ - 1) / slots_per_page_;
+  std::uint64_t visited = 0;
+  for (std::uint64_t dpage = 0; dpage < npages; ++dpage) {
+    if (static_cast<int>(dpage % static_cast<std::uint64_t>(nworkers)) != worker)
+      continue;
+    const auto page = static_cast<std::uint32_t>(1 + dpage);
+    const PageId pid{file_, page};
+    ULatch::Guard g(pool_.page_latch(pid), p);
+    const Addr base = pool_.pin(p, pid);
+    const std::uint64_t first = dpage * slots_per_page_;
+    const std::uint64_t last =
+        std::min<std::uint64_t>(first + slots_per_page_, total);
+    for (std::uint64_t i = first; i < last; ++i) {
+      const auto slot = static_cast<std::uint32_t>(i - first);
+      fn(Rid{page, slot}, slot_addr(base, slot));
+      ++visited;
+    }
+    pool_.unpin(p, pid, false);
+  }
+  return visited;
+}
+
+std::uint64_t Table::count(sim::Proc& p) {
+  const PageId meta_pid{file_, 0};
+  const Addr meta = pool_.pin(p, meta_pid);
+  const auto n = p.read<std::uint64_t>(meta + 0);
+  pool_.unpin(p, meta_pid, false);
+  return n;
+}
+
+}  // namespace compass::workloads::db

@@ -1,0 +1,71 @@
+// Heap table: fixed-size records packed into buffer-pool pages.
+//
+// Page 0 is the table meta page (+0 u64 record count, +8 u64 num pages,
+// +16 u32 record size). Data pages hold (page_size - 16) / record_size
+// slots after a 16-byte header (+0 u32 nslots used).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "workloads/db/buffer_pool.h"
+
+namespace compass::workloads::db {
+
+class Table {
+ public:
+  Table(BufferPool& pool, std::uint32_t file_id, std::uint32_t record_size);
+
+  /// Coordinator, once.
+  void create(sim::Proc& p);
+
+  /// Append a record; returns its rid. Thread-safe (table latch).
+  Rid append(sim::Proc& p, std::span<const std::uint8_t> record);
+
+  /// Read a record by rid into `out` (user loads).
+  void read(sim::Proc& p, Rid rid, std::span<std::uint8_t> out);
+
+  /// Overwrite a record in place under the page content latch.
+  void update(sim::Proc& p, Rid rid,
+              const std::function<void(Addr record_base)>& mutate);
+
+  /// Read-only access under the page latch.
+  void with_record(sim::Proc& p, Rid rid,
+                   const std::function<void(Addr record_base)>& fn);
+
+  /// Scan every record in page order; `fn` gets (rid, record sim address)
+  /// with the page pinned and content-latched.
+  std::uint64_t for_each(sim::Proc& p,
+                         const std::function<void(Rid, Addr)>& fn);
+
+  /// Partitioned scan for parallel queries: only pages where
+  /// page % nworkers == worker are visited.
+  std::uint64_t for_each_partition(sim::Proc& p, int worker, int nworkers,
+                                   const std::function<void(Rid, Addr)>& fn);
+
+  std::uint64_t count(sim::Proc& p);
+  std::uint32_t slots_per_page() const { return slots_per_page_; }
+  std::uint32_t record_size() const { return record_size_; }
+  std::uint32_t file_id() const { return file_; }
+
+  /// Deterministic rid for the i-th appended record (bulk loads append in
+  /// order, so loaders can compute rids without an index).
+  Rid rid_of(std::uint64_t index) const {
+    return Rid{static_cast<std::uint32_t>(1 + index / slots_per_page_),
+               static_cast<std::uint32_t>(index % slots_per_page_)};
+  }
+
+ private:
+  Addr slot_addr(Addr page_base, std::uint32_t slot) const {
+    return page_base + 16 + static_cast<Addr>(slot) * record_size_;
+  }
+
+  BufferPool& pool_;
+  std::uint32_t file_;
+  std::uint32_t record_size_;
+  std::uint32_t slots_per_page_;
+  ULatch table_latch_;
+  bool latch_ready_ = false;
+};
+
+}  // namespace compass::workloads::db

@@ -1,0 +1,214 @@
+#include "workloads/db/tpcc.h"
+
+#include <cstring>
+
+namespace compass::workloads::db {
+
+namespace {
+enum FileIds : std::uint32_t {
+  kItemIndexFile = 1,
+  kItemsFile,
+  kStockFile,
+  kCustomersFile,
+  kWarehousesFile,
+  kOrdersFile,
+  kOrderLinesFile,
+};
+
+template <class T>
+std::span<const std::uint8_t> as_bytes(const T& rec) {
+  return {reinterpret_cast<const std::uint8_t*>(&rec), sizeof(T)};
+}
+}  // namespace
+
+Tpcc::Tpcc(const TpccConfig& cfg)
+    : cfg_(cfg),
+      pool_(cfg.db),
+      item_index_(pool_, kItemIndexFile),
+      items_(pool_, kItemsFile, sizeof(ItemRec)),
+      stock_(pool_, kStockFile, sizeof(StockRec)),
+      customers_(pool_, kCustomersFile, sizeof(CustomerRec)),
+      warehouses_(pool_, kWarehousesFile, sizeof(WarehouseRec)),
+      orders_(pool_, kOrdersFile, sizeof(OrderRec)),
+      order_lines_(pool_, kOrderLinesFile, sizeof(OrderLineRec)),
+      wal_(pool_, cfg.db.data_dir + "/tpcc.wal") {
+  const std::string dir = cfg_.db.data_dir;
+  pool_.register_file(kItemIndexFile, dir + "/item.idx");
+  pool_.register_file(kItemsFile, dir + "/item.dat");
+  pool_.register_file(kStockFile, dir + "/stock.dat");
+  pool_.register_file(kCustomersFile, dir + "/customer.dat");
+  pool_.register_file(kWarehousesFile, dir + "/warehouse.dat");
+  pool_.register_file(kOrdersFile, dir + "/orders.dat");
+  pool_.register_file(kOrderLinesFile, dir + "/orderline.dat");
+}
+
+void Tpcc::setup(sim::Proc& p) {
+  pool_.init(p);
+  wal_.create(p);
+  item_index_.create(p);
+  items_.create(p);
+  stock_.create(p);
+  customers_.create(p);
+  warehouses_.create(p);
+  orders_.create(p);
+  order_lines_.create(p);
+
+  util::Rng rng(cfg_.seed);
+  for (std::int64_t i = 0; i < cfg_.items; ++i) {
+    ItemRec rec{};
+    rec.id = i;
+    rec.price = rng.next_in(100, 10'000);
+    std::snprintf(rec.name, sizeof(rec.name), "item-%lld",
+                  static_cast<long long>(i));
+    const Rid rid = items_.append(p, as_bytes(rec));
+    item_index_.insert(p, i, rid.encode());
+  }
+  for (std::int64_t i = 0; i < cfg_.items; ++i) {
+    for (std::int64_t w = 0; w < cfg_.warehouses; ++w) {
+      StockRec rec{};
+      rec.item = i;
+      rec.wh = w;
+      rec.quantity = rng.next_in(50, 100);
+      rec.ytd = 0;
+      stock_.append(p, as_bytes(rec));
+    }
+  }
+  for (std::int64_t w = 0; w < cfg_.warehouses; ++w) {
+    WarehouseRec wrec{};
+    wrec.id = w;
+    wrec.ytd = 0;
+    warehouses_.append(p, as_bytes(wrec));
+  }
+  for (std::int64_t w = 0; w < cfg_.warehouses; ++w) {
+    for (std::int64_t c = 0; c < cfg_.customers_per_wh; ++c) {
+      CustomerRec rec{};
+      rec.id = c;
+      rec.wh = w;
+      rec.balance = 0;
+      rec.payments = 0;
+      customers_.append(p, as_bytes(rec));
+    }
+  }
+  pool_.flush_all(p);
+}
+
+void Tpcc::new_order(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
+  // SQL parse / plan / authorization — user-mode DBMS work.
+  p.ctx().compute(60'000);
+  const std::int64_t wh = rng.next_in(0, cfg_.warehouses - 1);
+  const std::int64_t cust = rng.next_in(0, cfg_.customers_per_wh - 1);
+  const std::int64_t ol_cnt = rng.next_in(5, 15);
+  std::int64_t total = 0;
+
+  // Order id = current order count (the append's table latch makes ids
+  // unique even across workers).
+  OrderRec order{};
+  order.wh = wh;
+  order.customer = cust;
+  order.ol_cnt = ol_cnt;
+  const Rid order_rid = orders_.append(p, as_bytes(order));
+  const std::int64_t order_id = static_cast<std::int64_t>(order_rid.encode());
+
+  for (std::int64_t line = 0; line < ol_cnt; ++line) {
+    const std::int64_t item = rng.nurand(255, 0, cfg_.items - 1);
+    // Index walk to the item tuple.
+    const auto rid_enc = item_index_.lookup(p, item);
+    COMPASS_CHECK_MSG(rid_enc.has_value(), "item " << item << " missing");
+    std::int64_t price = 0;
+    items_.with_record(p, Rid::decode(*rid_enc), [&](Addr rec) {
+      price = p.read<std::int64_t>(rec + offsetof(ItemRec, price));
+    });
+    const std::int64_t qty = rng.next_in(1, 10);
+    const std::int64_t amount = price * qty;
+    total += amount;
+    // Stock update under the page content latch.
+    stock_.update(p, stock_rid(item, wh), [&](Addr rec) {
+      const auto q = p.read<std::int64_t>(rec + offsetof(StockRec, quantity));
+      p.write<std::int64_t>(rec + offsetof(StockRec, quantity),
+                            q >= qty ? q - qty : q - qty + 91);
+      const auto ytd = p.read<std::int64_t>(rec + offsetof(StockRec, ytd));
+      p.write<std::int64_t>(rec + offsetof(StockRec, ytd), ytd + amount);
+    });
+    OrderLineRec ol{};
+    ol.order = order_id;
+    ol.item = item;
+    ol.quantity = qty;
+    ol.amount = amount;
+    order_lines_.append(p, as_bytes(ol));
+    p.ctx().compute(6'000);  // per-line expression evaluation / bookkeeping
+  }
+  // Commit record: order id + total.
+  std::uint8_t commit[64] = {};
+  std::memcpy(commit, &order_id, 8);
+  std::memcpy(commit + 8, &total, 8);
+  wal_.log_commit(p, commit);
+  ++r.new_orders;
+  r.amount_total += total;
+}
+
+void Tpcc::payment(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
+  p.ctx().compute(20'000);  // parse / plan
+  const std::int64_t wh = rng.next_in(0, cfg_.warehouses - 1);
+  const std::int64_t cust = rng.next_in(0, cfg_.customers_per_wh - 1);
+  const std::int64_t amount = rng.next_in(100, 500'000);
+
+  warehouses_.update(p, warehouses_.rid_of(static_cast<std::uint64_t>(wh)),
+                     [&](Addr rec) {
+                       const auto ytd =
+                           p.read<std::int64_t>(rec + offsetof(WarehouseRec, ytd));
+                       p.write<std::int64_t>(rec + offsetof(WarehouseRec, ytd),
+                                             ytd + amount);
+                     });
+  customers_.update(p, customer_rid(wh, cust), [&](Addr rec) {
+    const auto bal = p.read<std::int64_t>(rec + offsetof(CustomerRec, balance));
+    p.write<std::int64_t>(rec + offsetof(CustomerRec, balance), bal - amount);
+    const auto n = p.read<std::int64_t>(rec + offsetof(CustomerRec, payments));
+    p.write<std::int64_t>(rec + offsetof(CustomerRec, payments), n + 1);
+  });
+  std::uint8_t commit[32] = {};
+  std::memcpy(commit, &wh, 8);
+  std::memcpy(commit + 8, &amount, 8);
+  wal_.log_commit(p, commit);
+  ++r.payments;
+  r.amount_total += amount;
+}
+
+Tpcc::WorkerResult Tpcc::worker(sim::Proc& p, int worker_id) {
+  pool_.attach(p);
+  util::Rng rng(cfg_.seed * 7919 + static_cast<std::uint64_t>(worker_id));
+  WorkerResult r;
+  for (int t = 0; t < cfg_.txns_per_worker; ++t) {
+    if (rng.next_bool(cfg_.payment_fraction))
+      payment(p, rng, r);
+    else
+      new_order(p, rng, r);
+    p.ctx().compute(2'000);  // client think/parse time
+  }
+  return r;
+}
+
+std::int64_t Tpcc::total_stock_ytd(sim::Proc& p) {
+  std::int64_t total = 0;
+  stock_.for_each(p, [&](Rid, Addr rec) {
+    total += p.read<std::int64_t>(rec + offsetof(StockRec, ytd));
+  });
+  return total;
+}
+
+std::int64_t Tpcc::total_orderline_amount(sim::Proc& p) {
+  std::int64_t total = 0;
+  order_lines_.for_each(p, [&](Rid, Addr rec) {
+    total += p.read<std::int64_t>(rec + offsetof(OrderLineRec, amount));
+  });
+  return total;
+}
+
+std::int64_t Tpcc::total_warehouse_ytd(sim::Proc& p) {
+  std::int64_t total = 0;
+  warehouses_.for_each(p, [&](Rid, Addr rec) {
+    total += p.read<std::int64_t>(rec + offsetof(WarehouseRec, ytd));
+  });
+  return total;
+}
+
+}  // namespace compass::workloads::db

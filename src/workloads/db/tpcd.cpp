@@ -1,0 +1,120 @@
+#include "workloads/db/tpcd.h"
+
+#include <cstring>
+
+namespace compass::workloads::db {
+
+namespace {
+constexpr std::uint32_t kLineItemFile = 1;
+}
+
+Tpcd::Tpcd(const TpcdConfig& cfg)
+    : cfg_(cfg),
+      pool_(cfg.db),
+      lineitem_(pool_, kLineItemFile, sizeof(LineItemRec)),
+      lineitem_path_(cfg.db.data_dir + "/lineitem.dat") {
+  pool_.register_file(kLineItemFile, lineitem_path_);
+}
+
+void Tpcd::setup(sim::Proc& p) {
+  pool_.init(p);
+  lineitem_.create(p);
+  util::Rng rng(cfg_.seed);
+  for (std::uint64_t i = 0; i < cfg_.lineitems; ++i) {
+    LineItemRec rec{};
+    rec.orderkey = static_cast<std::int64_t>(i / 4);
+    rec.partkey = rng.next_in(0, 9999);
+    rec.quantity = rng.next_in(1, 50);
+    rec.extendedprice = rng.next_in(100, 100'000);
+    rec.discount_pct = rng.next_in(0, 10);
+    rec.tax_pct = rng.next_in(0, 8);
+    rec.shipdate = static_cast<std::int32_t>(rng.next_in(0, 2555));
+    rec.returnflag = static_cast<std::uint8_t>(rng.next_in(0, 1));
+    rec.linestatus = static_cast<std::uint8_t>(rng.next_in(0, 1));
+    lineitem_.append(
+        p, {reinterpret_cast<const std::uint8_t*>(&rec), sizeof(rec)});
+  }
+  pool_.flush_all(p);
+}
+
+void Tpcd::aggregate(sim::Proc& p, Addr rec, Q1Result& out) {
+  const auto qty = p.read<std::int64_t>(rec + offsetof(LineItemRec, quantity));
+  const auto price =
+      p.read<std::int64_t>(rec + offsetof(LineItemRec, extendedprice));
+  const auto disc =
+      p.read<std::int64_t>(rec + offsetof(LineItemRec, discount_pct));
+  const auto rf = p.read<std::uint8_t>(rec + offsetof(LineItemRec, returnflag));
+  const auto ls = p.read<std::uint8_t>(rec + offsetof(LineItemRec, linestatus));
+  p.ctx().compute(90);  // aggregation expressions / group hashing
+  Q1Group& g = out[static_cast<std::size_t>(group_of(rf, ls))];
+  ++g.count;
+  g.sum_qty += qty;
+  g.sum_price += price;
+  g.sum_disc_price += price * (100 - disc) / 100;
+}
+
+Tpcd::Q1Result Tpcd::q1(sim::Proc& p, int worker, int nworkers) {
+  pool_.attach(p);
+  Q1Result out{};
+  lineitem_.for_each_partition(p, worker, nworkers,
+                               [&](Rid, Addr rec) { aggregate(p, rec, out); });
+  return out;
+}
+
+std::int64_t Tpcd::q6(sim::Proc& p, int worker, int nworkers) {
+  pool_.attach(p);
+  std::int64_t revenue = 0;
+  lineitem_.for_each_partition(p, worker, nworkers, [&](Rid, Addr rec) {
+    const auto ship = p.read<std::int32_t>(rec + offsetof(LineItemRec, shipdate));
+    p.ctx().compute(30);  // predicate evaluation
+    if (ship < 365 || ship >= 730) return;
+    const auto disc =
+        p.read<std::int64_t>(rec + offsetof(LineItemRec, discount_pct));
+    if (disc < 5 || disc > 7) return;
+    const auto qty = p.read<std::int64_t>(rec + offsetof(LineItemRec, quantity));
+    if (qty >= 24) return;
+    const auto price =
+        p.read<std::int64_t>(rec + offsetof(LineItemRec, extendedprice));
+    revenue += price * disc / 100;
+  });
+  return revenue;
+}
+
+Tpcd::Q1Result Tpcd::q1_mmap(sim::Proc& p) {
+  pool_.attach(p);
+  // Make sure the file reflects every loaded page, then map it.
+  pool_.flush_all(p);
+  const auto fd = p.open(lineitem_path_);
+  COMPASS_CHECK_MSG(fd >= 0, "cannot open " << lineitem_path_);
+  const auto size = p.statx(lineitem_path_);
+  COMPASS_CHECK(size > 0);
+  const auto base = p.mmap(fd, 0, static_cast<std::uint64_t>(size));
+  COMPASS_CHECK_MSG(base > 0, "mmap failed: " << base);
+
+  Q1Result out{};
+  const std::uint32_t page_size = pool_.config().page_size;
+  const std::uint32_t spp = lineitem_.slots_per_page();
+  for (std::uint64_t i = 0; i < cfg_.lineitems; ++i) {
+    const Rid rid = lineitem_.rid_of(i);
+    const Addr rec = static_cast<Addr>(base) +
+                     static_cast<Addr>(rid.page) * page_size + 16 +
+                     static_cast<Addr>(rid.slot) * sizeof(LineItemRec);
+    aggregate(p, rec, out);
+    (void)spp;
+  }
+  p.msync(static_cast<Addr>(base));
+  p.munmap(static_cast<Addr>(base));
+  p.close(fd);
+  return out;
+}
+
+void Tpcd::merge(Q1Result& into, const Q1Result& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    into[i].count += from[i].count;
+    into[i].sum_qty += from[i].sum_qty;
+    into[i].sum_price += from[i].sum_price;
+    into[i].sum_disc_price += from[i].sum_disc_price;
+  }
+}
+
+}  // namespace compass::workloads::db

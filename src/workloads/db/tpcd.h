@@ -1,0 +1,80 @@
+// A TPC-D-like decision-support workload (the paper's "TPCD/DB2").
+//
+// One LINEITEM fact table; Q1-style grouped aggregation and Q6-style
+// filtered sum, runnable partitioned across worker processes. Scans go
+// through the shared buffer pool (kreadv paths, ~19% OS time in the
+// paper's profile) or through mmap (the mmap/munmap/msync calls Table 1
+// lists for TPCD).
+#pragma once
+
+#include <array>
+
+#include "util/rng.h"
+#include "workloads/db/table.h"
+
+namespace compass::workloads::db {
+
+struct TpcdConfig {
+  std::uint64_t lineitems = 4000;
+  std::uint64_t seed = 777;
+  DbConfig db;
+};
+
+struct LineItemRec {
+  std::int64_t orderkey;
+  std::int64_t partkey;
+  std::int64_t quantity;
+  std::int64_t extendedprice;  // cents
+  std::int64_t discount_pct;   // 0..10
+  std::int64_t tax_pct;        // 0..8
+  std::int32_t shipdate;       // days since epoch, 0..2555
+  std::uint8_t returnflag;     // 0/1
+  std::uint8_t linestatus;     // 0/1
+  char pad[2];
+};
+static_assert(sizeof(LineItemRec) == 56);
+
+class Tpcd {
+ public:
+  explicit Tpcd(const TpcdConfig& cfg);
+
+  const TpcdConfig& config() const { return cfg_; }
+  BufferPool& pool() { return pool_; }
+  Table& lineitem() { return lineitem_; }
+
+  /// Coordinator: load LINEITEM and flush it to the data file.
+  void setup(sim::Proc& p);
+
+  /// Q1-style: grouped aggregation by (returnflag, linestatus).
+  struct Q1Group {
+    std::uint64_t count = 0;
+    std::int64_t sum_qty = 0;
+    std::int64_t sum_price = 0;
+    std::int64_t sum_disc_price = 0;
+  };
+  using Q1Result = std::array<Q1Group, 4>;
+  Q1Result q1(sim::Proc& p, int worker = 0, int nworkers = 1);
+
+  /// Q6-style: revenue = sum(extendedprice * discount) over a
+  /// shipdate/discount/quantity selection.
+  std::int64_t q6(sim::Proc& p, int worker = 0, int nworkers = 1);
+
+  /// Q1 over an mmap'ed LINEITEM file (no buffer pool), exercising the
+  /// paging path instead of kreadv.
+  Q1Result q1_mmap(sim::Proc& p);
+
+  static void merge(Q1Result& into, const Q1Result& from);
+
+ private:
+  static int group_of(std::uint8_t rf, std::uint8_t ls) {
+    return rf * 2 + ls;
+  }
+  void aggregate(sim::Proc& p, Addr rec, Q1Result& out);
+
+  TpcdConfig cfg_;
+  BufferPool pool_;
+  Table lineitem_;
+  std::string lineitem_path_;
+};
+
+}  // namespace compass::workloads::db

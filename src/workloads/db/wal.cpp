@@ -1,0 +1,52 @@
+#include "workloads/db/wal.h"
+
+namespace compass::workloads::db {
+
+Wal::Wal(BufferPool& pool, std::string path)
+    : pool_(pool), path_(std::move(path)) {}
+
+void Wal::create(sim::Proc& p) {
+  const auto fd = p.creat(path_);
+  COMPASS_CHECK_MSG(fd >= 0, "cannot create WAL " << path_);
+  p.close(fd);
+  // Latch word + staging buffer live past the table latch area of the
+  // shared segment.
+  const Addr ctl = pool_.segment_base() +
+                   static_cast<Addr>(pool_.config().pool_pages) *
+                       pool_.config().page_size +
+                   3072;
+  latch_.init(p, ctl);
+  staging_ = ctl + 64;
+  ready_ = true;
+}
+
+std::int64_t Wal::fd_for(sim::Proc& p) {
+  if (const auto it = fds_.find(&p); it != fds_.end()) return it->second;
+  const auto fd = p.open(path_);
+  COMPASS_CHECK_MSG(fd >= 0, "cannot open WAL " << path_);
+  fds_.emplace(&p, fd);
+  return fd;
+}
+
+void Wal::log_commit(sim::Proc& p, std::span<const std::uint8_t> record) {
+  COMPASS_CHECK_MSG(ready_, "Wal::create must run first");
+  COMPASS_CHECK(record.size() <= 512);
+  ULatch::Guard g(latch_, p);
+  // Stage the record (user stores into the shared log buffer), then append
+  // it to the log file.
+  p.put_bytes(staging_, record);
+  const auto fd = fd_for(p);
+  p.lseek(fd, static_cast<std::int64_t>(file_offset_), 0);
+  const os::KIovec iov[1] = {{staging_, record.size()}};
+  const auto n = p.writev(fd, iov);
+  COMPASS_CHECK(n == static_cast<std::int64_t>(record.size()));
+  file_offset_ += record.size();
+  const auto c = commits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (pool_.config().wal_group_commit > 0 &&
+      c % static_cast<std::uint64_t>(pool_.config().wal_group_commit) == 0) {
+    p.fsync(fd);
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace compass::workloads::db

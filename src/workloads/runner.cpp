@@ -1,0 +1,223 @@
+#include "workloads/runner.h"
+
+#include <thread>
+
+#include "os/backend_os.h"
+#include "sim/native_env.h"
+#include "workloads/web/server.h"
+
+namespace compass::workloads {
+
+namespace {
+
+// Semaphore ids used by the runner choreography.
+constexpr std::int64_t kStartSem = 9001;
+constexpr std::int64_t kDoneSem = 9002;
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void collect_stats(sim::Simulation& sim, ScenarioStats& out) {
+  out.cycles = sim.now();
+  out.simulated_seconds = sim.config().core.cycles_to_seconds(sim.now());
+  out.shares = sim.breakdown().shares();
+  auto& reg = sim.stats();
+  out.mem_refs = reg.counter_value("backend.mem_refs");
+  out.syscalls = reg.counter_value("os.syscalls");
+  out.interrupts = reg.counter_value("os.interrupts");
+  out.context_switches = reg.counter_value("backend.context_switches");
+  out.preemptions = reg.counter_value("backend.preemptions");
+  out.disk_reads = 0;
+  out.disk_writes = 0;
+  for (int d = 0; d < sim.devices().num_disks(); ++d) {
+    out.disk_reads += reg.counter_value("disk" + std::to_string(d) + ".reads");
+    out.disk_writes += reg.counter_value("disk" + std::to_string(d) + ".writes");
+  }
+  out.net_frames_in = reg.counter_value("net.frames_in");
+  out.net_frames_out = reg.counter_value("net.frames_out");
+  for (int c = 0; c < sim.config().core.num_cpus; ++c) {
+    out.l1_hits += reg.counter_value("l1.cpu" + std::to_string(c) + ".hits");
+    out.l1_misses += reg.counter_value("l1.cpu" + std::to_string(c) + ".misses");
+  }
+  out.numa_local = reg.counter_value("numa.local_accesses");
+  out.numa_remote = reg.counter_value("numa.remote_accesses");
+}
+
+// ------------------------------------------------------------------- TPCC
+
+ScenarioStats run_tpcc(sim::SimulationConfig cfg, const TpccScenario& sc) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulation sim(cfg);
+  auto tpcc = std::make_shared<db::Tpcc>(sc.tpcc);
+  std::vector<db::Tpcc::WorkerResult> results(
+      static_cast<std::size_t>(sc.workers));
+  sim.spawn("db2.coord", [&, workers = sc.workers](sim::Proc& p) {
+    tpcc->setup(p);
+    // Shares measure steady state, not the bulk load (paper methodology).
+    p.ctx().backend_call(
+        static_cast<std::uint64_t>(os::BackendCall::kResetBreakdown));
+    p.sem_init(kStartSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
+    p.sem_init(kDoneSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_p(kDoneSem);
+  });
+  for (int w = 0; w < sc.workers; ++w) {
+    sim.spawn("db2.agent" + std::to_string(w), [&, w](sim::Proc& p) {
+      p.sem_init(kStartSem, 0);
+      p.sem_p(kStartSem);
+      results[static_cast<std::size_t>(w)] = tpcc->worker(p, w);
+      p.sem_init(kDoneSem, 0);
+      p.sem_v(kDoneSem);
+    });
+  }
+  sim.run();
+  ScenarioStats out;
+  collect_stats(sim, out);
+  for (const auto& r : results) out.work_units += r.new_orders + r.payments;
+  out.host_seconds = wall_seconds(t0);
+  return out;
+}
+
+double run_tpcc_native_seconds(const TpccScenario& sc) {
+  // Time setup + transactions, matching what the simulated run measures.
+  sim::NativeEnv env;
+  db::Tpcc tpcc(sc.tpcc);
+  sim::Proc& coord = env.add_process("coord");
+  std::vector<sim::Proc*> procs;
+  for (int w = 0; w < sc.workers; ++w)
+    procs.push_back(&env.add_process("agent" + std::to_string(w)));
+  const auto t0 = std::chrono::steady_clock::now();
+  tpcc.setup(coord);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < sc.workers; ++w)
+    threads.emplace_back(
+        [&tpcc, &procs, w] { tpcc.worker(*procs[static_cast<std::size_t>(w)], w); });
+  for (auto& t : threads) t.join();
+  return wall_seconds(t0);
+}
+
+// ------------------------------------------------------------------- TPCD
+
+ScenarioStats run_tpcd(sim::SimulationConfig cfg, const TpcdScenario& sc) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulation sim(cfg);
+  auto tpcd = std::make_shared<db::Tpcd>(sc.tpcd);
+  sim.spawn("db2.coord", [&, workers = sc.workers](sim::Proc& p) {
+    tpcd->setup(p);
+    p.ctx().backend_call(
+        static_cast<std::uint64_t>(os::BackendCall::kResetBreakdown));
+    p.sem_init(kStartSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
+  });
+  for (int w = 0; w < sc.workers; ++w) {
+    sim.spawn("db2.query" + std::to_string(w), [&, w](sim::Proc& p) {
+      p.sem_init(kStartSem, 0);
+      p.sem_p(kStartSem);
+      for (int r = 0; r < sc.repeats; ++r) {
+        if (sc.use_mmap && sc.workers == 1) {
+          (void)tpcd->q1_mmap(p);
+        } else {
+          (void)tpcd->q1(p, w, sc.workers);
+          (void)tpcd->q6(p, w, sc.workers);
+        }
+      }
+    });
+  }
+  sim.run();
+  ScenarioStats out;
+  collect_stats(sim, out);
+  out.work_units = static_cast<std::uint64_t>(sc.workers * sc.repeats);
+  out.host_seconds = wall_seconds(t0);
+  return out;
+}
+
+double run_tpcd_native_seconds(const TpcdScenario& sc) {
+  // Time setup + queries, matching what the simulated run measures.
+  sim::NativeEnv env;
+  db::Tpcd tpcd(sc.tpcd);
+  sim::Proc& coord = env.add_process("coord");
+  std::vector<sim::Proc*> procs;
+  for (int w = 0; w < sc.workers; ++w)
+    procs.push_back(&env.add_process("query" + std::to_string(w)));
+  const auto t0 = std::chrono::steady_clock::now();
+  tpcd.setup(coord);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < sc.workers; ++w) {
+    threads.emplace_back([&tpcd, &procs, &sc, w] {
+      sim::Proc& p = *procs[static_cast<std::size_t>(w)];
+      for (int r = 0; r < sc.repeats; ++r) {
+        if (sc.use_mmap && sc.workers == 1) {
+          (void)tpcd.q1_mmap(p);
+        } else {
+          (void)tpcd.q1(p, w, sc.workers);
+          (void)tpcd.q6(p, w, sc.workers);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return wall_seconds(t0);
+}
+
+// -------------------------------------------------------------------- web
+
+ScenarioStats run_web(sim::SimulationConfig cfg, const WebScenario& sc) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulation sim(cfg);
+  web::Fileset fileset(sc.fileset);
+  fileset.populate(sim.kernel().fs());
+  const web::Trace trace =
+      web::Trace::generate(fileset, sc.requests, sc.mean_gap, sc.seed);
+  web::TracePlayerConfig pc;
+  pc.concurrency = sc.concurrency;
+  pc.num_servers = sc.servers;
+  pc.think = sc.think;
+  web::TracePlayer player(sim, trace, pc);
+  player.install();
+  for (int s = 0; s < sc.servers; ++s) {
+    sim.spawn("httpd" + std::to_string(s), [](sim::Proc& p) {
+      web::WebServer server(web::WebServerConfig{});
+      server.run(p);
+    });
+  }
+  sim.run();
+  ScenarioStats out;
+  collect_stats(sim, out);
+  out.work_units = player.completed();
+  out.latency = player.latency();
+  out.host_seconds = wall_seconds(t0);
+  return out;
+}
+
+// -------------------------------------------------------------------- sci
+
+ScenarioStats run_sci(sim::SimulationConfig cfg, const SciScenario& sc) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Simulation sim(cfg);
+  auto mm = std::make_shared<sci::ParallelMatmul>(sc.matmul);
+  const int workers = sc.matmul.nprocs;
+  sim.spawn("coord", [&, workers](sim::Proc& p) {
+    mm->setup(p);
+    p.sem_init(kStartSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
+  });
+  for (int w = 0; w < workers; ++w) {
+    sim.spawn("sci" + std::to_string(w), [&, w](sim::Proc& p) {
+      p.sem_init(kStartSem, 0);
+      p.sem_p(kStartSem);
+      mm->worker(p, w);
+    });
+  }
+  sim.run();
+  ScenarioStats out;
+  collect_stats(sim, out);
+  out.work_units = 1;
+  out.host_seconds = wall_seconds(t0);
+  return out;
+}
+
+}  // namespace compass::workloads

@@ -1,0 +1,85 @@
+// Canned scenario runners shared by the examples and the bench harnesses.
+//
+// Each runner assembles a Simulation, spawns the coordinator/worker
+// processes with their semaphore choreography, runs to completion and
+// returns a uniform statistics record. The native variants run the same
+// workload code detached (the paper's "raw" runs) and return host seconds.
+#pragma once
+
+#include <chrono>
+
+#include "sim/simulation.h"
+#include "stats/time_breakdown.h"
+#include "workloads/db/tpcc.h"
+#include "workloads/db/tpcd.h"
+#include "workloads/sci/kernels.h"
+#include "workloads/web/trace.h"
+
+namespace compass::workloads {
+
+struct ScenarioStats {
+  Cycles cycles = 0;               ///< simulated run length
+  double simulated_seconds = 0;    ///< cycles at the configured clock
+  double host_seconds = 0;         ///< wall-clock of the simulation
+  stats::TimeShares shares;        ///< Table-1 user/OS split
+  std::uint64_t mem_refs = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t interrupts = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t net_frames_in = 0;
+  std::uint64_t net_frames_out = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t numa_local = 0;
+  std::uint64_t numa_remote = 0;
+  std::uint64_t work_units = 0;    ///< txns / requests / checksum marker
+  stats::Histogram latency;        ///< web request latency (cycles)
+};
+
+/// Fill the common counters from a finished simulation.
+void collect_stats(sim::Simulation& sim, ScenarioStats& out);
+
+// ---- TPCC (OLTP) -----------------------------------------------------------
+
+struct TpccScenario {
+  db::TpccConfig tpcc;
+  int workers = 2;
+};
+ScenarioStats run_tpcc(sim::SimulationConfig cfg, const TpccScenario& sc);
+double run_tpcc_native_seconds(const TpccScenario& sc);
+
+// ---- TPCD (decision support) ----------------------------------------------
+
+struct TpcdScenario {
+  db::TpcdConfig tpcd;
+  int workers = 1;
+  bool use_mmap = false;  ///< Q1 through mmap instead of the buffer pool
+  int repeats = 1;        ///< query executions per worker
+};
+ScenarioStats run_tpcd(sim::SimulationConfig cfg, const TpcdScenario& sc);
+double run_tpcd_native_seconds(const TpcdScenario& sc);
+
+// ---- SPECWeb-like web serving ----------------------------------------------
+
+struct WebScenario {
+  web::FilesetConfig fileset;
+  std::uint64_t requests = 30;
+  int servers = 1;
+  int concurrency = 4;
+  Cycles mean_gap = 50'000;
+  Cycles think = 30'000;
+  std::uint64_t seed = 99;
+};
+ScenarioStats run_web(sim::SimulationConfig cfg, const WebScenario& sc);
+
+// ---- scientific kernel -----------------------------------------------------
+
+struct SciScenario {
+  sci::MatmulConfig matmul;
+};
+ScenarioStats run_sci(sim::SimulationConfig cfg, const SciScenario& sc);
+
+}  // namespace compass::workloads

@@ -1,0 +1,151 @@
+#include "workloads/sci/kernels.h"
+
+namespace compass::workloads::sci {
+
+ParallelMatmul::ParallelMatmul(const MatmulConfig& cfg) : cfg_(cfg) {
+  COMPASS_CHECK(cfg_.n > 0 && cfg_.block > 0 && cfg_.nprocs > 0);
+}
+
+Addr ParallelMatmul::a_at(int i, int j) const {
+  return base_ + 256 +
+         static_cast<Addr>(i * cfg_.n + j) * 8;
+}
+Addr ParallelMatmul::b_at(int i, int j) const {
+  return a_at(cfg_.n - 1, cfg_.n - 1) + 8 + static_cast<Addr>(i * cfg_.n + j) * 8;
+}
+Addr ParallelMatmul::c_at(int i, int j) const {
+  return b_at(cfg_.n - 1, cfg_.n - 1) + 8 + static_cast<Addr>(i * cfg_.n + j) * 8;
+}
+
+void ParallelMatmul::setup(sim::Proc& p) {
+  const std::uint64_t bytes =
+      256 + 3ull * static_cast<std::uint64_t>(cfg_.n) * cfg_.n * 8 + 4096;
+  const auto segid = p.shmget(cfg_.shm_key, bytes);
+  const auto base = p.shmat(segid);
+  COMPASS_CHECK(base > 0);
+  base_ = static_cast<Addr>(base);
+  barrier_.init(p, cfg_.nprocs, base_);
+
+  util::Rng rng(cfg_.seed);
+  for (int i = 0; i < cfg_.n; ++i) {
+    for (int j = 0; j < cfg_.n; ++j) {
+      p.write<std::int64_t>(a_at(i, j), rng.next_in(-9, 9));
+      p.write<std::int64_t>(b_at(i, j), rng.next_in(-9, 9));
+      p.write<std::int64_t>(c_at(i, j), 0);
+    }
+  }
+}
+
+void ParallelMatmul::worker(sim::Proc& p, int id) {
+  // Attach (idempotent address) and wait for setup via the barrier.
+  const auto segid = p.shmget(cfg_.shm_key, 1);
+  const auto base = p.shmat(segid);
+  COMPASS_CHECK(static_cast<Addr>(base) == base_ || base_ == 0);
+  barrier_.arrive(p);
+
+  const int rows_per = (cfg_.n + cfg_.nprocs - 1) / cfg_.nprocs;
+  const int row_lo = id * rows_per;
+  const int row_hi = std::min(cfg_.n, row_lo + rows_per);
+  // Blocked i-k-j loop over the partition.
+  for (int ii = row_lo; ii < row_hi; ii += cfg_.block) {
+    for (int kk = 0; kk < cfg_.n; kk += cfg_.block) {
+      for (int jj = 0; jj < cfg_.n; jj += cfg_.block) {
+        const int i_max = std::min(ii + cfg_.block, row_hi);
+        const int k_max = std::min(kk + cfg_.block, cfg_.n);
+        const int j_max = std::min(jj + cfg_.block, cfg_.n);
+        for (int i = ii; i < i_max; ++i) {
+          for (int k = kk; k < k_max; ++k) {
+            const auto a = p.read<std::int64_t>(a_at(i, k));
+            for (int j = jj; j < j_max; ++j) {
+              const auto b = p.read<std::int64_t>(b_at(k, j));
+              const auto c = p.read<std::int64_t>(c_at(i, j));
+              p.ctx().compute(2);  // multiply-add
+              p.write<std::int64_t>(c_at(i, j), c + a * b);
+            }
+          }
+        }
+      }
+    }
+  }
+  barrier_.arrive(p);
+}
+
+std::int64_t ParallelMatmul::checksum(sim::Proc& p) {
+  std::int64_t sum = 0;
+  for (int i = 0; i < cfg_.n; ++i)
+    for (int j = 0; j < cfg_.n; ++j)
+      sum += p.read<std::int64_t>(c_at(i, j)) * (i + 2 * j + 1);
+  return sum;
+}
+
+std::int64_t ParallelMatmul::expected_checksum() const {
+  // Recompute A, B host-side with the same RNG stream.
+  util::Rng rng(cfg_.seed);
+  const auto n = static_cast<std::size_t>(cfg_.n);
+  std::vector<std::int64_t> a(n * n), b(n * n), c(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = rng.next_in(-9, 9);
+      b[i * n + j] = rng.next_in(-9, 9);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] += a[i * n + k] * b[k * n + j];
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      sum += c[i * n + j] *
+             static_cast<std::int64_t>(i + 2 * j + 1);
+  return sum;
+}
+
+ParallelReduce::ParallelReduce(const ReduceConfig& cfg) : cfg_(cfg) {
+  COMPASS_CHECK(cfg_.nprocs > 0 && cfg_.elements > 0);
+}
+
+void ParallelReduce::setup(sim::Proc& p) {
+  const std::uint64_t bytes = 4096 + cfg_.elements * 8;
+  const auto segid = p.shmget(cfg_.shm_key, bytes);
+  const auto base = p.shmat(segid);
+  COMPASS_CHECK(base > 0);
+  base_ = static_cast<Addr>(base);
+  barrier_.init(p, cfg_.nprocs, base_);
+  acc_latch_.init(p, base_ + 64);
+  p.write<std::int64_t>(base_ + 128, 0);  // accumulator
+  util::Rng rng(cfg_.seed);
+  expected_ = 0;
+  for (std::uint64_t i = 0; i < cfg_.elements; ++i) {
+    const auto v = rng.next_in(-1000, 1000);
+    p.write<std::int64_t>(base_ + 4096 + i * 8, v);
+    expected_ += v;
+  }
+}
+
+void ParallelReduce::worker(sim::Proc& p, int id) {
+  const auto segid = p.shmget(cfg_.shm_key, 1);
+  (void)p.shmat(segid);
+  barrier_.arrive(p);
+  const std::uint64_t per =
+      (cfg_.elements + static_cast<std::uint64_t>(cfg_.nprocs) - 1) /
+      static_cast<std::uint64_t>(cfg_.nprocs);
+  const std::uint64_t lo = static_cast<std::uint64_t>(id) * per;
+  const std::uint64_t hi = std::min(cfg_.elements, lo + per);
+  std::int64_t partial = 0;
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    partial += p.read<std::int64_t>(base_ + 4096 + i * 8);
+    p.ctx().compute(1);
+  }
+  acc_latch_.lock(p);
+  const auto acc = p.read<std::int64_t>(base_ + 128);
+  p.write<std::int64_t>(base_ + 128, acc + partial);
+  acc_latch_.unlock(p);
+  barrier_.arrive(p);
+}
+
+std::int64_t ParallelReduce::result(sim::Proc& p) {
+  return p.read<std::int64_t>(base_ + 128);
+}
+
+}  // namespace compass::workloads::sci

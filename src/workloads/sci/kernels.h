@@ -1,0 +1,77 @@
+// SPLASH-2-style scientific kernels — the OS-light contrast the paper's
+// introduction draws ("Scientific applications on shared memory machines
+// usually spend very little time in the operating systems").
+//
+// Blocked matrix multiply over matrices in a shared segment, partitioned
+// by row blocks across processes with barrier synchronization; and a
+// parallel reduction with an atomic accumulator. Both spend essentially
+// all their time in user mode.
+#pragma once
+
+#include "sim/proc.h"
+#include "util/rng.h"
+#include "workloads/usync.h"
+
+namespace compass::workloads::sci {
+
+struct MatmulConfig {
+  int n = 48;            ///< square matrix dimension
+  int block = 8;         ///< cache block size (elements)
+  int nprocs = 2;
+  std::uint64_t shm_key = 0x5C1;
+  std::uint64_t seed = 31;
+};
+
+/// C = A * B over int64 with wraparound arithmetic (deterministic).
+class ParallelMatmul {
+ public:
+  explicit ParallelMatmul(const MatmulConfig& cfg);
+
+  /// Coordinator: attach the segment, fill A and B, init the barrier.
+  void setup(sim::Proc& p);
+
+  /// Worker `id` computes its row partition, then barriers.
+  void worker(sim::Proc& p, int id);
+
+  /// Checksum of C (after all workers completed).
+  std::int64_t checksum(sim::Proc& p);
+
+  /// Reference result computed host-side (for verification).
+  std::int64_t expected_checksum() const;
+
+ private:
+  Addr a_at(int i, int j) const;
+  Addr b_at(int i, int j) const;
+  Addr c_at(int i, int j) const;
+
+  MatmulConfig cfg_;
+  Addr base_ = 0;
+  UBarrier barrier_;
+};
+
+/// Parallel sum of a shared array with per-process partial sums combined
+/// through an atomic (sync-reference) accumulator.
+struct ReduceConfig {
+  std::uint64_t elements = 4096;
+  int nprocs = 2;
+  std::uint64_t shm_key = 0x5C2;
+  std::uint64_t seed = 77;
+};
+
+class ParallelReduce {
+ public:
+  explicit ParallelReduce(const ReduceConfig& cfg);
+  void setup(sim::Proc& p);
+  void worker(sim::Proc& p, int id);
+  std::int64_t result(sim::Proc& p);
+  std::int64_t expected() const { return expected_; }
+
+ private:
+  ReduceConfig cfg_;
+  Addr base_ = 0;
+  std::int64_t expected_ = 0;
+  ULatch acc_latch_;
+  UBarrier barrier_;
+};
+
+}  // namespace compass::workloads::sci

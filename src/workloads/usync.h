@@ -1,0 +1,135 @@
+// User-level synchronization for process-model workloads.
+//
+// DB2-era applications synchronize through user-space latches in shared
+// memory. ULatch models one: the lock word lives at a simulated address in
+// a shared segment; acquisition is an atomic test&set (a sync reference)
+// followed by a backend-granted channel wait, which makes contention
+// resolution deterministic in simulated-event order. One wakeup permit is
+// posted at init() — the unlocked state.
+//
+// In native (detached) runs the latch degrades to a host mutex.
+#pragma once
+
+#include <mutex>
+
+#include "sim/proc.h"
+
+namespace compass::workloads {
+
+class ULatch {
+ public:
+  ULatch() = default;
+  ULatch(const ULatch&) = delete;
+  ULatch& operator=(const ULatch&) = delete;
+
+  /// One process initializes the latch word before any contention (posts
+  /// the "unlocked" permit). `word` must be a mapped simulated address
+  /// (conventionally inside the shared segment the latch protects).
+  void init(sim::Proc& p, Addr word) {
+    word_ = word;
+    if (p.ctx().attached()) {
+      p.write<std::uint64_t>(word_, 0);
+      p.ctx().wakeup(word_);
+    }
+  }
+
+  void lock(sim::Proc& p) {
+    if (!p.ctx().attached()) {
+      native_.lock();
+      return;
+    }
+    p.ctx().sync_ref(word_, 8);   // atomic test&set
+    p.ctx().block_on(word_);      // granted in event order
+  }
+
+  void unlock(sim::Proc& p) {
+    if (!p.ctx().attached()) {
+      native_.unlock();
+      return;
+    }
+    p.ctx().sync_ref(word_, 8);
+    p.ctx().wakeup(word_);
+  }
+
+  Addr word() const { return word_; }
+
+  class Guard {
+   public:
+    Guard(ULatch& l, sim::Proc& p) : l_(l), p_(p) { l_.lock(p_); }
+    ~Guard() { l_.unlock(p_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    ULatch& l_;
+    sim::Proc& p_;
+  };
+
+ private:
+  Addr word_ = 0;
+  std::mutex native_;
+};
+
+/// Centralized sense-reversing barrier over shared counter/generation
+/// words. Wakeups for generation g go to an alternating per-generation
+/// channel so leftover permits of round g cannot release an early arriver
+/// of round g+2 (by then every round-g permit has been consumed).
+class UBarrier {
+ public:
+  /// Initialize for `parties` processes; `count_word` is the base of a
+  /// 32-byte shared-segment region this barrier owns.
+  void init(sim::Proc& p, int parties, Addr count_word) {
+    parties_ = parties;
+    count_word_ = count_word;
+    gen_word_ = count_word + 8;
+    latch_.init(p, count_word + 24);
+    p.write<std::uint64_t>(count_word_, 0);
+    p.write<std::uint64_t>(gen_word_, 0);
+  }
+
+  void arrive(sim::Proc& p) {
+    if (!p.ctx().attached()) {
+      // Native: classic mutex+condvar barrier.
+      std::unique_lock lock(native_mu_);
+      if (++native_count_ == parties_) {
+        native_count_ = 0;
+        ++native_gen_;
+        native_cv_.notify_all();
+      } else {
+        const std::uint64_t gen = native_gen_;
+        native_cv_.wait(lock, [&] { return native_gen_ != gen; });
+      }
+      return;
+    }
+    latch_.lock(p);
+    const auto gen = p.read<std::uint64_t>(gen_word_);
+    const auto n = p.read<std::uint64_t>(count_word_) + 1;
+    if (n == static_cast<std::uint64_t>(parties_)) {
+      p.write<std::uint64_t>(count_word_, 0);
+      p.write<std::uint64_t>(gen_word_, gen + 1);
+      if (parties_ > 1)
+        p.ctx().wakeup(gen_channel(gen), static_cast<std::uint64_t>(parties_ - 1));
+      latch_.unlock(p);
+    } else {
+      p.write<std::uint64_t>(count_word_, n);
+      latch_.unlock(p);
+      p.ctx().block_on(gen_channel(gen));
+    }
+  }
+
+ private:
+  core::WaitChannel gen_channel(std::uint64_t gen) const {
+    return count_word_ + 16 + (gen & 1) * 4;
+  }
+
+  int parties_ = 0;
+  Addr count_word_ = 0;
+  Addr gen_word_ = 0;
+  ULatch latch_;
+  std::mutex native_mu_;
+  std::condition_variable native_cv_;
+  std::uint64_t native_count_ = 0;
+  std::uint64_t native_gen_ = 0;
+};
+
+}  // namespace compass::workloads

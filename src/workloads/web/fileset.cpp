@@ -1,0 +1,70 @@
+#include "workloads/web/fileset.h"
+
+namespace compass::workloads::web {
+
+namespace {
+/// SPECWeb96 class access mix.
+constexpr double kClassWeights[4] = {0.35, 0.50, 0.14, 0.01};
+/// Base sizes per class (bytes) before per-file variation and scaling.
+constexpr std::uint64_t kClassBase[4] = {102, 1024, 10240, 102400};
+}  // namespace
+
+Fileset::Fileset(const FilesetConfig& cfg) : cfg_(cfg) {
+  COMPASS_CHECK(cfg_.dirs >= 1 && cfg_.files_per_class >= 1);
+  COMPASS_CHECK(cfg_.size_scale > 0);
+  for (int d = 0; d < cfg_.dirs; ++d) {
+    for (int c = 0; c < 4; ++c) {
+      for (int f = 0; f < cfg_.files_per_class; ++f) {
+        all_paths_.push_back(path(d, c, f));
+        const auto size = size_of(c, f);
+        sizes_.push_back(size);
+        total_bytes_ += size;
+      }
+    }
+  }
+}
+
+std::string Fileset::path(int dir, int cls, int idx) const {
+  return "/www/dir" + std::to_string(dir) + "/class" + std::to_string(cls) +
+         "_" + std::to_string(idx);
+}
+
+std::uint64_t Fileset::size_of(int cls, int idx) const {
+  // Files within a class step through 1x..9x of the class base, SPECWeb
+  // style.
+  const std::uint64_t mult = 1 + static_cast<std::uint64_t>(idx) % 9;
+  const auto raw = static_cast<double>(kClassBase[cls] * mult) * cfg_.size_scale;
+  return std::max<std::uint64_t>(64, static_cast<std::uint64_t>(raw));
+}
+
+void Fileset::populate(os::FileSystem& fs) const {
+  util::Rng rng(cfg_.seed);
+  for (std::size_t i = 0; i < all_paths_.size(); ++i) {
+    std::vector<std::uint8_t> content(sizes_[i]);
+    for (auto& b : content) b = static_cast<std::uint8_t>(rng.next_u64());
+    fs.populate(all_paths_[i], content);
+  }
+}
+
+const std::string& Fileset::pick(util::Rng& rng) const {
+  const double u = rng.next_double();
+  int cls = 3;
+  double acc = 0;
+  for (int c = 0; c < 4; ++c) {
+    acc += kClassWeights[c];
+    if (u < acc) {
+      cls = c;
+      break;
+    }
+  }
+  const auto dir = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(cfg_.dirs)));
+  const auto idx = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(cfg_.files_per_class)));
+  const std::size_t flat =
+      static_cast<std::size_t>(dir) * 4 * static_cast<std::size_t>(cfg_.files_per_class) +
+      static_cast<std::size_t>(cls) * static_cast<std::size_t>(cfg_.files_per_class) +
+      static_cast<std::size_t>(idx);
+  return all_paths_[flat];
+}
+
+}  // namespace compass::workloads::web

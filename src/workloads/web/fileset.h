@@ -1,0 +1,52 @@
+// SPECWeb96-like fileset generator.
+//
+// "Before testing a web server, the file set generator must be run in the
+// server machine to populate a test file set consisting of many files of
+// different sizes" (paper §4.2). SPECWeb96 organizes files into four size
+// classes accessed with fixed probabilities (35% / 50% / 14% / 1%); within
+// a class, files and directories are picked with a mild Zipf skew.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "os/fs.h"
+#include "util/rng.h"
+
+namespace compass::workloads::web {
+
+struct FilesetConfig {
+  int dirs = 4;
+  int files_per_class = 3;
+  std::uint64_t seed = 4242;
+  /// Scale factor on the SPECWeb96 file sizes (1.0 = classes of ~0.1-0.9KB,
+  /// 1-9KB, 10-90KB, 100-900KB; benches scale down to fit simulated time).
+  double size_scale = 0.1;
+};
+
+class Fileset {
+ public:
+  explicit Fileset(const FilesetConfig& cfg);
+
+  /// Create every file in the simulated file system with deterministic
+  /// content (host-side setup, as the paper's generator runs before the
+  /// measurement).
+  void populate(os::FileSystem& fs) const;
+
+  std::string path(int dir, int cls, int idx) const;
+  std::uint64_t size_of(int cls, int idx) const;
+
+  /// Draw a path according to the SPECWeb class mix.
+  const std::string& pick(util::Rng& rng) const;
+
+  int num_files() const { return static_cast<int>(all_paths_.size()); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  FilesetConfig cfg_;
+  std::vector<std::string> all_paths_;          // indexed dir*(4*fpc)+cls*fpc+idx
+  std::vector<std::uint64_t> sizes_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace compass::workloads::web

@@ -1,0 +1,29 @@
+// Minimal HTTP/1.0 request/response codec for the web workload.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace compass::workloads::web {
+
+inline std::string make_request(std::string_view path) {
+  return "GET " + std::string(path) + " HTTP/1.0\r\n\r\n";
+}
+
+/// Extract the path from "GET <path> HTTP/1.0...". Nullopt on garbage.
+inline std::optional<std::string> parse_request_path(std::string_view req) {
+  if (req.rfind("GET ", 0) != 0) return std::nullopt;
+  const auto sp = req.find(' ', 4);
+  if (sp == std::string_view::npos) return std::nullopt;
+  return std::string(req.substr(4, sp - 4));
+}
+
+inline std::string make_response_header(std::uint64_t content_length,
+                                        int status = 200) {
+  return "HTTP/1.0 " + std::to_string(status) +
+         (status == 200 ? " OK" : " Not Found") +
+         "\r\nContent-Length: " + std::to_string(content_length) + "\r\n\r\n";
+}
+
+}  // namespace compass::workloads::web

@@ -1,0 +1,100 @@
+#include "workloads/web/server.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "workloads/web/http.h"
+
+namespace compass::workloads::web {
+
+bool WebServer::serve(sim::Proc& p, std::int64_t conn, Addr buf,
+                      WebServerResult& r, bool* quit) {
+  const auto n = p.recv(conn, buf, 2048);
+  if (n <= 0) return false;  // peer closed (FIN) or error
+  const auto req_bytes = p.get_bytes(buf, static_cast<std::size_t>(n));
+  const std::string req(req_bytes.begin(), req_bytes.end());
+  const auto path = parse_request_path(req);
+  // Request parsing, URI mapping, access-log formatting (user mode).
+  p.ctx().compute(4'000);
+  ++r.requests;
+  if (!path.has_value()) {
+    ++r.not_found;
+    return false;
+  }
+  if (*path == kQuitPath) {
+    *quit = true;
+    const std::string resp = make_response_header(0);
+    p.put_bytes(buf, {reinterpret_cast<const std::uint8_t*>(resp.data()),
+                      resp.size()});
+    p.send(conn, buf, resp.size());
+    return false;
+  }
+  // statx for the length, then open + kreadv + send in chunks.
+  const auto size = p.statx(*path);
+  if (size < 0) {
+    ++r.not_found;
+    const std::string resp = make_response_header(0, 404);
+    p.put_bytes(buf, {reinterpret_cast<const std::uint8_t*>(resp.data()),
+                      resp.size()});
+    p.send(conn, buf, resp.size());
+    return false;
+  }
+  const std::string header = make_response_header(static_cast<std::uint64_t>(size));
+  p.put_bytes(buf, {reinterpret_cast<const std::uint8_t*>(header.data()),
+                    header.size()});
+  p.send(conn, buf, header.size());
+  r.bytes_sent += header.size();
+
+  const auto fd = p.open(*path);
+  if (fd < 0) {
+    ++r.not_found;
+    return false;
+  }
+  std::uint64_t remaining = static_cast<std::uint64_t>(size);
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(cfg_.io_chunk, remaining);
+    const os::KIovec iov[1] = {{buf, chunk}};
+    const auto got = p.readv(fd, iov);
+    if (got <= 0) break;
+    p.ctx().compute(600);  // user-mode chunk bookkeeping
+    const auto sent = p.send(conn, buf, static_cast<std::uint64_t>(got));
+    if (sent <= 0) break;
+    r.bytes_sent += static_cast<std::uint64_t>(sent);
+    remaining -= static_cast<std::uint64_t>(got);
+  }
+  p.close(fd);
+  return false;  // HTTP/1.0: one request per connection
+}
+
+WebServerResult WebServer::run(sim::Proc& p) {
+  WebServerResult r;
+  const Addr buf = p.alloc(std::max<std::uint32_t>(cfg_.io_chunk, 4096), 64);
+  const auto lsock = p.socket();
+  COMPASS_CHECK_MSG(lsock >= 0, "web server: socket failed");
+  COMPASS_CHECK_MSG(p.bind(lsock, cfg_.port) == 0, "web server: bind failed");
+  COMPASS_CHECK_MSG(p.listen(lsock, cfg_.max_conns) == 0,
+                    "web server: listen failed");
+
+  std::vector<std::int32_t> watch{static_cast<std::int32_t>(lsock)};
+  bool quit = false;
+  while (!quit) {
+    const auto ready = p.select(watch);
+    if (ready < 0) break;  // shutdown
+    if (ready == lsock) {
+      const auto conn = p.naccept(lsock);
+      if (conn >= 0) watch.push_back(static_cast<std::int32_t>(conn));
+      continue;
+    }
+    // A connection is readable: serve it, then close (HTTP/1.0).
+    const bool keep = serve(p, ready, buf, r, &quit);
+    if (!keep) {
+      p.close(ready);
+      watch.erase(std::find(watch.begin(), watch.end(),
+                            static_cast<std::int32_t>(ready)));
+    }
+  }
+  p.close(lsock);
+  return r;
+}
+
+}  // namespace compass::workloads::web

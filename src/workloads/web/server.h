@@ -1,0 +1,49 @@
+// The web server workload process (the paper's Apache substitute).
+//
+// A classic select-driven HTTP/1.0 server: select over the listening and
+// connection sockets, naccept, recv the request, statx + open + kreadv the
+// file, send the response in chunks, close. Run several instances for a
+// prefork-style server — they share the listening port (round-robin SYN
+// delivery) the way Apache children share the accept socket.
+//
+// The server exits when it serves a request for kQuitPath (the trace
+// player sends one per server process after the trace drains).
+#pragma once
+
+#include <string>
+
+#include "sim/proc.h"
+
+namespace compass::workloads::web {
+
+inline constexpr std::string_view kQuitPath = "/__quit";
+
+struct WebServerConfig {
+  std::uint16_t port = 80;
+  std::uint32_t io_chunk = 8192;  ///< kreadv/send chunk size
+  int max_conns = 16;
+};
+
+struct WebServerResult {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t not_found = 0;
+};
+
+class WebServer {
+ public:
+  explicit WebServer(const WebServerConfig& cfg) : cfg_(cfg) {}
+
+  /// Process body; returns after the quit request.
+  WebServerResult run(sim::Proc& p);
+
+ private:
+  /// Serve one request on `conn`; returns false when the connection closed
+  /// or a quit was requested (sets *quit).
+  bool serve(sim::Proc& p, std::int64_t conn, Addr buf, WebServerResult& r,
+             bool* quit);
+
+  WebServerConfig cfg_;
+};
+
+}  // namespace compass::workloads::web

@@ -1,0 +1,132 @@
+#include "workloads/web/trace.h"
+
+#include <sstream>
+
+#include "workloads/web/http.h"
+#include "workloads/web/server.h"
+
+namespace compass::workloads::web {
+
+Trace Trace::generate(const Fileset& fileset, std::uint64_t n, Cycles mean_gap,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  Trace t;
+  Cycles at = 10'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    t.entries.push_back(TraceEntry{at, fileset.pick(rng)});
+    // Exponential-ish inter-arrival via a geometric draw.
+    at += mean_gap / 2 + rng.next_below(mean_gap);
+  }
+  return t;
+}
+
+std::string Trace::serialize() const {
+  std::ostringstream os;
+  for (const auto& e : entries) os << e.start << ' ' << e.path << '\n';
+  return os.str();
+}
+
+Trace Trace::parse(std::string_view text) {
+  Trace t;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TraceEntry e;
+    ls >> e.start >> e.path;
+    COMPASS_CHECK_MSG(!ls.fail() && !e.path.empty(),
+                      "bad trace line: " << line);
+    t.entries.push_back(std::move(e));
+  }
+  return t;
+}
+
+TracePlayer::TracePlayer(sim::Simulation& sim, Trace trace,
+                         TracePlayerConfig cfg)
+    : sim_(sim), trace_(std::move(trace)), cfg_(cfg) {
+  COMPASS_CHECK(cfg_.concurrency >= 1);
+}
+
+void TracePlayer::install() {
+  sim_.devices().ethernet().set_wire(this);
+  const std::size_t initial =
+      std::min<std::size_t>(static_cast<std::size_t>(cfg_.concurrency),
+                            trace_.entries.size());
+  if (initial == 0) {
+    // Empty trace: quit immediately so servers exit.
+    send_quits(1'000);
+    return;
+  }
+  for (std::size_t i = 0; i < initial; ++i)
+    issue(i, trace_.entries[i].start);
+  next_entry_ = initial;
+}
+
+void TracePlayer::issue(std::size_t entry_idx, Cycles when) {
+  const std::uint32_t conn = next_conn_id_++;
+  sim_.backend().scheduler().schedule_at(when, [this, entry_idx, conn] {
+    const Cycles now = sim_.backend().now();
+    conns_[conn] = Conn{entry_idx, now, 0};
+    os::FrameHeader syn;
+    syn.conn = conn;
+    syn.port = cfg_.port;
+    syn.flags = os::kFrameSyn;
+    sim_.devices().deliver_rx_frame(os::make_frame(syn, {}));
+    const std::string req = make_request(trace_.entries[entry_idx].path);
+    os::FrameHeader data;
+    data.conn = conn;
+    data.flags = os::kFrameData;
+    sim_.devices().deliver_rx_frame(os::make_frame(
+        data, {reinterpret_cast<const std::uint8_t*>(req.data()), req.size()}));
+  });
+}
+
+void TracePlayer::send_quits(Cycles when) {
+  if (quits_sent_) return;
+  quits_sent_ = true;
+  // One quit connection per server process; consecutive SYNs round-robin
+  // across the prefork listeners, reaching each one exactly once.
+  for (int s = 0; s < cfg_.num_servers; ++s) {
+    const std::uint32_t conn = next_conn_id_++;
+    sim_.backend().scheduler().schedule_at(
+        when + static_cast<Cycles>(s) * 2'000, [this, conn] {
+          os::FrameHeader syn;
+          syn.conn = conn;
+          syn.port = cfg_.port;
+          syn.flags = os::kFrameSyn;
+          sim_.devices().deliver_rx_frame(os::make_frame(syn, {}));
+          const std::string req = make_request(kQuitPath);
+          os::FrameHeader data;
+          data.conn = conn;
+          data.flags = os::kFrameData;
+          sim_.devices().deliver_rx_frame(os::make_frame(
+              data, {reinterpret_cast<const std::uint8_t*>(req.data()),
+                     req.size()}));
+        });
+  }
+}
+
+void TracePlayer::on_tx(std::vector<std::uint8_t> frame, Cycles done) {
+  const os::FrameHeader h = os::parse_frame(frame);
+  const auto it = conns_.find(h.conn);
+  if (it == conns_.end()) return;  // quit-connection responses etc.
+  Conn& c = it->second;
+  if (h.flags & os::kFrameData) {
+    c.bytes += h.len;
+    bytes_ += h.len;
+  }
+  if (h.flags & os::kFrameFin) {
+    ++completed_;
+    latency_.record(done - c.issued);
+    conns_.erase(it);
+    if (next_entry_ < trace_.entries.size()) {
+      const std::size_t idx = next_entry_++;
+      issue(idx, std::max(trace_.entries[idx].start, done + cfg_.think));
+    } else if (completed_ == trace_.entries.size()) {
+      send_quits(done + cfg_.think);
+    }
+  }
+}
+
+}  // namespace compass::workloads::web

@@ -1,0 +1,88 @@
+// HTTP request trace files and the trace player (paper §4.2).
+//
+// "We solve this problem by generating an intermediate HTTP request trace
+// file using the Apache web server driven by the SPECWeb96 benchmark. We
+// then implement a trace player that reads the trace file and feeds the
+// requests to a web server."
+//
+// Trace: a list of (start cycle, path) entries, generated from the fileset
+// with the SPECWeb class mix, serializable to the text trace-file format.
+//
+// TracePlayer: the modeled client network. It lives on the wire side of
+// the ethernet device: requests enter the simulated host as SYN/DATA
+// frames, responses leave through Wire::on_tx. A fixed number of client
+// slots replays the trace — the player never times out on the slow
+// simulated server, which is the whole point of the trace methodology.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "stats/counters.h"
+#include "util/rng.h"
+#include "workloads/web/fileset.h"
+
+namespace compass::workloads::web {
+
+struct TraceEntry {
+  Cycles start = 0;
+  std::string path;
+};
+
+class Trace {
+ public:
+  static Trace generate(const Fileset& fileset, std::uint64_t n,
+                        Cycles mean_gap, std::uint64_t seed);
+
+  /// Text trace-file format: one "cycle path" line per request.
+  std::string serialize() const;
+  static Trace parse(std::string_view text);
+
+  std::vector<TraceEntry> entries;
+};
+
+struct TracePlayerConfig {
+  int concurrency = 4;       ///< simultaneous client connections
+  Cycles think = 50'000;     ///< client think time between requests
+  int num_servers = 1;       ///< quit requests to send when done
+  std::uint16_t port = 80;
+};
+
+class TracePlayer : public dev::Wire {
+ public:
+  TracePlayer(sim::Simulation& sim, Trace trace, TracePlayerConfig cfg);
+
+  /// Attach to the NIC and schedule the first requests. Call before run().
+  void install();
+
+  void on_tx(std::vector<std::uint8_t> frame, Cycles done) override;
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t response_bytes() const { return bytes_; }
+  const stats::Histogram& latency() const { return latency_; }
+
+ private:
+  struct Conn {
+    std::size_t entry = 0;
+    Cycles issued = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void issue(std::size_t entry_idx, Cycles when);
+  void send_quits(Cycles when);
+
+  sim::Simulation& sim_;
+  Trace trace_;
+  TracePlayerConfig cfg_;
+  std::map<std::uint32_t, Conn> conns_;
+  std::size_t next_entry_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t bytes_ = 0;
+  stats::Histogram latency_;
+  std::uint32_t next_conn_id_ = 0x20000;
+  bool quits_sent_ = false;
+};
+
+}  // namespace compass::workloads::web

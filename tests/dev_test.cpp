@@ -1,0 +1,214 @@
+// Tests for the physical-device models: disk timing/queueing, ethernet
+// staging + wire, the interval timer, and the DeviceHub interrupt plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/frontend.h"
+#include "dev/device_hub.h"
+#include "mem/machine.h"
+
+namespace compass::dev {
+namespace {
+
+TEST(Disk, ServiceIncludesTransferPerBlock) {
+  Disk d(0, DiskConfig{});
+  const Cycles one = d.submit(100, 1, false, 0);
+  Disk d2(0, DiskConfig{});
+  const Cycles four = d2.submit(100, 4, false, 0);
+  EXPECT_EQ(four - one, 3 * DiskConfig{}.per_block_transfer);
+}
+
+TEST(Disk, SeekScalesWithDistanceUpToMax) {
+  DiskConfig cfg;
+  Disk d(0, cfg);
+  d.submit(0, 1, false, 0);
+  Disk d2(0, cfg);
+  d2.submit(0, 1, false, 0);
+  // Next request: near vs far seek from block 1.
+  const Cycles near_done = d.submit(2, 1, false, 1'000'000'000);
+  const Cycles far_done = d2.submit(100'000'000, 1, false, 1'000'000'000);
+  EXPECT_GT(far_done, near_done);
+  // Seek is bounded by seek_max.
+  Disk d3(0, cfg);
+  d3.submit(0, 1, false, 0);
+  const Cycles bounded = d3.submit(~0ull / 2, 1, false, 1'000'000'000);
+  EXPECT_LE(bounded - 1'000'000'000,
+            cfg.fixed_overhead + cfg.seek_max + cfg.rotational_avg +
+                cfg.per_block_transfer);
+}
+
+TEST(Disk, FifoQueueingDelaysSecondRequest) {
+  Disk d(0, DiskConfig{});
+  const Cycles first = d.submit(10, 1, false, 0);
+  const Cycles second = d.submit(10, 1, true, 0);  // same instant
+  EXPECT_GT(second, first);
+}
+
+TEST(Disk, StatsRecorded) {
+  stats::StatsRegistry reg;
+  Disk d(3, DiskConfig{}, &reg);
+  d.submit(1, 2, false, 0);
+  d.submit(5, 1, true, 0);
+  EXPECT_EQ(reg.counter_value("disk3.reads"), 1u);
+  EXPECT_EQ(reg.counter_value("disk3.writes"), 1u);
+  EXPECT_EQ(reg.counter_value("disk3.blocks"), 3u);
+}
+
+TEST(Disk, ZeroBlocksThrows) {
+  Disk d(0, DiskConfig{});
+  EXPECT_THROW(d.submit(0, 0, false, 0), util::SimError);
+}
+
+class RecordingWire : public Wire {
+ public:
+  void on_tx(std::vector<std::uint8_t> frame, Cycles done) override {
+    frames.push_back(std::move(frame));
+    times.push_back(done);
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<Cycles> times;
+};
+
+TEST(Ethernet, StageTransmitDeliversToWire) {
+  Ethernet eth(EthernetConfig{});
+  RecordingWire wire;
+  eth.set_wire(&wire);
+  const auto id = eth.stage_tx({1, 2, 3, 4});
+  EXPECT_EQ(eth.pending_tx(), 1u);
+  const Cycles done = eth.transmit(id, 100);
+  EXPECT_GT(done, 100u);
+  ASSERT_EQ(wire.frames.size(), 1u);
+  EXPECT_EQ(wire.frames[0], (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(wire.times[0], done);
+  EXPECT_EQ(eth.pending_tx(), 0u);
+}
+
+TEST(Ethernet, LargerFramesTakeLonger) {
+  Ethernet eth(EthernetConfig{});
+  const auto small = eth.stage_tx(std::vector<std::uint8_t>(100));
+  const Cycles t1 = eth.transmit(small, 0);
+  Ethernet eth2(EthernetConfig{});
+  const auto big = eth2.stage_tx(std::vector<std::uint8_t>(10'000));
+  const Cycles t2 = eth2.transmit(big, 0);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(Ethernet, RxRingIsFifo) {
+  Ethernet eth(EthernetConfig{});
+  eth.inject_rx({9, 8, 7});
+  eth.inject_rx({1, 2});
+  EXPECT_EQ(eth.pending_rx(), 2u);
+  EXPECT_EQ(eth.take_next_rx(), (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(eth.take_next_rx(), (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(eth.pending_rx(), 0u);
+  EXPECT_THROW(eth.take_next_rx(), util::SimError);
+}
+
+TEST(Ethernet, UnknownTxIdThrows) {
+  Ethernet eth(EthernetConfig{});
+  EXPECT_THROW(eth.transmit(42, 0), util::SimError);
+}
+
+// --------------------------------------------------- hub + backend plumbing
+
+struct HubSim {
+  explicit HubSim(core::SimConfig cfg, DeviceHubConfig hub_cfg = {})
+      : comm(cfg.num_cpus), mem(5), hub(hub_cfg, &reg) {
+    core::Backend::Hooks hooks;
+    hooks.memsys = &mem;
+    hooks.devices = &hub;
+    backend = std::make_unique<core::Backend>(cfg, comm, hooks);
+    hub.bind(*backend);
+  }
+  stats::StatsRegistry reg;
+  core::Communicator comm;
+  mem::FlatMemory mem;
+  DeviceHub hub;
+  std::unique_ptr<core::Backend> backend;
+};
+
+core::SimConfig one_cpu() {
+  core::SimConfig cfg;
+  cfg.num_cpus = 1;
+  return cfg;
+}
+
+TEST(DeviceHub, DiskCompletionInterruptCarriesTag) {
+  HubSim sim(one_cpu());
+  core::Frontend io(*sim.backend, "io");
+  core::Frontend spin(*sim.backend, "spin");
+  std::atomic<bool> woke{false};
+  core::CpuState* cs = &sim.comm.cpu_state(0);
+  auto hook = [cs](core::SimContext& ctx) {
+    ctx.irq_enter(0);
+    while (auto d = cs->pop())
+      if (d->irq == core::Irq::kDisk) ctx.wakeup(d->payload);
+    ctx.irq_exit();
+  };
+  io.context().set_interrupt_hook(hook);
+  spin.context().set_interrupt_hook(hook);
+  io.start([&](core::SimContext& ctx) {
+    ctx.compute(10);
+    ctx.dev_request(static_cast<std::uint64_t>(DevOp::kDiskRead), 7,
+                    (0ull << 32) | 2, 0xCAFE);
+    ctx.block_on(0xCAFE);
+    woke = true;
+  });
+  spin.start([](core::SimContext& ctx) {
+    for (int i = 0; i < 40000; ++i) {
+      ctx.compute(50);
+      ctx.load(0x10, 8);
+    }
+  });
+  sim.backend->run();
+  io.join();
+  spin.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_EQ(sim.reg.counter_value("disk0.reads"), 1u);
+}
+
+TEST(DeviceHub, TimerTicksRaiseInterrupts) {
+  core::SimConfig cfg = one_cpu();
+  DeviceHubConfig hub_cfg;
+  hub_cfg.timer_interval = 10'000;
+  HubSim sim(cfg, hub_cfg);
+  core::Frontend f(*sim.backend, "app");
+  std::atomic<int> ticks{0};
+  core::CpuState* cs = &sim.comm.cpu_state(0);
+  f.context().set_interrupt_hook([&, cs](core::SimContext& ctx) {
+    ctx.irq_enter(0);
+    while (auto d = cs->pop())
+      if (d->irq == core::Irq::kTimer) ++ticks;
+    ctx.irq_exit();
+  });
+  f.start([](core::SimContext& ctx) {
+    for (int i = 0; i < 2000; ++i) {
+      ctx.compute(50);
+      ctx.load(0x20, 8);
+    }
+  });
+  sim.backend->run();
+  f.join();
+  // ~100k cycles of work with a 10k-cycle timer → several ticks.
+  EXPECT_GE(ticks.load(), 5);
+}
+
+TEST(DeviceHub, BadOpThrows) {
+  HubSim sim(one_cpu());
+  const std::array<std::uint64_t, 4> args{999, 0, 0, 0};
+  EXPECT_THROW(sim.hub.device_request(0, 0, 0, args), util::SimError);
+}
+
+TEST(DeviceHub, DiskIdRouting) {
+  DeviceHubConfig cfg;
+  cfg.num_disks = 3;
+  stats::StatsRegistry reg;
+  DeviceHub hub(cfg, &reg);
+  EXPECT_EQ(hub.num_disks(), 3);
+  EXPECT_EQ(hub.disk(2).id(), 2);
+  EXPECT_THROW(hub.disk(3), util::SimError);
+}
+
+}  // namespace
+}  // namespace compass::dev

@@ -1,0 +1,278 @@
+// Cross-module integration tests: raw (direct) I/O, buffer-pool fill
+// concurrency, kernel daemons, full-workload determinism, and backend
+// diagnostics. These exercise the paths the experiment harnesses rely on.
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "os/fs.h"
+#include "sim/simulation.h"
+#include "workloads/db/tpcc.h"
+#include "workloads/runner.h"
+
+namespace compass {
+namespace {
+
+using sim::Proc;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+SimulationConfig cfg2() {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  return cfg;
+}
+
+// ------------------------------------------------------------- direct I/O
+
+TEST(DirectIo, ReadMatchesBufferedRead) {
+  Simulation sim(cfg2());
+  std::vector<std::uint8_t> content(4 * 4096);
+  for (std::size_t i = 0; i < content.size(); ++i)
+    content[i] = static_cast<std::uint8_t>(i * 13);
+  sim.kernel().fs().populate("/raw", content);
+  bool equal = false;
+  sim.spawn("app", [&](Proc& p) {
+    const auto dfd = p.open("/raw", os::kOpenDirect);
+    const auto bfd = p.open("/raw");
+    ASSERT_GE(dfd, 0);
+    ASSERT_GE(bfd, 0);
+    const Addr a = p.alloc(4 * 4096, 4096);
+    const Addr b = p.alloc(4 * 4096, 4096);
+    EXPECT_EQ(p.read_fd(dfd, a, 4 * 4096), 4 * 4096);
+    EXPECT_EQ(p.read_fd(bfd, b, 4 * 4096), 4 * 4096);
+    equal = p.get_bytes(a, 4 * 4096) == p.get_bytes(b, 4 * 4096) &&
+            p.get_bytes(a, 4 * 4096) == content;
+    p.close(dfd);
+    p.close(bfd);
+  });
+  sim.run();
+  EXPECT_TRUE(equal);
+}
+
+TEST(DirectIo, OneRequestPerContiguousRange) {
+  Simulation sim(cfg2());
+  sim.kernel().fs().populate("/raw2", std::vector<std::uint8_t>(8 * 4096, 7));
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.open("/raw2", os::kOpenDirect);
+    const Addr buf = p.alloc(8 * 4096, 4096);
+    EXPECT_EQ(p.read_fd(fd, buf, 8 * 4096), 8 * 4096);
+    p.close(fd);
+  });
+  sim.run();
+  // One raw request covering 8 blocks, not 8 requests.
+  EXPECT_EQ(sim.stats().counter_value("disk0.reads"), 1u);
+  // And no buffer-cache involvement.
+  EXPECT_EQ(sim.stats().counter_value("fs.cache_misses"), 0u);
+}
+
+TEST(DirectIo, WriteReachesThePlatter) {
+  Simulation sim(cfg2());
+  sim.kernel().fs().populate("/raw3", std::vector<std::uint8_t>(4096, 0));
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.open("/raw3", os::kOpenDirect);
+    const Addr buf = p.alloc(4096, 4096);
+    std::vector<std::uint8_t> data(4096, 0xEE);
+    p.put_bytes(buf, data);
+    EXPECT_EQ(p.write_fd(fd, buf, 4096), 4096);
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_EQ(sim.stats().counter_value("disk0.writes"), 1u);
+  os::Inode* inode = sim.kernel().fs().inode_by_id(1);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(inode->page_data(0, 4096)[100], 0xEE);
+}
+
+TEST(DirectIo, UnalignedFallsBackToBufferedPath) {
+  Simulation sim(cfg2());
+  sim.kernel().fs().populate("/raw4", std::vector<std::uint8_t>(8192, 3));
+  std::int64_t n = 0;
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.open("/raw4", os::kOpenDirect);
+    p.lseek(fd, 100, 0);  // unaligned
+    const Addr buf = p.alloc(4096);
+    n = p.read_fd(fd, buf, 512);
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_EQ(n, 512);
+  EXPECT_GT(sim.stats().counter_value("fs.cache_misses"), 0u);
+}
+
+// ------------------------------------------- buffer pool fill concurrency
+
+TEST(BufferPoolConcurrency, ManyWorkersSamePages) {
+  // 4 workers hammer the same 12 pages through a 4-frame pool; the filling
+  // protocol must keep every read coherent (each page has a distinct
+  // stamp, and no worker may ever observe a torn/wrong page).
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 4;
+  Simulation sim(cfg);
+  workloads::db::DbConfig dbc;
+  dbc.pool_pages = 4;
+  auto pool = std::make_shared<workloads::db::BufferPool>(dbc);
+  pool->register_file(1, "/pool/data");
+  std::atomic<int> bad{0};
+  sim.spawn("init", [&](Proc& p) {
+    pool->init(p);
+    for (std::uint32_t pg = 1; pg <= 12; ++pg) {
+      const Addr f = pool->pin(p, {1, pg});
+      p.write<std::uint64_t>(f + 8, pg * 7777);
+      pool->unpin(p, {1, pg}, true);
+    }
+    p.sem_init(11, 0);
+    for (int i = 0; i < 4; ++i) p.sem_v(11);
+  });
+  for (int w = 0; w < 4; ++w) {
+    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+      p.sem_init(11, 0);
+      p.sem_p(11);
+      pool->attach(p);
+      util::Rng rng(static_cast<std::uint64_t>(w) + 1);
+      for (int i = 0; i < 40; ++i) {
+        const auto pg = static_cast<std::uint32_t>(1 + rng.next_below(12));
+        const Addr f = pool->pin(p, {1, pg});
+        if (p.read<std::uint64_t>(f + 8) != pg * 7777) ++bad;
+        pool->unpin(p, {1, pg}, false);
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(pool->misses(), 12u);  // eviction churn occurred
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(Determinism, FullTpccRunBitIdentical) {
+  auto run_once = [] {
+    SimulationConfig cfg;
+    cfg.core.num_cpus = 2;
+    workloads::TpccScenario sc;
+    sc.tpcc.warehouses = 2;
+    sc.tpcc.items = 100;
+    sc.tpcc.txns_per_worker = 8;
+    sc.workers = 2;
+    const auto s = workloads::run_tpcc(cfg, sc);
+    return std::tuple{s.cycles, s.mem_refs, s.syscalls, s.interrupts,
+                      s.context_switches, s.disk_reads, s.disk_writes};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, WebRunBitIdentical) {
+  auto run_once = [] {
+    SimulationConfig cfg;
+    cfg.core.num_cpus = 2;
+    workloads::WebScenario sc;
+    sc.fileset.dirs = 1;
+    sc.fileset.files_per_class = 1;
+    sc.fileset.size_scale = 0.05;
+    sc.requests = 8;
+    sc.servers = 2;
+    sc.concurrency = 2;
+    const auto s = workloads::run_web(cfg, sc);
+    return std::tuple{s.cycles, s.mem_refs, s.net_frames_in,
+                      s.net_frames_out, s.work_units};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, HostThrottleDoesNotChangeSimulatedResults) {
+  auto run_with = [](int host_cpus) {
+    SimulationConfig cfg;
+    cfg.core.num_cpus = 2;
+    cfg.core.host_cpus = host_cpus;
+    workloads::TpcdScenario sc;
+    sc.tpcd.lineitems = 300;
+    sc.workers = 2;
+    const auto s = workloads::run_tpcd(cfg, sc);
+    return std::tuple{s.cycles, s.mem_refs, s.disk_reads};
+  };
+  EXPECT_EQ(run_with(0), run_with(1));
+}
+
+// ---------------------------------------------------------------- daemons
+
+TEST(Daemons, SimulationEndsWhileDaemonBlocked) {
+  // netd is registered by the OS server and spends this whole run blocked
+  // on the netisr channel; the simulation must still terminate when the
+  // app exits, and the daemon thread must unwind cleanly.
+  Simulation sim(cfg2());
+  sim.spawn("app", [](Proc& p) { p.ctx().compute(1000); });
+  sim.run();
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- caches
+
+TEST(CacheApi, SetStateIfPresentTolerant) {
+  mem::Cache c("t", mem::CacheConfig{256, 2, 64});
+  c.set_state_if_present(0x40, mem::Mesi::kShared);  // absent: no-op
+  c.insert(0x40, mem::Mesi::kExclusive);
+  c.set_state_if_present(0x40, mem::Mesi::kShared);
+  EXPECT_EQ(c.probe(0x40), mem::Mesi::kShared);
+}
+
+// ------------------------------------------------------ backend services
+
+TEST(BackendServices, ResetBreakdownClearsCharges) {
+  Simulation sim(cfg2());
+  sim.spawn("app", [&](Proc& p) {
+    p.ctx().compute(50'000);
+    p.ctx().load(0x100, 8);
+    p.ctx().backend_call(
+        static_cast<std::uint64_t>(os::BackendCall::kResetBreakdown));
+    p.ctx().compute(10'000);
+    p.ctx().load(0x200, 8);
+  });
+  sim.run();
+  // Only the post-reset charges remain (10k + small overheads).
+  EXPECT_LT(sim.breakdown().total()[ExecMode::kUser], 20'000u);
+  EXPECT_GE(sim.breakdown().total()[ExecMode::kUser], 10'000u);
+}
+
+TEST(BackendServices, TimerArmWakesAfterDelay) {
+  Simulation sim(cfg2());
+  Cycles woke_at = 0;
+  sim.spawn("app", [&](Proc& p) {
+    p.usleep(2'000'000);
+    woke_at = p.ctx().time();
+  });
+  sim.run();
+  EXPECT_GE(woke_at, 2'000'000u);
+  EXPECT_LT(woke_at, 4'000'000u);
+}
+
+// ----------------------------------------------------------- scenario API
+
+TEST(Runner, SciScenarioIsUserDominated) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  workloads::SciScenario sc;
+  sc.matmul.n = 32;  // large enough to amortize setup syscalls
+  sc.matmul.nprocs = 2;
+  const auto s = workloads::run_sci(cfg, sc);
+  EXPECT_GT(s.shares.user, 80.0);
+  EXPECT_GT(s.mem_refs, 1000u);
+}
+
+TEST(Runner, TpccScenarioCountsWork) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  workloads::TpccScenario sc;
+  sc.tpcc.warehouses = 1;
+  sc.tpcc.items = 50;
+  sc.tpcc.txns_per_worker = 5;
+  sc.workers = 2;
+  const auto s = workloads::run_tpcc(cfg, sc);
+  EXPECT_EQ(s.work_units, 10u);
+  EXPECT_GT(s.syscalls, 0u);
+}
+
+}  // namespace
+}  // namespace compass

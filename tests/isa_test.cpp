@@ -1,0 +1,213 @@
+// Tests for the synthetic ISA: instrumentation pass, interpreter semantics,
+// event generation, and the assembler.
+#include <gtest/gtest.h>
+
+#include "core/backend.h"
+#include "core/frontend.h"
+#include "isa/assembler.h"
+#include "isa/interpreter.h"
+#include "mem/machine.h"
+
+namespace compass::isa {
+namespace {
+
+// A detached-context harness for pure-semantics tests.
+struct Machine {
+  Machine() : arena("data", 0x1000, 64 * 1024) { map.add(arena); }
+  core::SimContext ctx;  // detached
+  mem::AddressMap map;
+  mem::Arena arena;
+};
+
+TEST(Program, InstrumentComputesBlockMetadata) {
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 5).ld(2, 1, 0).add(3, 1, 2).end_block(p, Op::kHalt);
+  p.instrument();
+  const BasicBlock& bb = p.block(0);
+  EXPECT_EQ(bb.est_cycles, op_cycles(Op::kLi) + op_cycles(Op::kLd) +
+                               op_cycles(Op::kAdd) + op_cycles(Op::kHalt));
+  ASSERT_EQ(bb.mem_refs.size(), 1u);
+  EXPECT_EQ(bb.mem_refs[0], 1u);
+}
+
+TEST(Program, TerminatorMustBeLast) {
+  Program p;
+  std::vector<Insn> insns{
+      {Op::kHalt, 0, 0, 0, 0},
+      {Op::kAdd, 1, 2, 3, 0},
+  };
+  p.add_block(std::move(insns));
+  EXPECT_THROW(p.instrument(), util::SimError);
+}
+
+TEST(Program, BranchTargetValidated) {
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 0).end_block(p, Op::kB, 0, 0, 99);
+  EXPECT_THROW(p.instrument(), util::SimError);
+}
+
+TEST(Interpreter, ArithmeticAndControlFlow) {
+  // sum = 0; for (i = 10; i != 0; --i) sum += i;  => 55
+  Machine m;
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 10).li(2, 0).li(3, 0).li(4, 1).end_block(p, Op::kB, 0, 0, 1);
+  b.add(2, 2, 1).op(Op::kSub, 1, 1, 4).end_block(p, Op::kBne, 1, 3, 1);
+  b.end_block(p, Op::kHalt);
+  p.instrument();
+  Interpreter interp(p, m.ctx, m.map);
+  const RunResult r = interp.run();
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(interp.reg(2), 55);
+}
+
+TEST(Interpreter, LoadStoreRoundTrip) {
+  Machine m;
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 0x1100).li(2, 0xBEEF).st(2, 1, 8).ld(3, 1, 8).end_block(p, Op::kHalt);
+  p.instrument();
+  Interpreter interp(p, m.ctx, m.map);
+  interp.run();
+  EXPECT_EQ(interp.reg(3), 0xBEEF);
+}
+
+TEST(Interpreter, SyncIsFetchAdd) {
+  Machine m;
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 0x1200).li(2, 7).op(Op::kSync, 3, 1, 2).op(Op::kSync, 4, 1, 2)
+      .end_block(p, Op::kHalt);
+  p.instrument();
+  Interpreter interp(p, m.ctx, m.map);
+  interp.run();
+  EXPECT_EQ(interp.reg(3), 0);  // old value
+  EXPECT_EQ(interp.reg(4), 7);
+}
+
+TEST(Interpreter, MaxInsnsStopsEarly) {
+  Machine m;
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 0).end_block(p, Op::kB, 0, 0, 1);
+  b.addi(1, 1, 1).end_block(p, Op::kB, 0, 0, 1);  // infinite loop
+  p.instrument();
+  Interpreter interp(p, m.ctx, m.map);
+  const RunResult r = interp.run(0, 1000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.insns, 1000u);
+}
+
+TEST(Interpreter, DivByZeroThrows) {
+  Machine m;
+  Program p;
+  ProgramBuilder b;
+  b.li(1, 5).li(2, 0).op(Op::kDiv, 3, 1, 2).end_block(p, Op::kHalt);
+  p.instrument();
+  Interpreter interp(p, m.ctx, m.map);
+  EXPECT_THROW(interp.run(), util::SimError);
+}
+
+// Event generation against a live backend: every memory op becomes a timed
+// event; times reflect the per-instruction issue costs.
+TEST(Interpreter, GeneratesTimedEventsUnderBackend) {
+  core::SimConfig cfg;
+  cfg.num_cpus = 1;
+  core::Communicator comm(1);
+  mem::Vm vm({.num_nodes = 1});
+  stats::StatsRegistry reg;
+  mem::FlatMemory flat(10, &vm, &reg);
+  core::Backend::Hooks hooks;
+  hooks.memsys = &flat;
+  core::Backend backend(cfg, comm, hooks);
+
+  mem::AddressMap map;
+  mem::Arena arena("data", 0x1000, 4096);
+  map.add(arena);
+
+  Program p;
+  ProgramBuilder b;
+  // 4 loads in a loop of 8 iterations = 32 refs.
+  b.li(1, 0x1000).li(2, 8).li(3, 0).li(4, 1).end_block(p, Op::kB, 0, 0, 1);
+  b.ld(5, 1, 0).ld(5, 1, 64).ld(5, 1, 128).ld(5, 1, 192)
+      .op(Op::kSub, 2, 2, 4)
+      .end_block(p, Op::kBne, 2, 3, 1);
+  b.end_block(p, Op::kHalt);
+  p.instrument();
+
+  core::Frontend fe(backend, "isa");
+  std::uint64_t refs = 0;
+  fe.start([&](core::SimContext& ctx) {
+    Interpreter interp(p, ctx, map);
+    const RunResult r = interp.run();
+    refs = r.mem_refs;
+  });
+  backend.run();
+  fe.join();
+  EXPECT_EQ(refs, 32u);
+  EXPECT_EQ(backend.stats().counter_value("backend.mem_refs"), 32u);
+  EXPECT_GT(backend.now(), 0u);
+}
+
+TEST(Assembler, AssemblesAndRuns) {
+  Machine m;
+  const Program p = assemble(R"(
+      ; r2 = fib-ish accumulation
+        li   r1, 6
+        li   r2, 1
+        li   r3, 0
+        li   r4, 1
+      loop:
+        add  r2, r2, r2
+        sub  r1, r1, r4
+        bne  r1, r3, loop
+        st   r2, r5, 0x1000
+        halt
+  )");
+  Interpreter interp(p, m.ctx, m.map);
+  const RunResult r = interp.run();
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(interp.reg(2), 64);
+  std::int64_t stored = 0;
+  std::memcpy(&stored, m.arena.host(0x1000), 8);
+  EXPECT_EQ(stored, 64);
+}
+
+TEST(Assembler, FallThroughBetweenLabeledBlocks) {
+  Machine m;
+  const Program p = assemble(R"(
+        li r1, 1
+      next:
+        addi r1, r1, 10
+        halt
+  )");
+  Interpreter interp(p, m.ctx, m.map);
+  interp.run();
+  EXPECT_EQ(interp.reg(1), 11);
+}
+
+TEST(Assembler, SyntaxErrorsCarryLineNumbers) {
+  try {
+    assemble("li r1, 1\nbogus r1, r2\n");
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  EXPECT_THROW(assemble("b nowhere\n"), util::ConfigError);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  EXPECT_THROW(assemble("x:\n li r1, 1\nx:\n halt\n"), util::ConfigError);
+}
+
+TEST(Assembler, RegisterOutOfRangeThrows) {
+  EXPECT_THROW(assemble("li r99, 1\n"), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace compass::isa

@@ -1,0 +1,402 @@
+// Tests for the memory-system models: cache arrays, VM / page placement,
+// the MESI snooping bus (simple backend) and the directory CC-NUMA
+// protocol (complex backend).
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/machine.h"
+#include "mem/vm.h"
+
+namespace compass::mem {
+namespace {
+
+core::Event load_at(Addr a, Cycles t = 0) {
+  return core::Event::mem_ref(ExecMode::kUser, RefType::kLoad, a, 8, t);
+}
+core::Event store_at(Addr a, Cycles t = 0) {
+  return core::Event::mem_ref(ExecMode::kUser, RefType::kStore, a, 8, t);
+}
+core::Event sync_at(Addr a, Cycles t = 0) {
+  return core::Event::mem_ref(ExecMode::kUser, RefType::kSync, a, 8, t);
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(Cache, MissThenHit) {
+  Cache c("t", CacheConfig{1024, 2, 64});
+  EXPECT_EQ(c.lookup(0x100), Mesi::kInvalid);
+  c.insert(0x100, Mesi::kExclusive);
+  EXPECT_EQ(c.lookup(0x100), Mesi::kExclusive);
+  EXPECT_EQ(c.lookup(0x108), Mesi::kExclusive);  // same line
+  EXPECT_EQ(c.lookup(0x140), Mesi::kInvalid);    // next line
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 2-way, 64B lines, 2 sets (256B total).
+  Cache c("t", CacheConfig{256, 2, 64});
+  // All in set 0: line addresses with bit 6 clear (stride 128).
+  c.insert(0x000, Mesi::kExclusive);
+  c.insert(0x100, Mesi::kExclusive);
+  c.lookup(0x000);  // make 0x100 the LRU way
+  const auto victim = c.insert(0x200, Mesi::kExclusive);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->addr, 0x100u);
+  EXPECT_EQ(c.probe(0x000), Mesi::kExclusive);
+  EXPECT_EQ(c.probe(0x100), Mesi::kInvalid);
+}
+
+TEST(Cache, VictimReportsDirtyState) {
+  Cache c("t", CacheConfig{128, 1, 64});  // direct-mapped, 2 sets
+  c.insert(0x000, Mesi::kModified);
+  const auto victim = c.insert(0x200, Mesi::kShared);  // same set 0
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->state, Mesi::kModified);
+}
+
+TEST(Cache, ProbeHasNoLruSideEffect) {
+  Cache c("t", CacheConfig{256, 2, 64});
+  c.insert(0x000, Mesi::kExclusive);
+  c.insert(0x100, Mesi::kExclusive);
+  c.probe(0x000);  // must NOT refresh 0x000
+  const auto victim = c.insert(0x200, Mesi::kExclusive);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->addr, 0x000u);
+}
+
+TEST(Cache, SetStateOnAbsentLineOnlyInvalidate) {
+  Cache c("t", CacheConfig{256, 2, 64});
+  c.set_state(0x40, Mesi::kInvalid);  // idempotent, fine
+  EXPECT_THROW(c.set_state(0x40, Mesi::kModified), util::SimError);
+}
+
+TEST(Cache, InvalidateAllAndResidency) {
+  Cache c("t", CacheConfig{1024, 4, 64});
+  for (Addr a = 0; a < 512; a += 64) c.insert(a, Mesi::kShared);
+  EXPECT_EQ(c.resident_lines(), 8u);
+  c.invalidate_all();
+  EXPECT_EQ(c.resident_lines(), 0u);
+}
+
+TEST(Cache, StatsCounted) {
+  stats::StatsRegistry reg;
+  Cache c("l1", CacheConfig{256, 2, 64}, &reg);
+  c.lookup(0x0);
+  c.insert(0x0, Mesi::kExclusive);
+  c.lookup(0x0);
+  EXPECT_EQ(reg.counter_value("l1.misses"), 1u);
+  EXPECT_EQ(reg.counter_value("l1.hits"), 1u);
+}
+
+TEST(Cache, BadGeometryThrows) {
+  EXPECT_THROW(Cache("t", CacheConfig{100, 3, 48}), util::SimError);
+  EXPECT_THROW(Cache("t", CacheConfig{0, 1, 64}), util::SimError);
+}
+
+// -------------------------------------------------------------------- vm
+
+TEST(Vm, PrivatePagesDifferAcrossProcesses) {
+  Vm vm({.num_nodes = 1});
+  const auto a = vm.translate(0, 0x1000, 0);
+  const auto b = vm.translate(1, 0x1000, 0);
+  EXPECT_TRUE(a.fault);
+  EXPECT_TRUE(b.fault);
+  EXPECT_NE(a.paddr, b.paddr);
+  // Second access: no fault, same mapping.
+  const auto a2 = vm.translate(0, 0x1008, 0);
+  EXPECT_FALSE(a2.fault);
+  EXPECT_EQ(a2.paddr, a.paddr + 8);
+}
+
+TEST(Vm, KernelAddressesSharedAcrossProcesses) {
+  Vm vm({.num_nodes = 1});
+  const auto a = vm.translate(0, kKernelBase + 0x5000, 0);
+  const auto b = vm.translate(1, kKernelBase + 0x5000, 0);
+  EXPECT_EQ(a.paddr, b.paddr);
+  EXPECT_FALSE(b.fault);
+}
+
+TEST(Vm, SharedSegmentsMapToCommonPages) {
+  Vm vm({.num_nodes = 1});
+  const auto segid = vm.shmget(0xABC, 3 * kPageSize);
+  const auto base0 = vm.shmat(0, segid);
+  const auto base1 = vm.shmat(1, segid);
+  EXPECT_EQ(base0, base1);  // segment-fixed virtual base
+  const Addr va = static_cast<Addr>(base0) + kPageSize + 16;
+  const auto a = vm.translate(0, va, 0);
+  const auto b = vm.translate(1, va, 0);
+  EXPECT_EQ(a.paddr, b.paddr);
+}
+
+TEST(Vm, ShmgetSameKeyReturnsSameSegment) {
+  Vm vm({.num_nodes = 1});
+  EXPECT_EQ(vm.shmget(1, kPageSize), vm.shmget(1, kPageSize));
+  EXPECT_NE(vm.shmget(1, kPageSize), vm.shmget(2, kPageSize));
+}
+
+TEST(Vm, ShmdtUnmapsForOneProcessOnly) {
+  Vm vm({.num_nodes = 1});
+  const auto segid = vm.shmget(5, kPageSize);
+  const auto base = vm.shmat(0, segid);
+  vm.shmat(1, segid);
+  const auto before = vm.translate(0, static_cast<Addr>(base), 0);
+  EXPECT_EQ(vm.shmdt(0, segid), 0);
+  // Proc 1 still maps it to the same page.
+  const auto p1 = vm.translate(1, static_cast<Addr>(base), 0);
+  EXPECT_EQ(p1.paddr, before.paddr);
+  EXPECT_EQ(vm.shmdt(9, 999), -1);
+}
+
+TEST(Vm, FirstTouchHomesPageOnTouchingNode) {
+  Vm vm({.num_nodes = 4, .placement = PlacementPolicy::kFirstTouch});
+  const auto t = vm.translate(0, 0x1000, 2);
+  EXPECT_EQ(t.home, 2);
+  EXPECT_EQ(vm.home_of(t.paddr), 2);
+  // Another process touching the same shared page keeps the original home.
+  const auto segid = vm.shmget(1, kPageSize);
+  const auto base = static_cast<Addr>(vm.shmat(0, segid));
+  vm.shmat(1, segid);
+  const auto first = vm.translate(0, base, 3);
+  const auto second = vm.translate(1, base, 1);
+  EXPECT_EQ(first.home, 3);
+  EXPECT_EQ(second.home, 3);
+}
+
+TEST(Vm, RoundRobinSpreadsPages) {
+  Vm vm({.num_nodes = 4, .placement = PlacementPolicy::kRoundRobin});
+  for (int i = 0; i < 16; ++i)
+    vm.translate(0, static_cast<Addr>(i) * kPageSize, 0);
+  const auto per_node = vm.pages_per_node();
+  for (const auto n : per_node) EXPECT_EQ(n, 4u);
+}
+
+TEST(Vm, BlockPlacementSplitsSegmentContiguously) {
+  Vm vm({.num_nodes = 2, .placement = PlacementPolicy::kBlock});
+  const auto segid = vm.shmget(1, 8 * kPageSize);
+  const auto base = static_cast<Addr>(vm.shmat(0, segid));
+  std::vector<NodeId> homes;
+  for (int i = 0; i < 8; ++i)
+    homes.push_back(vm.translate(0, base + static_cast<Addr>(i) * kPageSize, 0).home);
+  EXPECT_EQ(homes, (std::vector<NodeId>{0, 0, 0, 0, 1, 1, 1, 1}));
+}
+
+TEST(Vm, PageFaultCounted) {
+  stats::StatsRegistry reg;
+  Vm vm({.num_nodes = 1}, &reg);
+  vm.translate(0, 0x0, 0);
+  vm.translate(0, 0x8, 0);
+  vm.translate(0, kPageSize, 0);
+  EXPECT_EQ(reg.counter_value("vm.page_faults"), 2u);
+}
+
+// ---------------------------------------------------------- simple machine
+
+struct SimpleFixture {
+  SimpleFixture(int cpus = 2, SimpleMachineConfig cfg = {})
+      : vm({.num_nodes = 1}), machine(cfg, cpus, vm, &reg) {}
+  stats::StatsRegistry reg;
+  Vm vm;
+  SimpleMachine machine;
+};
+
+TEST(SimpleMachine, HitAfterMiss) {
+  SimpleFixture f;
+  const Cycles miss = f.machine.access(0, 0, load_at(0x1000));
+  const Cycles hit = f.machine.access(0, 0, load_at(0x1008, 100));
+  EXPECT_GT(miss, hit);
+  EXPECT_EQ(hit, SimpleMachineConfig{}.l1_hit);
+}
+
+TEST(SimpleMachine, FirstAccessChargesPageFault) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  const Cycles first = f.machine.access(0, 0, load_at(0x1000));
+  EXPECT_GE(first, cfg.page_fault);
+  EXPECT_EQ(f.reg.counter_value("machine.page_faults"), 1u);
+}
+
+TEST(SimpleMachine, StoreToSharedLineInvalidatesOthers) {
+  SimpleFixture f;
+  // Both CPUs read the same kernel line (shared across procs).
+  const Addr a = kKernelBase;
+  f.machine.access(0, 0, load_at(a));
+  f.machine.access(1, 1, load_at(a, 100));
+  f.machine.access(0, 0, store_at(a, 200));
+  EXPECT_EQ(f.reg.counter_value("bus.invalidations"), 1u);
+  // CPU1's next read misses again.
+  const Cycles relook = f.machine.access(1, 1, load_at(a, 300));
+  EXPECT_GT(relook, SimpleMachineConfig{}.l1_hit);
+}
+
+TEST(SimpleMachine, DirtyInterventionSuppliesLine) {
+  SimpleFixture f;
+  const Addr a = kKernelBase;
+  f.machine.access(0, 0, store_at(a));       // cpu0 M
+  f.machine.access(1, 1, load_at(a, 100));   // cpu1 reads: intervention
+  EXPECT_EQ(f.reg.counter_value("bus.interventions"), 1u);
+  // Both now shared.
+  const Cycles h0 = f.machine.access(0, 0, load_at(a, 200));
+  const Cycles h1 = f.machine.access(1, 1, load_at(a, 300));
+  EXPECT_EQ(h0, SimpleMachineConfig{}.l1_hit);
+  EXPECT_EQ(h1, SimpleMachineConfig{}.l1_hit);
+}
+
+TEST(SimpleMachine, ExclusiveUpgradesSilently) {
+  SimpleFixture f;
+  const Addr a = 0x4000;  // private page of proc 0
+  f.machine.access(0, 0, load_at(a));  // E
+  const std::uint64_t bus_before = f.reg.counter_value("bus.transactions");
+  const Cycles w = f.machine.access(0, 0, store_at(a, 100));
+  EXPECT_EQ(w, SimpleMachineConfig{}.l1_hit);  // no bus traffic
+  EXPECT_EQ(f.reg.counter_value("bus.transactions"), bus_before);
+}
+
+TEST(SimpleMachine, SharedWriteUsesUpgradeTransaction) {
+  SimpleFixture f;
+  const Addr a = kKernelBase;
+  f.machine.access(0, 0, load_at(a));
+  f.machine.access(1, 1, load_at(a, 50));  // line now S in both
+  const std::uint64_t bus_before = f.reg.counter_value("bus.transactions");
+  f.machine.access(0, 0, store_at(a, 100));
+  EXPECT_EQ(f.reg.counter_value("bus.transactions"), bus_before + 1);
+}
+
+TEST(SimpleMachine, SyncCostsExtra) {
+  SimpleFixture f;
+  f.machine.access(0, 0, load_at(0x100));
+  const Cycles plain = f.machine.access(0, 0, store_at(0x100, 10));
+  // Re-warm: line now M, so sync hits too.
+  const Cycles sync = f.machine.access(0, 0, sync_at(0x100, 20));
+  EXPECT_EQ(sync, plain + SimpleMachineConfig{}.sync_overhead);
+}
+
+TEST(SimpleMachine, BusContentionDelaysBackToBackMisses) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  // Warm the pages to exclude fault costs.
+  f.machine.access(0, 0, load_at(kKernelBase));
+  f.machine.access(1, 1, load_at(kKernelBase + 4096, 1));
+  // Two simultaneous misses to distinct lines: the second waits for the bus.
+  const Cycles l0 = f.machine.access(0, 0, load_at(kKernelBase + 64, 1000));
+  const Cycles l1 = f.machine.access(1, 1, load_at(kKernelBase + 4096 + 64, 1000));
+  EXPECT_GT(l1, l0);
+}
+
+// ------------------------------------------------------------ numa machine
+
+struct NumaFixture {
+  NumaFixture(int cpus = 4, int nodes = 2, NumaMachineConfig cfg = {})
+      : vm({.num_nodes = nodes, .placement = PlacementPolicy::kFirstTouch}),
+        machine(cfg, cpus, nodes, vm, &reg) {}
+  stats::StatsRegistry reg;
+  Vm vm;
+  NumaMachine machine;
+};
+
+TEST(NumaMachine, L1AndL2HitLatencies) {
+  NumaMachineConfig cfg;
+  NumaFixture f(4, 2, cfg);
+  f.machine.access(0, 0, load_at(0x1000));            // cold miss
+  const Cycles l1hit = f.machine.access(0, 0, load_at(0x1008, 500));
+  EXPECT_EQ(l1hit, cfg.l1_hit);
+}
+
+TEST(NumaMachine, LocalVsRemoteLatency) {
+  NumaMachineConfig cfg;
+  NumaFixture f(4, 2, cfg);
+  // A kernel page first-touched by cpu0 homes on node0.
+  const Addr ka = kKernelBase + 0x2000;
+  f.machine.access(0, 0, load_at(ka, 0));
+  // Long after warm-up queueing has drained: cpu2 (node1) misses on a fresh
+  // line of that node0-homed page (remote), then cpu0 misses on another
+  // fresh line of the same page (local).
+  const Cycles remote = f.machine.access(2, 2, load_at(ka + 128, 100'000));
+  const Cycles local = f.machine.access(0, 0, load_at(ka + 256, 200'000));
+  EXPECT_GT(remote, local);
+  EXPECT_GT(f.reg.counter_value("numa.remote_accesses"), 0u);
+  EXPECT_GT(f.reg.counter_value("numa.local_accesses"), 0u);
+}
+
+TEST(NumaMachine, DirtyForwardingAcrossNodes) {
+  NumaFixture f;
+  const Addr ka = kKernelBase;
+  f.machine.access(0, 0, store_at(ka));         // cpu0 owns dirty
+  f.machine.access(2, 2, load_at(ka, 1000));    // cpu2 (node1) reads
+  EXPECT_EQ(f.reg.counter_value("numa.dir_forwards"), 1u);
+  // Now shared: cpu0 writing again must invalidate cpu2.
+  f.machine.access(0, 0, store_at(ka, 2000));
+  EXPECT_GE(f.reg.counter_value("numa.dir_invalidations"), 1u);
+}
+
+TEST(NumaMachine, WriteInvalidatesAllSharers) {
+  NumaFixture f;
+  const Addr ka = kKernelBase + 0x100;
+  for (CpuId c = 0; c < 4; ++c)
+    f.machine.access(c, c, load_at(ka, static_cast<Cycles>(100 * (c + 1))));
+  f.machine.access(0, 0, store_at(ka, 1000));
+  EXPECT_GE(f.reg.counter_value("numa.dir_invalidations"), 3u);
+  // Each other CPU must re-miss.
+  const Cycles re = f.machine.access(3, 3, load_at(ka, 2000));
+  EXPECT_GT(re, NumaMachineConfig{}.l1_hit + NumaMachineConfig{}.l2_hit);
+}
+
+TEST(NumaMachine, L2HitAfterL1Eviction) {
+  NumaMachineConfig cfg;
+  cfg.l1 = CacheConfig{256, 1, 64};  // tiny L1: 4 sets
+  NumaFixture f(4, 2, cfg);
+  const Addr base = 0x100000;
+  f.machine.access(0, 0, load_at(base));  // fill line A
+  // Evict A from L1 by filling the same set (stride = 4 sets * 64 = 256).
+  f.machine.access(0, 0, load_at(base + 256, 100));
+  const Cycles l2hit = f.machine.access(0, 0, load_at(base, 200));
+  EXPECT_EQ(l2hit, cfg.l1_hit + cfg.l2_hit);
+}
+
+TEST(NumaMachine, DeterministicLatencySequence) {
+  auto run = [] {
+    NumaFixture f;
+    std::vector<Cycles> seq;
+    for (int i = 0; i < 200; ++i) {
+      const CpuId c = i % 4;
+      const Addr a = kKernelBase + static_cast<Addr>((i * 37) % 1024) * 64;
+      seq.push_back(f.machine.access(c, c, (i % 3 == 0 ? store_at(a, 10 * i)
+                                                       : load_at(a, 10 * i))));
+    }
+    return seq;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NumaMachine, EvictionNotifiesDirectoryAllowingCleanRefetch) {
+  NumaMachineConfig cfg;
+  cfg.l1 = CacheConfig{128, 1, 64};
+  cfg.l2 = CacheConfig{256, 1, 64};  // tiny L2 to force evictions
+  NumaFixture f(2, 2, cfg);
+  const Addr base = 0x200000;
+  // Touch many lines mapping to the same L2 set to churn evictions.
+  for (int i = 0; i < 16; ++i)
+    f.machine.access(0, 0, store_at(base + static_cast<Addr>(i) * 256,
+                                    static_cast<Cycles>(100 * i)));
+  // After evictions, another CPU reading one of those lines must get it
+  // from memory without a stale-owner forward hanging things.
+  const Cycles lat = f.machine.access(1, 1, load_at(base, 10000));
+  EXPECT_GT(lat, 0u);
+  EXPECT_GT(f.reg.counter_value("l2.cpu0.evictions"), 0u);
+}
+
+TEST(NumaMachine, SharerBitmaskLimit) {
+  NumaMachineConfig cfg;
+  Vm vm({.num_nodes = 1});
+  stats::StatsRegistry reg;
+  EXPECT_THROW(NumaMachine(cfg, 128, 1, vm, &reg), util::SimError);
+}
+
+TEST(FlatMemory, FixedLatencyAndCount) {
+  stats::StatsRegistry reg;
+  FlatMemory flat(25, nullptr, &reg);
+  EXPECT_EQ(flat.access(0, 0, load_at(0x1)), 25u);
+  EXPECT_EQ(flat.access(1, 3, store_at(0x2)), 25u);
+  EXPECT_EQ(reg.counter_value("flat.refs"), 2u);
+}
+
+}  // namespace
+}  // namespace compass::mem

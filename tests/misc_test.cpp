@@ -1,0 +1,238 @@
+// Edge-case unit tests for smaller pieces: HTTP codec, fileset sizing, WAL
+// group commit, kernel wait-queue channel registration, simulated-memory
+// helpers, and API misuse detection.
+#include <gtest/gtest.h>
+
+#include "core/frontend.h"
+#include "mem/machine.h"
+#include "os/ksync.h"
+#include "sim/simulation.h"
+#include "workloads/db/tpcc.h"
+#include "workloads/web/http.h"
+#include "workloads/web/trace.h"
+
+namespace compass {
+namespace {
+
+// -------------------------------------------------------------------- http
+
+TEST(Http, RequestRoundTrip) {
+  const std::string req = workloads::web::make_request("/dir0/class1_2");
+  const auto path = workloads::web::parse_request_path(req);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/dir0/class1_2");
+}
+
+TEST(Http, GarbageRequestRejected) {
+  EXPECT_FALSE(workloads::web::parse_request_path("POST /x HTTP/1.0").has_value());
+  EXPECT_FALSE(workloads::web::parse_request_path("GET").has_value());
+  EXPECT_FALSE(workloads::web::parse_request_path("").has_value());
+  EXPECT_FALSE(workloads::web::parse_request_path("GET /nospace").has_value());
+}
+
+TEST(Http, ResponseHeaderCarriesLengthAndStatus) {
+  const std::string ok = workloads::web::make_response_header(12345);
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Length: 12345"), std::string::npos);
+  const std::string nf = workloads::web::make_response_header(0, 404);
+  EXPECT_NE(nf.find("404"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- fileset
+
+TEST(Fileset, SizesFollowClassBasesAndScale) {
+  workloads::web::FilesetConfig fc;
+  fc.size_scale = 1.0;
+  workloads::web::Fileset fs(fc);
+  // Class bases: ~102 B, 1 KB, 10 KB, 100 KB; idx 0 = 1x multiplier.
+  EXPECT_EQ(fs.size_of(0, 0), 102u);
+  EXPECT_EQ(fs.size_of(1, 0), 1024u);
+  EXPECT_EQ(fs.size_of(2, 0), 10240u);
+  EXPECT_EQ(fs.size_of(3, 0), 102400u);
+  EXPECT_EQ(fs.size_of(1, 1), 2 * 1024u);  // idx steps the multiplier
+  // Scaling clamps at a 64-byte floor.
+  workloads::web::FilesetConfig tiny = fc;
+  tiny.size_scale = 0.0001;
+  workloads::web::Fileset fs2(tiny);
+  EXPECT_EQ(fs2.size_of(0, 0), 64u);
+}
+
+TEST(Fileset, TotalBytesConsistent) {
+  workloads::web::FilesetConfig fc;
+  fc.dirs = 2;
+  fc.files_per_class = 3;
+  workloads::web::Fileset fs(fc);
+  std::uint64_t sum = 0;
+  for (int d = 0; d < 2; ++d)
+    for (int c = 0; c < 4; ++c)
+      for (int f = 0; f < 3; ++f) sum += fs.size_of(c, f);
+  EXPECT_EQ(fs.total_bytes(), sum);
+}
+
+TEST(TraceGen, StartsAreMonotonic) {
+  workloads::web::Fileset fs(workloads::web::FilesetConfig{});
+  const auto t = workloads::web::Trace::generate(fs, 50, 10'000, 3);
+  for (std::size_t i = 1; i < t.entries.size(); ++i)
+    EXPECT_GT(t.entries[i].start, t.entries[i - 1].start);
+}
+
+TEST(TraceGen, ParseRejectsGarbage) {
+  EXPECT_THROW(workloads::web::Trace::parse("notanumber /x\n"),
+               util::SimError);
+}
+
+// --------------------------------------------------------------------- wal
+
+TEST(Wal, GroupCommitFsyncCadence) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  workloads::db::DbConfig dbc;
+  dbc.wal_group_commit = 4;
+  auto pool = std::make_shared<workloads::db::BufferPool>(dbc);
+  auto wal = std::make_shared<workloads::db::Wal>(*pool, "/wal/log");
+  sim.spawn("app", [&](sim::Proc& p) {
+    pool->init(p);
+    wal->create(p);
+    std::uint8_t rec[32] = {1, 2, 3};
+    for (int i = 0; i < 10; ++i) wal->log_commit(p, rec);
+  });
+  sim.run();
+  EXPECT_EQ(wal->commits(), 10u);
+  EXPECT_EQ(wal->fsyncs(), 2u);  // at commits 4 and 8
+}
+
+// ------------------------------------------------------------- wait queues
+
+TEST(KWaitQueue, RegisterAndRemoveChannels) {
+  os::KWaitQueue q;
+  q.register_channel(100);
+  q.register_channel(200);
+  q.register_channel(100);
+  EXPECT_EQ(q.size(), 3u);
+  q.remove_channel(100);  // removes both entries for 100
+  EXPECT_EQ(q.size(), 1u);
+  q.remove_channel(999);  // absent: no-op
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ------------------------------------------------------- simulated memory
+
+TEST(SimMemHelpers, ScanAndMemsetDetached) {
+  mem::AddressMap map;
+  mem::Arena a("t", 0x1000, 4096);
+  map.add(a);
+  core::SimContext detached;
+  mem::sim_memset(detached, map, 0x1100, 0xAB, 100);
+  EXPECT_EQ(static_cast<unsigned char>(*a.host(0x1100)), 0xABu);
+  EXPECT_EQ(static_cast<unsigned char>(*a.host(0x1100 + 99)), 0xABu);
+  mem::sim_scan(detached, map, 0x1100, 100);  // must not crash or write
+  EXPECT_EQ(static_cast<unsigned char>(*a.host(0x1100)), 0xABu);
+}
+
+TEST(SimMemHelpers, MemcpyEmitsOneEventPairPerChunk) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  sim.spawn("app", [&](sim::Proc& p) {
+    const Addr src = p.alloc(1024, 64);
+    const Addr dst = p.alloc(1024, 64);
+    mem::sim_memcpy(p.ctx(), p.mem(), dst, src, 1024, 64);
+  });
+  sim.run();
+  // 16 chunks -> 16 loads + 16 stores.
+  EXPECT_EQ(sim.stats().counter_value("backend.mem_refs"), 32u);
+}
+
+// ------------------------------------------------------------- API misuse
+
+TEST(ApiMisuse, FrontendDoubleStartThrows) {
+  core::SimConfig cfg;
+  cfg.num_cpus = 1;
+  core::Communicator comm(1);
+  mem::FlatMemory mem(5);
+  core::Backend::Hooks hooks;
+  hooks.memsys = &mem;
+  core::Backend backend(cfg, comm, hooks);
+  core::Frontend f(backend, "x");
+  f.start([](core::SimContext&) {});
+  EXPECT_THROW(f.start([](core::SimContext&) {}), util::SimError);
+  backend.run();
+  f.join();
+}
+
+TEST(ApiMisuse, SetTimeWithBufferedRefsThrows) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  cfg.os_server.ctx_opts.batch_size = 8;  // so refs stay buffered
+  sim::Simulation sim(cfg);
+  bool threw = false;
+  sim.spawn("app", [&](sim::Proc& p) {
+    p.ctx().load(0x100, 8);  // buffered (batch of 8)
+    try {
+      p.ctx().set_time(999);
+    } catch (const util::SimError&) {
+      threw = true;
+    }
+    p.ctx().flush();
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ApiMisuse, SimulationRunTwiceThrows) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  sim.spawn("app", [](sim::Proc&) {});
+  sim.run();
+  EXPECT_THROW(sim.run(), util::SimError);
+}
+
+TEST(ApiMisuse, BadWhenceReturnsEinval) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  std::int64_t rv = 0;
+  sim.spawn("app", [&](sim::Proc& p) {
+    const auto fd = p.creat("/f");
+    rv = p.lseek(fd, 0, 9);
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_EQ(rv, -os::kEINVAL);
+}
+
+TEST(ApiMisuse, OperationsOnBadFdReturnEbadf) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  std::int64_t r1 = 0, r2 = 0, r3 = 0;
+  sim.spawn("app", [&](sim::Proc& p) {
+    const Addr buf = p.alloc(64);
+    r1 = p.read_fd(77, buf, 64);
+    r2 = p.fsync(77);
+    r3 = p.naccept(77);
+  });
+  sim.run();
+  EXPECT_EQ(r1, -os::kEBADF);
+  EXPECT_EQ(r2, -os::kEBADF);
+  EXPECT_EQ(r3, -os::kEBADF);
+}
+
+// ------------------------------------------------------------ numa extras
+
+TEST(NumaMachine, SyncReferenceCostsExtra) {
+  mem::Vm vm({.num_nodes = 2});
+  mem::NumaMachine machine({}, 4, 2, vm);
+  const auto mk = [](RefType t, Cycles time) {
+    return core::Event::mem_ref(ExecMode::kUser, t, 0x5000, 8, time);
+  };
+  machine.access(0, 0, mk(RefType::kStore, 0));  // warm (M state)
+  const Cycles store_hit = machine.access(0, 0, mk(RefType::kStore, 100));
+  const Cycles sync_hit = machine.access(0, 0, mk(RefType::kSync, 200));
+  EXPECT_EQ(sync_hit, store_hit + mem::NumaMachineConfig{}.sync_overhead);
+}
+
+}  // namespace
+}  // namespace compass

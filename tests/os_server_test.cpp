@@ -1,0 +1,152 @@
+// Direct tests of the OS-server protocol (paper §3.1–3.2): OS-thread
+// pairing on first call, kernel-mode event generation on the client's
+// event port, pseudo-interrupt forwarding for user-mode processes, and
+// inline handling for kernel-mode code.
+#include <gtest/gtest.h>
+
+#include "os/fs.h"
+#include "sim/simulation.h"
+
+namespace compass {
+namespace {
+
+using sim::Proc;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+SimulationConfig cfg(int cpus = 2) {
+  SimulationConfig c;
+  c.core.num_cpus = cpus;
+  return c;
+}
+
+TEST(OsServerProtocol, ThreadsPairOnFirstCallOnly) {
+  Simulation sim(cfg());
+  std::atomic<int> paired_before{-1}, paired_after{-1};
+  sim.spawn("a", [&](Proc& p) {
+    paired_before = sim.os_server().paired_threads();
+    p.getpid();  // first OS call triggers the connection request
+    paired_after = sim.os_server().paired_threads();
+    p.getpid();  // second call reuses the pairing
+    EXPECT_EQ(sim.os_server().paired_threads(), paired_after.load());
+  });
+  sim.run();
+  EXPECT_EQ(paired_before.load(), 0);
+  EXPECT_EQ(paired_after.load(), 1);
+}
+
+TEST(OsServerProtocol, EachClientGetsItsOwnThread) {
+  Simulation sim(cfg(2));
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("c" + std::to_string(i), [](Proc& p) {
+      p.getpid();
+      p.ctx().compute(10'000);
+      p.getpid();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(sim.os_server().num_os_threads(), 3);
+  EXPECT_EQ(sim.os_server().paired_threads(), 3);
+}
+
+TEST(OsServerProtocol, GetpidReturnsProcId) {
+  Simulation sim(cfg());
+  std::atomic<std::int64_t> pid0{-1}, pid1{-1};
+  // Process ids are allocated in registration order after the OS server's
+  // bottom halves and netd; compare relative values instead of absolutes.
+  sim.spawn("a", [&](Proc& p) { pid0 = p.getpid(); });
+  sim.spawn("b", [&](Proc& p) { pid1 = p.getpid(); });
+  sim.run();
+  EXPECT_GE(pid0.load(), 0);
+  EXPECT_EQ(pid1.load(), pid0.load() + 1);
+}
+
+TEST(OsServerProtocol, KernelEventsBilledToClientCpu) {
+  // A single process on one CPU makes a file-writing OS call; all kernel
+  // events must land on that same CPU's accounting (the OS thread adopts
+  // the client's event port).
+  Simulation sim(cfg(2));
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.creat("/k");
+    const Addr buf = p.alloc(4096);
+    p.write_fd(fd, buf, 4096);
+    p.close(fd);
+  });
+  sim.run();
+  const auto& tb = sim.breakdown();
+  // The OS thread adopts the client's port, so kernel time lands on the
+  // CPU the client ran on (the one with its user time), not elsewhere.
+  const CpuId app_cpu =
+      tb.cpu(0)[ExecMode::kUser] > tb.cpu(1)[ExecMode::kUser] ? 0 : 1;
+  const CpuId other = 1 - app_cpu;
+  EXPECT_GT(tb.cpu(app_cpu)[ExecMode::kKernel], 0u);
+  EXPECT_GT(tb.cpu(app_cpu)[ExecMode::kKernel],
+            5 * tb.cpu(other)[ExecMode::kKernel]);
+}
+
+TEST(OsServerProtocol, PseudoInterruptRunsInInterruptMode) {
+  // A user-mode process doing pure user work while a disk I/O from another
+  // process completes: the user-mode process forwards a pseudo interrupt
+  // request to its OS thread, and the handler's time lands in the
+  // interrupt column.
+  Simulation sim(cfg(1));
+  std::vector<std::uint8_t> content(4096, 1);
+  sim.kernel().fs().populate("/io", content);
+  sim.spawn("io", [&](Proc& p) {
+    const auto fd = p.open("/io");
+    const Addr buf = p.alloc(4096);
+    p.read_fd(fd, buf, 4096);  // blocks on the disk
+    p.close(fd);
+  });
+  sim.spawn("user", [&](Proc& p) {
+    // Pure user-mode loop long enough to be on-CPU when the disk
+    // completion interrupt arrives.
+    for (int i = 0; i < 3000; ++i) {
+      p.ctx().compute(200);
+      p.ctx().load(0x40, 8);
+    }
+  });
+  sim.run();
+  EXPECT_GT(sim.breakdown().total()[ExecMode::kInterrupt], 0u);
+  EXPECT_GT(sim.stats().counter_value("os.interrupts"), 0u);
+}
+
+TEST(OsServerProtocol, CategoryTwoCallsBypassTheOsServer) {
+  // shmget/shmat are category 2: they must not pair an OS thread.
+  Simulation sim(cfg());
+  std::atomic<int> paired{-1};
+  sim.spawn("app", [&](Proc& p) {
+    const auto segid = p.shmget(1, 4096);
+    const auto base = p.shmat(segid);
+    EXPECT_GT(base, 0);
+    paired = sim.os_server().paired_threads();
+  });
+  sim.run();
+  EXPECT_EQ(paired.load(), 0);
+}
+
+TEST(OsServerProtocol, SimOffRegionStillAllowsOsCalls) {
+  // The paper's event-generation control flag (signal handlers, static
+  // constructors): instrumentation off, but OS calls must still function.
+  Simulation sim(cfg());
+  std::int64_t fd = -1;
+  std::uint64_t refs_during_off = 0;
+  sim.spawn("app", [&](Proc& p) {
+    const std::uint64_t before = sim.stats().counter_value("backend.mem_refs");
+    {
+      core::SimContext::SimOff off(p.ctx());
+      p.ctx().load(0x99, 8);  // suppressed
+      fd = p.creat("/sig");   // functional: kernel events still flow
+    }
+    refs_during_off = sim.stats().counter_value("backend.mem_refs") - before;
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_GE(fd, 0);
+  // Kernel-side references happened, but not the suppressed user load.
+  EXPECT_GT(refs_during_off, 0u);
+  EXPECT_TRUE(sim.kernel().fs().exists("/sig"));
+}
+
+}  // namespace
+}  // namespace compass

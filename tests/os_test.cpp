@@ -1,0 +1,544 @@
+// Integration tests for the OS layer: kernel synchronization, arenas, the
+// OS server protocol, file system + buffer cache + disk interrupts, TCP/IP
+// + netd, shared segments, semaphores, and native (raw) execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "os/fs.h"
+#include "sim/native_env.h"
+#include "sim/simulation.h"
+
+namespace compass {
+namespace {
+
+using os::Sys;
+using sim::BackendModel;
+using sim::Proc;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+SimulationConfig small_config(int cpus = 2) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = cpus;
+  cfg.model = BackendModel::kSimple;
+  cfg.kernel.buffer_cache_buffers = 64;
+  cfg.user_heap_bytes = 8ull << 20;
+  return cfg;
+}
+
+// ------------------------------------------------------------------ arena
+
+TEST(Arena, AllocFreeCoalesce) {
+  mem::Arena a("t", 0x1000, 4096);
+  const Addr x = a.alloc(100, 8);
+  const Addr y = a.alloc(100, 8);
+  const Addr z = a.alloc(100, 8);
+  EXPECT_EQ(a.bytes_in_use(), 300u + (x - 0x1000));
+  a.free(y, 100);
+  a.free(x, 100);
+  a.free(z, 100);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  // After full coalescing a capacity-sized allocation succeeds.
+  const Addr big = a.alloc(4096, 1);
+  EXPECT_EQ(big, 0x1000u);
+}
+
+TEST(Arena, AlignmentRespected) {
+  mem::Arena a("t", 0, 4096);
+  a.alloc(3, 1);
+  const Addr aligned = a.alloc(64, 64);
+  EXPECT_EQ(aligned % 64, 0u);
+}
+
+TEST(Arena, ExhaustionThrows) {
+  mem::Arena a("t", 0, 128);
+  a.alloc(100, 1);
+  EXPECT_THROW(a.alloc(100, 1), util::SimError);
+}
+
+TEST(Arena, DoubleFreeThrows) {
+  mem::Arena a("t", 0, 1024);
+  const Addr x = a.alloc(64, 8);
+  a.free(x, 64);
+  EXPECT_THROW(a.free(x, 64), util::SimError);
+}
+
+TEST(AddressMap, ResolvesAcrossArenas) {
+  mem::AddressMap map;
+  mem::Arena a("a", 0x1000, 4096), b("b", 0x10000, 4096);
+  map.add(a);
+  map.add(b);
+  EXPECT_EQ(map.host(0x1000), a.host(0x1000));
+  EXPECT_EQ(map.host(0x10080), b.host(0x10080));
+  EXPECT_THROW(map.host(0x9000), util::SimError);
+  map.remove(a);
+  EXPECT_THROW(map.host(0x1000), util::SimError);
+}
+
+TEST(AddressMap, OverlapRejected) {
+  mem::AddressMap map;
+  mem::Arena a("a", 0x1000, 4096);
+  mem::Arena overlap("b", 0x1800, 4096);
+  map.add(a);
+  EXPECT_THROW(map.add(overlap), util::SimError);
+}
+
+TEST(AddressMap, SimMemcpyCopiesAcrossArenas) {
+  mem::AddressMap map;
+  mem::Arena a("a", 0x1000, 4096), b("b", 0x10000, 4096);
+  map.add(a);
+  map.add(b);
+  core::SimContext detached;
+  std::memcpy(a.host(0x1100), "hello world", 11);
+  mem::sim_memcpy(detached, map, 0x10020, 0x1100, 11);
+  EXPECT_EQ(std::memcmp(b.host(0x10020), "hello world", 11), 0);
+}
+
+// ----------------------------------------------------------- frame format
+
+TEST(Frames, RoundTrip) {
+  os::FrameHeader h;
+  h.conn = 0x12345;
+  h.port = 80;
+  h.flags = os::kFrameData;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto frame = os::make_frame(h, payload);
+  const auto parsed = os::parse_frame(frame);
+  EXPECT_EQ(parsed.conn, 0x12345u);
+  EXPECT_EQ(parsed.port, 80);
+  EXPECT_EQ(parsed.flags, os::kFrameData);
+  EXPECT_EQ(parsed.len, 5u);
+}
+
+TEST(Frames, RuntThrows) {
+  const std::vector<std::uint8_t> runt{1, 2};
+  EXPECT_THROW(os::parse_frame(runt), util::SimError);
+}
+
+// ----------------------------------------------------- file system (sim)
+
+TEST(OsSim, CreateWriteReadFile) {
+  Simulation sim(small_config());
+  std::string readback;
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.creat("/data/test.txt");
+    ASSERT_GE(fd, 0);
+    const Addr buf = p.alloc(4096);
+    const std::string msg = "the quick brown fox jumps over the lazy dog";
+    p.put_bytes(buf, {reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()});
+    EXPECT_EQ(p.write_fd(fd, buf, msg.size()), static_cast<std::int64_t>(msg.size()));
+    EXPECT_EQ(p.close(fd), 0);
+
+    const auto fd2 = p.open("/data/test.txt");
+    ASSERT_GE(fd2, 0);
+    const Addr buf2 = p.alloc(4096);
+    const auto n = p.read_fd(fd2, buf2, 4096);
+    EXPECT_EQ(n, static_cast<std::int64_t>(msg.size()));
+    const auto bytes = p.get_bytes(buf2, static_cast<std::size_t>(n));
+    readback.assign(bytes.begin(), bytes.end());
+    p.close(fd2);
+  });
+  sim.run();
+  EXPECT_EQ(readback, "the quick brown fox jumps over the lazy dog");
+  // Kernel time and at least one syscall were recorded.
+  EXPECT_GT(sim.breakdown().total()[ExecMode::kKernel], 0u);
+  EXPECT_GT(sim.stats().counter_value("os.syscalls"), 0u);
+}
+
+TEST(OsSim, ReadMissGoesToDiskAndRaisesInterrupt) {
+  auto cfg = small_config();
+  Simulation sim(cfg);
+  // Pre-populate a file larger than one block.
+  std::vector<std::uint8_t> content(3 * 4096);
+  for (std::size_t i = 0; i < content.size(); ++i)
+    content[i] = static_cast<std::uint8_t>(i * 7);
+  sim.kernel().fs().populate("/db/file0", content);
+
+  bool ok = false;
+  sim.spawn("reader", [&](Proc& p) {
+    const auto fd = p.open("/db/file0");
+    ASSERT_GE(fd, 0);
+    const Addr buf = p.alloc(3 * 4096);
+    const auto n = p.read_fd(fd, buf, 3 * 4096);
+    ASSERT_EQ(n, 3 * 4096);
+    const auto bytes = p.get_bytes(buf, 3 * 4096);
+    ok = std::equal(bytes.begin(), bytes.end(), content.begin());
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GE(sim.stats().counter_value("disk0.reads"), 3u);
+  EXPECT_GT(sim.stats().counter_value("backend.irqs_raised"), 0u);
+  // Interrupt time was accounted (Table 1's interrupt column).
+  EXPECT_GT(sim.breakdown().total()[ExecMode::kInterrupt], 0u);
+}
+
+TEST(OsSim, BufferCacheHitsAvoidSecondDiskRead) {
+  Simulation sim(small_config());
+  std::vector<std::uint8_t> content(4096, 0xAB);
+  sim.kernel().fs().populate("/f", content);
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.open("/f");
+    const Addr buf = p.alloc(4096);
+    p.read_fd(fd, buf, 4096);
+    p.lseek(fd, 0, 0);
+    p.read_fd(fd, buf, 4096);  // cache hit
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_EQ(sim.stats().counter_value("disk0.reads"), 1u);
+  EXPECT_GE(sim.stats().counter_value("fs.cache_hits"), 1u);
+}
+
+TEST(OsSim, StatxAndUnlink) {
+  Simulation sim(small_config());
+  sim.kernel().fs().populate("/x", std::vector<std::uint8_t>(1000, 1));
+  std::int64_t size = -1, after = 0;
+  sim.spawn("app", [&](Proc& p) {
+    size = p.statx("/x");
+    EXPECT_EQ(p.unlink("/x"), 0);
+    after = p.statx("/x");
+  });
+  sim.run();
+  EXPECT_EQ(size, 1000);
+  EXPECT_EQ(after, -os::kENOENT);
+}
+
+TEST(OsSim, WritevReadvVectors) {
+  Simulation sim(small_config());
+  bool ok = false;
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.creat("/v");
+    const Addr a = p.alloc(100), b = p.alloc(100);
+    std::vector<std::uint8_t> da(100, 0x11), db(100, 0x22);
+    p.put_bytes(a, da);
+    p.put_bytes(b, db);
+    const os::KIovec iov[2] = {{a, 100}, {b, 100}};
+    EXPECT_EQ(p.writev(fd, iov), 200);
+    p.lseek(fd, 0, 0);
+    const Addr c = p.alloc(200);
+    const os::KIovec riov[1] = {{c, 200}};
+    EXPECT_EQ(p.readv(fd, riov), 200);
+    const auto bytes = p.get_bytes(c, 200);
+    ok = bytes[0] == 0x11 && bytes[99] == 0x11 && bytes[100] == 0x22 &&
+         bytes[199] == 0x22;
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(OsSim, MmapMsyncRoundTrip) {
+  Simulation sim(small_config());
+  sim.kernel().fs().populate("/m", std::vector<std::uint8_t>(8192, 0x5A));
+  bool read_ok = false;
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.open("/m");
+    const auto base = p.mmap(fd, 0, 8192);
+    ASSERT_GT(base, 0);
+    // Read mapped data with plain user references.
+    read_ok = p.read<std::uint8_t>(static_cast<Addr>(base) + 5000) == 0x5A;
+    // Modify and write back.
+    p.write<std::uint8_t>(static_cast<Addr>(base) + 100, 0x77);
+    EXPECT_EQ(p.msync(static_cast<Addr>(base)), 0);
+    EXPECT_EQ(p.munmap(static_cast<Addr>(base)), 0);
+    p.close(fd);
+  });
+  sim.run();
+  EXPECT_TRUE(read_ok);
+  // The modification reached the platter.
+  os::Inode* inode = nullptr;
+  for (std::uint64_t id = 1; id < 10; ++id)
+    if ((inode = sim.kernel().fs().inode_by_id(id)) != nullptr) break;
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(inode->page_data(0, 4096)[100], 0x77);
+}
+
+// ----------------------------------------------------------- shm + sems
+
+TEST(OsSim, SharedSegmentVisibleAcrossProcesses) {
+  Simulation sim(small_config(2));
+  std::atomic<std::int64_t> seen{-1};
+  sim.spawn("writer", [&](Proc& p) {
+    const auto segid = p.shmget(0x42, 1 << 16);
+    ASSERT_GE(segid, 0);
+    const auto base = p.shmat(segid);
+    ASSERT_GT(base, 0);
+    p.write<std::int64_t>(static_cast<Addr>(base) + 128, 987654321);
+    p.sem_init(1, 0);
+    p.sem_v(1);  // signal the reader
+  });
+  sim.spawn("reader", [&](Proc& p) {
+    p.ctx().compute(50'000);  // let the writer go first
+    p.sem_init(1, 0);
+    p.sem_p(1);
+    const auto segid = p.shmget(0x42, 1 << 16);
+    const auto base = p.shmat(segid);
+    seen = p.read<std::int64_t>(static_cast<Addr>(base) + 128);
+  });
+  sim.run();
+  EXPECT_EQ(seen.load(), 987654321);
+}
+
+TEST(OsSim, SemaphoreBlocksUntilV) {
+  Simulation sim(small_config(2));
+  std::vector<int> order;
+  std::mutex mu;
+  sim.spawn("waiter", [&](Proc& p) {
+    p.sem_init(7, 0);
+    p.sem_p(7);
+    std::lock_guard l(mu);
+    order.push_back(2);
+  });
+  sim.spawn("poster", [&](Proc& p) {
+    p.sem_init(7, 0);
+    p.ctx().compute(200'000);
+    {
+      std::lock_guard l(mu);
+      order.push_back(1);
+    }
+    p.sem_v(7);
+  });
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(OsSim, UsleepAdvancesSimulatedTime) {
+  Simulation sim(small_config(1));
+  sim.spawn("sleeper", [&](Proc& p) {
+    p.usleep(5'000'000);
+  });
+  sim.run();
+  EXPECT_GE(sim.now(), 5'000'000u);
+}
+
+// -------------------------------------------------------------- sockets
+
+/// A wire-side client: sends SYN + one request, records the responses.
+class OneShotClient : public dev::Wire {
+ public:
+  OneShotClient(Simulation& sim, std::uint32_t conn, std::uint16_t port,
+                std::string request)
+      : sim_(sim), conn_(conn), port_(port), request_(std::move(request)) {}
+
+  /// Schedule the connection attempt at simulated cycle `when`.
+  void start(Cycles when) {
+    sim_.backend().scheduler().schedule_at(when, [this] {
+      os::FrameHeader syn;
+      syn.conn = conn_;
+      syn.port = port_;
+      syn.flags = os::kFrameSyn;
+      sim_.devices().deliver_rx_frame(os::make_frame(syn, {}));
+      os::FrameHeader data;
+      data.conn = conn_;
+      data.flags = os::kFrameData;
+      sim_.devices().deliver_rx_frame(os::make_frame(
+          data, {reinterpret_cast<const std::uint8_t*>(request_.data()),
+                 request_.size()}));
+    });
+  }
+
+  void on_tx(std::vector<std::uint8_t> frame, Cycles) override {
+    const os::FrameHeader h = os::parse_frame(frame);
+    if (h.conn != conn_) return;
+    if (h.flags & os::kFrameData)
+      response_.append(reinterpret_cast<const char*>(frame.data() + sizeof(h)),
+                       h.len);
+    if (h.flags & os::kFrameFin) fin_ = true;
+  }
+
+  const std::string& response() const { return response_; }
+  bool got_fin() const { return fin_; }
+
+ private:
+  Simulation& sim_;
+  std::uint32_t conn_;
+  std::uint16_t port_;
+  std::string request_;
+  std::string response_;
+  bool fin_ = false;
+};
+
+TEST(OsSim, AcceptRecvSendOverEthernet) {
+  Simulation sim(small_config(2));
+  OneShotClient client(sim, 0x10001, 80, "GET /hello");
+  sim.devices().ethernet().set_wire(&client);
+  client.start(50'000);
+
+  std::string got_request;
+  sim.spawn("server", [&](Proc& p) {
+    const auto lsock = p.socket();
+    ASSERT_GE(lsock, 0);
+    ASSERT_EQ(p.bind(lsock, 80), 0);
+    ASSERT_EQ(p.listen(lsock), 0);
+    const auto conn = p.naccept(lsock);
+    ASSERT_GE(conn, 0);
+    const Addr buf = p.alloc(4096);
+    const auto n = p.recv(conn, buf, 4096);
+    ASSERT_GT(n, 0);
+    const auto bytes = p.get_bytes(buf, static_cast<std::size_t>(n));
+    got_request.assign(bytes.begin(), bytes.end());
+    const std::string reply = "HTTP/1.0 200 OK\r\n\r\nhello!";
+    p.put_bytes(buf, {reinterpret_cast<const std::uint8_t*>(reply.data()),
+                      reply.size()});
+    EXPECT_EQ(p.send(conn, buf, reply.size()),
+              static_cast<std::int64_t>(reply.size()));
+    p.close(conn);
+    p.close(lsock);
+  });
+  sim.run();
+  EXPECT_EQ(got_request, "GET /hello");
+  EXPECT_EQ(client.response(), "HTTP/1.0 200 OK\r\n\r\nhello!");
+  EXPECT_TRUE(client.got_fin());
+  EXPECT_GT(sim.stats().counter_value("net.frames_in"), 0u);
+  EXPECT_GT(sim.stats().counter_value("eth.tx_frames"), 0u);
+}
+
+TEST(OsSim, SelectFindsReadySocket) {
+  Simulation sim(small_config(2));
+  OneShotClient client(sim, 0x10002, 8080, "ping");
+  sim.devices().ethernet().set_wire(&client);
+  client.start(100'000);
+  std::int64_t ready_fd = -1;
+  std::int64_t lsock_fd = -1;
+  sim.spawn("server", [&](Proc& p) {
+    const auto lsock = p.socket();
+    lsock_fd = lsock;
+    p.bind(lsock, 8080);
+    p.listen(lsock);
+    const std::int32_t fds[1] = {static_cast<std::int32_t>(lsock)};
+    ready_fd = p.select(fds);  // blocks until the SYN arrives
+    const auto conn = p.naccept(lsock);
+    const Addr buf = p.alloc(256);
+    p.recv(conn, buf, 256);
+    p.close(conn);
+    p.close(lsock);
+  });
+  sim.run();
+  EXPECT_EQ(ready_fd, lsock_fd);
+}
+
+TEST(OsSim, RecvReturnsZeroAfterFin) {
+  Simulation sim(small_config(2));
+  // Client that sends SYN, one byte, then FIN.
+  struct FinClient : dev::Wire {
+    Simulation& sim;
+    explicit FinClient(Simulation& s) : sim(s) {}
+    void start(Cycles when) {
+      sim.backend().scheduler().schedule_at(when, [this] {
+        os::FrameHeader syn{0x10003, 9, os::kFrameSyn, 0, 0};
+        sim.devices().deliver_rx_frame(os::make_frame(syn, {}));
+        const std::uint8_t byte = 'x';
+        os::FrameHeader data{0x10003, 0, os::kFrameData, 0, 0};
+        sim.devices().deliver_rx_frame(os::make_frame(data, {&byte, 1}));
+        os::FrameHeader fin{0x10003, 0, os::kFrameFin, 0, 0};
+        sim.devices().deliver_rx_frame(os::make_frame(fin, {}));
+      });
+    }
+    void on_tx(std::vector<std::uint8_t>, Cycles) override {}
+  } client(sim);
+  client.start(10'000);
+  std::int64_t n1 = -1, n2 = -1;
+  sim.spawn("server", [&](Proc& p) {
+    const auto lsock = p.socket();
+    p.bind(lsock, 9);
+    p.listen(lsock);
+    const auto conn = p.naccept(lsock);
+    const Addr buf = p.alloc(64);
+    n1 = p.recv(conn, buf, 64);
+    n2 = p.recv(conn, buf, 64);  // FIN → 0
+    p.close(conn);
+    p.close(lsock);
+  });
+  sim.run();
+  EXPECT_EQ(n1, 1);
+  EXPECT_EQ(n2, 0);
+}
+
+// -------------------------------------------------------------- native
+
+TEST(OsNative, FileRoundTripAtHostSpeed) {
+  sim::NativeEnv env;
+  Proc& p = env.add_process("raw");
+  const auto fd = p.creat("/raw/file");
+  ASSERT_GE(fd, 0);
+  const Addr buf = p.alloc(4096);
+  std::vector<std::uint8_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  p.put_bytes(buf, data);
+  EXPECT_EQ(p.write_fd(fd, buf, 4096), 4096);
+  p.lseek(fd, 0, 0);
+  const Addr out = p.alloc(4096);
+  EXPECT_EQ(p.read_fd(fd, out, 4096), 4096);
+  EXPECT_EQ(p.get_bytes(out, 4096), data);
+  p.close(fd);
+}
+
+TEST(OsNative, ShmSharedBetweenNativeProcs) {
+  sim::NativeEnv env;
+  Proc& a = env.add_process("a");
+  Proc& b = env.add_process("b");
+  const auto segid = a.shmget(9, 4096);
+  const auto base_a = a.shmat(segid);
+  const auto base_b = b.shmat(b.shmget(9, 4096));
+  EXPECT_EQ(base_a, base_b);
+  a.write<std::int32_t>(static_cast<Addr>(base_a), 42);
+  EXPECT_EQ(b.read<std::int32_t>(static_cast<Addr>(base_b)), 42);
+}
+
+TEST(OsNative, SemaphoresWorkAcrossHostThreads) {
+  sim::NativeEnv env;
+  Proc& a = env.add_process("a");
+  Proc& b = env.add_process("b");
+  a.sem_init(3, 0);
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    b.sem_p(3);
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  a.sem_v(3);
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(OsSim, FullStackDeterminism) {
+  auto run_once = [] {
+    Simulation sim(small_config(2));
+    sim.kernel().fs().populate("/d", std::vector<std::uint8_t>(16 * 4096, 3));
+    sim.spawn("a", [&](Proc& p) {
+      const auto fd = p.open("/d");
+      const Addr buf = p.alloc(4096);
+      for (int i = 0; i < 8; ++i) p.read_fd(fd, buf, 4096);
+      p.close(fd);
+    });
+    sim.spawn("b", [&](Proc& p) {
+      const auto fd = p.open("/d");
+      const Addr buf = p.alloc(4096);
+      p.lseek(fd, 8 * 4096, 0);
+      for (int i = 0; i < 8; ++i) p.read_fd(fd, buf, 4096);
+      p.close(fd);
+    });
+    sim.run();
+    return std::tuple{sim.now(),
+                      sim.stats().counter_value("backend.mem_refs"),
+                      sim.breakdown().total()[ExecMode::kKernel],
+                      sim.breakdown().total()[ExecMode::kInterrupt]};
+  };
+  const auto r1 = run_once();
+  const auto r2 = run_once();
+  const auto r3 = run_once();
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r3);
+}
+
+}  // namespace
+}  // namespace compass

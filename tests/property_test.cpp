@@ -1,0 +1,396 @@
+// Property-based and parameterized tests: randomized operation sequences
+// checked against simple reference models, swept across configuration
+// space with TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+
+#include "core/proc_sched.h"
+#include "dev/disk.h"
+#include "mem/arena.h"
+#include "mem/cache.h"
+#include "mem/vm.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "workloads/db/btree.h"
+
+namespace compass {
+namespace {
+
+// ===================================================================== cache
+
+struct CacheGeom {
+  std::uint32_t size;
+  std::uint32_t assoc;
+  std::uint32_t line;
+};
+
+class CacheProperty : public ::testing::TestWithParam<CacheGeom> {};
+
+/// Reference model: per-set LRU lists over (tag, state).
+class RefCache {
+ public:
+  explicit RefCache(const CacheGeom& g)
+      : sets_(g.size / (g.assoc * g.line)), assoc_(g.assoc), line_(g.line) {
+    lists_.resize(sets_);
+  }
+
+  mem::Mesi probe(std::uint64_t addr) const {
+    const auto [set, tag] = split(addr);
+    for (const auto& [t, s] : lists_[set])
+      if (t == tag) return s;
+    return mem::Mesi::kInvalid;
+  }
+
+  void touch(std::uint64_t addr) {
+    const auto [set, tag] = split(addr);
+    auto& l = lists_[set];
+    for (auto it = l.begin(); it != l.end(); ++it) {
+      if (it->first == tag) {
+        auto entry = *it;
+        l.erase(it);
+        l.push_front(entry);
+        return;
+      }
+    }
+  }
+
+  void insert(std::uint64_t addr, mem::Mesi state) {
+    const auto [set, tag] = split(addr);
+    auto& l = lists_[set];
+    for (auto it = l.begin(); it != l.end(); ++it) {
+      if (it->first == tag) {
+        it->second = state;
+        auto entry = *it;
+        l.erase(it);
+        l.push_front(entry);
+        return;
+      }
+    }
+    if (l.size() == assoc_) l.pop_back();
+    l.push_front({tag, state});
+  }
+
+ private:
+  std::pair<std::size_t, std::uint64_t> split(std::uint64_t addr) const {
+    const std::uint64_t tag = addr / line_;
+    return {static_cast<std::size_t>(tag % sets_), tag};
+  }
+
+  std::size_t sets_;
+  std::size_t assoc_;
+  std::uint64_t line_;
+  std::vector<std::list<std::pair<std::uint64_t, mem::Mesi>>> lists_;
+};
+
+TEST_P(CacheProperty, MatchesReferenceLruModel) {
+  const CacheGeom g = GetParam();
+  mem::Cache cache("p", mem::CacheConfig{g.size, g.assoc, g.line});
+  RefCache ref(g);
+  util::Rng rng(g.size ^ g.assoc ^ g.line);
+  // Address pool ~4x the cache size to force plenty of evictions.
+  const std::uint64_t pool = 4ull * g.size;
+  for (int op = 0; op < 20'000; ++op) {
+    const std::uint64_t addr = rng.next_below(pool);
+    switch (rng.next_below(3)) {
+      case 0: {  // lookup (touches LRU on hit)
+        const auto got = cache.lookup(addr);
+        ASSERT_EQ(got, ref.probe(addr)) << "op " << op;
+        if (got != mem::Mesi::kInvalid) ref.touch(addr);
+        break;
+      }
+      case 1: {  // insert
+        const auto st = rng.next_bool(0.5) ? mem::Mesi::kModified
+                                           : mem::Mesi::kShared;
+        cache.insert(addr, st);
+        ref.insert(addr, st);
+        break;
+      }
+      default: {  // probe (no side effects)
+        ASSERT_EQ(cache.probe(addr), ref.probe(addr)) << "op " << op;
+        break;
+      }
+    }
+  }
+  // Residency never exceeds capacity.
+  EXPECT_LE(cache.resident_lines(), g.size / g.line);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheProperty,
+                         ::testing::Values(CacheGeom{1024, 1, 64},
+                                           CacheGeom{1024, 2, 64},
+                                           CacheGeom{4096, 4, 64},
+                                           CacheGeom{4096, 4, 32},
+                                           CacheGeom{8192, 8, 128},
+                                           CacheGeom{2048, 2, 32}));
+
+// ===================================================================== arena
+
+class ArenaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaProperty, RandomAllocFreeNeverOverlaps) {
+  util::Rng rng(GetParam());
+  constexpr std::size_t kCap = 1 << 16;
+  mem::Arena arena("p", 0x4000, kCap);
+  struct Block {
+    Addr addr;
+    std::size_t size;
+  };
+  std::vector<Block> live;
+  std::set<std::pair<Addr, Addr>> ranges;  // [start, end)
+  for (int op = 0; op < 5'000; ++op) {
+    if (live.empty() || rng.next_bool(0.55)) {
+      const std::size_t size = 1 + rng.next_below(512);
+      const std::size_t align = 1ull << rng.next_below(7);
+      Addr a;
+      try {
+        a = arena.alloc(size, align);
+      } catch (const util::SimError&) {
+        continue;  // exhausted: acceptable
+      }
+      ASSERT_EQ(a % align, 0u);
+      ASSERT_GE(a, arena.base());
+      ASSERT_LE(a + size, arena.limit());
+      // No overlap with any live block.
+      for (const auto& [s, e] : ranges) {
+        ASSERT_TRUE(a + size <= s || a >= e)
+            << "overlap at op " << op;
+      }
+      live.push_back({a, size});
+      ranges.emplace(a, a + size);
+    } else {
+      const std::size_t i = rng.next_below(live.size());
+      arena.free(live[i].addr, live[i].size);
+      ranges.erase({live[i].addr, live[i].addr + live[i].size});
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Free everything: full coalescing must restore one max-size allocation.
+  for (const auto& b : live) arena.free(b.addr, b.size);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.alloc(kCap, 1), arena.base());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+// ======================================================================== vm
+
+struct VmParam {
+  int nodes;
+  mem::PlacementPolicy placement;
+};
+
+class VmProperty : public ::testing::TestWithParam<VmParam> {};
+
+TEST_P(VmProperty, TranslationInvariants) {
+  const VmParam param = GetParam();
+  mem::Vm vm({.num_nodes = param.nodes, .placement = param.placement});
+  util::Rng rng(99);
+  std::map<std::pair<ProcId, std::uint64_t>, mem::PhysAddr> seen;
+  std::set<std::uint64_t> ppages;
+  for (int op = 0; op < 5'000; ++op) {
+    const ProcId proc = static_cast<ProcId>(rng.next_below(4));
+    const Addr va = rng.next_below(1 << 22);
+    const NodeId node = static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(param.nodes)));
+    const auto t = vm.translate(proc, va, node);
+    // Offset preserved; home in range; stable mapping per (proc, vpage).
+    ASSERT_EQ(t.paddr & (mem::kPageSize - 1), va & (mem::kPageSize - 1));
+    ASSERT_GE(t.home, 0);
+    ASSERT_LT(t.home, param.nodes);
+    const auto key = std::make_pair(proc, va >> mem::kPageShift);
+    const mem::PhysAddr ppage_base = t.paddr & ~(mem::kPageSize - 1);
+    if (const auto it = seen.find(key); it != seen.end()) {
+      ASSERT_EQ(it->second, ppage_base);
+      ASSERT_FALSE(t.fault);
+    } else {
+      ASSERT_TRUE(t.fault);
+      seen.emplace(key, ppage_base);
+      // Private pages are never shared between processes.
+      ASSERT_TRUE(ppages.insert(ppage_base >> mem::kPageShift).second);
+    }
+    ASSERT_EQ(vm.home_of(t.paddr), t.home);
+  }
+  // Every allocated page is homed; totals add up.
+  std::size_t total = 0;
+  for (const auto n : vm.pages_per_node()) total += n;
+  EXPECT_EQ(total, vm.allocated_pages());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, VmProperty,
+    ::testing::Values(VmParam{1, mem::PlacementPolicy::kFirstTouch},
+                      VmParam{2, mem::PlacementPolicy::kRoundRobin},
+                      VmParam{4, mem::PlacementPolicy::kRoundRobin},
+                      VmParam{4, mem::PlacementPolicy::kFirstTouch},
+                      VmParam{2, mem::PlacementPolicy::kBlock}));
+
+// ===================================================================== btree
+
+class BTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeProperty, MatchesStdMapUnderRandomWorkload) {
+  const int pattern = GetParam();
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 1;
+  sim::Simulation sim(cfg);
+  bool ok = true;
+  std::string why;
+  sim.spawn("db", [&](sim::Proc& p) {
+    workloads::db::DbConfig dbc;
+    dbc.pool_pages = 64;
+    workloads::db::BufferPool pool(dbc);
+    pool.register_file(1, "/prop/idx");
+    pool.init(p);
+    workloads::db::BTree tree(pool, 1);
+    tree.create(p);
+    std::map<std::int64_t, std::uint64_t> ref;
+    util::Rng rng(static_cast<std::uint64_t>(pattern) * 31 + 7);
+    for (int op = 0; op < 1'200; ++op) {
+      std::int64_t key;
+      switch (pattern) {
+        case 0: key = op; break;                       // ascending
+        case 1: key = 1'200 - op; break;               // descending
+        case 2: key = rng.next_in(0, 500); break;      // dense random (dups)
+        default: key = rng.next_in(0, 1'000'000); break;  // sparse random
+      }
+      const auto val = static_cast<std::uint64_t>(op) + 1;
+      tree.insert(p, key, val);
+      ref[key] = val;
+      if (op % 100 == 0) {
+        // Point queries agree.
+        for (int q = 0; q < 10; ++q) {
+          const std::int64_t probe = rng.next_in(0, 1'000'000);
+          const auto got = tree.lookup(p, probe);
+          const auto it = ref.find(probe);
+          const bool match = it == ref.end() ? !got.has_value()
+                                             : got == it->second;
+          if (!match) {
+            ok = false;
+            why = "lookup mismatch at op " + std::to_string(op);
+            return;
+          }
+        }
+      }
+    }
+    // Full scan equals the reference, in order.
+    std::vector<std::pair<std::int64_t, std::uint64_t>> scanned;
+    tree.scan(p, std::numeric_limits<std::int64_t>::min() / 2,
+              std::numeric_limits<std::int64_t>::max() / 2,
+              [&](std::int64_t k, std::uint64_t v) { scanned.emplace_back(k, v); });
+    if (scanned.size() != ref.size()) {
+      ok = false;
+      why = "scan size " + std::to_string(scanned.size()) + " vs " +
+            std::to_string(ref.size());
+      return;
+    }
+    std::size_t i = 0;
+    for (const auto& [k, v] : ref) {
+      if (scanned[i] != std::make_pair(k, v)) {
+        ok = false;
+        why = "scan order mismatch at " + std::to_string(i);
+        return;
+      }
+      ++i;
+    }
+    if (tree.size(p) != ref.size()) {
+      ok = false;
+      why = "size mismatch";
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(ok) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, BTreeProperty, ::testing::Values(0, 1, 2, 3));
+
+// ================================================================ proc sched
+
+struct SchedParam {
+  int cpus;
+  core::SchedPolicy policy;
+};
+
+class SchedProperty : public ::testing::TestWithParam<SchedParam> {};
+
+TEST_P(SchedProperty, InvariantsUnderRandomChurn) {
+  const SchedParam param = GetParam();
+  core::SimConfig cfg;
+  cfg.num_cpus = param.cpus;
+  cfg.sched_policy = param.policy;
+  core::ProcessScheduler ps(cfg);
+  util::Rng rng(static_cast<std::uint64_t>(param.cpus) * 17 +
+                static_cast<std::uint64_t>(param.policy));
+  std::set<ProcId> on_cpu, ready;
+  for (int op = 0; op < 10'000; ++op) {
+    const auto choice = rng.next_below(3);
+    if (choice == 0 && on_cpu.size() + ready.size() < 12) {
+      const auto proc = static_cast<ProcId>(100 + rng.next_below(12));
+      if (!on_cpu.contains(proc) && !ready.contains(proc)) {
+        ps.add_ready(proc);
+        ready.insert(proc);
+      }
+    } else if (choice == 1 && !on_cpu.empty()) {
+      const auto it = std::next(on_cpu.begin(),
+                                static_cast<std::ptrdiff_t>(
+                                    rng.next_below(on_cpu.size())));
+      ps.release_cpu(*it);
+      on_cpu.erase(it);
+    } else {
+      for (const auto& [proc, cpu] : ps.schedule()) {
+        // Assignment invariants: proc was ready, CPU in range, mapping
+        // consistent.
+        ASSERT_TRUE(ready.contains(proc));
+        ASSERT_GE(cpu, 0);
+        ASSERT_LT(cpu, param.cpus);
+        ASSERT_EQ(ps.cpu_of(proc), cpu);
+        ASSERT_EQ(ps.proc_on(cpu), proc);
+        ready.erase(proc);
+        on_cpu.insert(proc);
+      }
+      // No CPU left free while processes are ready.
+      if (ps.has_ready()) {
+        for (CpuId c = 0; c < param.cpus; ++c)
+          ASSERT_FALSE(ps.cpu_free(c));
+      }
+    }
+    ASSERT_LE(on_cpu.size(), static_cast<std::size_t>(param.cpus));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SchedProperty,
+    ::testing::Values(SchedParam{1, core::SchedPolicy::kFcfs},
+                      SchedParam{2, core::SchedPolicy::kFcfs},
+                      SchedParam{4, core::SchedPolicy::kAffinity},
+                      SchedParam{8, core::SchedPolicy::kAffinity}));
+
+// ====================================================================== disk
+
+class DiskProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiskProperty, CompletionsMonotoneAndAfterSubmission) {
+  dev::Disk disk(0, dev::DiskConfig{});
+  util::Rng rng(GetParam());
+  Cycles now = 0;
+  Cycles last_done = 0;
+  for (int op = 0; op < 2'000; ++op) {
+    now += rng.next_below(100'000);
+    const Cycles done =
+        disk.submit(rng.next_below(1 << 24),
+                    1 + static_cast<std::uint32_t>(rng.next_below(16)),
+                    rng.next_bool(0.4), now);
+    // FIFO service: completions never reorder, and never precede submission.
+    ASSERT_GE(done, now);
+    ASSERT_GE(done, last_done);
+    last_done = done;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiskProperty, ::testing::Values(5u, 6u, 7u));
+
+}  // namespace
+}  // namespace compass

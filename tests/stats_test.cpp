@@ -1,0 +1,145 @@
+// Unit tests for stats: counters, histograms, time breakdown, tables.
+#include <gtest/gtest.h>
+
+#include "stats/counters.h"
+#include "stats/report.h"
+#include "stats/time_breakdown.h"
+
+namespace compass::stats {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BasicMoments) {
+  Histogram h;
+  for (std::uint64_t v : {1, 2, 3, 4, 10}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 20u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, ZeroSample) {
+  Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+  EXPECT_LE(h.quantile(0.99), h.max());
+}
+
+TEST(Histogram, LargeSamples) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(StatsRegistry, NamedAccessAndMissing) {
+  StatsRegistry r;
+  r.counter("a").inc(3);
+  EXPECT_EQ(r.counter_value("a"), 3u);
+  EXPECT_EQ(r.counter_value("missing"), 0u);
+  r.histogram("h").record(7);
+  EXPECT_EQ(r.histograms().at("h").count(), 1u);
+  r.reset_all();
+  EXPECT_EQ(r.counter_value("a"), 0u);
+}
+
+TEST(TimeBreakdown, SharesMatchCharges) {
+  TimeBreakdown tb(2);
+  tb.charge(0, ExecMode::kUser, 800);
+  tb.charge(0, ExecMode::kKernel, 150);
+  tb.charge(1, ExecMode::kInterrupt, 50);
+  tb.charge(1, ExecMode::kIdle, 500);
+  const TimeShares s = tb.shares();
+  EXPECT_NEAR(s.user, 80.0, 1e-9);
+  EXPECT_NEAR(s.kernel, 15.0, 1e-9);
+  EXPECT_NEAR(s.interrupt, 5.0, 1e-9);
+  EXPECT_NEAR(s.os_total, 20.0, 1e-9);
+  // Idle excluded from the busy-time denominator (Table 1 semantics).
+  EXPECT_EQ(tb.total().busy(), 1000u);
+  EXPECT_EQ(tb.total()[ExecMode::kIdle], 500u);
+}
+
+TEST(TimeBreakdown, EmptyIsZero) {
+  TimeBreakdown tb(1);
+  const TimeShares s = tb.shares();
+  EXPECT_EQ(s.user, 0.0);
+  EXPECT_EQ(s.os_total, 0.0);
+}
+
+TEST(TimeBreakdown, PerCpuAccounting) {
+  TimeBreakdown tb(3);
+  tb.charge(2, ExecMode::kUser, 42);
+  EXPECT_EQ(tb.cpu(2)[ExecMode::kUser], 42u);
+  EXPECT_EQ(tb.cpu(0)[ExecMode::kUser], 0u);
+  tb.reset();
+  EXPECT_EQ(tb.cpu(2)[ExecMode::kUser], 0u);
+}
+
+TEST(TimeBreakdown, BadCpuThrows) {
+  TimeBreakdown tb(1);
+  EXPECT_THROW(tb.charge(5, ExecMode::kUser, 1), util::SimError);
+}
+
+TEST(TimeBreakdown, ToStringMentionsShares) {
+  TimeBreakdown tb(1);
+  tb.charge(0, ExecMode::kUser, 50);
+  tb.charge(0, ExecMode::kKernel, 50);
+  const std::string s = tb.to_string("test");
+  EXPECT_NE(s.find("user 50.0%"), std::string::npos);
+  EXPECT_NE(s.find("OS 50.0%"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), util::SimError);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(85.06), "85.1%");
+  EXPECT_EQ(with_commas(34841), "34,841");
+  EXPECT_EQ(with_commas(7), "7");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace compass::stats

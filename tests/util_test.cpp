@@ -1,0 +1,162 @@
+// Unit tests for util: RNG determinism/distribution, Zipf, flags, checks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace compass::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformityRoughly) {
+  Rng r(11);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(10)];
+  for (const auto& [_, c] : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, NurandWithinBounds) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.nurand(255, 1, 3000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  Rng r(17);
+  Zipf z(100, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[z.next(r)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng r(19);
+  Zipf z(10, 0.0);
+  std::map<std::size_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[z.next(r)];
+  for (const auto& [_, c] : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Zipf, AllRanksReachable) {
+  Rng r(23);
+  Zipf z(5, 0.5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(z.next(r));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    COMPASS_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { COMPASS_CHECK(2 + 2 == 4); }
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "hello"};
+  Flags f(4, argv, {{"alpha", "0"}, {"beta", "x"}});
+  EXPECT_EQ(f.get_int("alpha"), 3);
+  EXPECT_EQ(f.get("beta"), "hello");
+}
+
+TEST(Flags, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv, {{"gamma", "2.5"}});
+  EXPECT_DOUBLE_EQ(f.get_double("gamma"), 2.5);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags f(2, argv, {{"verbose", "false"}});
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(Flags(2, argv, {}), ConfigError);
+}
+
+TEST(Flags, BadIntThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Flags f(2, argv, {{"n", "0"}});
+  EXPECT_THROW(f.get_int("n"), ConfigError);
+}
+
+TEST(Flags, HelpRequested) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f(2, argv, {{"n", "0"}});
+  EXPECT_TRUE(f.help_requested());
+  EXPECT_NE(f.usage("prog").find("--n"), std::string::npos);
+}
+
+TEST(Flags, PositionalCollected) {
+  const char* argv[] = {"prog", "one", "two"};
+  Flags f(3, argv, {});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "one");
+}
+
+}  // namespace
+}  // namespace compass::util

@@ -1,0 +1,540 @@
+// Workload tests: the mini database engine (buffer pool, B+-tree, heap
+// table, WAL, TPCC/TPCD drivers), the web stack (fileset, trace, server +
+// player), and the scientific kernels — both simulating and native.
+#include <gtest/gtest.h>
+
+#include "os/fs.h"
+#include "sim/native_env.h"
+#include "sim/simulation.h"
+#include "workloads/db/tpcc.h"
+#include "workloads/db/tpcd.h"
+#include "workloads/sci/kernels.h"
+#include "workloads/web/server.h"
+#include "workloads/web/trace.h"
+
+namespace compass::workloads {
+namespace {
+
+using sim::BackendModel;
+using sim::Proc;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+SimulationConfig small_sim(int cpus = 2) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = cpus;
+  cfg.model = BackendModel::kSimple;
+  cfg.user_heap_bytes = 8ull << 20;
+  return cfg;
+}
+
+// --------------------------------------------------------------- usync
+
+TEST(Usync, LatchMutualExclusion) {
+  Simulation sim(small_sim(2));
+  // Two processes increment a shared counter under a latch; no lost
+  // updates allowed.
+  constexpr int kIters = 50;
+  auto latch = std::make_shared<ULatch>();
+  std::atomic<std::int64_t> final_value{-1};
+  sim.spawn("init", [&](Proc& p) {
+    const auto segid = p.shmget(1, 4096);
+    const auto base = static_cast<Addr>(p.shmat(segid));
+    latch->init(p, base);
+    p.write<std::int64_t>(base + 8, 0);
+    p.sem_init(1, 0);
+    p.sem_v(1);
+    p.sem_v(1);
+    // Wait for both workers.
+    p.sem_init(2, 0);
+    p.sem_p(2);
+    p.sem_p(2);
+    final_value = p.read<std::int64_t>(base + 8);
+  });
+  for (int w = 0; w < 2; ++w) {
+    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+      const auto segid = p.shmget(1, 4096);
+      const auto base = static_cast<Addr>(p.shmat(segid));
+      p.sem_init(1, 0);
+      p.sem_p(1);
+      for (int i = 0; i < kIters; ++i) {
+        latch->lock(p);
+        const auto v = p.read<std::int64_t>(base + 8);
+        p.ctx().compute(100);  // widen the race window
+        p.write<std::int64_t>(base + 8, v + 1);
+        latch->unlock(p);
+      }
+      p.sem_init(2, 0);
+      p.sem_v(2);
+      (void)w;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(final_value.load(), 2 * kIters);
+}
+
+TEST(Usync, BarrierRounds) {
+  Simulation sim(small_sim(2));
+  constexpr int kProcs = 3;
+  constexpr int kRounds = 5;
+  auto barrier = std::make_shared<UBarrier>();
+  // Shared round counter array; each round, every proc writes its slot,
+  // then after the barrier everyone checks all slots.
+  std::atomic<int> violations{0};
+  sim.spawn("init", [&](Proc& p) {
+    const auto segid = p.shmget(2, 4096);
+    const auto base = static_cast<Addr>(p.shmat(segid));
+    barrier->init(p, kProcs, base);
+    for (int i = 0; i < kProcs; ++i)
+      p.write<std::int64_t>(base + 256 + static_cast<Addr>(i) * 8, -1);
+    p.sem_init(9, 0);
+    for (int i = 0; i < kProcs; ++i) p.sem_v(9);
+  });
+  for (int w = 0; w < kProcs; ++w) {
+    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+      const auto segid = p.shmget(2, 4096);
+      const auto base = static_cast<Addr>(p.shmat(segid));
+      p.sem_init(9, 0);
+      p.sem_p(9);
+      for (int round = 0; round < kRounds; ++round) {
+        p.write<std::int64_t>(base + 256 + static_cast<Addr>(w) * 8, round);
+        barrier->arrive(p);
+        for (int i = 0; i < kProcs; ++i) {
+          const auto v = p.read<std::int64_t>(base + 256 + static_cast<Addr>(i) * 8);
+          if (v < round) ++violations;
+        }
+        barrier->arrive(p);
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// ------------------------------------------------------------ db engine
+
+TEST(DbEngine, BTreeInsertLookupScanSim) {
+  Simulation sim(small_sim(1));
+  bool ok_lookups = true;
+  std::uint64_t scanned = 0;
+  sim.spawn("db", [&](Proc& p) {
+    db::DbConfig dbc;
+    dbc.pool_pages = 64;
+    db::BufferPool pool(dbc);
+    pool.register_file(1, "/db/idx");
+    pool.init(p);
+    db::BTree tree(pool, 1);
+    tree.create(p);
+    // Enough keys to force splits (fanout ≈ 254).
+    constexpr std::int64_t kN = 900;
+    for (std::int64_t k = 0; k < kN; ++k)
+      tree.insert(p, (k * 37) % kN, static_cast<std::uint64_t>(k) + 1);
+    for (std::int64_t k = 0; k < kN; k += 17) {
+      const auto v = tree.lookup(p, k);
+      if (!v.has_value()) ok_lookups = false;
+    }
+    if (tree.lookup(p, 100000).has_value()) ok_lookups = false;
+    std::int64_t prev = -1;
+    scanned = tree.scan(p, 0, kN, [&](std::int64_t k, std::uint64_t) {
+      if (k <= prev) ok_lookups = false;  // must be sorted
+      prev = k;
+    });
+    if (tree.size(p) != kN) ok_lookups = false;
+  });
+  sim.run();
+  EXPECT_TRUE(ok_lookups);
+  EXPECT_EQ(scanned, 900u);
+}
+
+TEST(DbEngine, TableAppendReadUpdate) {
+  Simulation sim(small_sim(1));
+  bool ok = true;
+  sim.spawn("db", [&](Proc& p) {
+    db::DbConfig dbc;
+    dbc.pool_pages = 32;
+    db::BufferPool pool(dbc);
+    pool.register_file(1, "/db/t");
+    pool.init(p);
+    db::Table t(pool, 1, 64);
+    t.create(p);
+    std::vector<db::Rid> rids;
+    for (int i = 0; i < 300; ++i) {
+      std::array<std::uint8_t, 64> rec{};
+      std::memcpy(rec.data(), &i, 4);
+      rids.push_back(t.append(p, rec));
+      if (t.rid_of(static_cast<std::uint64_t>(i)) != rids.back()) ok = false;
+    }
+    if (t.count(p) != 300) ok = false;
+    std::array<std::uint8_t, 64> out{};
+    t.read(p, rids[137], out);
+    int v = 0;
+    std::memcpy(&v, out.data(), 4);
+    if (v != 137) ok = false;
+    t.update(p, rids[137], [&](Addr rec) {
+      p.write<std::int32_t>(rec, 4242);
+    });
+    t.read(p, rids[137], out);
+    std::memcpy(&v, out.data(), 4);
+    if (v != 4242) ok = false;
+    // Scan visits everything once.
+    std::uint64_t n = t.for_each(p, [](db::Rid, Addr) {});
+    if (n != 300) ok = false;
+  });
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(DbEngine, BufferPoolEvictsAndRereads) {
+  SimulationConfig cfg = small_sim(1);
+  cfg.kernel.buffer_cache_buffers = 8;  // force kernel-cache evictions too
+  Simulation sim(cfg);
+  std::uint64_t misses = 0;
+  bool ok = true;
+  sim.spawn("db", [&](Proc& p) {
+    db::DbConfig dbc;
+    dbc.pool_pages = 4;  // tiny pool forces eviction
+    db::BufferPool pool(dbc);
+    pool.register_file(1, "/db/small");
+    pool.init(p);
+    // Write distinct data into 12 pages through the pool.
+    for (std::uint32_t pg = 1; pg <= 12; ++pg) {
+      const Addr f = pool.pin(p, {1, pg});
+      p.write<std::uint64_t>(f + 64, pg * 1111);
+      pool.unpin(p, {1, pg}, true);
+    }
+    // Read them all back (requires eviction + refetch).
+    for (std::uint32_t pg = 1; pg <= 12; ++pg) {
+      const Addr f = pool.pin(p, {1, pg});
+      if (p.read<std::uint64_t>(f + 64) != pg * 1111) ok = false;
+      pool.unpin(p, {1, pg}, false);
+    }
+    misses = pool.misses();
+  });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GT(misses, 12u);  // every page missed at least once
+  EXPECT_GT(sim.stats().counter_value("disk0.writes"), 0u);
+}
+
+TEST(DbEngine, TpccConsistencyAcrossWorkers) {
+  Simulation sim(small_sim(2));
+  db::TpccConfig tc;
+  tc.warehouses = 2;
+  tc.items = 120;
+  tc.customers_per_wh = 20;
+  tc.txns_per_worker = 12;
+  tc.db.pool_pages = 96;
+  auto tpcc = std::make_shared<db::Tpcc>(tc);
+  constexpr int kWorkers = 2;
+  std::array<db::Tpcc::WorkerResult, kWorkers> results;
+  std::atomic<std::int64_t> stock_ytd{-1}, ol_amount{-2}, wh_ytd{-3},
+      pay_total{0};
+  sim.spawn("coord", [&](Proc& p) {
+    tpcc->setup(p);
+    p.sem_init(5, 0);
+    for (int i = 0; i < kWorkers; ++i) p.sem_v(5);
+    p.sem_init(6, 0);
+    for (int i = 0; i < kWorkers; ++i) p.sem_p(6);
+    stock_ytd = tpcc->total_stock_ytd(p);
+    ol_amount = tpcc->total_orderline_amount(p);
+    wh_ytd = tpcc->total_warehouse_ytd(p);
+  });
+  for (int w = 0; w < kWorkers; ++w) {
+    sim.spawn("worker" + std::to_string(w), [&, w](Proc& p) {
+      p.sem_init(5, 0);
+      p.sem_p(5);
+      results[static_cast<std::size_t>(w)] = tpcc->worker(p, w);
+      p.sem_init(6, 0);
+      p.sem_v(6);
+    });
+  }
+  sim.run();
+  std::uint64_t new_orders = 0, payments = 0;
+  for (const auto& r : results) {
+    new_orders += r.new_orders;
+    payments += r.payments;
+  }
+  EXPECT_EQ(new_orders + payments,
+            static_cast<std::uint64_t>(kWorkers * tc.txns_per_worker));
+  // Invariants: stock ytd == order line totals; warehouse ytd == payments.
+  EXPECT_EQ(stock_ytd.load(), ol_amount.load());
+  EXPECT_GT(new_orders, 0u);
+  EXPECT_GT(payments, 0u);
+  EXPECT_GT(tpcc->wal().commits(), 0u);
+  EXPECT_GT(tpcc->wal().fsyncs(), 0u);
+  (void)pay_total;
+  EXPECT_GE(wh_ytd.load(), 0);
+}
+
+TEST(DbEngine, TpcdQ1MatchesAcrossAccessPaths) {
+  // Q1 via the buffer pool must equal Q1 via mmap, and both must equal a
+  // host-side reference computed from the generator stream.
+  db::TpcdConfig tc;
+  tc.lineitems = 800;
+  tc.db.pool_pages = 48;
+
+  // Host reference.
+  util::Rng rng(tc.seed);
+  db::Tpcd::Q1Result ref{};
+  for (std::uint64_t i = 0; i < tc.lineitems; ++i) {
+    db::LineItemRec rec{};
+    rec.orderkey = static_cast<std::int64_t>(i / 4);
+    rec.partkey = rng.next_in(0, 9999);
+    rec.quantity = rng.next_in(1, 50);
+    rec.extendedprice = rng.next_in(100, 100'000);
+    rec.discount_pct = rng.next_in(0, 10);
+    rec.tax_pct = rng.next_in(0, 8);
+    rec.shipdate = static_cast<std::int32_t>(rng.next_in(0, 2555));
+    rec.returnflag = static_cast<std::uint8_t>(rng.next_in(0, 1));
+    rec.linestatus = static_cast<std::uint8_t>(rng.next_in(0, 1));
+    auto& g = ref[static_cast<std::size_t>(rec.returnflag * 2 + rec.linestatus)];
+    ++g.count;
+    g.sum_qty += rec.quantity;
+    g.sum_price += rec.extendedprice;
+    g.sum_disc_price += rec.extendedprice * (100 - rec.discount_pct) / 100;
+  }
+
+  Simulation sim(small_sim(2));
+  auto tpcd = std::make_shared<db::Tpcd>(tc);
+  db::Tpcd::Q1Result via_pool{}, via_mmap{};
+  sim.spawn("dss", [&](Proc& p) {
+    tpcd->setup(p);
+    via_pool = tpcd->q1(p);
+    via_mmap = tpcd->q1_mmap(p);
+  });
+  sim.run();
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(via_pool[g].count, ref[g].count) << "group " << g;
+    EXPECT_EQ(via_pool[g].sum_qty, ref[g].sum_qty);
+    EXPECT_EQ(via_pool[g].sum_price, ref[g].sum_price);
+    EXPECT_EQ(via_pool[g].sum_disc_price, ref[g].sum_disc_price);
+    EXPECT_EQ(via_mmap[g].count, ref[g].count);
+    EXPECT_EQ(via_mmap[g].sum_disc_price, ref[g].sum_disc_price);
+  }
+}
+
+TEST(DbEngine, TpcdPartitionedQ6SumsToWhole) {
+  db::TpcdConfig tc;
+  tc.lineitems = 600;
+  tc.db.pool_pages = 64;
+  Simulation sim(small_sim(2));
+  auto tpcd = std::make_shared<db::Tpcd>(tc);
+  std::atomic<std::int64_t> whole{0}, parts{0};
+  sim.spawn("coord", [&](Proc& p) {
+    tpcd->setup(p);
+    whole = tpcd->q6(p);
+    p.sem_init(3, 0);
+    p.sem_v(3);
+    p.sem_v(3);
+  });
+  std::array<std::int64_t, 2> partial{};
+  for (int w = 0; w < 2; ++w) {
+    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+      p.sem_init(3, 0);
+      p.sem_p(3);
+      partial[static_cast<std::size_t>(w)] = tpcd->q6(p, w, 2);
+    });
+  }
+  sim.run();
+  parts = partial[0] + partial[1];
+  EXPECT_EQ(whole.load(), parts.load());
+  EXPECT_NE(whole.load(), 0);
+}
+
+TEST(DbEngine, NativeMatchesSimulatedResults) {
+  // The same TPCD Q1 on the native environment must produce identical
+  // query results (execution-driven correctness independent of timing).
+  db::TpcdConfig tc;
+  tc.lineitems = 300;
+  tc.db.pool_pages = 32;
+
+  db::Tpcd::Q1Result sim_result{};
+  {
+    Simulation s(small_sim(1));
+    auto tpcd = std::make_shared<db::Tpcd>(tc);
+    s.spawn("dss", [&](Proc& p) {
+      tpcd->setup(p);
+      sim_result = tpcd->q1(p);
+    });
+    s.run();
+  }
+  db::Tpcd::Q1Result native_result{};
+  {
+    sim::NativeEnv env;
+    db::Tpcd tpcd(tc);
+    Proc& p = env.add_process("raw");
+    tpcd.setup(p);
+    native_result = tpcd.q1(p);
+  }
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(sim_result[g].count, native_result[g].count);
+    EXPECT_EQ(sim_result[g].sum_disc_price, native_result[g].sum_disc_price);
+  }
+}
+
+// ------------------------------------------------------------------ web
+
+TEST(Web, FilesetPopulatesAndPicks) {
+  web::FilesetConfig fc;
+  fc.dirs = 2;
+  fc.files_per_class = 2;
+  web::Fileset fs(fc);
+  EXPECT_EQ(fs.num_files(), 2 * 4 * 2);
+  // Class mix: class 1 must be picked most often.
+  util::Rng rng(1);
+  std::array<int, 4> per_class{};
+  for (int i = 0; i < 20000; ++i) {
+    const std::string& path = fs.pick(rng);
+    const auto pos = path.find("class");
+    per_class[static_cast<std::size_t>(path[pos + 5] - '0')]++;
+  }
+  EXPECT_GT(per_class[1], per_class[0]);
+  EXPECT_GT(per_class[0], per_class[2]);
+  EXPECT_GT(per_class[2], per_class[3]);
+}
+
+TEST(Web, TraceSerializeParseRoundTrip) {
+  web::FilesetConfig fc;
+  web::Fileset fs(fc);
+  const web::Trace t = web::Trace::generate(fs, 20, 10'000, 99);
+  ASSERT_EQ(t.entries.size(), 20u);
+  const web::Trace t2 = web::Trace::parse(t.serialize());
+  ASSERT_EQ(t2.entries.size(), t.entries.size());
+  for (std::size_t i = 0; i < t.entries.size(); ++i) {
+    EXPECT_EQ(t.entries[i].start, t2.entries[i].start);
+    EXPECT_EQ(t.entries[i].path, t2.entries[i].path);
+  }
+}
+
+TEST(Web, ServerServesTraceEndToEnd) {
+  SimulationConfig cfg = small_sim(2);
+  Simulation sim(cfg);
+  web::FilesetConfig fc;
+  fc.dirs = 2;
+  fc.files_per_class = 2;
+  fc.size_scale = 0.05;
+  web::Fileset fileset(fc);
+  fileset.populate(sim.kernel().fs());
+
+  const web::Trace trace = web::Trace::generate(fileset, 10, 100'000, 5);
+  // Expected bytes: sum of file sizes + headers.
+  std::uint64_t expected_body = 0;
+  for (const auto& e : trace.entries)
+    expected_body += sim.kernel().fs().file_size(e.path);
+
+  web::TracePlayerConfig pc;
+  pc.concurrency = 3;
+  pc.num_servers = 1;
+  web::TracePlayer player(sim, trace, pc);
+  player.install();
+
+  web::WebServerConfig wc;
+  web::WebServerResult result;
+  sim.spawn("httpd", [&](Proc& p) {
+    web::WebServer server(wc);
+    result = server.run(p);
+  });
+  sim.run();
+  EXPECT_EQ(player.completed(), 10u);
+  EXPECT_EQ(result.requests, 11u);  // 10 + quit
+  EXPECT_GE(player.response_bytes(), expected_body);
+  EXPECT_GT(sim.breakdown().shares().os_total, 30.0);  // web is OS-heavy
+}
+
+TEST(Web, PreforkServersShareThePort) {
+  SimulationConfig cfg = small_sim(2);
+  Simulation sim(cfg);
+  web::FilesetConfig fc;
+  fc.dirs = 1;
+  fc.files_per_class = 1;
+  fc.size_scale = 0.05;
+  web::Fileset fileset(fc);
+  fileset.populate(sim.kernel().fs());
+  const web::Trace trace = web::Trace::generate(fileset, 8, 50'000, 6);
+
+  web::TracePlayerConfig pc;
+  pc.concurrency = 2;
+  pc.num_servers = 2;
+  web::TracePlayer player(sim, trace, pc);
+  player.install();
+
+  std::array<web::WebServerResult, 2> results;
+  for (int s = 0; s < 2; ++s) {
+    sim.spawn("httpd" + std::to_string(s), [&, s](Proc& p) {
+      web::WebServer server(web::WebServerConfig{});
+      results[static_cast<std::size_t>(s)] = server.run(p);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(player.completed(), 8u);
+  // Round-robin SYN delivery: both servers served something.
+  EXPECT_GT(results[0].requests, 0u);
+  EXPECT_GT(results[1].requests, 0u);
+  EXPECT_EQ(results[0].requests + results[1].requests, 8u + 2u);
+}
+
+// ------------------------------------------------------------------ sci
+
+TEST(Sci, MatmulMatchesReference) {
+  sci::MatmulConfig mc;
+  mc.n = 24;
+  mc.block = 8;
+  mc.nprocs = 2;
+  Simulation sim(small_sim(2));
+  auto mm = std::make_shared<sci::ParallelMatmul>(mc);
+  std::atomic<std::int64_t> checksum{0};
+  sim.spawn("coord", [&](Proc& p) {
+    mm->setup(p);
+    p.sem_init(4, 0);
+    p.sem_v(4);
+    p.sem_v(4);
+    p.sem_init(8, 0);
+    p.sem_p(8);
+    p.sem_p(8);
+    checksum = mm->checksum(p);
+  });
+  for (int w = 0; w < 2; ++w) {
+    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+      p.sem_init(4, 0);
+      p.sem_p(4);
+      mm->worker(p, w);
+      p.sem_init(8, 0);
+      p.sem_v(8);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(checksum.load(), mm->expected_checksum());
+  // Scientific code is user-dominated (the paper's contrast).
+  EXPECT_GT(sim.breakdown().shares().user, 60.0);
+}
+
+TEST(Sci, ReduceSumsCorrectly) {
+  sci::ReduceConfig rc;
+  rc.elements = 2000;
+  rc.nprocs = 3;
+  Simulation sim(small_sim(2));
+  auto red = std::make_shared<sci::ParallelReduce>(rc);
+  std::atomic<std::int64_t> result{0};
+  sim.spawn("coord", [&](Proc& p) {
+    red->setup(p);
+    p.sem_init(4, 0);
+    for (int i = 0; i < rc.nprocs; ++i) p.sem_v(4);
+    p.sem_init(8, 0);
+    for (int i = 0; i < rc.nprocs; ++i) p.sem_p(8);
+    result = red->result(p);
+  });
+  for (int w = 0; w < rc.nprocs; ++w) {
+    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+      p.sem_init(4, 0);
+      p.sem_p(4);
+      red->worker(p, w);
+      p.sem_init(8, 0);
+      p.sem_v(8);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(result.load(), red->expected());
+}
+
+}  // namespace
+}  // namespace compass::workloads
