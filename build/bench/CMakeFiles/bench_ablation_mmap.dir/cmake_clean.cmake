@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mmap.dir/bench_ablation_mmap.cpp.o"
+  "CMakeFiles/bench_ablation_mmap.dir/bench_ablation_mmap.cpp.o.d"
+  "bench_ablation_mmap"
+  "bench_ablation_mmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

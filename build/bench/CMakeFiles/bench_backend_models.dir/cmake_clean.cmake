@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_models.dir/bench_backend_models.cpp.o"
+  "CMakeFiles/bench_backend_models.dir/bench_backend_models.cpp.o.d"
+  "bench_backend_models"
+  "bench_backend_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_port.dir/bench_event_port.cpp.o"
+  "CMakeFiles/bench_event_port.dir/bench_event_port.cpp.o.d"
+  "bench_event_port"
+  "bench_event_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_os_server.dir/bench_os_server.cpp.o"
+  "CMakeFiles/bench_os_server.dir/bench_os_server.cpp.o.d"
+  "bench_os_server"
+  "bench_os_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_os_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_os_profile.cpp" "bench/CMakeFiles/bench_table1_os_profile.dir/bench_table1_os_profile.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_os_profile.dir/bench_table1_os_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/compass_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/compass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/compass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/compass_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/compass_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

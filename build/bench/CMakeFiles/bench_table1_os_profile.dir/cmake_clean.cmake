@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_os_profile.dir/bench_table1_os_profile.cpp.o"
+  "CMakeFiles/bench_table1_os_profile.dir/bench_table1_os_profile.cpp.o.d"
+  "bench_table1_os_profile"
+  "bench_table1_os_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_os_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_slowdown_uni.dir/bench_table2_slowdown_uni.cpp.o"
+  "CMakeFiles/bench_table2_slowdown_uni.dir/bench_table2_slowdown_uni.cpp.o.d"
+  "bench_table2_slowdown_uni"
+  "bench_table2_slowdown_uni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_slowdown_uni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

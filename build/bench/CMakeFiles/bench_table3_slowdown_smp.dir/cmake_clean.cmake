@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_slowdown_smp.dir/bench_table3_slowdown_smp.cpp.o"
+  "CMakeFiles/bench_table3_slowdown_smp.dir/bench_table3_slowdown_smp.cpp.o.d"
+  "bench_table3_slowdown_smp"
+  "bench_table3_slowdown_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_slowdown_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

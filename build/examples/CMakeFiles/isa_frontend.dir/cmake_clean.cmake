@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_frontend.dir/isa_frontend.cpp.o"
+  "CMakeFiles/isa_frontend.dir/isa_frontend.cpp.o.d"
+  "isa_frontend"
+  "isa_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_placement.dir/numa_placement.cpp.o"
+  "CMakeFiles/numa_placement.dir/numa_placement.cpp.o.d"
+  "numa_placement"
+  "numa_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_server.dir/oltp_server.cpp.o"
+  "CMakeFiles/oltp_server.dir/oltp_server.cpp.o.d"
+  "oltp_server"
+  "oltp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sci_kernel.cpp" "examples/CMakeFiles/sci_kernel.dir/sci_kernel.cpp.o" "gcc" "examples/CMakeFiles/sci_kernel.dir/sci_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/compass_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/compass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/compass_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/compass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/compass_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/compass_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

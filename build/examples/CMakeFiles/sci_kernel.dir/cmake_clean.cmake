@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_kernel.dir/sci_kernel.cpp.o"
+  "CMakeFiles/sci_kernel.dir/sci_kernel.cpp.o.d"
+  "sci_kernel"
+  "sci_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

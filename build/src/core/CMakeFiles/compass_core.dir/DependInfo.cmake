@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/compass_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/compass_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/communicator.cpp" "src/core/CMakeFiles/compass_core.dir/communicator.cpp.o" "gcc" "src/core/CMakeFiles/compass_core.dir/communicator.cpp.o.d"
+  "/root/repo/src/core/event_port.cpp" "src/core/CMakeFiles/compass_core.dir/event_port.cpp.o" "gcc" "src/core/CMakeFiles/compass_core.dir/event_port.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/compass_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/compass_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/proc_sched.cpp" "src/core/CMakeFiles/compass_core.dir/proc_sched.cpp.o" "gcc" "src/core/CMakeFiles/compass_core.dir/proc_sched.cpp.o.d"
+  "/root/repo/src/core/sim_context.cpp" "src/core/CMakeFiles/compass_core.dir/sim_context.cpp.o" "gcc" "src/core/CMakeFiles/compass_core.dir/sim_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_core.dir/backend.cpp.o"
+  "CMakeFiles/compass_core.dir/backend.cpp.o.d"
+  "CMakeFiles/compass_core.dir/communicator.cpp.o"
+  "CMakeFiles/compass_core.dir/communicator.cpp.o.d"
+  "CMakeFiles/compass_core.dir/event_port.cpp.o"
+  "CMakeFiles/compass_core.dir/event_port.cpp.o.d"
+  "CMakeFiles/compass_core.dir/frontend.cpp.o"
+  "CMakeFiles/compass_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/compass_core.dir/proc_sched.cpp.o"
+  "CMakeFiles/compass_core.dir/proc_sched.cpp.o.d"
+  "CMakeFiles/compass_core.dir/sim_context.cpp.o"
+  "CMakeFiles/compass_core.dir/sim_context.cpp.o.d"
+  "libcompass_core.a"
+  "libcompass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/device_hub.cpp" "src/dev/CMakeFiles/compass_dev.dir/device_hub.cpp.o" "gcc" "src/dev/CMakeFiles/compass_dev.dir/device_hub.cpp.o.d"
+  "/root/repo/src/dev/disk.cpp" "src/dev/CMakeFiles/compass_dev.dir/disk.cpp.o" "gcc" "src/dev/CMakeFiles/compass_dev.dir/disk.cpp.o.d"
+  "/root/repo/src/dev/ethernet.cpp" "src/dev/CMakeFiles/compass_dev.dir/ethernet.cpp.o" "gcc" "src/dev/CMakeFiles/compass_dev.dir/ethernet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_dev.dir/device_hub.cpp.o"
+  "CMakeFiles/compass_dev.dir/device_hub.cpp.o.d"
+  "CMakeFiles/compass_dev.dir/disk.cpp.o"
+  "CMakeFiles/compass_dev.dir/disk.cpp.o.d"
+  "CMakeFiles/compass_dev.dir/ethernet.cpp.o"
+  "CMakeFiles/compass_dev.dir/ethernet.cpp.o.d"
+  "libcompass_dev.a"
+  "libcompass_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/compass_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/compass_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/interpreter.cpp" "src/isa/CMakeFiles/compass_isa.dir/interpreter.cpp.o" "gcc" "src/isa/CMakeFiles/compass_isa.dir/interpreter.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/compass_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/compass_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/compass_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

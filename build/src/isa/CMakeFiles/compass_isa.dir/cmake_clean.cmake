@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_isa.dir/assembler.cpp.o"
+  "CMakeFiles/compass_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/compass_isa.dir/interpreter.cpp.o"
+  "CMakeFiles/compass_isa.dir/interpreter.cpp.o.d"
+  "CMakeFiles/compass_isa.dir/program.cpp.o"
+  "CMakeFiles/compass_isa.dir/program.cpp.o.d"
+  "libcompass_isa.a"
+  "libcompass_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

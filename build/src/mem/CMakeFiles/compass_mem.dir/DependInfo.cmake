@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/arena.cpp" "src/mem/CMakeFiles/compass_mem.dir/arena.cpp.o" "gcc" "src/mem/CMakeFiles/compass_mem.dir/arena.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/compass_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/compass_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/machine_numa.cpp" "src/mem/CMakeFiles/compass_mem.dir/machine_numa.cpp.o" "gcc" "src/mem/CMakeFiles/compass_mem.dir/machine_numa.cpp.o.d"
+  "/root/repo/src/mem/machine_simple.cpp" "src/mem/CMakeFiles/compass_mem.dir/machine_simple.cpp.o" "gcc" "src/mem/CMakeFiles/compass_mem.dir/machine_simple.cpp.o.d"
+  "/root/repo/src/mem/vm.cpp" "src/mem/CMakeFiles/compass_mem.dir/vm.cpp.o" "gcc" "src/mem/CMakeFiles/compass_mem.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_mem.dir/arena.cpp.o"
+  "CMakeFiles/compass_mem.dir/arena.cpp.o.d"
+  "CMakeFiles/compass_mem.dir/cache.cpp.o"
+  "CMakeFiles/compass_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/compass_mem.dir/machine_numa.cpp.o"
+  "CMakeFiles/compass_mem.dir/machine_numa.cpp.o.d"
+  "CMakeFiles/compass_mem.dir/machine_simple.cpp.o"
+  "CMakeFiles/compass_mem.dir/machine_simple.cpp.o.d"
+  "CMakeFiles/compass_mem.dir/vm.cpp.o"
+  "CMakeFiles/compass_mem.dir/vm.cpp.o.d"
+  "libcompass_mem.a"
+  "libcompass_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/backend_os.cpp" "src/os/CMakeFiles/compass_os.dir/backend_os.cpp.o" "gcc" "src/os/CMakeFiles/compass_os.dir/backend_os.cpp.o.d"
+  "/root/repo/src/os/fs.cpp" "src/os/CMakeFiles/compass_os.dir/fs.cpp.o" "gcc" "src/os/CMakeFiles/compass_os.dir/fs.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/compass_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/compass_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/ksync.cpp" "src/os/CMakeFiles/compass_os.dir/ksync.cpp.o" "gcc" "src/os/CMakeFiles/compass_os.dir/ksync.cpp.o.d"
+  "/root/repo/src/os/os_server.cpp" "src/os/CMakeFiles/compass_os.dir/os_server.cpp.o" "gcc" "src/os/CMakeFiles/compass_os.dir/os_server.cpp.o.d"
+  "/root/repo/src/os/tcpip.cpp" "src/os/CMakeFiles/compass_os.dir/tcpip.cpp.o" "gcc" "src/os/CMakeFiles/compass_os.dir/tcpip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/compass_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/compass_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

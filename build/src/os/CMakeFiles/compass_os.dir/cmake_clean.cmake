@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_os.dir/backend_os.cpp.o"
+  "CMakeFiles/compass_os.dir/backend_os.cpp.o.d"
+  "CMakeFiles/compass_os.dir/fs.cpp.o"
+  "CMakeFiles/compass_os.dir/fs.cpp.o.d"
+  "CMakeFiles/compass_os.dir/kernel.cpp.o"
+  "CMakeFiles/compass_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/compass_os.dir/ksync.cpp.o"
+  "CMakeFiles/compass_os.dir/ksync.cpp.o.d"
+  "CMakeFiles/compass_os.dir/os_server.cpp.o"
+  "CMakeFiles/compass_os.dir/os_server.cpp.o.d"
+  "CMakeFiles/compass_os.dir/tcpip.cpp.o"
+  "CMakeFiles/compass_os.dir/tcpip.cpp.o.d"
+  "libcompass_os.a"
+  "libcompass_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

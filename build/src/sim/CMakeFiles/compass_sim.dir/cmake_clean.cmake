@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_sim.dir/native_env.cpp.o"
+  "CMakeFiles/compass_sim.dir/native_env.cpp.o.d"
+  "CMakeFiles/compass_sim.dir/proc.cpp.o"
+  "CMakeFiles/compass_sim.dir/proc.cpp.o.d"
+  "CMakeFiles/compass_sim.dir/simulation.cpp.o"
+  "CMakeFiles/compass_sim.dir/simulation.cpp.o.d"
+  "libcompass_sim.a"
+  "libcompass_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

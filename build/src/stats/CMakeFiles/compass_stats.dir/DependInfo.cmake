@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/counters.cpp" "src/stats/CMakeFiles/compass_stats.dir/counters.cpp.o" "gcc" "src/stats/CMakeFiles/compass_stats.dir/counters.cpp.o.d"
+  "/root/repo/src/stats/report.cpp" "src/stats/CMakeFiles/compass_stats.dir/report.cpp.o" "gcc" "src/stats/CMakeFiles/compass_stats.dir/report.cpp.o.d"
+  "/root/repo/src/stats/time_breakdown.cpp" "src/stats/CMakeFiles/compass_stats.dir/time_breakdown.cpp.o" "gcc" "src/stats/CMakeFiles/compass_stats.dir/time_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_stats.dir/counters.cpp.o"
+  "CMakeFiles/compass_stats.dir/counters.cpp.o.d"
+  "CMakeFiles/compass_stats.dir/report.cpp.o"
+  "CMakeFiles/compass_stats.dir/report.cpp.o.d"
+  "CMakeFiles/compass_stats.dir/time_breakdown.cpp.o"
+  "CMakeFiles/compass_stats.dir/time_breakdown.cpp.o.d"
+  "libcompass_stats.a"
+  "libcompass_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_util.dir/flags.cpp.o"
+  "CMakeFiles/compass_util.dir/flags.cpp.o.d"
+  "CMakeFiles/compass_util.dir/rng.cpp.o"
+  "CMakeFiles/compass_util.dir/rng.cpp.o.d"
+  "libcompass_util.a"
+  "libcompass_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

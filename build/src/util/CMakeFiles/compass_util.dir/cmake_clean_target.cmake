@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcompass_util.a"
+)

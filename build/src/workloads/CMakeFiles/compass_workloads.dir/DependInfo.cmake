@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/db/btree.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/db/btree.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/db/btree.cpp.o.d"
+  "/root/repo/src/workloads/db/buffer_pool.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/db/buffer_pool.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/db/buffer_pool.cpp.o.d"
+  "/root/repo/src/workloads/db/table.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/db/table.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/db/table.cpp.o.d"
+  "/root/repo/src/workloads/db/tpcc.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/db/tpcc.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/db/tpcc.cpp.o.d"
+  "/root/repo/src/workloads/db/tpcd.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/db/tpcd.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/db/tpcd.cpp.o.d"
+  "/root/repo/src/workloads/db/wal.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/db/wal.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/db/wal.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/sci/kernels.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/sci/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/sci/kernels.cpp.o.d"
+  "/root/repo/src/workloads/web/fileset.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/web/fileset.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/web/fileset.cpp.o.d"
+  "/root/repo/src/workloads/web/server.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/web/server.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/web/server.cpp.o.d"
+  "/root/repo/src/workloads/web/trace.cpp" "src/workloads/CMakeFiles/compass_workloads.dir/web/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/compass_workloads.dir/web/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/compass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/compass_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/compass_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/compass_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/compass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/compass_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compass_workloads.dir/db/btree.cpp.o"
+  "CMakeFiles/compass_workloads.dir/db/btree.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/db/buffer_pool.cpp.o"
+  "CMakeFiles/compass_workloads.dir/db/buffer_pool.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/db/table.cpp.o"
+  "CMakeFiles/compass_workloads.dir/db/table.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/db/tpcc.cpp.o"
+  "CMakeFiles/compass_workloads.dir/db/tpcc.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/db/tpcd.cpp.o"
+  "CMakeFiles/compass_workloads.dir/db/tpcd.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/db/wal.cpp.o"
+  "CMakeFiles/compass_workloads.dir/db/wal.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/runner.cpp.o"
+  "CMakeFiles/compass_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/sci/kernels.cpp.o"
+  "CMakeFiles/compass_workloads.dir/sci/kernels.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/web/fileset.cpp.o"
+  "CMakeFiles/compass_workloads.dir/web/fileset.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/web/server.cpp.o"
+  "CMakeFiles/compass_workloads.dir/web/server.cpp.o.d"
+  "CMakeFiles/compass_workloads.dir/web/trace.cpp.o"
+  "CMakeFiles/compass_workloads.dir/web/trace.cpp.o.d"
+  "libcompass_workloads.a"
+  "libcompass_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compass_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_server_test.dir/os_server_test.cpp.o"
+  "CMakeFiles/os_server_test.dir/os_server_test.cpp.o.d"
+  "os_server_test"
+  "os_server_test.pdb"
+  "os_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
