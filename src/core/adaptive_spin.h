@@ -1,0 +1,101 @@
+// Adaptive spin-then-block waiting for the event-port fast path.
+//
+// At high event rates the frontend↔backend round trip is bounded by condvar
+// sleep/wake syscalls (two futex waits + two wakes per batch). When the host
+// has spare parallelism the other side's state change lands within a few
+// hundred nanoseconds, so a short spin avoids the sleep entirely; when it
+// does not, spinning only steals cycles from the thread we are waiting on.
+// AdaptiveSpin resizes its budget from observed outcomes: every wait that is
+// satisfied while spinning grows the budget, every wait that would have had
+// to block shrinks it, so sustained fast traffic converges to spinning and
+// idle or slow phases converge to immediate blocking.
+//
+// Two probe flavors, chosen per waiter via Policy:
+//
+//  * pause probes (cpu_relax) only make sense when another host CPU can
+//    make progress in parallel; on a single-CPU host nothing can change
+//    between consecutive probes, so the wait degenerates to one free probe
+//    followed by an immediate block.
+//  * yield probes (sched_yield) let the peer thread run even on a single
+//    CPU. They are reserved for the backend, whose awaited post is one
+//    scheduling hop away (the just-replied frontend posts right after it
+//    wakes). Frontends must NOT yield-probe: their reply is many dispatch
+//    rounds away under load, and a yielding waiter next to a busy peer
+//    forfeits the wakeup-preemption boost a condvar sleeper gets, turning
+//    microseconds into scheduling quanta.
+//
+// Single-owner: each instance is private to the one thread that waits on it
+// (the frontend thread for a port, the backend thread for the communicator).
+#pragma once
+
+#include <thread>
+
+namespace compass::core {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class AdaptiveSpin {
+ public:
+  struct Policy {
+    int min_probes;    ///< budget floor (>= 1; probe 0 is always free)
+    int max_probes;    ///< budget ceiling
+    int pause_probes;  ///< first N probes cpu_relax (host-parallel only)
+    bool yield;        ///< later probes may sched_yield; else stop early
+  };
+
+  /// Frontend reply wait: pure pause-spinning, collapses to a single probe
+  /// on a single-CPU host.
+  static constexpr Policy frontend_policy() {
+    return Policy{1, 512, 512, false};
+  }
+  /// Backend all-pending wait: short pause phase, then bounded yielding.
+  static constexpr Policy backend_policy() {
+    return Policy{4, 64, 16, true};
+  }
+
+  explicit AdaptiveSpin(Policy policy) : policy_(policy), budget_(policy.min_probes) {}
+
+  /// True when the host has more than one CPU, i.e. pause-probing can
+  /// overlap with the peer thread actually running.
+  static bool host_parallel() {
+    static const bool parallel = std::thread::hardware_concurrency() > 1;
+    return parallel;
+  }
+
+  /// Probe `pred` up to the current budget. Returns true if `pred` held
+  /// before the budget ran out (the caller skips blocking); false means the
+  /// caller should block on its condvar. The budget adapts on each outcome.
+  template <typename Pred>
+  bool wait(Pred&& pred) {
+    const int pauses = host_parallel() ? policy_.pause_probes : 0;
+    for (int i = 0; i < budget_; ++i) {
+      if (pred()) {
+        budget_ = budget_ < policy_.max_probes ? budget_ * 2 : policy_.max_probes;
+        return true;
+      }
+      if (i < pauses) {
+        cpu_relax();
+      } else if (policy_.yield) {
+        std::this_thread::yield();
+      } else {
+        break;  // nothing can change without parallelism or a yield
+      }
+    }
+    budget_ = budget_ > policy_.min_probes ? budget_ / 2 : policy_.min_probes;
+    return false;
+  }
+
+ private:
+  Policy policy_;
+  int budget_;
+};
+
+}  // namespace compass::core

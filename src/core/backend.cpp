@@ -108,6 +108,9 @@ void Backend::rebuild_running() {
     if (s == RunState::kRunning || s == RunState::kStarting)
       running_.push_back(static_cast<ProcId>(i));
   }
+  // Re-declare the active set to the pending-min index so wait_all_pending
+  // and pick_min answer from the index instead of scanning ports.
+  comm_.set_running(running_);
   running_dirty_ = false;
 }
 

@@ -1,5 +1,7 @@
 #include "core/communicator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "util/check.h"
@@ -22,40 +24,66 @@ const CpuState& Communicator::cpu_state(CpuId cpu) const {
 }
 
 EventPort& Communicator::create_port(ProcId proc) {
+  COMPASS_CHECK_MSG(proc >= 0, "bad proc id " << proc);
   std::lock_guard lock(ports_mu_);
-  auto [it, inserted] =
-      ports_.emplace(proc, std::make_unique<EventPort>(proc, *this));
-  COMPASS_CHECK_MSG(inserted, "event port for proc " << proc << " already exists");
-  return *it->second;
+  const auto idx = static_cast<std::size_t>(proc);
+  if (idx >= ports_.size()) ports_.resize(idx + 1);
+  COMPASS_CHECK_MSG(ports_[idx] == nullptr,
+                    "event port for proc " << proc << " already exists");
+  ports_[idx] = std::make_unique<EventPort>(proc, *this);
+  index_.add_slot(proc);
+  return *ports_[idx];
 }
 
 EventPort& Communicator::port(ProcId proc) {
   std::lock_guard lock(ports_mu_);
-  const auto it = ports_.find(proc);
-  COMPASS_CHECK_MSG(it != ports_.end(), "no event port for proc " << proc);
-  return *it->second;
+  const auto idx = static_cast<std::size_t>(proc);
+  COMPASS_CHECK_MSG(proc >= 0 && idx < ports_.size() && ports_[idx] != nullptr,
+                    "no event port for proc " << proc);
+  return *ports_[idx];
 }
 
 bool Communicator::has_port(ProcId proc) const {
   std::lock_guard lock(ports_mu_);
-  return ports_.contains(proc);
+  const auto idx = static_cast<std::size_t>(proc);
+  return proc >= 0 && idx < ports_.size() && ports_[idx] != nullptr;
+}
+
+void Communicator::set_running(std::span<const ProcId> running) {
+  active_.assign(running.begin(), running.end());
+  index_.set_active(running);
+}
+
+void Communicator::sync_running(std::span<const ProcId> running) {
+  if (active_.size() == running.size() &&
+      std::equal(active_.begin(), active_.end(), running.begin()))
+    return;
+  set_running(running);
 }
 
 void Communicator::wait_all_pending(std::span<const ProcId> running) {
   if (running.empty()) return;
-  auto all_pending = [&] {
-    for (const ProcId p : running)
-      if (!port(p).has_pending()) return false;
-    return true;
-  };
-  if (all_pending()) return;
+  sync_running(running);
+  if (index_.all_active_pending()) return;
+
+  // Spin-then-block: with the throttle off, briefly probe the lock-free
+  // counters before paying a condvar sleep — at high event rates the missing
+  // post lands within the spin window. With the throttle on, spinning would
+  // hold a host-CPU permit the frontends need, so block immediately.
+  if (!throttle_.enabled() &&
+      backend_spin_.wait([this] { return index_.all_active_pending(); }))
+    return;
+
   // Release the host permit while the backend sleeps: on a 1-way host this
   // is what lets frontends make progress at all.
   throttle_.release();
   {
     std::unique_lock lock(backend_mu_);
+    backend_waiting_.store(true, std::memory_order_seq_cst);
     bool reported = false;
-    while (!backend_cv_.wait_for(lock, std::chrono::seconds(10), all_pending)) {
+    while (!backend_cv_.wait_for(lock, std::chrono::seconds(10), [this] {
+      return index_.all_active_pending();
+    })) {
       if (reported || !stall_handler_) continue;
       reported = true;
       std::vector<ProcId> missing;
@@ -63,40 +91,68 @@ void Communicator::wait_all_pending(std::span<const ProcId> running) {
         if (!port(p).has_pending()) missing.push_back(p);
       stall_handler_(missing);
     }
+    backend_waiting_.store(false, std::memory_order_relaxed);
   }
   throttle_.acquire();
 }
 
 ProcId Communicator::pick_min(std::span<const ProcId> running) const {
   COMPASS_CHECK(!running.empty());
-  std::lock_guard lock(ports_mu_);
-  ProcId best = kNoProc;
-  Cycles best_time = std::numeric_limits<Cycles>::max();
-  for (const ProcId p : running) {
-    const auto it = ports_.find(p);
-    COMPASS_CHECK_MSG(it != ports_.end(), "pick_min: no port for proc " << p);
-    const EventPort& port = *it->second;
-    COMPASS_CHECK_MSG(port.has_pending(),
-                      "pick_min: proc " << p << " has no pending batch");
-    const Cycles t = port.pending_time();
-    if (best == kNoProc || t < best_time || (t == best_time && p < best)) {
-      best_time = t;
-      best = p;
+  const ProcId best = index_.min_proc();
+  COMPASS_CHECK_MSG(best != kNoProc,
+                    "pick_min: no running process has a pending batch");
+#ifndef NDEBUG
+  // Debug builds cross-check the index against the paper's literal scan.
+  {
+    ProcId scan_best = kNoProc;
+    Cycles scan_time = std::numeric_limits<Cycles>::max();
+    for (const ProcId p : running) {
+      const EventPort& prt = const_cast<Communicator*>(this)->port(p);
+      COMPASS_CHECK_MSG(prt.has_pending(),
+                        "pick_min: proc " << p << " has no pending batch");
+      const Cycles t = prt.pending_time();
+      if (scan_best == kNoProc || t < scan_time ||
+          (t == scan_time && p < scan_best)) {
+        scan_time = t;
+        scan_best = p;
+      }
     }
+    COMPASS_CHECK_MSG(best == scan_best,
+                      "pending-min index disagrees with linear scan: index "
+                          << best << " scan " << scan_best);
   }
+#endif
   return best;
 }
 
 void Communicator::close_all_ports() {
   std::lock_guard lock(ports_mu_);
-  for (auto& [_, port] : ports_) port->close();
+  for (auto& port : ports_)
+    if (port != nullptr) port->close();
 }
 
 void Communicator::notify_backend() {
-  // Taking the mutex orders this notification after the predicate data
-  // written by the caller, so the backend cannot miss the wakeup.
-  std::lock_guard lock(backend_mu_);
+  // Dekker handshake with wait_all_pending: the backend stores
+  // backend_waiting_ (seq_cst) before evaluating the wait predicate under
+  // backend_mu_; posters update the index counters (seq_cst) before loading
+  // backend_waiting_ here. At least one side observes the other, so a
+  // sleeping backend is always woken and an awake backend costs posters two
+  // atomic ops and no mutex. Taking backend_mu_ before notifying closes the
+  // predicate-check-then-sleep window.
+  if (!backend_waiting_.load(std::memory_order_seq_cst)) return;
+  { std::lock_guard lock(backend_mu_); }
   backend_cv_.notify_one();
 }
+
+void Communicator::on_port_post(ProcId proc, Cycles time) {
+  index_.on_post(proc, time);
+  notify_backend();
+}
+
+void Communicator::on_port_rebase(ProcId proc, Cycles time) {
+  index_.on_rebase(proc, time);
+}
+
+void Communicator::on_port_clear(ProcId proc) { index_.on_clear(proc); }
 
 }  // namespace compass::core

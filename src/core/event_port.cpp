@@ -7,6 +7,15 @@ namespace compass::core {
 EventPort::EventPort(ProcId proc, Communicator& comm)
     : proc_(proc), comm_(comm) {}
 
+Reply EventPort::consume_reply() {
+  // reply_ was written before the kReplied release store; the caller's
+  // acquire load of state_ makes it visible here. After the kEmpty store the
+  // backend will not touch the port again until the next post publishes.
+  const Reply r = reply_;
+  state_.store(State::kEmpty, std::memory_order_release);
+  return r;
+}
+
 Reply EventPort::post_and_wait(std::span<const Event> batch) {
   COMPASS_CHECK_MSG(!batch.empty(), "empty batch posted by proc " << proc_);
   for (std::size_t i = 1; i < batch.size(); ++i)
@@ -21,24 +30,43 @@ Reply EventPort::post_and_wait(std::span<const Event> batch) {
     }
     COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kEmpty,
                       "double post on event port of proc " << proc_);
-    batch_.assign(batch.begin(), batch.end());
+    posted_ = batch;  // zero-copy: we stay blocked while the backend reads it
     rebase_delta_ = 0;
-    pending_time_.store(batch_.front().time, std::memory_order_release);
+    pending_time_.store(batch.front().time, std::memory_order_release);
     state_.store(State::kPending, std::memory_order_release);
+    // Publish to the pending-min index while still holding mu_, so a
+    // concurrent close() can never interleave between the state store and
+    // the index update and leave the two views inconsistent.
+    comm_.on_port_post(proc_, batch.front().time);
   }
-  comm_.notify_backend();
 
-  // Give up the host-CPU permit while blocked waiting for the reply; this is
-  // the point where, on the paper's SMP host, the backend runs in parallel.
+  // Fast path: at high event rates the backend replies within the spin
+  // window and no thread pays a sleep/wake round trip. Never spin when the
+  // host throttle is on: spinning would hold a host-CPU permit that the
+  // backend needs to produce the very reply we are waiting for.
+  if (!comm_.throttle().enabled()) {
+    if (spin_.wait([this] {
+          return state_.load(std::memory_order_acquire) == State::kReplied;
+        }))
+      return consume_reply();
+  }
+
+  // Slow path: give up the host-CPU permit while blocked waiting for the
+  // reply; this is the point where, on the paper's SMP host, the backend
+  // runs in parallel.
   comm_.throttle().release();
   Reply r;
   {
     std::unique_lock lock(mu_);
+    frontend_blocked_.store(true, std::memory_order_seq_cst);
     cv_.wait(lock, [this] {
-      return state_.load(std::memory_order_relaxed) == State::kReplied;
+      // Acquire pairs with reply()'s kReplied store: reply() writes reply_
+      // without holding mu_, so the mutex alone does not order that write
+      // against consume_reply()'s read below.
+      return state_.load(std::memory_order_acquire) == State::kReplied;
     });
-    r = reply_;
-    state_.store(State::kEmpty, std::memory_order_release);
+    frontend_blocked_.store(false, std::memory_order_relaxed);
+    r = consume_reply();
   }
   comm_.throttle().acquire();
   return r;
@@ -49,35 +77,43 @@ std::span<const Event> EventPort::take_batch() {
                     "take_batch with no pending batch (proc " << proc_ << ")");
   std::span<const Event> result;
   if (rebase_delta_ != 0) {
-    rebased_.assign(batch_.begin(), batch_.end());
+    rebased_.assign(posted_.begin(), posted_.end());
     for (auto& e : rebased_) e.time += rebase_delta_;
     result = rebased_;
   } else {
-    result = batch_;
+    result = posted_;
   }
   state_.store(State::kTaken, std::memory_order_release);
+  comm_.on_port_clear(proc_);
   return result;
 }
 
 void EventPort::rebase_pending(Cycles new_base) {
   COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kPending,
                     "rebase with no pending batch (proc " << proc_ << ")");
-  const Cycles orig = batch_.front().time;
+  const Cycles orig = posted_.front().time;
   COMPASS_CHECK_MSG(new_base >= orig + rebase_delta_,
                     "rebase must move the batch forward in time");
   rebase_delta_ = new_base - orig;
   pending_time_.store(new_base, std::memory_order_release);
+  comm_.on_port_rebase(proc_, new_base);
 }
 
 void EventPort::reply(const Reply& r) {
   COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kTaken,
                     "reply to a batch that was not taken (proc " << proc_ << ")");
-  {
-    std::lock_guard lock(mu_);
-    reply_ = r;
-    state_.store(State::kReplied, std::memory_order_release);
+  reply_ = r;
+  state_.store(State::kReplied, std::memory_order_seq_cst);
+  // Dekker handshake with post_and_wait's slow path: the frontend stores
+  // frontend_blocked_ (seq_cst) before re-checking state_ under mu_; we
+  // store state_ (seq_cst) before loading frontend_blocked_. At least one
+  // side therefore observes the other — a spinning frontend sees kReplied,
+  // and a blocked frontend is woken below. Locking mu_ (empty critical
+  // section) before notifying closes the check-then-sleep window.
+  if (frontend_blocked_.load(std::memory_order_seq_cst)) {
+    { std::lock_guard lock(mu_); }
+    cv_.notify_one();
   }
-  cv_.notify_one();
 }
 
 void EventPort::close() {
@@ -86,11 +122,15 @@ void EventPort::close() {
     closed_ = true;
     const State s = state_.load(std::memory_order_acquire);
     if (s == State::kPending || s == State::kTaken) {
+      if (s == State::kPending) comm_.on_port_clear(proc_);
       reply_ = Reply{};
       reply_.aborted = true;
-      state_.store(State::kReplied, std::memory_order_release);
+      state_.store(State::kReplied, std::memory_order_seq_cst);
     }
   }
+  // A spinning frontend observes kReplied directly; a blocked one needs the
+  // notify. The mu_ critical section above already ordered us against any
+  // frontend between its blocked-flag store and its sleep.
   cv_.notify_one();
 }
 

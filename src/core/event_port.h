@@ -4,9 +4,9 @@
 // Protocol (one batch in flight per port, frontend blocks until replied):
 //
 //   frontend: post_and_wait(batch)  ──►  [Pending]
-//   backend:  pick-min scan sees pending_time(); take_batch() ──► [Taken]
-//   backend:  ... simulate ... reply(r)                       ──► [Replied]
-//   frontend: wakes, returns r                                ──► [Empty]
+//   backend:  pick-min sees pending_time(); take_batch()        ──► [Taken]
+//   backend:  ... simulate ... reply(r)                         ──► [Replied]
+//   frontend: wakes, returns r                                  ──► [Empty]
 //
 // The backend may *defer* the reply after take_batch() (blocking OS calls,
 // processes waiting for a CPU): the frontend simply stays blocked — exactly
@@ -16,13 +16,29 @@
 // interleaving-granularity knob; the paper's basic-block granularity
 // corresponds to flushing at every reference — or (b) exactly one control
 // event. SimContext enforces this; the backend checks it.
+//
+// Hot-path design (this is the per-batch cost of the whole simulator):
+//
+//  * Zero-copy posting: the port stores a span over the frontend's batch
+//    buffer. The frontend is blocked for the entire time the span is live,
+//    so the memory is stable; no per-post allocation or copy happens. Only
+//    the rebase path copies, into a buffer reused across rebases.
+//  * Spin-then-block reply wait: at high event rates the backend replies
+//    within the frontend's adaptive spin window, and reply() is then a pair
+//    of plain stores — no mutex, no condvar, no syscalls on either side.
+//    The frontend publishes `frontend_blocked_` (Dekker-style, seq_cst on
+//    both sides) before sleeping so reply() can never miss a blocked waiter.
+//  * The pending-min index (Communicator::PendingIndex) is updated on every
+//    state transition, so the backend never scans ports to find this one.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/adaptive_spin.h"
 #include "core/event.h"
 #include "core/host_throttle.h"
 #include "core/types.h"
@@ -44,7 +60,9 @@ class EventPort {
   // ---- frontend side -------------------------------------------------
 
   /// Post a batch and block until the backend replies. The batch must be
-  /// nonempty and events must be in nondecreasing time order.
+  /// nonempty and events must be in nondecreasing time order. The batch
+  /// memory must stay valid until this call returns (it always does: the
+  /// caller owns the buffer and is blocked here meanwhile).
   Reply post_and_wait(std::span<const Event> batch);
 
   // ---- backend side --------------------------------------------------
@@ -84,6 +102,10 @@ class EventPort {
  private:
   enum class State { kEmpty, kPending, kTaken, kReplied };
 
+  /// Consume the published reply and reset the port. Requires the frontend
+  /// to have observed state_ == kReplied (acquire).
+  Reply consume_reply();
+
   const ProcId proc_;
   Communicator& comm_;
 
@@ -92,11 +114,14 @@ class EventPort {
   bool closed_ = false;
   std::atomic<State> state_{State::kEmpty};
   std::atomic<Cycles> pending_time_{0};
+  /// Dekker flag: true while the frontend is (about to be) asleep on cv_.
+  std::atomic<bool> frontend_blocked_{false};
 
-  std::vector<Event> batch_;     // written by frontend while kEmpty
-  std::vector<Event> rebased_;   // scratch for rebase_pending
-  Cycles rebase_delta_ = 0;      // backend-only; applied in take_batch
+  std::span<const Event> posted_;  // frontend's buffer; valid while in flight
+  std::vector<Event> rebased_;     // reused scratch for the rebase path
+  Cycles rebase_delta_ = 0;        // backend-only; applied in take_batch
   Reply reply_{};
+  AdaptiveSpin spin_{AdaptiveSpin::frontend_policy()};  // frontend-thread-private
 };
 
 }  // namespace compass::core

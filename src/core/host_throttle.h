@@ -27,16 +27,25 @@ class HostThrottle {
   void acquire() {
     if (!enabled()) return;
     std::unique_lock lock(mu_);
+    ++waiters_;
     cv_.wait(lock, [this] { return free_ > 0; });
+    --waiters_;
     --free_;
   }
 
   void release() {
     if (!enabled()) return;
-    std::lock_guard lock(mu_);
-    ++free_;
-    COMPASS_CHECK(free_ <= permits_);
-    cv_.notify_one();
+    bool wake;
+    {
+      std::lock_guard lock(mu_);
+      ++free_;
+      COMPASS_CHECK(free_ <= permits_);
+      // Skip the notify syscall when no thread is waiting for a permit —
+      // release/acquire brackets every event-port round trip, so this is a
+      // hot path in the throttled slowdown experiments.
+      wake = waiters_ > 0;
+    }
+    if (wake) cv_.notify_one();
   }
 
   /// RAII: hold a permit for a scope (thread entry points).
@@ -68,6 +77,7 @@ class HostThrottle {
   std::mutex mu_;
   std::condition_variable cv_;
   int free_;
+  int waiters_ = 0;
 };
 
 }  // namespace compass::core

@@ -1,0 +1,108 @@
+#include "core/pending_index.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace compass::core {
+
+PendingIndex::Slot& PendingIndex::slot_of(ProcId proc) {
+  COMPASS_CHECK_MSG(proc >= 0 && static_cast<std::size_t>(proc) < slots_.size(),
+                    "pending index: no slot for proc " << proc);
+  return slots_[static_cast<std::size_t>(proc)];
+}
+
+std::int32_t PendingIndex::better(std::int32_t a, std::int32_t b) const {
+  if (!contends(a)) return contends(b) ? b : kNone;
+  if (!contends(b)) return a;
+  const Slot& sa = slots_[static_cast<std::size_t>(a)];
+  const Slot& sb = slots_[static_cast<std::size_t>(b)];
+  if (sa.time != sb.time) return sa.time < sb.time ? a : b;
+  return a < b ? a : b;  // deterministic tie-break by ProcId
+}
+
+void PendingIndex::update_path(std::size_t slot) {
+  for (std::size_t n = (cap_ + slot) >> 1; n >= 1; n >>= 1)
+    win_[n] = better(win_[2 * n], win_[2 * n + 1]);
+}
+
+void PendingIndex::rebuild() {
+  win_.assign(2 * cap_, kNone);
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    win_[cap_ + i] = static_cast<std::int32_t>(i);
+  for (std::size_t n = cap_ - 1; n >= 1; --n)
+    win_[n] = better(win_[2 * n], win_[2 * n + 1]);
+}
+
+void PendingIndex::add_slot(ProcId proc) {
+  COMPASS_CHECK_MSG(proc >= 0, "pending index: bad proc id " << proc);
+  std::lock_guard lock(mu_);
+  const auto idx = static_cast<std::size_t>(proc);
+  if (idx < slots_.size()) return;
+  const std::size_t old_size = slots_.size();
+  slots_.resize(idx + 1);
+  if (slots_.size() > cap_) {
+    cap_ = std::bit_ceil(slots_.size());
+    rebuild();
+  } else {
+    // Fresh slots are inactive, so installing their leaves cannot change any
+    // interior winner; no path update needed.
+    for (std::size_t i = old_size; i <= idx; ++i)
+      win_[cap_ + i] = static_cast<std::int32_t>(i);
+  }
+}
+
+void PendingIndex::set_active(std::span<const ProcId> procs) {
+  std::lock_guard lock(mu_);
+  for (Slot& s : slots_) s.active = false;
+  std::int64_t pending = 0;
+  for (const ProcId p : procs) {
+    Slot& s = slot_of(p);
+    COMPASS_CHECK_MSG(!s.active, "duplicate proc " << p << " in running set");
+    s.active = true;
+    if (s.pending) ++pending;
+  }
+  // The only reader of these counters outside mu_ is the backend thread,
+  // which is also the sole caller of set_active — so the two stores need no
+  // ordering between themselves, only mu_ against concurrent posters.
+  active_count_.store(static_cast<std::int64_t>(procs.size()),
+                      std::memory_order_seq_cst);
+  pending_active_.store(pending, std::memory_order_seq_cst);
+  if (cap_ > 0) rebuild();
+}
+
+void PendingIndex::on_post(ProcId proc, Cycles time) {
+  std::lock_guard lock(mu_);
+  Slot& s = slot_of(proc);
+  COMPASS_CHECK_MSG(!s.pending, "double post in pending index for proc " << proc);
+  s.pending = true;
+  s.time = time;
+  if (s.active) pending_active_.fetch_add(1, std::memory_order_seq_cst);
+  update_path(static_cast<std::size_t>(proc));
+}
+
+void PendingIndex::on_rebase(ProcId proc, Cycles time) {
+  std::lock_guard lock(mu_);
+  Slot& s = slot_of(proc);
+  COMPASS_CHECK_MSG(s.pending, "rebase in pending index with no pending batch");
+  s.time = time;
+  update_path(static_cast<std::size_t>(proc));
+}
+
+void PendingIndex::on_clear(ProcId proc) {
+  std::lock_guard lock(mu_);
+  Slot& s = slot_of(proc);
+  if (!s.pending) return;
+  s.pending = false;
+  if (s.active) pending_active_.fetch_sub(1, std::memory_order_seq_cst);
+  update_path(static_cast<std::size_t>(proc));
+}
+
+ProcId PendingIndex::min_proc() const {
+  std::lock_guard lock(mu_);
+  if (cap_ == 0) return kNoProc;
+  const std::int32_t w = win_[1];
+  return contends(w) ? static_cast<ProcId>(w) : kNoProc;
+}
+
+}  // namespace compass::core

@@ -13,7 +13,8 @@ std::vector<std::uint8_t> make_frame(const FrameHeader& h,
   hdr.len = static_cast<std::uint32_t>(payload.size());
   std::vector<std::uint8_t> frame(sizeof(FrameHeader) + payload.size());
   std::memcpy(frame.data(), &hdr, sizeof(hdr));
-  std::memcpy(frame.data() + sizeof(hdr), payload.data(), payload.size());
+  if (!payload.empty())
+    std::memcpy(frame.data() + sizeof(hdr), payload.data(), payload.size());
   return frame;
 }
 

@@ -91,7 +91,7 @@ class UBarrier {
     if (!p.ctx().attached()) {
       // Native: classic mutex+condvar barrier.
       std::unique_lock lock(native_mu_);
-      if (++native_count_ == parties_) {
+      if (++native_count_ == static_cast<std::uint64_t>(parties_)) {
         native_count_ = 0;
         ++native_gen_;
         native_cv_.notify_all();

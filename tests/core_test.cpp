@@ -277,7 +277,7 @@ TEST(BackendRun, MoreProcessesThanCpusAllComplete) {
   Sim sim(base_config(2));
   std::atomic<int> done{0};
   for (int i = 0; i < 6; ++i) {
-    auto& f = sim.add("p" + std::to_string(i));
+    auto& f = sim.add(std::string("p").append(std::to_string(i)));
     f.start([&done](SimContext& ctx) {
       for (int j = 0; j < 20; ++j) {
         ctx.compute(10);
@@ -447,7 +447,7 @@ TEST(BackendRun, PreemptiveSchedulerSharesTheCpu) {
   Sim sim(cfg);
   std::atomic<int> done{0};
   for (int i = 0; i < 3; ++i) {
-    auto& f = sim.add("p" + std::to_string(i));
+    auto& f = sim.add(std::string("p").append(std::to_string(i)));
     f.start([&](SimContext& ctx) {
       for (int j = 0; j < 200; ++j) {
         ctx.compute(100);
@@ -466,7 +466,7 @@ TEST(BackendRun, NonPreemptiveNeverPreempts) {
   cfg.preemptive = false;
   Sim sim(cfg);
   for (int i = 0; i < 2; ++i) {
-    auto& f = sim.add("p" + std::to_string(i));
+    auto& f = sim.add(std::string("p").append(std::to_string(i)));
     f.start([](SimContext& ctx) {
       for (int j = 0; j < 50; ++j) {
         ctx.compute(1000);
@@ -798,7 +798,7 @@ TEST(BackendRun, SerializedHostProducesSameSimulatedTime) {
     cfg.host_cpus = host_cpus;
     Sim sim(cfg);
     for (int i = 0; i < 3; ++i) {
-      auto& f = sim.add("p" + std::to_string(i));
+      auto& f = sim.add(std::string("p").append(std::to_string(i)));
       f.start([](SimContext& ctx) {
         for (int j = 0; j < 100; ++j) {
           ctx.compute(17);
@@ -913,6 +913,125 @@ TEST(EventPort, RebaseShiftsAllEventTimes) {
   const Reply r = port.post_and_wait(batch);
   EXPECT_EQ(r.resume_time, 200u);
   backend.join();
+}
+
+/// Frontend thread helper: posts one single-event batch at `time` and
+/// parks in post_and_wait until the test replies or closes the port.
+std::thread post_one(EventPort& port, Cycles time, Reply* out) {
+  return std::thread([&port, time, out] {
+    std::vector<Event> batch{Event::mem_ref(ExecMode::kUser, RefType::kLoad, 0x1, 8, time)};
+    *out = port.post_and_wait(batch);
+  });
+}
+
+/// Backend-side drain: take the pending batch and reply so the frontend
+/// thread in post_one can unwind.
+void drain(EventPort& port, Cycles resume) {
+  (void)port.take_batch();
+  Reply r;
+  r.resume_time = resume;
+  port.reply(r);
+}
+
+TEST(EventPort, CloseUnblocksWaitingFrontend) {
+  Communicator comm(1);
+  EventPort& port = comm.create_port(0);
+  Reply r;
+  std::thread frontend = post_one(port, 1, &r);
+  while (!port.has_pending()) std::this_thread::yield();
+  // The frontend is now spinning or blocked in post_and_wait; close() must
+  // hand it an aborted reply through either path.
+  port.close();
+  frontend.join();
+  EXPECT_TRUE(r.aborted);
+}
+
+TEST(Communicator, PickMinIgnoresInactivePendingPorts) {
+  Communicator comm(4);
+  EventPort& p0 = comm.create_port(0);
+  EventPort& p1 = comm.create_port(1);
+  EventPort& p2 = comm.create_port(2);
+  Reply r0, r1, r2;
+  std::thread t0 = post_one(p0, 10, &r0);
+  std::thread t1 = post_one(p1, 5, &r1);
+  std::thread t2 = post_one(p2, 20, &r2);
+  // Process 1 has the globally smallest time but is not running (e.g. it
+  // was preempted with its batch still pending); pick-min must skip it.
+  while (!p1.has_pending()) std::this_thread::yield();
+  const std::vector<ProcId> running{0, 2};
+  comm.wait_all_pending(running);
+  EXPECT_EQ(comm.pick_min(running), 0);
+  drain(p0, 100);
+  drain(p1, 100);
+  drain(p2, 100);
+  t0.join();
+  t1.join();
+  t2.join();
+}
+
+TEST(Communicator, RebasePendingReordersPickMin) {
+  Communicator comm(2);
+  EventPort& p0 = comm.create_port(0);
+  EventPort& p1 = comm.create_port(1);
+  Reply r0, r1;
+  std::thread t0 = post_one(p0, 10, &r0);
+  std::thread t1 = post_one(p1, 20, &r1);
+  const std::vector<ProcId> running{0, 1};
+  comm.wait_all_pending(running);
+  EXPECT_EQ(comm.pick_min(running), 0);
+  // A preempted-then-rescheduled process gets its batch rebased past the
+  // other pending time; the index must reflect the new ordering.
+  p0.rebase_pending(30);
+  EXPECT_EQ(comm.pick_min(running), 1);
+  drain(p0, 100);
+  drain(p1, 100);
+  t0.join();
+  t1.join();
+}
+
+TEST(Communicator, PickMinTieBreaksBySmallestProcId) {
+  Communicator comm(3);
+  EventPort& p0 = comm.create_port(0);
+  EventPort& p1 = comm.create_port(1);
+  EventPort& p2 = comm.create_port(2);
+  Reply r0, r1, r2;
+  // Post in reverse id order so insertion order cannot mask the tie-break.
+  std::thread t2 = post_one(p2, 7, &r2);
+  while (!p2.has_pending()) std::this_thread::yield();
+  std::thread t1 = post_one(p1, 7, &r1);
+  while (!p1.has_pending()) std::this_thread::yield();
+  std::thread t0 = post_one(p0, 7, &r0);
+  const std::vector<ProcId> running{0, 1, 2};
+  comm.wait_all_pending(running);
+  EXPECT_EQ(comm.pick_min(running), 0);
+  drain(p0, 100);
+  drain(p1, 100);
+  drain(p2, 100);
+  t0.join();
+  t1.join();
+  t2.join();
+}
+
+TEST(Communicator, WaitAllPendingTracksShrinkingRunningSet) {
+  Communicator comm(2);
+  EventPort& p0 = comm.create_port(0);
+  EventPort& p1 = comm.create_port(1);
+  Reply r0, r1;
+  std::thread t0 = post_one(p0, 10, &r0);
+  std::thread t1 = post_one(p1, 20, &r1);
+  const std::vector<ProcId> both{0, 1};
+  comm.wait_all_pending(both);
+  drain(p0, 50);
+  t0.join();
+  // Process 0's batch is consumed; a running set of just {1} must not wait
+  // on it, and pick-min must find process 1.
+  const std::vector<ProcId> only1{1};
+  comm.wait_all_pending(only1);
+  EXPECT_EQ(comm.pick_min(only1), 1);
+  drain(p1, 60);
+  t1.join();
+  EXPECT_EQ(r0.resume_time, 50u);
+  EXPECT_EQ(r1.resume_time, 60u);
 }
 
 // ------------------------------------------------------------- sim context

@@ -124,7 +124,7 @@ TEST(BufferPoolConcurrency, ManyWorkersSamePages) {
     for (int i = 0; i < 4; ++i) p.sem_v(11);
   });
   for (int w = 0; w < 4; ++w) {
-    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+    sim.spawn(std::string("w").append(std::to_string(w)), [&, w](Proc& p) {
       p.sem_init(11, 0);
       p.sem_p(11);
       pool->attach(p);

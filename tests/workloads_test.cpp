@@ -52,7 +52,7 @@ TEST(Usync, LatchMutualExclusion) {
     final_value = p.read<std::int64_t>(base + 8);
   });
   for (int w = 0; w < 2; ++w) {
-    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+    sim.spawn(std::string("w").append(std::to_string(w)), [&, w](Proc& p) {
       const auto segid = p.shmget(1, 4096);
       const auto base = static_cast<Addr>(p.shmat(segid));
       p.sem_init(1, 0);
@@ -91,7 +91,7 @@ TEST(Usync, BarrierRounds) {
     for (int i = 0; i < kProcs; ++i) p.sem_v(9);
   });
   for (int w = 0; w < kProcs; ++w) {
-    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+    sim.spawn(std::string("w").append(std::to_string(w)), [&, w](Proc& p) {
       const auto segid = p.shmget(2, 4096);
       const auto base = static_cast<Addr>(p.shmat(segid));
       p.sem_init(9, 0);
@@ -329,7 +329,7 @@ TEST(DbEngine, TpcdPartitionedQ6SumsToWhole) {
   });
   std::array<std::int64_t, 2> partial{};
   for (int w = 0; w < 2; ++w) {
-    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+    sim.spawn(std::string("w").append(std::to_string(w)), [&, w](Proc& p) {
       p.sem_init(3, 0);
       p.sem_p(3);
       partial[static_cast<std::size_t>(w)] = tpcd->q6(p, w, 2);
@@ -494,7 +494,7 @@ TEST(Sci, MatmulMatchesReference) {
     checksum = mm->checksum(p);
   });
   for (int w = 0; w < 2; ++w) {
-    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+    sim.spawn(std::string("w").append(std::to_string(w)), [&, w](Proc& p) {
       p.sem_init(4, 0);
       p.sem_p(4);
       mm->worker(p, w);
@@ -524,7 +524,7 @@ TEST(Sci, ReduceSumsCorrectly) {
     result = red->result(p);
   });
   for (int w = 0; w < rc.nprocs; ++w) {
-    sim.spawn("w" + std::to_string(w), [&, w](Proc& p) {
+    sim.spawn(std::string("w").append(std::to_string(w)), [&, w](Proc& p) {
       p.sem_init(4, 0);
       p.sem_p(4);
       red->worker(p, w);
