@@ -3,6 +3,10 @@
 // CC-NUMA) machines, cache array operations, VM translation, and the
 // global event scheduler. These are the host-side costs behind the
 // simple-vs-complex slowdown gap of Table 2.
+//
+// Machine benchmarks report items_per_second (= simulated references per
+// host second) in the JSON output, the same shape bench_event_port uses, so
+// CI bench-smoke artifacts can be diffed across the two suites.
 #include <benchmark/benchmark.h>
 
 #include "core/scheduler.h"
@@ -29,6 +33,7 @@ void BM_FlatMemoryAccess(benchmark::State& state) {
     benchmark::DoNotOptimize(flat.access(0, 0, ref_at(a, t, false)));
     t += 10;
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlatMemoryAccess);
 
@@ -46,8 +51,9 @@ void BM_SimpleMachineAccess(benchmark::State& state) {
     cpu = (cpu + 1) % cpus;
     t += 10;
   }
+  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SimpleMachineAccess)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_SimpleMachineAccess)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_NumaMachineAccess(benchmark::State& state) {
   const int cpus = static_cast<int>(state.range(0));
@@ -63,8 +69,9 @@ void BM_NumaMachineAccess(benchmark::State& state) {
     cpu = (cpu + 1) % cpus;
     t += 10;
   }
+  state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_NumaMachineAccess)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_NumaMachineAccess)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_CacheLookupHit(benchmark::State& state) {
   mem::Cache cache("t", mem::CacheConfig{32 * 1024, 4, 64});

@@ -26,6 +26,13 @@ class MemorySystem {
 
   /// Simulate one memory reference issued by `proc` on `cpu` at cycle
   /// `ev.time`; returns the stall latency in cycles.
+  ///
+  /// This is the simulator's per-reference hot path: the backend calls it
+  /// once per dispatched memory event, so implementations keep the
+  /// steady-state path allocation-free and index-based (software TLBs,
+  /// packed cache metadata, sharer bitmasks — see src/mem/). Results must
+  /// be deterministic for a given reference stream: the simulated latency
+  /// may depend only on prior access() calls, never on host state.
   virtual Cycles access(CpuId cpu, ProcId proc, const Event& ev) = 0;
 
   /// Notification that the process scheduler switched `cpu` from `from` to

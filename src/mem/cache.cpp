@@ -1,5 +1,6 @@
 #include "mem/cache.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace compass::mem {
@@ -10,7 +11,14 @@ Cache::Cache(std::string name, const CacheConfig& cfg,
   cfg_.validate();
   line_shift_ = static_cast<unsigned>(std::countr_zero(cfg_.line_size));
   line_mask_ = cfg_.line_size - 1;
-  lines_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.assoc);
+  assoc_ = cfg_.assoc;
+  num_sets_ = cfg_.num_sets();
+  sets_pow2_ = std::has_single_bit(num_sets_);
+  if (sets_pow2_) set_mask_ = num_sets_ - 1;
+  const std::size_t ways = num_sets_ * assoc_;
+  tags_.assign(ways, kNoTag);
+  states_.assign(ways, Mesi::kInvalid);
+  lru_.assign(ways, 0);
   if (stats != nullptr) {
     hits_ = &stats->counter(name_ + ".hits");
     misses_ = &stats->counter(name_ + ".misses");
@@ -19,89 +27,82 @@ Cache::Cache(std::string name, const CacheConfig& cfg,
   }
 }
 
-Cache::Line* Cache::find(PhysAddr addr) {
-  const std::uint64_t tag = tag_of(addr);
-  Line* set = &lines_[set_index(addr) * cfg_.assoc];
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w)
-    if (set[w].state != Mesi::kInvalid && set[w].tag == tag) return &set[w];
-  return nullptr;
-}
-
-const Cache::Line* Cache::find(PhysAddr addr) const {
-  return const_cast<Cache*>(this)->find(addr);
-}
-
-Mesi Cache::probe(PhysAddr addr) const {
-  const Line* line = find(addr);
-  return line == nullptr ? Mesi::kInvalid : line->state;
-}
-
 Mesi Cache::lookup(PhysAddr addr) {
-  Line* line = find(addr);
-  if (line == nullptr) {
+  const std::size_t i = find(addr);
+  if (i == kNotFound) {
     if (misses_ != nullptr) misses_->inc();
     return Mesi::kInvalid;
   }
-  line->lru = ++lru_clock_;
+  lru_[i] = ++lru_clock_;
   if (hits_ != nullptr) hits_->inc();
-  return line->state;
+  return states_[i];
 }
 
 void Cache::set_state(PhysAddr addr, Mesi state) {
-  Line* line = find(addr);
-  if (line == nullptr) {
+  const std::size_t i = find(addr);
+  if (i == kNotFound) {
     COMPASS_CHECK_MSG(state == Mesi::kInvalid,
                       name_ << ": set_state on absent line 0x" << std::hex
                             << addr);
     return;
   }
-  line->state = state;
+  if (state == Mesi::kInvalid) {
+    clear_way(i);
+  } else {
+    states_[i] = state;
+  }
 }
 
 void Cache::set_state_if_present(PhysAddr addr, Mesi state) {
-  Line* line = find(addr);
-  if (line != nullptr) line->state = state;
+  const std::size_t i = find(addr);
+  if (i == kNotFound) return;
+  if (state == Mesi::kInvalid) {
+    clear_way(i);
+  } else {
+    states_[i] = state;
+  }
 }
 
 std::optional<Cache::Victim> Cache::insert(PhysAddr addr, Mesi state) {
   COMPASS_CHECK(state != Mesi::kInvalid);
-  Line* line = find(addr);
-  if (line != nullptr) {
+  const std::size_t hit = find(addr);
+  if (hit != kNotFound) {
     // Re-insert of a resident line is a state change.
-    line->state = state;
-    line->lru = ++lru_clock_;
+    states_[hit] = state;
+    lru_[hit] = ++lru_clock_;
     return std::nullopt;
   }
-  Line* set = &lines_[set_index(addr) * cfg_.assoc];
-  Line* victim = &set[0];
-  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-    if (set[w].state == Mesi::kInvalid) {
-      victim = &set[w];
+  const std::size_t base = set_base(addr);
+  std::size_t victim = base;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    if (tags_[base + w] == kNoTag) {
+      victim = base + w;
       break;
     }
-    if (set[w].lru < victim->lru) victim = &set[w];
+    if (lru_[base + w] < lru_[victim]) victim = base + w;
   }
   std::optional<Victim> out;
-  if (victim->state != Mesi::kInvalid) {
-    out = Victim{victim->tag << line_shift_, victim->state};
+  if (tags_[victim] != kNoTag) {
+    out = Victim{tags_[victim] << line_shift_, states_[victim]};
     if (evictions_ != nullptr) evictions_->inc();
-    if (victim->state == Mesi::kModified && writebacks_ != nullptr)
+    if (states_[victim] == Mesi::kModified && writebacks_ != nullptr)
       writebacks_->inc();
   }
-  victim->tag = tag_of(addr);
-  victim->state = state;
-  victim->lru = ++lru_clock_;
+  tags_[victim] = tag_of(addr);
+  states_[victim] = state;
+  lru_[victim] = ++lru_clock_;
   return out;
 }
 
 void Cache::invalidate_all() {
-  for (auto& line : lines_) line.state = Mesi::kInvalid;
+  std::fill(tags_.begin(), tags_.end(), kNoTag);
+  std::fill(states_.begin(), states_.end(), Mesi::kInvalid);
 }
 
 std::size_t Cache::resident_lines() const {
   std::size_t n = 0;
-  for (const auto& line : lines_)
-    if (line.state != Mesi::kInvalid) ++n;
+  for (const auto tag : tags_)
+    if (tag != kNoTag) ++n;
   return n;
 }
 

@@ -1,6 +1,14 @@
 // Set-associative cache array with MESI line states and true-LRU
 // replacement. Used as the building block for both the simple (snooping)
 // and complex (directory CC-NUMA) backend machines.
+//
+// The per-set metadata is packed into contiguous parallel arrays (tags,
+// states, LRU stamps) rather than an array of per-way structs: the tag scan
+// in find() walks one contiguous tag array per set, invalid ways carry a
+// sentinel tag that can never match a real address, and the set index is a
+// precomputed power-of-two shift+mask when the geometry allows it. This
+// keeps probe() — which the snooping machine calls O(P) times per miss —
+// branch-light and cache-friendly on the host.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +47,10 @@ class Cache {
 
   /// State of the line containing `addr` (kInvalid when absent). No LRU
   /// side effects — usable for snooping.
-  Mesi probe(PhysAddr addr) const;
+  Mesi probe(PhysAddr addr) const {
+    const std::size_t i = find(addr);
+    return i == kNotFound ? Mesi::kInvalid : states_[i];
+  }
 
   /// Lookup for an access: returns state and refreshes LRU on hit.
   Mesi lookup(PhysAddr addr);
@@ -69,25 +80,45 @@ class Cache {
   std::size_t resident_lines() const;
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
-    Mesi state = Mesi::kInvalid;
-    std::uint64_t lru = 0;  // larger = more recently used
-  };
+  /// Tag stored in invalid ways; no real address produces it (tags are
+  /// addr >> line_shift_, and addresses never have all 64 bits set).
+  static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
 
-  std::size_t set_index(PhysAddr addr) const {
-    return static_cast<std::size_t>((addr >> line_shift_) % cfg_.num_sets());
+  std::size_t set_base(PhysAddr addr) const {
+    const std::uint64_t tag = addr >> line_shift_;
+    const std::size_t set = sets_pow2_
+                                ? static_cast<std::size_t>(tag & set_mask_)
+                                : static_cast<std::size_t>(tag % num_sets_);
+    return set * assoc_;
   }
   std::uint64_t tag_of(PhysAddr addr) const { return addr >> line_shift_; }
 
-  Line* find(PhysAddr addr);
-  const Line* find(PhysAddr addr) const;
+  /// Index of the resident way holding `addr`, or kNotFound.
+  std::size_t find(PhysAddr addr) const {
+    const std::uint64_t tag = tag_of(addr);
+    const std::size_t base = set_base(addr);
+    for (std::size_t w = 0; w < assoc_; ++w)
+      if (tags_[base + w] == tag) return base + w;
+    return kNotFound;
+  }
+  void clear_way(std::size_t i) {
+    tags_[i] = kNoTag;
+    states_[i] = Mesi::kInvalid;
+  }
 
   std::string name_;
   CacheConfig cfg_;
   unsigned line_shift_;
   PhysAddr line_mask_;
-  std::vector<Line> lines_;  // num_sets * assoc, set-major
+  std::size_t assoc_;
+  std::size_t num_sets_;
+  bool sets_pow2_;
+  std::uint64_t set_mask_ = 0;  // valid when sets_pow2_
+  // Packed per-way metadata, set-major: way i of set s is at s * assoc_ + i.
+  std::vector<std::uint64_t> tags_;
+  std::vector<Mesi> states_;
+  std::vector<std::uint64_t> lru_;  // larger = more recently used
   std::uint64_t lru_clock_ = 0;
   stats::Counter* hits_ = nullptr;
   stats::Counter* misses_ = nullptr;

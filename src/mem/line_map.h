@@ -1,0 +1,137 @@
+// Flat open-addressing hash map from cache-line address to a 64-bit
+// sharer bitmask — the storage behind SimpleMachine's snoop filter.
+//
+// The per-reference hot path updates this map on every insert, eviction and
+// invalidation, so a node-based std::unordered_map (malloc/free per entry,
+// pointer chase per lookup) costs more than the O(P) probe sweep the filter
+// is meant to replace. This map keeps keys and values in two contiguous
+// pow2-sized arrays with linear probing and backward-shift deletion: no
+// allocation in steady state, one multiplicative hash plus a short linear
+// scan per operation.
+//
+// Invariant: values are never zero — clear_bits erases the entry when the
+// mask empties, so size() counts lines with at least one sharer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace compass::mem {
+
+class LineMap {
+ public:
+  explicit LineMap(std::size_t initial_capacity = 1024) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  /// Bitmask stored for `key`, or 0 when absent.
+  std::uint64_t get(std::uint64_t key) const {
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return 0;
+  }
+
+  /// OR `bits` into the mask for `key`, inserting the entry if absent;
+  /// returns the previous mask (0 when absent). One table walk serves both
+  /// the read and the update — the hot path's "who shares this line, and
+  /// mark me a sharer" is a single operation.
+  std::uint64_t fetch_or(std::uint64_t key, std::uint64_t bits) {
+    COMPASS_CHECK(key != kEmpty && bits != 0);
+    if ((size_ + 1) * 2 > keys_.size()) grow();
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        const std::uint64_t old = vals_[i];
+        vals_[i] |= bits;
+        return old;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    vals_[i] = bits;
+    ++size_;
+    return 0;
+  }
+
+  /// OR `bits` into the mask for `key`, inserting the entry if absent.
+  void set_bits(std::uint64_t key, std::uint64_t bits) {
+    (void)fetch_or(key, bits);
+  }
+
+  /// Clear `bits` from the mask for `key`; erases the entry when the mask
+  /// reaches zero. A key with no entry is a no-op.
+  void clear_bits(std::uint64_t key, std::uint64_t bits) {
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        vals_[i] &= ~bits;
+        if (vals_[i] == 0) erase_slot(i);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Number of keys with a non-zero mask.
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  std::size_t home(std::uint64_t key) const {
+    // Fibonacci hashing; line addresses share low zero bits, so mix before
+    // masking.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
+  /// Backward-shift deletion: re-slot the cluster after the hole so probe
+  /// chains stay unbroken (no tombstones).
+  void erase_slot(std::size_t i) {
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == kEmpty) break;
+      const std::size_t k = home(keys_[j]);
+      // Skip entries whose home lies cyclically in (i, j] — they are
+      // already as close to home as the hole allows.
+      const bool in_between = i < j ? (i < k && k <= j) : (i < k || k <= j);
+      if (!in_between) {
+        keys_[i] = keys_[j];
+        vals_[i] = vals_[j];
+        i = j;
+      }
+    }
+    keys_[i] = kEmpty;
+    vals_[i] = 0;
+    --size_;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_vals = std::move(vals_);
+    const std::size_t cap = old_keys.size() * 2;
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+    for (std::size_t s = 0; s < old_keys.size(); ++s)
+      if (old_keys[s] != kEmpty) set_bits(old_keys[s], old_vals[s]);
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace compass::mem

@@ -23,6 +23,7 @@
 
 #include "core/memory_system.h"
 #include "mem/cache.h"
+#include "mem/line_map.h"
 #include "mem/mem_config.h"
 #include "mem/vm.h"
 #include "stats/counters.h"
@@ -43,6 +44,18 @@ class FlatMemory : public core::MemorySystem {
 };
 
 /// One-level cache per CPU + MESI snooping bus (UMA).
+///
+/// A machine-level snoop filter (per-line bitmask of the CPUs whose cache
+/// holds the line, maintained on every insert / eviction / invalidation)
+/// lets misses with no remote sharers skip the O(P) probe sweep entirely
+/// and lets invalidations walk only the set bits — mirroring how the
+/// CC-NUMA directory already knows its sharers. The filter is an exact
+/// presence map, not an approximation, so simulated cycles and counters
+/// are bit-identical to the literal sweep; Debug builds cross-check it
+/// against probing every cache. The literal sweep remains in place for
+/// machines below cfg.snoop_filter_min_cpus (where sweeping a handful of
+/// packed tag arrays is cheaper than filter maintenance) and above 64
+/// CPUs (where the bitmask does not fit).
 class SimpleMachine : public core::MemorySystem {
  public:
   SimpleMachine(const SimpleMachineConfig& cfg, int num_cpus, Vm& vm,
@@ -61,10 +74,33 @@ class SimpleMachine : public core::MemorySystem {
   Cycles bus_acquire(Cycles now, Cycles occupancy);
   void invalidate_others(CpuId cpu, PhysAddr line);
 
+  // ---- snoop-filter maintenance (exact per-line presence bitmask) -------
+  std::uint64_t sharers_of(PhysAddr line) const;
+  void filter_clear(CpuId cpu, PhysAddr line);
+  /// Debug-only: recompute the sharer mask by probing every cache and check
+  /// it against the filter.
+  void verify_filter(PhysAddr line) const;
+  /// Probe the peers of `cpu` for `line` into scratch_peers_ — via the
+  /// filter (set bits only) or the literal sweep when the filter is off.
+  /// With the filter on this also pre-sets the requester's presence bit
+  /// (the calling miss always fills the line) and leaves the peer bitmask
+  /// in scratch_mask_ for a batched invalidate.
+  void collect_peers(CpuId cpu, PhysAddr line);
+
   SimpleMachineConfig cfg_;
   Vm& vm_;
   std::vector<Cache> caches_;
   Cycles bus_free_ = 0;
+  /// line -> bitmask of CPUs caching it; absent means no sharers. Exact
+  /// (bits are maintained on every state transition), enabled when the
+  /// machine has cfg.snoop_filter_min_cpus..64 CPUs — below that the
+  /// literal sweep over packed tag arrays is cheaper on the host.
+  bool snoop_filter_ = false;
+  LineMap presence_;
+  /// Reused per-miss scratch: (peer, state) of every peer holding the line,
+  /// plus the same set as a bitmask (filter builds only).
+  std::vector<std::pair<CpuId, Mesi>> scratch_peers_;
+  std::uint64_t scratch_mask_ = 0;
   stats::Counter* bus_txns_ = nullptr;
   stats::Counter* invalidations_ = nullptr;
   stats::Counter* interventions_ = nullptr;

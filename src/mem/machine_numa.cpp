@@ -4,6 +4,7 @@
 #include "mem/machine.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace compass::mem {
 
@@ -217,15 +218,16 @@ Cycles NumaMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
       // Shared.
       if (is_write) {
         // Invalidate every sharer (in parallel); latency is one round trip
-        // plus a small per-sharer directory cost.
+        // plus a small per-sharer directory cost. The directory bitmask is
+        // walked bit by bit (ascending, like the old full CPU scan).
         int n_sharers = 0;
-        for (CpuId c = 0; c < static_cast<CpuId>(l2_.size()); ++c) {
-          if (c == cpu) continue;
-          if (e.sharers & (1ull << c)) {
-            drop_from_cpu(c, line);
-            ++n_sharers;
-            if (dir_invalidations_ != nullptr) dir_invalidations_->inc();
-          }
+        std::uint64_t pending = e.sharers & ~(1ull << cpu);
+        while (pending != 0) {
+          const auto c = static_cast<CpuId>(std::countr_zero(pending));
+          pending &= pending - 1;
+          drop_from_cpu(c, line);
+          ++n_sharers;
+          if (dir_invalidations_ != nullptr) dir_invalidations_->inc();
         }
         if (n_sharers > 0)
           lat += cfg_.net_base + cfg_.net_per_hop +

@@ -1,6 +1,8 @@
 // FlatMemory and SimpleMachine (MESI snooping bus) implementations.
 #include "mem/machine.h"
 
+#include <bit>
+
 namespace compass::mem {
 
 // ----------------------------------------------------------- FlatMemory
@@ -23,6 +25,7 @@ SimpleMachine::SimpleMachine(const SimpleMachineConfig& cfg, int num_cpus,
     : cfg_(cfg), vm_(vm) {
   cfg_.validate();
   COMPASS_CHECK(num_cpus > 0);
+  snoop_filter_ = num_cpus >= cfg_.snoop_filter_min_cpus && num_cpus <= 64;
   caches_.reserve(static_cast<std::size_t>(num_cpus));
   for (int c = 0; c < num_cpus; ++c)
     caches_.emplace_back("l1.cpu" + std::to_string(c), cfg_.l1, stats);
@@ -41,7 +44,75 @@ Cycles SimpleMachine::bus_acquire(Cycles now, Cycles occupancy) {
   return (start - now) + occupancy;
 }
 
+std::uint64_t SimpleMachine::sharers_of(PhysAddr line) const {
+  return presence_.get(line);
+}
+
+void SimpleMachine::filter_clear(CpuId cpu, PhysAddr line) {
+  if (!snoop_filter_) return;
+  presence_.clear_bits(line, 1ull << cpu);
+}
+
+void SimpleMachine::verify_filter(PhysAddr line) const {
+#ifndef NDEBUG
+  // Debug builds cross-check the filter against the literal probe sweep
+  // (same pattern as pending_index / the Vm TLB).
+  if (!snoop_filter_) return;
+  std::uint64_t mask = 0;
+  for (std::size_t c = 0; c < caches_.size(); ++c)
+    if (caches_[c].probe(line) != Mesi::kInvalid) mask |= 1ull << c;
+  COMPASS_CHECK_MSG(mask == sharers_of(line),
+                    "snoop filter disagrees with probe sweep on line 0x"
+                        << std::hex << line << ": filter 0x" << sharers_of(line)
+                        << " probes 0x" << mask);
+#else
+  (void)line;
+#endif
+}
+
+void SimpleMachine::collect_peers(CpuId cpu, PhysAddr line) {
+  scratch_peers_.clear();
+  scratch_mask_ = 0;
+  if (snoop_filter_) {
+    verify_filter(line);
+    // The miss that called us always ends by inserting `line` into `cpu`'s
+    // cache, so one fetch_or both reads the sharer set and records the
+    // requester as a sharer — a single table walk instead of a get + a
+    // later set.
+    std::uint64_t m =
+        presence_.fetch_or(line, 1ull << cpu) & ~(1ull << cpu);
+    scratch_mask_ = m;
+    while (m != 0) {
+      const auto c = static_cast<CpuId>(std::countr_zero(m));
+      m &= m - 1;
+      // A set bit means the line is resident, so the probe only reads the
+      // MESI state — no sweep over absent caches.
+      scratch_peers_.emplace_back(c,
+                                  caches_[static_cast<std::size_t>(c)].probe(line));
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < caches_.size(); ++c) {
+    if (static_cast<CpuId>(c) == cpu) continue;
+    const Mesi s = caches_[c].probe(line);
+    if (s != Mesi::kInvalid)
+      scratch_peers_.emplace_back(static_cast<CpuId>(c), s);
+  }
+}
+
 void SimpleMachine::invalidate_others(CpuId cpu, PhysAddr line) {
+  if (snoop_filter_) {
+    verify_filter(line);
+    const std::uint64_t peers = sharers_of(line) & ~(1ull << cpu);
+    for (std::uint64_t m = peers; m != 0; m &= m - 1) {
+      const auto c = static_cast<CpuId>(std::countr_zero(m));
+      caches_[static_cast<std::size_t>(c)].set_state(line, Mesi::kInvalid);
+      if (invalidations_ != nullptr) invalidations_->inc();
+    }
+    // Drop every peer bit with one map operation instead of one per peer.
+    if (peers != 0) presence_.clear_bits(line, peers);
+    return;
+  }
   for (std::size_t c = 0; c < caches_.size(); ++c) {
     if (static_cast<CpuId>(c) == cpu) continue;
     if (caches_[c].probe(line) != Mesi::kInvalid) {
@@ -52,13 +123,13 @@ void SimpleMachine::invalidate_others(CpuId cpu, PhysAddr line) {
 }
 
 Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
-  Cache& cache = caches_[static_cast<std::size_t>(cpu)];
   const Vm::Translation tr = vm_.translate(proc, ev.addr, 0);
   Cycles lat = 0;
   if (tr.fault) {
     lat += cfg_.page_fault;
     if (faults_charged_ != nullptr) faults_charged_->inc();
   }
+  Cache& cache = caches_[static_cast<std::size_t>(cpu)];
   const PhysAddr line = cache.line_addr(tr.paddr);
   const bool is_write = ev.ref_type != RefType::kLoad;
   const Cycles now = ev.time + lat;
@@ -77,15 +148,17 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
       cache.set_state(line, Mesi::kModified);
     }
   } else {
-    // Miss: full bus transaction with a snoop of every other cache.
+    // Miss: one snoop pass over the peers actually holding the line (all
+    // peers when the filter is off). The pass records each peer's state, so
+    // the write-invalidate below reuses it instead of re-probing — the
+    // former probe + invalidate_others double sweep folded into one.
     lat += cfg_.l1_hit;  // probe
+    collect_peers(cpu, line);
     CpuId dirty_owner = kNoCpu;
     bool shared_elsewhere = false;
-    for (std::size_t c = 0; c < caches_.size(); ++c) {
-      if (static_cast<CpuId>(c) == cpu) continue;
-      const Mesi s = caches_[c].probe(line);
-      if (s == Mesi::kModified) dirty_owner = static_cast<CpuId>(c);
-      else if (s != Mesi::kInvalid) shared_elsewhere = true;
+    for (const auto& [c, s] : scratch_peers_) {
+      if (s == Mesi::kModified) dirty_owner = c;
+      else shared_elsewhere = true;
     }
     lat += bus_acquire(now, cfg_.bus_occupancy);
     Mesi fill_state;
@@ -96,6 +169,7 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
       if (is_write) {
         caches_[static_cast<std::size_t>(dirty_owner)].set_state(line,
                                                                  Mesi::kInvalid);
+        filter_clear(dirty_owner, line);
         if (invalidations_ != nullptr) invalidations_->inc();
         fill_state = Mesi::kModified;
       } else {
@@ -106,21 +180,30 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
     } else {
       lat += cfg_.mem_latency;
       if (is_write) {
-        invalidate_others(cpu, line);
+        for (const auto& [c, s] : scratch_peers_) {
+          (void)s;
+          caches_[static_cast<std::size_t>(c)].set_state(line, Mesi::kInvalid);
+          if (invalidations_ != nullptr) invalidations_->inc();
+        }
+        // One map operation clears every peer bit (scratch_mask_ is exactly
+        // the peers collected above when the filter is on).
+        if (snoop_filter_ && scratch_mask_ != 0)
+          presence_.clear_bits(line, scratch_mask_);
         fill_state = Mesi::kModified;
       } else if (shared_elsewhere) {
         // Other clean copies downgrade any E to S.
-        for (std::size_t c = 0; c < caches_.size(); ++c) {
-          if (static_cast<CpuId>(c) == cpu) continue;
-          if (caches_[c].probe(line) == Mesi::kExclusive)
-            caches_[c].set_state(line, Mesi::kShared);
-        }
+        for (const auto& [c, s] : scratch_peers_)
+          if (s == Mesi::kExclusive)
+            caches_[static_cast<std::size_t>(c)].set_state(line, Mesi::kShared);
         fill_state = Mesi::kShared;
       } else {
         fill_state = Mesi::kExclusive;
       }
     }
+    // The requester's presence bit was already set by collect_peers'
+    // fetch_or; only the displaced victim needs a filter update.
     const auto victim = cache.insert(line, fill_state);
+    if (victim.has_value()) filter_clear(cpu, victim->addr);
     if (victim.has_value() && victim->state == Mesi::kModified) {
       // Write the victim back; occupies the bus but completes asynchronously
       // with respect to the requester.

@@ -70,8 +70,21 @@ struct SimpleMachineConfig {
   Cycles upgrade_latency = 10;    ///< S->M invalidation transaction
   Cycles page_fault = 500;        ///< soft fault on first touch
   Cycles sync_overhead = 6;       ///< extra cycles for atomic RMW
+  /// Smallest CPU count at which the machine-level snoop filter (exact
+  /// per-line sharer bitmask) replaces the literal probe sweep on a miss.
+  /// The filter is simulation-invisible either way — same cycles, same
+  /// counters — so this is purely a host-cost tradeoff: below the
+  /// threshold the packed-metadata sweep over P-1 small tag arrays is
+  /// cheaper than the filter's hash-map maintenance; above it the O(P)
+  /// sweep dominates. The bitmask caps the filter at 64 CPUs; larger
+  /// machines always use the sweep.
+  int snoop_filter_min_cpus = 8;
 
-  void validate() const { l1.validate(); }
+  void validate() const {
+    l1.validate();
+    COMPASS_CHECK_MSG(snoop_filter_min_cpus >= 2,
+                      "snoop filter needs at least one potential peer");
+  }
 };
 
 /// "The most complex backend models all the other system components along

@@ -10,8 +10,8 @@ Vm::Vm(const VmConfig& cfg, stats::StatsRegistry* stats) : cfg_(cfg) {
   }
 }
 
-std::uint64_t Vm::alloc_ppage(NodeId touching_node, std::uint64_t block_index,
-                              std::uint64_t block_total) {
+Vm::Pte Vm::alloc_ppage(NodeId touching_node, std::uint64_t block_index,
+                        std::uint64_t block_total) {
   const std::uint64_t ppage = next_ppage_++;
   NodeId home = 0;
   switch (cfg_.placement) {
@@ -33,7 +33,7 @@ std::uint64_t Vm::alloc_ppage(NodeId touching_node, std::uint64_t block_index,
   }
   COMPASS_CHECK(home >= 0 && home < cfg_.num_nodes);
   page_homes_.emplace(ppage, home);
-  return ppage;
+  return Pte{ppage, home};
 }
 
 const Vm::Segment* Vm::segment_containing(Addr vaddr) const {
@@ -46,25 +46,61 @@ Vm::Segment* Vm::segment_containing(Addr vaddr) {
   return nullptr;
 }
 
-std::unordered_map<std::uint64_t, std::uint64_t>& Vm::table_for(ProcId proc,
-                                                                Addr vaddr) {
+Vm::PageTable& Vm::table_for(ProcId proc, Addr vaddr) {
   if (is_kernel_addr(vaddr)) return kernel_table_;
   return tables_[proc];
 }
 
+std::vector<Vm::TlbEntry>& Vm::tlb_for(ProcId proc, bool kernel) {
+  if (kernel) {
+    if (kernel_tlb_.empty()) kernel_tlb_.resize(kTlbEntries);
+    return kernel_tlb_;
+  }
+  COMPASS_CHECK_MSG(proc >= 0, "translate for negative proc " << proc);
+  const auto idx = static_cast<std::size_t>(proc);
+  if (idx >= tlbs_.size()) tlbs_.resize(idx + 1);
+  if (tlbs_[idx].empty()) tlbs_[idx].resize(kTlbEntries);
+  return tlbs_[idx];
+}
+
 Vm::Translation Vm::translate(ProcId proc, Addr vaddr, NodeId touching_node) {
-  auto& table = table_for(proc, vaddr);
   const std::uint64_t vpage = vaddr >> kPageShift;
+  const bool kernel = is_kernel_addr(vaddr);
+  TlbEntry& slot = tlb_for(proc, kernel)[vpage & kTlbIndexMask];
   Translation t;
+  if (slot.tag == vpage + 1) {
+    // TLB hit: one array index, no hash lookups.
+    t.paddr = (slot.ppage << kPageShift) | (vaddr & (kPageSize - 1));
+    t.home = slot.home;
+#ifndef NDEBUG
+    // Debug builds cross-check the TLB against the literal page-table walk
+    // and the per-page home hash (same pattern as pending_index).
+    {
+      const PageTable& table = table_for(proc, vaddr);
+      const auto it = table.find(vpage);
+      COMPASS_CHECK_MSG(it != table.end(),
+                        "TLB hit for unmapped vpage 0x" << std::hex << vpage);
+      COMPASS_CHECK_MSG(it->second.ppage == slot.ppage &&
+                            it->second.home == slot.home &&
+                            home_of_ppage(slot.ppage) == slot.home,
+                        "TLB disagrees with page table for vpage 0x"
+                            << std::hex << vpage);
+    }
+#endif
+    return t;
+  }
+  PageTable& table = table_for(proc, vaddr);
   if (const auto it = table.find(vpage); it != table.end()) {
-    t.paddr = (it->second << kPageShift) | (vaddr & (kPageSize - 1));
-    t.home = home_of_ppage(it->second);
+    // Page-table hit: the PTE carries the home, so no second hash lookup.
+    t.paddr = (it->second.ppage << kPageShift) | (vaddr & (kPageSize - 1));
+    t.home = it->second.home;
+    slot = TlbEntry{vpage + 1, it->second.ppage, it->second.home};
     return t;
   }
   // Fault: create the mapping.
   t.fault = true;
   if (faults_ != nullptr) faults_->inc();
-  std::uint64_t ppage = 0;
+  Pte pte;
   if (Segment* seg = is_shm_addr(vaddr) ? segment_containing(vaddr) : nullptr;
       seg != nullptr) {
     // Shared-segment page: allocate the common physical page once, then map
@@ -73,15 +109,16 @@ Vm::Translation Vm::translate(ProcId proc, Addr vaddr, NodeId touching_node) {
     COMPASS_CHECK(seg_page < seg->ppages.size());
     if (!seg->ppages[seg_page].has_value())
       seg->ppages[seg_page] =
-          alloc_ppage(touching_node, seg_page, seg->ppages.size());
-    ppage = *seg->ppages[seg_page];
+          alloc_ppage(touching_node, seg_page, seg->ppages.size()).ppage;
+    pte = Pte{*seg->ppages[seg_page], home_of_ppage(*seg->ppages[seg_page])};
   } else {
     // Anonymous private (or kernel) page.
-    ppage = alloc_ppage(touching_node, vpage, 0);
+    pte = alloc_ppage(touching_node, vpage, 0);
   }
-  table.emplace(vpage, ppage);
-  t.paddr = (ppage << kPageShift) | (vaddr & (kPageSize - 1));
-  t.home = home_of_ppage(ppage);
+  table.emplace(vpage, pte);
+  slot = TlbEntry{vpage + 1, pte.ppage, pte.home};
+  t.paddr = (pte.ppage << kPageShift) | (vaddr & (kPageSize - 1));
+  t.home = pte.home;
   return t;
 }
 
@@ -93,6 +130,17 @@ NodeId Vm::home_of_ppage(std::uint64_t ppage) const {
 
 NodeId Vm::home_of(PhysAddr paddr) const {
   return home_of_ppage(paddr >> kPageShift);
+}
+
+void Vm::tlb_flush(ProcId proc) {
+  if (proc < 0) return;
+  const auto idx = static_cast<std::size_t>(proc);
+  if (idx < tlbs_.size()) tlbs_[idx].assign(tlbs_[idx].size(), TlbEntry{});
+}
+
+void Vm::tlb_flush_all() {
+  for (auto& tlb : tlbs_) tlb.assign(tlb.size(), TlbEntry{});
+  kernel_tlb_.assign(kernel_tlb_.size(), TlbEntry{});
 }
 
 std::int64_t Vm::shmget(std::uint64_t key, std::uint64_t size) {
@@ -122,7 +170,8 @@ std::int64_t Vm::shmat(ProcId proc, std::int64_t segid) {
   auto& table = tables_[proc];
   for (std::size_t i = 0; i < seg.ppages.size(); ++i)
     if (seg.ppages[i].has_value())
-      table.emplace((seg.base >> kPageShift) + i, *seg.ppages[i]);
+      table.emplace((seg.base >> kPageShift) + i,
+                    Pte{*seg.ppages[i], home_of_ppage(*seg.ppages[i])});
   return static_cast<std::int64_t>(seg.base);
 }
 
@@ -135,6 +184,9 @@ std::int64_t Vm::shmdt(ProcId proc, std::int64_t segid) {
   auto& table = tables_[proc];
   for (std::size_t i = 0; i < seg.ppages.size(); ++i)
     table.erase((seg.base >> kPageShift) + i);
+  // Mappings were removed: shoot down every cached translation this process
+  // holds (the TLB is not tagged by segment, so drop it wholesale).
+  tlb_flush(proc);
   return 0;
 }
 

@@ -7,6 +7,16 @@
 // or at first reference (first-touch), exactly as the paper describes.
 // Kernel addresses (>= kKernelBase) use one global page table shared by all
 // processes, modeling the shared kernel address space.
+//
+// Fast path: a direct-mapped software TLB per process (plus one shared
+// kernel TLB) caches (vpage -> ppage, home), so a steady-state translation
+// is a single array index instead of two hash lookups. The home node is
+// also stored in the page-table entry, so even a TLB miss that hits the
+// page table resolves the home without consulting the per-page hash
+// (home_of_ppage stays as the paper-visible API over that hash). TLB
+// entries are shot down whenever a mapping is removed (shmdt, segment
+// remapping) via tlb_flush; Debug builds cross-check every TLB hit against
+// the literal page-table walk.
 #pragma once
 
 #include <cstdint>
@@ -51,7 +61,7 @@ class Vm {
   /// independent) virtual base address of the segment.
   std::int64_t shmat(ProcId proc, std::int64_t segid);
   /// Unmap the segment from `proc`'s page table. Returns 0, or -1 if the
-  /// segment was not attached.
+  /// segment was not attached. Shoots down the process's TLB.
   std::int64_t shmdt(ProcId proc, std::int64_t segid);
 
   std::uint64_t segment_size(std::int64_t segid) const;
@@ -62,6 +72,16 @@ class Vm {
   NodeId home_of(PhysAddr paddr) const;
   NodeId home_of_ppage(std::uint64_t ppage) const;
 
+  // ---- TLB shootdown ----------------------------------------------------
+
+  /// Drop every cached user-space translation of `proc`. Must be called
+  /// whenever a mapping of `proc` is removed or changed (shmdt does this
+  /// itself); cheap (one small array clear) and rare.
+  void tlb_flush(ProcId proc);
+  /// Drop every cached translation of every process, including the shared
+  /// kernel TLB (global shootdown; for kernel-space remapping).
+  void tlb_flush_all();
+
   /// Number of mapped pages for a process (diagnostics / tests).
   std::size_t mapped_pages(ProcId proc) const;
   std::size_t allocated_pages() const { return page_homes_.size(); }
@@ -70,6 +90,24 @@ class Vm {
   std::vector<std::size_t> pages_per_node() const;
 
  private:
+  /// Page-table entry: physical page plus its (immutable) home node, so a
+  /// page-table hit never needs the page_homes_ hash.
+  struct Pte {
+    std::uint64_t ppage = 0;
+    NodeId home = 0;
+  };
+  using PageTable = std::unordered_map<std::uint64_t, Pte>;
+
+  /// Direct-mapped TLB entry. The tag is vpage + 1 so that zero-initialized
+  /// entries (tag 0) can never match a real page.
+  struct TlbEntry {
+    std::uint64_t tag = 0;
+    std::uint64_t ppage = 0;
+    NodeId home = 0;
+  };
+  static constexpr std::size_t kTlbEntries = 4096;  // power of two
+  static constexpr std::uint64_t kTlbIndexMask = kTlbEntries - 1;
+
   struct Segment {
     std::uint64_t key = 0;
     std::uint64_t size = 0;
@@ -82,11 +120,12 @@ class Vm {
   /// Allocate a fresh physical page homed according to the placement
   /// policy. `block_index/block_total` position the page within its region
   /// for block placement; `touching_node` is used for first-touch.
-  std::uint64_t alloc_ppage(NodeId touching_node, std::uint64_t block_index,
-                            std::uint64_t block_total);
+  Pte alloc_ppage(NodeId touching_node, std::uint64_t block_index,
+                  std::uint64_t block_total);
 
-  std::unordered_map<std::uint64_t, std::uint64_t>& table_for(ProcId proc,
-                                                              Addr vaddr);
+  PageTable& table_for(ProcId proc, Addr vaddr);
+  /// TLB array for (`proc`, kernel?) — lazily allocated per process.
+  std::vector<TlbEntry>& tlb_for(ProcId proc, bool kernel);
   const Segment* segment_containing(Addr vaddr) const;
   Segment* segment_containing(Addr vaddr);
 
@@ -95,8 +134,13 @@ class Vm {
   std::uint64_t rr_next_node_ = 0;
   Addr next_shm_base_ = kShmBase;
   std::unordered_map<std::uint64_t, NodeId> page_homes_;
-  std::map<ProcId, std::unordered_map<std::uint64_t, std::uint64_t>> tables_;
-  std::unordered_map<std::uint64_t, std::uint64_t> kernel_table_;
+  std::map<ProcId, PageTable> tables_;
+  PageTable kernel_table_;
+  /// Per-process software TLBs, indexed by ProcId; empty until the process
+  /// first translates. Kernel mappings are identical in every process and
+  /// never removed, so they share one TLB.
+  std::vector<std::vector<TlbEntry>> tlbs_;
+  std::vector<TlbEntry> kernel_tlb_;
   std::map<std::int64_t, Segment> segments_;
   std::map<std::uint64_t, std::int64_t> seg_by_key_;
   std::int64_t next_segid_ = 1;

@@ -146,6 +146,59 @@ TEST(Vm, ShmdtUnmapsForOneProcessOnly) {
   EXPECT_EQ(vm.shmdt(9, 999), -1);
 }
 
+TEST(Vm, ShmdtShootsDownTlb) {
+  Vm vm({.num_nodes = 1});
+  const auto segid = vm.shmget(7, 2 * kPageSize);
+  const Addr base = static_cast<Addr>(vm.shmat(0, segid));
+  vm.shmat(1, segid);
+  // Warm proc 0's TLB for both segment pages, and proc 1's for the first.
+  const auto t0 = vm.translate(0, base, 0);
+  const auto t1 = vm.translate(0, base + kPageSize, 0);
+  EXPECT_FALSE(vm.translate(0, base + 8, 0).fault);  // TLB hit
+  vm.translate(1, base, 0);
+  ASSERT_EQ(vm.shmdt(0, segid), 0);
+  // The mapping is gone: re-touching must fault again (a stale TLB entry
+  // would report a hit). The segment still exists, so the fault re-maps the
+  // same common physical pages.
+  const auto r0 = vm.translate(0, base, 0);
+  const auto r1 = vm.translate(0, base + kPageSize, 0);
+  EXPECT_TRUE(r0.fault);
+  EXPECT_TRUE(r1.fault);
+  EXPECT_EQ(r0.paddr, t0.paddr);
+  EXPECT_EQ(r1.paddr, t1.paddr);
+  // Proc 1's cached translations are untouched by proc 0's shootdown.
+  EXPECT_FALSE(vm.translate(1, base, 0).fault);
+}
+
+TEST(Vm, SegmentReuseAfterDetachKeepsCommonPages) {
+  Vm vm({.num_nodes = 1});
+  const auto segid = vm.shmget(8, kPageSize);
+  const Addr base = static_cast<Addr>(vm.shmat(0, segid));
+  const auto first = vm.translate(0, base, 0);
+  ASSERT_EQ(vm.shmdt(0, segid), 0);
+  // Re-attach: already-allocated common pages are pre-populated, so the
+  // first touch after reuse is a plain page-table hit on the same page.
+  EXPECT_EQ(static_cast<Addr>(vm.shmat(0, segid)), base);
+  const auto again = vm.translate(0, base, 0);
+  EXPECT_FALSE(again.fault);
+  EXPECT_EQ(again.paddr, first.paddr);
+}
+
+TEST(Vm, TlbFlushAllIsTransparent) {
+  Vm vm({.num_nodes = 2, .placement = PlacementPolicy::kRoundRobin});
+  std::vector<std::pair<Addr, PhysAddr>> warm;
+  for (Addr a : {Addr{0x1000}, Addr{0x5008}, kKernelBase + 0x40})
+    warm.emplace_back(a, vm.translate(0, a, 1).paddr);
+  vm.tlb_flush_all();
+  // Flushing loses no mappings: every translation refills from the page
+  // table with the same result and no fault.
+  for (const auto& [a, paddr] : warm) {
+    const auto t = vm.translate(0, a, 1);
+    EXPECT_FALSE(t.fault);
+    EXPECT_EQ(t.paddr, paddr);
+  }
+}
+
 TEST(Vm, FirstTouchHomesPageOnTouchingNode) {
   Vm vm({.num_nodes = 4, .placement = PlacementPolicy::kFirstTouch});
   const auto t = vm.translate(0, 0x1000, 2);
@@ -279,6 +332,58 @@ TEST(SimpleMachine, BusContentionDelaysBackToBackMisses) {
   const Cycles l0 = f.machine.access(0, 0, load_at(kKernelBase + 64, 1000));
   const Cycles l1 = f.machine.access(1, 1, load_at(kKernelBase + 4096 + 64, 1000));
   EXPECT_GT(l1, l0);
+}
+
+TEST(SimpleMachine, SnoopFilterConsistentAfterEvictionAndReinsert) {
+  SimpleMachineConfig cfg;
+  cfg.l1 = CacheConfig{256, 1, 64};  // direct-mapped, 4 sets
+  cfg.snoop_filter_min_cpus = 2;     // force the filter on at 2 CPUs
+  SimpleFixture f(2, cfg);
+  const Addr a = kKernelBase;        // set 0
+  const Addr b = kKernelBase + 256;  // same set: inserting b evicts a
+  f.machine.access(0, 0, load_at(a));
+  f.machine.access(0, 0, load_at(b, 100));  // a evicted from cpu0
+  // No cache holds `a` now, so cpu1's store must see zero sharers: a stale
+  // presence bit for cpu0 would charge a phantom invalidation.
+  const auto inv0 = f.reg.counter_value("bus.invalidations");
+  f.machine.access(1, 1, store_at(a, 200));
+  EXPECT_EQ(f.reg.counter_value("bus.invalidations"), inv0);
+  // Re-insert in cpu0 via a dirty intervention, then a shared-write upgrade
+  // from cpu1 must invalidate exactly the one re-inserted copy.
+  f.machine.access(0, 0, load_at(a, 300));
+  EXPECT_EQ(f.reg.counter_value("bus.interventions"), 1u);
+  f.machine.access(1, 1, store_at(a, 400));
+  EXPECT_EQ(f.reg.counter_value("bus.invalidations"), inv0 + 1);
+  // And cpu0 really lost the line.
+  EXPECT_EQ(f.machine.cache(0).probe(a), Mesi::kInvalid);
+}
+
+TEST(SimpleMachine, SnoopFilterMatchesLiteralSweep) {
+  // The filter must be simulation-invisible: the same reference stream on a
+  // filtered and an unfiltered machine yields identical latencies and
+  // counters.
+  SimpleMachineConfig with_filter;
+  with_filter.l1 = CacheConfig{512, 2, 64};  // small: heavy eviction traffic
+  with_filter.snoop_filter_min_cpus = 2;
+  SimpleMachineConfig without_filter = with_filter;
+  without_filter.snoop_filter_min_cpus = 100;  // 4 CPUs < 100: literal sweep
+  SimpleFixture fa(4, with_filter);
+  SimpleFixture fb(4, without_filter);
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 4'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const Addr a = kKernelBase + (x >> 33) % 4096;
+    const CpuId cpu = static_cast<CpuId>(i % 4);
+    const auto t = static_cast<Cycles>(10 * i);
+    const auto ev = (x >> 13) % 3 == 0   ? store_at(a, t)
+                    : (x >> 13) % 3 == 1 ? load_at(a, t)
+                                         : sync_at(a, t);
+    ASSERT_EQ(fa.machine.access(cpu, cpu, ev), fb.machine.access(cpu, cpu, ev))
+        << "latency diverged at op " << i;
+  }
+  for (const char* ctr : {"bus.transactions", "bus.invalidations",
+                          "bus.interventions", "machine.page_faults"})
+    EXPECT_EQ(fa.reg.counter_value(ctr), fb.reg.counter_value(ctr)) << ctr;
 }
 
 // ------------------------------------------------------------ numa machine

@@ -6,11 +6,14 @@
 #include <list>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "core/proc_sched.h"
 #include "dev/disk.h"
 #include "mem/arena.h"
 #include "mem/cache.h"
+#include "mem/line_map.h"
+#include "mem/machine.h"
 #include "mem/vm.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -227,6 +230,155 @@ INSTANTIATE_TEST_SUITE_P(
                       VmParam{4, mem::PlacementPolicy::kRoundRobin},
                       VmParam{4, mem::PlacementPolicy::kFirstTouch},
                       VmParam{2, mem::PlacementPolicy::kBlock}));
+
+// ================================================================== line map
+
+class LineMapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LineMapProperty, MatchesUnorderedMapReference) {
+  mem::LineMap m(16);  // tiny initial capacity: force many grows
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  util::Rng rng(GetParam());
+  // Line-address-shaped keys (low 6 bits zero) from a small pool so
+  // set/clear collide often and erase churns probe chains.
+  for (int op = 0; op < 30'000; ++op) {
+    const std::uint64_t key = (rng.next_below(512) + 1) << 6;
+    const std::uint64_t bits = 1ull << rng.next_below(64);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const std::uint64_t prev = m.fetch_or(key, bits);
+        ASSERT_EQ(prev, ref.contains(key) ? ref[key] : 0u) << "op " << op;
+        ref[key] |= bits;
+        break;
+      }
+      case 1:
+        m.set_bits(key, bits);
+        ref[key] |= bits;
+        break;
+      case 2:
+        m.clear_bits(key, bits);
+        if (const auto it = ref.find(key); it != ref.end()) {
+          it->second &= ~bits;
+          if (it->second == 0) ref.erase(it);
+        }
+        break;
+      default:
+        ASSERT_EQ(m.get(key), ref.contains(key) ? ref[key] : 0u)
+            << "op " << op;
+        break;
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "op " << op;
+  }
+  for (const auto& [k, v] : ref) ASSERT_EQ(m.get(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineMapProperty,
+                         ::testing::Values(101u, 202u, 303u));
+
+// ============================================================ simple machine
+
+struct SimpleMachineParam {
+  int cpus;
+  std::uint64_t seed;
+};
+
+class SimpleMachineProperty
+    : public ::testing::TestWithParam<SimpleMachineParam> {};
+
+/// Randomized load/store/sync streams with shared-memory segment churn,
+/// run in lockstep on two machines: one with the snoop filter forced on,
+/// one on the literal probe sweep. Every per-access latency must match
+/// (the filter and the software TLB are host-side accelerations only), and
+/// MESI single-writer invariants must hold on the touched line. Debug
+/// builds additionally cross-check the filter and TLB against their slow
+/// paths inside the models themselves.
+TEST_P(SimpleMachineProperty, FilterMatchesSweepUnderRandomStreams) {
+  const auto param = GetParam();
+  const auto num_cpus = static_cast<std::uint64_t>(param.cpus);
+  auto make_cfg = [](int min_cpus) {
+    mem::SimpleMachineConfig cfg;
+    cfg.l1 = mem::CacheConfig{1024, 2, 64};  // small: constant evictions
+    cfg.snoop_filter_min_cpus = min_cpus;
+    return cfg;
+  };
+  mem::Vm vm_a({.num_nodes = 1});
+  mem::Vm vm_b({.num_nodes = 1});
+  mem::SimpleMachine filtered(make_cfg(2), param.cpus, vm_a);
+  mem::SimpleMachine swept(make_cfg(1000), param.cpus, vm_b);
+
+  // One shared segment, attached by every "process" up front; proc 0
+  // periodically detaches and re-attaches to exercise TLB shootdown.
+  const auto seg_a = vm_a.shmget(1, 4 * mem::kPageSize);
+  const auto seg_b = vm_b.shmget(1, 4 * mem::kPageSize);
+  for (int p = 0; p < param.cpus; ++p) {
+    vm_a.shmat(p, seg_a);
+    vm_b.shmat(p, seg_b);
+  }
+  const Addr shm_base = vm_a.segment_base(seg_a);
+  ASSERT_EQ(shm_base, vm_b.segment_base(seg_b));
+  bool proc0_attached = true;
+
+  util::Rng rng(param.seed);
+  Cycles t = 0;
+  for (int op = 0; op < 6'000; ++op) {
+    if (rng.next_below(200) == 0) {
+      // Segment churn (identically on both VMs).
+      if (proc0_attached) {
+        ASSERT_EQ(vm_a.shmdt(0, seg_a), 0);
+        ASSERT_EQ(vm_b.shmdt(0, seg_b), 0);
+      } else {
+        vm_a.shmat(0, seg_a);
+        vm_b.shmat(0, seg_b);
+      }
+      proc0_attached = !proc0_attached;
+    }
+    const auto cpu = static_cast<CpuId>(rng.next_below(num_cpus));
+    const auto proc = static_cast<ProcId>(cpu);
+    Addr a;
+    switch (rng.next_below(3)) {
+      case 0:  // kernel page shared by all CPUs: coherence traffic
+        a = mem::kKernelBase + rng.next_below(2 * mem::kPageSize);
+        break;
+      case 1:  // shared segment (skip while proc 0 is detached)
+        a = (proc == 0 && !proc0_attached)
+                ? 0x2000 + static_cast<Addr>(proc) * 0x10000
+                : shm_base + rng.next_below(4 * mem::kPageSize);
+        break;
+      default:  // private per-process pages
+        a = 0x2000 + static_cast<Addr>(proc) * 0x10000 +
+            rng.next_below(mem::kPageSize);
+        break;
+    }
+    const auto kind = rng.next_below(10);
+    const RefType rt = kind < 5   ? RefType::kLoad
+                       : kind < 9 ? RefType::kStore
+                                  : RefType::kSync;
+    const auto ev = core::Event::mem_ref(ExecMode::kUser, rt, a, 8, t);
+    const Cycles la = filtered.access(cpu, proc, ev);
+    const Cycles lb = swept.access(cpu, proc, ev);
+    ASSERT_EQ(la, lb) << "latency diverged at op " << op << " addr 0x"
+                      << std::hex << a;
+    // MESI single-writer invariant on the touched line.
+    const mem::PhysAddr line =
+        filtered.cache(cpu).line_addr(vm_a.translate(proc, a, 0).paddr);
+    int modified = 0, present = 0;
+    for (int c = 0; c < param.cpus; ++c) {
+      const auto s = filtered.cache(c).probe(line);
+      if (s != mem::Mesi::kInvalid) ++present;
+      if (s == mem::Mesi::kModified) ++modified;
+    }
+    ASSERT_LE(modified, 1) << "two dirty copies at op " << op;
+    if (modified == 1) {
+      ASSERT_EQ(present, 1) << "dirty copy coexists with sharers at op " << op;
+    }
+    t += 1 + rng.next_below(20);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, SimpleMachineProperty,
+    ::testing::Values(SimpleMachineParam{2, 11}, SimpleMachineParam{4, 22},
+                      SimpleMachineParam{8, 33}, SimpleMachineParam{8, 44}));
 
 // ===================================================================== btree
 
