@@ -1,0 +1,88 @@
+// Trace-replay throughput (google-benchmark): how fast the backend
+// re-consumes a recorded event stream versus executing the workload live.
+// items_per_second counts backend-consumed events, directly comparable to
+// the live-run variant below and to bench_event_port's round-trip rate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/config_codec.h"
+#include "trace/trace_reader.h"
+#include "trace/trace_recorder.h"
+#include "trace/trace_replayer.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+std::string temp_trace_path() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") +
+         "/compass_bench_trace_replay.trace";
+}
+
+sim::SimulationConfig bench_config() {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 4;
+  cfg.model = sim::BackendModel::kSimple;
+  return cfg;
+}
+
+workloads::SciScenario bench_scenario() {
+  workloads::SciScenario sc;
+  sc.matmul.n = 24;
+  sc.matmul.block = 8;
+  sc.matmul.nprocs = 2;
+  return sc;
+}
+
+/// Records once, lazily, and hands out the decoded trace.
+const trace::TraceData& recorded_trace() {
+  static const trace::TraceData data = [] {
+    const std::string path = temp_trace_path();
+    sim::SimulationConfig cfg = bench_config();
+    trace::TraceRecorder recorder(cfg, path);
+    cfg.trace_sink = &recorder;
+    (void)workloads::run_sci(cfg, bench_scenario());
+    recorder.finalize();
+    trace::TraceData d = trace::TraceReader::read_file(path);
+    std::remove(path.c_str());
+    return d;
+  }();
+  return data;
+}
+
+void BM_TraceReplaySci(benchmark::State& state) {
+  const trace::TraceData& data = recorded_trace();
+  const sim::SimulationConfig cfg = trace::decode_config(data.config);
+  for (auto _ : state) {
+    trace::TraceReplayer replayer(data, cfg);
+    replayer.run();
+    benchmark::DoNotOptimize(replayer.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.total_events));
+}
+BENCHMARK(BM_TraceReplaySci)->Unit(benchmark::kMillisecond);
+
+/// The same workload executed live (frontend code + OS server), so the
+/// record-once-replay-many speedup is visible in one report.
+void BM_LiveSci(benchmark::State& state) {
+  const std::int64_t events =
+      static_cast<std::int64_t>(recorded_trace().total_events);
+  for (auto _ : state) {
+    const workloads::ScenarioStats st =
+        workloads::run_sci(bench_config(), bench_scenario());
+    benchmark::DoNotOptimize(st.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          events);
+}
+BENCHMARK(BM_LiveSci)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

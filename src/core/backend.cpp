@@ -30,29 +30,37 @@ Backend::Backend(const SimConfig& cfg, Communicator& comm, Hooks hooks,
   });
 }
 
-ProcId Backend::add_process(const std::string& name) {
+ProcId Backend::register_proc(const std::string& name, TraceSink::ProcKind kind) {
   const auto id = static_cast<ProcId>(procs_.size());
   procs_.push_back(ProcInfo{.name = name});
   comm_.create_port(id);
   running_dirty_ = true;
+  if (hooks_.trace != nullptr) hooks_.trace->on_add_proc(id, name, kind);
   return id;
 }
 
+ProcId Backend::add_process(const std::string& name) {
+  return register_proc(name, TraceSink::ProcKind::kProcess);
+}
+
 ProcId Backend::add_bottom_half(const std::string& name) {
-  const ProcId id = add_process(name);
+  const ProcId id = register_proc(name, TraceSink::ProcKind::kBottomHalf);
   procs_.back().is_bottom_half = true;
   procs_.back().state = RunState::kParked;
   return id;
 }
 
 ProcId Backend::add_daemon(const std::string& name) {
-  const ProcId id = add_process(name);
+  const ProcId id = register_proc(name, TraceSink::ProcKind::kDaemon);
   procs_.back().is_daemon = true;
   return id;
 }
 
 void Backend::init_channel_permits(WaitChannel channel, std::uint64_t permits) {
-  if (permits > 0) permits_[channel] += permits;
+  if (permits > 0) {
+    permits_[channel] += permits;
+    if (hooks_.trace != nullptr) hooks_.trace->on_channel_seed(channel, permits);
+  }
 }
 
 Backend::ProcInfo& Backend::info(ProcId proc) {
@@ -172,6 +180,12 @@ bool Backend::maybe_preempt(ProcId proc, Cycles event_time) {
   if (event_time < ci.slice_start || event_time - ci.slice_start < cfg_.quantum)
     return false;
 
+  // Record the preemption before any mutation: pi.last_time is still the
+  // time base the frontend stamped the pending batch against, which the
+  // trace needs to reconstruct the original post.
+  if (hooks_.trace != nullptr)
+    hooks_.trace->on_preempt(proc, pi.last_time, event_time);
+
   // Charge the compute the process did up to its (unprocessed) event, then
   // hand the CPU over; the pending batch is rebased when it is rescheduled.
   now_ = std::max(now_, event_time);
@@ -199,8 +213,20 @@ void Backend::run() {
     comm_.close_all_ports();
     throw;
   }
-  // Normal completion: daemons and bottom halves may still be blocked on
-  // their ports; closing lets their host threads unwind cleanly.
+  // Normal completion: a daemon or bottom half may have a posted batch the
+  // loop never consumed. Record it before closing: without it, a replayed
+  // daemon would run out of script while the backend still counts it as
+  // running-and-pending, and wait_all_pending would hang.
+  if (hooks_.trace != nullptr) {
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      const auto proc = static_cast<ProcId>(i);
+      EventPort& port = comm_.port(proc);
+      if (!port.has_pending()) continue;
+      hooks_.trace->on_batch(proc, info(proc).last_time, port.take_batch());
+    }
+  }
+  // Daemons and bottom halves may still be blocked on their ports; closing
+  // lets their host threads unwind cleanly.
   comm_.close_all_ports();
 }
 
@@ -240,6 +266,11 @@ void Backend::dispatch(ProcId proc) {
 
   const std::span<const Event> batch = port.take_batch();
   COMPASS_CHECK(!batch.empty());
+  // Record at the dispatch point: the trace file is then the exact total
+  // order the backend consumed (including OS-server kernel-mode events),
+  // not the racy per-thread post order.
+  if (hooks_.trace != nullptr)
+    hooks_.trace->on_batch(proc, info(proc).last_time, batch);
   const bool is_control = batch.front().kind != EventKind::kMemRef &&
                           batch.front().kind != EventKind::kYield;
   if (is_control) {

@@ -28,6 +28,7 @@
 #include "core/memory_system.h"
 #include "core/proc_sched.h"
 #include "core/scheduler.h"
+#include "core/trace_sink.h"
 #include "stats/counters.h"
 #include "stats/time_breakdown.h"
 
@@ -50,6 +51,9 @@ class Backend {
     BackendCallHandler* backend_calls = nullptr;
     DeviceManager* devices = nullptr;
     IdleIrqDispatcher* idle_irq = nullptr;
+    /// Optional event-trace recorder tap (src/trace/). Observes process
+    /// registration, channel seeds, every dispatched batch and preemption.
+    TraceSink* trace = nullptr;
   };
 
   /// `registry` lets the embedder share one stats registry across all
@@ -135,6 +139,7 @@ class Backend {
     Cycles slice_start = 0;     ///< when the current proc got the CPU
   };
 
+  ProcId register_proc(const std::string& name, TraceSink::ProcKind kind);
   void run_loop();
   void rebuild_running();
   void schedule_ready_procs();

@@ -1,0 +1,73 @@
+// TraceSink: observation interface for the event-trace record subsystem.
+//
+// The backend (and the device/kernel layers it drives) announce every input
+// that determines a simulation run: registered processes, channel permit
+// seeds, every dispatched event batch (in backend consumption order, i.e.
+// the exact total order pick_min produced), preemption rebases, interrupt
+// descriptor pops performed by frontend-hosted kernel code, staged ethernet
+// tx frame sizes, and wire rx stimuli. A sink that persists these can
+// re-drive the backend later without any live frontend processes
+// (src/trace/).
+//
+// Threading: on_batch/on_preempt/on_channel_seed/on_add_proc fire on the
+// backend (or setup) thread; on_irq_pop fires on whichever host thread runs
+// the popping kernel code; on_tx_frame/on_rx_stimulus fire on the backend
+// thread (device hooks). Implementations must be internally synchronized.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/cpu_state.h"
+#include "core/event.h"
+#include "core/types.h"
+
+namespace compass::core {
+
+class TraceSink {
+ public:
+  /// How a process was registered with the backend; replay must re-register
+  /// identically so ProcIds and the termination condition match.
+  enum class ProcKind : std::uint8_t {
+    kProcess = 0,
+    kBottomHalf = 1,
+    kDaemon = 2,
+  };
+
+  virtual ~TraceSink() = default;
+
+  /// A process was registered (setup phase, before Backend::run()).
+  virtual void on_add_proc(ProcId, const std::string&, ProcKind) {}
+
+  /// A wait channel was seeded with permits (kernel mutex creation).
+  virtual void on_channel_seed(WaitChannel, std::uint64_t) {}
+
+  /// The backend took `batch` from `proc`'s port for processing. `base` is
+  /// the process's time base at this moment (its last event-completion
+  /// cycle, which equals the resume_time of the reply the frontend last
+  /// rebased to) — so `batch[0].time - base` is the frontend-side time
+  /// advance and every event time is reconstructible from reply times.
+  virtual void on_batch(ProcId, Cycles /*base*/, std::span<const Event>) {}
+
+  /// The backend preempted `proc` before consuming its pending batch whose
+  /// first event was stamped `event_time`; the batch will be rebased and
+  /// re-dispatched later. Fired before any state mutation, so `base` is
+  /// still the time base the frontend stamped the batch against.
+  virtual void on_preempt(ProcId, Cycles /*base*/, Cycles /*event_time*/) {}
+
+  /// Frontend-hosted kernel code popped one interrupt descriptor from
+  /// `cpu`'s queue (between two of `proc`'s posts).
+  virtual void on_irq_pop(ProcId, CpuId) {}
+
+  /// `proc`'s pending kDevRequest/kEthTx references a staged tx frame of
+  /// `bytes` bytes (staged-frame ids are host-side handles; the size is the
+  /// simulation-relevant payload).
+  virtual void on_tx_frame(ProcId, std::uint64_t /*bytes*/) {}
+
+  /// The wire scheduled an rx frame of `bytes` bytes to be injected and
+  /// raise kEthernetRx at absolute cycle `when`.
+  virtual void on_rx_stimulus(Cycles /*when*/, std::uint64_t /*bytes*/) {}
+};
+
+}  // namespace compass::core

@@ -25,6 +25,7 @@ Disk& DeviceHub::disk(int id) {
 void DeviceHub::deliver_rx_frame(std::vector<std::uint8_t> frame) {
   COMPASS_CHECK(backend_ != nullptr);
   const Cycles when = backend_->now() + cfg_.rx_wire_delay;
+  if (trace_ != nullptr) trace_->on_rx_stimulus(when, frame.size());
   backend_->scheduler().schedule_at(
       when, [this, frame = std::move(frame)]() mutable {
         const std::uint64_t id = eth_.inject_rx(std::move(frame));
@@ -33,7 +34,7 @@ void DeviceHub::deliver_rx_frame(std::vector<std::uint8_t> frame) {
       });
 }
 
-std::int64_t DeviceHub::device_request(ProcId, CpuId, Cycles now,
+std::int64_t DeviceHub::device_request(ProcId proc, CpuId, Cycles now,
                                        std::span<const std::uint64_t, 4> args) {
   COMPASS_CHECK(backend_ != nullptr);
   switch (static_cast<DevOp>(args[0])) {
@@ -54,6 +55,9 @@ std::int64_t DeviceHub::device_request(ProcId, CpuId, Cycles now,
     case DevOp::kEthTx: {
       const std::uint64_t id = args[1];
       const std::uint64_t tag = args[3];
+      // Staged ids are host-side handles: replay stages its own frame and
+      // substitutes the fresh id, so only the size is recorded.
+      if (trace_ != nullptr) trace_->on_tx_frame(proc, eth_.staged_size(id));
       const Cycles done = eth_.transmit(id, now);
       // Every transmit completion interrupts (descriptor reclaim); the
       // handler additionally wakes `tag` when the sender asked for it.

@@ -57,9 +57,14 @@ class DeviceHub : public core::DeviceManager {
   std::int64_t device_request(ProcId proc, CpuId cpu, Cycles now,
                               std::span<const std::uint64_t, 4> args) override;
 
+  /// Optional event-trace tap: records tx frame sizes and rx stimuli so
+  /// replay can restage equivalent frames without the live wire model.
+  void set_trace_sink(core::TraceSink* sink) { trace_ = sink; }
+
  private:
   DeviceHubConfig cfg_;
   core::Backend* backend_ = nullptr;
+  core::TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<Disk>> disks_;
   Ethernet eth_;
   RtClock clock_;

@@ -22,6 +22,13 @@ std::uint64_t Ethernet::stage_tx(std::vector<std::uint8_t> frame) {
   return id;
 }
 
+std::size_t Ethernet::staged_size(std::uint64_t id) const {
+  std::lock_guard lock(mu_);
+  const auto it = tx_staged_.find(id);
+  COMPASS_CHECK_MSG(it != tx_staged_.end(), "no staged tx frame " << id);
+  return it->second.size();
+}
+
 std::vector<std::uint8_t> Ethernet::take_next_rx() {
   std::lock_guard lock(mu_);
   COMPASS_CHECK_MSG(!rx_ring_.empty(), "rx ring empty");

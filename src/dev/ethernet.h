@@ -49,6 +49,8 @@ class Ethernet {
 
   /// Stage an outgoing frame; returns the id to pass in the kDevRequest.
   std::uint64_t stage_tx(std::vector<std::uint8_t> frame);
+  /// Byte size of a staged (not yet transmitted) tx frame.
+  std::size_t staged_size(std::uint64_t id) const;
   /// Dequeue the oldest received frame (the rx ring is FIFO in injection
   /// order, which the backend fills deterministically; the network-input
   /// daemon consumes one frame per rx-interrupt wakeup).

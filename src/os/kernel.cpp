@@ -114,6 +114,10 @@ void Kernel::handle_irqs(core::SimContext& ctx, CpuId cpu) {
   const ExecMode saved = ctx.mode();
   ctx.set_mode(ExecMode::kInterrupt);
   while (auto d = cs.pop()) {
+    // Each successful pop mutates the CPU's interrupt queue from this host
+    // thread, exactly between two of its event posts; the trace records the
+    // pop at that stream position so replay can redo it.
+    if (trace_ != nullptr) trace_->on_irq_pop(ctx.proc(), cpu);
     switch (d->irq) {
       case core::Irq::kTimer:
         // Timekeeping: bump the tick count, scan the callout list head.

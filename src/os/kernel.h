@@ -81,6 +81,10 @@ class Kernel {
   /// dispatch loop of §3.2 (kIrqEnter … handlers … kIrqExit).
   void handle_irqs(core::SimContext& ctx, CpuId cpu);
 
+  /// Optional event-trace tap: records each interrupt-descriptor pop the
+  /// handler loop performs (host-side queue mutations replay must redo).
+  void set_trace_sink(core::TraceSink* sink) { trace_ = sink; }
+
   // ---- infrastructure for kernel subsystems -------------------------------
 
   const KernelConfig& config() const { return cfg_; }
@@ -126,6 +130,7 @@ class Kernel {
 
   KernelConfig cfg_;
   core::Backend* backend_;
+  core::TraceSink* trace_ = nullptr;
   mem::AddressMap& mem_;
   dev::DeviceHub* devices_;
   std::unique_ptr<mem::Arena> kmem_;

@@ -32,7 +32,9 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   hooks.backend_calls = backend_os_.get();
   hooks.devices = devices_.get();
   hooks.idle_irq = &idle_binder_;
+  hooks.trace = cfg_.trace_sink;
   backend_ = std::make_unique<core::Backend>(cfg_.core, *comm_, hooks, &registry_);
+  devices_->set_trace_sink(cfg_.trace_sink);
 
   stats::StatsRegistry* reg = &registry_;
   switch (cfg_.model) {
@@ -60,6 +62,7 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
 
   kernel_ = std::make_unique<os::Kernel>(cfg_.kernel, backend_.get(), mem_map_,
                                          devices_.get());
+  kernel_->set_trace_sink(cfg_.trace_sink);
   os_server_ = std::make_unique<os::OsServer>(cfg_.os_server, *backend_, *kernel_);
   idle_binder_.target = os_server_.get();
 }

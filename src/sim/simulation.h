@@ -41,6 +41,10 @@ struct SimulationConfig {
   os::KernelConfig kernel;
   os::OsServerConfig os_server;
   std::size_t user_heap_bytes = 64ull << 20;
+  /// Optional event-trace recorder (src/trace/): receives every dispatched
+  /// batch plus the device/kernel side-band records. Not owned; must
+  /// outlive the Simulation.
+  core::TraceSink* trace_sink = nullptr;
 };
 
 class Simulation {

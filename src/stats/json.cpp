@@ -1,0 +1,272 @@
+#include "stats/json.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace compass::stats {
+
+StatsSnapshot make_snapshot(Cycles cycles, const StatsRegistry& registry,
+                            const TimeBreakdown& breakdown) {
+  StatsSnapshot snap;
+  snap.cycles = cycles;
+  for (const auto& [name, counter] : registry.counters())
+    snap.counters[name] = counter.value();
+  for (int c = 0; c < breakdown.num_cpus(); ++c) {
+    const CpuTime& t = breakdown.cpu(c);
+    std::array<std::uint64_t, 4> row{};
+    for (std::size_t m = 0; m < 4; ++m)
+      row[m] = static_cast<std::uint64_t>(t.by_mode[m]);
+    snap.cpu_time.push_back(row);
+  }
+  for (const auto& [name, hist] : registry.histograms())
+    snap.histograms[name] =
+        HistSummary{hist.count(), hist.sum(), hist.min(), hist.max()};
+  return snap;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const StatsSnapshot& snap) {
+  std::string out;
+  out += "{\n  \"cycles\": " + std::to_string(snap.cycles) + ",\n";
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"cpu_time\": [";
+  for (std::size_t c = 0; c < snap.cpu_time.size(); ++c) {
+    out += c == 0 ? "\n" : ",\n";
+    out += "    [";
+    for (std::size_t m = 0; m < 4; ++m) {
+      if (m != 0) out += ", ";
+      out += std::to_string(snap.cpu_time[c][m]);
+    }
+    out += "]";
+  }
+  out += snap.cpu_time.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"max\": " + std::to_string(h.max) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Minimal recursive-descent parser for the subset to_json emits: objects,
+/// arrays, strings, unsigned integers.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          if (pos_ + 4 > text_.size()) fail("bad unicode escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad unicode escape");
+          }
+          out += static_cast<char>(v);  // snapshot names are ASCII
+        } else {
+          out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  std::uint64_t integer() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+      fail("expected integer");
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    return v;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw util::SimError("stats json parse error at offset " +
+                         std::to_string(pos_) + ": " + what);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatsSnapshot parse_stats_json(const std::string& text) {
+  StatsSnapshot snap;
+  JsonCursor c(text);
+  c.expect('{');
+  bool first_key = true;
+  while (!c.try_consume('}')) {
+    if (!first_key) c.expect(',');
+    first_key = false;
+    const std::string key = c.string();
+    c.expect(':');
+    if (key == "cycles") {
+      snap.cycles = static_cast<Cycles>(c.integer());
+    } else if (key == "counters") {
+      c.expect('{');
+      bool first = true;
+      while (!c.try_consume('}')) {
+        if (!first) c.expect(',');
+        first = false;
+        const std::string name = c.string();
+        c.expect(':');
+        snap.counters[name] = c.integer();
+      }
+    } else if (key == "cpu_time") {
+      c.expect('[');
+      while (!c.try_consume(']')) {
+        if (!snap.cpu_time.empty()) c.expect(',');
+        c.expect('[');
+        std::array<std::uint64_t, 4> row{};
+        for (std::size_t m = 0; m < 4; ++m) {
+          if (m != 0) c.expect(',');
+          row[m] = c.integer();
+        }
+        c.expect(']');
+        snap.cpu_time.push_back(row);
+      }
+    } else if (key == "histograms") {
+      c.expect('{');
+      bool first = true;
+      while (!c.try_consume('}')) {
+        if (!first) c.expect(',');
+        first = false;
+        const std::string name = c.string();
+        c.expect(':');
+        c.expect('{');
+        HistSummary h;
+        bool hfirst = true;
+        while (!c.try_consume('}')) {
+          if (!hfirst) c.expect(',');
+          hfirst = false;
+          const std::string field = c.string();
+          c.expect(':');
+          const std::uint64_t v = c.integer();
+          if (field == "count") h.count = v;
+          else if (field == "sum") h.sum = v;
+          else if (field == "min") h.min = v;
+          else if (field == "max") h.max = v;
+          else c.fail("unknown histogram field '" + field + "'");
+        }
+        snap.histograms[name] = h;
+      }
+    } else {
+      c.fail("unknown key '" + key + "'");
+    }
+  }
+  c.finish();
+  return snap;
+}
+
+void write_json_file(const std::string& path, const StatsSnapshot& snap) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw util::SimError("cannot open stats json for writing: " + path);
+  const std::string text = to_json(snap);
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (n != text.size() || rc != 0)
+    throw util::SimError("short write to stats json: " + path);
+}
+
+StatsSnapshot read_json_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw util::SimError("cannot open stats json: " + path);
+  std::string text;
+  char chunk[16384];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) text.append(chunk, n);
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw util::SimError("read error on stats json: " + path);
+  return parse_stats_json(text);
+}
+
+}  // namespace compass::stats

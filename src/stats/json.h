@@ -1,0 +1,51 @@
+// Machine-readable statistics snapshots: a flat capture of the registry,
+// the per-CPU time breakdown and the final cycle count, serializable to a
+// small JSON dialect (objects, strings, unsigned integers, arrays) and
+// parseable back for golden comparisons.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "stats/counters.h"
+#include "stats/time_breakdown.h"
+
+namespace compass::stats {
+
+struct HistSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+struct StatsSnapshot {
+  Cycles cycles = 0;
+  std::map<std::string, std::uint64_t> counters;
+  /// Per-CPU cycles by mode, indexed [cpu][ExecMode].
+  std::vector<std::array<std::uint64_t, 4>> cpu_time;
+  std::map<std::string, HistSummary> histograms;
+};
+
+/// Capture the end-of-run state of a simulation or replay.
+StatsSnapshot make_snapshot(Cycles cycles, const StatsRegistry& registry,
+                            const TimeBreakdown& breakdown);
+
+/// Serialize to pretty-printed JSON (stable key order: std::map).
+std::string to_json(const StatsSnapshot& snap);
+
+/// Parse a snapshot previously produced by to_json. Throws
+/// util::SimError on malformed input or schema mismatch.
+StatsSnapshot parse_stats_json(const std::string& text);
+
+/// Write to_json(snap) to `path`; throws util::SimError on I/O failure.
+void write_json_file(const std::string& path, const StatsSnapshot& snap);
+
+/// Slurp + parse a snapshot file.
+StatsSnapshot read_json_file(const std::string& path);
+
+}  // namespace compass::stats

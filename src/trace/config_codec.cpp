@@ -1,0 +1,171 @@
+#include "trace/config_codec.h"
+
+#include <bit>
+
+namespace compass::trace {
+
+namespace {
+
+std::uint64_t from_double(double d) { return std::bit_cast<std::uint64_t>(d); }
+double to_double(std::uint64_t v) { return std::bit_cast<double>(v); }
+
+void put(ConfigPairs& out, ConfigKey key, std::uint64_t value) {
+  out.emplace_back(static_cast<std::uint32_t>(key), value);
+}
+
+}  // namespace
+
+ConfigPairs encode_config(const sim::SimulationConfig& cfg) {
+  ConfigPairs out;
+  const core::SimConfig& c = cfg.core;
+  put(out, ConfigKey::kNumCpus, static_cast<std::uint64_t>(c.num_cpus));
+  put(out, ConfigKey::kNumNodes, static_cast<std::uint64_t>(c.num_nodes));
+  put(out, ConfigKey::kHostCpus, static_cast<std::uint64_t>(c.host_cpus));
+  put(out, ConfigKey::kBatchSize, static_cast<std::uint64_t>(c.batch_size));
+  put(out, ConfigKey::kYieldThreshold, static_cast<std::uint64_t>(c.yield_threshold));
+  put(out, ConfigKey::kSyscallEntryCycles, static_cast<std::uint64_t>(c.syscall_entry_cycles));
+  put(out, ConfigKey::kSyscallExitCycles, static_cast<std::uint64_t>(c.syscall_exit_cycles));
+  put(out, ConfigKey::kIrqEntryCycles, static_cast<std::uint64_t>(c.irq_entry_cycles));
+  put(out, ConfigKey::kIrqExitCycles, static_cast<std::uint64_t>(c.irq_exit_cycles));
+  put(out, ConfigKey::kContextSwitchCycles, static_cast<std::uint64_t>(c.context_switch_cycles));
+  put(out, ConfigKey::kSchedPolicy, static_cast<std::uint64_t>(c.sched_policy));
+  put(out, ConfigKey::kPreemptive, c.preemptive ? 1 : 0);
+  put(out, ConfigKey::kQuantum, static_cast<std::uint64_t>(c.quantum));
+  put(out, ConfigKey::kCpuMhz, from_double(c.cpu_mhz));
+
+  put(out, ConfigKey::kModel, static_cast<std::uint64_t>(cfg.model));
+  put(out, ConfigKey::kFlatLatency, static_cast<std::uint64_t>(cfg.flat_latency));
+  put(out, ConfigKey::kPlacement, static_cast<std::uint64_t>(cfg.placement));
+
+  const mem::SimpleMachineConfig& s = cfg.simple;
+  put(out, ConfigKey::kSimpleL1Size, s.l1.size_bytes);
+  put(out, ConfigKey::kSimpleL1Assoc, s.l1.assoc);
+  put(out, ConfigKey::kSimpleL1Line, s.l1.line_size);
+  put(out, ConfigKey::kSimpleL1Hit, static_cast<std::uint64_t>(s.l1_hit));
+  put(out, ConfigKey::kSimpleMemLatency, static_cast<std::uint64_t>(s.mem_latency));
+  put(out, ConfigKey::kSimpleBusOccupancy, static_cast<std::uint64_t>(s.bus_occupancy));
+  put(out, ConfigKey::kSimpleCacheToCache, static_cast<std::uint64_t>(s.cache_to_cache));
+  put(out, ConfigKey::kSimpleUpgrade, static_cast<std::uint64_t>(s.upgrade_latency));
+  put(out, ConfigKey::kSimplePageFault, static_cast<std::uint64_t>(s.page_fault));
+  put(out, ConfigKey::kSimpleSyncOverhead, static_cast<std::uint64_t>(s.sync_overhead));
+  put(out, ConfigKey::kSimpleSnoopMinCpus, static_cast<std::uint64_t>(s.snoop_filter_min_cpus));
+
+  const mem::NumaMachineConfig& n = cfg.numa;
+  put(out, ConfigKey::kNumaL1Size, n.l1.size_bytes);
+  put(out, ConfigKey::kNumaL1Assoc, n.l1.assoc);
+  put(out, ConfigKey::kNumaL1Line, n.l1.line_size);
+  put(out, ConfigKey::kNumaL2Size, n.l2.size_bytes);
+  put(out, ConfigKey::kNumaL2Assoc, n.l2.assoc);
+  put(out, ConfigKey::kNumaL2Line, n.l2.line_size);
+  put(out, ConfigKey::kNumaL1Hit, static_cast<std::uint64_t>(n.l1_hit));
+  put(out, ConfigKey::kNumaL2Hit, static_cast<std::uint64_t>(n.l2_hit));
+  put(out, ConfigKey::kNumaDirLookup, static_cast<std::uint64_t>(n.dir_lookup));
+  put(out, ConfigKey::kNumaMemAccess, static_cast<std::uint64_t>(n.mem_access));
+  put(out, ConfigKey::kNumaNetBase, static_cast<std::uint64_t>(n.net_base));
+  put(out, ConfigKey::kNumaNetPerHop, static_cast<std::uint64_t>(n.net_per_hop));
+  put(out, ConfigKey::kNumaNetBytesPerCycle, from_double(n.net_bytes_per_cycle));
+  put(out, ConfigKey::kNumaPageFault, static_cast<std::uint64_t>(n.page_fault));
+  put(out, ConfigKey::kNumaSyncOverhead, static_cast<std::uint64_t>(n.sync_overhead));
+
+  const dev::DeviceHubConfig& d = cfg.devices;
+  put(out, ConfigKey::kDevNumDisks, static_cast<std::uint64_t>(d.num_disks));
+  put(out, ConfigKey::kDevTimerInterval, static_cast<std::uint64_t>(d.timer_interval));
+  put(out, ConfigKey::kDevTimerPerCpu, d.timer_per_cpu ? 1 : 0);
+  put(out, ConfigKey::kDevRxWireDelay, static_cast<std::uint64_t>(d.rx_wire_delay));
+  put(out, ConfigKey::kDiskBlockSize, d.disk.block_size);
+  put(out, ConfigKey::kDiskFixedOverhead, static_cast<std::uint64_t>(d.disk.fixed_overhead));
+  put(out, ConfigKey::kDiskSeekPerBlock, from_double(d.disk.seek_per_block));
+  put(out, ConfigKey::kDiskSeekMax, static_cast<std::uint64_t>(d.disk.seek_max));
+  put(out, ConfigKey::kDiskRotationalAvg, static_cast<std::uint64_t>(d.disk.rotational_avg));
+  put(out, ConfigKey::kDiskPerBlockTransfer, static_cast<std::uint64_t>(d.disk.per_block_transfer));
+  put(out, ConfigKey::kEthBytesPerCycle, from_double(d.eth.bytes_per_cycle));
+  put(out, ConfigKey::kEthTxOverhead, static_cast<std::uint64_t>(d.eth.tx_overhead));
+  put(out, ConfigKey::kEthMtu, d.eth.mtu);
+  return out;
+}
+
+sim::SimulationConfig decode_config(const ConfigPairs& pairs) {
+  sim::SimulationConfig cfg;
+  for (const auto& [raw_key, v] : pairs) {
+    switch (static_cast<ConfigKey>(raw_key)) {
+      case ConfigKey::kNumCpus: cfg.core.num_cpus = static_cast<int>(v); break;
+      case ConfigKey::kNumNodes: cfg.core.num_nodes = static_cast<int>(v); break;
+      case ConfigKey::kHostCpus: cfg.core.host_cpus = static_cast<int>(v); break;
+      case ConfigKey::kBatchSize: cfg.core.batch_size = static_cast<int>(v); break;
+      case ConfigKey::kYieldThreshold: cfg.core.yield_threshold = static_cast<Cycles>(v); break;
+      case ConfigKey::kSyscallEntryCycles: cfg.core.syscall_entry_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kSyscallExitCycles: cfg.core.syscall_exit_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kIrqEntryCycles: cfg.core.irq_entry_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kIrqExitCycles: cfg.core.irq_exit_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kContextSwitchCycles: cfg.core.context_switch_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kSchedPolicy: cfg.core.sched_policy = static_cast<core::SchedPolicy>(v); break;
+      case ConfigKey::kPreemptive: cfg.core.preemptive = v != 0; break;
+      case ConfigKey::kQuantum: cfg.core.quantum = static_cast<Cycles>(v); break;
+      case ConfigKey::kCpuMhz: cfg.core.cpu_mhz = to_double(v); break;
+
+      case ConfigKey::kModel: cfg.model = static_cast<sim::BackendModel>(v); break;
+      case ConfigKey::kFlatLatency: cfg.flat_latency = static_cast<Cycles>(v); break;
+      case ConfigKey::kPlacement: cfg.placement = static_cast<mem::PlacementPolicy>(v); break;
+
+      case ConfigKey::kSimpleL1Size: cfg.simple.l1.size_bytes = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kSimpleL1Assoc: cfg.simple.l1.assoc = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kSimpleL1Line: cfg.simple.l1.line_size = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kSimpleL1Hit: cfg.simple.l1_hit = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimpleMemLatency: cfg.simple.mem_latency = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimpleBusOccupancy: cfg.simple.bus_occupancy = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimpleCacheToCache: cfg.simple.cache_to_cache = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimpleUpgrade: cfg.simple.upgrade_latency = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimplePageFault: cfg.simple.page_fault = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimpleSyncOverhead: cfg.simple.sync_overhead = static_cast<Cycles>(v); break;
+      case ConfigKey::kSimpleSnoopMinCpus: cfg.simple.snoop_filter_min_cpus = static_cast<int>(v); break;
+
+      case ConfigKey::kNumaL1Size: cfg.numa.l1.size_bytes = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kNumaL1Assoc: cfg.numa.l1.assoc = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kNumaL1Line: cfg.numa.l1.line_size = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kNumaL2Size: cfg.numa.l2.size_bytes = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kNumaL2Assoc: cfg.numa.l2.assoc = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kNumaL2Line: cfg.numa.l2.line_size = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kNumaL1Hit: cfg.numa.l1_hit = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaL2Hit: cfg.numa.l2_hit = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaDirLookup: cfg.numa.dir_lookup = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaMemAccess: cfg.numa.mem_access = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaNetBase: cfg.numa.net_base = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaNetPerHop: cfg.numa.net_per_hop = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaNetBytesPerCycle: cfg.numa.net_bytes_per_cycle = to_double(v); break;
+      case ConfigKey::kNumaPageFault: cfg.numa.page_fault = static_cast<Cycles>(v); break;
+      case ConfigKey::kNumaSyncOverhead: cfg.numa.sync_overhead = static_cast<Cycles>(v); break;
+
+      case ConfigKey::kDevNumDisks: cfg.devices.num_disks = static_cast<int>(v); break;
+      case ConfigKey::kDevTimerInterval: cfg.devices.timer_interval = static_cast<Cycles>(v); break;
+      case ConfigKey::kDevTimerPerCpu: cfg.devices.timer_per_cpu = v != 0; break;
+      case ConfigKey::kDevRxWireDelay: cfg.devices.rx_wire_delay = static_cast<Cycles>(v); break;
+      case ConfigKey::kDiskBlockSize: cfg.devices.disk.block_size = static_cast<std::uint32_t>(v); break;
+      case ConfigKey::kDiskFixedOverhead: cfg.devices.disk.fixed_overhead = static_cast<Cycles>(v); break;
+      case ConfigKey::kDiskSeekPerBlock: cfg.devices.disk.seek_per_block = to_double(v); break;
+      case ConfigKey::kDiskSeekMax: cfg.devices.disk.seek_max = static_cast<Cycles>(v); break;
+      case ConfigKey::kDiskRotationalAvg: cfg.devices.disk.rotational_avg = static_cast<Cycles>(v); break;
+      case ConfigKey::kDiskPerBlockTransfer: cfg.devices.disk.per_block_transfer = static_cast<Cycles>(v); break;
+      case ConfigKey::kEthBytesPerCycle: cfg.devices.eth.bytes_per_cycle = to_double(v); break;
+      case ConfigKey::kEthTxOverhead: cfg.devices.eth.tx_overhead = static_cast<Cycles>(v); break;
+      case ConfigKey::kEthMtu: cfg.devices.eth.mtu = static_cast<std::uint32_t>(v); break;
+
+      default:
+        throw TraceError("unknown config key " + std::to_string(raw_key) +
+                         " (trace written by a newer build?)");
+    }
+  }
+  return cfg;
+}
+
+bool config_lookup(const ConfigPairs& pairs, ConfigKey key,
+                   std::uint64_t& out) {
+  for (const auto& [k, v] : pairs) {
+    if (k == static_cast<std::uint32_t>(key)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace compass::trace

@@ -1,0 +1,25 @@
+// Serialization of the backend-relevant SimulationConfig fields into the
+// trace's key/value config block. Frontend-only knobs (kernel parameters,
+// OS-server context options, user heap size) are deliberately excluded:
+// replay runs without frontends, and a trace must be re-drivable against a
+// modified machine configuration.
+#pragma once
+
+#include "sim/simulation.h"
+#include "trace/trace_format.h"
+
+namespace compass::trace {
+
+/// Encode the backend-relevant fields of `cfg` (doubles are bit-cast).
+ConfigPairs encode_config(const sim::SimulationConfig& cfg);
+
+/// Rebuild a SimulationConfig (defaults plus the recorded pairs). Unknown
+/// keys raise TraceError — they imply a newer writer whose semantics this
+/// build does not understand.
+sim::SimulationConfig decode_config(const ConfigPairs& pairs);
+
+/// Lookup helper; returns true and sets `out` when `key` is present.
+bool config_lookup(const ConfigPairs& pairs, ConfigKey key,
+                   std::uint64_t& out);
+
+}  // namespace compass::trace

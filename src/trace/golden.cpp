@@ -1,0 +1,50 @@
+#include "trace/golden.h"
+
+#include <set>
+
+namespace compass::trace {
+
+bool golden_excluded(const std::string& counter) {
+  if (counter == "backend.tasks") return true;
+  return counter.rfind("fs.", 0) == 0 || counter.rfind("net.", 0) == 0;
+}
+
+std::vector<std::string> golden_diff(const stats::StatsSnapshot& live,
+                                     const stats::StatsSnapshot& replay) {
+  std::vector<std::string> diffs;
+  if (live.cycles != replay.cycles)
+    diffs.push_back("cycles: live=" + std::to_string(live.cycles) +
+                    " replay=" + std::to_string(replay.cycles));
+
+  std::set<std::string> names;
+  for (const auto& [name, value] : live.counters) names.insert(name);
+  for (const auto& [name, value] : replay.counters) names.insert(name);
+  for (const std::string& name : names) {
+    if (golden_excluded(name)) continue;
+    const auto lit = live.counters.find(name);
+    const auto rit = replay.counters.find(name);
+    const std::uint64_t lv = lit == live.counters.end() ? 0 : lit->second;
+    const std::uint64_t rv = rit == replay.counters.end() ? 0 : rit->second;
+    if (lv != rv)
+      diffs.push_back("counter " + name + ": live=" + std::to_string(lv) +
+                      " replay=" + std::to_string(rv));
+  }
+
+  if (live.cpu_time.size() != replay.cpu_time.size()) {
+    diffs.push_back("cpu_time: live has " +
+                    std::to_string(live.cpu_time.size()) + " cpus, replay " +
+                    std::to_string(replay.cpu_time.size()));
+  } else {
+    static constexpr const char* kModes[4] = {"user", "kernel", "interrupt",
+                                              "idle"};
+    for (std::size_t c = 0; c < live.cpu_time.size(); ++c)
+      for (std::size_t m = 0; m < 4; ++m)
+        if (live.cpu_time[c][m] != replay.cpu_time[c][m])
+          diffs.push_back("cpu" + std::to_string(c) + "." + kModes[m] +
+                          ": live=" + std::to_string(live.cpu_time[c][m]) +
+                          " replay=" + std::to_string(replay.cpu_time[c][m]));
+  }
+  return diffs;
+}
+
+}  // namespace compass::trace

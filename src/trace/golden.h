@@ -1,0 +1,30 @@
+// Golden comparison between a live run's stats snapshot and a replay's.
+//
+// Replay reproduces the backend bit-for-bit, but not the *host-side* kernel
+// code, so counters maintained by frontend-hosted kernel subsystems never
+// appear in a replay: the filesystem ("fs.") and network-stack ("net.")
+// counters are bumped while building requests, not while the backend
+// consumes them. "backend.tasks" differs structurally: the live run
+// schedules rx-frame injection from the wire model's on_tx callback while
+// replay pre-schedules every stimulus as its own task. Everything else —
+// total cycles, per-CPU per-mode time, cache/memory-system counters, OS and
+// device counters, dispatch statistics — must match exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/json.h"
+
+namespace compass::trace {
+
+/// True when `counter` is legitimately absent/different under replay.
+bool golden_excluded(const std::string& counter);
+
+/// Human-readable list of mismatches between the live and replay snapshots
+/// (empty = golden match). Histograms are not compared: their sums include
+/// host-side-only samples.
+std::vector<std::string> golden_diff(const stats::StatsSnapshot& live,
+                                     const stats::StatsSnapshot& replay);
+
+}  // namespace compass::trace

@@ -1,0 +1,214 @@
+// On-disk event-trace format shared by TraceWriter and TraceReader.
+//
+// Layout (all multi-byte scalars are LEB128 varints unless noted):
+//
+//   magic            8 bytes  "COMPASTR"
+//   version          4 bytes  little-endian u32
+//   config_hash      8 bytes  little-endian u64, FNV-1a over the config block
+//   config block     varint pair-count, then per pair: varint key, varint
+//                    value (doubles are bit-cast to u64)
+//   proc table       varint proc-count, then per proc: u8 kind,
+//                    varint name-length, name bytes
+//   records          tagged stream, terminated by a kEnd record carrying
+//                    the record and event counts (integrity check)
+//
+// Record payloads:
+//
+//   kBatch       varint proc, varint event-count, then per event:
+//                  u8 packed  (kind | mode << 4 | ref_type << 6)
+//                  varint dt  (time delta vs previous event; the first
+//                             event's dt is relative to the process's time
+//                             base at dispatch — its last reply time)
+//                  kMemRef: varint size, zigzag-varint addr delta vs the
+//                           process's previous kMemRef address
+//                  others:  u8 arg mask, then a varint per set bit
+//   kIrqPop      varint proc, varint cpu
+//   kChannelSeed varint channel, varint permits
+//   kTxFrame     varint proc, varint bytes
+//   kRxStimulus  varint when (absolute cycle), varint bytes
+//   kEnd         varint record-count (excluding kEnd), varint event-count
+//
+// Event times are stored as deltas against the *reply-rebased* time base,
+// so a trace replays against any backend configuration: the replayer
+// re-derives absolute times from the replies the new backend produces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace compass::trace {
+
+/// Any malformed-trace condition: bad magic, version mismatch, truncation,
+/// corrupt varint, inconsistent counts.
+class TraceError : public util::SimError {
+ public:
+  explicit TraceError(const std::string& what) : util::SimError(what) {}
+};
+
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'C', 'O', 'M', 'P',
+                                                       'A', 'S', 'T', 'R'};
+inline constexpr std::uint32_t kVersion = 1;
+
+enum class RecordTag : std::uint8_t {
+  kBatch = 1,
+  kIrqPop = 2,
+  kChannelSeed = 3,
+  kTxFrame = 4,
+  kRxStimulus = 5,
+  kEnd = 6,
+};
+
+/// Keys of the serialized configuration block (SimulationConfig fields that
+/// affect backend behaviour). Values are u64; doubles are bit-cast.
+enum class ConfigKey : std::uint32_t {
+  kNumCpus = 1,
+  kNumNodes,
+  kHostCpus,
+  kBatchSize,
+  kYieldThreshold,
+  kSyscallEntryCycles,
+  kSyscallExitCycles,
+  kIrqEntryCycles,
+  kIrqExitCycles,
+  kContextSwitchCycles,
+  kSchedPolicy,
+  kPreemptive,
+  kQuantum,
+  kCpuMhz,
+
+  kModel = 32,
+  kFlatLatency,
+  kPlacement,
+
+  kSimpleL1Size = 48,
+  kSimpleL1Assoc,
+  kSimpleL1Line,
+  kSimpleL1Hit,
+  kSimpleMemLatency,
+  kSimpleBusOccupancy,
+  kSimpleCacheToCache,
+  kSimpleUpgrade,
+  kSimplePageFault,
+  kSimpleSyncOverhead,
+  kSimpleSnoopMinCpus,
+
+  kNumaL1Size = 64,
+  kNumaL1Assoc,
+  kNumaL1Line,
+  kNumaL2Size,
+  kNumaL2Assoc,
+  kNumaL2Line,
+  kNumaL1Hit,
+  kNumaL2Hit,
+  kNumaDirLookup,
+  kNumaMemAccess,
+  kNumaNetBase,
+  kNumaNetPerHop,
+  kNumaNetBytesPerCycle,
+  kNumaPageFault,
+  kNumaSyncOverhead,
+
+  kDevNumDisks = 96,
+  kDevTimerInterval,
+  kDevTimerPerCpu,
+  kDevRxWireDelay,
+  kDiskBlockSize,
+  kDiskFixedOverhead,
+  kDiskSeekPerBlock,
+  kDiskSeekMax,
+  kDiskRotationalAvg,
+  kDiskPerBlockTransfer,
+  kEthBytesPerCycle,
+  kEthTxOverhead,
+  kEthMtu,
+};
+
+using ConfigPairs = std::vector<std::pair<std::uint32_t, std::uint64_t>>;
+
+/// FNV-1a over a byte span (the config fingerprint).
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Append a LEB128 varint.
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Zigzag-encode a signed delta so small magnitudes stay small.
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Pack kind/mode/ref_type into the per-event descriptor byte.
+inline std::uint8_t pack_event_byte(const core::Event& ev) {
+  return static_cast<std::uint8_t>(
+      (static_cast<unsigned>(ev.kind) & 0x0Fu) |
+      ((static_cast<unsigned>(ev.mode) & 0x03u) << 4) |
+      ((static_cast<unsigned>(ev.ref_type) & 0x03u) << 6));
+}
+
+/// Bounds-checked cursor over a loaded trace; every overrun or malformed
+/// varint throws TraceError instead of reading past the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size())
+      throw TraceError("trace truncated at byte " + std::to_string(pos_));
+    return bytes_[pos_++];
+  }
+
+  void raw(std::span<std::uint8_t> out) {
+    if (bytes_.size() - pos_ < out.size())
+      throw TraceError("trace truncated at byte " + std::to_string(pos_));
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = bytes_[pos_ + i];
+    pos_ += out.size();
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) {
+        // Reject non-canonical 10-byte encodings overflowing 64 bits.
+        if (shift == 63 && b > 1)
+          throw TraceError("corrupt varint at byte " + std::to_string(pos_));
+        return v;
+      }
+    }
+    throw TraceError("corrupt varint at byte " + std::to_string(pos_));
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace compass::trace

@@ -1,0 +1,192 @@
+#include "trace/trace_reader.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace compass::trace {
+
+namespace {
+
+std::uint32_t get_u32le(ByteReader& r) {
+  std::array<std::uint8_t, 4> b;
+  r.raw(b);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64le(ByteReader& r) {
+  std::array<std::uint8_t, 8> b;
+  r.raw(b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+ProcId read_proc_id(ByteReader& r, const TraceData& data) {
+  const std::uint64_t raw = r.varint();
+  if (raw >= data.procs.size())
+    throw TraceError("record references unknown proc " + std::to_string(raw));
+  return static_cast<ProcId>(raw);
+}
+
+core::Event decode_event(ByteReader& r, Addr& last_addr) {
+  const std::uint8_t packed = r.u8();
+  const auto kind_raw = packed & 0x0Fu;
+  if (kind_raw > static_cast<unsigned>(core::EventKind::kExit))
+    throw TraceError("invalid event kind " + std::to_string(kind_raw) +
+                     " at byte " + std::to_string(r.pos()));
+  core::Event ev;
+  ev.kind = static_cast<core::EventKind>(kind_raw);
+  ev.mode = static_cast<ExecMode>((packed >> 4) & 0x03u);
+  ev.ref_type = static_cast<RefType>((packed >> 6) & 0x03u);
+  if (ev.ref_type > RefType::kSync)
+    throw TraceError("invalid ref type at byte " + std::to_string(r.pos()));
+  ev.time = static_cast<Cycles>(r.varint());  // delta, rebased at replay
+  if (ev.kind == core::EventKind::kMemRef) {
+    ev.size = static_cast<std::uint32_t>(r.varint());
+    const std::int64_t delta = unzigzag(r.varint());
+    ev.addr = static_cast<Addr>(static_cast<std::int64_t>(last_addr) + delta);
+    last_addr = ev.addr;
+  } else if (ev.kind != core::EventKind::kYield) {
+    const std::uint8_t mask = r.u8();
+    if ((mask & ~0x0Fu) != 0)
+      throw TraceError("invalid arg mask at byte " + std::to_string(r.pos()));
+    for (int i = 0; i < 4; ++i)
+      if ((mask & (1u << i)) != 0) ev.arg[static_cast<std::size_t>(i)] = r.varint();
+  }
+  return ev;
+}
+
+}  // namespace
+
+TraceData TraceReader::read_bytes(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  TraceData data;
+
+  std::array<std::uint8_t, 8> magic;
+  r.raw(magic);
+  if (magic != kMagic) throw TraceError("bad magic: not a COMPASS trace file");
+
+  const std::uint32_t version = get_u32le(r);
+  if (version != kVersion)
+    throw TraceError("unsupported trace version " + std::to_string(version) +
+                     " (expected " + std::to_string(kVersion) + ")");
+
+  data.config_hash = get_u64le(r);
+  const std::size_t config_start = r.pos();
+  const std::uint64_t num_pairs = r.varint();
+  data.config.reserve(num_pairs);
+  for (std::uint64_t i = 0; i < num_pairs; ++i) {
+    const std::uint64_t key = r.varint();
+    const std::uint64_t value = r.varint();
+    data.config.emplace_back(static_cast<std::uint32_t>(key), value);
+  }
+  const std::uint64_t computed = fnv1a(bytes.subspan(config_start, r.pos() - config_start));
+  if (computed != data.config_hash)
+    throw TraceError("config fingerprint mismatch: header says " +
+                     std::to_string(data.config_hash) + ", block hashes to " +
+                     std::to_string(computed));
+
+  const std::uint64_t num_procs = r.varint();
+  for (std::uint64_t i = 0; i < num_procs; ++i) {
+    ProcEntry p;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(core::TraceSink::ProcKind::kDaemon))
+      throw TraceError("invalid proc kind " + std::to_string(kind));
+    p.kind = static_cast<core::TraceSink::ProcKind>(kind);
+    const std::uint64_t len = r.varint();
+    p.name.resize(len);
+    r.raw(std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(p.name.data()), len));
+    data.procs.push_back(std::move(p));
+  }
+  data.streams.resize(data.procs.size());
+  std::vector<Addr> last_addr(data.procs.size(), 0);
+
+  bool saw_end = false;
+  while (!saw_end) {
+    const std::uint8_t tag = r.u8();
+    switch (static_cast<RecordTag>(tag)) {
+      case RecordTag::kBatch: {
+        const ProcId proc = read_proc_id(r, data);
+        const std::uint64_t count = r.varint();
+        if (count == 0) throw TraceError("empty batch record");
+        TraceData::Op op;
+        op.kind = TraceData::Op::Kind::kBatch;
+        op.events.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i)
+          op.events.push_back(
+              decode_event(r, last_addr[static_cast<std::size_t>(proc)]));
+        data.total_events += count;
+        data.streams[static_cast<std::size_t>(proc)].push_back(std::move(op));
+        break;
+      }
+      case RecordTag::kIrqPop: {
+        const ProcId proc = read_proc_id(r, data);
+        TraceData::Op op;
+        op.kind = TraceData::Op::Kind::kIrqPop;
+        op.cpu = static_cast<CpuId>(r.varint());
+        data.streams[static_cast<std::size_t>(proc)].push_back(std::move(op));
+        break;
+      }
+      case RecordTag::kChannelSeed: {
+        const core::WaitChannel channel = r.varint();
+        const std::uint64_t permits = r.varint();
+        data.channel_seeds.emplace_back(channel, permits);
+        break;
+      }
+      case RecordTag::kTxFrame: {
+        const ProcId proc = read_proc_id(r, data);
+        TraceData::Op op;
+        op.kind = TraceData::Op::Kind::kTxFrame;
+        op.bytes = r.varint();
+        data.streams[static_cast<std::size_t>(proc)].push_back(std::move(op));
+        break;
+      }
+      case RecordTag::kRxStimulus: {
+        TraceData::RxStimulus st;
+        st.when = static_cast<Cycles>(r.varint());
+        st.bytes = r.varint();
+        data.rx_stimuli.push_back(st);
+        break;
+      }
+      case RecordTag::kEnd: {
+        const std::uint64_t records = r.varint();
+        const std::uint64_t events = r.varint();
+        if (records != data.total_records || events != data.total_events)
+          throw TraceError(
+              "end-record count mismatch (trace truncated or corrupt): file "
+              "says " + std::to_string(records) + " records / " +
+              std::to_string(events) + " events, decoded " +
+              std::to_string(data.total_records) + " / " +
+              std::to_string(data.total_events));
+        saw_end = true;
+        continue;  // don't count kEnd itself
+      }
+      default:
+        throw TraceError("unknown record tag " + std::to_string(tag) +
+                         " at byte " + std::to_string(r.pos() - 1));
+    }
+    ++data.total_records;
+  }
+  if (!r.at_end())
+    throw TraceError("trailing garbage after end record at byte " +
+                     std::to_string(r.pos()));
+  return data;
+}
+
+TraceData TraceReader::read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw TraceError("cannot open trace file: " + path);
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 64 * 1024> chunk;
+  std::size_t n = 0;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0)
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(n));
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) throw TraceError("read error on trace file: " + path);
+  return read_bytes(bytes);
+}
+
+}  // namespace compass::trace

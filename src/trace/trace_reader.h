@@ -1,0 +1,60 @@
+// TraceReader: loads and validates a binary event trace into an in-memory
+// TraceData ready for replay or inspection. Every structural defect —
+// bad magic, unsupported version, truncation, corrupt varints, config-hash
+// mismatch, inconsistent end counts — raises TraceError.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/trace_sink.h"
+#include "core/types.h"
+#include "trace/trace_format.h"
+#include "trace/trace_writer.h"
+
+namespace compass::trace {
+
+/// A fully decoded trace. Per-proc streams preserve the order the backend
+/// consumed inputs from that process; cross-proc interleaving is
+/// re-established at replay time by the backend's smallest-time-first rule.
+struct TraceData {
+  struct Op {
+    enum class Kind : std::uint8_t {
+      kBatch,    ///< one posted event batch
+      kIrqPop,   ///< kernel code popped one interrupt descriptor
+      kTxFrame,  ///< next kEthTx references a staged frame of `bytes`
+    };
+    Kind kind = Kind::kBatch;
+    /// kBatch payload. Event.time holds the *delta* against the previous
+    /// event (the first event's delta is against the process's reply time
+    /// base); addresses and all other fields are absolute.
+    std::vector<core::Event> events;
+    CpuId cpu = 0;             ///< kIrqPop: cpu recorded live (informational)
+    std::uint64_t bytes = 0;   ///< kTxFrame payload size
+  };
+
+  struct RxStimulus {
+    Cycles when = 0;  ///< absolute injection cycle recorded live
+    std::uint64_t bytes = 0;
+  };
+
+  ConfigPairs config;
+  std::uint64_t config_hash = 0;
+  std::vector<ProcEntry> procs;
+  std::vector<std::vector<Op>> streams;  ///< indexed by ProcId
+  std::vector<std::pair<core::WaitChannel, std::uint64_t>> channel_seeds;
+  std::vector<RxStimulus> rx_stimuli;
+  std::uint64_t total_records = 0;
+  std::uint64_t total_events = 0;
+};
+
+class TraceReader {
+ public:
+  static TraceData read_file(const std::string& path);
+  static TraceData read_bytes(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace compass::trace

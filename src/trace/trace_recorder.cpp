@@ -1,0 +1,103 @@
+#include "trace/trace_recorder.h"
+
+#include "dev/device_hub.h"
+#include "trace/config_codec.h"
+
+namespace compass::trace {
+
+TraceRecorder::TraceRecorder(const sim::SimulationConfig& cfg,
+                             const std::string& path)
+    : writer_(path), config_(encode_config(cfg)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::ensure_header() {
+  if (header_written_) return;
+  header_written_ = true;
+  writer_.write_header(config_, procs_);
+  for (const auto& [channel, permits] : early_seeds_)
+    writer_.channel_seed(channel, permits);
+  early_seeds_.clear();
+}
+
+void TraceRecorder::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  finalized_ = true;
+  ensure_header();  // even an empty run yields a valid trace
+  COMPASS_CHECK_MSG(!pending_tx_.active, "unflushed tx batch at finalize");
+  writer_.finish();
+}
+
+void TraceRecorder::on_add_proc(ProcId id, const std::string& name,
+                                ProcKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  COMPASS_CHECK_MSG(!header_written_, "proc registered after recording began");
+  COMPASS_CHECK(static_cast<std::size_t>(id) == procs_.size());
+  procs_.push_back(ProcEntry{name, kind});
+}
+
+void TraceRecorder::on_channel_seed(core::WaitChannel channel,
+                                    std::uint64_t permits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!header_written_) {
+    early_seeds_.emplace_back(channel, permits);
+    return;
+  }
+  writer_.channel_seed(channel, permits);
+}
+
+void TraceRecorder::on_batch(ProcId proc, Cycles base,
+                             std::span<const core::Event> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_header();
+  Cycles delta0 = events.front().time - base;
+  if (const auto it = preempt_delta0_.find(proc); it != preempt_delta0_.end()) {
+    delta0 = it->second;
+    preempt_delta0_.erase(it);
+  }
+  // A kEthTx batch is deferred until its on_tx_frame sibling arrives so the
+  // reader sees the staged size before the request that consumes it.
+  if (events.size() == 1 && events[0].kind == core::EventKind::kDevRequest &&
+      static_cast<dev::DevOp>(events[0].arg[0]) == dev::DevOp::kEthTx) {
+    COMPASS_CHECK_MSG(!pending_tx_.active, "overlapping kEthTx batches");
+    pending_tx_.active = true;
+    pending_tx_.proc = proc;
+    pending_tx_.delta0 = delta0;
+    pending_tx_.events.assign(events.begin(), events.end());
+    return;
+  }
+  writer_.batch(proc, delta0, events);
+}
+
+void TraceRecorder::on_preempt(ProcId proc, Cycles base, Cycles event_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only the first preemption of a still-pending batch sees the original
+  // frontend-stamped time; later rebases are backend bookkeeping.
+  preempt_delta0_.try_emplace(proc, event_time - base);
+}
+
+void TraceRecorder::on_irq_pop(ProcId proc, CpuId cpu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_header();
+  writer_.irq_pop(proc, cpu);
+}
+
+void TraceRecorder::on_tx_frame(ProcId proc, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_header();
+  writer_.tx_frame(proc, bytes);
+  COMPASS_CHECK_MSG(pending_tx_.active && pending_tx_.proc == proc,
+                    "tx frame without its kEthTx batch");
+  writer_.batch(pending_tx_.proc, pending_tx_.delta0, pending_tx_.events);
+  pending_tx_.active = false;
+  pending_tx_.events.clear();
+}
+
+void TraceRecorder::on_rx_stimulus(Cycles when, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_header();
+  writer_.rx_stimulus(when, bytes);
+}
+
+}  // namespace compass::trace

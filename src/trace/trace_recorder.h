@@ -1,0 +1,71 @@
+// TraceRecorder: the live TraceSink. Plug one into
+// SimulationConfig::trace_sink and it captures the entire backend input
+// stream into a trace file as the simulation runs.
+//
+// The header (config block + proc table) is written lazily at the first
+// streamed record: channel seeds fire from the Kernel constructor before
+// application processes register, so seeds are buffered in memory and
+// flushed once the proc table is final (process registration strictly
+// precedes Backend::run(), which produces the first batch).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/trace_sink.h"
+#include "sim/simulation.h"
+#include "trace/trace_writer.h"
+
+namespace compass::trace {
+
+class TraceRecorder : public core::TraceSink {
+ public:
+  /// Opens `path`; `cfg` is fingerprinted and serialized into the header.
+  TraceRecorder(const sim::SimulationConfig& cfg, const std::string& path);
+  ~TraceRecorder() override;
+
+  /// Writes the end record and closes the file. Call after Simulation::run()
+  /// returns successfully; a recorder destroyed without finalize() leaves a
+  /// deliberately invalid (endless) trace.
+  void finalize();
+
+  std::uint64_t records_written() const { return writer_.records_written(); }
+  std::uint64_t events_written() const { return writer_.events_written(); }
+
+  void on_add_proc(ProcId id, const std::string& name, ProcKind kind) override;
+  void on_channel_seed(core::WaitChannel channel, std::uint64_t permits) override;
+  void on_batch(ProcId proc, Cycles base, std::span<const core::Event> events) override;
+  void on_preempt(ProcId proc, Cycles base, Cycles event_time) override;
+  void on_irq_pop(ProcId proc, CpuId cpu) override;
+  void on_tx_frame(ProcId proc, std::uint64_t bytes) override;
+  void on_rx_stimulus(Cycles when, std::uint64_t bytes) override;
+
+ private:
+  void ensure_header();  // requires mu_
+
+  std::mutex mu_;
+  TraceWriter writer_;
+  ConfigPairs config_;
+  std::vector<ProcEntry> procs_;
+  std::vector<std::pair<core::WaitChannel, std::uint64_t>> early_seeds_;
+  /// Time-base correction pending from a preemption rebase: the next batch
+  /// dispatched for the proc carries the original (pre-rebase) delta, which
+  /// this override folds back in so replayed posts advance time exactly as
+  /// the live frontend did.
+  std::map<ProcId, Cycles> preempt_delta0_;
+  /// A kEthTx control batch held back until its on_tx_frame record (the
+  /// frame size) is written; both fire back-to-back on the backend thread.
+  struct PendingTx {
+    bool active = false;
+    ProcId proc = 0;
+    Cycles delta0 = 0;
+    std::vector<core::Event> events;
+  };
+  PendingTx pending_tx_;
+  bool header_written_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace compass::trace

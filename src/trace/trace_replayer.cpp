@@ -1,0 +1,253 @@
+#include "trace/trace_replayer.h"
+
+#include <algorithm>
+
+#include "trace/config_codec.h"
+
+namespace compass::trace {
+
+using core::TraceSink;
+
+TraceReplayer::TraceReplayer(const TraceData& data, sim::SimulationConfig cfg)
+    : data_(data), cfg_(std::move(cfg)) {
+  cfg_.core.validate();
+  std::uint64_t recorded_cpus = 0;
+  if (config_lookup(data_.config, ConfigKey::kNumCpus, recorded_cpus)) {
+    COMPASS_CHECK_MSG(
+        static_cast<std::uint64_t>(cfg_.core.num_cpus) == recorded_cpus,
+        "replay num_cpus (" << cfg_.core.num_cpus << ") must match recording ("
+                            << recorded_cpus
+                            << "): the proc table has one bottom half per CPU");
+  }
+
+  comm_ = std::make_unique<core::Communicator>(cfg_.core.num_cpus,
+                                               cfg_.core.host_cpus);
+  mem::VmConfig vm_cfg;
+  vm_cfg.num_nodes = cfg_.core.num_nodes;
+  vm_cfg.placement = cfg_.placement;
+  vm_ = std::make_unique<mem::Vm>(vm_cfg, &registry_);
+
+  // No trampoline needed here: the replayer owns the registry outright, so
+  // the machine can be built before the backend.
+  switch (cfg_.model) {
+    case sim::BackendModel::kFlat:
+      machine_ = std::make_unique<mem::FlatMemory>(cfg_.flat_latency, vm_.get(),
+                                                   &registry_);
+      break;
+    case sim::BackendModel::kSimple:
+      machine_ = std::make_unique<mem::SimpleMachine>(
+          cfg_.simple, cfg_.core.num_cpus, *vm_, &registry_);
+      break;
+    case sim::BackendModel::kNuma: {
+      mem::NumaMachineConfig numa = cfg_.numa;
+      numa.placement = cfg_.placement;
+      machine_ = std::make_unique<mem::NumaMachine>(
+          numa, cfg_.core.num_cpus, cfg_.core.num_nodes, *vm_, &registry_);
+      break;
+    }
+  }
+
+  devices_ = std::make_unique<dev::DeviceHub>(cfg_.devices, &registry_);
+  backend_os_ = std::make_unique<os::BackendOs>(*vm_);
+
+  core::Backend::Hooks hooks;
+  hooks.memsys = machine_.get();
+  hooks.backend_calls = backend_os_.get();
+  hooks.devices = devices_.get();
+  hooks.idle_irq = this;
+  backend_ = std::make_unique<core::Backend>(cfg_.core, *comm_, hooks,
+                                             &registry_);
+  devices_->bind(*backend_);
+  backend_os_->bind(*backend_);
+
+  // Re-register the recorded processes in order: registration order defines
+  // the ProcId, so ids in the streams resolve to the same ports.
+  for (std::size_t i = 0; i < data_.procs.size(); ++i) {
+    const ProcEntry& p = data_.procs[i];
+    ProcId id = kNoProc;
+    switch (p.kind) {
+      case TraceSink::ProcKind::kProcess: id = backend_->add_process(p.name); break;
+      case TraceSink::ProcKind::kBottomHalf: id = backend_->add_bottom_half(p.name); break;
+      case TraceSink::ProcKind::kDaemon: id = backend_->add_daemon(p.name); break;
+    }
+    COMPASS_CHECK(static_cast<std::size_t>(id) == i);
+    auto s = std::make_unique<Stream>();
+    s->ops = &data_.streams[i];
+    s->kind = p.kind;
+    streams_.push_back(std::move(s));
+  }
+
+  // Channel seeds use fresh host-generated channel ids, so replaying them
+  // all up front (instead of at their recorded stream position) is safe:
+  // nothing can block on a channel before the seed's recording point.
+  for (const auto& [channel, permits] : data_.channel_seeds)
+    backend_->init_channel_permits(channel, permits);
+}
+
+TraceReplayer::~TraceReplayer() {
+  // run() joins everything; an unrun replayer has no threads.
+}
+
+void TraceReplayer::run() {
+  COMPASS_CHECK_MSG(!ran_, "TraceReplayer::run() called twice");
+  ran_ = true;
+
+  // Re-inject the recorded wire stimuli at their recorded absolute cycles.
+  // The global scheduler breaks equal-time ties by insertion order, so
+  // same-cycle stimuli keep their recorded relative order.
+  for (const TraceData::RxStimulus& st : data_.rx_stimuli) {
+    backend_->scheduler().schedule_at(st.when, [this, st] {
+      const std::uint64_t id =
+          devices_->ethernet().inject_rx(std::vector<std::uint8_t>(st.bytes, 0));
+      backend_->raise_irq(backend_->pick_irq_cpu(),
+                          core::IrqDesc{core::Irq::kEthernetRx, id, 0});
+    });
+  }
+
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = *streams_[i];
+    const ProcId proc = static_cast<ProcId>(i);
+    if (s.kind == TraceSink::ProcKind::kBottomHalf)
+      s.thread = std::thread([this, &s, proc] { bottom_half_main(s, proc); });
+    else
+      s.thread = std::thread([this, &s, proc] { play_whole_stream(s, proc); });
+  }
+
+  std::exception_ptr err;
+  try {
+    backend_->run();
+  } catch (...) {
+    // Backend::run() closed all ports on its way out, so replay threads
+    // stuck in a post see aborted replies and unwind.
+    err = std::current_exception();
+  }
+  for (auto& sp : streams_) {
+    if (sp->kind != TraceSink::ProcKind::kBottomHalf) continue;
+    {
+      std::lock_guard<std::mutex> lock(sp->mu);
+      sp->stop = true;
+    }
+    sp->cv.notify_one();
+  }
+  for (auto& sp : streams_)
+    if (sp->thread.joinable()) sp->thread.join();
+  if (err) std::rethrow_exception(err);
+}
+
+void TraceReplayer::dispatch_idle_irq(CpuId cpu, ProcId bh_proc, Cycles when) {
+  Stream& s = *streams_.at(static_cast<std::size_t>(bh_proc));
+  COMPASS_CHECK(s.kind == TraceSink::ProcKind::kBottomHalf);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.work.emplace_back(cpu, when);
+  }
+  s.cv.notify_one();
+}
+
+void TraceReplayer::play_whole_stream(Stream& s, ProcId proc) {
+  core::HostThrottle::Hold hold(comm_->throttle());
+  (void)play_ops(s, proc, /*bh_group=*/false);
+  // kExhausted: the stream ends with kExit (application) or with the batch
+  // live recording drained at shutdown (daemon) — either way the backend
+  // needs nothing further from this process. kAborted: shutdown unwind.
+}
+
+void TraceReplayer::bottom_half_main(Stream& s, ProcId proc) {
+  core::HostThrottle::Hold hold(comm_->throttle());
+  for (;;) {
+    std::pair<CpuId, Cycles> item;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv.wait(lock, [&s] { return s.stop || !s.work.empty(); });
+      if (s.work.empty()) return;  // stop requested and drained
+      item = s.work.front();
+      s.work.pop_front();
+    }
+    // The backend set our time base when it bound us to the CPU
+    // (maybe_dispatch_idle_irq sets last_time = when before dispatching).
+    s.base = item.second;
+    s.cur_cpu = item.first;
+    if (s.next >= s.ops->size()) {
+      if (!synthesize_drain(proc, item.first, item.second)) return;
+      continue;
+    }
+    if (play_ops(s, proc, /*bh_group=*/true) == PlayStatus::kAborted) return;
+  }
+}
+
+TraceReplayer::PlayStatus TraceReplayer::play_ops(Stream& s, ProcId proc,
+                                                  bool bh_group) {
+  core::EventPort& port = comm_->port(proc);
+  std::vector<core::Event> batch;
+  while (s.next < s.ops->size()) {
+    const TraceData::Op& op = (*s.ops)[s.next];
+    switch (op.kind) {
+      case TraceData::Op::Kind::kIrqPop: {
+        // Pop against the cpu this thread currently runs on (tracked from
+        // replies), not the recorded one: under a modified configuration
+        // the scheduler may have placed us elsewhere, and the handler must
+        // drain the queue of the cpu that took the interrupt.
+        COMPASS_CHECK_MSG(s.cur_cpu != kNoCpu, "irq pop before first reply");
+        (void)comm_->cpu_state(s.cur_cpu).pop();
+        ++s.next;
+        break;
+      }
+      case TraceData::Op::Kind::kTxFrame: {
+        // Stage a frame of the recorded size; payload bytes are irrelevant
+        // to timing. The fresh id replaces the recorded (host-handle) id in
+        // the kEthTx request that follows in this stream.
+        s.staged_ids.push_back(devices_->ethernet().stage_tx(
+            std::vector<std::uint8_t>(op.bytes, 0)));
+        ++s.next;
+        break;
+      }
+      case TraceData::Op::Kind::kBatch: {
+        batch = op.events;  // copy: times are rewritten below
+        Cycles t = s.base;
+        for (core::Event& ev : batch) {
+          t += ev.time;  // stored as delta
+          ev.time = t;
+        }
+        if (batch.size() == 1 &&
+            batch[0].kind == core::EventKind::kDevRequest &&
+            static_cast<dev::DevOp>(batch[0].arg[0]) == dev::DevOp::kEthTx) {
+          COMPASS_CHECK_MSG(!s.staged_ids.empty(),
+                            "kEthTx with no staged frame in stream");
+          batch[0].arg[1] = s.staged_ids.front();
+          s.staged_ids.pop_front();
+        }
+        const core::Reply r = port.post_and_wait(batch);
+        ++s.next;
+        if (r.aborted) return PlayStatus::kAborted;
+        // Mirror SimContext::handle_reply: the frontend rebases to the
+        // reply's resume time and learns its current cpu.
+        s.base = std::max(batch.back().time, r.resume_time);
+        if (r.cpu != kNoCpu) s.cur_cpu = r.cpu;
+        if (bh_group && batch.size() == 1 &&
+            batch[0].kind == core::EventKind::kIrqExit)
+          return PlayStatus::kIrqExit;
+        break;
+      }
+    }
+  }
+  return PlayStatus::kExhausted;
+}
+
+bool TraceReplayer::synthesize_drain(ProcId proc, CpuId cpu, Cycles when) {
+  // Only reachable under a modified configuration: the new machine raised
+  // an idle-cpu interrupt the recorded run never serviced. Minimal handler:
+  // enter, drain the descriptor queue, exit.
+  core::EventPort& port = comm_->port(proc);
+  const core::Event enter =
+      core::Event::control(core::EventKind::kIrqEnter, ExecMode::kKernel, when);
+  const core::Reply r1 = port.post_and_wait(std::span(&enter, 1));
+  if (r1.aborted) return false;
+  while (comm_->cpu_state(cpu).pop().has_value()) {
+  }
+  const core::Event exit = core::Event::control(
+      core::EventKind::kIrqExit, ExecMode::kKernel, std::max(when, r1.resume_time));
+  const core::Reply r2 = port.post_and_wait(std::span(&exit, 1));
+  return !r2.aborted;
+}
+
+}  // namespace compass::trace

@@ -1,0 +1,105 @@
+// TraceReplayer: re-drives the backend from a recorded event trace, with no
+// live frontend processes, no OS server and no host kernel code.
+//
+// Replay rebuilds the frontend side of the event contract from the per-proc
+// op streams: each recorded process becomes a lightweight host thread that
+// posts its recorded batches through a real EventPort, rebasing event times
+// against the replies the *replayed* backend produces — exactly the
+// SimContext::handle_reply discipline. Against the recorded machine
+// configuration the backend therefore sees bit-identical inputs and
+// reproduces bit-identical cycles and counters; against a modified
+// configuration the same workload event stream is re-timed by the new
+// machine (trace-driven what-if simulation).
+//
+// Divergence handling under modified configurations:
+//  - interrupt-descriptor pops execute against the thread's *current* cpu
+//    (tracked from replies), not the recorded one, so handler streams drain
+//    the queue they actually run on;
+//  - a bottom-half whose recorded stream is exhausted but which is
+//    re-dispatched synthesizes a minimal kIrqEnter/drain/kIrqExit group to
+//    keep the backend live;
+//  - rx stimuli are re-injected at their recorded absolute cycles.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/communicator.h"
+#include "dev/device_hub.h"
+#include "mem/machine.h"
+#include "os/backend_os.h"
+#include "sim/simulation.h"
+#include "trace/trace_reader.h"
+
+namespace compass::trace {
+
+class TraceReplayer : public core::IdleIrqDispatcher {
+ public:
+  /// Builds the backend complex for `cfg` and binds `data`'s streams to it.
+  /// `cfg.core.num_cpus` must match the recorded CPU count (the proc table
+  /// bakes in one bottom half per CPU); everything else may differ from the
+  /// recording. `data` must outlive the replayer.
+  TraceReplayer(const TraceData& data, sim::SimulationConfig cfg);
+  ~TraceReplayer() override;
+
+  TraceReplayer(const TraceReplayer&) = delete;
+  TraceReplayer& operator=(const TraceReplayer&) = delete;
+
+  /// Replays to completion: starts one host thread per recorded process,
+  /// runs the backend main loop on the calling thread, joins everything.
+  void run();
+
+  core::Backend& backend() { return *backend_; }
+  stats::StatsRegistry& stats() { return registry_; }
+  const stats::TimeBreakdown& breakdown() const {
+    return backend_->time_breakdown();
+  }
+  Cycles now() const { return backend_->now(); }
+  const sim::SimulationConfig& config() const { return cfg_; }
+
+  void dispatch_idle_irq(CpuId cpu, ProcId bh_proc, Cycles when) override;
+
+ private:
+  enum class PlayStatus { kAborted, kExhausted, kIrqExit };
+
+  struct Stream {
+    const std::vector<TraceData::Op>* ops = nullptr;
+    std::size_t next = 0;
+    Cycles base = 0;                       ///< reply-rebased time base
+    CpuId cur_cpu = kNoCpu;                ///< tracked from replies
+    std::deque<std::uint64_t> staged_ids;  ///< fresh tx ids awaiting kEthTx
+    core::TraceSink::ProcKind kind = core::TraceSink::ProcKind::kProcess;
+    // Bottom-half dispatch mailbox (backend thread -> bh thread).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<CpuId, Cycles>> work;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void play_whole_stream(Stream& s, ProcId proc);
+  void bottom_half_main(Stream& s, ProcId proc);
+  PlayStatus play_ops(Stream& s, ProcId proc, bool bh_group);
+  /// Post a synthetic enter/drain/exit group for a re-dispatched bottom
+  /// half whose recorded stream ran out (diverged configuration only).
+  bool synthesize_drain(ProcId proc, CpuId cpu, Cycles when);
+
+  const TraceData& data_;
+  sim::SimulationConfig cfg_;
+  stats::StatsRegistry registry_;
+  std::unique_ptr<core::Communicator> comm_;
+  std::unique_ptr<mem::Vm> vm_;
+  std::unique_ptr<core::MemorySystem> machine_;
+  std::unique_ptr<dev::DeviceHub> devices_;
+  std::unique_ptr<os::BackendOs> backend_os_;
+  std::unique_ptr<core::Backend> backend_;
+  std::vector<std::unique_ptr<Stream>> streams_;  ///< indexed by ProcId
+  bool ran_ = false;
+};
+
+}  // namespace compass::trace

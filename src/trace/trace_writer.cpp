@@ -1,0 +1,151 @@
+#include "trace/trace_writer.h"
+
+namespace compass::trace {
+
+namespace {
+constexpr std::size_t kFlushThreshold = 256 * 1024;
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr)
+    throw TraceError("cannot open trace file for writing: " + path);
+  buf_.reserve(kFlushThreshold + 4096);
+}
+
+TraceWriter::~TraceWriter() {
+  // An unfinished writer leaves a trace without the kEnd record; the reader
+  // rejects it, which is the right outcome for an aborted recording. Write
+  // errors cannot be reported from a destructor, so ignore them here.
+  if (file_ != nullptr) {
+    if (!buf_.empty()) (void)std::fwrite(buf_.data(), 1, buf_.size(), file_);
+    std::fclose(file_);
+  }
+}
+
+void TraceWriter::write_header(const ConfigPairs& config,
+                               std::span<const ProcEntry> procs) {
+  COMPASS_CHECK_MSG(!header_written_, "trace header written twice");
+  header_written_ = true;
+
+  std::vector<std::uint8_t> config_block;
+  put_varint(config_block, config.size());
+  for (const auto& [key, value] : config) {
+    put_varint(config_block, key);
+    put_varint(config_block, value);
+  }
+
+  buf_.insert(buf_.end(), kMagic.begin(), kMagic.end());
+  put_u32le(buf_, kVersion);
+  put_u64le(buf_, fnv1a(config_block));
+  buf_.insert(buf_.end(), config_block.begin(), config_block.end());
+
+  put_varint(buf_, procs.size());
+  for (const ProcEntry& p : procs) {
+    buf_.push_back(static_cast<std::uint8_t>(p.kind));
+    put_varint(buf_, p.name.size());
+    buf_.insert(buf_.end(), p.name.begin(), p.name.end());
+  }
+  last_addr_.assign(procs.size(), 0);
+}
+
+void TraceWriter::tag(RecordTag t) {
+  COMPASS_CHECK_MSG(header_written_, "trace record before header");
+  COMPASS_CHECK_MSG(!finished_, "trace record after finish()");
+  buf_.push_back(static_cast<std::uint8_t>(t));
+  ++records_;
+}
+
+void TraceWriter::batch(ProcId proc, Cycles delta0,
+                        std::span<const core::Event> events) {
+  tag(RecordTag::kBatch);
+  COMPASS_CHECK(proc >= 0 &&
+                static_cast<std::size_t>(proc) < last_addr_.size());
+  COMPASS_CHECK(!events.empty());
+  put_varint(buf_, static_cast<std::uint64_t>(proc));
+  put_varint(buf_, events.size());
+  Cycles prev = 0;
+  bool first = true;
+  for (const core::Event& ev : events) {
+    COMPASS_CHECK_MSG(first || ev.time >= prev,
+                      "non-monotonic event time in batch");
+    const Cycles dt = first ? delta0 : ev.time - prev;
+    prev = ev.time;
+    first = false;
+    buf_.push_back(pack_event_byte(ev));
+    put_varint(buf_, static_cast<std::uint64_t>(dt));
+    if (ev.kind == core::EventKind::kMemRef) {
+      auto& last = last_addr_[static_cast<std::size_t>(proc)];
+      put_varint(buf_, ev.size);
+      put_varint(buf_, zigzag(static_cast<std::int64_t>(ev.addr) -
+                              static_cast<std::int64_t>(last)));
+      last = ev.addr;
+    } else if (ev.kind != core::EventKind::kYield) {
+      std::uint8_t mask = 0;
+      for (int i = 0; i < 4; ++i)
+        if (ev.arg[static_cast<std::size_t>(i)] != 0)
+          mask |= static_cast<std::uint8_t>(1u << i);
+      buf_.push_back(mask);
+      for (int i = 0; i < 4; ++i)
+        if ((mask & (1u << i)) != 0)
+          put_varint(buf_, ev.arg[static_cast<std::size_t>(i)]);
+    }
+    ++events_;
+  }
+  if (buf_.size() >= kFlushThreshold) flush_buffer();
+}
+
+void TraceWriter::irq_pop(ProcId proc, CpuId cpu) {
+  tag(RecordTag::kIrqPop);
+  put_varint(buf_, static_cast<std::uint64_t>(proc));
+  put_varint(buf_, static_cast<std::uint64_t>(cpu));
+}
+
+void TraceWriter::channel_seed(core::WaitChannel channel,
+                               std::uint64_t permits) {
+  tag(RecordTag::kChannelSeed);
+  put_varint(buf_, channel);
+  put_varint(buf_, permits);
+}
+
+void TraceWriter::tx_frame(ProcId proc, std::uint64_t bytes) {
+  tag(RecordTag::kTxFrame);
+  put_varint(buf_, static_cast<std::uint64_t>(proc));
+  put_varint(buf_, bytes);
+}
+
+void TraceWriter::rx_stimulus(Cycles when, std::uint64_t bytes) {
+  tag(RecordTag::kRxStimulus);
+  put_varint(buf_, static_cast<std::uint64_t>(when));
+  put_varint(buf_, bytes);
+}
+
+void TraceWriter::finish() {
+  COMPASS_CHECK_MSG(header_written_, "finish() before header");
+  COMPASS_CHECK_MSG(!finished_, "finish() called twice");
+  finished_ = true;
+  buf_.push_back(static_cast<std::uint8_t>(RecordTag::kEnd));
+  put_varint(buf_, records_);
+  put_varint(buf_, events_);
+  flush_buffer();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) throw TraceError("failed to close trace file");
+}
+
+void TraceWriter::flush_buffer() {
+  if (buf_.empty()) return;
+  const std::size_t n = std::fwrite(buf_.data(), 1, buf_.size(), file_);
+  if (n != buf_.size()) throw TraceError("short write to trace file");
+  buf_.clear();
+}
+
+}  // namespace compass::trace

@@ -1,0 +1,69 @@
+// TraceWriter: buffered serializer for the compact binary trace format
+// (see trace_format.h for the layout). Not thread-safe; the recorder
+// serializes calls.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/event.h"
+#include "core/trace_sink.h"
+#include "core/types.h"
+#include "trace/trace_format.h"
+
+namespace compass::trace {
+
+/// Proc-table entry: registration order defines the ProcId.
+struct ProcEntry {
+  std::string name;
+  core::TraceSink::ProcKind kind = core::TraceSink::ProcKind::kProcess;
+};
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing; throws TraceError on failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Writes magic, version, config fingerprint + block, and the proc table.
+  /// Must be called exactly once, before any record.
+  void write_header(const ConfigPairs& config, std::span<const ProcEntry> procs);
+
+  /// Serializes one dispatched batch. `delta0` is the first event's time
+  /// delta against the process's time base (already folded with any
+  /// preemption rebase); later events are delta-encoded against their
+  /// predecessor. Event times in `events` are absolute.
+  void batch(ProcId proc, Cycles delta0, std::span<const core::Event> events);
+
+  void irq_pop(ProcId proc, CpuId cpu);
+  void channel_seed(core::WaitChannel channel, std::uint64_t permits);
+  void tx_frame(ProcId proc, std::uint64_t bytes);
+  void rx_stimulus(Cycles when, std::uint64_t bytes);
+
+  /// Writes the kEnd integrity record and flushes/closes the file.
+  void finish();
+
+  std::uint64_t records_written() const { return records_; }
+  std::uint64_t events_written() const { return events_; }
+
+ private:
+  void tag(RecordTag t);
+  void flush_buffer();
+
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t> buf_;
+  std::vector<Addr> last_addr_;  ///< per-proc previous kMemRef address
+  std::uint64_t records_ = 0;
+  std::uint64_t events_ = 0;
+  bool header_written_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace compass::trace

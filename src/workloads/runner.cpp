@@ -45,6 +45,7 @@ void collect_stats(sim::Simulation& sim, ScenarioStats& out) {
   }
   out.numa_local = reg.counter_value("numa.local_accesses");
   out.numa_remote = reg.counter_value("numa.remote_accesses");
+  out.snapshot = stats::make_snapshot(sim.now(), reg, sim.breakdown());
 }
 
 // ------------------------------------------------------------------- TPCC

@@ -9,6 +9,7 @@
 #include <chrono>
 
 #include "sim/simulation.h"
+#include "stats/json.h"
 #include "stats/time_breakdown.h"
 #include "workloads/db/tpcc.h"
 #include "workloads/db/tpcd.h"
@@ -37,6 +38,9 @@ struct ScenarioStats {
   std::uint64_t numa_remote = 0;
   std::uint64_t work_units = 0;    ///< txns / requests / checksum marker
   stats::Histogram latency;        ///< web request latency (cycles)
+  /// Full end-of-run capture (every counter + per-CPU time breakdown) for
+  /// machine-readable dumps and trace golden comparisons.
+  stats::StatsSnapshot snapshot;
 };
 
 /// Fill the common counters from a finished simulation.

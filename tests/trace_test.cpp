@@ -1,0 +1,460 @@
+// Tests for the event-trace record & replay subsystem (src/trace/):
+// format round-trips, reader robustness against malformed input, recorder
+// determinism, golden record->replay equivalence for two workloads, and
+// trace-driven config sweeps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "stats/json.h"
+#include "trace/config_codec.h"
+#include "trace/golden.h"
+#include "trace/trace_reader.h"
+#include "trace/trace_recorder.h"
+#include "trace/trace_replayer.h"
+#include "trace/trace_writer.h"
+#include "workloads/runner.h"
+
+namespace compass {
+namespace {
+
+using trace::ByteReader;
+using trace::TraceData;
+using trace::TraceError;
+using trace::TraceReader;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "compass_trace_test." + name;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> bytes;
+  int c = 0;
+  while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+  std::fclose(f);
+  return bytes;
+}
+
+// ---- varint / zigzag primitives -------------------------------------------
+
+TEST(TraceFormat, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,      1,        127,        128,
+                                  16383,  16384,    0xDEADBEEF, 1ull << 62,
+                                  ~0ull,  0x80,     0x3FFF,     42};
+  std::vector<std::uint8_t> buf;
+  for (const std::uint64_t v : values) trace::put_varint(buf, v);
+  ByteReader r(buf);
+  for (const std::uint64_t v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(TraceFormat, ZigzagRoundTrip) {
+  const std::int64_t values[] = {0, 1, -1, 63, -64, 1ll << 40, -(1ll << 40),
+                                 INT64_MAX, INT64_MIN};
+  for (const std::int64_t v : values)
+    EXPECT_EQ(trace::unzigzag(trace::zigzag(v)), v);
+}
+
+TEST(TraceFormat, VarintRejectsTruncation) {
+  std::vector<std::uint8_t> buf;
+  trace::put_varint(buf, 1ull << 40);
+  buf.pop_back();  // drop the terminating byte
+  ByteReader r(buf);
+  EXPECT_THROW(r.varint(), TraceError);
+}
+
+TEST(TraceFormat, VarintRejectsOverlongEncoding) {
+  // Eleven continuation bytes can never terminate within 64 bits.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  ByteReader r1(buf);
+  EXPECT_THROW(r1.varint(), TraceError);
+  // Ten bytes whose last contributes more than one bit overflows u64.
+  std::vector<std::uint8_t> buf2(9, 0x80);
+  buf2.push_back(0x02);
+  ByteReader r2(buf2);
+  EXPECT_THROW(r2.varint(), TraceError);
+}
+
+// ---- writer/reader event round-trip ---------------------------------------
+
+core::Event random_event(std::mt19937_64& rng, Cycles& t) {
+  std::uniform_int_distribution<int> kind_dist(
+      0, static_cast<int>(core::EventKind::kExit));
+  std::uniform_int_distribution<std::uint64_t> u64;
+  std::uniform_int_distribution<Cycles> dt(0, 100'000);
+  core::Event ev;
+  ev.kind = static_cast<core::EventKind>(kind_dist(rng));
+  ev.mode = static_cast<ExecMode>(u64(rng) % 4);
+  ev.ref_type = static_cast<RefType>(u64(rng) % 3);
+  t += dt(rng);
+  ev.time = t;
+  if (ev.kind == core::EventKind::kMemRef) {
+    ev.addr = u64(rng);
+    ev.size = static_cast<std::uint32_t>(1u << (u64(rng) % 8));
+  } else if (ev.kind != core::EventKind::kYield) {
+    for (auto& a : ev.arg) a = (u64(rng) % 3 == 0) ? 0 : u64(rng);
+  }
+  return ev;
+}
+
+void expect_events_equal(const core::Event& want, const core::Event& got) {
+  EXPECT_EQ(want.kind, got.kind);
+  EXPECT_EQ(want.mode, got.mode);
+  if (want.kind == core::EventKind::kMemRef) {
+    EXPECT_EQ(want.ref_type, got.ref_type);
+    EXPECT_EQ(want.addr, got.addr);
+    EXPECT_EQ(want.size, got.size);
+  } else if (want.kind != core::EventKind::kYield) {
+    EXPECT_EQ(want.arg, got.arg);
+  }
+}
+
+TEST(TraceRoundTrip, RandomizedEventStreams) {
+  const std::string path = temp_path("roundtrip.trace");
+  std::mt19937_64 rng(20260806);
+
+  const trace::ConfigPairs config = {{1, 4}, {2, 1}, {32, 7}};
+  const std::vector<trace::ProcEntry> procs = {
+      {"alpha", core::TraceSink::ProcKind::kProcess},
+      {"bh0", core::TraceSink::ProcKind::kBottomHalf},
+      {"netd", core::TraceSink::ProcKind::kDaemon}};
+
+  // Generate per-proc batches with absolute times; remember (base, events).
+  struct Recorded {
+    ProcId proc;
+    Cycles base;
+    std::vector<core::Event> events;
+  };
+  std::vector<Recorded> batches;
+  std::vector<Cycles> clock(procs.size(), 0);
+  {
+    trace::TraceWriter writer(path);
+    writer.write_header(config, procs);
+    writer.channel_seed(0xF00, 1);
+    std::uniform_int_distribution<std::size_t> proc_dist(0, procs.size() - 1);
+    std::uniform_int_distribution<int> len_dist(1, 6);
+    for (int b = 0; b < 200; ++b) {
+      const auto p = proc_dist(rng);
+      Recorded rec;
+      rec.proc = static_cast<ProcId>(p);
+      rec.base = clock[p];
+      const int len = len_dist(rng);
+      for (int i = 0; i < len; ++i)
+        rec.events.push_back(random_event(rng, clock[p]));
+      writer.batch(rec.proc, rec.events.front().time - rec.base, rec.events);
+      batches.push_back(std::move(rec));
+      if (b % 17 == 0) writer.irq_pop(static_cast<ProcId>(p), 2);
+      if (b % 23 == 0) writer.tx_frame(static_cast<ProcId>(p), 1234);
+      if (b % 31 == 0) writer.rx_stimulus(clock[p], 99);
+    }
+    writer.finish();
+  }
+
+  const TraceData data = TraceReader::read_file(path);
+  ASSERT_EQ(data.procs.size(), procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    EXPECT_EQ(data.procs[i].name, procs[i].name);
+    EXPECT_EQ(data.procs[i].kind, procs[i].kind);
+  }
+  EXPECT_EQ(data.config, config);
+  ASSERT_EQ(data.channel_seeds.size(), 1u);
+  EXPECT_EQ(data.channel_seeds[0].first, 0xF00u);
+
+  // Rebuild absolute times per proc and compare against the originals.
+  std::vector<std::size_t> cursor(procs.size(), 0);
+  for (const Recorded& rec : batches) {
+    const auto p = static_cast<std::size_t>(rec.proc);
+    const auto& stream = data.streams[p];
+    // Skip interleaved non-batch ops.
+    while (cursor[p] < stream.size() &&
+           stream[cursor[p]].kind != TraceData::Op::Kind::kBatch)
+      ++cursor[p];
+    ASSERT_LT(cursor[p], stream.size());
+    const TraceData::Op& op = stream[cursor[p]++];
+    ASSERT_EQ(op.events.size(), rec.events.size());
+    Cycles t = rec.base;
+    for (std::size_t i = 0; i < op.events.size(); ++i) {
+      t += op.events[i].time;
+      EXPECT_EQ(t, rec.events[i].time);
+      expect_events_equal(rec.events[i], op.events[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---- reader robustness -----------------------------------------------------
+
+class TraceReaderRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("robust.trace");
+    trace::TraceWriter writer(path_);
+    writer.write_header({{1, 2}, {32, 1}},
+                        std::vector<trace::ProcEntry>{
+                            {"p0", core::TraceSink::ProcKind::kProcess}});
+    core::Event ev = core::Event::mem_ref(ExecMode::kUser, RefType::kLoad,
+                                          0x1000, 8, 100);
+    writer.batch(0, 100, std::span<const core::Event>(&ev, 1));
+    writer.irq_pop(0, 1);
+    writer.finish();
+    bytes_ = slurp(path_);
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(TraceReaderRobustness, AcceptsIntactTrace) {
+  const TraceData data = TraceReader::read_bytes(bytes_);
+  EXPECT_EQ(data.total_records, 2u);
+  EXPECT_EQ(data.total_events, 1u);
+}
+
+TEST_F(TraceReaderRobustness, RejectsBadMagic) {
+  auto bad = bytes_;
+  bad[0] = 'X';
+  EXPECT_THROW(
+      try { TraceReader::read_bytes(bad); } catch (const TraceError& e) {
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+        throw;
+      },
+      TraceError);
+}
+
+TEST_F(TraceReaderRobustness, RejectsVersionMismatch) {
+  auto bad = bytes_;
+  bad[8] = 0x7F;  // version is the u32le right after the magic
+  EXPECT_THROW(
+      try { TraceReader::read_bytes(bad); } catch (const TraceError& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+        throw;
+      },
+      TraceError);
+}
+
+TEST_F(TraceReaderRobustness, RejectsConfigCorruption) {
+  auto bad = bytes_;
+  bad[21] ^= 0x01;  // inside the config block -> fingerprint mismatch
+  EXPECT_THROW(TraceReader::read_bytes(bad), TraceError);
+}
+
+TEST_F(TraceReaderRobustness, RejectsEveryTruncation) {
+  for (std::size_t len = 0; len < bytes_.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes_.begin(),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(TraceReader::read_bytes(cut), TraceError) << "len=" << len;
+  }
+}
+
+TEST_F(TraceReaderRobustness, RejectsTrailingGarbage) {
+  auto bad = bytes_;
+  bad.push_back(0x00);
+  EXPECT_THROW(TraceReader::read_bytes(bad), TraceError);
+}
+
+TEST_F(TraceReaderRobustness, RejectsUnknownRecordTag) {
+  auto bad = bytes_;
+  // The final record is kEnd + two varints; overwrite its tag.
+  bad[bad.size() - 3] = 0x7E;
+  EXPECT_THROW(TraceReader::read_bytes(bad), TraceError);
+}
+
+TEST(TraceReaderFiles, MissingFile) {
+  EXPECT_THROW(TraceReader::read_file(temp_path("does-not-exist")), TraceError);
+}
+
+// ---- config codec ----------------------------------------------------------
+
+TEST(ConfigCodec, RoundTripPreservesEveryEncodedField) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 6;
+  cfg.core.num_nodes = 3;
+  cfg.core.preemptive = true;
+  cfg.core.quantum = 123'456;
+  cfg.core.cpu_mhz = 200.5;
+  cfg.model = sim::BackendModel::kNuma;
+  cfg.placement = mem::PlacementPolicy::kRoundRobin;
+  cfg.simple.mem_latency = 77;
+  cfg.numa.net_bytes_per_cycle = 4.25;
+  cfg.devices.num_disks = 2;
+  cfg.devices.disk.seek_per_block = 0.125;
+  cfg.devices.eth.bytes_per_cycle = 0.5;
+
+  const trace::ConfigPairs pairs = trace::encode_config(cfg);
+  const sim::SimulationConfig back = trace::decode_config(pairs);
+  EXPECT_EQ(trace::encode_config(back), pairs);
+  EXPECT_EQ(back.core.num_cpus, 6);
+  EXPECT_EQ(back.core.cpu_mhz, 200.5);
+  EXPECT_EQ(back.model, sim::BackendModel::kNuma);
+  EXPECT_EQ(back.numa.net_bytes_per_cycle, 4.25);
+  EXPECT_EQ(back.devices.disk.seek_per_block, 0.125);
+}
+
+TEST(ConfigCodec, UnknownKeyRaises) {
+  trace::ConfigPairs pairs = {{9999, 1}};
+  EXPECT_THROW(trace::decode_config(pairs), TraceError);
+}
+
+// ---- stats json ------------------------------------------------------------
+
+TEST(StatsJson, RoundTrip) {
+  stats::StatsSnapshot snap;
+  snap.cycles = 123456789;
+  snap.counters["backend.mem_refs"] = 42;
+  snap.counters["weird \"name\"\n"] = 7;
+  snap.cpu_time = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+  snap.histograms["disk0.latency"] = {10, 2000, 5, 900};
+
+  const stats::StatsSnapshot back = stats::parse_stats_json(to_json(snap));
+  EXPECT_EQ(back.cycles, snap.cycles);
+  EXPECT_EQ(back.counters, snap.counters);
+  EXPECT_EQ(back.cpu_time, snap.cpu_time);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms.at("disk0.latency").sum, 2000u);
+}
+
+TEST(StatsJson, RejectsMalformed) {
+  EXPECT_THROW(stats::parse_stats_json("{\"cycles\": }"), util::SimError);
+  EXPECT_THROW(stats::parse_stats_json("{\"bogus\": 1}"), util::SimError);
+  EXPECT_THROW(stats::parse_stats_json(""), util::SimError);
+}
+
+// ---- live workload determinism + golden replay ----------------------------
+
+sim::SimulationConfig small_sci_config() {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 4;
+  cfg.core.num_nodes = 2;
+  cfg.model = sim::BackendModel::kSimple;
+  return cfg;
+}
+
+workloads::SciScenario small_sci_scenario() {
+  workloads::SciScenario sc;
+  sc.matmul.n = 16;
+  sc.matmul.block = 4;
+  sc.matmul.nprocs = 2;
+  return sc;
+}
+
+TEST(TraceDeterminism, SameSeededWorkloadTwiceIsByteIdentical) {
+  const workloads::ScenarioStats a =
+      workloads::run_sci(small_sci_config(), small_sci_scenario());
+  const workloads::ScenarioStats b =
+      workloads::run_sci(small_sci_config(), small_sci_scenario());
+  EXPECT_EQ(a.snapshot.cycles, b.snapshot.cycles);
+  EXPECT_EQ(a.snapshot.counters, b.snapshot.counters);   // every counter
+  EXPECT_EQ(a.snapshot.cpu_time, b.snapshot.cpu_time);   // every cpu, mode
+  EXPECT_EQ(stats::to_json(a.snapshot), stats::to_json(b.snapshot));
+}
+
+TEST(TraceGolden, SciReplayReproducesLiveRunBitIdentically) {
+  const std::string path = temp_path("sci.trace");
+  sim::SimulationConfig cfg = small_sci_config();
+  trace::TraceRecorder recorder(cfg, path);
+  cfg.trace_sink = &recorder;
+  const workloads::ScenarioStats live =
+      workloads::run_sci(cfg, small_sci_scenario());
+  recorder.finalize();
+
+  const TraceData data = TraceReader::read_file(path);
+  EXPECT_GT(data.total_events, 1000u);
+  trace::TraceReplayer replayer(data, trace::decode_config(data.config));
+  replayer.run();
+
+  const stats::StatsSnapshot replay = stats::make_snapshot(
+      replayer.now(), replayer.stats(), replayer.breakdown());
+  const std::vector<std::string> diffs =
+      trace::golden_diff(live.snapshot, replay);
+  for (const std::string& d : diffs) ADD_FAILURE() << d;
+  EXPECT_EQ(live.snapshot.cycles, replay.cycles);
+  std::remove(path.c_str());
+}
+
+TEST(TraceGolden, WebReplayReproducesLiveRunBitIdentically) {
+  const std::string path = temp_path("web.trace");
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.model = sim::BackendModel::kSimple;
+  trace::TraceRecorder recorder(cfg, path);
+  cfg.trace_sink = &recorder;
+  workloads::WebScenario sc;
+  sc.requests = 10;
+  sc.servers = 1;
+  sc.concurrency = 2;
+  const workloads::ScenarioStats live = workloads::run_web(cfg, sc);
+  recorder.finalize();
+
+  const TraceData data = TraceReader::read_file(path);
+  EXPECT_FALSE(data.rx_stimuli.empty());  // web traffic arrives by wire
+  trace::TraceReplayer replayer(data, trace::decode_config(data.config));
+  replayer.run();
+
+  const stats::StatsSnapshot replay = stats::make_snapshot(
+      replayer.now(), replayer.stats(), replayer.breakdown());
+  const std::vector<std::string> diffs =
+      trace::golden_diff(live.snapshot, replay);
+  for (const std::string& d : diffs) ADD_FAILURE() << d;
+  std::remove(path.c_str());
+}
+
+TEST(TraceSweep, ReplayAgainstModifiedConfigsCompletesWithPlausibleStats) {
+  const std::string path = temp_path("sweep.trace");
+  sim::SimulationConfig cfg = small_sci_config();
+  trace::TraceRecorder recorder(cfg, path);
+  cfg.trace_sink = &recorder;
+  const workloads::ScenarioStats live =
+      workloads::run_sci(cfg, small_sci_scenario());
+  recorder.finalize();
+
+  const TraceData data = TraceReader::read_file(path);
+
+  // Sweep 1: slower memory on the same model — must finish, same work,
+  // more cycles.
+  sim::SimulationConfig slow = trace::decode_config(data.config);
+  slow.simple.mem_latency = 400;
+  slow.simple.bus_occupancy = 32;
+  {
+    trace::TraceReplayer replayer(data, slow);
+    replayer.run();
+    EXPECT_EQ(replayer.stats().counter_value("backend.mem_refs"),
+              live.snapshot.counters.at("backend.mem_refs"));
+    EXPECT_GT(static_cast<Cycles>(replayer.now()), live.snapshot.cycles);
+  }
+
+  // Sweep 2: a different machine model entirely (CC-NUMA).
+  sim::SimulationConfig numa = trace::decode_config(data.config);
+  numa.model = sim::BackendModel::kNuma;
+  {
+    trace::TraceReplayer replayer(data, numa);
+    replayer.run();
+    EXPECT_EQ(replayer.stats().counter_value("backend.mem_refs"),
+              live.snapshot.counters.at("backend.mem_refs"));
+    EXPECT_NE(static_cast<Cycles>(replayer.now()), live.snapshot.cycles);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayerChecks, RejectsCpuCountOverride) {
+  const std::string path = temp_path("cpus.trace");
+  sim::SimulationConfig cfg = small_sci_config();
+  trace::TraceRecorder recorder(cfg, path);
+  cfg.trace_sink = &recorder;
+  (void)workloads::run_sci(cfg, small_sci_scenario());
+  recorder.finalize();
+
+  const TraceData data = TraceReader::read_file(path);
+  sim::SimulationConfig other = trace::decode_config(data.config);
+  other.core.num_cpus = 8;
+  EXPECT_THROW(trace::TraceReplayer(data, other), util::SimError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace compass

@@ -1,0 +1,139 @@
+// trace_dump: human-readable inspection of a recorded event trace.
+//
+//   trace_dump sci.trace               # header, config, per-kind histogram
+//   trace_dump sci.trace --events --limit=50
+#include <cstdio>
+#include <string>
+
+#include "trace/config_codec.h"
+#include "trace/trace_reader.h"
+#include "util/flags.h"
+
+using namespace compass;
+
+namespace {
+
+const char* kind_name(core::TraceSink::ProcKind k) {
+  switch (k) {
+    case core::TraceSink::ProcKind::kProcess: return "process";
+    case core::TraceSink::ProcKind::kBottomHalf: return "bottom-half";
+    case core::TraceSink::ProcKind::kDaemon: return "daemon";
+  }
+  return "?";
+}
+
+void dump_events(const trace::TraceData& data, std::uint64_t limit) {
+  std::uint64_t printed = 0;
+  for (std::size_t p = 0; p < data.streams.size(); ++p) {
+    const auto& stream = data.streams[p];
+    if (stream.empty()) continue;
+    std::printf("\n-- proc %zu (%s) --\n", p, data.procs[p].name.c_str());
+    for (const trace::TraceData::Op& op : stream) {
+      if (printed >= limit) {
+        std::printf("  ... (limit reached)\n");
+        return;
+      }
+      switch (op.kind) {
+        case trace::TraceData::Op::Kind::kIrqPop:
+          std::printf("  irq-pop cpu=%d\n", op.cpu);
+          break;
+        case trace::TraceData::Op::Kind::kTxFrame:
+          std::printf("  tx-frame %llu bytes\n",
+                      static_cast<unsigned long long>(op.bytes));
+          break;
+        case trace::TraceData::Op::Kind::kBatch:
+          std::printf("  batch (%zu events)\n", op.events.size());
+          for (const core::Event& ev : op.events) {
+            if (ev.kind == core::EventKind::kMemRef)
+              std::printf("    +%-8lld MemRef %s addr=0x%llx size=%u [%s]\n",
+                          static_cast<long long>(ev.time),
+                          ev.ref_type == RefType::kLoad    ? "load"
+                          : ev.ref_type == RefType::kStore ? "store"
+                                                           : "sync",
+                          static_cast<unsigned long long>(ev.addr), ev.size,
+                          to_string(ev.mode).data());
+            else
+              std::printf("    +%-8lld %s args={%llu,%llu,%llu,%llu} [%s]\n",
+                          static_cast<long long>(ev.time),
+                          to_string(ev.kind).data(),
+                          static_cast<unsigned long long>(ev.arg[0]),
+                          static_cast<unsigned long long>(ev.arg[1]),
+                          static_cast<unsigned long long>(ev.arg[2]),
+                          static_cast<unsigned long long>(ev.arg[3]),
+                          to_string(ev.mode).data());
+          }
+          break;
+      }
+      ++printed;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(argc, argv, {{"events", "false"}, {"limit", "200"}},
+                      {{"events", "print each record"},
+                       {"limit", "max records printed with --events"}});
+    if (flags.help_requested() || flags.positional().size() != 1) {
+      std::fputs(flags.usage("trace_dump <trace-file>").c_str(), stdout);
+      return flags.help_requested() ? 0 : 2;
+    }
+
+    const trace::TraceData data =
+        trace::TraceReader::read_file(flags.positional()[0]);
+
+    std::printf("trace: %s\n", flags.positional()[0].c_str());
+    std::printf("config fingerprint: %016llx (%zu keys)\n",
+                static_cast<unsigned long long>(data.config_hash),
+                data.config.size());
+    const sim::SimulationConfig cfg = trace::decode_config(data.config);
+    std::printf("recorded machine: %d cpus, %d nodes, model=%s\n",
+                cfg.core.num_cpus, cfg.core.num_nodes,
+                cfg.model == sim::BackendModel::kFlat     ? "flat"
+                : cfg.model == sim::BackendModel::kSimple ? "simple"
+                                                          : "numa");
+
+    std::printf("\nprocesses (%zu):\n", data.procs.size());
+    for (std::size_t p = 0; p < data.procs.size(); ++p) {
+      std::size_t batches = 0;
+      std::size_t events = 0;
+      for (const auto& op : data.streams[p])
+        if (op.kind == trace::TraceData::Op::Kind::kBatch) {
+          ++batches;
+          events += op.events.size();
+        }
+      std::printf("  %3zu  %-16s %-11s %7zu batches %9zu events\n", p,
+                  data.procs[p].name.c_str(), kind_name(data.procs[p].kind),
+                  batches, events);
+    }
+
+    // Per-EventKind histogram over every recorded batch.
+    std::uint64_t by_kind[16] = {};
+    for (const auto& stream : data.streams)
+      for (const auto& op : stream)
+        if (op.kind == trace::TraceData::Op::Kind::kBatch)
+          for (const core::Event& ev : op.events)
+            ++by_kind[static_cast<std::size_t>(ev.kind) & 0xF];
+    std::printf("\nevent kinds:\n");
+    for (std::size_t k = 0; k <= static_cast<std::size_t>(core::EventKind::kExit); ++k)
+      if (by_kind[k] != 0)
+        std::printf("  %-12s %10llu\n",
+                    to_string(static_cast<core::EventKind>(k)).data(),
+                    static_cast<unsigned long long>(by_kind[k]));
+
+    std::printf("\nchannel seeds: %zu, rx stimuli: %zu\n",
+                data.channel_seeds.size(), data.rx_stimuli.size());
+    std::printf("totals: %llu records, %llu events\n",
+                static_cast<unsigned long long>(data.total_records),
+                static_cast<unsigned long long>(data.total_events));
+
+    if (flags.get_bool("events"))
+      dump_events(data, static_cast<std::uint64_t>(flags.get_int("limit")));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_dump: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,120 @@
+// trace_record: run one of the canned workloads with the event-trace
+// recorder attached, producing a trace file replayable by trace_replay.
+//
+//   trace_record --workload=sci --out=sci.trace [--stats-json=sci.json]
+//                [--cpus=4] [--model=simple|flat|numa] [--nodes=2] ...
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_recorder.h"
+#include "util/flags.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+sim::BackendModel parse_model(const std::string& name) {
+  if (name == "flat") return sim::BackendModel::kFlat;
+  if (name == "simple") return sim::BackendModel::kSimple;
+  if (name == "numa") return sim::BackendModel::kNuma;
+  throw util::ConfigError("unknown model '" + name +
+                          "' (expected flat|simple|numa)");
+}
+
+void print_summary(const char* what, const workloads::ScenarioStats& st) {
+  std::printf(
+      "%s: %llu cycles, %llu mem refs, %llu syscalls, %llu interrupts, "
+      "%llu work units\n",
+      what, static_cast<unsigned long long>(st.cycles),
+      static_cast<unsigned long long>(st.mem_refs),
+      static_cast<unsigned long long>(st.syscalls),
+      static_cast<unsigned long long>(st.interrupts),
+      static_cast<unsigned long long>(st.work_units));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(
+        argc, argv,
+        {{"workload", "sci"},
+         {"out", "compass.trace"},
+         {"stats-json", ""},
+         {"cpus", "4"},
+         {"nodes", "1"},
+         {"model", "simple"},
+         {"n", "32"},
+         {"nprocs", "2"},
+         {"workers", "2"},
+         {"requests", "20"},
+         {"servers", "1"},
+         {"seed", "99"}},
+        {{"workload", "sci | web | tpcc | tpcd"},
+         {"out", "trace file to write"},
+         {"stats-json", "also dump the live run's stats as JSON"},
+         {"cpus", "simulated processors"},
+         {"nodes", "NUMA nodes"},
+         {"model", "memory-system model: flat | simple | numa"},
+         {"n", "sci: matrix dimension"},
+         {"nprocs", "sci: worker processes"},
+         {"workers", "tpcc/tpcd: worker processes"},
+         {"requests", "web: request count"},
+         {"servers", "web: server processes"},
+         {"seed", "web: request-trace seed"}});
+    if (flags.help_requested()) {
+      std::fputs(flags.usage("trace_record").c_str(), stdout);
+      return 0;
+    }
+
+    sim::SimulationConfig cfg;
+    cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
+    cfg.core.num_nodes = static_cast<int>(flags.get_int("nodes"));
+    cfg.model = parse_model(flags.get("model"));
+
+    const std::string out = flags.get("out");
+    trace::TraceRecorder recorder(cfg, out);
+    cfg.trace_sink = &recorder;
+
+    const std::string workload = flags.get("workload");
+    workloads::ScenarioStats st;
+    if (workload == "sci") {
+      workloads::SciScenario sc;
+      sc.matmul.n = static_cast<int>(flags.get_int("n"));
+      sc.matmul.nprocs = static_cast<int>(flags.get_int("nprocs"));
+      st = workloads::run_sci(cfg, sc);
+    } else if (workload == "web") {
+      workloads::WebScenario sc;
+      sc.requests = static_cast<std::uint64_t>(flags.get_int("requests"));
+      sc.servers = static_cast<int>(flags.get_int("servers"));
+      sc.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+      st = workloads::run_web(cfg, sc);
+    } else if (workload == "tpcc") {
+      workloads::TpccScenario sc;
+      sc.workers = static_cast<int>(flags.get_int("workers"));
+      st = workloads::run_tpcc(cfg, sc);
+    } else if (workload == "tpcd") {
+      workloads::TpcdScenario sc;
+      sc.workers = static_cast<int>(flags.get_int("workers"));
+      st = workloads::run_tpcd(cfg, sc);
+    } else {
+      throw util::ConfigError("unknown workload '" + workload + "'");
+    }
+    recorder.finalize();
+
+    print_summary(workload.c_str(), st);
+    std::printf("wrote %s: %llu records, %llu events\n", out.c_str(),
+                static_cast<unsigned long long>(recorder.records_written()),
+                static_cast<unsigned long long>(recorder.events_written()));
+    const std::string json_path = flags.get("stats-json");
+    if (!json_path.empty()) {
+      stats::write_json_file(json_path, st.snapshot);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_record: %s\n", e.what());
+    return 2;
+  }
+}
