@@ -1,0 +1,100 @@
+// Fault-plane overhead (google-benchmark): the injector is compiled into
+// every dispatch path, so the disabled plan must cost nothing measurable.
+//
+//   BM_SciFaultDisabled     — all-zero plan: no injector is constructed, no
+//                             hooks are wired; must match the PR 3 baseline
+//                             (the same workload before the fault plane).
+//   BM_SciFaultEnabledInert — injector constructed and hooks wired, but
+//                             with vanishingly small rates, isolating the
+//                             per-dispatch cost of the enabled plane.
+//   BM_WebFaultDisabled / BM_WebFaultEnabledInert — same pair on the
+//                             OS-heavy path (sockets, fs, oscall gate).
+#include <benchmark/benchmark.h>
+
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+sim::SimulationConfig sci_config() {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 4;
+  cfg.model = sim::BackendModel::kSimple;
+  return cfg;
+}
+
+workloads::SciScenario sci_scenario() {
+  workloads::SciScenario sc;
+  sc.matmul.n = 24;
+  sc.matmul.block = 8;
+  sc.matmul.nprocs = 2;
+  return sc;
+}
+
+workloads::WebScenario web_scenario() {
+  workloads::WebScenario sc;
+  sc.requests = 12;
+  return sc;
+}
+
+/// Tiny-but-nonzero rates: enabled() is true, every draw site consults the
+/// injector, yet faults essentially never fire — a pure dispatch-cost probe.
+fault::FaultPlan inert_enabled_plan() {
+  fault::FaultPlan p;
+  p.seed = 1;
+  p.disk_error_prob = 1e-9;
+  p.net_drop_prob = 1e-9;
+  p.net_dup_prob = 1e-9;
+  p.oscall_eintr_prob = 1e-9;
+  p.sched_jitter_prob = 1e-9;
+  p.sched_jitter_cycles = 1;
+  return p;
+}
+
+void BM_SciFaultDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    const workloads::ScenarioStats st =
+        workloads::run_sci(sci_config(), sci_scenario());
+    benchmark::DoNotOptimize(st.cycles);
+  }
+}
+BENCHMARK(BM_SciFaultDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_SciFaultEnabledInert(benchmark::State& state) {
+  sim::SimulationConfig cfg = sci_config();
+  cfg.fault = inert_enabled_plan();
+  for (auto _ : state) {
+    const workloads::ScenarioStats st =
+        workloads::run_sci(cfg, sci_scenario());
+    benchmark::DoNotOptimize(st.cycles);
+  }
+}
+BENCHMARK(BM_SciFaultEnabledInert)->Unit(benchmark::kMillisecond);
+
+void BM_WebFaultDisabled(benchmark::State& state) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  for (auto _ : state) {
+    const workloads::ScenarioStats st =
+        workloads::run_web(cfg, web_scenario());
+    benchmark::DoNotOptimize(st.cycles);
+  }
+}
+BENCHMARK(BM_WebFaultDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_WebFaultEnabledInert(benchmark::State& state) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault = inert_enabled_plan();
+  for (auto _ : state) {
+    const workloads::ScenarioStats st =
+        workloads::run_web(cfg, web_scenario());
+    benchmark::DoNotOptimize(st.cycles);
+  }
+}
+BENCHMARK(BM_WebFaultEnabledInert)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -134,6 +134,13 @@ void Backend::schedule_ready_procs() {
     const Cycles start = switch_begin + cfg_.context_switch_cycles;
     ci.busy_until = start;
     ci.slice_start = start;
+    // Effective quantum for this slice; the perturbation hook (fault plane)
+    // may jitter it. Drawn here, on the backend thread, in dispatch order —
+    // so a seeded perturber is deterministic and replay-identical.
+    ci.quantum = hooks_.sched_perturb != nullptr
+                     ? hooks_.sched_perturb->slice_quantum(proc, cpu, start,
+                                                           cfg_.quantum)
+                     : cfg_.quantum;
 
     hooks_.memsys->on_context_switch(cpu, kNoProc, proc);
     stats_->counter("backend.context_switches").inc();
@@ -177,7 +184,8 @@ bool Backend::maybe_preempt(ProcId proc, Cycles event_time) {
   if (pi.mode != ExecMode::kUser) return false;  // never preempt kernel paths
   if (!proc_sched_.has_ready()) return false;
   CpuInfo& ci = cpus_[static_cast<std::size_t>(pi.cpu)];
-  if (event_time < ci.slice_start || event_time - ci.slice_start < cfg_.quantum)
+  const Cycles quantum = ci.quantum != 0 ? ci.quantum : cfg_.quantum;
+  if (event_time < ci.slice_start || event_time - ci.slice_start < quantum)
     return false;
 
   // Record the preemption before any mutation: pi.last_time is still the

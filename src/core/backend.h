@@ -27,6 +27,7 @@
 #include "core/event.h"
 #include "core/memory_system.h"
 #include "core/proc_sched.h"
+#include "core/sched_perturb.h"
 #include "core/scheduler.h"
 #include "core/trace_sink.h"
 #include "stats/counters.h"
@@ -54,6 +55,9 @@ class Backend {
     /// Optional event-trace recorder tap (src/trace/). Observes process
     /// registration, channel seeds, every dispatched batch and preemption.
     TraceSink* trace = nullptr;
+    /// Optional scheduler perturbation (src/fault/): consulted at every
+    /// slice grant for the effective preemption quantum.
+    SchedPerturber* sched_perturb = nullptr;
   };
 
   /// `registry` lets the embedder share one stats registry across all
@@ -137,6 +141,7 @@ class Backend {
   struct CpuInfo {
     Cycles busy_until = 0;      ///< last cycle this CPU was doing work
     Cycles slice_start = 0;     ///< when the current proc got the CPU
+    Cycles quantum = 0;         ///< effective quantum of the current slice
   };
 
   ProcId register_proc(const std::string& name, TraceSink::ProcKind kind);

@@ -1,0 +1,28 @@
+// Scheduler-perturbation hook.
+//
+// The backend consults this interface (when installed via Backend::Hooks)
+// every time a process is granted a fresh time slice, letting a fault /
+// fuzzing plane jitter the effective preemption quantum to explore
+// interleavings. Like the other backend hooks the call happens on the
+// backend thread, in deterministic dispatch order, so implementations that
+// draw from a seeded RNG stream stay bit-reproducible — and replayable,
+// because a trace replayer drives the backend through the identical grant
+// sequence.
+#pragma once
+
+#include "core/types.h"
+
+namespace compass::core {
+
+class SchedPerturber {
+ public:
+  virtual ~SchedPerturber() = default;
+
+  /// Called when `proc` is granted a time slice on `cpu` starting at
+  /// `start`; returns the quantum to enforce for this slice (usually
+  /// `base_quantum`, possibly jittered). Must return a nonzero value.
+  virtual Cycles slice_quantum(ProcId proc, CpuId cpu, Cycles start,
+                               Cycles base_quantum) = 0;
+};
+
+}  // namespace compass::core

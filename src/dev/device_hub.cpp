@@ -23,6 +23,35 @@ Disk& DeviceHub::disk(int id) {
 }
 
 void DeviceHub::deliver_rx_frame(std::vector<std::uint8_t> frame) {
+  // Inbound fault draws happen here, on the backend thread, in delivery
+  // order (deterministic). Each delivered copy records its own rx stimulus,
+  // so a trace replay re-injects the exact same set without drawing.
+  if (injector_ != nullptr) {
+    switch (injector_->draw_rx()) {
+      case fault::RxFault::kNone:
+        break;
+      case fault::RxFault::kDup: {
+        std::vector<std::uint8_t> copy = frame;
+        deliver_one(std::move(copy));
+        break;  // original delivered below
+      }
+      case fault::RxFault::kCorrupt: {
+        // Deliver a corrupted copy first, then the good frame right behind
+        // it (same arrival cycle, later insertion order): the receiver
+        // detects the bad checksum and discards, modeling a link-layer
+        // retransmit already in flight — and never stranding a client that
+        // cannot retransmit.
+        std::vector<std::uint8_t> bad = frame;
+        if (!bad.empty()) bad.back() ^= 0xFF;
+        deliver_one(std::move(bad));
+        break;
+      }
+    }
+  }
+  deliver_one(std::move(frame));
+}
+
+void DeviceHub::deliver_one(std::vector<std::uint8_t> frame) {
   COMPASS_CHECK(backend_ != nullptr);
   const Cycles when = backend_->now() + cfg_.rx_wire_delay;
   if (trace_ != nullptr) trace_->on_rx_stimulus(when, frame.size());
@@ -37,19 +66,29 @@ void DeviceHub::deliver_rx_frame(std::vector<std::uint8_t> frame) {
 std::int64_t DeviceHub::device_request(ProcId proc, CpuId, Cycles now,
                                        std::span<const std::uint64_t, 4> args) {
   COMPASS_CHECK(backend_ != nullptr);
-  switch (static_cast<DevOp>(args[0])) {
+  switch (dev_op_of(args[0])) {
     case DevOp::kDiskRead:
     case DevOp::kDiskWrite: {
-      const bool write = static_cast<DevOp>(args[0]) == DevOp::kDiskWrite;
+      const bool write = dev_op_of(args[0]) == DevOp::kDiskWrite;
+      const fault::DiskFault f = dev_fault_of(args[0]);
       const std::uint64_t block = args[1];
       const int disk_id = static_cast<int>(args[2] >> 32);
       const auto nblocks = static_cast<std::uint32_t>(args[2]);
       const std::uint64_t tag = args[3];
-      const Cycles done = disk(disk_id).submit(block, nblocks, write, now);
+      const Cycles timeout_extra =
+          fault_plan_ != nullptr ? fault_plan_->disk_timeout_cycles
+                                 : fault::FaultPlan{}.disk_timeout_cycles;
+      const Cycles done =
+          disk(disk_id).submit(block, nblocks, write, now, f, timeout_extra);
       backend_->scheduler().schedule_at(done, [this, tag] {
         backend_->raise_irq(backend_->pick_irq_cpu(),
                             core::IrqDesc{core::Irq::kDisk, tag, 0});
       });
+      // The reply's retval is the request status the file system reads
+      // before sleeping on the completion: >= 0 success (service latency),
+      // -1 I/O error, -2 timeout. The completion interrupt fires either way.
+      if (f == fault::DiskFault::kError) return -1;
+      if (f == fault::DiskFault::kTimeout) return -2;
       return static_cast<std::int64_t>(done - now);
     }
     case DevOp::kEthTx: {

@@ -18,7 +18,10 @@
 
 namespace compass::dev {
 
-/// Operation selector in kDevRequest arg[0].
+/// Operation selector in the low byte of kDevRequest arg[0]. For disk ops,
+/// bits 8..15 may carry a pre-drawn fault::DiskFault decision (drawn by the
+/// requesting process, so it rides inside the recorded event and replays
+/// for free). kEthTx never carries fault bits.
 enum class DevOp : std::uint64_t {
   /// arg[1]=block, arg[2]=(disk_id<<32)|nblocks, arg[3]=completion tag.
   kDiskRead = 1,
@@ -26,6 +29,18 @@ enum class DevOp : std::uint64_t {
   /// arg[1]=staged tx frame id, arg[3]=optional tx-complete tag (0 = none).
   kEthTx = 3,
 };
+
+/// Encode/decode the fault decision piggybacked on a disk DevOp word.
+inline std::uint64_t dev_op_with_fault(DevOp op, fault::DiskFault f) {
+  return static_cast<std::uint64_t>(op) |
+         (static_cast<std::uint64_t>(f) << 8);
+}
+inline DevOp dev_op_of(std::uint64_t arg0) {
+  return static_cast<DevOp>(arg0 & 0xffu);
+}
+inline fault::DiskFault dev_fault_of(std::uint64_t arg0) {
+  return static_cast<fault::DiskFault>((arg0 >> 8) & 0xffu);
+}
 
 struct DeviceHubConfig {
   int num_disks = 1;
@@ -61,10 +76,25 @@ class DeviceHub : public core::DeviceManager {
   /// replay can restage equivalent frames without the live wire model.
   void set_trace_sink(core::TraceSink* sink) { trace_ = sink; }
 
+  /// Attach the fault plane. `plan` supplies fault timing (disk timeout
+  /// cost) and must outlive the hub; `injector` (may be null) enables live
+  /// inbound dup/corrupt draws — a trace replayer passes null because every
+  /// delivered copy was recorded as its own rx stimulus.
+  void set_fault(const fault::FaultPlan* plan,
+                 fault::FaultInjector* injector) {
+    fault_plan_ = plan;
+    injector_ = injector;
+  }
+
  private:
+  /// Schedule one frame delivery (wire delay + rx inject + interrupt).
+  void deliver_one(std::vector<std::uint8_t> frame);
+
   DeviceHubConfig cfg_;
   core::Backend* backend_ = nullptr;
   core::TraceSink* trace_ = nullptr;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Disk>> disks_;
   Ethernet eth_;
   RtClock clock_;

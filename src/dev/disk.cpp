@@ -12,6 +12,8 @@ Disk::Disk(int id, const DiskConfig& cfg, stats::StatsRegistry* stats)
     reads_ = &stats->counter(prefix + "reads");
     writes_ = &stats->counter(prefix + "writes");
     blocks_ = &stats->counter(prefix + "blocks");
+    errors_ = &stats->counter(prefix + "errors");
+    timeouts_ = &stats->counter(prefix + "timeouts");
     latency_ = &stats->histogram(prefix + "latency");
   }
 }
@@ -27,10 +29,26 @@ Cycles Disk::service_time(std::uint64_t block, std::uint32_t nblocks) const {
 }
 
 Cycles Disk::submit(std::uint64_t block, std::uint32_t nblocks, bool write,
-                    Cycles now) {
+                    Cycles now, fault::DiskFault f, Cycles timeout_extra) {
   COMPASS_CHECK_MSG(nblocks > 0, "disk request with zero blocks");
   const Cycles start = std::max(now, busy_until_);
-  const Cycles done = start + service_time(block, nblocks);
+  if (f == fault::DiskFault::kError) {
+    // Command rejected after the controller overhead: the head never moves
+    // and no block transfers, so the transfer counters must not tick (a
+    // request that fails is not a read/write that happened).
+    const Cycles done = start + cfg_.fixed_overhead;
+    busy_until_ = done;
+    if (errors_ != nullptr) errors_->inc();
+    return done;
+  }
+  Cycles done = start + service_time(block, nblocks);
+  if (f == fault::DiskFault::kTimeout) {
+    done += timeout_extra;
+    busy_until_ = done;
+    last_block_ = block + nblocks;
+    if (timeouts_ != nullptr) timeouts_->inc();
+    return done;
+  }
   busy_until_ = done;
   last_block_ = block + nblocks;
   if (reads_ != nullptr) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "fault/fault_injector.h"
 #include "stats/counters.h"
 #include "util/check.h"
 
@@ -31,8 +32,15 @@ class Disk {
 
   /// Submit a request at `now`; returns the absolute completion cycle.
   /// Requests are serviced FIFO: a busy disk queues the new request.
+  ///
+  /// `f` is the (deterministic, pre-drawn) fault decision for this request:
+  ///  * kError — the command fails fast after the fixed overhead; nothing
+  ///    transfers, so only diskN.errors is counted (not reads/blocks);
+  ///  * kTimeout — the request occupies the disk for the full service time
+  ///    plus `timeout_extra`, then completes unsuccessfully (diskN.timeouts).
   Cycles submit(std::uint64_t block, std::uint32_t nblocks, bool write,
-                Cycles now);
+                Cycles now, fault::DiskFault f = fault::DiskFault::kNone,
+                Cycles timeout_extra = 0);
 
   int id() const { return id_; }
   const DiskConfig& config() const { return cfg_; }
@@ -47,6 +55,8 @@ class Disk {
   stats::Counter* reads_ = nullptr;
   stats::Counter* writes_ = nullptr;
   stats::Counter* blocks_ = nullptr;
+  stats::Counter* errors_ = nullptr;
+  stats::Counter* timeouts_ = nullptr;
   stats::Histogram* latency_ = nullptr;
 };
 

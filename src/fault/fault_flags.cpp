@@ -1,0 +1,61 @@
+#include "fault/fault_flags.h"
+
+namespace compass::fault {
+
+void add_fault_flags(std::map<std::string, std::string>& defaults,
+                     std::map<std::string, std::string>& help) {
+  const FaultPlan d;  // spell defaults once, in FaultPlan itself
+  defaults.insert({
+      {"fault-seed", std::to_string(d.seed)},
+      {"fault-disk-error", "0"},
+      {"fault-disk-timeout", "0"},
+      {"fault-disk-timeout-cycles", std::to_string(d.disk_timeout_cycles)},
+      {"fault-net-drop", "0"},
+      {"fault-net-dup", "0"},
+      {"fault-net-corrupt", "0"},
+      {"fault-eintr", "0"},
+      {"fault-enomem", "0"},
+      {"fault-eio", "0"},
+      {"fault-sched-jitter", "0"},
+      {"fault-sched-jitter-cycles", std::to_string(d.sched_jitter_cycles)},
+      {"fault-wal-crash-at", "0"},
+  });
+  help.insert({
+      {"fault-seed", "fault plan: root RNG seed"},
+      {"fault-disk-error", "fault plan: P(disk request errors)"},
+      {"fault-disk-timeout", "fault plan: P(disk request times out)"},
+      {"fault-disk-timeout-cycles", "fault plan: extra cycles a timeout costs"},
+      {"fault-net-drop", "fault plan: P(outbound frame dropped)"},
+      {"fault-net-dup", "fault plan: P(inbound frame duplicated)"},
+      {"fault-net-corrupt", "fault plan: P(inbound frame corrupted)"},
+      {"fault-eintr", "fault plan: P(restartable oscall returns EINTR)"},
+      {"fault-enomem", "fault plan: P(restartable oscall returns ENOMEM)"},
+      {"fault-eio", "fault plan: P(restartable oscall returns EIO)"},
+      {"fault-sched-jitter", "fault plan: P(a granted slice gets jitter)"},
+      {"fault-sched-jitter-cycles", "fault plan: max |quantum jitter|"},
+      {"fault-wal-crash-at", "fault plan: crash the WAL on the Nth commit"},
+  });
+}
+
+FaultPlan fault_plan_from_flags(const util::Flags& flags) {
+  FaultPlan p;
+  p.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+  p.disk_error_prob = flags.get_double("fault-disk-error");
+  p.disk_timeout_prob = flags.get_double("fault-disk-timeout");
+  p.disk_timeout_cycles =
+      static_cast<Cycles>(flags.get_int("fault-disk-timeout-cycles"));
+  p.net_drop_prob = flags.get_double("fault-net-drop");
+  p.net_dup_prob = flags.get_double("fault-net-dup");
+  p.net_corrupt_prob = flags.get_double("fault-net-corrupt");
+  p.oscall_eintr_prob = flags.get_double("fault-eintr");
+  p.oscall_enomem_prob = flags.get_double("fault-enomem");
+  p.oscall_eio_prob = flags.get_double("fault-eio");
+  p.sched_jitter_prob = flags.get_double("fault-sched-jitter");
+  p.sched_jitter_cycles =
+      static_cast<Cycles>(flags.get_int("fault-sched-jitter-cycles"));
+  p.wal_crash_at = static_cast<std::uint64_t>(flags.get_int("fault-wal-crash-at"));
+  p.validate();
+  return p;
+}
+
+}  // namespace compass::fault

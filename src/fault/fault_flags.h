@@ -1,0 +1,22 @@
+// Command-line surface for FaultPlan: a canonical set of --fault-* flags
+// shared by the tools (trace_record, fault_fuzz) so every driver spells the
+// knobs the same way. All default to the inert plan.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "util/flags.h"
+
+namespace compass::fault {
+
+/// Merge the --fault-* flag defaults and help strings into a tool's maps
+/// (call before constructing util::Flags).
+void add_fault_flags(std::map<std::string, std::string>& defaults,
+                     std::map<std::string, std::string>& help);
+
+/// Build (and validate) a FaultPlan from parsed flags.
+FaultPlan fault_plan_from_flags(const util::Flags& flags);
+
+}  // namespace compass::fault

@@ -1,0 +1,185 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace compass::fault {
+
+namespace {
+
+// Stream tags mixed into the root seed so each draw site gets an
+// uncorrelated stream (util::Rng::reseed runs the result through
+// splitmix64, so nearby tags are fine).
+constexpr std::uint64_t kDiskTag = 0xD15C'0000'0001ull;
+constexpr std::uint64_t kOscallTag = 0x05CA'1100'0002ull;
+constexpr std::uint64_t kNetTag = 0x0E70'0000'0003ull;
+constexpr std::uint64_t kRxTag = 0x0E70'0000'0004ull;
+constexpr std::uint64_t kSchedTag = 0x5CED'0000'0005ull;
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t tag, std::uint64_t sub) {
+  return seed ^ (tag * 0x9E3779B97F4A7C15ull) ^ (sub * 0xBF58476D1CE4E5B9ull);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDiskError: return "disk_error";
+    case FaultKind::kDiskTimeout: return "disk_timeout";
+    case FaultKind::kNetDrop: return "net_drop";
+    case FaultKind::kNetDup: return "net_dup";
+    case FaultKind::kNetCorrupt: return "net_corrupt";
+    case FaultKind::kOscallEintr: return "oscall_eintr";
+    case FaultKind::kOscallEnomem: return "oscall_enomem";
+    case FaultKind::kOscallEio: return "oscall_eio";
+    case FaultKind::kSchedJitter: return "sched_jitter";
+    case FaultKind::kWalCrash: return "wal_crash";
+    case FaultKind::kCount: break;
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      net_(mix(plan.seed, kNetTag, 0)),
+      rx_(mix(plan.seed, kRxTag, 0)),
+      sched_(mix(plan.seed, kSchedTag, 0)) {
+  plan_.validate();
+}
+
+FaultInjector::ProcStreams& FaultInjector::streams(ProcId proc) {
+  const auto it = per_proc_.find(proc);
+  if (it != per_proc_.end()) return it->second;
+  ProcStreams s{util::Rng(mix(plan_.seed, kDiskTag, static_cast<std::uint64_t>(
+                                                        proc + 1))),
+                util::Rng(mix(plan_.seed, kOscallTag,
+                              static_cast<std::uint64_t>(proc + 1)))};
+  return per_proc_.emplace(proc, std::move(s)).first->second;
+}
+
+DiskFault FaultInjector::draw_disk(ProcId proc, int attempt) {
+  if (plan_.disk_error_prob <= 0 && plan_.disk_timeout_prob <= 0)
+    return DiskFault::kNone;
+  // The final permitted attempt always succeeds: retry loops terminate.
+  if (attempt >= plan_.disk_max_retries) return DiskFault::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double x = streams(proc).disk.next_double();
+  if (x < plan_.disk_error_prob) {
+    count_injected(FaultKind::kDiskError);
+    return DiskFault::kError;
+  }
+  if (x < plan_.disk_error_prob + plan_.disk_timeout_prob) {
+    count_injected(FaultKind::kDiskTimeout);
+    return DiskFault::kTimeout;
+  }
+  return DiskFault::kNone;
+}
+
+bool FaultInjector::draw_net_drop(int attempt) {
+  if (plan_.net_drop_prob <= 0) return false;
+  if (attempt >= plan_.net_max_retries) return false;
+  // Serialized by the caller (TCP/IP net mutex); no lock needed for order,
+  // but the stream itself is only ever touched under that mutex.
+  if (!net_.next_bool(plan_.net_drop_prob)) return false;
+  count_injected(FaultKind::kNetDrop);
+  return true;
+}
+
+RxFault FaultInjector::draw_rx() {
+  if (plan_.net_dup_prob <= 0 && plan_.net_corrupt_prob <= 0)
+    return RxFault::kNone;
+  const double x = rx_.next_double();
+  if (x < plan_.net_dup_prob) {
+    count_injected(FaultKind::kNetDup);
+    return RxFault::kDup;
+  }
+  if (x < plan_.net_dup_prob + plan_.net_corrupt_prob) {
+    count_injected(FaultKind::kNetCorrupt);
+    return RxFault::kCorrupt;
+  }
+  return RxFault::kNone;
+}
+
+OscallFault FaultInjector::draw_oscall(ProcId proc) {
+  if (plan_.oscall_eintr_prob <= 0 && plan_.oscall_enomem_prob <= 0 &&
+      plan_.oscall_eio_prob <= 0)
+    return OscallFault::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  ProcStreams& s = streams(proc);
+  auto recovered_kind = [](OscallFault f) {
+    switch (f) {
+      case OscallFault::kEintr: return FaultKind::kOscallEintr;
+      case OscallFault::kEnomem: return FaultKind::kOscallEnomem;
+      case OscallFault::kEio: return FaultKind::kOscallEio;
+      case OscallFault::kNone: break;
+    }
+    return FaultKind::kCount;
+  };
+  // Cap consecutive faults so bounded caller retries always succeed.
+  if (s.consecutive_oscall_faults >= plan_.oscall_max_consecutive) {
+    count_recovered(recovered_kind(s.last_oscall));
+    s.consecutive_oscall_faults = 0;
+    s.last_oscall = OscallFault::kNone;
+    return OscallFault::kNone;
+  }
+  const double x = s.oscall.next_double();
+  OscallFault f = OscallFault::kNone;
+  if (x < plan_.oscall_eintr_prob) {
+    f = OscallFault::kEintr;
+    count_injected(FaultKind::kOscallEintr);
+  } else if (x < plan_.oscall_eintr_prob + plan_.oscall_enomem_prob) {
+    f = OscallFault::kEnomem;
+    count_injected(FaultKind::kOscallEnomem);
+  } else if (x < plan_.oscall_eintr_prob + plan_.oscall_enomem_prob +
+                     plan_.oscall_eio_prob) {
+    f = OscallFault::kEio;
+    count_injected(FaultKind::kOscallEio);
+  }
+  if (f == OscallFault::kNone) {
+    // A clean draw right after a faulted one is the retry that succeeded.
+    if (s.consecutive_oscall_faults > 0)
+      count_recovered(recovered_kind(s.last_oscall));
+    s.consecutive_oscall_faults = 0;
+    s.last_oscall = OscallFault::kNone;
+  } else {
+    ++s.consecutive_oscall_faults;
+    s.last_oscall = f;
+  }
+  return f;
+}
+
+Cycles FaultInjector::slice_quantum(ProcId proc, CpuId cpu, Cycles start,
+                                    Cycles base_quantum) {
+  (void)proc;
+  (void)cpu;
+  (void)start;
+  if (plan_.sched_jitter_prob <= 0 || plan_.sched_jitter_cycles == 0)
+    return base_quantum;
+  if (!sched_.next_bool(plan_.sched_jitter_prob)) return base_quantum;
+  const auto j = static_cast<std::int64_t>(plan_.sched_jitter_cycles);
+  const std::int64_t delta = sched_.next_in(-j, j);
+  if (delta == 0) return base_quantum;
+  count_injected(FaultKind::kSchedJitter);
+  const auto base = static_cast<std::int64_t>(base_quantum);
+  // Keep the quantum positive: never shrink below 1/4 of the base (or 1).
+  const std::int64_t floor = std::max<std::int64_t>(1, base / 4);
+  return static_cast<Cycles>(std::max(floor, base + delta));
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FaultInjector::publish(stats::StatsRegistry& reg) const {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultKind::kCount);
+       ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    reg.counter(std::string("fault.injected.") + to_string(k))
+        .inc(injected(k));
+    reg.counter(std::string("fault.recovered.") + to_string(k))
+        .inc(recovered(k));
+  }
+}
+
+}  // namespace compass::fault

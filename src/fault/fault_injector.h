@@ -1,0 +1,159 @@
+// FaultInjector: the runtime half of the fault plane.
+//
+// One injector serves a whole simulation. Each draw site consumes from its
+// own splitmix-separated util::Rng stream, chosen so that every stream is
+// consumed in an order the simulation itself makes deterministic:
+//
+//  * disk faults — drawn by the file system on the OS thread of the
+//    requesting process (per-process streams; a process's oscalls are
+//    serial) and carried to the device in the kDevRequest argument word,
+//    so a recorded trace replays them with zero replay-side draws;
+//  * net drop — drawn by the TCP/IP output path under the net mutex
+//    (KMutex grants are backend-ordered, hence deterministic);
+//  * rx dup/corrupt — drawn on the backend thread as frames are delivered
+//    from the wire; every delivered copy records its own rx stimulus, so
+//    replay again needs no draws;
+//  * oscall faults — per-process streams, drawn at syscall dispatch;
+//  * scheduler jitter — drawn on the backend thread at slice grant (the
+//    injector is the core::SchedPerturber hook); a trace replayer drives
+//    the backend through the identical grant sequence, so it re-derives
+//    the identical jitter from the decoded plan.
+//
+// Counters are std::atomic because draw sites span OS-server threads and
+// the backend thread; they are published into the (single-threaded)
+// StatsRegistry after the simulation quiesces.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/sched_perturb.h"
+#include "core/types.h"
+#include "fault/fault_plan.h"
+#include "stats/counters.h"
+#include "util/rng.h"
+
+namespace compass::fault {
+
+/// Every injectable fault kind, for counter accounting.
+enum class FaultKind : std::uint8_t {
+  kDiskError = 0,
+  kDiskTimeout,
+  kNetDrop,
+  kNetDup,
+  kNetCorrupt,
+  kOscallEintr,
+  kOscallEnomem,
+  kOscallEio,
+  kSchedJitter,
+  kWalCrash,
+  kCount,
+};
+
+const char* to_string(FaultKind k);
+
+/// Disk-request fault decision, encoded into bits 8.. of the kDevRequest op
+/// word (see dev::DeviceHub): the decision travels with the event, so the
+/// device — live or replayed — applies identical timing.
+enum class DiskFault : std::uint8_t { kNone = 0, kError = 1, kTimeout = 2 };
+
+/// Inbound-frame fault decision made at wire delivery.
+enum class RxFault : std::uint8_t { kNone = 0, kDup = 1, kCorrupt = 2 };
+
+/// Transient oscall failure decision.
+enum class OscallFault : std::uint8_t {
+  kNone = 0,
+  kEintr = 1,
+  kEnomem = 2,
+  kEio = 3,
+};
+
+class FaultInjector final : public core::SchedPerturber {
+ public:
+  /// `plan` is validated and copied.
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // ---- draw sites ---------------------------------------------------------
+
+  /// Disk fault for the next request issued by `proc`; `attempt` is the
+  /// zero-based retry count — the draw is forced to kNone once `attempt`
+  /// reaches the plan's retry bound, so retry loops always terminate.
+  DiskFault draw_disk(ProcId proc, int attempt);
+
+  /// Outbound-frame drop; `attempt` as above (forced delivery at the bound).
+  bool draw_net_drop(int attempt);
+
+  /// Inbound-frame dup/corrupt decision (backend thread only).
+  RxFault draw_rx();
+
+  /// Transient failure for the next oscall of `proc`. At most
+  /// `oscall_max_consecutive` back-to-back faults per process; the draw
+  /// after a faulted one that comes up clean is counted as the recovery.
+  OscallFault draw_oscall(ProcId proc);
+
+  // ---- core::SchedPerturber -----------------------------------------------
+
+  /// Jitters the granted quantum by up to ±sched_jitter_cycles (clamped to
+  /// stay positive). Backend thread only.
+  Cycles slice_quantum(ProcId proc, CpuId cpu, Cycles start,
+                       Cycles base_quantum) override;
+
+  // ---- accounting ---------------------------------------------------------
+
+  void count_injected(FaultKind k) {
+    injected_[static_cast<std::size_t>(k)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void count_recovered(FaultKind k) {
+    recovered_[static_cast<std::size_t>(k)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t recovered(FaultKind k) const {
+    return recovered_[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t total_injected() const;
+
+  /// Writes fault.injected.<kind> / fault.recovered.<kind> counters.
+  /// Call after the simulation has quiesced (single-threaded).
+  void publish(stats::StatsRegistry& reg) const;
+
+ private:
+  /// Per-process draw state (disk + oscall streams).
+  struct ProcStreams {
+    util::Rng disk;
+    util::Rng oscall;
+    int consecutive_oscall_faults = 0;
+    OscallFault last_oscall = OscallFault::kNone;
+  };
+
+  ProcStreams& streams(ProcId proc);
+
+  FaultPlan plan_;
+  // Per-proc streams are created lazily; the map is guarded because
+  // different processes draw from different OS-server host threads. Draws
+  // by one process are serialized by that process's execution, so the lock
+  // protects only the container, never an ordering.
+  std::mutex mu_;
+  std::unordered_map<ProcId, ProcStreams> per_proc_;
+  util::Rng net_;    ///< outbound drop (serialized by the net mutex)
+  util::Rng rx_;     ///< inbound dup/corrupt (backend thread)
+  util::Rng sched_;  ///< slice jitter (backend thread)
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(
+                                             FaultKind::kCount)>
+      injected_{};
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(
+                                             FaultKind::kCount)>
+      recovered_{};
+};
+
+}  // namespace compass::fault

@@ -1,0 +1,42 @@
+#include "fault/fault_plan.h"
+
+#include "util/check.h"
+
+namespace compass::fault {
+
+namespace {
+void check_prob(const char* name, double p) {
+  if (p < 0.0 || p > 1.0)
+    throw util::ConfigError(std::string("fault plan: ") + name +
+                            " must be in [0,1]");
+}
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_prob("disk_error_prob", disk_error_prob);
+  check_prob("disk_timeout_prob", disk_timeout_prob);
+  check_prob("net_drop_prob", net_drop_prob);
+  check_prob("net_dup_prob", net_dup_prob);
+  check_prob("net_corrupt_prob", net_corrupt_prob);
+  check_prob("oscall_eintr_prob", oscall_eintr_prob);
+  check_prob("oscall_enomem_prob", oscall_enomem_prob);
+  check_prob("oscall_eio_prob", oscall_eio_prob);
+  check_prob("sched_jitter_prob", sched_jitter_prob);
+  if (disk_error_prob + disk_timeout_prob > 1.0)
+    throw util::ConfigError(
+        "fault plan: disk_error_prob + disk_timeout_prob must be <= 1");
+  if (net_dup_prob + net_corrupt_prob > 1.0)
+    throw util::ConfigError(
+        "fault plan: net_dup_prob + net_corrupt_prob must be <= 1");
+  if (oscall_eintr_prob + oscall_enomem_prob + oscall_eio_prob > 1.0)
+    throw util::ConfigError("fault plan: oscall fault probabilities sum > 1");
+  if (disk_max_retries < 1 || disk_max_retries > 64)
+    throw util::ConfigError("fault plan: disk_max_retries must be in [1,64]");
+  if (net_max_retries < 1 || net_max_retries > 64)
+    throw util::ConfigError("fault plan: net_max_retries must be in [1,64]");
+  if (oscall_max_consecutive < 1 || oscall_max_consecutive > 64)
+    throw util::ConfigError(
+        "fault plan: oscall_max_consecutive must be in [1,64]");
+}
+
+}  // namespace compass::fault

@@ -1,0 +1,67 @@
+// FaultPlan: the declarative description of a deterministic fault-injection
+// run.
+//
+// A plan is a plain value: a seed plus per-choke-point rates and bounds.
+// (plan, workload config) fully determines every injected fault — the
+// injector derives one splitmix-separated util::Rng stream per draw site, so
+// a recorded run replays with identical injections (the plan travels through
+// the trace config codec, see trace/trace_format.h ConfigKey::kFault*).
+//
+// An all-default plan is inert: `enabled()` is false, no hooks are wired,
+// no config keys are emitted, and the simulation is bit-identical to a
+// build without the fault plane.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace compass::fault {
+
+struct FaultPlan {
+  /// Root seed for every injector stream. The seed alone does not enable
+  /// anything: a plan with all rates zero is inert regardless of seed.
+  std::uint64_t seed = 0;
+
+  // ---- dev/disk: I/O errors and timeouts (retry-then-succeed) -------------
+  double disk_error_prob = 0.0;    ///< P(request fails fast with an error)
+  double disk_timeout_prob = 0.0;  ///< P(request times out, then fails)
+  Cycles disk_timeout_cycles = 300'000;  ///< extra delay a timeout costs
+  int disk_max_retries = 3;  ///< injector forces success on the last retry
+
+  // ---- dev/ethernet + os/tcpip: wire faults -------------------------------
+  double net_drop_prob = 0.0;     ///< P(outbound frame lost before the wire)
+  double net_dup_prob = 0.0;      ///< P(inbound frame delivered twice)
+  double net_corrupt_prob = 0.0;  ///< P(inbound frame delivered corrupted
+                                  ///  first, good copy right behind it)
+  Cycles net_backoff_cycles = 20'000;  ///< base retransmit backoff (doubles)
+  int net_max_retries = 4;  ///< injector forces delivery on the last retry
+
+  // ---- os/kernel: transient oscall failures -------------------------------
+  double oscall_eintr_prob = 0.0;
+  double oscall_enomem_prob = 0.0;
+  double oscall_eio_prob = 0.0;
+  int oscall_max_consecutive = 2;  ///< per-process cap on back-to-back faults
+
+  // ---- core scheduler: preemption-quantum jitter --------------------------
+  double sched_jitter_prob = 0.0;   ///< P(a granted slice gets jitter)
+  Cycles sched_jitter_cycles = 0;   ///< max |delta| applied to the quantum
+
+  // ---- db/wal: crash-point injection --------------------------------------
+  std::uint64_t wal_crash_at = 0;  ///< crash on the Nth commit (0 = off)
+
+  /// True if any fault can actually fire. Keyed off rates/bounds, not the
+  /// seed, so that a zero plan is provably a no-op.
+  bool enabled() const {
+    return disk_error_prob > 0 || disk_timeout_prob > 0 || net_drop_prob > 0 ||
+           net_dup_prob > 0 || net_corrupt_prob > 0 || oscall_eintr_prob > 0 ||
+           oscall_enomem_prob > 0 || oscall_eio_prob > 0 ||
+           (sched_jitter_prob > 0 && sched_jitter_cycles > 0) ||
+           wal_crash_at > 0;
+  }
+
+  /// Throws util::ConfigError on out-of-range rates or bounds.
+  void validate() const;
+};
+
+}  // namespace compass::fault

@@ -151,6 +151,33 @@ void FileSystem::dma_drain(Buf& buf) {
               kernel_.kmem().host(buf.data_addr), bs);
 }
 
+void FileSystem::disk_io(core::SimContext& ctx, std::uint64_t op,
+                         std::uint64_t block, int disk, std::uint32_t nblocks,
+                         core::WaitChannel channel) {
+  fault::FaultInjector* inj = kernel_.fault_injector();
+  fault::FaultKind failed = fault::FaultKind::kCount;  // last failure kind
+  for (int attempt = 0;; ++attempt) {
+    // The fault decision is drawn here, by the requesting process (whose
+    // oscalls are serial → deterministic), and travels in the request word:
+    // the device — live or trace-replayed — applies identical timing.
+    const fault::DiskFault f =
+        inj != nullptr ? inj->draw_disk(ctx.proc(), attempt)
+                       : fault::DiskFault::kNone;
+    const std::int64_t status = ctx.dev_request(
+        op | (static_cast<std::uint64_t>(f) << 8), block,
+        (static_cast<std::uint64_t>(disk) << 32) | nblocks, channel);
+    ctx.block_on(channel);  // completion interrupt wakes us either way
+    if (status >= 0) {
+      if (inj != nullptr && failed != fault::FaultKind::kCount)
+        inj->count_recovered(failed);
+      return;
+    }
+    failed = status == -2 ? fault::FaultKind::kDiskTimeout
+                          : fault::FaultKind::kDiskError;
+    ctx.compute(800);  // driver error handling + request re-queue
+  }
+}
+
 void FileSystem::write_back(core::SimContext& ctx, Buf& buf) {
   // fslock held on entry and exit; dropped across the device wait.
   COMPASS_CHECK(!buf.busy);
@@ -160,11 +187,8 @@ void FileSystem::write_back(core::SimContext& ctx, Buf& buf) {
   fslock_->unlock(ctx);
   if (kernel_.simulating() && kernel_.devices() != nullptr) {
     Inode* inode = inode_by_id(buf.inode_id);
-    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
-                    disk_block(buf),
-                    (static_cast<std::uint64_t>(inode->disk) << 32) | 1,
-                    buf.header_addr);
-    ctx.block_on(buf.header_addr);
+    disk_io(ctx, static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
+            disk_block(buf), inode->disk, 1, buf.header_addr);
   }
   fslock_->lock(ctx);
   buf.busy = false;
@@ -224,11 +248,8 @@ FileSystem::Buf& FileSystem::bread(core::SimContext& ctx, Inode& inode,
     b.busy = true;
     fslock_->unlock(ctx);
     if (kernel_.simulating() && kernel_.devices() != nullptr) {
-      ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
-                      inode.first_block + page,
-                      (static_cast<std::uint64_t>(inode.disk) << 32) | 1,
-                      b.header_addr);
-      ctx.block_on(b.header_addr);
+      disk_io(ctx, static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
+              inode.first_block + page, inode.disk, 1, b.header_addr);
     }
     dma_fill(b);  // DMA: no CPU references
     fslock_->lock(ctx);
@@ -255,11 +276,9 @@ std::int64_t FileSystem::read_direct(core::SimContext& ctx, Inode& inode,
     // The caller sleeps on its own per-request channel so concurrent raw
     // I/Os on the same file do not wake each other.
     const core::WaitChannel ch = proc_io_channel(ctx.proc());
-    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
-                    inode.first_block + first_page,
-                    (static_cast<std::uint64_t>(inode.disk) << 32) | nblocks,
-                    ch);
-    ctx.block_on(ch);
+    disk_io(ctx, static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
+            inode.first_block + first_page, inode.disk,
+            static_cast<std::uint32_t>(nblocks), ch);
   }
   {
     std::lock_guard host_lock(inode.host_mu);
@@ -292,11 +311,9 @@ std::int64_t FileSystem::write_direct(core::SimContext& ctx, Inode& inode,
   }
   if (kernel_.simulating() && kernel_.devices() != nullptr) {
     const core::WaitChannel ch = proc_io_channel(ctx.proc());
-    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
-                    inode.first_block + first_page,
-                    (static_cast<std::uint64_t>(inode.disk) << 32) | nblocks,
-                    ch);
-    ctx.block_on(ch);
+    disk_io(ctx, static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
+            inode.first_block + first_page, inode.disk,
+            static_cast<std::uint32_t>(nblocks), ch);
   }
   return static_cast<std::int64_t>(len);
 }
@@ -422,12 +439,9 @@ std::int64_t FileSystem::mmap(core::SimContext& ctx, ProcId proc,
                 bs);
   }
   if (kernel_.simulating() && kernel_.devices() != nullptr) {
-    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
-                    inode->first_block + offset / bs,
-                    (static_cast<std::uint64_t>(inode->disk) << 32) |
-                        (aligned / bs),
-                    inode->header_addr);
-    ctx.block_on(inode->header_addr);
+    disk_io(ctx, static_cast<std::uint64_t>(dev::DevOp::kDiskRead),
+            inode->first_block + offset / bs, inode->disk,
+            static_cast<std::uint32_t>(aligned / bs), inode->header_addr);
   }
   ctx.compute(200 + 30 * (aligned / bs));  // page-table population
   mappings_.emplace(base, std::move(m));
@@ -452,12 +466,9 @@ std::int64_t FileSystem::msync(core::SimContext& ctx, Addr base) {
   }
   inode->size = std::max(inode->size, m.offset + m.len);
   if (kernel_.simulating() && kernel_.devices() != nullptr) {
-    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
-                    inode->first_block + m.offset / bs,
-                    (static_cast<std::uint64_t>(inode->disk) << 32) |
-                        (aligned / bs),
-                    inode->header_addr);
-    ctx.block_on(inode->header_addr);
+    disk_io(ctx, static_cast<std::uint64_t>(dev::DevOp::kDiskWrite),
+            inode->first_block + m.offset / bs, inode->disk,
+            static_cast<std::uint32_t>(aligned / bs), inode->header_addr);
   }
   return 0;
 }

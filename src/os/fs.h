@@ -120,6 +120,14 @@ class FileSystem {
   void dma_fill(Buf& buf);
   void dma_drain(Buf& buf);
   std::uint64_t disk_block(const Buf& buf) const;
+  /// Issue one disk request and sleep until its completion interrupt,
+  /// retrying (bounded, via the fault plane's forced-success cap) when the
+  /// injected request status comes back as an error or timeout. Whatever
+  /// locks the caller holds stay held across the retries (same discipline
+  /// as holding them across a single blocking I/O). `op` is kDiskRead or
+  /// kDiskWrite.
+  void disk_io(core::SimContext& ctx, std::uint64_t op, std::uint64_t block,
+               int disk, std::uint32_t nblocks, core::WaitChannel channel);
 
   Kernel& kernel_;
   std::unique_ptr<KMutex> fslock_;

@@ -202,6 +202,26 @@ std::int64_t Kernel::syscall(core::SimContext& ctx, ProcId proc,
   };
   auto uarg = [&](std::size_t i) { return static_cast<std::uint64_t>(arg(i)); };
 
+  // Fault plane: transient failures at dispatch, restricted to the
+  // restartable data-path calls (never the blocking rendezvous calls, whose
+  // wakeup choreography must not be skipped, and never close). Drawn from
+  // the caller's per-process stream — a process's oscalls are serial, so
+  // the draw sequence is deterministic.
+  if (injector_ != nullptr) {
+    const bool restartable =
+        sys == Sys::kOpen || sys == Sys::kCreat || sys == Sys::kStatx ||
+        sys == Sys::kRead || sys == Sys::kWrite || sys == Sys::kReadv ||
+        sys == Sys::kWritev || sys == Sys::kSend || sys == Sys::kRecv;
+    if (restartable) {
+      switch (injector_->draw_oscall(proc)) {
+        case fault::OscallFault::kNone: break;
+        case fault::OscallFault::kEintr: return -kEINTR;
+        case fault::OscallFault::kEnomem: return -kENOMEM;
+        case fault::OscallFault::kEio: return -kEIO;
+      }
+    }
+  }
+
   switch (sys) {
     case Sys::kOpen:
       return fs_->open(ctx, proc, copy_path(ctx, uarg(0), uarg(1)), uarg(2));

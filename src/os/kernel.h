@@ -24,6 +24,7 @@
 #include "core/backend.h"
 #include "core/sim_context.h"
 #include "dev/device_hub.h"
+#include "fault/fault_injector.h"
 #include "mem/arena.h"
 #include "os/ksync.h"
 #include "os/syscall.h"
@@ -96,6 +97,14 @@ class Kernel {
   TcpIp& net() { return *net_; }
   bool simulating() const { return backend_ != nullptr; }
 
+  /// Attach the fault plane (null = no injection). Consulted at syscall
+  /// dispatch for transient oscall failures and by the file system / TCP-IP
+  /// for device and wire faults.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() { return injector_; }
+
   /// Allocate/free kernel memory, charging allocator path cycles.
   Addr kalloc(core::SimContext& ctx, std::size_t size, std::size_t align = 8);
   void kfree(core::SimContext& ctx, Addr addr, std::size_t size);
@@ -131,6 +140,7 @@ class Kernel {
   KernelConfig cfg_;
   core::Backend* backend_;
   core::TraceSink* trace_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
   mem::AddressMap& mem_;
   dev::DeviceHub* devices_;
   std::unique_ptr<mem::Arena> kmem_;

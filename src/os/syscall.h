@@ -116,10 +116,19 @@ struct KIovec {
 enum KErr : std::int64_t {
   kEBADF = 9,
   kENOENT = 2,
+  kEINTR = 4,
+  kEIO = 5,
+  kENOMEM = 12,
   kEINVAL = 22,
   kEMFILE = 24,
   kENOTCONN = 107,
   kEADDRINUSE = 98,
 };
+
+/// Transient errors a caller should retry with bounded backoff (the fault
+/// plane injects these; libc-style restartable failures).
+inline constexpr bool is_transient_err(std::int64_t ret) {
+  return ret == -kEINTR || ret == -kENOMEM || ret == -kEIO;
+}
 
 }  // namespace compass::os

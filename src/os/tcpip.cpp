@@ -7,10 +7,20 @@
 
 namespace compass::os {
 
+std::uint32_t frame_checksum(std::span<const std::uint8_t> payload) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : payload) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
 std::vector<std::uint8_t> make_frame(const FrameHeader& h,
                                      std::span<const std::uint8_t> payload) {
   FrameHeader hdr = h;
   hdr.len = static_cast<std::uint32_t>(payload.size());
+  hdr.csum = frame_checksum(payload);
   std::vector<std::uint8_t> frame(sizeof(FrameHeader) + payload.size());
   std::memcpy(frame.data(), &hdr, sizeof(hdr));
   if (!payload.empty())
@@ -141,34 +151,50 @@ std::int64_t TcpIp::sys_connect(core::SimContext& ctx, std::uint64_t sockid,
   h.conn = s->conn;
   h.port = port;
   h.flags = kFrameSyn;
+  h.seq = s->tx_seq++;
   output_frame(ctx, h, {});
   while (s->state == Socket::State::kSynSent) {
     s->connecters.sleep(ctx, *netlock_);
-    if (ctx.aborted()) return -kENOTCONN;
+    s = sock(sockid);
+    if (s == nullptr || ctx.aborted()) return -kENOTCONN;
   }
   return s->state == Socket::State::kConnected ? 0 : -kENOTCONN;
 }
 
 void TcpIp::output_frame(core::SimContext& ctx, const FrameHeader& h,
                          std::span<const std::uint8_t> payload) {
-  if (frames_out_ != nullptr) {
-    frames_out_->inc();
-    bytes_out_->inc(payload.size());
-  }
-  // IP/TCP header construction and checksum over the payload (already in
-  // kernel mbufs at rx_staging_/mbuf addresses — modeled as a scan of the
-  // staging area).
-  ctx.compute(400);
-  if (!payload.empty())
-    mem::sim_scan(ctx, kernel_.mem(), rx_staging_, payload.size(),
-                  kernel_.config().checksum_per_chunk);
-  std::vector<std::uint8_t> frame = make_frame(h, payload);
-  if (kernel_.simulating() && kernel_.devices() != nullptr) {
-    const std::uint64_t id =
-        kernel_.devices()->ethernet().stage_tx(std::move(frame));
-    ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kEthTx), id, 0, 0);
-  } else if (native_wire_) {
-    native_wire_(std::move(frame));
+  fault::FaultInjector* inj = kernel_.fault_injector();
+  for (int attempt = 0;; ++attempt) {
+    if (frames_out_ != nullptr) {
+      frames_out_->inc();
+      bytes_out_->inc(payload.size());
+    }
+    // IP/TCP header construction and checksum over the payload (already in
+    // kernel mbufs at rx_staging_/mbuf addresses — modeled as a scan of the
+    // staging area).
+    ctx.compute(400);
+    if (!payload.empty())
+      mem::sim_scan(ctx, kernel_.mem(), rx_staging_, payload.size(),
+                    kernel_.config().checksum_per_chunk);
+    if (inj != nullptr && inj->draw_net_drop(attempt)) {
+      // The NIC dropped the frame (tx ring overrun). The retransmit timer
+      // fires after an exponentially growing backoff, then the whole
+      // header-build + checksum path runs again. The drop happens before
+      // the wire, so each frame still reaches the peer exactly once.
+      ctx.compute(inj->plan().net_backoff_cycles << std::min(attempt, 8));
+      continue;
+    }
+    std::vector<std::uint8_t> frame = make_frame(h, payload);
+    if (kernel_.simulating() && kernel_.devices() != nullptr) {
+      const std::uint64_t id =
+          kernel_.devices()->ethernet().stage_tx(std::move(frame));
+      ctx.dev_request(static_cast<std::uint64_t>(dev::DevOp::kEthTx), id, 0, 0);
+    } else if (native_wire_) {
+      native_wire_(std::move(frame));
+    }
+    if (inj != nullptr && attempt > 0)
+      inj->count_recovered(fault::FaultKind::kNetDrop);
+    return;
   }
 }
 
@@ -189,6 +215,7 @@ std::int64_t TcpIp::sys_send(core::SimContext& ctx, std::uint64_t sockid,
     FrameHeader h;
     h.conn = s->conn;
     h.flags = kFrameData;
+    h.seq = s->tx_seq++;
     const std::uint8_t* host =
         reinterpret_cast<const std::uint8_t*>(kernel_.mem().host(mbuf + 32));
     output_frame(ctx, h, std::span<const std::uint8_t>(host, n));
@@ -279,16 +306,36 @@ std::int64_t TcpIp::sys_sockclose(core::SimContext& ctx, std::uint64_t sockid) {
     FrameHeader h;
     h.conn = s->conn;
     h.flags = kFrameFin;
+    h.seq = s->tx_seq++;
     output_frame(ctx, h, {});
   }
   if (s->state == Socket::State::kListening) {
     auto& v = listeners_[s->port];
     std::erase(v, s->id);
     if (v.empty()) listeners_.erase(s->port);
+    // Tear down connections the stack accepted but the server never did:
+    // their PCBs, queued mbufs and conn-table entries would otherwise leak
+    // when a listener closes with a non-empty backlog.
+    for (const std::uint64_t cid : s->pending_accepts) {
+      Socket* c = sock(cid);
+      if (c == nullptr) continue;
+      conns_.erase(c->conn);
+      for (auto& m : c->rxq) mbuf_free(ctx, m.addr);
+      kernel_.kfree(ctx, c->ctrl_addr, 128);
+      sockets_.erase(cid);
+    }
+    s->pending_accepts.clear();
   }
   conns_.erase(s->conn);
   // Release queued mbufs.
   for (auto& m : s->rxq) mbuf_free(ctx, m.addr);
+  // Wake every waiter before the socket goes away: a blocked naccept/recv
+  // re-looks the socket up, finds it gone and returns -kEBADF instead of
+  // sleeping forever on a queue that no longer exists.
+  s->readers.wake_all(ctx);
+  s->accepters.wake_all(ctx);
+  s->connecters.wake_all(ctx);
+  s->selectors.wake_all(ctx);
   kernel_.kfree(ctx, s->ctrl_addr, 128);
   sockets_.erase(sockid);
   return 0;
@@ -339,8 +386,22 @@ void TcpIp::input_frame(core::SimContext& ctx,
   if (h.len > 0)
     mem::sim_scan(ctx, kernel_.mem(), rx_staging_, h.len,
                   kernel_.config().checksum_per_chunk);
+  // The in-place scan above models the checksum cost; the host-side FNV
+  // compare is its verdict. A mismatch means the link layer corrupted the
+  // frame — drop it; the sender's good copy arrives right behind it.
+  if (h.csum != frame_checksum(frame.subspan(sizeof(FrameHeader), h.len))) {
+    if (fault::FaultInjector* inj = kernel_.fault_injector(); inj != nullptr)
+      inj->count_recovered(fault::FaultKind::kNetCorrupt);
+    return;
+  }
 
   if (h.flags & kFrameSyn) {
+    if (conns_.contains(h.conn)) {
+      // Duplicate SYN (link-layer dup): the connection already exists.
+      if (fault::FaultInjector* inj = kernel_.fault_injector(); inj != nullptr)
+        inj->count_recovered(fault::FaultKind::kNetDup);
+      return;
+    }
     const auto lit = listeners_.find(h.port);
     if (lit == listeners_.end() || lit->second.empty())
       return;  // connection refused: drop
@@ -354,6 +415,8 @@ void TcpIp::input_frame(core::SimContext& ctx,
     conn->state = Socket::State::kConnected;
     conn->conn = h.conn;
     conn->port = h.port;
+    conn->rx_last_seq = h.seq;
+    conn->rx_has_seq = true;
     mem::sim_write<std::uint64_t>(ctx, kernel_.mem(), conn->ctrl_addr, conn->id);
     conns_[h.conn] = conn->id;
     listener->pending_accepts.push_back(conn->id);
@@ -367,6 +430,17 @@ void TcpIp::input_frame(core::SimContext& ctx,
     if (s->state == Socket::State::kSynSent) s->state = Socket::State::kConnected;
     wake_socket_watchers(ctx, *s);
     return;
+  }
+  if (h.flags & (kFrameData | kFrameFin)) {
+    // Per-connection sequence check: the wire is FIFO, so a sequence number
+    // at or below the last accepted one is a link-layer duplicate.
+    if (s->rx_has_seq && h.seq <= s->rx_last_seq) {
+      if (fault::FaultInjector* inj = kernel_.fault_injector(); inj != nullptr)
+        inj->count_recovered(fault::FaultKind::kNetDup);
+      return;
+    }
+    s->rx_last_seq = h.seq;
+    s->rx_has_seq = true;
   }
   if (h.flags & kFrameData) {
     // Build the mbuf chain by copying out of the rx ring (the instrumented

@@ -30,15 +30,20 @@ namespace compass::os {
 
 class Kernel;
 
-/// Wire format: every frame starts with this header.
+/// Wire format: every frame starts with this header. `seq` and `csum` give
+/// the receiver enough to survive the link-layer faults the fault plane
+/// injects: duplicated frames are detected by per-connection sequence
+/// numbers, corrupted frames by the payload checksum.
 struct FrameHeader {
   std::uint32_t conn = 0;   ///< connection id (chosen by the initiator)
   std::uint16_t port = 0;   ///< destination port (SYN only)
   std::uint8_t flags = 0;
   std::uint8_t pad = 0;
   std::uint32_t len = 0;    ///< payload bytes
+  std::uint32_t seq = 0;    ///< per-connection, per-direction sequence number
+  std::uint32_t csum = 0;   ///< FNV-1a over the payload (make_frame stamps it)
 };
-static_assert(sizeof(FrameHeader) == 12);
+static_assert(sizeof(FrameHeader) == 20);
 
 enum FrameFlags : std::uint8_t {
   kFrameSyn = 1,
@@ -50,6 +55,10 @@ enum FrameFlags : std::uint8_t {
 std::vector<std::uint8_t> make_frame(const FrameHeader& h,
                                      std::span<const std::uint8_t> payload);
 FrameHeader parse_frame(std::span<const std::uint8_t> frame);
+
+/// FNV-1a/32 over the payload bytes — the host-visible truth the simulated
+/// in-place checksum scan stands in for.
+std::uint32_t frame_checksum(std::span<const std::uint8_t> payload);
 
 class TcpIp {
  public:
@@ -108,6 +117,9 @@ class TcpIp {
     std::uint32_t conn = 0;
     std::uint16_t port = 0;
     bool peer_fin = false;
+    std::uint32_t tx_seq = 0;       ///< next sequence number to send
+    std::uint32_t rx_last_seq = 0;  ///< highest sequence number accepted
+    bool rx_has_seq = false;        ///< rx_last_seq is valid
     struct MbufRef {
       Addr addr = 0;            ///< kernel mbuf (header + data)
       std::uint32_t len = 0;    ///< payload bytes in this mbuf

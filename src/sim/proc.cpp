@@ -37,6 +37,15 @@ std::vector<std::uint8_t> Proc::get_bytes(Addr addr, std::size_t n) {
   return out;
 }
 
+std::int64_t Proc::restarting_oscall(os::Sys sys,
+                                     std::initializer_list<std::int64_t> args) {
+  for (int attempt = 0;; ++attempt) {
+    const std::int64_t ret = oscall(sys, args);
+    if (!os::is_transient_err(ret) || attempt >= 15) return ret;
+    ctx_.compute(Cycles{200} << std::min(attempt, 8));  // backoff, then retry
+  }
+}
+
 Addr Proc::path_arg(std::string_view path) {
   COMPASS_CHECK_MSG(path.size() < 1024, "path too long");
   put_bytes(scratch_, std::span<const std::uint8_t>(
@@ -47,20 +56,20 @@ Addr Proc::path_arg(std::string_view path) {
 
 std::int64_t Proc::open(std::string_view path, std::int64_t flags) {
   const Addr p = path_arg(path);
-  return oscall(os::Sys::kOpen, {static_cast<std::int64_t>(p),
+  return restarting_oscall(os::Sys::kOpen, {static_cast<std::int64_t>(p),
                                  static_cast<std::int64_t>(path.size()), flags});
 }
 
 std::int64_t Proc::creat(std::string_view path, std::uint64_t size_hint) {
   const Addr p = path_arg(path);
-  return oscall(os::Sys::kCreat, {static_cast<std::int64_t>(p),
+  return restarting_oscall(os::Sys::kCreat, {static_cast<std::int64_t>(p),
                                   static_cast<std::int64_t>(path.size()),
                                   static_cast<std::int64_t>(size_hint)});
 }
 
 std::int64_t Proc::statx(std::string_view path) {
   const Addr p = path_arg(path);
-  return oscall(os::Sys::kStatx, {static_cast<std::int64_t>(p),
+  return restarting_oscall(os::Sys::kStatx, {static_cast<std::int64_t>(p),
                                   static_cast<std::int64_t>(path.size())});
 }
 
@@ -73,12 +82,12 @@ std::int64_t Proc::unlink(std::string_view path) {
 std::int64_t Proc::close(std::int64_t fd) { return oscall(os::Sys::kClose, {fd}); }
 
 std::int64_t Proc::read_fd(std::int64_t fd, Addr buf, std::uint64_t len) {
-  return oscall(os::Sys::kRead, {fd, static_cast<std::int64_t>(buf),
+  return restarting_oscall(os::Sys::kRead, {fd, static_cast<std::int64_t>(buf),
                                  static_cast<std::int64_t>(len)});
 }
 
 std::int64_t Proc::write_fd(std::int64_t fd, Addr buf, std::uint64_t len) {
-  return oscall(os::Sys::kWrite, {fd, static_cast<std::int64_t>(buf),
+  return restarting_oscall(os::Sys::kWrite, {fd, static_cast<std::int64_t>(buf),
                                   static_cast<std::int64_t>(len)});
 }
 
@@ -87,7 +96,7 @@ std::int64_t Proc::readv(std::int64_t fd, std::span<const os::KIovec> iov) {
   put_bytes(p, std::span<const std::uint8_t>(
                    reinterpret_cast<const std::uint8_t*>(iov.data()),
                    iov.size_bytes()));
-  return oscall(os::Sys::kReadv, {fd, static_cast<std::int64_t>(p),
+  return restarting_oscall(os::Sys::kReadv, {fd, static_cast<std::int64_t>(p),
                                   static_cast<std::int64_t>(iov.size())});
 }
 
@@ -96,7 +105,7 @@ std::int64_t Proc::writev(std::int64_t fd, std::span<const os::KIovec> iov) {
   put_bytes(p, std::span<const std::uint8_t>(
                    reinterpret_cast<const std::uint8_t*>(iov.data()),
                    iov.size_bytes()));
-  return oscall(os::Sys::kWritev, {fd, static_cast<std::int64_t>(p),
+  return restarting_oscall(os::Sys::kWritev, {fd, static_cast<std::int64_t>(p),
                                    static_cast<std::int64_t>(iov.size())});
 }
 
@@ -138,12 +147,12 @@ std::int64_t Proc::connect(std::int64_t fd, std::uint16_t port) {
 }
 
 std::int64_t Proc::send(std::int64_t fd, Addr buf, std::uint64_t len) {
-  return oscall(os::Sys::kSend, {fd, static_cast<std::int64_t>(buf),
+  return restarting_oscall(os::Sys::kSend, {fd, static_cast<std::int64_t>(buf),
                                  static_cast<std::int64_t>(len)});
 }
 
 std::int64_t Proc::recv(std::int64_t fd, Addr buf, std::uint64_t len) {
-  return oscall(os::Sys::kRecv, {fd, static_cast<std::int64_t>(buf),
+  return restarting_oscall(os::Sys::kRecv, {fd, static_cast<std::int64_t>(buf),
                                  static_cast<std::int64_t>(len)});
 }
 

@@ -64,6 +64,13 @@ class Proc {
     return ctx_.oscall(static_cast<std::uint32_t>(sys), args);
   }
 
+  /// libc-style restartable OS call: retries transient failures (EINTR /
+  /// ENOMEM / EIO, which the fault plane injects at dispatch) with
+  /// exponential backoff. The injector caps consecutive faults per process,
+  /// so the loop always terminates; the attempt bound is a backstop.
+  std::int64_t restarting_oscall(os::Sys sys,
+                                 std::initializer_list<std::int64_t> args);
+
   std::int64_t open(std::string_view path, std::int64_t flags = 0);
   std::int64_t creat(std::string_view path, std::uint64_t size_hint = 0);
   std::int64_t statx(std::string_view path);

@@ -27,12 +27,19 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   devices_ = std::make_unique<dev::DeviceHub>(cfg_.devices, &registry_);
   backend_os_ = std::make_unique<os::BackendOs>(*vm_);
 
+  // Fault plane: only constructed when the plan enables at least one fault
+  // kind, so a disabled plan leaves every hook pointer null — the zero-cost,
+  // bit-identical baseline path.
+  if (cfg_.fault.enabled())
+    injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
+
   core::Backend::Hooks hooks;
   hooks.memsys = trampoline.get();
   hooks.backend_calls = backend_os_.get();
   hooks.devices = devices_.get();
   hooks.idle_irq = &idle_binder_;
   hooks.trace = cfg_.trace_sink;
+  if (injector_ != nullptr) hooks.sched_perturb = injector_.get();
   backend_ = std::make_unique<core::Backend>(cfg_.core, *comm_, hooks, &registry_);
   devices_->set_trace_sink(cfg_.trace_sink);
 
@@ -63,6 +70,10 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   kernel_ = std::make_unique<os::Kernel>(cfg_.kernel, backend_.get(), mem_map_,
                                          devices_.get());
   kernel_->set_trace_sink(cfg_.trace_sink);
+  if (injector_ != nullptr) {
+    kernel_->set_fault_injector(injector_.get());
+    devices_->set_fault(&cfg_.fault, injector_.get());
+  }
   os_server_ = std::make_unique<os::OsServer>(cfg_.os_server, *backend_, *kernel_);
   idle_binder_.target = os_server_.get();
 }
@@ -113,6 +124,10 @@ void Simulation::run() {
     }
   }
   os_server_->stop();
+  // The simulation has quiesced: fold the injector's atomic tallies into
+  // the stats registry so fault.injected.* / fault.recovered.* ride along
+  // with every stats consumer (--stats-json, golden checks exclude them).
+  if (injector_ != nullptr) injector_->publish(registry_);
   if (backend_error) std::rethrow_exception(backend_error);
   if (workload_error) std::rethrow_exception(workload_error);
 }

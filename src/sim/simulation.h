@@ -16,6 +16,7 @@
 #include "core/backend.h"
 #include "core/frontend.h"
 #include "dev/device_hub.h"
+#include "fault/fault_injector.h"
 #include "mem/machine.h"
 #include "os/backend_os.h"
 #include "os/kernel.h"
@@ -41,6 +42,10 @@ struct SimulationConfig {
   os::KernelConfig kernel;
   os::OsServerConfig os_server;
   std::size_t user_heap_bytes = 64ull << 20;
+  /// Fault-injection plan. The default (all rates zero) disables the fault
+  /// plane entirely: no injector is constructed and no hooks are wired, so
+  /// a fault-free run is bit-identical to one built without the plane.
+  fault::FaultPlan fault;
   /// Optional event-trace recorder (src/trace/): receives every dispatched
   /// batch plus the device/kernel side-band records. Not owned; must
   /// outlive the Simulation.
@@ -73,6 +78,9 @@ class Simulation {
   mem::Vm& vm() { return *vm_; }
   mem::AddressMap& mem() { return mem_map_; }
   const SimulationConfig& config() const { return cfg_; }
+
+  /// Null when the fault plan is disabled.
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
 
   const stats::TimeBreakdown& breakdown() const {
     return backend_->time_breakdown();
@@ -113,6 +121,7 @@ class Simulation {
   std::unique_ptr<core::MemorySystem> machine_;
   std::unique_ptr<MemTrampoline> machine_trampoline_;
   std::unique_ptr<dev::DeviceHub> devices_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<os::BackendOs> backend_os_;
   IdleBinder idle_binder_;
   std::unique_ptr<core::Backend> backend_;

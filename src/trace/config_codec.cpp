@@ -81,6 +81,29 @@ ConfigPairs encode_config(const sim::SimulationConfig& cfg) {
   put(out, ConfigKey::kEthBytesPerCycle, from_double(d.eth.bytes_per_cycle));
   put(out, ConfigKey::kEthTxOverhead, static_cast<std::uint64_t>(d.eth.tx_overhead));
   put(out, ConfigKey::kEthMtu, d.eth.mtu);
+
+  // Only an enabled plan reaches the trace: a disabled fault plane leaves
+  // the config block (and its hash) identical to a build without one.
+  const fault::FaultPlan& f = cfg.fault;
+  if (f.enabled()) {
+    put(out, ConfigKey::kFaultSeed, f.seed);
+    put(out, ConfigKey::kFaultDiskErrorProb, from_double(f.disk_error_prob));
+    put(out, ConfigKey::kFaultDiskTimeoutProb, from_double(f.disk_timeout_prob));
+    put(out, ConfigKey::kFaultDiskTimeoutCycles, static_cast<std::uint64_t>(f.disk_timeout_cycles));
+    put(out, ConfigKey::kFaultDiskMaxRetries, static_cast<std::uint64_t>(f.disk_max_retries));
+    put(out, ConfigKey::kFaultNetDropProb, from_double(f.net_drop_prob));
+    put(out, ConfigKey::kFaultNetDupProb, from_double(f.net_dup_prob));
+    put(out, ConfigKey::kFaultNetCorruptProb, from_double(f.net_corrupt_prob));
+    put(out, ConfigKey::kFaultNetBackoffCycles, static_cast<std::uint64_t>(f.net_backoff_cycles));
+    put(out, ConfigKey::kFaultNetMaxRetries, static_cast<std::uint64_t>(f.net_max_retries));
+    put(out, ConfigKey::kFaultOscallEintrProb, from_double(f.oscall_eintr_prob));
+    put(out, ConfigKey::kFaultOscallEnomemProb, from_double(f.oscall_enomem_prob));
+    put(out, ConfigKey::kFaultOscallEioProb, from_double(f.oscall_eio_prob));
+    put(out, ConfigKey::kFaultOscallMaxConsecutive, static_cast<std::uint64_t>(f.oscall_max_consecutive));
+    put(out, ConfigKey::kFaultSchedJitterProb, from_double(f.sched_jitter_prob));
+    put(out, ConfigKey::kFaultSchedJitterCycles, static_cast<std::uint64_t>(f.sched_jitter_cycles));
+    put(out, ConfigKey::kFaultWalCrashAt, f.wal_crash_at);
+  }
   return out;
 }
 
@@ -148,6 +171,24 @@ sim::SimulationConfig decode_config(const ConfigPairs& pairs) {
       case ConfigKey::kEthBytesPerCycle: cfg.devices.eth.bytes_per_cycle = to_double(v); break;
       case ConfigKey::kEthTxOverhead: cfg.devices.eth.tx_overhead = static_cast<Cycles>(v); break;
       case ConfigKey::kEthMtu: cfg.devices.eth.mtu = static_cast<std::uint32_t>(v); break;
+
+      case ConfigKey::kFaultSeed: cfg.fault.seed = v; break;
+      case ConfigKey::kFaultDiskErrorProb: cfg.fault.disk_error_prob = to_double(v); break;
+      case ConfigKey::kFaultDiskTimeoutProb: cfg.fault.disk_timeout_prob = to_double(v); break;
+      case ConfigKey::kFaultDiskTimeoutCycles: cfg.fault.disk_timeout_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kFaultDiskMaxRetries: cfg.fault.disk_max_retries = static_cast<int>(v); break;
+      case ConfigKey::kFaultNetDropProb: cfg.fault.net_drop_prob = to_double(v); break;
+      case ConfigKey::kFaultNetDupProb: cfg.fault.net_dup_prob = to_double(v); break;
+      case ConfigKey::kFaultNetCorruptProb: cfg.fault.net_corrupt_prob = to_double(v); break;
+      case ConfigKey::kFaultNetBackoffCycles: cfg.fault.net_backoff_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kFaultNetMaxRetries: cfg.fault.net_max_retries = static_cast<int>(v); break;
+      case ConfigKey::kFaultOscallEintrProb: cfg.fault.oscall_eintr_prob = to_double(v); break;
+      case ConfigKey::kFaultOscallEnomemProb: cfg.fault.oscall_enomem_prob = to_double(v); break;
+      case ConfigKey::kFaultOscallEioProb: cfg.fault.oscall_eio_prob = to_double(v); break;
+      case ConfigKey::kFaultOscallMaxConsecutive: cfg.fault.oscall_max_consecutive = static_cast<int>(v); break;
+      case ConfigKey::kFaultSchedJitterProb: cfg.fault.sched_jitter_prob = to_double(v); break;
+      case ConfigKey::kFaultSchedJitterCycles: cfg.fault.sched_jitter_cycles = static_cast<Cycles>(v); break;
+      case ConfigKey::kFaultWalCrashAt: cfg.fault.wal_crash_at = v; break;
 
       default:
         throw TraceError("unknown config key " + std::to_string(raw_key) +

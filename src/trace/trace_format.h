@@ -128,6 +128,27 @@ enum class ConfigKey : std::uint32_t {
   kEthBytesPerCycle,
   kEthTxOverhead,
   kEthMtu,
+
+  // Fault plane (src/fault/). Emitted only when the recorded run's plan was
+  // enabled, so fault-free traces are byte-identical to pre-fault-plane
+  // ones and their hashes still match.
+  kFaultSeed = 160,
+  kFaultDiskErrorProb,
+  kFaultDiskTimeoutProb,
+  kFaultDiskTimeoutCycles,
+  kFaultDiskMaxRetries,
+  kFaultNetDropProb,
+  kFaultNetDupProb,
+  kFaultNetCorruptProb,
+  kFaultNetBackoffCycles,
+  kFaultNetMaxRetries,
+  kFaultOscallEintrProb,
+  kFaultOscallEnomemProb,
+  kFaultOscallEioProb,
+  kFaultOscallMaxConsecutive,
+  kFaultSchedJitterProb,
+  kFaultSchedJitterCycles,
+  kFaultWalCrashAt,
 };
 
 using ConfigPairs = std::vector<std::pair<std::uint32_t, std::uint64_t>>;

@@ -50,11 +50,22 @@ TraceReplayer::TraceReplayer(const TraceData& data, sim::SimulationConfig cfg)
   devices_ = std::make_unique<dev::DeviceHub>(cfg_.devices, &registry_);
   backend_os_ = std::make_unique<os::BackendOs>(*vm_);
 
+  // A recorded fault plan must perturb the replayed backend identically:
+  // the scheduler-jitter stream is re-derived from the plan's seed, while
+  // disk fault decisions arrive inside recorded kDevRequest args and rx
+  // dup/corrupt copies were each recorded as their own stimulus (so the
+  // hub gets the plan for timing but no injector to draw from).
+  if (cfg_.fault.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
+    devices_->set_fault(&cfg_.fault, nullptr);
+  }
+
   core::Backend::Hooks hooks;
   hooks.memsys = machine_.get();
   hooks.backend_calls = backend_os_.get();
   hooks.devices = devices_.get();
   hooks.idle_irq = this;
+  if (injector_ != nullptr) hooks.sched_perturb = injector_.get();
   backend_ = std::make_unique<core::Backend>(cfg_.core, *comm_, hooks,
                                              &registry_);
   devices_->bind(*backend_);

@@ -92,6 +92,10 @@ class TraceReplayer : public core::IdleIrqDispatcher {
   const TraceData& data_;
   sim::SimulationConfig cfg_;
   stats::StatsRegistry registry_;
+  // Rebuilt from the decoded plan so the backend re-derives the recorded
+  // scheduler jitter; disk/rx faults need no replay draws (they ride in
+  // recorded events / stimuli), so the hub gets the plan but no injector.
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<core::Communicator> comm_;
   std::unique_ptr<mem::Vm> vm_;
   std::unique_ptr<core::MemorySystem> machine_;

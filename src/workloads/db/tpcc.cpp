@@ -92,7 +92,7 @@ void Tpcc::setup(sim::Proc& p) {
   pool_.flush_all(p);
 }
 
-void Tpcc::new_order(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
+bool Tpcc::new_order(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
   // SQL parse / plan / authorization — user-mode DBMS work.
   p.ctx().compute(60'000);
   const std::int64_t wh = rng.next_in(0, cfg_.warehouses - 1);
@@ -141,12 +141,13 @@ void Tpcc::new_order(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
   std::uint8_t commit[64] = {};
   std::memcpy(commit, &order_id, 8);
   std::memcpy(commit + 8, &total, 8);
-  wal_.log_commit(p, commit);
+  if (!wal_.log_commit(p, commit)) return false;
   ++r.new_orders;
   r.amount_total += total;
+  return true;
 }
 
-void Tpcc::payment(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
+bool Tpcc::payment(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
   p.ctx().compute(20'000);  // parse / plan
   const std::int64_t wh = rng.next_in(0, cfg_.warehouses - 1);
   const std::int64_t cust = rng.next_in(0, cfg_.customers_per_wh - 1);
@@ -168,9 +169,10 @@ void Tpcc::payment(sim::Proc& p, util::Rng& rng, WorkerResult& r) {
   std::uint8_t commit[32] = {};
   std::memcpy(commit, &wh, 8);
   std::memcpy(commit + 8, &amount, 8);
-  wal_.log_commit(p, commit);
+  if (!wal_.log_commit(p, commit)) return false;
   ++r.payments;
   r.amount_total += amount;
+  return true;
 }
 
 Tpcc::WorkerResult Tpcc::worker(sim::Proc& p, int worker_id) {
@@ -178,10 +180,10 @@ Tpcc::WorkerResult Tpcc::worker(sim::Proc& p, int worker_id) {
   util::Rng rng(cfg_.seed * 7919 + static_cast<std::uint64_t>(worker_id));
   WorkerResult r;
   for (int t = 0; t < cfg_.txns_per_worker; ++t) {
-    if (rng.next_bool(cfg_.payment_fraction))
-      payment(p, rng, r);
-    else
-      new_order(p, rng, r);
+    const bool committed = rng.next_bool(cfg_.payment_fraction)
+                               ? payment(p, rng, r)
+                               : new_order(p, rng, r);
+    if (!committed) break;  // database crash: this process is dead
     p.ctx().compute(2'000);  // client think/parse time
   }
   return r;

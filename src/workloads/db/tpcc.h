@@ -104,8 +104,11 @@ class Tpcc {
   std::uint64_t order_count(sim::Proc& p) { return orders_.count(p); }
 
  private:
-  void new_order(sim::Proc& p, util::Rng& rng, WorkerResult& r);
-  void payment(sim::Proc& p, util::Rng& rng, WorkerResult& r);
+  // Both return false when the WAL reports a crash: the transaction's
+  // updates are applied (they precede the commit record, so the table-level
+  // invariants still hold) but it did not commit, and the worker must stop.
+  bool new_order(sim::Proc& p, util::Rng& rng, WorkerResult& r);
+  bool payment(sim::Proc& p, util::Rng& rng, WorkerResult& r);
   Rid stock_rid(std::int64_t item, std::int64_t wh) const {
     return stock_.rid_of(static_cast<std::uint64_t>(
         item * cfg_.warehouses + wh));

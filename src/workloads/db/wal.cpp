@@ -1,6 +1,22 @@
 #include "workloads/db/wal.h"
 
+#include <cstring>
+
+#include "os/tcpip.h"  // frame_checksum
+
 namespace compass::workloads::db {
+
+namespace {
+/// On-disk record frame. The checksum lets recovery reject a torn tail
+/// whose length field happens to survive.
+struct WalFrame {
+  std::uint32_t len = 0;
+  std::uint32_t csum = 0;
+};
+static_assert(sizeof(WalFrame) == 8);
+
+constexpr std::uint32_t kMaxRecord = 512;
+}  // namespace
 
 Wal::Wal(BufferPool& pool, std::string path)
     : pool_(pool), path_(std::move(path)) {}
@@ -28,25 +44,79 @@ std::int64_t Wal::fd_for(sim::Proc& p) {
   return fd;
 }
 
-void Wal::log_commit(sim::Proc& p, std::span<const std::uint8_t> record) {
+bool Wal::log_commit(sim::Proc& p, std::span<const std::uint8_t> record) {
   COMPASS_CHECK_MSG(ready_, "Wal::create must run first");
-  COMPASS_CHECK(record.size() <= 512);
+  COMPASS_CHECK(record.size() <= kMaxRecord);
+  if (crashed_.load(std::memory_order_relaxed)) return false;
   ULatch::Guard g(latch_, p);
-  // Stage the record (user stores into the shared log buffer), then append
-  // it to the log file.
-  p.put_bytes(staging_, record);
+  if (crashed_.load(std::memory_order_relaxed)) return false;
+  // Stage the framed record (user stores into the shared log buffer), then
+  // append it to the log file.
+  WalFrame frame;
+  frame.len = static_cast<std::uint32_t>(record.size());
+  frame.csum = os::frame_checksum(record);
+  p.put_bytes(staging_,
+              {reinterpret_cast<const std::uint8_t*>(&frame), sizeof(frame)});
+  p.put_bytes(staging_ + sizeof(frame), record);
   const auto fd = fd_for(p);
+  if (crash_at_ != 0 &&
+      commits_.load(std::memory_order_relaxed) + 1 >= crash_at_) {
+    // Crash point: the process dies mid-append — only the frame header and
+    // the first half of the record reach the platter (a torn record that
+    // recovery must discard).
+    p.lseek(fd, static_cast<std::int64_t>(file_offset_), 0);
+    const os::KIovec iov[1] = {{staging_, sizeof(frame) + record.size() / 2}};
+    (void)p.writev(fd, iov);
+    crashed_.store(true, std::memory_order_relaxed);
+    if (injector_ != nullptr)
+      injector_->count_injected(fault::FaultKind::kWalCrash);
+    return false;
+  }
   p.lseek(fd, static_cast<std::int64_t>(file_offset_), 0);
-  const os::KIovec iov[1] = {{staging_, record.size()}};
+  const os::KIovec iov[1] = {{staging_, sizeof(frame) + record.size()}};
   const auto n = p.writev(fd, iov);
-  COMPASS_CHECK(n == static_cast<std::int64_t>(record.size()));
-  file_offset_ += record.size();
+  COMPASS_CHECK(n == static_cast<std::int64_t>(sizeof(frame) + record.size()));
+  file_offset_ += sizeof(frame) + record.size();
   const auto c = commits_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (pool_.config().wal_group_commit > 0 &&
       c % static_cast<std::uint64_t>(pool_.config().wal_group_commit) == 0) {
     p.fsync(fd);
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
   }
+  return true;
+}
+
+std::uint64_t Wal::recover(sim::Proc& p, const ApplyFn& apply) {
+  COMPASS_CHECK_MSG(ready_, "Wal::create must run first");
+  ULatch::Guard g(latch_, p);
+  const auto fd = fd_for(p);
+  const Addr buf = p.alloc(sizeof(WalFrame) + kMaxRecord, 8);
+  std::uint64_t off = 0;
+  std::uint64_t records = 0;
+  for (;;) {
+    p.lseek(fd, static_cast<std::int64_t>(off), 0);
+    if (p.read_fd(fd, buf, sizeof(WalFrame)) !=
+        static_cast<std::int64_t>(sizeof(WalFrame)))
+      break;  // end of log (or torn frame header)
+    const auto len = p.read<std::uint32_t>(buf);
+    const auto csum = p.read<std::uint32_t>(buf + 4);
+    if (len == 0 || len > kMaxRecord) break;  // garbage header: crash point
+    p.lseek(fd, static_cast<std::int64_t>(off + sizeof(WalFrame)), 0);
+    if (p.read_fd(fd, buf, len) != static_cast<std::int64_t>(len))
+      break;  // torn payload: crash point
+    const auto rec = p.get_bytes(buf, len);
+    if (os::frame_checksum(rec) != csum) break;  // corrupt record
+    if (apply) apply(rec);
+    ++records;
+    off += sizeof(WalFrame) + len;
+  }
+  p.free(buf, sizeof(WalFrame) + kMaxRecord);
+  // The valid prefix is the recovered log head; logging can resume there.
+  file_offset_ = off;
+  if (injector_ != nullptr && crashed_.load(std::memory_order_relaxed))
+    injector_->count_recovered(fault::FaultKind::kWalCrash);
+  crashed_.store(false, std::memory_order_relaxed);
+  return records;
 }
 
 }  // namespace compass::workloads::db

@@ -4,11 +4,20 @@
 // and written to the WAL file with kwritev; every Nth commit fsyncs (group
 // commit), which is where the OLTP disk-write I/O of the paper's TPCC
 // profile comes from.
+//
+// Records are framed on disk as {u32 len, u32 csum, payload} so recovery
+// can tell a complete record from a torn tail. The fault plane's
+// wal_crash_at knob "kills the database" mid-append at the Nth commit:
+// only a torn prefix of that record reaches the platter, every later
+// log_commit reports the crash, and recover() replays the valid prefix —
+// the recovered state is exactly the committed one.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <span>
 
+#include "fault/fault_injector.h"
 #include "workloads/db/buffer_pool.h"
 
 namespace compass::workloads::db {
@@ -20,10 +29,28 @@ class Wal {
   /// Coordinator, once (after BufferPool::init).
   void create(sim::Proc& p);
 
-  /// Append one commit record and flush it to the log file; fsyncs every
-  /// `wal_group_commit`-th commit.
-  void log_commit(sim::Proc& p, std::span<const std::uint8_t> record);
+  /// Crash the database mid-append at the `n`-th commit (1-based; 0 means
+  /// never). Set before workers start.
+  void set_crash_at(std::uint64_t n) { crash_at_ = n; }
+  /// Attach the fault plane for kWalCrash accounting (may be null).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
 
+  /// Append one commit record and flush it to the log file; fsyncs every
+  /// `wal_group_commit`-th commit. Returns false when the database has
+  /// crashed (at the crash point or on any later call): the record did NOT
+  /// commit and the caller must stop issuing transactions.
+  bool log_commit(sim::Proc& p, std::span<const std::uint8_t> record);
+
+  /// Replay the valid prefix of the log: calls `apply` for every complete,
+  /// checksummed record and stops at the first torn or corrupt frame (the
+  /// crash point). Returns the number of records recovered and resets the
+  /// log head to the end of the valid prefix so logging can resume.
+  using ApplyFn = std::function<void(std::span<const std::uint8_t>)>;
+  std::uint64_t recover(sim::Proc& p, const ApplyFn& apply = {});
+
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
   std::uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
   std::uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
 
@@ -38,6 +65,9 @@ class Wal {
   std::map<const sim::Proc*, std::int64_t> fds_;
   std::atomic<std::uint64_t> commits_{0};
   std::atomic<std::uint64_t> fsyncs_{0};
+  std::uint64_t crash_at_ = 0;
+  std::atomic<bool> crashed_{false};
+  fault::FaultInjector* injector_ = nullptr;
   bool ready_ = false;
 };
 

@@ -54,6 +54,9 @@ ScenarioStats run_tpcc(sim::SimulationConfig cfg, const TpccScenario& sc) {
   const auto t0 = std::chrono::steady_clock::now();
   sim::Simulation sim(cfg);
   auto tpcc = std::make_shared<db::Tpcc>(sc.tpcc);
+  // Fault plane: arm the WAL crash point and the kWalCrash accounting.
+  tpcc->wal().set_crash_at(cfg.fault.wal_crash_at);
+  tpcc->wal().set_fault_injector(sim.fault_injector());
   std::vector<db::Tpcc::WorkerResult> results(
       static_cast<std::size_t>(sc.workers));
   sim.spawn("db2.coord", [&, workers = sc.workers](sim::Proc& p) {
@@ -65,6 +68,9 @@ ScenarioStats run_tpcc(sim::SimulationConfig cfg, const TpccScenario& sc) {
     for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
     p.sem_init(kDoneSem, 0);
     for (int i = 0; i < workers; ++i) p.sem_p(kDoneSem);
+    // If the database crashed mid-run, restart it: replay the WAL's valid
+    // prefix back to the committed state before the simulation ends.
+    if (tpcc->wal().crashed()) (void)tpcc->wal().recover(p);
   });
   for (int w = 0; w < sc.workers; ++w) {
     sim.spawn("db2.agent" + std::to_string(w), [&, w](sim::Proc& p) {

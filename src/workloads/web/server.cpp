@@ -29,8 +29,17 @@ bool WebServer::serve(sim::Proc& p, std::int64_t conn, Addr buf,
     p.send(conn, buf, resp.size());
     return false;
   }
-  // statx for the length, then open + kreadv + send in chunks.
-  const auto size = p.statx(*path);
+  // statx for the length, then open + kreadv + send in chunks. A long
+  // fault burst can leak a transient error through the libc restart layer;
+  // retry with backoff (Apache keeps serving through EINTR storms) before
+  // treating the file as missing.
+  std::int64_t size = -1;
+  for (int attempt = 0;; ++attempt) {
+    size = p.statx(*path);
+    if (!os::is_transient_err(size) || attempt >= 3) break;
+    ++r.retries;
+    p.usleep(Cycles{5'000} << attempt);
+  }
   if (size < 0) {
     ++r.not_found;
     const std::string resp = make_response_header(0, 404);
@@ -45,7 +54,13 @@ bool WebServer::serve(sim::Proc& p, std::int64_t conn, Addr buf,
   p.send(conn, buf, header.size());
   r.bytes_sent += header.size();
 
-  const auto fd = p.open(*path);
+  std::int64_t fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    fd = p.open(*path);
+    if (!os::is_transient_err(fd) || attempt >= 3) break;
+    ++r.retries;
+    p.usleep(Cycles{5'000} << attempt);
+  }
   if (fd < 0) {
     ++r.not_found;
     return false;

@@ -28,6 +28,9 @@ struct WebServerResult {
   std::uint64_t requests = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t not_found = 0;
+  /// Application-level retries after a transient OS-call failure leaked
+  /// through the libc restart layer (fault-injection runs only).
+  std::uint64_t retries = 0;
 };
 
 class WebServer {

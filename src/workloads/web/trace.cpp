@@ -72,11 +72,13 @@ void TracePlayer::issue(std::size_t entry_idx, Cycles when) {
     syn.conn = conn;
     syn.port = cfg_.port;
     syn.flags = os::kFrameSyn;
+    syn.seq = 0;
     sim_.devices().deliver_rx_frame(os::make_frame(syn, {}));
     const std::string req = make_request(trace_.entries[entry_idx].path);
     os::FrameHeader data;
     data.conn = conn;
     data.flags = os::kFrameData;
+    data.seq = 1;  // after the SYN; the stack dedups on stale sequences
     sim_.devices().deliver_rx_frame(os::make_frame(
         data, {reinterpret_cast<const std::uint8_t*>(req.data()), req.size()}));
   });
@@ -95,11 +97,13 @@ void TracePlayer::send_quits(Cycles when) {
           syn.conn = conn;
           syn.port = cfg_.port;
           syn.flags = os::kFrameSyn;
+          syn.seq = 0;
           sim_.devices().deliver_rx_frame(os::make_frame(syn, {}));
           const std::string req = make_request(kQuitPath);
           os::FrameHeader data;
           data.conn = conn;
           data.flags = os::kFrameData;
+          data.seq = 1;
           sim_.devices().deliver_rx_frame(os::make_frame(
               data, {reinterpret_cast<const std::uint8_t*>(req.data()),
                      req.size()}));

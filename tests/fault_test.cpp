@@ -1,0 +1,486 @@
+// Tests for the deterministic fault-injection plane (src/fault/):
+// injector determinism, per-kind fire-and-recover behaviour through the
+// full simulation stack, WAL crash-point recovery, TCP retransmission
+// under seeded loss, the zero-plan no-op guarantee, the trace-codec
+// round trip and faulted record/replay golden identity, plus regression
+// tests for the disk counter and socket-close teardown fixes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dev/disk.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "os/tcpip.h"
+#include "sim/simulation.h"
+#include "trace/config_codec.h"
+#include "trace/golden.h"
+#include "trace/trace_reader.h"
+#include "trace/trace_recorder.h"
+#include "trace/trace_replayer.h"
+#include "workloads/runner.h"
+
+namespace compass {
+namespace {
+
+using fault::DiskFault;
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using sim::Proc;
+using sim::Simulation;
+using sim::SimulationConfig;
+
+std::uint64_t cnt(const stats::StatsSnapshot& snap, const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+FaultPlan busy_plan(std::uint64_t seed = 7) {
+  FaultPlan p;
+  p.seed = seed;
+  p.disk_error_prob = 0.2;
+  p.disk_timeout_prob = 0.1;
+  p.net_drop_prob = 0.2;
+  p.net_dup_prob = 0.2;
+  p.net_corrupt_prob = 0.2;
+  p.oscall_eintr_prob = 0.1;
+  p.oscall_enomem_prob = 0.1;
+  p.oscall_eio_prob = 0.1;
+  p.sched_jitter_prob = 0.5;
+  p.sched_jitter_cycles = 10'000;
+  return p;
+}
+
+// ------------------------------------------------------------ plan basics
+
+TEST(FaultPlan, ZeroPlanIsInertRegardlessOfSeed) {
+  FaultPlan p;
+  EXPECT_FALSE(p.enabled());
+  p.seed = 0xDEADBEEF;  // the seed alone enables nothing
+  EXPECT_FALSE(p.enabled());
+  p.net_drop_prob = 0.01;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultPlan, ValidateRejectsBadRates) {
+  FaultPlan p;
+  p.disk_error_prob = 1.5;
+  EXPECT_THROW(p.validate(), util::SimError);
+  p = FaultPlan{};
+  p.net_drop_prob = -0.1;
+  EXPECT_THROW(p.validate(), util::SimError);
+}
+
+// ----------------------------------------------------- injector determinism
+
+TEST(FaultInjectorDeterminism, SameSeedSameDrawSequence) {
+  const FaultPlan plan = busy_plan(99);
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 200; ++i) {
+    const ProcId proc = static_cast<ProcId>(i % 5);
+    EXPECT_EQ(a.draw_disk(proc, 0), b.draw_disk(proc, 0)) << i;
+    EXPECT_EQ(a.draw_net_drop(0), b.draw_net_drop(0)) << i;
+    EXPECT_EQ(a.draw_rx(), b.draw_rx()) << i;
+    EXPECT_EQ(a.draw_oscall(proc), b.draw_oscall(proc)) << i;
+    EXPECT_EQ(a.slice_quantum(proc, 0, 0, 100'000),
+              b.slice_quantum(proc, 0, 0, 100'000))
+        << i;
+  }
+  for (std::size_t k = 0; k < static_cast<std::size_t>(FaultKind::kCount); ++k) {
+    EXPECT_EQ(a.injected(static_cast<FaultKind>(k)),
+              b.injected(static_cast<FaultKind>(k)));
+    EXPECT_EQ(a.recovered(static_cast<FaultKind>(k)),
+              b.recovered(static_cast<FaultKind>(k)));
+  }
+}
+
+TEST(FaultInjectorDeterminism, DifferentSeedsDiverge) {
+  FaultInjector a(busy_plan(1)), b(busy_plan(2));
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i)
+    diverged = a.draw_rx() != b.draw_rx() ||
+               a.draw_disk(0, 0) != b.draw_disk(0, 0);
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorDeterminism, RetryBoundsForceSuccess) {
+  FaultPlan p;
+  p.disk_error_prob = 1.0;  // every draw would fault...
+  p.net_drop_prob = 1.0;
+  FaultInjector inj(p);
+  // ...but the final permitted attempt is forced clean.
+  EXPECT_EQ(inj.draw_disk(0, p.disk_max_retries), DiskFault::kNone);
+  EXPECT_FALSE(inj.draw_net_drop(p.net_max_retries));
+  EXPECT_NE(inj.draw_disk(0, 0), DiskFault::kNone);
+  EXPECT_TRUE(inj.draw_net_drop(0));
+}
+
+// -------------------------------------------- zero plan is provably a no-op
+
+TEST(FaultSim, ZeroPlanRunsBitIdenticalToBaseline) {
+  workloads::WebScenario sc;
+  sc.requests = 8;
+  SimulationConfig base;
+  base.core.num_cpus = 2;
+  SimulationConfig seeded = base;
+  seeded.fault.seed = 0xFEEDFACE;  // rates all zero: plan stays inert
+  const workloads::ScenarioStats a = workloads::run_web(base, sc);
+  const workloads::ScenarioStats b = workloads::run_web(seeded, sc);
+  EXPECT_EQ(a.snapshot.cycles, b.snapshot.cycles);
+  EXPECT_EQ(a.snapshot.counters, b.snapshot.counters);
+  EXPECT_EQ(a.snapshot.cpu_time, b.snapshot.cpu_time);
+  EXPECT_EQ(cnt(b.snapshot, "fault.injected.net_drop"), 0u);  // not published
+}
+
+TEST(FaultSim, ZeroPlanEmitsNoConfigKeys) {
+  SimulationConfig base;
+  SimulationConfig seeded = base;
+  seeded.fault.seed = 12345;
+  EXPECT_EQ(trace::encode_config(base).size(),
+            trace::encode_config(seeded).size());
+  SimulationConfig faulted = base;
+  faulted.fault.net_drop_prob = 0.1;
+  EXPECT_GT(trace::encode_config(faulted).size(),
+            trace::encode_config(base).size());
+}
+
+TEST(FaultTrace, ConfigCodecRoundTripsThePlan) {
+  SimulationConfig cfg;
+  cfg.fault = busy_plan(0xABCD);
+  cfg.fault.disk_timeout_cycles = 123'456;
+  cfg.fault.wal_crash_at = 17;
+  const sim::SimulationConfig back =
+      trace::decode_config(trace::encode_config(cfg));
+  EXPECT_EQ(back.fault.seed, cfg.fault.seed);
+  EXPECT_EQ(back.fault.disk_error_prob, cfg.fault.disk_error_prob);
+  EXPECT_EQ(back.fault.disk_timeout_prob, cfg.fault.disk_timeout_prob);
+  EXPECT_EQ(back.fault.disk_timeout_cycles, cfg.fault.disk_timeout_cycles);
+  EXPECT_EQ(back.fault.disk_max_retries, cfg.fault.disk_max_retries);
+  EXPECT_EQ(back.fault.net_drop_prob, cfg.fault.net_drop_prob);
+  EXPECT_EQ(back.fault.net_dup_prob, cfg.fault.net_dup_prob);
+  EXPECT_EQ(back.fault.net_corrupt_prob, cfg.fault.net_corrupt_prob);
+  EXPECT_EQ(back.fault.net_backoff_cycles, cfg.fault.net_backoff_cycles);
+  EXPECT_EQ(back.fault.net_max_retries, cfg.fault.net_max_retries);
+  EXPECT_EQ(back.fault.oscall_eintr_prob, cfg.fault.oscall_eintr_prob);
+  EXPECT_EQ(back.fault.oscall_enomem_prob, cfg.fault.oscall_enomem_prob);
+  EXPECT_EQ(back.fault.oscall_eio_prob, cfg.fault.oscall_eio_prob);
+  EXPECT_EQ(back.fault.oscall_max_consecutive, cfg.fault.oscall_max_consecutive);
+  EXPECT_EQ(back.fault.sched_jitter_prob, cfg.fault.sched_jitter_prob);
+  EXPECT_EQ(back.fault.sched_jitter_cycles, cfg.fault.sched_jitter_cycles);
+  EXPECT_EQ(back.fault.wal_crash_at, cfg.fault.wal_crash_at);
+  EXPECT_TRUE(back.fault.enabled());
+}
+
+// ---------------------------------------- every kind fires — and recovers
+
+TEST(FaultSim, DiskFaultsFireAndCallersRecover) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault.seed = 5;
+  cfg.fault.disk_error_prob = 0.3;
+  cfg.fault.disk_timeout_prob = 0.2;
+  workloads::TpccScenario sc;
+  sc.tpcc.txns_per_worker = 10;
+  const workloads::ScenarioStats st = workloads::run_tpcc(cfg, sc);
+  EXPECT_EQ(st.work_units, 20u);  // every transaction still commits
+  const std::uint64_t err = cnt(st.snapshot, "fault.injected.disk_error");
+  const std::uint64_t to = cnt(st.snapshot, "fault.injected.disk_timeout");
+  EXPECT_GT(err, 0u);
+  EXPECT_GT(to, 0u);
+  const std::uint64_t rec = cnt(st.snapshot, "fault.recovered.disk_error") +
+                            cnt(st.snapshot, "fault.recovered.disk_timeout");
+  EXPECT_GT(rec, 0u);
+  EXPECT_LE(rec, err + to);
+  // The device counted the failures it serviced.
+  EXPECT_GT(cnt(st.snapshot, "disk0.errors"), 0u);
+  EXPECT_GT(cnt(st.snapshot, "disk0.timeouts"), 0u);
+}
+
+TEST(FaultSim, OscallFaultsAreRetriedTransparently) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault.seed = 3;
+  cfg.fault.oscall_eintr_prob = 0.25;
+  cfg.fault.oscall_enomem_prob = 0.2;
+  cfg.fault.oscall_eio_prob = 0.2;
+  Simulation sim(cfg);
+  std::string readback;
+  sim.spawn("app", [&](Proc& p) {
+    const auto fd = p.creat("/data/t.txt");
+    ASSERT_GE(fd, 0);
+    const Addr buf = p.alloc(4096);
+    const std::string msg = "fault-tolerant payload";
+    p.put_bytes(buf, {reinterpret_cast<const std::uint8_t*>(msg.data()),
+                      msg.size()});
+    // Despite heavy transient failures the libc-style wrappers retry and
+    // the data path stays correct.
+    EXPECT_EQ(p.write_fd(fd, buf, msg.size()),
+              static_cast<std::int64_t>(msg.size()));
+    p.close(fd);
+    const auto fd2 = p.open("/data/t.txt");
+    ASSERT_GE(fd2, 0);
+    const Addr buf2 = p.alloc(4096);
+    const auto n = p.read_fd(fd2, buf2, 4096);
+    ASSERT_EQ(n, static_cast<std::int64_t>(msg.size()));
+    const auto bytes = p.get_bytes(buf2, static_cast<std::size_t>(n));
+    readback.assign(bytes.begin(), bytes.end());
+    p.close(fd2);
+  });
+  sim.run();
+  EXPECT_EQ(readback, "fault-tolerant payload");
+  ASSERT_NE(sim.fault_injector(), nullptr);
+  const std::uint64_t inj =
+      sim.fault_injector()->injected(FaultKind::kOscallEintr) +
+      sim.fault_injector()->injected(FaultKind::kOscallEnomem) +
+      sim.fault_injector()->injected(FaultKind::kOscallEio);
+  EXPECT_GT(inj, 0u);
+  const std::uint64_t rec =
+      sim.fault_injector()->recovered(FaultKind::kOscallEintr) +
+      sim.fault_injector()->recovered(FaultKind::kOscallEnomem) +
+      sim.fault_injector()->recovered(FaultKind::kOscallEio);
+  EXPECT_GT(rec, 0u);
+  EXPECT_LE(rec, inj);
+}
+
+TEST(FaultSim, TcpRetransmitsUnderSeededLoss) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault.seed = 11;
+  cfg.fault.net_drop_prob = 0.35;
+  workloads::WebScenario sc;
+  sc.requests = 10;
+  const workloads::ScenarioStats st = workloads::run_web(cfg, sc);
+  // Every request completes: dropped frames are retransmitted with backoff
+  // and the injector forces delivery within the retry bound.
+  EXPECT_EQ(st.work_units, sc.requests);
+  EXPECT_GT(cnt(st.snapshot, "fault.injected.net_drop"), 0u);
+  EXPECT_GT(cnt(st.snapshot, "fault.recovered.net_drop"), 0u);
+  EXPECT_LE(cnt(st.snapshot, "fault.recovered.net_drop"),
+            cnt(st.snapshot, "fault.injected.net_drop"));
+}
+
+TEST(FaultSim, RxDupAndCorruptAreDetectedAndDiscarded) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault.seed = 21;
+  cfg.fault.net_dup_prob = 0.25;
+  cfg.fault.net_corrupt_prob = 0.25;
+  workloads::WebScenario sc;
+  sc.requests = 12;
+  const workloads::ScenarioStats st = workloads::run_web(cfg, sc);
+  EXPECT_EQ(st.work_units, sc.requests);  // dedup/checksum keep streams exact
+  EXPECT_GT(cnt(st.snapshot, "fault.injected.net_dup"), 0u);
+  EXPECT_GT(cnt(st.snapshot, "fault.injected.net_corrupt"), 0u);
+  EXPECT_LE(cnt(st.snapshot, "fault.recovered.net_dup"),
+            cnt(st.snapshot, "fault.injected.net_dup"));
+  EXPECT_LE(cnt(st.snapshot, "fault.recovered.net_corrupt"),
+            cnt(st.snapshot, "fault.injected.net_corrupt"));
+}
+
+TEST(FaultSim, SchedulerJitterPerturbsPreemptiveRuns) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.core.preemptive = true;
+  cfg.core.quantum = 40'000;
+  cfg.fault.seed = 9;
+  cfg.fault.sched_jitter_prob = 0.8;
+  cfg.fault.sched_jitter_cycles = 15'000;
+  workloads::SciScenario sc;
+  sc.matmul.n = 24;
+  sc.matmul.nprocs = 2;
+  const workloads::ScenarioStats st = workloads::run_sci(cfg, sc);
+  EXPECT_EQ(st.work_units, 1u);
+  EXPECT_GT(cnt(st.snapshot, "fault.injected.sched_jitter"), 0u);
+}
+
+// ----------------------------------------------------- deterministic stats
+
+TEST(FaultSim, SameFaultedPlanYieldsIdenticalStats) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault = busy_plan(31);
+  workloads::WebScenario sc;
+  sc.requests = 10;
+  const workloads::ScenarioStats a = workloads::run_web(cfg, sc);
+  const workloads::ScenarioStats b = workloads::run_web(cfg, sc);
+  EXPECT_EQ(a.snapshot.cycles, b.snapshot.cycles);
+  EXPECT_EQ(a.snapshot.counters, b.snapshot.counters);  // fault.* included
+  EXPECT_EQ(a.snapshot.cpu_time, b.snapshot.cpu_time);
+}
+
+// ------------------------------------------------- WAL crash-point recovery
+
+TEST(FaultWal, CrashPointRecoveryReplaysTheCommittedPrefix) {
+  for (const std::uint64_t crash_at : {1ull, 7ull, 19ull, 33ull}) {
+    SimulationConfig cfg;
+    cfg.core.num_cpus = 2;
+    cfg.fault.seed = 13;
+    cfg.fault.wal_crash_at = crash_at;
+    workloads::TpccScenario sc;
+    sc.tpcc.txns_per_worker = 25;
+
+    constexpr std::int64_t kStartSem = 9001;
+    constexpr std::int64_t kDoneSem = 9002;
+    Simulation sim(cfg);
+    auto tpcc = std::make_shared<workloads::db::Tpcc>(sc.tpcc);
+    tpcc->wal().set_crash_at(cfg.fault.wal_crash_at);
+    tpcc->wal().set_fault_injector(sim.fault_injector());
+    std::vector<workloads::db::Tpcc::WorkerResult> results(
+        static_cast<std::size_t>(sc.workers));
+    std::uint64_t replayed = 0;
+    std::int64_t stock_ytd = 0, orderline_amount = 0;
+    bool crashed = false;
+    sim.spawn("db2.coord", [&, workers = sc.workers](Proc& p) {
+      tpcc->setup(p);
+      p.sem_init(kStartSem, 0);
+      for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
+      p.sem_init(kDoneSem, 0);
+      for (int i = 0; i < workers; ++i) p.sem_p(kDoneSem);
+      crashed = tpcc->wal().crashed();
+      if (crashed) replayed = tpcc->wal().recover(p);
+      stock_ytd = tpcc->total_stock_ytd(p);
+      orderline_amount = tpcc->total_orderline_amount(p);
+    });
+    for (int w = 0; w < sc.workers; ++w) {
+      sim.spawn("db2.agent" + std::to_string(w), [&, w](Proc& p) {
+        p.sem_init(kStartSem, 0);
+        p.sem_p(kStartSem);
+        results[static_cast<std::size_t>(w)] = tpcc->worker(p, w);
+        p.sem_init(kDoneSem, 0);
+        p.sem_v(kDoneSem);
+      });
+    }
+    sim.run();
+
+    ASSERT_TRUE(crashed) << "crash_at=" << crash_at;
+    std::uint64_t committed = 0;
+    for (const auto& r : results) committed += r.new_orders + r.payments;
+    // The Nth commit attempt crashes, so exactly N-1 committed — and
+    // recovery replays exactly that prefix (the torn record is rejected
+    // by its length/checksum framing).
+    EXPECT_EQ(committed, crash_at - 1) << "crash_at=" << crash_at;
+    EXPECT_EQ(replayed, committed) << "crash_at=" << crash_at;
+    // Table-level invariant survives the crash: the crashed transaction's
+    // updates were applied atomically with its order lines.
+    EXPECT_EQ(stock_ytd, orderline_amount) << "crash_at=" << crash_at;
+    ASSERT_NE(sim.fault_injector(), nullptr);
+    EXPECT_EQ(sim.fault_injector()->injected(FaultKind::kWalCrash), 1u);
+    EXPECT_EQ(sim.fault_injector()->recovered(FaultKind::kWalCrash), 1u);
+  }
+}
+
+// ----------------------------------------- faulted record/replay (golden)
+
+TEST(FaultTrace, FaultedWebRecordReplaysBitIdentically) {
+  const std::string path =
+      testing::TempDir() + "compass_fault_test.webf.trace";
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.fault = busy_plan(17);
+  trace::TraceRecorder recorder(cfg, path);
+  cfg.trace_sink = &recorder;
+  workloads::WebScenario sc;
+  sc.requests = 10;
+  const workloads::ScenarioStats live = workloads::run_web(cfg, sc);
+  recorder.finalize();
+
+  const trace::TraceData data = trace::TraceReader::read_file(path);
+  const sim::SimulationConfig decoded = trace::decode_config(data.config);
+  EXPECT_TRUE(decoded.fault.enabled());  // the plan travelled with the trace
+  trace::TraceReplayer replayer(data, decoded);
+  replayer.run();
+  const stats::StatsSnapshot replay = stats::make_snapshot(
+      replayer.now(), replayer.stats(), replayer.breakdown());
+  const std::vector<std::string> diffs =
+      trace::golden_diff(live.snapshot, replay);
+  for (const std::string& d : diffs) ADD_FAILURE() << d;
+  EXPECT_EQ(live.snapshot.cycles, replay.cycles);
+  std::remove(path.c_str());
+}
+
+TEST(FaultTrace, FaultedPreemptiveSciReplaysBitIdentically) {
+  const std::string path =
+      testing::TempDir() + "compass_fault_test.scij.trace";
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  cfg.core.preemptive = true;
+  cfg.core.quantum = 40'000;
+  cfg.fault.seed = 23;
+  cfg.fault.sched_jitter_prob = 0.8;
+  cfg.fault.sched_jitter_cycles = 15'000;
+  cfg.fault.oscall_eintr_prob = 0.1;
+  trace::TraceRecorder recorder(cfg, path);
+  cfg.trace_sink = &recorder;
+  workloads::SciScenario sc;
+  sc.matmul.n = 16;
+  sc.matmul.nprocs = 2;
+  const workloads::ScenarioStats live = workloads::run_sci(cfg, sc);
+  recorder.finalize();
+
+  const trace::TraceData data = trace::TraceReader::read_file(path);
+  trace::TraceReplayer replayer(data, trace::decode_config(data.config));
+  replayer.run();
+  const stats::StatsSnapshot replay = stats::make_snapshot(
+      replayer.now(), replayer.stats(), replayer.breakdown());
+  const std::vector<std::string> diffs =
+      trace::golden_diff(live.snapshot, replay);
+  for (const std::string& d : diffs) ADD_FAILURE() << d;
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- regression fixes
+
+TEST(FaultDev, FailedDiskRequestsDoNotCountAsTransfers) {
+  stats::StatsRegistry reg;
+  dev::DiskConfig dc;
+  dev::Disk disk(0, dc, &reg);
+  const Cycles clean = disk.submit(10, 1, /*write=*/false, 0);
+  EXPECT_GT(clean, 0u);
+  EXPECT_EQ(reg.counter_value("disk0.reads"), 1u);
+
+  // An errored request fails fast: no read/block accounting, only errors.
+  disk.submit(20, 4, /*write=*/false, clean, DiskFault::kError);
+  EXPECT_EQ(reg.counter_value("disk0.reads"), 1u);
+  EXPECT_EQ(reg.counter_value("disk0.errors"), 1u);
+
+  // A timed-out request holds the disk longer than a clean one would and
+  // still transfers nothing.
+  const std::uint64_t blocks_before = reg.counter_value("disk0.blocks");
+  const Cycles t0 = disk.submit(30, 1, /*write=*/true, 2 * clean);
+  const Cycles t1 = disk.submit(30, 1, /*write=*/true, t0,
+                                DiskFault::kTimeout, 250'000);
+  EXPECT_GE(t1, t0 + 250'000);
+  EXPECT_EQ(reg.counter_value("disk0.timeouts"), 1u);
+  EXPECT_EQ(reg.counter_value("disk0.writes"), 1u);  // only the clean write
+  EXPECT_EQ(reg.counter_value("disk0.blocks"), blocks_before + 1);
+}
+
+TEST(FaultSock, ListenerCloseFreesPendingConnections) {
+  SimulationConfig cfg;
+  cfg.core.num_cpus = 2;
+  Simulation sim(cfg);
+  // A client SYN arrives while the server is listening; the server closes
+  // the listener without ever accepting. The half-open connection socket
+  // and its queued state must be torn down with the listener.
+  sim.backend().scheduler().schedule_at(20'000, [&sim] {
+    os::FrameHeader syn{0x20001, 7070, os::kFrameSyn, 0, 0, 0, 0};
+    sim.devices().deliver_rx_frame(os::make_frame(syn, {}));
+  });
+  sim.spawn("server", [&](Proc& p) {
+    const auto lsock = p.socket();
+    ASSERT_GE(lsock, 0);
+    ASSERT_EQ(p.bind(lsock, 7070), 0);
+    ASSERT_EQ(p.listen(lsock), 0);
+    const std::int32_t fds[1] = {static_cast<std::int32_t>(lsock)};
+    EXPECT_EQ(p.select(fds), lsock);  // SYN queued the pending connection
+    EXPECT_EQ(p.close(lsock), 0);     // close without accepting
+  });
+  sim.run();
+  EXPECT_EQ(sim.kernel().net().open_sockets(), 0u);
+}
+
+}  // namespace
+}  // namespace compass

@@ -38,7 +38,9 @@ TEST(OsServerProtocol, ThreadsPairOnFirstCallOnly) {
 TEST(OsServerProtocol, EachClientGetsItsOwnThread) {
   Simulation sim(cfg(2));
   for (int i = 0; i < 3; ++i) {
-    sim.spawn("c" + std::to_string(i), [](Proc& p) {
+    std::string name = "c";
+    name += std::to_string(i);
+    sim.spawn(name, [](Proc& p) {
       p.getpid();
       p.ctx().compute(10'000);
       p.getpid();

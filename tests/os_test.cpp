@@ -332,10 +332,12 @@ class OneShotClient : public dev::Wire {
       syn.conn = conn_;
       syn.port = port_;
       syn.flags = os::kFrameSyn;
+      syn.seq = 0;
       sim_.devices().deliver_rx_frame(os::make_frame(syn, {}));
       os::FrameHeader data;
       data.conn = conn_;
       data.flags = os::kFrameData;
+      data.seq = 1;
       sim_.devices().deliver_rx_frame(os::make_frame(
           data, {reinterpret_cast<const std::uint8_t*>(request_.data()),
                  request_.size()}));
@@ -430,12 +432,12 @@ TEST(OsSim, RecvReturnsZeroAfterFin) {
     explicit FinClient(Simulation& s) : sim(s) {}
     void start(Cycles when) {
       sim.backend().scheduler().schedule_at(when, [this] {
-        os::FrameHeader syn{0x10003, 9, os::kFrameSyn, 0, 0};
+        os::FrameHeader syn{0x10003, 9, os::kFrameSyn, 0, 0, 0, 0};
         sim.devices().deliver_rx_frame(os::make_frame(syn, {}));
         const std::uint8_t byte = 'x';
-        os::FrameHeader data{0x10003, 0, os::kFrameData, 0, 0};
+        os::FrameHeader data{0x10003, 0, os::kFrameData, 0, 0, 1, 0};
         sim.devices().deliver_rx_frame(os::make_frame(data, {&byte, 1}));
-        os::FrameHeader fin{0x10003, 0, os::kFrameFin, 0, 0};
+        os::FrameHeader fin{0x10003, 0, os::kFrameFin, 0, 0, 2, 0};
         sim.devices().deliver_rx_frame(os::make_frame(fin, {}));
       });
     }

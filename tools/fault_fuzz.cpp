@@ -1,0 +1,272 @@
+// fault_fuzz: randomized fault-plan + schedule-jitter fuzzing over the
+// canned workloads.
+//
+// Each trial derives a fresh FaultPlan (small per-site rates, random seed,
+// random scheduler jitter, and — for tpcc — an occasional WAL crash point)
+// from the trial seed, runs the workload to completion and checks
+// invariants:
+//
+//   * the simulation quiesces — no event-port deadlock, no unhandled
+//     SimError (COMPASS_CHECK failures and backend deadlock dumps both
+//     surface as exceptions and fail the trial);
+//   * fault counters balance: recovered <= injected per kind, and every
+//     retried family (disk, net drop, oscall) that injected also recovered;
+//   * workload consistency: web completes every request; tpcc's table
+//     invariant sum(STOCK.ytd) == sum(ORDERLINE.amount) holds even across
+//     a WAL crash, and recovery replays exactly the committed prefix.
+//
+// A failing trial prints its seed, the full plan and a one-line repro
+// command, then the driver exits non-zero.
+//
+//   fault_fuzz --workload=tpcc --trials=100 --seed0=1
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "fault/fault_plan.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+fault::FaultPlan random_plan(util::Rng& r, const std::string& workload) {
+  fault::FaultPlan p;
+  p.seed = r.next_u64();
+  p.disk_error_prob = r.next_double() * 0.04;
+  p.disk_timeout_prob = r.next_double() * 0.03;
+  p.net_drop_prob = r.next_double() * 0.06;
+  p.net_dup_prob = r.next_double() * 0.06;
+  p.net_corrupt_prob = r.next_double() * 0.06;
+  p.oscall_eintr_prob = r.next_double() * 0.03;
+  p.oscall_enomem_prob = r.next_double() * 0.02;
+  p.oscall_eio_prob = r.next_double() * 0.02;
+  p.sched_jitter_prob = r.next_double();
+  p.sched_jitter_cycles = static_cast<Cycles>(r.next_in(0, 8'000));
+  if (workload == "tpcc" && r.next_bool(0.4))
+    p.wal_crash_at = static_cast<std::uint64_t>(r.next_in(5, 60));
+  p.validate();
+  return p;
+}
+
+std::string describe(const fault::FaultPlan& p) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "seed=%llu disk_error=%.4f disk_timeout=%.4f net_drop=%.4f "
+      "net_dup=%.4f net_corrupt=%.4f eintr=%.4f enomem=%.4f eio=%.4f "
+      "sched_jitter=%.4f/%llu wal_crash_at=%llu",
+      static_cast<unsigned long long>(p.seed), p.disk_error_prob,
+      p.disk_timeout_prob, p.net_drop_prob, p.net_dup_prob, p.net_corrupt_prob,
+      p.oscall_eintr_prob, p.oscall_enomem_prob, p.oscall_eio_prob,
+      p.sched_jitter_prob,
+      static_cast<unsigned long long>(p.sched_jitter_cycles),
+      static_cast<unsigned long long>(p.wal_crash_at));
+  return buf;
+}
+
+std::uint64_t cnt(const stats::StatsSnapshot& snap, const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Throws std::runtime_error on any counter-balance violation.
+void check_counters(const stats::StatsSnapshot& snap) {
+  static constexpr const char* kKinds[] = {
+      "disk_error",   "disk_timeout",  "net_drop",   "net_dup", "net_corrupt",
+      "oscall_eintr", "oscall_enomem", "oscall_eio", "sched_jitter",
+      "wal_crash"};
+  for (const char* k : kKinds) {
+    const std::uint64_t inj = cnt(snap, std::string("fault.injected.") + k);
+    const std::uint64_t rec = cnt(snap, std::string("fault.recovered.") + k);
+    if (rec > inj)
+      throw std::runtime_error(std::string("recovered > injected for ") + k +
+                               " (" + std::to_string(rec) + " > " +
+                               std::to_string(inj) + ")");
+  }
+  // Retried families always recover: the injector forces success within the
+  // retry bound, and the recovery is attributed to the family's last fault.
+  struct Family {
+    const char* name;
+    const char* kinds[3];
+  };
+  static constexpr Family kFamilies[] = {
+      {"disk", {"disk_error", "disk_timeout", nullptr}},
+      {"net_drop", {"net_drop", nullptr, nullptr}},
+      {"oscall", {"oscall_eintr", "oscall_enomem", "oscall_eio"}},
+  };
+  for (const Family& f : kFamilies) {
+    std::uint64_t inj = 0, rec = 0;
+    for (const char* k : f.kinds) {
+      if (k == nullptr) continue;
+      inj += cnt(snap, std::string("fault.injected.") + k);
+      rec += cnt(snap, std::string("fault.recovered.") + k);
+    }
+    if (inj > 0 && rec == 0)
+      throw std::runtime_error(std::string("family ") + f.name + " injected " +
+                               std::to_string(inj) + " but recovered none");
+  }
+}
+
+// ---- per-workload trials ----------------------------------------------------
+
+void trial_sci(sim::SimulationConfig cfg) {
+  workloads::SciScenario sc;
+  sc.matmul.n = 16;
+  sc.matmul.nprocs = 2;
+  const workloads::ScenarioStats st = workloads::run_sci(cfg, sc);
+  if (st.work_units != 1) throw std::runtime_error("sci did not complete");
+  check_counters(st.snapshot);
+}
+
+void trial_web(sim::SimulationConfig cfg) {
+  workloads::WebScenario sc;
+  sc.requests = 12;
+  const workloads::ScenarioStats st = workloads::run_web(cfg, sc);
+  // Retransmission and oscall retries must be invisible to the client:
+  // every request completes despite drops, dups and corruption.
+  if (st.work_units != sc.requests)
+    throw std::runtime_error("web completed " + std::to_string(st.work_units) +
+                             "/" + std::to_string(sc.requests) + " requests");
+  check_counters(st.snapshot);
+}
+
+void trial_tpcc(sim::SimulationConfig cfg) {
+  constexpr std::int64_t kStartSem = 9001;
+  constexpr std::int64_t kDoneSem = 9002;
+  workloads::TpccScenario sc;
+  sc.tpcc.txns_per_worker = 25;
+
+  sim::Simulation sim(cfg);
+  auto tpcc = std::make_shared<workloads::db::Tpcc>(sc.tpcc);
+  tpcc->wal().set_crash_at(cfg.fault.wal_crash_at);
+  tpcc->wal().set_fault_injector(sim.fault_injector());
+  std::vector<workloads::db::Tpcc::WorkerResult> results(
+      static_cast<std::size_t>(sc.workers));
+  std::uint64_t replayed = 0;
+  std::int64_t stock_ytd = 0;
+  std::int64_t orderline_amount = 0;
+  bool crashed = false;
+  sim.spawn("db2.coord", [&, workers = sc.workers](sim::Proc& p) {
+    tpcc->setup(p);
+    p.sem_init(kStartSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
+    p.sem_init(kDoneSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_p(kDoneSem);
+    crashed = tpcc->wal().crashed();
+    if (crashed) replayed = tpcc->wal().recover(p);
+    stock_ytd = tpcc->total_stock_ytd(p);
+    orderline_amount = tpcc->total_orderline_amount(p);
+  });
+  for (int w = 0; w < sc.workers; ++w) {
+    sim.spawn("db2.agent" + std::to_string(w), [&, w](sim::Proc& p) {
+      p.sem_init(kStartSem, 0);
+      p.sem_p(kStartSem);
+      results[static_cast<std::size_t>(w)] = tpcc->worker(p, w);
+      p.sem_init(kDoneSem, 0);
+      p.sem_v(kDoneSem);
+    });
+  }
+  sim.run();
+
+  // Table-level consistency: stock and order-line updates precede the
+  // commit record and are applied together, so the sums match even when
+  // the WAL crashed mid-transaction.
+  if (stock_ytd != orderline_amount)
+    throw std::runtime_error(
+        "B-tree/heap inconsistency: stock_ytd=" + std::to_string(stock_ytd) +
+        " orderline_amount=" + std::to_string(orderline_amount));
+  std::uint64_t committed = 0;
+  for (const auto& r : results) committed += r.new_orders + r.payments;
+  if (crashed) {
+    // Recovery must replay exactly the committed prefix.
+    if (replayed != committed)
+      throw std::runtime_error("WAL replayed " + std::to_string(replayed) +
+                               " records but workers committed " +
+                               std::to_string(committed));
+  } else if (cfg.fault.wal_crash_at == 0) {
+    const std::uint64_t expected = static_cast<std::uint64_t>(
+        sc.workers * sc.tpcc.txns_per_worker);
+    if (committed != expected)
+      throw std::runtime_error("tpcc committed " + std::to_string(committed) +
+                               "/" + std::to_string(expected) + " txns");
+  }
+  workloads::ScenarioStats st;
+  workloads::collect_stats(sim, st);
+  check_counters(st.snapshot);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(
+        argc, argv,
+        {{"workload", "tpcc"},
+         {"trials", "25"},
+         {"seed0", "1"},
+         {"cpus", "2"},
+         {"verbose", "false"}},
+        {{"workload", "sci | web | tpcc"},
+         {"trials", "number of seeded trials"},
+         {"seed0", "seed of the first trial (trial t uses seed0 + t)"},
+         {"cpus", "simulated processors"},
+         {"verbose", "print each trial's plan"}});
+    if (flags.help_requested()) {
+      std::fputs(flags.usage("fault_fuzz").c_str(), stdout);
+      return 0;
+    }
+    const std::string workload = flags.get("workload");
+    if (workload != "sci" && workload != "web" && workload != "tpcc")
+      throw util::ConfigError("unknown workload '" + workload + "'");
+    const std::int64_t trials = flags.get_int("trials");
+    const std::uint64_t seed0 = static_cast<std::uint64_t>(flags.get_int("seed0"));
+    const bool verbose = flags.get_bool("verbose");
+
+    for (std::int64_t t = 0; t < trials; ++t) {
+      const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(t);
+      util::Rng r(seed);
+      const fault::FaultPlan plan = random_plan(r, workload);
+      sim::SimulationConfig cfg;
+      cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
+      cfg.fault = plan;
+      // Half the trials run preemptively so the scheduler-jitter hook
+      // actually perturbs slice grants (the default config never preempts).
+      if (r.next_bool(0.5)) {
+        cfg.core.preemptive = true;
+        cfg.core.quantum = static_cast<Cycles>(r.next_in(20'000, 200'000));
+      }
+      if (verbose)
+        std::printf("trial %lld (seed %llu): %s\n", static_cast<long long>(t),
+                    static_cast<unsigned long long>(seed),
+                    describe(plan).c_str());
+      try {
+        if (workload == "sci") trial_sci(cfg);
+        else if (workload == "web") trial_web(cfg);
+        else trial_tpcc(cfg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "FAIL trial %lld (seed %llu): %s\n  plan: %s\n"
+                     "  repro: fault_fuzz --workload=%s --seed0=%llu "
+                     "--trials=1 --cpus=%lld\n",
+                     static_cast<long long>(t),
+                     static_cast<unsigned long long>(seed), e.what(),
+                     describe(plan).c_str(), workload.c_str(),
+                     static_cast<unsigned long long>(seed),
+                     static_cast<long long>(flags.get_int("cpus")));
+        return 1;
+      }
+    }
+    std::printf("fault_fuzz: %lld/%lld %s trials passed (seeds %llu..%llu)\n",
+                static_cast<long long>(trials), static_cast<long long>(trials),
+                workload.c_str(), static_cast<unsigned long long>(seed0),
+                static_cast<unsigned long long>(
+                    seed0 + static_cast<std::uint64_t>(trials) - 1));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fault_fuzz: %s\n", e.what());
+    return 2;
+  }
+}

@@ -4,8 +4,10 @@
 //   trace_record --workload=sci --out=sci.trace [--stats-json=sci.json]
 //                [--cpus=4] [--model=simple|flat|numa] [--nodes=2] ...
 #include <cstdio>
+#include <map>
 #include <string>
 
+#include "fault/fault_flags.h"
 #include "trace/trace_recorder.h"
 #include "util/flags.h"
 #include "workloads/runner.h"
@@ -37,32 +39,36 @@ void print_summary(const char* what, const workloads::ScenarioStats& st) {
 
 int main(int argc, char** argv) {
   try {
-    util::Flags flags(
-        argc, argv,
-        {{"workload", "sci"},
-         {"out", "compass.trace"},
-         {"stats-json", ""},
-         {"cpus", "4"},
-         {"nodes", "1"},
-         {"model", "simple"},
-         {"n", "32"},
-         {"nprocs", "2"},
-         {"workers", "2"},
-         {"requests", "20"},
-         {"servers", "1"},
-         {"seed", "99"}},
-        {{"workload", "sci | web | tpcc | tpcd"},
-         {"out", "trace file to write"},
-         {"stats-json", "also dump the live run's stats as JSON"},
-         {"cpus", "simulated processors"},
-         {"nodes", "NUMA nodes"},
-         {"model", "memory-system model: flat | simple | numa"},
-         {"n", "sci: matrix dimension"},
-         {"nprocs", "sci: worker processes"},
-         {"workers", "tpcc/tpcd: worker processes"},
-         {"requests", "web: request count"},
-         {"servers", "web: server processes"},
-         {"seed", "web: request-trace seed"}});
+    std::map<std::string, std::string> defaults = {
+        {"workload", "sci"},
+        {"out", "compass.trace"},
+        {"stats-json", ""},
+        {"cpus", "4"},
+        {"nodes", "1"},
+        {"quantum", "0"},
+        {"model", "simple"},
+        {"n", "32"},
+        {"nprocs", "2"},
+        {"workers", "2"},
+        {"requests", "20"},
+        {"servers", "1"},
+        {"seed", "99"}};
+    std::map<std::string, std::string> help = {
+        {"workload", "sci | web | tpcc | tpcd"},
+        {"out", "trace file to write"},
+        {"stats-json", "also dump the live run's stats as JSON"},
+        {"cpus", "simulated processors"},
+        {"nodes", "NUMA nodes"},
+        {"quantum", "preemption quantum in cycles (0 = cooperative)"},
+        {"model", "memory-system model: flat | simple | numa"},
+        {"n", "sci: matrix dimension"},
+        {"nprocs", "sci: worker processes"},
+        {"workers", "tpcc/tpcd: worker processes"},
+        {"requests", "web: request count"},
+        {"servers", "web: server processes"},
+        {"seed", "web: request-trace seed"}};
+    fault::add_fault_flags(defaults, help);
+    util::Flags flags(argc, argv, std::move(defaults), std::move(help));
     if (flags.help_requested()) {
       std::fputs(flags.usage("trace_record").c_str(), stdout);
       return 0;
@@ -71,7 +77,12 @@ int main(int argc, char** argv) {
     sim::SimulationConfig cfg;
     cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
     cfg.core.num_nodes = static_cast<int>(flags.get_int("nodes"));
+    if (flags.get_int("quantum") > 0) {
+      cfg.core.preemptive = true;
+      cfg.core.quantum = static_cast<Cycles>(flags.get_int("quantum"));
+    }
     cfg.model = parse_model(flags.get("model"));
+    cfg.fault = fault::fault_plan_from_flags(flags);
 
     const std::string out = flags.get("out");
     trace::TraceRecorder recorder(cfg, out);
