@@ -1,0 +1,89 @@
+// Sharded-backend throughput microbenchmark (google-benchmark): one full
+// Backend::run() per iteration at W dispatch lanes and P simulated CPUs,
+// with one pure compute+load frontend per CPU over the vm-less flat model —
+// the concurrent-access-safe configuration, so multi-item windows execute
+// fully in parallel (lane A). items_per_second is simulated events per
+// second; the dispatch counter reports dispatched batches per second
+// (invert for ns/dispatch). The CI bench gate consumes the same JSON
+// schema as the other microbenches.
+//
+// Workers > 1 only outperforms serial on a multi-core host; on a single
+// core the window protocol's bookkeeping is pure overhead, which is
+// exactly what the W=1-vs-W>1 comparison is there to quantify.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/frontend.h"
+#include "mem/machine.h"
+
+using namespace compass;
+
+namespace {
+
+constexpr int kRefsPerProc = 1500;
+constexpr int kBatchSize = 8;
+
+void BM_ParallelBackend(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int cpus = static_cast<int>(state.range(1));
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    core::SimConfig cfg;
+    cfg.num_cpus = cpus;
+    cfg.backend_workers = workers;
+    core::Communicator comm(cfg.num_cpus);
+    mem::FlatMemory memsys(10);
+    core::Backend::Hooks hooks;
+    hooks.memsys = &memsys;
+    core::Backend backend(cfg, comm, hooks);
+
+    std::vector<std::unique_ptr<core::Frontend>> procs;
+    core::SimContext::Options opts;
+    opts.batch_size = kBatchSize;
+    for (int p = 0; p < cpus; ++p)
+      procs.push_back(std::make_unique<core::Frontend>(
+          backend, "p" + std::to_string(p), opts));
+    for (int p = 0; p < cpus; ++p) {
+      const Addr base = 0x1000 + static_cast<Addr>(p) * 0x100000;
+      procs[static_cast<std::size_t>(p)]->start([base, p](core::SimContext& ctx) {
+        for (int i = 0; i < kRefsPerProc; ++i) {
+          ctx.compute(static_cast<Cycles>(11 + (p % 5) * 3));
+          ctx.load(base + static_cast<Addr>(i) * 64, 8);
+        }
+      });
+    }
+    backend.run();
+    for (auto& f : procs) f->join();
+    windows += backend.windows_executed();
+  }
+  const auto events =
+      static_cast<std::int64_t>(state.iterations()) * cpus * kRefsPerProc;
+  const auto batches = events / kBatchSize;
+  state.SetItemsProcessed(events);
+  state.counters["dispatches_per_s"] = benchmark::Counter(
+      static_cast<double>(batches), benchmark::Counter::kIsRate);
+  state.counters["windows"] =
+      static_cast<double>(windows) / static_cast<double>(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParallelBackend)
+    ->ArgNames({"workers", "cpus"})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->Args({1, 32})
+    ->Args({2, 32})
+    ->Args({4, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "util/check.h"
@@ -21,6 +22,8 @@ Backend::Backend(const SimConfig& cfg, Communicator& comm, Hooks hooks,
   COMPASS_CHECK_MSG(hooks_.memsys != nullptr, "Backend requires a MemorySystem");
   COMPASS_CHECK_MSG(comm.num_cpus() == cfg.num_cpus,
                     "Communicator/SimConfig CPU count mismatch");
+  ctr_mem_refs_ = &stats_->counter("backend.mem_refs");
+  ctr_batches_ = &stats_->counter("backend.batches");
   comm_.set_stall_handler([this](std::span<const ProcId> missing) {
     std::ostringstream os;
     os << "COMPASS backend stalled waiting for frontends to post:";
@@ -214,13 +217,24 @@ bool Backend::maybe_preempt(ProcId proc, Cycles event_time) {
 }
 
 void Backend::run() {
+  const int workers = cfg_.effective_backend_workers();
   try {
-    run_loop();
+    // W lanes = coordinator + (W-1) shard workers, so W=1 is the plain
+    // serial loop with zero new machinery on the hot path.
+    if (workers > 1)
+      run_loop_windowed(workers - 1);
+    else
+      run_loop();
   } catch (...) {
     // Unwind every frontend thread before propagating so callers can join.
+    // (The windowed loop's shard pool already joined during unwinding —
+    // workers must never race the port-closing aborts below.)
     comm_.close_all_ports();
     throw;
   }
+  // Publish model-internal tallies for every worker count, keeping counter
+  // values bit-identical between serial and sharded runs.
+  hooks_.memsys->flush_stats();
   // Normal completion: a daemon or bottom half may have a posted batch the
   // loop never consumed. Record it before closing: without it, a replayed
   // daemon would run out of script while the backend still counts it as
@@ -288,10 +302,22 @@ void Backend::dispatch(ProcId proc) {
     return;
   }
 
+  port.reply(process_data(proc, batch, nullptr));
+}
+
+Reply Backend::process_data(ProcId proc, std::span<const Event> batch,
+                            WindowItem* acc) {
+  // May run on a shard worker when `acc != nullptr` (lane A, see
+  // execute_window): everything touched is then private to this window
+  // item — the proc record, its CPU's breakdown row and CpuInfo, the port —
+  // except global time and the two counters, which tally into `acc` for an
+  // order-insensitive merge at the window barrier.
   ProcInfo& pi = info(proc);
   COMPASS_CHECK_MSG(pi.cpu != kNoCpu,
                     "data batch from proc " << proc << " with no CPU");
   const CpuId cpu = pi.cpu;
+  Cycles local_now = 0;
+  std::uint64_t refs = 0;
   bool first = true;
   for (const Event& ev : batch) {
     COMPASS_CHECK_MSG(ev.kind == EventKind::kMemRef || ev.kind == EventKind::kYield,
@@ -304,27 +330,184 @@ void Backend::dispatch(ProcId proc) {
     // latencies were known; they issue no earlier than the previous
     // completion (stalls serialize).
     const Cycles issue = std::max(ev.time, pi.last_time);
-    now_ = std::max(now_, issue);
+    if (acc != nullptr)
+      local_now = std::max(local_now, issue);
+    else
+      now_ = std::max(now_, issue);
     charge(cpu, ev.mode, issue - pi.last_time);
     Cycles latency = 0;
     if (ev.kind == EventKind::kMemRef) {
       Event issued = ev;
       issued.time = issue;
       latency = hooks_.memsys->access(cpu, proc, issued);
-      stats_->counter("backend.mem_refs").inc();
+      ++refs;
     }
     charge(cpu, ev.mode, latency);
     pi.last_time = issue + latency;
   }
   cpus_[static_cast<std::size_t>(cpu)].busy_until =
       std::max(cpus_[static_cast<std::size_t>(cpu)].busy_until, pi.last_time);
-  stats_->counter("backend.batches").inc();
+  if (acc != nullptr) {
+    acc->local_now = local_now;
+    acc->local_refs = refs;
+  } else {
+    ctr_mem_refs_->inc(refs);
+    ctr_batches_->inc();
+  }
 
   Reply r;
   r.resume_time = pi.last_time;
-  r.cpu = pi.cpu;
+  r.cpu = cpu;
   r.interrupt_pending = interrupt_pending_for(proc);
-  port.reply(r);
+  return r;
+}
+
+bool Backend::would_preempt(ProcId proc, Cycles event_time) const {
+  // Must mirror maybe_preempt's trigger condition exactly: window formation
+  // uses it to prove the serial loop would NOT preempt this dispatch. All
+  // inputs (mode, cpu binding, ready set, slice bookkeeping) are frozen
+  // during a data-only window, so evaluating at formation time equals the
+  // serial evaluation at dispatch time.
+  if (!cfg_.preemptive) return false;
+  const ProcInfo& pi = info(proc);
+  if (pi.cpu == kNoCpu || pi.is_bottom_half) return false;
+  if (pi.mode != ExecMode::kUser) return false;
+  if (!proc_sched_.has_ready()) return false;
+  const CpuInfo& ci = cpus_[static_cast<std::size_t>(pi.cpu)];
+  const Cycles quantum = ci.quantum != 0 ? ci.quantum : cfg_.quantum;
+  return event_time >= ci.slice_start && event_time - ci.slice_start >= quantum;
+}
+
+std::size_t Backend::form_window(ProcId first) {
+  // Candidates in (pending_time, proc) order — exactly the order repeated
+  // serial pick-min calls would consume them in, as long as no candidate's
+  // dispatch can change scheduling state or let an earlier repost overtake.
+  window_cand_.clear();
+  for (const ProcId p : running_)
+    window_cand_.emplace_back(comm_.port(p).pending_time(), p);
+  std::sort(window_cand_.begin(), window_cand_.end());
+  COMPASS_CHECK(window_cand_.front().second == first);
+
+  window_.clear();
+  const Cycles task_bound = sched_queue_.next_time();
+  // A dispatched proc reposts no earlier than its batch's last event time
+  // (enforced: within a batch times are nondecreasing, issue times only move
+  // forward, and the next post begins at/after the reply's resume_time). A
+  // later candidate is safe only strictly below every earlier repost bound:
+  // at equal times the repost of a lower-id proc would win the tie-break.
+  Cycles chain_bound = std::numeric_limits<Cycles>::max();
+  for (const auto& [t, p] : window_cand_) {
+    if (!window_.empty() && (t >= task_bound || t >= chain_bound)) break;
+    EventPort& port = comm_.port(p);
+    const EventPort::PendingPeek peek = port.peek_pending();
+    const bool is_data = peek.kind == EventKind::kMemRef ||
+                         peek.kind == EventKind::kYield;
+    // Control events mutate run/scheduler state; a preempting dispatch
+    // re-enters the scheduler. Both end the window (prefix, not filter:
+    // everything after them would execute against changed state).
+    if (!is_data || would_preempt(p, t)) break;
+    WindowItem item;
+    item.proc = p;
+    item.port = &port;
+    window_.push_back(item);
+    chain_bound = std::min(chain_bound, peek.last_time);
+  }
+  return window_.size();
+}
+
+void Backend::run_window_item(WindowItem& item) {
+  if (item.execute) item.reply = process_data(item.proc, item.batch, &item);
+  item.port->reply(item.reply);
+}
+
+void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
+  ++windows_executed_;
+  // Take + trace every batch first, in merge order: the recorder observes
+  // the identical total order the serial backend consumes, so trace bytes
+  // do not depend on the worker count.
+  for (WindowItem& it : window_) {
+    it.batch = it.port->take_batch();
+    COMPASS_CHECK(!it.batch.empty());
+    if (hooks_.trace != nullptr)
+      hooks_.trace->on_batch(it.proc, info(it.proc).last_time, it.batch);
+  }
+  const int lanes = pool.workers() + 1;  // lane 0 is the coordinator
+  int delegated = 0;
+  for (const WindowItem& it : window_)
+    if (it.proc % lanes != 0) ++delegated;
+
+  if (concurrent_model) {
+    // Lane A: full parallel execution. Safe because window items touch
+    // disjoint per-proc/per-CPU/per-port state and the model accepts
+    // concurrent access() for distinct CPUs.
+    pool.begin_window(delegated);
+    for (WindowItem& it : window_) {
+      it.execute = true;
+      if (it.proc % lanes != 0) pool.push(it.proc % lanes - 1, &it);
+    }
+    for (WindowItem& it : window_)
+      if (it.proc % lanes == 0) run_window_item(it);
+    pool.wait_window();
+    // Merge order-insensitive tallies (max / sums), then counters.
+    std::uint64_t refs = 0;
+    for (const WindowItem& it : window_) {
+      now_ = std::max(now_, it.local_now);
+      refs += it.local_refs;
+    }
+    ctr_mem_refs_->inc(refs);
+    ctr_batches_->inc(window_.size());
+  } else {
+    // Lane B: the model has shared zero-lookahead state (coherence bus,
+    // directory, page tables), so the coordinator runs every computation
+    // itself in exact merge order; workers only deliver the replies,
+    // offloading the wakeup cost — the dominant per-dispatch expense.
+    pool.begin_window(delegated);
+    for (WindowItem& it : window_) {
+      it.reply = process_data(it.proc, it.batch, nullptr);
+      if (it.proc % lanes != 0)
+        pool.push(it.proc % lanes - 1, &it);
+      else
+        it.port->reply(it.reply);
+    }
+    pool.wait_window();
+  }
+}
+
+void Backend::run_loop_windowed(int workers) {
+  HostThrottle::Hold hold(comm_.throttle());
+  // Pool local to the loop: stack unwinding joins the workers before run()'s
+  // catch block closes the ports, on success and failure alike.
+  ShardPool pool(workers, procs_.size(),
+                 [this](WindowItem& item) { run_window_item(item); });
+  while (true) {
+    schedule_ready_procs();
+    if (all_apps_exited()) break;
+    if (running_dirty_) rebuild_running();
+    if (running_.empty()) {
+      if (sched_queue_.empty()) {
+        throw util::SimError("COMPASS deadlock: no runnable process and no "
+                             "scheduled task\n" +
+                             dump_states());
+      }
+      run_one_task();
+      continue;
+    }
+    comm_.wait_all_pending(running_);
+    const ProcId proc = comm_.pick_min(running_);
+    const Cycles t = comm_.port(proc).pending_time();
+    if (sched_queue_.next_time() <= t) {
+      run_one_task();
+      continue;
+    }
+    // Windows of one fall through to the serial dispatch path — identical
+    // behavior, none of the fan-out overhead.
+    if (running_.size() < 2 || form_window(proc) <= 1) {
+      dispatch(proc);
+      continue;
+    }
+    execute_window(pool, hooks_.memsys->concurrent_access_safe());
+  }
+  for (CpuId c = 0; c < cfg_.num_cpus; ++c) account_idle_until(c, now_);
 }
 
 void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {

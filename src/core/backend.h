@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend_shard.h"
 #include "core/communicator.h"
 #include "core/config.h"
 #include "core/event.h"
@@ -116,6 +117,11 @@ class Backend {
   stats::TimeBreakdown& time_breakdown() { return breakdown_; }
   const stats::TimeBreakdown& time_breakdown() const { return breakdown_; }
   stats::StatsRegistry& stats() { return *stats_; }
+
+  /// Multi-item windows executed by the sharded loop (0 under workers=1).
+  /// Host-side observability only — deliberately NOT a stats counter, so
+  /// snapshots stay bit-identical across worker counts.
+  std::uint64_t windows_executed() const { return windows_executed_; }
   ProcessScheduler& proc_sched() { return proc_sched_; }
 
   RunState state_of(ProcId proc) const;
@@ -154,6 +160,22 @@ class Backend {
   void handle_wakeup(WaitChannel channel, std::uint64_t count);
   void maybe_dispatch_idle_irq(CpuId cpu);
   bool maybe_preempt(ProcId proc, Cycles event_time);
+  // ---- sharded (windowed) dispatch; see DESIGN.md -----------------------
+  void run_loop_windowed(int workers);
+  /// Maximal safe prefix of the pending batches in pick-min order; fills
+  /// window_. `first` is the pick-min process (cross-checked in Debug).
+  std::size_t form_window(ProcId first);
+  /// Side-effect-free replica of maybe_preempt's trigger predicate.
+  bool would_preempt(ProcId proc, Cycles event_time) const;
+  void execute_window(ShardPool& pool, bool concurrent_model);
+  /// Worker entry: full execution (item.execute) or reply delivery.
+  void run_window_item(WindowItem& item);
+  /// The data-batch computation shared by the serial path and both window
+  /// lanes. With `acc == nullptr` it updates global time and counters
+  /// directly (exact serial behavior); with an item it tallies into the
+  /// item for an order-insensitive merge at the window barrier.
+  Reply process_data(ProcId proc, std::span<const Event> batch,
+                     WindowItem* acc);
   void charge(CpuId cpu, ExecMode mode, Cycles cycles);
   void account_idle_until(CpuId cpu, Cycles when);
   bool all_apps_exited() const;
@@ -179,6 +201,15 @@ class Backend {
   std::vector<ProcId> running_;  // cache of procs to wait on / pick among
   bool running_dirty_ = true;
   CpuId irq_rr_ = 0;
+
+  // Hot-path counters resolved once (the registry lookup is a map walk).
+  stats::Counter* ctr_mem_refs_ = nullptr;
+  stats::Counter* ctr_batches_ = nullptr;
+
+  // Windowed-dispatch scratch, reused across iterations (coordinator only).
+  std::vector<WindowItem> window_;
+  std::uint64_t windows_executed_ = 0;
+  std::vector<std::pair<Cycles, ProcId>> window_cand_;
 };
 
 }  // namespace compass::core

@@ -1,0 +1,116 @@
+#include "core/backend_shard.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace compass::core {
+
+ShardPool::ShardPool(int workers, std::size_t capacity,
+                     std::function<void(WindowItem&)> run)
+    : capacity_(capacity == 0 ? 1 : capacity), run_(std::move(run)) {
+  COMPASS_CHECK_MSG(workers >= 1, "ShardPool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.push_back(std::make_unique<Worker>(capacity_));
+  // Spawn after the vector is final so worker_main's reference is stable.
+  for (auto& w : workers_) w->thread = std::thread([this, &w] { worker_main(*w); });
+}
+
+ShardPool::~ShardPool() {
+  // Workers drain their rings before honoring stop, so any items pushed by
+  // a coordinator that then threw are still completed (their ports reach a
+  // replied state; close_all_ports aborts whatever is left either way).
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& w : workers_) {
+    // Wake by advancing the futex word itself: a bare notify can land in
+    // the gap between a sleeper's pre-sleep re-checks and its head.wait()
+    // call, and that wait only re-examines `head` — never stop_. Pushing a
+    // nullptr sentinel changes `head`, so the racing wait refuses to sleep.
+    const std::uint32_t h = w->head.load(std::memory_order_relaxed);
+    w->slots[h % capacity_] = nullptr;
+    w->head.store(h + 1, std::memory_order_seq_cst);
+    w->head.notify_all();
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ShardPool::begin_window(int delegated) {
+  COMPASS_CHECK(outstanding_.load(std::memory_order_relaxed) == 0);
+  outstanding_.store(delegated, std::memory_order_release);
+}
+
+void ShardPool::push(int w, WindowItem* item) {
+  Worker& worker = *workers_[static_cast<std::size_t>(w)];
+  const std::uint32_t h = worker.head.load(std::memory_order_relaxed);
+  // Never overruns: a window delegates at most one item per process and
+  // the ring holds `capacity_` (= process count) items.
+  COMPASS_CHECK_MSG(h - worker.tail.load(std::memory_order_acquire) < capacity_,
+                    "shard ring overflow");
+  worker.slots[h % capacity_] = item;
+  // seq_cst store + Dekker load below pairs with the worker's idle store +
+  // head re-check before sleeping (same handshake as EventPort::reply).
+  worker.head.store(h + 1, std::memory_order_seq_cst);
+  if (worker.idle.load(std::memory_order_seq_cst)) worker.head.notify_all();
+}
+
+void ShardPool::wait_window() {
+  if (!barrier_spin_.wait([this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      })) {
+    while (true) {
+      coordinator_waiting_.store(true, std::memory_order_seq_cst);
+      const int v = outstanding_.load(std::memory_order_seq_cst);
+      if (v == 0) break;
+      outstanding_.wait(v, std::memory_order_seq_cst);
+    }
+    coordinator_waiting_.store(false, std::memory_order_relaxed);
+    // Re-load with acquire so every worker write made before its final
+    // release decrement is visible to the coordinator from here on.
+    (void)outstanding_.load(std::memory_order_acquire);
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(err_mu_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ShardPool::worker_main(Worker& w) {
+  AdaptiveSpin spin(AdaptiveSpin::backend_policy());
+  while (true) {
+    const std::uint32_t t = w.tail.load(std::memory_order_relaxed);
+    if (w.head.load(std::memory_order_acquire) == t) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (!spin.wait([&] {
+            return w.head.load(std::memory_order_acquire) != t ||
+                   stop_.load(std::memory_order_acquire);
+          })) {
+        w.idle.store(true, std::memory_order_seq_cst);
+        if (w.head.load(std::memory_order_seq_cst) == t &&
+            !stop_.load(std::memory_order_seq_cst))
+          w.head.wait(t, std::memory_order_seq_cst);
+        w.idle.store(false, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    WindowItem* item = w.slots[t % capacity_];
+    w.tail.store(t + 1, std::memory_order_release);
+    if (item == nullptr) continue;  // shutdown sentinel: no work, no decrement
+    try {
+      run_(*item);
+    } catch (...) {
+      std::lock_guard lock(err_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    // Final decrement publishes this item's writes to the coordinator's
+    // acquire load in wait_window; seq_cst keeps the Dekker handshake with
+    // coordinator_waiting_ in one total order.
+    if (outstanding_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        coordinator_waiting_.load(std::memory_order_seq_cst))
+      outstanding_.notify_all();
+  }
+}
+
+}  // namespace compass::core

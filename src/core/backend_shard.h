@@ -1,0 +1,125 @@
+// Shard worker pool for the windowed parallel backend (see backend.cpp and
+// DESIGN.md "Sharded parallel backend").
+//
+// The coordinator (the backend thread) forms a *window*: a prefix of the
+// pending batches, in (time, ProcId) pick-min order, that provably dispatch
+// consecutively under the serial protocol. Window items are then fanned out
+// to W-1 worker threads (shard of proc = proc % W; shard 0 stays on the
+// coordinator). Two delegation modes per item, chosen by the backend:
+//
+//  * execute: the worker runs the full data-batch computation (issue-time
+//    serialization, per-CPU time charges, memory-model access, reply).
+//    Only used when the memory model is concurrent_access_safe(); all
+//    touched state is per-proc/per-CPU/per-port and hence disjoint across
+//    the window, plus order-insensitive local tallies the coordinator
+//    merges at the barrier.
+//  * deliver: the coordinator already computed the reply in exact serial
+//    order (models with shared zero-lookahead state: coherence buses,
+//    directories, page tables); the worker only performs port.reply(),
+//    offloading the reply/wakeup cost — the dominant per-dispatch cost of
+//    the serial loop.
+//
+// Handoff is one SPSC ring per worker (coordinator is the single producer)
+// with Dekker-gated futex wakeups in both directions, mirroring the
+// event-port idiom: steady-state windows complete with plain atomic
+// stores, no syscalls. The end-of-window barrier is an atomic countdown;
+// its release/acquire pairing publishes every worker-side write back to
+// the coordinator before the next window (or any task) runs.
+//
+// Lifetime: construct after process registration, destroy (stop + join)
+// BEFORE Communicator::close_all_ports() — close() answers in-flight
+// batches itself, and a worker reply racing that would trip the port state
+// machine. The Backend keeps the pool local to its windowed loop so stack
+// unwinding enforces this on every exit path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive_spin.h"
+#include "core/event.h"
+#include "core/types.h"
+
+namespace compass::core {
+
+class EventPort;
+
+/// One dispatchable batch inside a window. Filled by the coordinator,
+/// optionally executed on a worker, results merged at the window barrier.
+struct WindowItem {
+  ProcId proc = kNoProc;
+  EventPort* port = nullptr;
+  std::span<const Event> batch;
+  /// deliver mode: reply precomputed by the coordinator in serial order.
+  Reply reply{};
+  /// true = execute (full data-batch processing on the worker),
+  /// false = deliver (worker only performs port->reply(reply)).
+  bool execute = false;
+  /// execute-mode outputs, merged by the coordinator at the barrier:
+  Cycles local_now = 0;          ///< max issue cycle observed in the batch
+  std::uint64_t local_refs = 0;  ///< kMemRef count (order-insensitive sum)
+};
+
+class ShardPool {
+ public:
+  /// Spawns `workers` (>= 1) threads. `capacity` bounds the number of items
+  /// that may be in flight per window (the backend passes its process
+  /// count). `run` is invoked on worker threads for each delegated item;
+  /// exceptions it throws are captured and rethrown from wait_window().
+  ShardPool(int workers, std::size_t capacity,
+            std::function<void(WindowItem&)> run);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  // ---- coordinator API (backend thread only) --------------------------
+
+  /// Open a window that will delegate exactly `delegated` items.
+  void begin_window(int delegated);
+  /// Hand `item` to worker `w` (0-based). The item must stay valid until
+  /// wait_window() returns.
+  void push(int w, WindowItem* item);
+  /// Barrier: block until every delegated item of the current window has
+  /// been processed. Rethrows the first worker exception, if any.
+  void wait_window();
+
+ private:
+  struct Worker {
+    explicit Worker(std::size_t capacity) : slots(capacity) {}
+    std::vector<WindowItem*> slots;     // SPSC ring, coordinator -> worker
+    std::atomic<std::uint32_t> head{0};  // coordinator publishes (release)
+    std::atomic<std::uint32_t> tail{0};  // worker-private cursor
+    /// Dekker flag: worker is (about to be) asleep in head.wait().
+    std::atomic<bool> idle{false};
+    std::thread thread;
+  };
+
+  void worker_main(Worker& w);
+
+  const std::size_t capacity_;
+  std::function<void(WindowItem&)> run_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Items of the current window not yet completed by workers.
+  std::atomic<int> outstanding_{0};
+  /// Dekker flag: coordinator is (about to be) asleep in outstanding_.wait().
+  std::atomic<bool> coordinator_waiting_{false};
+  std::atomic<bool> stop_{false};
+
+  AdaptiveSpin barrier_spin_{AdaptiveSpin::backend_policy()};  // coordinator-private
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;  // guarded by err_mu_
+};
+
+}  // namespace compass::core

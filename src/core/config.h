@@ -1,7 +1,9 @@
 // Simulation-kernel configuration.
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <thread>
 
 #include "core/types.h"
 #include "util/check.h"
@@ -23,6 +25,13 @@ struct SimConfig {
   int num_nodes = 1;
   /// Host-parallelism limit for slowdown experiments; 0 = unlimited.
   int host_cpus = 0;
+  /// Host worker threads for the backend dispatch loop. 1 (default) is the
+  /// fully serial loop; W > 1 shards provably independent batch windows
+  /// across W lanes (coordinator + W-1 workers) with bit-identical results
+  /// for any W; 0 picks a conservative value from the host core count.
+  /// Deliberately NOT part of the trace-config fingerprint: it is a host
+  /// execution strategy, not a simulated-machine parameter.
+  int backend_workers = 1;
 
   /// Events per event-port post. 1 reproduces the paper's reference-level
   /// synchronization; larger values coarsen interleaving granularity (the
@@ -56,6 +65,17 @@ struct SimConfig {
                       "num_cpus must divide evenly across num_nodes");
     COMPASS_CHECK_MSG(batch_size >= 1, "batch_size must be >= 1");
     COMPASS_CHECK_MSG(!preemptive || quantum > 0, "preemptive needs a quantum");
+    COMPASS_CHECK_MSG(backend_workers >= 0 && backend_workers <= 256,
+                      "backend_workers must be in [0, 256]");
+  }
+
+  /// Resolved worker count: `backend_workers`, or an automatic pick when 0
+  /// (half the host cores, clamped to [1, 8] — the window protocol rarely
+  /// exposes more parallelism than that).
+  int effective_backend_workers() const {
+    if (backend_workers != 0) return backend_workers;
+    const int hc = static_cast<int>(std::thread::hardware_concurrency());
+    return std::clamp(hc / 2, 1, 8);
   }
 
   NodeId node_of_cpu(CpuId cpu) const {

@@ -72,6 +72,14 @@ Reply EventPort::post_and_wait(std::span<const Event> batch) {
   return r;
 }
 
+EventPort::PendingPeek EventPort::peek_pending() const {
+  COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kPending,
+                    "peek with no pending batch (proc " << proc_ << ")");
+  return PendingPeek{pending_time_.load(std::memory_order_acquire),
+                     posted_.back().time + rebase_delta_,
+                     posted_.front().kind};
+}
+
 std::span<const Event> EventPort::take_batch() {
   COMPASS_CHECK_MSG(state_.load(std::memory_order_acquire) == State::kPending,
                     "take_batch with no pending batch (proc " << proc_ << ")");

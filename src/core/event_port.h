@@ -80,6 +80,20 @@ class EventPort {
     return pending_time_.load(std::memory_order_acquire);
   }
 
+  /// Lightweight summary of a pending batch, used by the sharded backend's
+  /// window formation without claiming the batch.
+  struct PendingPeek {
+    Cycles first_time = 0;  ///< == pending_time()
+    Cycles last_time = 0;   ///< issue time of the last event (rebase folded)
+    EventKind kind = EventKind::kMemRef;  ///< kind of the first event
+  };
+
+  /// Backend: inspect the pending batch without taking it. Safe without the
+  /// port mutex: the frontend published the batch before the kPending
+  /// release store and stays blocked while it is in flight, and
+  /// rebase_delta_ is backend-thread-private. Precondition: has_pending().
+  PendingPeek peek_pending() const;
+
   /// Backend: claim the pending batch for processing. Returns the events
   /// with the preemption rebase delta already folded into their times.
   std::span<const Event> take_batch();

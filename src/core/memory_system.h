@@ -43,6 +43,22 @@ class MemorySystem {
     (void)from;
     (void)to;
   }
+
+  /// True when access() calls for DISTINCT CPUs may run concurrently on
+  /// different host threads with results identical to any serial order.
+  /// Models with shared, order-sensitive state (coherence buses,
+  /// directories, LRU stacks, page tables) must return false: they have
+  /// zero lookahead — each access may probe or mutate every other CPU's
+  /// state — so the sharded backend keeps them on the coordinator lane.
+  /// Implementations returning true must make any internal statistics
+  /// tallies thread-safe and order-insensitive (sums), published by
+  /// flush_stats().
+  virtual bool concurrent_access_safe() const { return false; }
+
+  /// Publish any internally buffered statistics into their counters. Called
+  /// once by the backend when the run completes (for every worker count, so
+  /// counter values stay bit-identical across serial and sharded runs).
+  virtual void flush_stats() {}
 };
 
 /// Handler for kBackendCall events: category-2 OS services modeled inside

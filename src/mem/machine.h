@@ -16,6 +16,7 @@
 // reference stream.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -31,16 +32,26 @@
 namespace compass::mem {
 
 /// Fixed-latency memory with optional VM translation.
+///
+/// Without a Vm the model is stateless per access, so it advertises
+/// concurrent_access_safe(): the sharded backend may then run access()
+/// calls for distinct CPUs on different host threads. The reference tally
+/// is a relaxed atomic for that mode and is published into the "flat.refs"
+/// counter by flush_stats() (the backend calls it at end of run; call it
+/// manually when using the model standalone).
 class FlatMemory : public core::MemorySystem {
  public:
   explicit FlatMemory(Cycles latency = 10, Vm* vm = nullptr,
                       stats::StatsRegistry* stats = nullptr);
   Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
+  bool concurrent_access_safe() const override { return vm_ == nullptr; }
+  void flush_stats() override;
 
  private:
   Cycles latency_;
   Vm* vm_;
   stats::Counter* refs_ = nullptr;
+  std::atomic<std::uint64_t> pending_refs_{0};
 };
 
 /// One-level cache per CPU + MESI snooping bus (UMA).

@@ -13,9 +13,17 @@ FlatMemory::FlatMemory(Cycles latency, Vm* vm, stats::StatsRegistry* stats)
 }
 
 Cycles FlatMemory::access(CpuId, ProcId proc, const core::Event& ev) {
-  if (refs_ != nullptr) refs_->inc();
+  // Tally into the atomic (access() may run on a shard worker); the sum is
+  // order-insensitive, so the flushed counter is identical for any worker
+  // count.
+  if (refs_ != nullptr) pending_refs_.fetch_add(1, std::memory_order_relaxed);
   if (vm_ != nullptr) (void)vm_->translate(proc, ev.addr, 0);
   return latency_;
+}
+
+void FlatMemory::flush_stats() {
+  if (refs_ != nullptr)
+    refs_->inc(pending_refs_.exchange(0, std::memory_order_relaxed));
 }
 
 // --------------------------------------------------------- SimpleMachine

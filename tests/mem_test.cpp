@@ -500,7 +500,15 @@ TEST(FlatMemory, FixedLatencyAndCount) {
   FlatMemory flat(25, nullptr, &reg);
   EXPECT_EQ(flat.access(0, 0, load_at(0x1)), 25u);
   EXPECT_EQ(flat.access(1, 3, store_at(0x2)), 25u);
+  // The tally is buffered for concurrent access; flush publishes it.
+  flat.flush_stats();
   EXPECT_EQ(reg.counter_value("flat.refs"), 2u);
+  // A vm-less flat model is safe to call from shard workers; with a Vm
+  // (shared page tables, fault ordering) it is not.
+  EXPECT_TRUE(flat.concurrent_access_safe());
+  Vm vm({.num_nodes = 1});
+  FlatMemory flat_vm(25, &vm, &reg);
+  EXPECT_FALSE(flat_vm.concurrent_access_safe());
 }
 
 }  // namespace

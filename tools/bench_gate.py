@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares google-benchmark JSON results against a committed baseline
+(bench/baseline.json) and fails when any benchmark regressed beyond the
+threshold after normalizing out overall host speed.
+
+The CI host and the host that recorded the baseline differ in clock speed,
+cache sizes and load, so absolute times are meaningless. Instead the gate
+computes, per benchmark, the ratio current/baseline, takes the median ratio
+across ALL benchmarks as the host-speed factor, and flags a benchmark only
+when its own ratio exceeds `median * (1 + threshold)`. A uniform slowdown
+(slower CI machine) moves every ratio equally and trips nothing; a single
+benchmark regressing against its peers stands out regardless of host.
+
+Usage:
+  bench_gate.py update  --baseline bench/baseline.json result1.json ...
+  bench_gate.py check   --baseline bench/baseline.json result1.json ...
+                        [--threshold 0.20]
+
+`update` rewrites the baseline from the given result files; `check` exits 1
+on regression. Both prefer `_median` aggregate entries (run the benches
+with --benchmark_repetitions=N) and fall back to raw entries otherwise.
+A run missing a baseline entry is reported but never fails the gate (new
+benchmarks land before their baseline does); a baseline entry missing from
+the results fails it (a silently dropped benchmark is itself a regression).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(paths):
+    """name -> real_time in ns, preferring _median aggregates."""
+    medians = {}
+    raw = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            name = b["name"]
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+            t = float(b["real_time"]) * scale
+            if b.get("run_type") == "aggregate":
+                if b.get("aggregate_name") == "median":
+                    medians[name.removesuffix("_median")] = t
+            else:
+                raw[name] = t
+    out = dict(raw)
+    out.update(medians)  # aggregates win over their own raw repetitions
+    return out
+
+
+def cmd_update(args):
+    times = load_times(args.results)
+    if not times:
+        print("bench_gate: no benchmark entries found", file=sys.stderr)
+        return 1
+    baseline = {
+        "_comment": "Median real_time per benchmark in ns. Regenerate with: "
+                    "python3 tools/bench_gate.py update --baseline "
+                    "bench/baseline.json <result.json ...>",
+        "benchmarks": {name: round(t, 1) for name, t in sorted(times.items())},
+    }
+    with open(args.baseline, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"bench_gate: wrote {len(times)} baseline entries to {args.baseline}")
+    return 0
+
+
+def cmd_check(args):
+    with open(args.baseline) as f:
+        base = json.load(f)["benchmarks"]
+    cur = load_times(args.results)
+
+    new = sorted(set(cur) - set(base))
+    for name in new:
+        print(f"bench_gate: NOTE no baseline for {name} (skipped)")
+
+    missing = sorted(set(base) - set(cur))
+    ratios = {n: cur[n] / base[n] for n in base if n in cur and base[n] > 0}
+    if not ratios:
+        print("bench_gate: no comparable benchmarks", file=sys.stderr)
+        return 1
+
+    norm = statistics.median(ratios.values())
+    limit = norm * (1.0 + args.threshold)
+    print(f"bench_gate: {len(ratios)} benchmarks, host-speed factor "
+          f"{norm:.3f}, per-benchmark limit {limit:.3f}x baseline")
+
+    failures = []
+    for name, r in sorted(ratios.items(), key=lambda kv: -kv[1]):
+        verdict = "FAIL" if r > limit else "ok"
+        print(f"  {verdict:4} {r / norm:6.3f}x normalized  ({r:6.3f}x raw)  {name}")
+        if r > limit:
+            failures.append(name)
+
+    for name in missing:
+        print(f"  FAIL missing from results: {name}")
+        failures.append(name)
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%} of the normalized median.", file=sys.stderr)
+        print("bench_gate: reproduce locally with:", file=sys.stderr)
+        for res in args.results:
+            bench = res.rsplit("/", 1)[-1].removesuffix(".json")
+            print(f"  ./bench/{bench} --benchmark_repetitions=3 "
+                  f"--benchmark_format=json --benchmark_out={bench}.json "
+                  f"--benchmark_out_format=json", file=sys.stderr)
+        print(f"  python3 tools/bench_gate.py check --baseline "
+              f"{args.baseline} " + " ".join(args.results), file=sys.stderr)
+        print("bench_gate: if the slowdown is intended, refresh the baseline "
+              "(tools/bench_gate.py update) in the same PR, or apply the "
+              "'bench-regression-ok' label to skip this gate.", file=sys.stderr)
+        return 1
+    print("bench_gate: all benchmarks within threshold")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+    up = sub.add_parser("update", help="rewrite the baseline from results")
+    up.add_argument("--baseline", required=True)
+    up.add_argument("results", nargs="+")
+    ck = sub.add_parser("check", help="compare results against the baseline")
+    ck.add_argument("--baseline", required=True)
+    ck.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed regression over the normalized median "
+                         "(default 0.20 = 20%%)")
+    ck.add_argument("results", nargs="+")
+    args = p.parse_args()
+    return cmd_update(args) if args.cmd == "update" else cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,11 +208,14 @@ int main(int argc, char** argv) {
          {"trials", "25"},
          {"seed0", "1"},
          {"cpus", "2"},
+         {"workers", "-1"},
          {"verbose", "false"}},
         {{"workload", "sci | web | tpcc"},
          {"trials", "number of seeded trials"},
          {"seed0", "seed of the first trial (trial t uses seed0 + t)"},
          {"cpus", "simulated processors"},
+         {"workers", "backend dispatch lanes; -1 varies per trial over "
+                     "{1,2,4} (output is worker-count invariant)"},
          {"verbose", "print each trial's plan"}});
     if (flags.help_requested()) {
       std::fputs(flags.usage("fault_fuzz").c_str(), stdout);
@@ -238,9 +241,18 @@ int main(int argc, char** argv) {
         cfg.core.preemptive = true;
         cfg.core.quantum = static_cast<Cycles>(r.next_in(20'000, 200'000));
       }
+      // The sharded backend is bit-identical for any worker count, so the
+      // fuzzer doubles as a determinism fuzz over W: draw it from the trial
+      // seed unless pinned on the command line.
+      const std::int64_t workers_flag = flags.get_int("workers");
+      const int workers = workers_flag >= 0
+                              ? static_cast<int>(workers_flag)
+                              : static_cast<int>(1 << r.next_in(0, 2));
+      cfg.core.backend_workers = workers;
       if (verbose)
-        std::printf("trial %lld (seed %llu): %s\n", static_cast<long long>(t),
-                    static_cast<unsigned long long>(seed),
+        std::printf("trial %lld (seed %llu, workers %d): %s\n",
+                    static_cast<long long>(t),
+                    static_cast<unsigned long long>(seed), workers,
                     describe(plan).c_str());
       try {
         if (workload == "sci") trial_sci(cfg);
@@ -250,12 +262,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "FAIL trial %lld (seed %llu): %s\n  plan: %s\n"
                      "  repro: fault_fuzz --workload=%s --seed0=%llu "
-                     "--trials=1 --cpus=%lld\n",
+                     "--trials=1 --cpus=%lld --workers=%d\n",
                      static_cast<long long>(t),
                      static_cast<unsigned long long>(seed), e.what(),
                      describe(plan).c_str(), workload.c_str(),
                      static_cast<unsigned long long>(seed),
-                     static_cast<long long>(flags.get_int("cpus")));
+                     static_cast<long long>(flags.get_int("cpus")), workers);
         return 1;
       }
     }

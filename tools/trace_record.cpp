@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
         {"stats-json", ""},
         {"cpus", "4"},
         {"nodes", "1"},
+        {"backend-workers", "1"},
         {"quantum", "0"},
         {"model", "simple"},
         {"n", "32"},
@@ -59,6 +60,9 @@ int main(int argc, char** argv) {
         {"stats-json", "also dump the live run's stats as JSON"},
         {"cpus", "simulated processors"},
         {"nodes", "NUMA nodes"},
+        {"backend-workers",
+         "backend dispatch lanes (bit-identical output for any value; "
+         "0 = auto)"},
         {"quantum", "preemption quantum in cycles (0 = cooperative)"},
         {"model", "memory-system model: flat | simple | numa"},
         {"n", "sci: matrix dimension"},
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
     sim::SimulationConfig cfg;
     cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
     cfg.core.num_nodes = static_cast<int>(flags.get_int("nodes"));
+    cfg.core.backend_workers = static_cast<int>(flags.get_int("backend-workers"));
     if (flags.get_int("quantum") > 0) {
       cfg.core.preemptive = true;
       cfg.core.quantum = static_cast<Cycles>(flags.get_int("quantum"));

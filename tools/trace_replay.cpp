@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
          {"nodes", "0"},
          {"flat-latency", "0"},
          {"mem-latency", "0"},
-         {"l1-size", "0"}},
+         {"l1-size", "0"},
+         {"workers", "1"}},
         {{"stats-json", "dump replay stats as JSON"},
          {"golden-json", "compare against a live run's stats JSON; exit 1 "
                          "if cycles or any counter differ"},
@@ -34,7 +35,9 @@ int main(int argc, char** argv) {
          {"nodes", "override NUMA node count (0 = recorded)"},
          {"flat-latency", "override flat-model latency (0 = recorded)"},
          {"mem-latency", "override simple-model memory latency (0 = recorded)"},
-         {"l1-size", "override L1 size in bytes, simple+numa (0 = recorded)"}});
+         {"l1-size", "override L1 size in bytes, simple+numa (0 = recorded)"},
+         {"workers", "backend dispatch lanes for the replay (bit-identical "
+                     "result for any value; 0 = auto)"}});
     if (flags.help_requested() || flags.positional().size() != 1) {
       std::fputs(flags.usage("trace_replay <trace-file>").c_str(), stdout);
       return flags.help_requested() ? 0 : 2;
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
       throw util::ConfigError("unknown model '" + model + "'");
     if (flags.get_int("nodes") > 0)
       cfg.core.num_nodes = static_cast<int>(flags.get_int("nodes"));
+    // Host execution strategy, never part of the recorded fingerprint.
+    cfg.core.backend_workers = static_cast<int>(flags.get_int("workers"));
     if (flags.get_int("flat-latency") > 0)
       cfg.flat_latency = flags.get_int("flat-latency");
     if (flags.get_int("mem-latency") > 0)
