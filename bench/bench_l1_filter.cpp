@@ -1,0 +1,74 @@
+// Frontend L1 reference-filter throughput (google-benchmark): one full sci
+// matmul run per iteration with the filter off vs on, at 8/16/32 simulated
+// CPUs over the simple MESI-bus model. items_per_second is simulated memory
+// references per second — the filter's whole point is to raise it by
+// absorbing proven L1 hits in the frontend instead of crossing the event
+// port for them. Counters:
+//
+//   absorbed_ratio  — fraction of references the frontends absorbed locally
+//                     (0 with the filter off);
+//   crossings_per_s — dispatched batches per second, the synchronous
+//                     port-crossing rate the filter exists to shrink.
+//
+// The absorbed references still ride in the next crossing's batch and replay
+// through the literal model, so both rows of each filter-off/on pair simulate
+// the identical run — same cycles, same counters — making the real_time
+// delta a pure measure of the crossing savings. The CI bench gate consumes
+// the same JSON schema as the other microbenches and additionally checks the
+// filter-on row beats filter-off by >= 1.5x at 32 CPUs.
+#include <benchmark/benchmark.h>
+
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+void BM_L1FilterSci(benchmark::State& state) {
+  const bool filter = state.range(0) != 0;
+  const int cpus = static_cast<int>(state.range(1));
+  std::uint64_t refs = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t batches = 0;
+  for (auto _ : state) {
+    sim::SimulationConfig cfg;
+    cfg.core.num_cpus = cpus;
+    cfg.core.l1_filter = filter;
+    cfg.model = sim::BackendModel::kSimple;
+    workloads::SciScenario sc;
+    // n = 64 keeps every worker busy at 32 procs (two rows each) while the
+    // whole run stays in microbench territory.
+    sc.matmul.n = 64;
+    sc.matmul.block = 8;
+    sc.matmul.nprocs = cpus;
+    const workloads::ScenarioStats st = workloads::run_sci(cfg, sc);
+    benchmark::DoNotOptimize(st.cycles);
+    refs += st.mem_refs;
+    const auto& ctr = st.snapshot.counters;
+    const auto abs_it = ctr.find("frontend.absorbed");
+    if (abs_it != ctr.end()) absorbed += abs_it->second;
+    const auto bat_it = ctr.find("backend.batches");
+    if (bat_it != ctr.end()) batches += bat_it->second;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+  state.counters["absorbed_ratio"] =
+      refs == 0 ? 0.0
+                : static_cast<double>(absorbed) / static_cast<double>(refs);
+  state.counters["crossings_per_s"] = benchmark::Counter(
+      static_cast<double>(batches), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_L1FilterSci)
+    ->ArgNames({"filter", "cpus"})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 32})
+    ->Args({1, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -158,6 +158,9 @@ void Backend::schedule_ready_procs() {
       r.retval = pi.wake_retval;
       r.cpu = cpu;
       r.interrupt_pending = interrupt_pending_for(proc);
+      // Deferred replies carry the generation only (no teach): the slot may
+      // describe an access from a batch processed long before this wakeup.
+      if (cfg_.l1_filter) r.l1_gen = hooks_.memsys->l1_filter_gen(cpu);
       pi.wake_retval = 0;
       port.reply(r);
     } else {
@@ -359,6 +362,14 @@ Reply Backend::process_data(ProcId proc, std::span<const Event> batch,
   r.resume_time = pi.last_time;
   r.cpu = cpu;
   r.interrupt_pending = interrupt_pending_for(proc);
+  if (cfg_.l1_filter) {
+    // Data-batch replies teach the frontend mirror: the line the batch's
+    // last reference left resident, plus the CPU's coherence generation.
+    // Thread-safe under lane A: only concurrent-safe models run there, and
+    // those leave the MemorySystem defaults (constant gen, no teaches).
+    r.l1_gen = hooks_.memsys->l1_filter_gen(cpu);
+    r.teach = hooks_.memsys->take_l1_teach(cpu);
+  }
   return r;
 }
 
@@ -533,6 +544,11 @@ void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
     r.retval = retval;
     r.cpu = pi.cpu;
     r.interrupt_pending = interrupt_pending_for(proc);
+    // Control replies carry the generation only; a teach from the previous
+    // data batch stays in its slot until the next data reply stamps it
+    // (where a stale one is rejected by its recorded generation).
+    if (cfg_.l1_filter && pi.cpu != kNoCpu)
+      r.l1_gen = hooks_.memsys->l1_filter_gen(pi.cpu);
     port.reply(r);
   };
 
@@ -565,6 +581,9 @@ void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
       pi.last_time = ev.time + cfg_.syscall_entry_cycles;
       cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
       stats_->counter("os.syscalls").inc();
+      // Mode handoff: the OS-server context adopts this port/CPU, so the two
+      // frontend mirrors sharing the L1 must both void their proofs.
+      if (cfg_.l1_filter) hooks_.memsys->l1_filter_bump(pi.cpu);
       reply_at(pi.last_time);
       break;
     }
@@ -574,6 +593,7 @@ void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
       pi.mode = ExecMode::kUser;
       pi.last_time = ev.time + cfg_.syscall_exit_cycles;
       cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
+      if (cfg_.l1_filter) hooks_.memsys->l1_filter_bump(pi.cpu);
       reply_at(pi.last_time);
       break;
     }
@@ -585,12 +605,14 @@ void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
       pi.last_time = ev.time + cfg_.irq_entry_cycles;
       cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;
       stats_->counter("os.interrupts").inc();
+      if (cfg_.l1_filter) hooks_.memsys->l1_filter_bump(pi.cpu);
       reply_at(pi.last_time);
       break;
     }
     case EventKind::kIrqExit: {
       charge_lead_in();
       charge(pi.cpu, ExecMode::kInterrupt, cfg_.irq_exit_cycles);
+      if (cfg_.l1_filter) hooks_.memsys->l1_filter_bump(pi.cpu);
       pi.mode = pi.saved_mode;
       pi.last_time = ev.time + cfg_.irq_exit_cycles;
       cpus_[static_cast<std::size_t>(pi.cpu)].busy_until = pi.last_time;

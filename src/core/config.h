@@ -37,6 +37,13 @@ struct SimConfig {
   /// synchronization; larger values coarsen interleaving granularity (the
   /// interleave ablation knob).
   int batch_size = 1;
+  /// Frontend-resident L1 reference filter: each frontend keeps a private
+  /// mirror of proven-resident L1 lines and absorbs proven hits locally,
+  /// crossing the event port only on misses, upgrades, yields and control
+  /// events (the absorbed run is shipped with the next crossing and replayed
+  /// through the literal model, so all model state and counters stay exact).
+  /// Coarsens interleaving granularity the same way batch_size does.
+  bool l1_filter = false;
   /// Post a kYield after this much uninterrupted compute so the backend can
   /// advance global time and deliver interrupts during long CPU bursts.
   Cycles yield_threshold = 20'000;

@@ -30,6 +30,12 @@
 //    both sides) before sleeping so reply() can never miss a blocked waiter.
 //  * The pending-min index (Communicator::PendingIndex) is updated on every
 //    state transition, so the backend never scans ports to find this one.
+//  * Reply payload (core::Reply): besides the resume time, data replies carry
+//    the L1-filter protocol fields when SimConfig::l1_filter is on — the
+//    per-CPU coherence generation `l1_gen` and an `L1Teach` describing what
+//    the batch's final reference did to this CPU's L1. The frontend's
+//    RefFilter consumes both to keep its private mirror exact, letting it
+//    absorb proven L1 hits locally instead of crossing this port for them.
 #pragma once
 
 #include <atomic>

@@ -59,6 +59,36 @@ class MemorySystem {
   /// once by the backend when the run completes (for every worker count, so
   /// counter values stay bit-identical across serial and sharded runs).
   virtual void flush_stats() {}
+
+  // ---- frontend L1 reference filter support (SimConfig::l1_filter) ------
+  //
+  // The filter protocol is advisory: a model that leaves these defaults in
+  // place simply never lets a frontend absorb anything (generation 0, no
+  // teaches), which is always correct.
+
+  /// Enable per-access teach recording (called once at setup when the
+  /// simulation enables the filter).
+  virtual void set_l1_filter(bool enabled) { (void)enabled; }
+
+  /// Monotone coherence generation of `cpu`'s L1: bumped by any remote
+  /// invalidate/downgrade/eviction touching that CPU, by context switches
+  /// and by TLB shootdowns. A frontend whose mirror generation trails this
+  /// value drops the mirror and resyncs lazily from teaches.
+  virtual std::uint64_t l1_filter_gen(CpuId cpu) const {
+    (void)cpu;
+    return 0;
+  }
+
+  /// Consume the teach recorded by the most recent access() on `cpu`
+  /// (resets the slot so a later batch with no references teaches nothing).
+  virtual L1Teach take_l1_teach(CpuId cpu) {
+    (void)cpu;
+    return {};
+  }
+
+  /// Externally force a generation bump (backend mode handoffs: OS/IRQ
+  /// entry and exit share the CPU's L1 between two frontend contexts).
+  virtual void l1_filter_bump(CpuId cpu) { (void)cpu; }
 };
 
 /// Handler for kBackendCall events: category-2 OS services modeled inside

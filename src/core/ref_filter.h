@@ -1,0 +1,53 @@
+// Frontend-side reference-filter interface (SimConfig::l1_filter).
+//
+// A RefFilter lets SimContext absorb memory references whose latency it can
+// prove locally — the overwhelming majority are L1 hits — so that only
+// misses, upgrades, yields and control events pay a synchronous event-port
+// crossing. Absorbed references are still appended to the outgoing batch
+// and replayed through the literal memory model when the batch eventually
+// crosses, so every model counter, LRU stamp and coherence action stays
+// exactly as in the unfiltered run; the filter only *predicts* the latency
+// so the frontend can run ahead instead of blocking per batch_size events.
+//
+// Exactness contract: try_absorb may return a latency only when the literal
+// model is guaranteed to charge exactly that latency for the reference when
+// it is replayed. Implementations maintain the guarantee with a mirror of
+// proven-resident lines grown one line per reply ("teach") and dropped
+// whenever the reply's coherence generation moves (see mem/l1_filter.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/event.h"
+#include "core/types.h"
+
+namespace compass::core {
+
+class RefFilter {
+ public:
+  /// Sentinel: the reference cannot be absorbed and must cross the port.
+  static constexpr Cycles kNoAbsorb = kNeverCycles;
+
+  virtual ~RefFilter() = default;
+
+  /// Exact latency of this reference if provable locally, else kNoAbsorb.
+  virtual Cycles try_absorb(RefType type, Addr addr) = 0;
+
+  /// Observe a reply (every reply the owning SimContext receives): adopt
+  /// the new CPU/generation, drop the mirror when either moved, and apply
+  /// the piggybacked teach when still current.
+  virtual void on_reply(const Reply& r) = 0;
+
+  /// Mirror generation at this instant — stamped into absorbed events so
+  /// Debug builds can cross-check predictions against the literal model
+  /// without tripping on granularity-induced divergence.
+  virtual std::uint64_t generation() const = 0;
+};
+
+/// Factory installed through SimContext::Options; each context owns one
+/// filter instance (mirrors are private per frontend).
+using RefFilterFactory = std::function<std::unique_ptr<RefFilter>()>;
+
+}  // namespace compass::core

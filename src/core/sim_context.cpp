@@ -7,7 +7,10 @@ namespace compass::core {
 SimContext::SimContext(EventPort& port, ExecMode mode, Options opts)
     : port_(&port), mode_(mode), opts_(opts) {
   COMPASS_CHECK(opts_.batch_size >= 1);
-  batch_.reserve(static_cast<std::size_t>(opts_.batch_size));
+  if (opts_.filter_factory) filter_ = opts_.filter_factory();
+  batch_.reserve(filter_ != nullptr
+                     ? kMaxAbsorbedBatch
+                     : static_cast<std::size_t>(opts_.batch_size));
 }
 
 SimContext::SimContext() = default;
@@ -30,12 +33,54 @@ void SimContext::compute(Cycles c) {
 
 void SimContext::load(Addr a, std::uint32_t size) {
   if (!sim_enabled() || aborted_) return;
+  if (filter_ != nullptr) {
+    filtered_ref(RefType::kLoad, a, size);
+    return;
+  }
   append(Event::mem_ref(mode_, RefType::kLoad, a, size, time_));
 }
 
 void SimContext::store(Addr a, std::uint32_t size) {
   if (!sim_enabled() || aborted_) return;
+  if (filter_ != nullptr) {
+    filtered_ref(RefType::kStore, a, size);
+    return;
+  }
   append(Event::mem_ref(mode_, RefType::kStore, a, size, time_));
+}
+
+void SimContext::filtered_ref(RefType type, Addr a, std::uint32_t size) {
+  const Cycles lat = filter_->try_absorb(type, a);
+  if (lat == RefFilter::kNoAbsorb) {
+    // Miss/upgrade: with the filter on, the crossing itself is the
+    // granularity boundary — post the buffered run plus this reference now
+    // so the reply's teach covers it.
+    batch_.push_back(Event::mem_ref(mode_, type, a, size, time_));
+    flush();
+    return;
+  }
+  // Proven hit: charge the exact latency locally and keep running. The
+  // event still rides in the batch and replays through the literal model at
+  // the next crossing, so model state, counters and LRU stay exact.
+  Event ev = Event::mem_ref(mode_, type, a, size, time_);
+#ifndef NDEBUG
+  // Absorbed-hit hint: Debug models cross-check that the replayed latency
+  // is exactly the hit latency, gated on the (cpu, generation) proof still
+  // holding at replay time (a granularity-induced remote invalidation or a
+  // migration legitimately turns the replay into a miss). Never serialized
+  // into traces (memref args are not encoded), so record/replay bytes are
+  // unaffected.
+  ev.arg[0] = 1;
+  ev.arg[1] = filter_->generation();
+  ev.arg[2] = static_cast<std::uint64_t>(cpu_);
+#endif
+  batch_.push_back(ev);
+  time_ += lat;
+  compute_since_event_ += lat;
+  ++absorbed_;
+  if (batch_.size() >= kMaxAbsorbedBatch ||
+      compute_since_event_ >= opts_.yield_threshold)
+    flush();
 }
 
 void SimContext::sync_ref(Addr a, std::uint32_t size) {
@@ -75,6 +120,7 @@ void SimContext::handle_reply(const Reply& r) {
   }
   if (r.resume_time > time_) time_ = r.resume_time;
   if (r.cpu != kNoCpu) cpu_ = r.cpu;
+  if (filter_ != nullptr) filter_->on_reply(r);
   if (r.interrupt_pending) {
     if (defer_depth_ > 0)
       deferred_interrupt_ = true;

@@ -26,6 +26,7 @@
 
 #include "core/event.h"
 #include "core/event_port.h"
+#include "core/ref_filter.h"
 #include "core/types.h"
 #include "util/check.h"
 
@@ -45,6 +46,12 @@ struct SimContextOptions {
   /// Post a kYield when this much compute accumulates without any memory
   /// reference, so global time advances and interrupts get delivered.
   Cycles yield_threshold = 20'000;
+  /// When set (SimConfig::l1_filter), each context owns a RefFilter and
+  /// absorbs proven L1 hits without a synchronous port crossing; only
+  /// misses, upgrades, yields and control events cross. Absorbed references
+  /// still ship with the next crossing and replay through the literal
+  /// model, so simulation state stays exact. Supersedes batch_size.
+  RefFilterFactory filter_factory;
 };
 
 class SimContext {
@@ -173,7 +180,21 @@ class SimContext {
   /// True once the backend aborted; all primitives become no-ops.
   bool aborted() const { return aborted_; }
 
+  /// References absorbed by the L1 filter (0 without a filter). Host-side
+  /// observability only — deliberately NOT a stats counter, so snapshots
+  /// stay bit-identical between filtered live runs and replays.
+  std::uint64_t filter_absorbed() const { return absorbed_; }
+  /// The context's reference filter, or nullptr (tests/bench observability).
+  const RefFilter* filter() const { return filter_.get(); }
+
  private:
+  /// Cap on a purely absorbed batch: bounds buffer growth and how long the
+  /// backend (and everyone blocked on it) waits between crossings.
+  static constexpr std::size_t kMaxAbsorbedBatch = 4096;
+
+  /// Filtered load/store path: absorb a proven hit locally or cross
+  /// immediately. Always consumes the reference.
+  void filtered_ref(RefType type, Addr a, std::uint32_t size);
   void append(Event ev);
   Reply post_batch();
   void handle_reply(const Reply& r);
@@ -189,6 +210,8 @@ class SimContext {
   CpuId cpu_ = kNoCpu;
   Cycles compute_since_event_ = 0;
   std::vector<Event> batch_;
+  std::unique_ptr<RefFilter> filter_;
+  std::uint64_t absorbed_ = 0;
   bool sim_enabled_ = true;
   bool aborted_ = false;
   bool in_int_hook_ = false;

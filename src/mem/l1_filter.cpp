@@ -1,0 +1,55 @@
+#include "mem/l1_filter.h"
+
+#include "mem/cache.h"
+
+namespace compass::mem {
+
+L1Filter::L1Filter(Cycles hit_latency, std::uint32_t line_size)
+    : hit_(hit_latency), line_mask_(~static_cast<Addr>(line_size - 1)) {
+  COMPASS_CHECK(line_size >= 8 && (line_size & (line_size - 1)) == 0);
+}
+
+Cycles L1Filter::try_absorb(RefType type, Addr addr) {
+  if (type == RefType::kSync || cpu_ == kNoCpu) return kNoAbsorb;
+  const std::uint64_t pv = pages_.get(addr >> kPageShift);
+  if (pv == 0) return kNoAbsorb;
+  const PhysAddr paddr =
+      ((pv - 1) << kPageShift) | (addr & (kPageSize - 1));
+  const PhysAddr line = paddr & line_mask_;
+  const std::uint64_t st = lines_.get(line);
+  if (st == 0) return kNoAbsorb;
+  if (type == RefType::kStore) {
+    if (st == static_cast<std::uint64_t>(Mesi::kShared))
+      return kNoAbsorb;  // needs a bus/directory upgrade transaction
+    if (st == static_cast<std::uint64_t>(Mesi::kExclusive))
+      lines_.set(line, static_cast<std::uint64_t>(Mesi::kModified));
+  }
+  return hit_;
+}
+
+void L1Filter::on_reply(const core::Reply& r) {
+  if (r.cpu != cpu_ || r.l1_gen != gen_) {
+    // The CPU moved or its coherence generation advanced: every cached
+    // proof is void. Drop the mirror and resync lazily from teaches.
+    lines_.clear();
+    pages_.clear();
+    cpu_ = r.cpu;
+    gen_ = r.l1_gen;
+  }
+  const core::L1Teach& t = r.teach;
+  // Apply the teach only when it is still current: a deferred reply can
+  // carry a teach recorded before a later invalidation bumped the
+  // generation, and adopting it would poison the freshly dropped mirror.
+  if (cpu_ == kNoCpu || t.line == core::L1Teach::kNone || t.gen != gen_)
+    return;
+  if (t.victim != core::L1Teach::kNone) lines_.erase(t.victim & line_mask_);
+  if (t.victim2 != core::L1Teach::kNone) lines_.erase(t.victim2 & line_mask_);
+  if (t.state != 0) {
+    pages_.set(t.vpage, t.ppage + 1);
+    lines_.set(t.line & line_mask_, t.state);
+  } else {
+    lines_.erase(t.line & line_mask_);
+  }
+}
+
+}  // namespace compass::mem

@@ -1,0 +1,79 @@
+// Frontend-resident L1 reference filter (SimConfig::l1_filter).
+//
+// L1Filter keeps an exact *subset* mirror of the owning frontend's current
+// CPU L1: a map of proven-resident physical lines (with their MESI state)
+// plus the virtual-to-physical page mappings that were proven alongside
+// them. Every entry was taught by a backend reply — the backend piggybacks,
+// on each data-batch reply, the line the batch's last reference left
+// resident (plus any own-L1 victims it displaced) and the CPU's coherence
+// generation. The mirror is dropped whenever the generation moves (remote
+// invalidation/downgrade, context switch, OS/IRQ handoff, TLB shootdown),
+// so a resident entry is always a *proof*:
+//
+//   line resident in mirror  =>  line resident in the literal L1 with at
+//   least that MESI state    =>  the model charges exactly l1_hit.
+//
+// Absorb rules (identical for the snooping and CC-NUMA machines):
+//   * loads hit on S/E/M;
+//   * stores hit on M, and on E with a silent local E->M upgrade (the model
+//     performs the same transition when the reference is replayed);
+//   * stores on S are never absorbed (they need a bus/directory upgrade);
+//   * sync references and unknown lines/pages are never absorbed.
+//
+// A resident line implies the page mapping exists, so no page-fault charge
+// can hide inside an absorbed reference. Every model access costs at least
+// l1_hit, so a wrong prediction (possible only under coarsened interleaving)
+// is always an *under*-estimate that the reply's resume_time corrects.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ref_filter.h"
+#include "mem/line_map.h"
+#include "mem/mem_config.h"
+
+namespace compass::mem {
+
+class L1Filter : public core::RefFilter {
+ public:
+  L1Filter(Cycles hit_latency, std::uint32_t line_size);
+
+  Cycles try_absorb(RefType type, Addr addr) override;
+  void on_reply(const core::Reply& r) override;
+  std::uint64_t generation() const override { return gen_; }
+
+  // Observability (tests/bench).
+  CpuId mirror_cpu() const { return cpu_; }
+  std::size_t resident_lines() const { return lines_.size(); }
+
+ private:
+  const Cycles hit_;
+  const Addr line_mask_;
+  CpuId cpu_ = kNoCpu;
+  std::uint64_t gen_ = 0;
+  LineMap lines_;  ///< physical line address -> MESI code (1=S 2=E 3=M)
+  LineMap pages_;  ///< vpage -> ppage + 1 (biased so values stay non-zero)
+};
+
+/// Filter for the flat fixed-latency model: every load/store costs exactly
+/// `latency` regardless of history, so everything is absorbable with no
+/// mirror at all. Absorbed references still replay through FlatMemory when
+/// the batch crosses, keeping its reference tally and VM fault creation
+/// exact.
+class FlatFilter : public core::RefFilter {
+ public:
+  explicit FlatFilter(Cycles latency) : latency_(latency) {}
+
+  Cycles try_absorb(RefType type, Addr addr) override {
+    (void)type;
+    (void)addr;
+    return latency_;
+  }
+  void on_reply(const core::Reply& r) override { (void)r; }
+  std::uint64_t generation() const override { return 0; }
+
+ private:
+  const Cycles latency_;
+};
+
+}  // namespace compass::mem

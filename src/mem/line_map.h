@@ -13,6 +13,7 @@
 // mask empties, so size() counts lines with at least one sharer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,46 @@ class LineMap {
   /// OR `bits` into the mask for `key`, inserting the entry if absent.
   void set_bits(std::uint64_t key, std::uint64_t bits) {
     (void)fetch_or(key, bits);
+  }
+
+  /// Replace the value for `key` (insert if absent). Unlike set_bits this
+  /// does not OR — callers storing small enums (MESI codes) need downgrade
+  /// writes (E -> S) to land exactly. `value` must be non-zero; use erase()
+  /// to remove.
+  void set(std::uint64_t key, std::uint64_t value) {
+    COMPASS_CHECK(key != kEmpty && value != 0);
+    if ((size_ + 1) * 2 > keys_.size()) grow();
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        vals_[i] = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    vals_[i] = value;
+    ++size_;
+  }
+
+  /// Remove `key` entirely; absent keys are a no-op.
+  void erase(std::uint64_t key) {
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        erase_slot(i);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Drop every entry, keeping the current capacity.
+  void clear() {
+    if (size_ == 0) return;
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    std::fill(vals_.begin(), vals_.end(), 0);
+    size_ = 0;
   }
 
   /// Clear `bits` from the mask for `key`; erases the entry when the mask

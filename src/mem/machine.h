@@ -75,6 +75,20 @@ class SimpleMachine : public core::MemorySystem {
   Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
   void on_context_switch(CpuId cpu, ProcId from, ProcId to) override;
 
+  // ---- frontend L1-filter protocol (SimConfig::l1_filter) ---------------
+  void set_l1_filter(bool enabled) override { filter_on_ = enabled; }
+  std::uint64_t l1_filter_gen(CpuId cpu) const override {
+    return gens_[static_cast<std::size_t>(cpu)] + vm_.shootdown_epoch();
+  }
+  core::L1Teach take_l1_teach(CpuId cpu) override {
+    const core::L1Teach t = teach_[static_cast<std::size_t>(cpu)];
+    teach_[static_cast<std::size_t>(cpu)] = {};
+    return t;
+  }
+  void l1_filter_bump(CpuId cpu) override {
+    ++gens_[static_cast<std::size_t>(cpu)];
+  }
+
   const Cache& cache(CpuId cpu) const {
     return caches_[static_cast<std::size_t>(cpu)];
   }
@@ -84,6 +98,9 @@ class SimpleMachine : public core::MemorySystem {
   /// `occupancy` cycles.
   Cycles bus_acquire(Cycles now, Cycles occupancy);
   void invalidate_others(CpuId cpu, PhysAddr line);
+  /// A remote action invalidated or downgraded a line in `cpu`'s cache:
+  /// every outstanding frontend-mirror proof for that CPU is now void.
+  void gen_bump(CpuId cpu) { ++gens_[static_cast<std::size_t>(cpu)]; }
 
   // ---- snoop-filter maintenance (exact per-line presence bitmask) -------
   std::uint64_t sharers_of(PhysAddr line) const;
@@ -112,6 +129,12 @@ class SimpleMachine : public core::MemorySystem {
   /// plus the same set as a bitmask (filter builds only).
   std::vector<std::pair<CpuId, Mesi>> scratch_peers_;
   std::uint64_t scratch_mask_ = 0;
+  /// L1-filter bookkeeping: per-CPU coherence generations (always
+  /// maintained — one increment per remote state change) and per-CPU teach
+  /// slots (written per access only when the filter is on).
+  bool filter_on_ = false;
+  std::vector<std::uint64_t> gens_;
+  std::vector<core::L1Teach> teach_;
   stats::Counter* bus_txns_ = nullptr;
   stats::Counter* invalidations_ = nullptr;
   stats::Counter* interventions_ = nullptr;
@@ -126,6 +149,20 @@ class NumaMachine : public core::MemorySystem {
 
   Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
   void on_context_switch(CpuId cpu, ProcId from, ProcId to) override;
+
+  // ---- frontend L1-filter protocol (SimConfig::l1_filter) ---------------
+  void set_l1_filter(bool enabled) override { filter_on_ = enabled; }
+  std::uint64_t l1_filter_gen(CpuId cpu) const override {
+    return gens_[static_cast<std::size_t>(cpu)] + vm_.shootdown_epoch();
+  }
+  core::L1Teach take_l1_teach(CpuId cpu) override {
+    const core::L1Teach t = teach_[static_cast<std::size_t>(cpu)];
+    teach_[static_cast<std::size_t>(cpu)] = {};
+    return t;
+  }
+  void l1_filter_bump(CpuId cpu) override {
+    ++gens_[static_cast<std::size_t>(cpu)];
+  }
 
   NodeId node_of_cpu(CpuId cpu) const {
     return static_cast<NodeId>(cpu / cpus_per_node_);
@@ -147,6 +184,11 @@ class NumaMachine : public core::MemorySystem {
   void evict_l2(CpuId cpu, const Cache::Victim& victim, Cycles now);
   void fill(CpuId cpu, PhysAddr line, Mesi state, Cycles now);
   void drop_from_cpu(CpuId cpu, PhysAddr line);
+  void gen_bump(CpuId cpu) { ++gens_[static_cast<std::size_t>(cpu)]; }
+  /// Record the teach for a completed reference (filter on) and run the
+  /// Debug absorbed-hint cross-check; returns `lat` unchanged.
+  Cycles finish_ref(CpuId cpu, const core::Event& ev, PhysAddr ppage,
+                    PhysAddr line, Cycles lat);
 
   NumaMachineConfig cfg_;
   Vm& vm_;
@@ -156,6 +198,10 @@ class NumaMachine : public core::MemorySystem {
   std::vector<std::unordered_map<PhysAddr, DirEntry>> dirs_;  // per node
   std::vector<Cycles> mem_free_;  // per-node memory controller
   std::vector<Cycles> net_free_;  // per-node network port
+  /// L1-filter bookkeeping (see SimpleMachine).
+  bool filter_on_ = false;
+  std::vector<std::uint64_t> gens_;
+  std::vector<core::L1Teach> teach_;
   stats::Counter* local_accesses_ = nullptr;
   stats::Counter* remote_accesses_ = nullptr;
   stats::Counter* dir_forwards_ = nullptr;

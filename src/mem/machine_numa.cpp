@@ -26,6 +26,8 @@ NumaMachine::NumaMachine(const NumaMachineConfig& cfg, int num_cpus,
   dirs_.resize(static_cast<std::size_t>(num_nodes));
   mem_free_.resize(static_cast<std::size_t>(num_nodes), 0);
   net_free_.resize(static_cast<std::size_t>(num_nodes), 0);
+  gens_.resize(static_cast<std::size_t>(num_cpus), 0);
+  teach_.resize(static_cast<std::size_t>(num_cpus));
   if (stats != nullptr) {
     local_accesses_ = &stats->counter("numa.local_accesses");
     remote_accesses_ = &stats->counter("numa.remote_accesses");
@@ -64,13 +66,19 @@ Cycles NumaMachine::net_msg(NodeId from, NodeId to, std::uint32_t bytes,
 }
 
 void NumaMachine::drop_from_cpu(CpuId cpu, PhysAddr line) {
+  // Only ever called for a CPU other than the requester (directory-driven
+  // invalidation), so the drop voids that CPU's frontend-mirror proofs.
   l1_[static_cast<std::size_t>(cpu)].set_state(line, Mesi::kInvalid);
   l2_[static_cast<std::size_t>(cpu)].set_state(line, Mesi::kInvalid);
+  gen_bump(cpu);
 }
 
 void NumaMachine::evict_l2(CpuId cpu, const Cache::Victim& victim, Cycles now) {
   // The L1 copy must go too (inclusive semantics for coherence).
   l1_[static_cast<std::size_t>(cpu)].set_state(victim.addr, Mesi::kInvalid);
+  // This is the requester's own eviction: the mirror learns it through the
+  // teach rather than a generation bump.
+  if (filter_on_) teach_[static_cast<std::size_t>(cpu)].victim2 = victim.addr;
   const NodeId home = vm_.home_of(victim.addr);
   auto& dir = dirs_[static_cast<std::size_t>(home)];
   const auto it = dir.find(victim.addr);
@@ -92,10 +100,13 @@ void NumaMachine::fill(CpuId cpu, PhysAddr line, Mesi state, Cycles now) {
   const auto l2_victim = l2.insert(line, state);
   if (l2_victim.has_value()) evict_l2(cpu, *l2_victim, now);
   const auto l1_victim = l1.insert(line, state);
-  if (l1_victim.has_value() && l1_victim->state == Mesi::kModified) {
-    // Fold dirty L1 victims into L2 when the line is still there.
-    if (l2.probe(l1_victim->addr) != Mesi::kInvalid)
-      l2.set_state(l1_victim->addr, Mesi::kModified);
+  if (l1_victim.has_value()) {
+    if (filter_on_) teach_[static_cast<std::size_t>(cpu)].victim = l1_victim->addr;
+    if (l1_victim->state == Mesi::kModified) {
+      // Fold dirty L1 victims into L2 when the line is still there.
+      if (l2.probe(l1_victim->addr) != Mesi::kInvalid)
+        l2.set_state(l1_victim->addr, Mesi::kModified);
+    }
   }
 }
 
@@ -111,18 +122,26 @@ Cycles NumaMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
     if (faults_charged_ != nullptr) faults_charged_->inc();
   }
   const PhysAddr line = l2.line_addr(tr.paddr);
+  const PhysAddr ppage = tr.paddr >> kPageShift;
   const bool is_write = ev.ref_type != RefType::kLoad;
   const Cycles sync_extra =
       ev.ref_type == RefType::kSync ? cfg_.sync_overhead : 0;
+  if (filter_on_) {
+    // Victims recorded by fill()/evict_l2() below belong to THIS reference;
+    // clear leftovers from an earlier (already overwritten) teach.
+    teach_[static_cast<std::size_t>(cpu)].victim = core::L1Teach::kNone;
+    teach_[static_cast<std::size_t>(cpu)].victim2 = core::L1Teach::kNone;
+  }
 
   // ---- L1 ----------------------------------------------------------------
   const Mesi s1 = l1.lookup(line);
   if (s1 != Mesi::kInvalid) {
-    if (!is_write || s1 == Mesi::kModified) return lat + cfg_.l1_hit + sync_extra;
+    if (!is_write || s1 == Mesi::kModified)
+      return finish_ref(cpu, ev, ppage, line, lat + cfg_.l1_hit + sync_extra);
     if (s1 == Mesi::kExclusive) {
       l1.set_state(line, Mesi::kModified);
       l2.set_state(line, Mesi::kModified);
-      return lat + cfg_.l1_hit + sync_extra;
+      return finish_ref(cpu, ev, ppage, line, lat + cfg_.l1_hit + sync_extra);
     }
     // Shared in L1, write: fall through to the directory for ownership.
   }
@@ -134,13 +153,13 @@ Cycles NumaMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
     if (!is_write || s2 == Mesi::kModified) {
       lat += cfg_.l2_hit;
       fill(cpu, line, s2, ev.time + lat);
-      return lat + sync_extra;
+      return finish_ref(cpu, ev, ppage, line, lat + sync_extra);
     }
     if (s2 == Mesi::kExclusive) {
       lat += cfg_.l2_hit;
       l2.set_state(line, Mesi::kModified);
       fill(cpu, line, Mesi::kModified, ev.time + lat);
-      return lat + sync_extra;
+      return finish_ref(cpu, ev, ppage, line, lat + sync_extra);
     }
     // Shared in L2, write: ownership request below.
   }
@@ -198,6 +217,7 @@ Cycles NumaMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
             line, Mesi::kShared);
         l2_[static_cast<std::size_t>(e.owner)].set_state_if_present(
             line, Mesi::kShared);
+        gen_bump(e.owner);  // M/E -> S: the owner's store proof is void
         // Memory is updated in the background; the directory now tracks
         // both as sharers.
         const CpuId prev = e.owner;
@@ -246,13 +266,39 @@ Cycles NumaMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
     }
   }
   fill(cpu, line, grant, ev.time + lat);
-  return lat + sync_extra;
+  return finish_ref(cpu, ev, ppage, line, lat + sync_extra);
 }
 
-void NumaMachine::on_context_switch(CpuId, ProcId, ProcId) {
+Cycles NumaMachine::finish_ref(CpuId cpu, const core::Event& ev, PhysAddr ppage,
+                               PhysAddr line, Cycles lat) {
+  if (!filter_on_) return lat;
+  // Teach the frontend mirror what this reference proved. Lines are tracked
+  // at L2-line granularity (both levels are indexed by l2.line_addr), so
+  // the filter's line mask must match the L2 line size.
+  core::L1Teach& t = teach_[static_cast<std::size_t>(cpu)];
+  t.vpage = ev.addr >> kPageShift;
+  t.ppage = ppage;
+  t.line = line;
+  t.state =
+      static_cast<std::uint8_t>(l1_[static_cast<std::size_t>(cpu)].probe(line));
+  t.gen = l1_filter_gen(cpu);
+#ifndef NDEBUG
+  // Absorbed-hint cross-check (see SimpleMachine::access).
+  if (ev.arg[0] == 1 && ev.arg[2] == static_cast<std::uint64_t>(cpu) &&
+      ev.arg[1] == t.gen)
+    COMPASS_CHECK_MSG(lat == cfg_.l1_hit,
+                      "L1 filter absorbed a non-hit: cpu "
+                          << cpu << " addr 0x" << std::hex << ev.addr
+                          << std::dec << " latency " << lat);
+#endif
+  return lat;
+}
+
+void NumaMachine::on_context_switch(CpuId cpu, ProcId, ProcId) {
   // Cache contents persist; migration cost (cold caches on the new CPU)
   // emerges from the miss stream — this is what the affinity scheduler
-  // exploits.
+  // exploits. The switch does void the outgoing frontend's mirror proofs.
+  gen_bump(cpu);
 }
 
 }  // namespace compass::mem

@@ -37,6 +37,8 @@ SimpleMachine::SimpleMachine(const SimpleMachineConfig& cfg, int num_cpus,
   caches_.reserve(static_cast<std::size_t>(num_cpus));
   for (int c = 0; c < num_cpus; ++c)
     caches_.emplace_back("l1.cpu" + std::to_string(c), cfg_.l1, stats);
+  gens_.resize(static_cast<std::size_t>(num_cpus), 0);
+  teach_.resize(static_cast<std::size_t>(num_cpus));
   if (stats != nullptr) {
     bus_txns_ = &stats->counter("bus.transactions");
     invalidations_ = &stats->counter("bus.invalidations");
@@ -115,6 +117,7 @@ void SimpleMachine::invalidate_others(CpuId cpu, PhysAddr line) {
     for (std::uint64_t m = peers; m != 0; m &= m - 1) {
       const auto c = static_cast<CpuId>(std::countr_zero(m));
       caches_[static_cast<std::size_t>(c)].set_state(line, Mesi::kInvalid);
+      gen_bump(c);
       if (invalidations_ != nullptr) invalidations_->inc();
     }
     // Drop every peer bit with one map operation instead of one per peer.
@@ -125,6 +128,7 @@ void SimpleMachine::invalidate_others(CpuId cpu, PhysAddr line) {
     if (static_cast<CpuId>(c) == cpu) continue;
     if (caches_[c].probe(line) != Mesi::kInvalid) {
       caches_[c].set_state(line, Mesi::kInvalid);
+      gen_bump(static_cast<CpuId>(c));
       if (invalidations_ != nullptr) invalidations_->inc();
     }
   }
@@ -142,6 +146,7 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
   const bool is_write = ev.ref_type != RefType::kLoad;
   const Cycles now = ev.time + lat;
 
+  PhysAddr teach_victim = core::L1Teach::kNone;
   const Mesi state = cache.lookup(line);
   if (state != Mesi::kInvalid) {
     if (!is_write || state == Mesi::kModified) {
@@ -178,11 +183,13 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
         caches_[static_cast<std::size_t>(dirty_owner)].set_state(line,
                                                                  Mesi::kInvalid);
         filter_clear(dirty_owner, line);
+        gen_bump(dirty_owner);
         if (invalidations_ != nullptr) invalidations_->inc();
         fill_state = Mesi::kModified;
       } else {
         caches_[static_cast<std::size_t>(dirty_owner)].set_state(line,
                                                                  Mesi::kShared);
+        gen_bump(dirty_owner);  // M -> S: the owner's store proof is void
         fill_state = Mesi::kShared;
       }
     } else {
@@ -191,6 +198,7 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
         for (const auto& [c, s] : scratch_peers_) {
           (void)s;
           caches_[static_cast<std::size_t>(c)].set_state(line, Mesi::kInvalid);
+          gen_bump(c);
           if (invalidations_ != nullptr) invalidations_->inc();
         }
         // One map operation clears every peer bit (scratch_mask_ is exactly
@@ -201,8 +209,10 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
       } else if (shared_elsewhere) {
         // Other clean copies downgrade any E to S.
         for (const auto& [c, s] : scratch_peers_)
-          if (s == Mesi::kExclusive)
+          if (s == Mesi::kExclusive) {
             caches_[static_cast<std::size_t>(c)].set_state(line, Mesi::kShared);
+            gen_bump(c);  // E -> S: the peer's silent-upgrade proof is void
+          }
         fill_state = Mesi::kShared;
       } else {
         fill_state = Mesi::kExclusive;
@@ -211,7 +221,10 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
     // The requester's presence bit was already set by collect_peers'
     // fetch_or; only the displaced victim needs a filter update.
     const auto victim = cache.insert(line, fill_state);
-    if (victim.has_value()) filter_clear(cpu, victim->addr);
+    if (victim.has_value()) {
+      filter_clear(cpu, victim->addr);
+      teach_victim = victim->addr;
+    }
     if (victim.has_value() && victim->state == Mesi::kModified) {
       // Write the victim back; occupies the bus but completes asynchronously
       // with respect to the requester.
@@ -219,12 +232,37 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
     }
   }
   if (ev.ref_type == RefType::kSync) lat += cfg_.sync_overhead;
+  if (filter_on_) {
+    // Teach the frontend mirror what this reference proved: the line it
+    // left resident (post-access state) and the own-L1 line it displaced.
+    core::L1Teach& t = teach_[static_cast<std::size_t>(cpu)];
+    t.vpage = ev.addr >> kPageShift;
+    t.ppage = tr.paddr >> kPageShift;
+    t.line = line;
+    t.victim = teach_victim;
+    t.victim2 = core::L1Teach::kNone;
+    t.state = static_cast<std::uint8_t>(cache.probe(line));
+    t.gen = l1_filter_gen(cpu);
+#ifndef NDEBUG
+    // Absorbed-hint cross-check: the frontend predicted exactly l1_hit for
+    // this reference under (cpu, generation); if that proof still holds at
+    // replay time, the literal model must agree.
+    if (ev.arg[0] == 1 && ev.arg[2] == static_cast<std::uint64_t>(cpu) &&
+        ev.arg[1] == t.gen)
+      COMPASS_CHECK_MSG(lat == cfg_.l1_hit,
+                        "L1 filter absorbed a non-hit: cpu "
+                            << cpu << " addr 0x" << std::hex << ev.addr
+                            << std::dec << " latency " << lat);
+#endif
+  }
   return lat;
 }
 
-void SimpleMachine::on_context_switch(CpuId, ProcId, ProcId) {
-  // Cache contents persist across context switches; nothing to do. Cold
-  // misses for the incoming process emerge naturally.
+void SimpleMachine::on_context_switch(CpuId cpu, ProcId, ProcId) {
+  // Cache contents persist across context switches, but the outgoing
+  // process's frontend mirror must not keep absorbing against a cache that
+  // the incoming process is about to mutate without teaching it.
+  gen_bump(cpu);
 }
 
 }  // namespace compass::mem

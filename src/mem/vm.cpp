@@ -134,11 +134,13 @@ NodeId Vm::home_of(PhysAddr paddr) const {
 
 void Vm::tlb_flush(ProcId proc) {
   if (proc < 0) return;
+  ++shootdown_epoch_;
   const auto idx = static_cast<std::size_t>(proc);
   if (idx < tlbs_.size()) tlbs_[idx].assign(tlbs_[idx].size(), TlbEntry{});
 }
 
 void Vm::tlb_flush_all() {
+  ++shootdown_epoch_;
   for (auto& tlb : tlbs_) tlb.assign(tlb.size(), TlbEntry{});
   kernel_tlb_.assign(kernel_tlb_.size(), TlbEntry{});
 }

@@ -82,6 +82,11 @@ class Vm {
   /// kernel TLB (global shootdown; for kernel-space remapping).
   void tlb_flush_all();
 
+  /// Monotone counter bumped by every shootdown (tlb_flush / tlb_flush_all).
+  /// Folded into the per-CPU L1-filter generation so a frontend mirror
+  /// built on a now-removed mapping can never absorb through it.
+  std::uint64_t shootdown_epoch() const { return shootdown_epoch_; }
+
   /// Number of mapped pages for a process (diagnostics / tests).
   std::size_t mapped_pages(ProcId proc) const;
   std::size_t allocated_pages() const { return page_homes_.size(); }
@@ -130,6 +135,7 @@ class Vm {
   Segment* segment_containing(Addr vaddr);
 
   VmConfig cfg_;
+  std::uint64_t shootdown_epoch_ = 0;
   std::uint64_t next_ppage_ = 1;  // ppage 0 reserved
   std::uint64_t rr_next_node_ = 0;
   Addr next_shm_base_ = kShmBase;

@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include "mem/l1_filter.h"
+
 namespace compass::sim {
 
 namespace {
@@ -63,6 +65,40 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   trampoline->real = machine_.get();
   // Keep the trampoline alive alongside the machine.
   machine_trampoline_ = std::move(trampoline);
+
+  if (cfg_.core.l1_filter) {
+    machine_->set_l1_filter(true);
+    // Per-context filter factory, matched to the model's hit latency and
+    // coherence granularity. Installed into ctx_opts before the OS server is
+    // built so app frontends, OS threads, bottom halves and netd all get
+    // one. Note the NUMA machine indexes both cache levels by L2 line
+    // address, so its mirror must use the L2 line size.
+    switch (cfg_.model) {
+      case BackendModel::kFlat: {
+        const Cycles lat = cfg_.flat_latency;
+        cfg_.os_server.ctx_opts.filter_factory = [lat] {
+          return std::make_unique<mem::FlatFilter>(lat);
+        };
+        break;
+      }
+      case BackendModel::kSimple: {
+        const Cycles hit = cfg_.simple.l1_hit;
+        const std::uint32_t line = cfg_.simple.l1.line_size;
+        cfg_.os_server.ctx_opts.filter_factory = [hit, line] {
+          return std::make_unique<mem::L1Filter>(hit, line);
+        };
+        break;
+      }
+      case BackendModel::kNuma: {
+        const Cycles hit = cfg_.numa.l1_hit;
+        const std::uint32_t line = cfg_.numa.l2.line_size;
+        cfg_.os_server.ctx_opts.filter_factory = [hit, line] {
+          return std::make_unique<mem::L1Filter>(hit, line);
+        };
+        break;
+      }
+    }
+  }
 
   devices_->bind(*backend_);
   backend_os_->bind(*backend_);
@@ -128,6 +164,16 @@ void Simulation::run() {
   // the stats registry so fault.injected.* / fault.recovered.* ride along
   // with every stats consumer (--stats-json, golden checks exclude them).
   if (injector_ != nullptr) injector_->publish(registry_);
+  // Likewise fold the frontends' locally-absorbed reference tallies into the
+  // registry. Host-side observability only (golden checks exclude it): the
+  // absorbed references still replay through the memory model, so every
+  // simulated counter is already exact without this.
+  if (cfg_.core.l1_filter) {
+    std::uint64_t absorbed = 0;
+    for (const auto& slot : procs_)
+      absorbed += slot.frontend->context().filter_absorbed();
+    registry_.counter("frontend.absorbed").inc(absorbed);
+  }
   if (backend_error) std::rethrow_exception(backend_error);
   if (workload_error) std::rethrow_exception(workload_error);
 }

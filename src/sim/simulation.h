@@ -105,6 +105,18 @@ class Simulation {
     void on_context_switch(CpuId c, ProcId f, ProcId t) override {
       real->on_context_switch(c, f, t);
     }
+    bool concurrent_access_safe() const override {
+      return real->concurrent_access_safe();
+    }
+    void flush_stats() override { real->flush_stats(); }
+    void set_l1_filter(bool e) override { real->set_l1_filter(e); }
+    std::uint64_t l1_filter_gen(CpuId c) const override {
+      return real->l1_filter_gen(c);
+    }
+    core::L1Teach take_l1_teach(CpuId c) override {
+      return real->take_l1_teach(c);
+    }
+    void l1_filter_bump(CpuId c) override { real->l1_filter_bump(c); }
   };
 
   struct ProcSlot {

@@ -32,6 +32,9 @@ ConfigPairs encode_config(const sim::SimulationConfig& cfg) {
   put(out, ConfigKey::kPreemptive, c.preemptive ? 1 : 0);
   put(out, ConfigKey::kQuantum, static_cast<std::uint64_t>(c.quantum));
   put(out, ConfigKey::kCpuMhz, from_double(c.cpu_mhz));
+  // Emitted only when on: filter-off traces stay byte-identical to traces
+  // from builds that predate the key.
+  if (c.l1_filter) put(out, ConfigKey::kL1Filter, 1);
 
   put(out, ConfigKey::kModel, static_cast<std::uint64_t>(cfg.model));
   put(out, ConfigKey::kFlatLatency, static_cast<std::uint64_t>(cfg.flat_latency));
@@ -125,6 +128,7 @@ sim::SimulationConfig decode_config(const ConfigPairs& pairs) {
       case ConfigKey::kPreemptive: cfg.core.preemptive = v != 0; break;
       case ConfigKey::kQuantum: cfg.core.quantum = static_cast<Cycles>(v); break;
       case ConfigKey::kCpuMhz: cfg.core.cpu_mhz = to_double(v); break;
+      case ConfigKey::kL1Filter: cfg.core.l1_filter = v != 0; break;
 
       case ConfigKey::kModel: cfg.model = static_cast<sim::BackendModel>(v); break;
       case ConfigKey::kFlatLatency: cfg.flat_latency = static_cast<Cycles>(v); break;

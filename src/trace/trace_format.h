@@ -82,6 +82,9 @@ enum class ConfigKey : std::uint32_t {
   kPreemptive,
   kQuantum,
   kCpuMhz,
+  /// Frontend L1 reference filter (SimConfig::l1_filter). Emitted only when
+  /// enabled, so filter-off traces stay byte-identical to older builds.
+  kL1Filter,
 
   kModel = 32,
   kFlatLatency,

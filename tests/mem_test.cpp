@@ -3,7 +3,11 @@
 // protocol (complex backend).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "mem/cache.h"
+#include "mem/l1_filter.h"
 #include "mem/machine.h"
 #include "mem/vm.h"
 
@@ -493,6 +497,272 @@ TEST(NumaMachine, SharerBitmaskLimit) {
   Vm vm({.num_nodes = 1});
   stats::StatsRegistry reg;
   EXPECT_THROW(NumaMachine(cfg, 128, 1, vm, &reg), util::SimError);
+}
+
+// ---------------------------------------------------- L1 reference filter
+
+/// Build the reply the backend would send after `cpu`'s latest access:
+/// current coherence generation plus the (reset-on-read) teach slot.
+core::Reply teach_reply(core::MemorySystem& m, CpuId cpu) {
+  core::Reply r;
+  r.cpu = cpu;
+  r.l1_gen = m.l1_filter_gen(cpu);
+  r.teach = m.take_l1_teach(cpu);
+  return r;
+}
+
+TEST(L1Filter, TeachRecordedOnlyWhenEnabledAndDeliveredOnce) {
+  SimpleFixture f;
+  f.machine.access(0, 0, load_at(0x1000));
+  // Disabled (default): no teach is ever recorded.
+  EXPECT_EQ(f.machine.take_l1_teach(0).line, core::L1Teach::kNone);
+  f.machine.set_l1_filter(true);
+  f.machine.access(0, 0, load_at(0x1040, 100));
+  const core::L1Teach t = f.machine.take_l1_teach(0);
+  EXPECT_NE(t.line, core::L1Teach::kNone);
+  EXPECT_NE(t.state, 0);
+  // The slot resets on read: a teach is delivered at most once, so a stale
+  // copy can never ride a later (yield-only) reply.
+  EXPECT_EQ(f.machine.take_l1_teach(0).line, core::L1Teach::kNone);
+}
+
+TEST(L1Filter, AbsorbRulesOnTaughtStates) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  f.machine.set_l1_filter(true);
+  L1Filter filt(cfg.l1_hit, cfg.l1.line_size);
+  const Addr priv = 0x4000;  // private page of proc 0 -> E on first load
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, priv), core::RefFilter::kNoAbsorb);
+  f.machine.access(0, 0, load_at(priv));
+  filt.on_reply(teach_reply(f.machine, 0));
+  EXPECT_EQ(filt.mirror_cpu(), 0);
+  EXPECT_EQ(filt.resident_lines(), 1u);
+  // Load hits E; store absorbs with the silent E->M upgrade the literal
+  // model performs when the reference replays.
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, priv), cfg.l1_hit);
+  EXPECT_EQ(filt.try_absorb(RefType::kStore, priv), cfg.l1_hit);
+  EXPECT_EQ(f.machine.access(0, 0, store_at(priv, 100)), cfg.l1_hit);
+  filt.on_reply(teach_reply(f.machine, 0));
+  // Now M: both absorb; sync never does.
+  EXPECT_EQ(filt.try_absorb(RefType::kStore, priv), cfg.l1_hit);
+  EXPECT_EQ(filt.try_absorb(RefType::kSync, priv), core::RefFilter::kNoAbsorb);
+  // Unknown page: never absorbed.
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, 0x999000),
+            core::RefFilter::kNoAbsorb);
+}
+
+TEST(L1Filter, StoreOnSharedNeverAbsorbed) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  f.machine.set_l1_filter(true);
+  L1Filter filt(cfg.l1_hit, cfg.l1.line_size);
+  const Addr a = kKernelBase;
+  f.machine.access(0, 0, load_at(a));           // cpu0 E
+  f.machine.access(1, 1, load_at(a, 100));      // downgrade: both S, gen0 bumps
+  f.machine.access(0, 0, load_at(a, 200));      // cpu0 hits S
+  filt.on_reply(teach_reply(f.machine, 0));     // teaches the line as S
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, a), cfg.l1_hit);
+  // A store on S needs a bus upgrade transaction: must cross the port.
+  EXPECT_EQ(filt.try_absorb(RefType::kStore, a), core::RefFilter::kNoAbsorb);
+}
+
+TEST(L1Filter, RemoteInvalidationDropsMirror) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  f.machine.set_l1_filter(true);
+  L1Filter filt(cfg.l1_hit, cfg.l1.line_size);
+  const Addr a = kKernelBase;
+  f.machine.access(0, 0, load_at(a));
+  filt.on_reply(teach_reply(f.machine, 0));
+  ASSERT_EQ(filt.try_absorb(RefType::kLoad, a), cfg.l1_hit);
+  // cpu1 writes the line: cpu0's copy is invalidated and its generation
+  // bumps, so the very next reply (teach or not) voids every proof.
+  f.machine.access(1, 1, store_at(a, 100));
+  filt.on_reply(teach_reply(f.machine, 0));
+  EXPECT_EQ(filt.resident_lines(), 0u);
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, a), core::RefFilter::kNoAbsorb);
+}
+
+TEST(L1Filter, TlbShootdownVoidsProofs) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  f.machine.set_l1_filter(true);
+  L1Filter filt(cfg.l1_hit, cfg.l1.line_size);
+  f.machine.access(0, 0, load_at(0x4000));
+  filt.on_reply(teach_reply(f.machine, 0));
+  ASSERT_EQ(filt.try_absorb(RefType::kLoad, 0x4000), cfg.l1_hit);
+  // The shootdown epoch folds into every CPU's generation: a mapping the
+  // mirror proved may be gone, so all proofs drop.
+  f.vm.tlb_flush_all();
+  filt.on_reply(teach_reply(f.machine, 0));
+  EXPECT_EQ(filt.resident_lines(), 0u);
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, 0x4000),
+            core::RefFilter::kNoAbsorb);
+}
+
+TEST(L1Filter, ContextSwitchDropsMirror) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  f.machine.set_l1_filter(true);
+  L1Filter filt(cfg.l1_hit, cfg.l1.line_size);
+  f.machine.access(0, 0, load_at(0x4000));
+  filt.on_reply(teach_reply(f.machine, 0));
+  ASSERT_EQ(filt.resident_lines(), 1u);
+  // The CPU switches to another process: even if our process later comes
+  // back to the same CPU, the generation moved and the mirror must drop.
+  f.machine.on_context_switch(0, 0, 1);
+  filt.on_reply(teach_reply(f.machine, 0));
+  EXPECT_EQ(filt.resident_lines(), 0u);
+}
+
+TEST(L1Filter, StaleTeachFromDeferredReplyIsRejected) {
+  SimpleMachineConfig cfg;
+  SimpleFixture f(2, cfg);
+  f.machine.set_l1_filter(true);
+  L1Filter filt(cfg.l1_hit, cfg.l1.line_size);
+  const Addr a = kKernelBase;
+  f.machine.access(0, 0, load_at(a));
+  // The teach is recorded, but before the (deferred) reply reaches the
+  // frontend cpu1 steals the line. The reply carries the *current* gen with
+  // the stale teach; applying it would poison the mirror.
+  core::Reply r;
+  r.cpu = 0;
+  r.teach = f.machine.take_l1_teach(0);
+  f.machine.access(1, 1, store_at(a, 50));  // bumps gen0, invalidates cpu0
+  r.l1_gen = f.machine.l1_filter_gen(0);
+  filt.on_reply(r);
+  EXPECT_EQ(filt.resident_lines(), 0u);
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, a), core::RefFilter::kNoAbsorb);
+}
+
+TEST(FlatFilter, AbsorbsEverythingAtFixedLatency) {
+  FlatFilter filt(25);
+  EXPECT_EQ(filt.try_absorb(RefType::kLoad, 0x1000), 25u);
+  EXPECT_EQ(filt.try_absorb(RefType::kStore, 0xdeadbeef), 25u);
+  EXPECT_EQ(filt.try_absorb(RefType::kSync, 0x0), 25u);
+}
+
+/// Lockstep property harness: one L1Filter per process with one-reference
+/// batches — every reference replays through the literal machine exactly as
+/// absorbed references do in production, and the reply carries the CPU's
+/// generation plus the teach for that reference. While the CPU's generation
+/// matches the filter's (no remote action since our last reply), an absorb
+/// prediction must equal the literal latency exactly; a stale proof may
+/// only ever *under*-predict. A missed gen bump or an over-taught mirror
+/// anywhere in the protocol shows up as an exact-mode divergence here.
+template <typename Machine>
+std::uint64_t lockstep_fuzz(Machine& machine, Vm& vm, int cpus, Cycles hit,
+                            std::uint32_t line_size, int iters) {
+  machine.set_l1_filter(true);
+  std::vector<std::unique_ptr<L1Filter>> filt;
+  std::vector<CpuId> cpu_of;
+  for (int p = 0; p < cpus; ++p) {
+    filt.push_back(std::make_unique<L1Filter>(hit, line_size));
+    cpu_of.push_back(static_cast<CpuId>(p));
+  }
+  std::uint64_t absorbed = 0;
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  const auto rnd = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 23;
+  };
+  for (int i = 0; i < iters; ++i) {
+    const auto p = static_cast<ProcId>(rnd() % static_cast<std::uint64_t>(cpus));
+    // Occasionally swap two processes across CPUs. A migrated process
+    // always receives a (gen-only, teach-less) reschedule reply before it
+    // resumes — the CPU/generation change in that reply drops its mirror.
+    if (rnd() % 97 == 0) {
+      const auto q =
+          static_cast<ProcId>(rnd() % static_cast<std::uint64_t>(cpus));
+      if (q != p) {
+        std::swap(cpu_of[static_cast<std::size_t>(p)],
+                  cpu_of[static_cast<std::size_t>(q)]);
+        machine.on_context_switch(cpu_of[static_cast<std::size_t>(p)], q, p);
+        machine.on_context_switch(cpu_of[static_cast<std::size_t>(q)], p, q);
+        for (const ProcId pr : {p, q}) {
+          core::Reply resched;
+          resched.cpu = cpu_of[static_cast<std::size_t>(pr)];
+          resched.l1_gen = machine.l1_filter_gen(resched.cpu);
+          filt[static_cast<std::size_t>(pr)]->on_reply(resched);
+        }
+        continue;
+      }
+    }
+    // Occasionally shoot down every TLB: the epoch folds into each gen.
+    if (rnd() % 499 == 0) vm.tlb_flush_all();
+    const CpuId c = cpu_of[static_cast<std::size_t>(p)];
+    const std::uint64_t r = rnd();
+    // Hot shared kernel lines (coherence churn) vs a private page per proc
+    // (absorbable E/M hits), with a sprinkle of syncs.
+    const Addr a = (r % 3 == 0)
+                       ? kKernelBase + (r >> 8) % 2048
+                       : 0x10000 * static_cast<Addr>(p + 1) + (r >> 8) % 1024;
+    const RefType ty = (r % 11 == 0)  ? RefType::kSync
+                       : (r % 2 == 0) ? RefType::kLoad
+                                      : RefType::kStore;
+    const auto t = static_cast<Cycles>(10 * i);
+    const core::Event ev = core::Event::mem_ref(ExecMode::kUser, ty, a, 8, t);
+    // Generation before the access: if it still matches the filter's, every
+    // proof in the mirror is current and the prediction must be exact.
+    const std::uint64_t gen_pre = machine.l1_filter_gen(c);
+    const Cycles predicted = filt[static_cast<std::size_t>(p)]->try_absorb(ty, a);
+    const Cycles literal = machine.access(c, p, ev);
+    if (ty == RefType::kSync) {
+      EXPECT_EQ(predicted, core::RefFilter::kNoAbsorb) << "sync absorbed";
+    }
+    if (predicted != core::RefFilter::kNoAbsorb) {
+      EXPECT_EQ(predicted, hit);
+      // A stale proof (another CPU invalidated since our last reply; the
+      // bump reaches us with the very next reply) may under-predict — the
+      // flush reply's resume_time corrects the clock — but a prediction
+      // must never exceed the literal charge.
+      EXPECT_GE(literal, predicted)
+          << "op " << i << " proc " << p << " cpu " << c << " addr "
+          << std::hex << a;
+      if (gen_pre == filt[static_cast<std::size_t>(p)]->generation()) {
+        EXPECT_EQ(predicted, literal)
+            << "op " << i << " proc " << p << " cpu " << c << " addr "
+            << std::hex << a;
+        ++absorbed;
+      }
+    }
+    filt[static_cast<std::size_t>(p)]->on_reply(teach_reply(machine, c));
+  }
+  return absorbed;
+}
+
+TEST(L1Filter, LockstepMatchesSimpleMachineWithSnoopFilter) {
+  SimpleMachineConfig cfg;
+  cfg.l1 = CacheConfig{1024, 2, 64};  // small: steady eviction traffic
+  cfg.snoop_filter_min_cpus = 8;      // engaged at 8 CPUs
+  SimpleFixture f(8, cfg);
+  const std::uint64_t absorbed =
+      lockstep_fuzz(f.machine, f.vm, 8, cfg.l1_hit, cfg.l1.line_size, 20'000);
+  // The suite must actually exercise the exact absorb path, not just
+  // reject (stale-window absorbs are exercised on top of these).
+  EXPECT_GT(absorbed, 1'000u);
+}
+
+TEST(L1Filter, LockstepMatchesSimpleMachineLiteralSweep) {
+  SimpleMachineConfig cfg;
+  cfg.l1 = CacheConfig{1024, 2, 64};
+  cfg.snoop_filter_min_cpus = 100;  // 4 CPUs < 100: literal snoop sweep
+  SimpleFixture f(4, cfg);
+  const std::uint64_t absorbed =
+      lockstep_fuzz(f.machine, f.vm, 4, cfg.l1_hit, cfg.l1.line_size, 20'000);
+  EXPECT_GT(absorbed, 1'000u);
+}
+
+TEST(L1Filter, LockstepMatchesNumaMachine) {
+  NumaMachineConfig cfg;
+  cfg.l1 = CacheConfig{512, 1, 64};   // tiny L1: victim churn
+  cfg.l2 = CacheConfig{2048, 2, 64};  // small L2: inclusive-eviction drops
+  NumaFixture f(4, 2, cfg);
+  // The NUMA machine indexes both cache levels by the L2 line address, so
+  // the mirror must mask with the L2 line size.
+  const std::uint64_t absorbed =
+      lockstep_fuzz(f.machine, f.vm, 4, cfg.l1_hit, cfg.l2.line_size, 20'000);
+  EXPECT_GT(absorbed, 500u);
 }
 
 TEST(FlatMemory, FixedLatencyAndCount) {

@@ -8,6 +8,9 @@
 //
 // The CI matrix reruns the golden tests under COMPASS_TEST_WORKERS=1|2|4;
 // unset, they compare workers 2 and 4 against the serial baseline.
+// COMPASS_TEST_FILTER=1 additionally enables the frontend L1 reference
+// filter for every run in this file, so worker-count invariance is also
+// proven under filtered (coarsened-granularity) batches.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -22,6 +25,7 @@
 #include "core/backend.h"
 #include "core/backend_shard.h"
 #include "core/frontend.h"
+#include "mem/l1_filter.h"
 #include "mem/machine.h"
 #include "stats/json.h"
 #include "trace/trace_recorder.h"
@@ -66,6 +70,15 @@ std::vector<int> worker_counts() {
     return {};  // 1 or bad value: the baseline IS the run under test
   }
   return {2, 4};
+}
+
+/// CI matrix knob: COMPASS_TEST_FILTER=1 reruns every golden comparison in
+/// this file with the frontend L1 reference filter on. The filter changes
+/// batch granularity, so each setting compares against its own serial
+/// baseline — the invariant under test is worker-count independence.
+bool test_filter_enabled() {
+  const char* env = std::getenv("COMPASS_TEST_FILTER");
+  return env != nullptr && std::atoi(env) != 0;
 }
 
 // ------------------------------------------------------------- ShardPool
@@ -166,6 +179,7 @@ DirectRun direct_run(int workers, int nprocs = 6) {
   cfg.num_cpus = 4;
   cfg.context_switch_cycles = 100;
   cfg.backend_workers = workers;
+  cfg.l1_filter = test_filter_enabled();
   Communicator comm(cfg.num_cpus);
   stats::StatsRegistry reg;
   mem::FlatMemory memsys(10, nullptr, &reg);
@@ -176,6 +190,8 @@ DirectRun direct_run(int workers, int nprocs = 6) {
   std::vector<std::unique_ptr<Frontend>> procs;
   core::SimContext::Options opts;
   opts.batch_size = 8;  // batches span time, so windows can chain
+  if (cfg.l1_filter)    // flat model: every reference is absorbable
+    opts.filter_factory = [] { return std::make_unique<mem::FlatFilter>(10); };
   for (int p = 0; p < nprocs; ++p)
     procs.push_back(
         std::make_unique<Frontend>(backend, "p" + std::to_string(p), opts));
@@ -225,6 +241,7 @@ GoldenRun golden_run(Wl which, int workers, const std::string& tag) {
   sim::SimulationConfig cfg;
   cfg.core.num_cpus = 4;
   cfg.core.backend_workers = workers;
+  cfg.core.l1_filter = test_filter_enabled();
 
   // Each case creates its recorder AFTER its config tweaks so the recorded
   // header matches the effective configuration.
@@ -326,6 +343,93 @@ INSTANTIATE_TEST_SUITE_P(Workloads, GoldenAcrossWorkers,
                            }
                            return "unknown";
                          });
+
+// ----------------------------------- L1 filter on-vs-off golden identity
+
+/// Processes whose memory phases are disjoint in simulated time (each one
+/// prefixed by a long compute), so the global reference order — and hence
+/// every coherence action and bus wait — is independent of batch
+/// granularity. The only thing the filter changes is granularity, so at
+/// matched order filter-on must be bit-identical to filter-off.
+stats::StatsSnapshot time_separated_run(bool filter) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 4;
+  cfg.core.l1_filter = filter;
+  sim::Simulation sim(cfg);
+  constexpr Cycles kSep = 8'000'000;  // far longer than one phase's work
+  constexpr Addr kShared = 1 << 16;
+  constexpr Addr kPriv = 1 << 14;
+  for (int p = 0; p < 4; ++p) {
+    sim.spawn("tsep" + std::to_string(p), [p](sim::Proc& proc) {
+      core::SimContext& ctx = proc.ctx();
+      ctx.compute(static_cast<Cycles>(p) * kSep);
+      const std::int64_t seg = proc.shmget(0x5eed, kShared);
+      const Addr base = static_cast<Addr>(proc.shmat(seg));
+      const Addr priv = proc.alloc(kPriv);
+      for (int round = 0; round < 4; ++round) {
+        // Shared walk: reads lines the previous phase dirtied, then
+        // dirties them for the next phase (interventions + invalidations).
+        for (Addr off = 0; off < kShared; off += 64)
+          proc.write<std::uint64_t>(
+              base + off, proc.read<std::uint64_t>(base + off) + 1);
+        // Private walk: the absorbable E/M hit stream.
+        for (Addr off = 0; off < kPriv; off += 8)
+          proc.write<std::uint64_t>(priv + off, off);
+      }
+    });
+  }
+  sim.run();
+  workloads::ScenarioStats st;
+  workloads::collect_stats(sim, st);
+  return st.snapshot;
+}
+
+TEST(L1FilterGolden, TimeSeparatedRunsBitIdentical) {
+  const stats::StatsSnapshot off = time_separated_run(false);
+  const stats::StatsSnapshot on = time_separated_run(true);
+  EXPECT_EQ(on.cycles, off.cycles);
+  EXPECT_EQ(on.cpu_time, off.cpu_time);
+  // backend.batches and frontend.absorbed are host-side tallies — the port
+  // crossings the filter exists to shrink and the references it absorbed to
+  // do so. Every simulated counter must be identical.
+  auto on_counters = on.counters;
+  auto off_counters = off.counters;
+  EXPECT_LT(on_counters["backend.batches"], off_counters["backend.batches"] / 2)
+      << "filter-on did not absorb: port crossings were not reduced";
+  EXPECT_GT(on_counters["frontend.absorbed"], 0u);
+  for (const char* host_side : {"backend.batches", "frontend.absorbed"}) {
+    on_counters.erase(host_side);
+    off_counters.erase(host_side);
+  }
+  EXPECT_EQ(on_counters, off_counters);
+}
+
+TEST(L1FilterGolden, SciReferenceStreamInvariant) {
+  const auto run = [](bool filter) {
+    sim::SimulationConfig cfg;
+    cfg.core.num_cpus = 4;
+    cfg.core.l1_filter = filter;
+    workloads::SciScenario sc;
+    sc.matmul.n = 10;
+    sc.matmul.nprocs = 3;
+    return workloads::run_sci(cfg, sc);
+  };
+  const workloads::ScenarioStats off = run(false);
+  const workloads::ScenarioStats on = run(true);
+  // A contended workload: cross-CPU interleaving may legitimately coarsen,
+  // but the filter must not add, drop or reorder any process's *own*
+  // references — the workload completes and verifies its result, and the
+  // per-stream totals (references, page faults) are invariant.
+  EXPECT_EQ(on.work_units, off.work_units);
+  EXPECT_EQ(on.mem_refs, off.mem_refs);
+  for (const char* c : {"vm.page_faults", "machine.page_faults"}) {
+    const auto find = [c](const stats::StatsSnapshot& s) {
+      const auto it = s.counters.find(c);
+      return it == s.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    EXPECT_EQ(find(on.snapshot), find(off.snapshot)) << c;
+  }
+}
 
 // -------------------------------------------------- config plumbing
 

@@ -209,6 +209,7 @@ int main(int argc, char** argv) {
          {"seed0", "1"},
          {"cpus", "2"},
          {"workers", "-1"},
+         {"l1-filter", "-1"},
          {"verbose", "false"}},
         {{"workload", "sci | web | tpcc"},
          {"trials", "number of seeded trials"},
@@ -216,6 +217,8 @@ int main(int argc, char** argv) {
          {"cpus", "simulated processors"},
          {"workers", "backend dispatch lanes; -1 varies per trial over "
                      "{1,2,4} (output is worker-count invariant)"},
+         {"l1-filter", "frontend L1 reference filter; -1 varies per trial "
+                       "over {off,on}, 0/1 pins it"},
          {"verbose", "print each trial's plan"}});
     if (flags.help_requested()) {
       std::fputs(flags.usage("fault_fuzz").c_str(), stdout);
@@ -249,11 +252,17 @@ int main(int argc, char** argv) {
                               ? static_cast<int>(workers_flag)
                               : static_cast<int>(1 << r.next_in(0, 2));
       cfg.core.backend_workers = workers;
+      // The L1 reference filter must be invisible to every invariant the
+      // fuzzer checks, so vary it per trial too unless pinned.
+      const std::int64_t filter_flag = flags.get_int("l1-filter");
+      const bool l1_filter =
+          filter_flag >= 0 ? filter_flag != 0 : r.next_bool(0.5);
+      cfg.core.l1_filter = l1_filter;
       if (verbose)
-        std::printf("trial %lld (seed %llu, workers %d): %s\n",
+        std::printf("trial %lld (seed %llu, workers %d, l1-filter %d): %s\n",
                     static_cast<long long>(t),
                     static_cast<unsigned long long>(seed), workers,
-                    describe(plan).c_str());
+                    static_cast<int>(l1_filter), describe(plan).c_str());
       try {
         if (workload == "sci") trial_sci(cfg);
         else if (workload == "web") trial_web(cfg);
@@ -262,12 +271,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "FAIL trial %lld (seed %llu): %s\n  plan: %s\n"
                      "  repro: fault_fuzz --workload=%s --seed0=%llu "
-                     "--trials=1 --cpus=%lld --workers=%d\n",
+                     "--trials=1 --cpus=%lld --workers=%d --l1-filter=%d\n",
                      static_cast<long long>(t),
                      static_cast<unsigned long long>(seed), e.what(),
                      describe(plan).c_str(), workload.c_str(),
                      static_cast<unsigned long long>(seed),
-                     static_cast<long long>(flags.get_int("cpus")), workers);
+                     static_cast<long long>(flags.get_int("cpus")), workers,
+                     static_cast<int>(l1_filter));
         return 1;
       }
     }

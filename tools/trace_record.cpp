@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
         {"backend-workers", "1"},
         {"quantum", "0"},
         {"model", "simple"},
+        {"l1-filter", "0"},
         {"n", "32"},
         {"nprocs", "2"},
         {"workers", "2"},
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
          "0 = auto)"},
         {"quantum", "preemption quantum in cycles (0 = cooperative)"},
         {"model", "memory-system model: flat | simple | numa"},
+        {"l1-filter",
+         "frontend L1 reference filter (1 = absorb proven hits locally)"},
         {"n", "sci: matrix dimension"},
         {"nprocs", "sci: worker processes"},
         {"workers", "tpcc/tpcd: worker processes"},
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
       cfg.core.quantum = static_cast<Cycles>(flags.get_int("quantum"));
     }
     cfg.model = parse_model(flags.get("model"));
+    cfg.core.l1_filter = flags.get_int("l1-filter") != 0;
     cfg.fault = fault::fault_plan_from_flags(flags);
 
     const std::string out = flags.get("out");

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
          {"flat-latency", "0"},
          {"mem-latency", "0"},
          {"l1-size", "0"},
+         {"l1-filter", "-1"},
          {"workers", "1"}},
         {{"stats-json", "dump replay stats as JSON"},
          {"golden-json", "compare against a live run's stats JSON; exit 1 "
@@ -36,6 +37,9 @@ int main(int argc, char** argv) {
          {"flat-latency", "override flat-model latency (0 = recorded)"},
          {"mem-latency", "override simple-model memory latency (0 = recorded)"},
          {"l1-size", "override L1 size in bytes, simple+numa (0 = recorded)"},
+         {"l1-filter", "override frontend L1 filter knob: 0 | 1 "
+                       "(-1 = recorded; replay state is identical either "
+                       "way — absorbed hits ride in the recorded batches)"},
          {"workers", "backend dispatch lanes for the replay (bit-identical "
                      "result for any value; 0 = auto)"}});
     if (flags.help_requested() || flags.positional().size() != 1) {
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       cfg.flat_latency = flags.get_int("flat-latency");
     if (flags.get_int("mem-latency") > 0)
       cfg.simple.mem_latency = flags.get_int("mem-latency");
+    if (flags.get_int("l1-filter") >= 0)
+      cfg.core.l1_filter = flags.get_int("l1-filter") != 0;
     if (flags.get_int("l1-size") > 0) {
       cfg.simple.l1.size_bytes =
           static_cast<std::uint32_t>(flags.get_int("l1-size"));
