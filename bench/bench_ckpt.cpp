@@ -1,0 +1,243 @@
+// Checkpoint sampling benchmark: can K-cycle regions restored in parallel
+// host processes cover an N-cycle tpcc run faster than the serial
+// uninterrupted run?
+//
+// Phases:
+//   1. serial    — uninterrupted tpcc on the NUMA model (the reference)
+//   2. create    — same run snapshotting every N/5 cycles (checkpoint cost)
+//   3. restore   — one region restored end-to-end (warp + install cost)
+//   4. sample    — every region in its own forked process, in parallel;
+//                  region 0 is the prefix run stopped at the first snapshot
+//
+// The sampled phase is only a win when the warp fast-forward (host
+// re-execution with the memory model skipped) beats live simulation and the
+// host has real parallelism; under 4 host cores the phase is skipped with a
+// note (CI enforces the speedup on >=4-core runners only, reading the JSON
+// this bench writes).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "util/flags.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+sim::SimulationConfig bench_cfg() {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = 8;
+  cfg.core.num_nodes = 2;
+  cfg.model = sim::BackendModel::kNuma;
+  // Reference-granularity batches make every memory access a port round
+  // trip, drowning the model work the warp skips in dispatch overhead.
+  // Coarser batches (the ablation's speed design point; batch_size rides in
+  // the config fingerprint, so restores re-run identically) put the NUMA
+  // model on the critical path — the regime region sampling targets.
+  cfg.core.batch_size = 64;
+  return cfg;
+}
+
+workloads::ScenarioParams bench_params() {
+  // A btree-heavy OLTP mix (big item table, long txn runs): the warp's win
+  // is the skipped per-reference model work, so the region sampling pays
+  // off on memory-bound runs, not on the I/O-wait-dominated default mix.
+  return {"tpcc",
+          {{"workers", "4"}, {"txns", "120"}, {"items", "4000"}}};
+}
+
+/// Stops an otherwise-live run at the first dispatch point past `stop`:
+/// region 0 of the sampled phase, which no checkpoint file covers.
+class StopHook final : public core::CkptHook {
+ public:
+  explicit StopHook(Cycles stop) : stop_(stop) {}
+  bool warping() const override { return false; }
+  Cycles window_boundary() const override { return stop_; }
+  bool at_dispatch_point(core::Backend&, Cycles t) override {
+    return t >= stop_;
+  }
+  void on_data_reply(ProcId, Cycles, const core::Reply&) override {}
+  void on_control_reply(ProcId, const core::Reply&) override {}
+  void on_deferred_reply(ProcId, const core::Reply&) override {}
+  void warp_data_reply(ProcId, Cycles&, core::Reply&) override {}
+  void warp_control_reply(ProcId, core::Reply&) override {}
+  void warp_deferred_reply(ProcId, core::Reply&) override {}
+
+ private:
+  Cycles stop_;
+};
+
+int run_region(const std::vector<std::string>& files, std::size_t region,
+               const std::vector<Cycles>& quiescents, Cycles full_cycles) {
+  try {
+    if (region == 0) {
+      sim::SimulationConfig cfg = bench_cfg();
+      StopHook stop(quiescents.front());
+      cfg.ckpt = &stop;
+      workloads::run_scenario(cfg, bench_params());
+      return 0;
+    }
+    const std::size_t i = region - 1;
+    ckpt::CheckpointFile f = ckpt::read_file(files[i]);
+    sim::SimulationConfig cfg = ckpt::config_from(f);
+    const Cycles run_for = i + 1 < quiescents.size()
+                               ? quiescents[i + 1] - quiescents[i]
+                               : full_cycles;  // last region: to completion
+    ckpt::CheckpointRestorer restorer(std::move(f), run_for);
+    cfg.ckpt = &restorer;
+    cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
+    workloads::run_scenario(cfg, bench_params());
+    return restorer.installed() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "region %zu: %s\n", region, e.what());
+    std::fflush(nullptr);
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::Flags flags(argc, argv, {{"json", "bench_ckpt.json"}},
+                      {{"json", "write phase timings to this JSON file"}});
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    // Phase 1: serial reference.
+    auto t0 = std::chrono::steady_clock::now();
+    const workloads::ScenarioStats serial =
+        workloads::run_scenario(bench_cfg(), bench_params());
+    const double serial_s = seconds_since(t0);
+    std::printf("serial   %8.2fs  %llu cycles, %llu work units\n", serial_s,
+                static_cast<unsigned long long>(serial.cycles),
+                static_cast<unsigned long long>(serial.work_units));
+
+    // Phase 2: create run, snapshotting every N/5 cycles.
+    const Cycles every = serial.cycles / 5;
+    ckpt::CreateOptions opts;
+    opts.out = "bench_ckpt.tmp";
+    opts.every = every;
+    opts.meta = bench_params().kv;
+    opts.meta["workload"] = bench_params().workload;
+    sim::SimulationConfig create_cfg = bench_cfg();
+    ckpt::CheckpointWriter writer(create_cfg, opts);
+    create_cfg.ckpt = &writer;
+    create_cfg.post_build = [&writer](sim::Simulation& s) { writer.bind(s); };
+    t0 = std::chrono::steady_clock::now();
+    workloads::run_scenario(create_cfg, bench_params());
+    const double create_s = seconds_since(t0);
+    const std::vector<std::string>& files = writer.written();
+    std::printf("create   %8.2fs  %zu snapshots every %llu cycles "
+                "(+%.0f%% over serial)\n",
+                create_s, files.size(),
+                static_cast<unsigned long long>(every),
+                100.0 * (create_s - serial_s) / serial_s);
+    if (files.empty()) {
+      std::fprintf(stderr, "bench_ckpt: no snapshots written\n");
+      return 1;
+    }
+    std::vector<Cycles> quiescents;
+    for (const std::string& path : files)
+      quiescents.push_back(ckpt::read_file(path).quiescent);
+
+    // Phase 3: one region restored end-to-end (warp + install + live tail).
+    t0 = std::chrono::steady_clock::now();
+    {
+      ckpt::CheckpointFile f = ckpt::read_file(files.back());
+      sim::SimulationConfig cfg = ckpt::config_from(f);
+      ckpt::CheckpointRestorer restorer(std::move(f), 0);
+      cfg.ckpt = &restorer;
+      cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
+      workloads::run_scenario(cfg, bench_params());
+      if (!restorer.installed()) {
+        std::fprintf(stderr, "bench_ckpt: restore never installed\n");
+        return 1;
+      }
+    }
+    const double restore_s = seconds_since(t0);
+    std::printf("restore  %8.2fs  last region (warp to %llu + live tail)\n",
+                restore_s,
+                static_cast<unsigned long long>(quiescents.back()));
+
+    // Phase 4: sampled parallel coverage — region 0 is the prefix, region i
+    // restores checkpoint i-1 and simulates up to the next snapshot.
+    double sample_s = 0;
+    double speedup = 0;
+    const std::size_t regions = files.size() + 1;
+    if (cores < 4) {
+      std::printf("sample   SKIP (needs >=4 host cores, have %u)\n", cores);
+    } else {
+      std::fflush(nullptr);  // children must not inherit buffered output
+      t0 = std::chrono::steady_clock::now();
+      std::vector<pid_t> pids;
+      for (std::size_t r = 0; r < regions; ++r) {
+        const pid_t pid = fork();
+        if (pid == 0)
+          _exit(run_region(files, r, quiescents, serial.cycles));
+        if (pid < 0) {
+          std::fprintf(stderr, "bench_ckpt: fork failed\n");
+          return 1;
+        }
+        pids.push_back(pid);
+      }
+      bool ok = true;
+      for (const pid_t pid : pids) {
+        int status = 0;
+        waitpid(pid, &status, 0);
+        ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      }
+      sample_s = seconds_since(t0);
+      if (!ok) {
+        std::fprintf(stderr, "bench_ckpt: a sampled region failed\n");
+        return 1;
+      }
+      speedup = serial_s / sample_s;
+      std::printf("sample   %8.2fs  %zu parallel regions covering all %llu "
+                  "cycles  (%.2fx vs serial)\n",
+                  sample_s, regions,
+                  static_cast<unsigned long long>(serial.cycles), speedup);
+    }
+
+    const std::string json = flags.get("json");
+    if (!json.empty()) {
+      std::FILE* f = std::fopen(json.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "bench_ckpt: cannot write %s\n", json.c_str());
+        return 1;
+      }
+      std::fprintf(f,
+                   "{\n"
+                   "  \"host_cores\": %u,\n"
+                   "  \"cycles\": %llu,\n"
+                   "  \"snapshots\": %zu,\n"
+                   "  \"serial_s\": %.4f,\n"
+                   "  \"create_s\": %.4f,\n"
+                   "  \"restore_s\": %.4f,\n"
+                   "  \"sample_s\": %.4f,\n"
+                   "  \"speedup\": %.4f\n"
+                   "}\n",
+                   cores, static_cast<unsigned long long>(serial.cycles),
+                   files.size(), serial_s, create_s, restore_s, sample_s,
+                   speedup);
+      std::fclose(f);
+    }
+    for (const std::string& path : files) std::remove(path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_ckpt: %s\n", e.what());
+    return 2;
+  }
+}

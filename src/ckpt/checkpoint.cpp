@@ -1,0 +1,328 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mem/machine.h"
+#include "trace/config_codec.h"
+
+namespace compass::ckpt {
+
+namespace {
+
+using util::StateError;
+using util::StateSink;
+using util::StateSource;
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+constexpr std::uint8_t kLogData = 1;
+constexpr std::uint8_t kLogControl = 2;
+constexpr std::uint8_t kLogDeferred = 3;
+
+// ---- VERIFY-section dumpers, shared by create and restore so both sides
+// serialize byte-identically -------------------------------------------------
+
+std::vector<std::uint8_t> dump_backend(core::Backend& backend) {
+  StateSink sink;
+  backend.ckpt_dump_state(sink);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> dump_arenas(sim::Simulation& sim) {
+  StateSink sink;
+  std::size_t count = 0;
+  sim.mem().for_each([&count](const mem::Arena&) { ++count; });
+  sink.varint(count);
+  sim.mem().for_each([&sink](const mem::Arena& a) { a.ckpt_dump(sink); });
+  return sink.take();
+}
+
+std::vector<std::uint8_t> dump_kernel(sim::Simulation& sim) {
+  StateSink sink;
+  sim.kernel().ckpt_dump(sink);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> dump_devices(sim::Simulation& sim) {
+  StateSink sink;
+  sim.devices().ckpt_dump(sink);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> dump_fault(sim::Simulation& sim) {
+  StateSink sink;
+  if (sim.fault_injector() != nullptr) sim.fault_injector()->ckpt_dump(sink);
+  return sink.take();
+}
+
+/// First byte offset at which the two dumps differ (for diagnostics).
+std::size_t first_diff(const std::vector<std::uint8_t>& a,
+                       const std::vector<std::uint8_t>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != b[i]) return i;
+  return n;
+}
+
+void check_section(SectionId id, const std::vector<std::uint8_t>& recorded,
+                   const std::vector<std::uint8_t>& rebuilt) {
+  if (recorded == rebuilt) return;
+  throw StateError(
+      std::string("restore verification failed: section '") + to_string(id) +
+      "' differs at byte " + std::to_string(first_diff(recorded, rebuilt)) +
+      " (recorded " + std::to_string(recorded.size()) + " bytes, rebuilt " +
+      std::to_string(rebuilt.size()) + ")");
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ writer
+
+CheckpointWriter::CheckpointWriter(const sim::SimulationConfig& cfg,
+                                   CreateOptions opts)
+    : cfg_(cfg), opts_(std::move(opts)), l1_filter_(cfg.core.l1_filter) {
+  COMPASS_CHECK_MSG(opts_.every == 0 || opts_.at_cycles.empty(),
+                    "checkpoint targets: --every and --at are exclusive");
+  COMPASS_CHECK_MSG(opts_.every > 0 || !opts_.at_cycles.empty(),
+                    "checkpoint writer needs at least one target cycle");
+  std::sort(opts_.at_cycles.begin(), opts_.at_cycles.end());
+  next_target_ = opts_.every > 0 ? opts_.every : opts_.at_cycles.front();
+}
+
+bool CheckpointWriter::at_dispatch_point(core::Backend& backend, Cycles t) {
+  if (t < next_target_) return false;
+  snapshot(backend, t, next_target_);
+  // Advance strictly past t: the batch about to dispatch at t must fall
+  // below the next window boundary, or the windowed loop would never make
+  // progress past a trigger.
+  if (opts_.every > 0) {
+    while (next_target_ <= t) next_target_ += opts_.every;
+  } else {
+    while (next_at_ < opts_.at_cycles.size() &&
+           opts_.at_cycles[next_at_] <= t)
+      ++next_at_;
+    next_target_ =
+        next_at_ < opts_.at_cycles.size() ? opts_.at_cycles[next_at_] : kNever;
+  }
+  return false;
+}
+
+void CheckpointWriter::snapshot(core::Backend& backend, Cycles t,
+                                Cycles target) {
+  COMPASS_CHECK_MSG(sim_ != nullptr,
+                    "checkpoint writer was never bound to a Simulation "
+                    "(SimulationConfig::post_build)");
+  CheckpointFile f;
+  f.config = trace::encode_config(cfg_);
+  f.meta = opts_.meta;
+  f.target = target;
+  f.quiescent = t;
+  f.nprocs = backend.num_procs();
+
+  auto put = [&f](SectionId id, std::vector<std::uint8_t> payload) {
+    f.sections[static_cast<std::uint8_t>(id)] = std::move(payload);
+  };
+  put(SectionId::kWarpLog, log_.bytes());  // accumulated prefix, copied
+
+  StateSink machine;
+  sim_->machine().ckpt_save(machine);
+  put(SectionId::kMachine, machine.take());
+  StateSink vm;
+  sim_->vm().ckpt_save(vm);
+  put(SectionId::kVm, vm.take());
+  StateSink stats;
+  backend.stats().ckpt_save(stats);
+  put(SectionId::kStats, stats.take());
+  StateSink breakdown;
+  backend.time_breakdown().ckpt_save(breakdown);
+  put(SectionId::kBreakdown, breakdown.take());
+
+  put(SectionId::kBackend, dump_backend(backend));
+  put(SectionId::kArenas, dump_arenas(*sim_));
+  put(SectionId::kKernel, dump_kernel(*sim_));
+  put(SectionId::kDevices, dump_devices(*sim_));
+  put(SectionId::kFault, dump_fault(*sim_));
+
+  const bool single = opts_.every == 0 && opts_.at_cycles.size() == 1;
+  const std::string path =
+      single ? opts_.out : opts_.out + "." + std::to_string(t);
+  write_file(path, f);
+  written_.push_back(path);
+}
+
+void CheckpointWriter::on_data_reply(ProcId proc, Cycles now_after,
+                                     const core::Reply& r) {
+  log_.u8(kLogData);
+  log_.varint(static_cast<std::uint64_t>(proc));
+  log_.varint(now_after);
+  log_.varint(r.resume_time);
+  if (l1_filter_) {
+    log_.varint(r.l1_gen);
+    mem::ckpt_save_teach(log_, r.teach);
+  }
+}
+
+void CheckpointWriter::on_control_reply(ProcId proc, const core::Reply& r) {
+  log_.u8(kLogControl);
+  log_.varint(static_cast<std::uint64_t>(proc));
+  if (l1_filter_) log_.varint(r.l1_gen);
+}
+
+void CheckpointWriter::on_deferred_reply(ProcId proc, const core::Reply& r) {
+  log_.u8(kLogDeferred);
+  log_.varint(static_cast<std::uint64_t>(proc));
+  if (l1_filter_) log_.varint(r.l1_gen);
+}
+
+void CheckpointWriter::warp_data_reply(ProcId, Cycles&, core::Reply&) {
+  COMPASS_CHECK_MSG(false, "create-mode checkpoint hook cannot warp");
+}
+void CheckpointWriter::warp_control_reply(ProcId, core::Reply&) {
+  COMPASS_CHECK_MSG(false, "create-mode checkpoint hook cannot warp");
+}
+void CheckpointWriter::warp_deferred_reply(ProcId, core::Reply&) {
+  COMPASS_CHECK_MSG(false, "create-mode checkpoint hook cannot warp");
+}
+
+// ---------------------------------------------------------------- restorer
+
+CheckpointRestorer::CheckpointRestorer(CheckpointFile file, Cycles run_for)
+    : file_(std::move(file)),
+      l1_filter_([this] {
+        std::uint64_t v = 0;
+        return trace::config_lookup(file_.config, trace::ConfigKey::kL1Filter,
+                                    v) &&
+               v != 0;
+      }()),
+      run_for_(run_for),
+      log_({file_.section(SectionId::kWarpLog).data(),
+            file_.section(SectionId::kWarpLog).size()}),
+      stop_at_(kNever) {}
+
+Cycles CheckpointRestorer::window_boundary() const {
+  return warping_ ? kNever : stop_at_;
+}
+
+bool CheckpointRestorer::at_dispatch_point(core::Backend& backend, Cycles t) {
+  if (warping_) {
+    // Not every dispatch consumes a log record (a kBlock that blocks and a
+    // kStart defer their replies), so log exhaustion alone does not mark
+    // the install point. The writer snapshotted at the first dispatch-point
+    // visit whose clock reached the quiescent cycle; warp until the same
+    // visit, then require the log to be exactly consumed.
+    if (t < file_.quiescent) return false;
+    if (t > file_.quiescent)
+      throw StateError("restore diverged: dispatch point at cycle " +
+                       std::to_string(t) +
+                       " overshot the snapshot's quiescent cycle " +
+                       std::to_string(file_.quiescent));
+    if (!log_.at_end())
+      throw StateError("restore diverged: " +
+                       std::to_string(log_.remaining()) +
+                       " warp-log bytes left over at the snapshot's "
+                       "quiescent cycle " +
+                       std::to_string(file_.quiescent));
+    install(backend, t);
+    verify(backend);
+    warping_ = false;
+    installed_at_ = t;
+    if (run_for_ > 0) stop_at_ = t + run_for_;
+    return false;
+  }
+  return t >= stop_at_;
+}
+
+void CheckpointRestorer::install(core::Backend& backend, Cycles t) {
+  COMPASS_CHECK_MSG(sim_ != nullptr,
+                    "checkpoint restorer was never bound to a Simulation "
+                    "(SimulationConfig::post_build)");
+  if (file_.nprocs != backend.num_procs())
+    throw StateError("restore mismatch: checkpoint has " +
+                     std::to_string(file_.nprocs) + " processes, this run " +
+                     std::to_string(backend.num_procs()));
+  (void)t;
+  auto load = [this](SectionId id, auto&& fn) {
+    const std::vector<std::uint8_t>& bytes = file_.section(id);
+    StateSource src({bytes.data(), bytes.size()});
+    fn(src);
+    if (!src.at_end())
+      throw StateError(std::string("checkpoint section '") + to_string(id) +
+                       "' has " + std::to_string(src.remaining()) +
+                       " trailing bytes");
+  };
+  load(SectionId::kMachine,
+       [this](StateSource& s) { sim_->machine().ckpt_load(s); });
+  load(SectionId::kVm, [this](StateSource& s) { sim_->vm().ckpt_load(s); });
+  load(SectionId::kStats,
+       [&backend](StateSource& s) { backend.stats().ckpt_load(s); });
+  load(SectionId::kBreakdown,
+       [&backend](StateSource& s) { backend.time_breakdown().ckpt_load(s); });
+}
+
+void CheckpointRestorer::verify(core::Backend& backend) {
+  check_section(SectionId::kBackend, file_.section(SectionId::kBackend),
+                dump_backend(backend));
+  check_section(SectionId::kArenas, file_.section(SectionId::kArenas),
+                dump_arenas(*sim_));
+  check_section(SectionId::kKernel, file_.section(SectionId::kKernel),
+                dump_kernel(*sim_));
+  check_section(SectionId::kDevices, file_.section(SectionId::kDevices),
+                dump_devices(*sim_));
+  check_section(SectionId::kFault, file_.section(SectionId::kFault),
+                dump_fault(*sim_));
+}
+
+void CheckpointRestorer::on_data_reply(ProcId, Cycles, const core::Reply&) {}
+void CheckpointRestorer::on_control_reply(ProcId, const core::Reply&) {}
+void CheckpointRestorer::on_deferred_reply(ProcId, const core::Reply&) {}
+
+void CheckpointRestorer::expect(std::uint8_t tag, ProcId proc,
+                                const char* what) {
+  if (log_.at_end())
+    throw StateError(std::string("warp log exhausted before the ") + what +
+                     " reply of proc " + std::to_string(proc) +
+                     " — restored run diverged from the create run");
+  const std::uint8_t got = log_.u8();
+  if (got != tag)
+    throw StateError(std::string("warp log diverged: expected a ") + what +
+                     " record for proc " + std::to_string(proc) +
+                     ", log has record tag " + std::to_string(got));
+  const auto p = static_cast<ProcId>(log_.varint());
+  if (p != proc)
+    throw StateError(std::string("warp log diverged: ") + what +
+                     " reply for proc " + std::to_string(proc) +
+                     ", log recorded proc " + std::to_string(p));
+}
+
+void CheckpointRestorer::warp_data_reply(ProcId proc, Cycles& now_after,
+                                         core::Reply& r) {
+  expect(kLogData, proc, "data");
+  now_after = log_.varint();
+  r.resume_time = log_.varint();
+  if (l1_filter_) {
+    r.l1_gen = log_.varint();
+    r.teach = mem::ckpt_load_teach(log_);
+  }
+}
+
+void CheckpointRestorer::warp_control_reply(ProcId proc, core::Reply& r) {
+  expect(kLogControl, proc, "control");
+  if (l1_filter_) r.l1_gen = log_.varint();
+}
+
+void CheckpointRestorer::warp_deferred_reply(ProcId proc, core::Reply& r) {
+  expect(kLogDeferred, proc, "deferred");
+  if (l1_filter_) r.l1_gen = log_.varint();
+}
+
+// ------------------------------------------------------------------ config
+
+sim::SimulationConfig config_from(const CheckpointFile& f,
+                                  int workers_override) {
+  sim::SimulationConfig cfg = trace::decode_config(f.config);
+  if (workers_override >= 0) cfg.core.backend_workers = workers_override;
+  return cfg;
+}
+
+}  // namespace compass::ckpt

@@ -1,0 +1,136 @@
+// CheckpointWriter / CheckpointRestorer: the core::CkptHook implementations
+// that snapshot and restore a full simulation.
+//
+// A COMPASS frontend is a real host thread with a live call stack, which no
+// portable snapshot can capture. The checkpoint therefore records two kinds
+// of state:
+//
+//  * INSTALL state — everything only the memory model and the accounting
+//    know (cache tags, directories, page tables, counters, time breakdown).
+//    Loaded wholesale into the restored simulation.
+//  * the WARP LOG — one record per backend reply from cycle 0 to the
+//    snapshot point. A restore rebuilds all host-side state (workload
+//    stacks, kernel structures, device queues, fault streams) by
+//    re-executing the run with the memory model *skipped*: every data-batch
+//    reply is fed from the log instead of MemorySystem::access(), so the
+//    fast-forward costs host work proportional to the event stream, not to
+//    the model. Because the backend grants locks and picks batches in the
+//    identical deterministic order, the re-execution is bit-exact.
+//  * VERIFY state — host-side structures the warp rebuilds (backend
+//    dispatch state, arenas, kernel, devices, fault injector). Dumped at
+//    create time and byte-compared against the rebuilt state at install
+//    time: any divergence aborts the restore instead of continuing from a
+//    subtly wrong world.
+//
+// After install the simulation continues fully live and, by the repo's
+// determinism guarantee, produces byte-identical traces and counters to the
+// uninterrupted run from the snapshot cycle onward.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt_format.h"
+#include "core/ckpt_hook.h"
+#include "sim/simulation.h"
+
+namespace compass::ckpt {
+
+struct CreateOptions {
+  /// Snapshot at the first dispatch point at or after each cycle (sorted).
+  std::vector<Cycles> at_cycles;
+  /// Periodic snapshots every K cycles (region sampling). Exclusive with
+  /// at_cycles.
+  Cycles every = 0;
+  /// Output path. With several snapshots, each file is `out`.<cycle>.
+  std::string out;
+  /// Tool bookkeeping stored verbatim (workload selection etc.).
+  std::map<std::string, std::string> meta;
+};
+
+class CheckpointWriter final : public core::CkptHook {
+ public:
+  CheckpointWriter(const sim::SimulationConfig& cfg, CreateOptions opts);
+
+  /// Bind to the fully-wired simulation (SimulationConfig::post_build).
+  void bind(sim::Simulation& sim) { sim_ = &sim; }
+
+  const std::vector<std::string>& written() const { return written_; }
+
+  // ---- core::CkptHook -----------------------------------------------------
+
+  bool warping() const override { return false; }
+  Cycles window_boundary() const override { return next_target_; }
+  bool at_dispatch_point(core::Backend& backend, Cycles t) override;
+  void on_data_reply(ProcId proc, Cycles now_after,
+                     const core::Reply& r) override;
+  void on_control_reply(ProcId proc, const core::Reply& r) override;
+  void on_deferred_reply(ProcId proc, const core::Reply& r) override;
+  void warp_data_reply(ProcId proc, Cycles& now_after,
+                       core::Reply& r) override;
+  void warp_control_reply(ProcId proc, core::Reply& r) override;
+  void warp_deferred_reply(ProcId proc, core::Reply& r) override;
+
+ private:
+  void snapshot(core::Backend& backend, Cycles t, Cycles target);
+
+  sim::SimulationConfig cfg_;
+  CreateOptions opts_;
+  bool l1_filter_;
+  sim::Simulation* sim_ = nullptr;
+  util::StateSink log_;
+  std::size_t next_at_ = 0;   ///< cursor into opts_.at_cycles
+  Cycles next_target_;        ///< next snapshot cycle; max() when done
+  std::vector<std::string> written_;
+};
+
+class CheckpointRestorer final : public core::CkptHook {
+ public:
+  /// `run_for` > 0 stops the run `run_for` cycles after the install point
+  /// (region sampling); 0 runs to completion.
+  explicit CheckpointRestorer(CheckpointFile file, Cycles run_for = 0);
+
+  /// Bind to the fully-wired simulation (SimulationConfig::post_build).
+  void bind(sim::Simulation& sim) { sim_ = &sim; }
+
+  bool installed() const { return !warping_; }
+  Cycles installed_at() const { return installed_at_; }
+
+  // ---- core::CkptHook -----------------------------------------------------
+
+  bool warping() const override { return warping_; }
+  Cycles window_boundary() const override;
+  bool at_dispatch_point(core::Backend& backend, Cycles t) override;
+  void on_data_reply(ProcId proc, Cycles now_after,
+                     const core::Reply& r) override;
+  void on_control_reply(ProcId proc, const core::Reply& r) override;
+  void on_deferred_reply(ProcId proc, const core::Reply& r) override;
+  void warp_data_reply(ProcId proc, Cycles& now_after,
+                       core::Reply& r) override;
+  void warp_control_reply(ProcId proc, core::Reply& r) override;
+  void warp_deferred_reply(ProcId proc, core::Reply& r) override;
+
+ private:
+  /// Throws unless the next log record is (`tag`, `proc`).
+  void expect(std::uint8_t tag, ProcId proc, const char* what);
+  void install(core::Backend& backend, Cycles t);
+  void verify(core::Backend& backend);
+
+  CheckpointFile file_;
+  bool l1_filter_;
+  Cycles run_for_;
+  sim::Simulation* sim_ = nullptr;
+  util::StateSource log_;
+  bool warping_ = true;
+  Cycles installed_at_ = 0;
+  Cycles stop_at_;  ///< max() until the install point sets it
+};
+
+/// Rebuild the SimulationConfig a checkpoint was created with.
+/// `workers_override` >= 0 replaces backend_workers (a host execution
+/// strategy deliberately excluded from the fingerprint).
+sim::SimulationConfig config_from(const CheckpointFile& f,
+                                  int workers_override = -1);
+
+}  // namespace compass::ckpt

@@ -1,0 +1,151 @@
+#include "ckpt/ckpt_format.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace compass::ckpt {
+
+using util::StateError;
+using util::StateSink;
+using util::StateSource;
+
+const char* to_string(SectionId id) {
+  switch (id) {
+    case SectionId::kWarpLog: return "warp-log";
+    case SectionId::kMachine: return "machine";
+    case SectionId::kVm: return "vm";
+    case SectionId::kStats: return "stats";
+    case SectionId::kBreakdown: return "breakdown";
+    case SectionId::kBackend: return "backend";
+    case SectionId::kArenas: return "arenas";
+    case SectionId::kKernel: return "kernel";
+    case SectionId::kDevices: return "devices";
+    case SectionId::kFault: return "fault";
+  }
+  return "?";
+}
+
+const std::vector<std::uint8_t>& CheckpointFile::section(SectionId id) const {
+  const auto it = sections.find(static_cast<std::uint8_t>(id));
+  if (it == sections.end())
+    throw StateError(std::string("checkpoint is missing section '") +
+                     to_string(id) + "'");
+  return it->second;
+}
+
+std::vector<std::uint8_t> encode_file(const CheckpointFile& f) {
+  StateSink config_block;
+  config_block.varint(f.config.size());
+  for (const auto& [key, value] : f.config) {
+    config_block.varint(key);
+    config_block.varint(value);
+  }
+
+  StateSink out;
+  out.raw({kMagic.data(), kMagic.size()});
+  out.u32le(kVersion);
+  out.u64le(util::fnv1a64({config_block.bytes().data(), config_block.size()}));
+  out.raw({config_block.bytes().data(), config_block.size()});
+  out.varint(f.meta.size());
+  for (const auto& [key, value] : f.meta) {
+    out.str(key);
+    out.str(value);
+  }
+  out.varint(f.target);
+  out.varint(f.quiescent);
+  out.varint(f.nprocs);
+  out.varint(f.sections.size());
+  for (const auto& [id, payload] : f.sections) {
+    out.u8(id);
+    out.varint(payload.size());
+    out.u64le(util::fnv1a64({payload.data(), payload.size()}));
+    out.raw({payload.data(), payload.size()});
+  }
+  return out.take();
+}
+
+CheckpointFile decode_file(std::span<const std::uint8_t> bytes) {
+  StateSource src(bytes);
+  std::array<std::uint8_t, 8> magic{};
+  src.raw(magic);
+  if (magic != kMagic) throw StateError("not a COMPASS checkpoint (bad magic)");
+  const std::uint32_t version = src.u32le();
+  if (version != kVersion)
+    throw StateError("unsupported checkpoint version " +
+                     std::to_string(version) + " (this build reads " +
+                     std::to_string(kVersion) + ")");
+  const std::uint64_t want_hash = src.u64le();
+
+  CheckpointFile f;
+  const std::size_t config_start = src.pos();
+  const std::uint64_t pairs = src.varint();
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    const auto key = static_cast<std::uint32_t>(src.varint());
+    const std::uint64_t value = src.varint();
+    f.config.emplace_back(key, value);
+  }
+  const std::uint64_t got_hash =
+      util::fnv1a64(bytes.subspan(config_start, src.pos() - config_start));
+  if (got_hash != want_hash)
+    throw StateError("checkpoint config hash mismatch (corrupt header)");
+
+  const std::uint64_t meta_pairs = src.varint();
+  for (std::uint64_t i = 0; i < meta_pairs; ++i) {
+    std::string key = src.str();
+    f.meta[std::move(key)] = src.str();
+  }
+  f.target = src.varint();
+  f.quiescent = src.varint();
+  f.nprocs = src.varint();
+
+  const std::uint64_t nsections = src.varint();
+  for (std::uint64_t i = 0; i < nsections; ++i) {
+    const std::uint8_t id = src.u8();
+    const std::uint64_t len = src.varint();
+    const std::uint64_t want = src.u64le();
+    const std::span<const std::uint8_t> payload = src.bytes(len);
+    if (util::fnv1a64(payload) != want)
+      throw StateError(std::string("checkpoint section '") +
+                       to_string(static_cast<SectionId>(id)) +
+                       "' hash mismatch (corrupt payload)");
+    if (!f.sections.emplace(id, std::vector<std::uint8_t>(payload.begin(),
+                                                          payload.end()))
+             .second)
+      throw StateError(std::string("duplicate checkpoint section '") +
+                       to_string(static_cast<SectionId>(id)) + "'");
+  }
+  if (!src.at_end())
+    throw StateError("checkpoint has " + std::to_string(src.remaining()) +
+                     " trailing bytes");
+  return f;
+}
+
+void write_file(const std::string& path, const CheckpointFile& f) {
+  const std::vector<std::uint8_t> bytes = encode_file(f);
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  if (fp == nullptr)
+    throw util::SimError("cannot open checkpoint file for writing: " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), fp);
+  const bool ok = written == bytes.size() && std::fclose(fp) == 0;
+  if (!ok) throw util::SimError("short write to checkpoint file: " + path);
+}
+
+CheckpointFile read_file(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr)
+    throw util::SimError("cannot open checkpoint file: " + path);
+  std::fseek(fp, 0, SEEK_END);
+  const long size = std::ftell(fp);
+  std::fseek(fp, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(size > 0 ? static_cast<std::size_t>(size)
+                                           : 0);
+  const std::size_t got = bytes.empty()
+                              ? 0
+                              : std::fread(bytes.data(), 1, bytes.size(), fp);
+  std::fclose(fp);
+  if (got != bytes.size())
+    throw util::SimError("short read from checkpoint file: " + path);
+  return decode_file(bytes);
+}
+
+}  // namespace compass::ckpt

@@ -1,0 +1,83 @@
+// On-disk checkpoint format shared by CheckpointWriter and
+// CheckpointRestorer.
+//
+// Layout (all multi-byte scalars are LEB128 varints unless noted):
+//
+//   magic            8 bytes  "COMPASCK"
+//   version          4 bytes  little-endian u32
+//   config_hash      8 bytes  little-endian u64, FNV-1a over the config block
+//   config block     varint pair-count, then per pair: varint key, varint
+//                    value — the trace codec's key/value pairs, so a
+//                    checkpoint carries exactly the machine fingerprint a
+//                    trace of the same run would (backend_workers excluded:
+//                    a restore may fan out differently than the create run)
+//   meta block       varint pair-count, then per pair: string key, string
+//                    value (workload selection, tool bookkeeping)
+//   target           varint, the cycle the creator was asked to snapshot at
+//   quiescent        varint, the dispatch-point cycle actually snapshot
+//   nprocs           varint, simulated processes registered at the snapshot
+//   section table    varint section-count, then per section:
+//                      u8 id, varint payload length, u64 LE FNV-1a of the
+//                      payload, payload bytes
+//
+// Sections split into INSTALL state (warp log, machine, vm, stats,
+// breakdown — loaded into the restored simulation) and VERIFY state
+// (backend, arenas, kernel, devices, fault — re-derived by the restore warp
+// and byte-compared against the recorded dump; see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "trace/trace_format.h"
+#include "util/state_io.h"
+
+namespace compass::ckpt {
+
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'C', 'O', 'M', 'P',
+                                                       'A', 'S', 'C', 'K'};
+inline constexpr std::uint32_t kVersion = 1;
+
+enum class SectionId : std::uint8_t {
+  kWarpLog = 1,    ///< reply log covering cycle 0 .. quiescent
+  kMachine = 2,    ///< INSTALL: cache/NUMA/snoop state (MemorySystem)
+  kVm = 3,         ///< INSTALL: page tables, homes, segments
+  kStats = 4,      ///< INSTALL: every counter and histogram
+  kBreakdown = 5,  ///< INSTALL: per-CPU per-mode time accounting
+  kBackend = 6,    ///< VERIFY: dispatch state (procs, CPUs, channels)
+  kArenas = 7,     ///< VERIFY: every arena (free lists + nonzero pages)
+  kKernel = 8,     ///< VERIFY: fd tables, sems, fs, tcp/ip
+  kDevices = 9,    ///< VERIFY: disk + NIC state
+  kFault = 10,     ///< VERIFY: fault-injector stream positions
+};
+
+const char* to_string(SectionId id);
+
+struct CheckpointFile {
+  trace::ConfigPairs config;
+  std::map<std::string, std::string> meta;
+  Cycles target = 0;
+  Cycles quiescent = 0;
+  std::uint64_t nprocs = 0;
+  std::map<std::uint8_t, std::vector<std::uint8_t>> sections;
+
+  bool has_section(SectionId id) const {
+    return sections.contains(static_cast<std::uint8_t>(id));
+  }
+  /// Throws StateError when the section is absent.
+  const std::vector<std::uint8_t>& section(SectionId id) const;
+};
+
+std::vector<std::uint8_t> encode_file(const CheckpointFile& f);
+/// Throws util::StateError on bad magic, version, hash or truncation.
+CheckpointFile decode_file(std::span<const std::uint8_t> bytes);
+
+void write_file(const std::string& path, const CheckpointFile& f);
+CheckpointFile read_file(const std::string& path);
+
+}  // namespace compass::ckpt

@@ -5,7 +5,9 @@
 #include <limits>
 #include <sstream>
 
+#include "core/ckpt_hook.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::core {
 
@@ -161,6 +163,12 @@ void Backend::schedule_ready_procs() {
       // Deferred replies carry the generation only (no teach): the slot may
       // describe an access from a batch processed long before this wakeup.
       if (cfg_.l1_filter) r.l1_gen = hooks_.memsys->l1_filter_gen(cpu);
+      if (hooks_.ckpt != nullptr) {
+        if (hooks_.ckpt->warping())
+          hooks_.ckpt->warp_deferred_reply(proc, r);
+        else
+          hooks_.ckpt->on_deferred_reply(proc, r);
+      }
       pi.wake_retval = 0;
       port.reply(r);
     } else {
@@ -273,6 +281,11 @@ void Backend::run_loop() {
     comm_.wait_all_pending(running_);
     const ProcId proc = comm_.pick_min(running_);
     const Cycles t = comm_.port(proc).pending_time();
+    // Quiescent dispatch point: every running frontend is parked in a port
+    // wait with its batch posted, no window is in flight. The checkpoint
+    // hook snapshots (create) or installs (restore) here; true means stop.
+    if (hooks_.ckpt != nullptr && hooks_.ckpt->at_dispatch_point(*this, t))
+      break;
     if (sched_queue_.next_time() <= t) {
       // Device completions and timer ticks scheduled before the earliest
       // frontend event run first; they may change run states, so loop.
@@ -302,6 +315,35 @@ void Backend::dispatch(ProcId proc) {
     COMPASS_CHECK_MSG(batch.size() == 1,
                       "control events must be posted alone (proc " << proc << ")");
     handle_control(proc, batch.front(), port);
+    return;
+  }
+
+  if (hooks_.ckpt != nullptr) {
+    if (hooks_.ckpt->warping()) {
+      // Restore warp: skip the memory model and feed the model-dependent
+      // reply fields (resume_time, l1 teach/gen) plus the post-dispatch
+      // clock from the recorded log. Everything else — proc bookkeeping,
+      // CPU busy horizon, interrupt visibility — is rebuilt live, exactly
+      // as process_data would have.
+      ProcInfo& pi = info(proc);
+      COMPASS_CHECK_MSG(pi.cpu != kNoCpu,
+                        "data batch from proc " << proc << " with no CPU");
+      Reply r;
+      Cycles now_after = now_;
+      hooks_.ckpt->warp_data_reply(proc, now_after, r);
+      COMPASS_CHECK_MSG(now_after >= now_, "warp log clock went backwards");
+      now_ = now_after;
+      pi.last_time = r.resume_time;
+      CpuInfo& ci = cpus_[static_cast<std::size_t>(pi.cpu)];
+      ci.busy_until = std::max(ci.busy_until, pi.last_time);
+      r.cpu = pi.cpu;
+      r.interrupt_pending = interrupt_pending_for(proc);
+      port.reply(r);
+      return;
+    }
+    Reply r = process_data(proc, batch, nullptr);
+    hooks_.ckpt->on_data_reply(proc, now_, r);
+    port.reply(r);
     return;
   }
 
@@ -407,7 +449,15 @@ std::size_t Backend::form_window(ProcId first) {
   // later candidate is safe only strictly below every earlier repost bound:
   // at equal times the repost of a lower-id proc would win the tie-break.
   Cycles chain_bound = std::numeric_limits<Cycles>::max();
+  // The checkpoint hook needs its trigger to fire at a serial pick-min
+  // observation; a window must never swallow a batch at or past its
+  // boundary. Applied to the first candidate too: an empty window falls
+  // back to serial dispatch.
+  const Cycles ckpt_bound = hooks_.ckpt != nullptr
+                                ? hooks_.ckpt->window_boundary()
+                                : std::numeric_limits<Cycles>::max();
   for (const auto& [t, p] : window_cand_) {
+    if (t >= ckpt_bound) break;
     if (!window_.empty() && (t >= task_bound || t >= chain_bound)) break;
     EventPort& port = comm_.port(p);
     const EventPort::PendingPeek peek = port.peek_pending();
@@ -459,10 +509,15 @@ void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
     for (WindowItem& it : window_)
       if (it.proc % lanes == 0) run_window_item(it);
     pool.wait_window();
-    // Merge order-insensitive tallies (max / sums), then counters.
+    // Merge order-insensitive tallies (max / sums), then counters. The
+    // checkpoint tap runs in merge order with the clock folded up to each
+    // item — the running max is identical to the serial loop's now_ after
+    // the same dispatch, so lane A records the same warp log bytes.
     std::uint64_t refs = 0;
     for (const WindowItem& it : window_) {
       now_ = std::max(now_, it.local_now);
+      if (hooks_.ckpt != nullptr)
+        hooks_.ckpt->on_data_reply(it.proc, now_, it.reply);
       refs += it.local_refs;
     }
     ctr_mem_refs_->inc(refs);
@@ -475,6 +530,8 @@ void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
     pool.begin_window(delegated);
     for (WindowItem& it : window_) {
       it.reply = process_data(it.proc, it.batch, nullptr);
+      if (hooks_.ckpt != nullptr)
+        hooks_.ckpt->on_data_reply(it.proc, now_, it.reply);
       if (it.proc % lanes != 0)
         pool.push(it.proc % lanes - 1, &it);
       else
@@ -506,13 +563,22 @@ void Backend::run_loop_windowed(int workers) {
     comm_.wait_all_pending(running_);
     const ProcId proc = comm_.pick_min(running_);
     const Cycles t = comm_.port(proc).pending_time();
+    // Same quiescent-point hook as the serial loop: the trigger fires at a
+    // pick-min observation, never inside a window (form_window refuses to
+    // cross the hook's boundary), so create/restore points are identical
+    // for every worker count.
+    if (hooks_.ckpt != nullptr && hooks_.ckpt->at_dispatch_point(*this, t))
+      break;
     if (sched_queue_.next_time() <= t) {
       run_one_task();
       continue;
     }
     // Windows of one fall through to the serial dispatch path — identical
-    // behavior, none of the fan-out overhead.
-    if (running_.size() < 2 || form_window(proc) <= 1) {
+    // behavior, none of the fan-out overhead. A restore warp also forces
+    // serial dispatch: its reply log is consumed one batch at a time.
+    if (running_.size() < 2 ||
+        (hooks_.ckpt != nullptr && hooks_.ckpt->warping()) ||
+        form_window(proc) <= 1) {
       dispatch(proc);
       continue;
     }
@@ -549,6 +615,15 @@ void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
     // (where a stale one is rejected by its recorded generation).
     if (cfg_.l1_filter && pi.cpu != kNoCpu)
       r.l1_gen = hooks_.memsys->l1_filter_gen(pi.cpu);
+    // Control handling is fully live during a restore warp (no memory-model
+    // calls); only the l1 generation must come from the log, because the
+    // model's generation counters diverge while access() is skipped.
+    if (hooks_.ckpt != nullptr) {
+      if (hooks_.ckpt->warping())
+        hooks_.ckpt->warp_control_reply(proc, r);
+      else
+        hooks_.ckpt->on_control_reply(proc, r);
+    }
     port.reply(r);
   };
 
@@ -772,6 +847,62 @@ std::string Backend::dump_states() const {
   os << "  scheduler tasks: " << sched_queue_.size()
      << ", ready procs: " << proc_sched_.ready_count() << '\n';
   return os.str();
+}
+
+void Backend::ckpt_dump_state(util::StateSink& sink) const {
+  sink.varint(now_);
+  sink.svarint(irq_rr_);
+  sink.varint(procs_.size());
+  for (const ProcInfo& p : procs_) {
+    sink.str(p.name);
+    sink.u8(static_cast<std::uint8_t>(p.state));
+    sink.u8(static_cast<std::uint8_t>(p.mode));
+    sink.u8(static_cast<std::uint8_t>(p.saved_mode));
+    sink.svarint(p.cpu);
+    sink.varint(p.last_time);
+    sink.u8(p.reply_deferred ? 1 : 0);
+    sink.u8(p.is_bottom_half ? 1 : 0);
+    sink.u8(p.is_daemon ? 1 : 0);
+    sink.varint(p.channel);
+    sink.svarint(p.wake_retval);
+  }
+  sink.varint(cpus_.size());
+  for (const CpuInfo& c : cpus_) {
+    sink.varint(c.busy_until);
+    sink.varint(c.slice_start);
+    sink.varint(c.quantum);
+  }
+  sink.varint(blocked_.size());
+  for (const auto& [ch, p] : blocked_) {
+    sink.varint(ch);
+    sink.svarint(p);
+  }
+  sink.varint(permits_.size());
+  for (const auto& [ch, n] : permits_) {
+    sink.varint(ch);
+    sink.varint(n);
+  }
+  proc_sched_.ckpt_dump(sink);
+  // The global scheduler holds host closures — never serialized; the warp
+  // rebuilds them by re-execution. Shape only, as a divergence tripwire.
+  sink.varint(sched_queue_.size());
+  sink.varint(sched_queue_.empty() ? 0 : sched_queue_.next_time());
+  // Per-port pending peeks: at a quiescent point these fully describe what
+  // each parked frontend has posted (batch payloads are host-side and get
+  // re-posted identically by the warped frontends).
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    EventPort& port = comm_.port(static_cast<ProcId>(i));
+    if (!port.has_pending()) {
+      sink.u8(0);
+      continue;
+    }
+    sink.u8(1);
+    const EventPort::PendingPeek peek = port.peek_pending();
+    sink.varint(peek.first_time);
+    sink.varint(peek.last_time);
+    sink.u8(static_cast<std::uint8_t>(peek.kind));
+  }
+  for (CpuId c = 0; c < cfg_.num_cpus; ++c) comm_.cpu_state(c).ckpt_dump(sink);
 }
 
 }  // namespace compass::core

@@ -34,7 +34,13 @@
 #include "stats/counters.h"
 #include "stats/time_breakdown.h"
 
+namespace compass::util {
+class StateSink;
+}  // namespace compass::util
+
 namespace compass::core {
+
+class CkptHook;
 
 /// Lifecycle state of a simulated process as seen by the backend.
 enum class RunState : std::uint8_t {
@@ -59,6 +65,9 @@ class Backend {
     /// Optional scheduler perturbation (src/fault/): consulted at every
     /// slice grant for the effective preemption quantum.
     SchedPerturber* sched_perturb = nullptr;
+    /// Optional checkpoint/restore hook (src/ckpt/): consulted at every
+    /// pick-min dispatch point; drives snapshot creation and restore warp.
+    CkptHook* ckpt = nullptr;
   };
 
   /// `registry` lets the embedder share one stats registry across all
@@ -128,6 +137,13 @@ class Backend {
   ExecMode mode_of(ProcId proc) const;
   /// Human-readable dump of all process states (deadlock diagnostics).
   std::string dump_states() const;
+
+  std::size_t num_procs() const { return procs_.size(); }
+  /// Serialize the backend's own dispatch state (proc records, CPU slices,
+  /// block/permit tables, clock, per-port pending peeks, per-CPU interrupt
+  /// queues) for checkpoint verification. Only callable at a quiescent
+  /// dispatch point — every running frontend parked with its batch posted.
+  void ckpt_dump_state(util::StateSink& sink) const;
 
  private:
   struct ProcInfo {

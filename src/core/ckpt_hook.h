@@ -1,0 +1,56 @@
+// Checkpoint/restore hook consulted by the Backend at its deterministic
+// pick-min dispatch point.
+//
+// The hook sees every (pending_time, proc) pick before the batch is
+// consumed — a quiescent point: all running frontends are parked in port
+// waits with their batches fully posted, no window is in flight, and the
+// backend's own state is between dispatches. Create-mode implementations
+// snapshot there; restore-mode implementations fast-forward ("warp") to the
+// snapshot cycle by running all host code live while skipping the memory
+// model, feeding the model-dependent reply fields from a recorded log.
+// src/ckpt/ provides the implementation; core sees only this interface.
+#pragma once
+
+#include "core/types.h"
+
+namespace compass::core {
+
+class Backend;
+struct Reply;
+
+class CkptHook {
+ public:
+  virtual ~CkptHook() = default;
+
+  /// True while a restorer is fast-forwarding to the snapshot cycle. The
+  /// backend then dispatches serially (no windows) and routes data batches
+  /// through warp_data_reply() instead of the memory model.
+  virtual bool warping() const = 0;
+
+  /// Windowed backends must not form a window containing a batch at or past
+  /// this cycle; the hook needs the pick-min trigger to fire serially there.
+  /// Returns kNoCycle-like max() when no boundary is pending.
+  virtual Cycles window_boundary() const = 0;
+
+  /// Called at every pick-min point, before the batch at cycle `t` is
+  /// consumed. Create mode snapshots here (and lets the run continue);
+  /// restore mode installs state when the warp reaches the snapshot cycle.
+  /// Returns true when the backend should stop the run loop (run_for end).
+  virtual bool at_dispatch_point(Backend& backend, Cycles t) = 0;
+
+  /// Record taps, invoked on every reply while not warping. `now_after` is
+  /// the backend's global clock after the dispatch folded in (a running max,
+  /// identical across serial and windowed execution orders).
+  virtual void on_data_reply(ProcId proc, Cycles now_after, const Reply& r) = 0;
+  virtual void on_control_reply(ProcId proc, const Reply& r) = 0;
+  virtual void on_deferred_reply(ProcId proc, const Reply& r) = 0;
+
+  /// Warp feeds: fill the model-dependent reply fields from the log. Any
+  /// divergence from the recorded stream (wrong proc, wrong record kind)
+  /// throws — restored host code must replay the create run exactly.
+  virtual void warp_data_reply(ProcId proc, Cycles& now_after, Reply& r) = 0;
+  virtual void warp_control_reply(ProcId proc, Reply& r) = 0;
+  virtual void warp_deferred_reply(ProcId proc, Reply& r) = 0;
+};
+
+}  // namespace compass::core

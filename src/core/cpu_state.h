@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "core/types.h"
+#include "util/state_io.h"
 
 namespace compass::core {
 
@@ -86,6 +87,19 @@ class CpuState {
   std::size_t pending_count() const {
     std::lock_guard lock(mu_);
     return pending_.size();
+  }
+
+  /// Serialize flags + pending descriptors for checkpoint verification.
+  void ckpt_dump(util::StateSink& sink) const {
+    std::lock_guard lock(mu_);
+    sink.u8(int_request_.load(std::memory_order_acquire) ? 1 : 0);
+    sink.u8(int_enable_.load(std::memory_order_acquire) ? 1 : 0);
+    sink.varint(pending_.size());
+    for (const IrqDesc& d : pending_) {
+      sink.varint(static_cast<std::uint64_t>(d.irq));
+      sink.varint(d.payload);
+      sink.varint(d.raised_at);
+    }
   }
 
  private:

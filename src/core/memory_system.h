@@ -16,6 +16,7 @@
 
 #include "core/event.h"
 #include "core/types.h"
+#include "util/state_io.h"
 
 namespace compass::core {
 
@@ -89,6 +90,18 @@ class MemorySystem {
   /// Externally force a generation bump (backend mode handoffs: OS/IRQ
   /// entry and exit share the CPU's L1 between two frontend contexts).
   virtual void l1_filter_bump(CpuId cpu) { (void)cpu; }
+
+  // ---- checkpoint/restore (src/ckpt/) -----------------------------------
+
+  /// Serialize the model's complete timing/coherence state (cache tags,
+  /// sharer bitmasks, bus/directory horizons, filter generations, buffered
+  /// tallies). Must round-trip exactly through ckpt_load: a restored model
+  /// must answer every future access() identically to the uninterrupted one.
+  virtual void ckpt_save(util::StateSink& sink) const { (void)sink; }
+
+  /// Install state previously produced by ckpt_save on an identically
+  /// configured model. Throws util::StateError on shape mismatch.
+  virtual void ckpt_load(util::StateSource& src) { (void)src; }
 };
 
 /// Handler for kBackendCall events: category-2 OS services modeled inside

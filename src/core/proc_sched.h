@@ -22,6 +22,7 @@
 
 #include "core/config.h"
 #include "core/types.h"
+#include "util/state_io.h"
 
 namespace compass::core {
 
@@ -56,6 +57,31 @@ class ProcessScheduler {
 
   /// CPUs `proc` has ever run on (affinity history).
   const std::set<CpuId>& history(ProcId proc) const;
+
+  /// Serialize the full mapping state for checkpoint verification.
+  void ckpt_dump(util::StateSink& sink) const {
+    sink.varint(on_cpu_.size());
+    for (const ProcId p : on_cpu_) sink.svarint(p);
+    for (const bool r : reserved_) sink.u8(r ? 1 : 0);
+    sink.varint(ready_.size());
+    for (const ProcId p : ready_) sink.svarint(p);
+    sink.varint(cpu_of_.size());
+    for (const auto& [p, c] : cpu_of_) {
+      sink.svarint(p);
+      sink.svarint(c);
+    }
+    sink.varint(last_cpu_.size());
+    for (const auto& [p, c] : last_cpu_) {
+      sink.svarint(p);
+      sink.svarint(c);
+    }
+    sink.varint(history_.size());
+    for (const auto& [p, cpus] : history_) {
+      sink.svarint(p);
+      sink.varint(cpus.size());
+      for (const CpuId c : cpus) sink.svarint(c);
+    }
+  }
 
  private:
   CpuId pick_cpu_fcfs() const;

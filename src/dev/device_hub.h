@@ -76,6 +76,14 @@ class DeviceHub : public core::DeviceManager {
   /// replay can restage equivalent frames without the live wire model.
   void set_trace_sink(core::TraceSink* sink) { trace_ = sink; }
 
+  /// Serialize every device's state (the clock's pending ticks live in the
+  /// backend scheduler, which the restore warp rebuilds).
+  void ckpt_dump(util::StateSink& sink) const {
+    sink.varint(disks_.size());
+    for (const auto& d : disks_) d->ckpt_dump(sink);
+    eth_.ckpt_dump(sink);
+  }
+
   /// Attach the fault plane. `plan` supplies fault timing (disk timeout
   /// cost) and must outlive the hub; `injector` (may be null) enables live
   /// inbound dup/corrupt draws — a trace replayer passes null because every

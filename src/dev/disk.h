@@ -12,6 +12,7 @@
 #include "fault/fault_injector.h"
 #include "stats/counters.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::dev {
 
@@ -44,6 +45,12 @@ class Disk {
 
   int id() const { return id_; }
   const DiskConfig& config() const { return cfg_; }
+
+  /// Serialize the timing state (queue head + seek position).
+  void ckpt_dump(util::StateSink& sink) const {
+    sink.varint(busy_until_);
+    sink.varint(last_block_);
+  }
 
  private:
   Cycles service_time(std::uint64_t block, std::uint32_t nblocks) const;

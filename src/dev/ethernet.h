@@ -21,6 +21,7 @@
 #include "core/types.h"
 #include "stats/counters.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::dev {
 
@@ -68,6 +69,25 @@ class Ethernet {
 
   std::size_t pending_tx() const;
   std::size_t pending_rx() const;
+
+  /// Serialize NIC state; staged/ring payloads as size + digest.
+  void ckpt_dump(util::StateSink& sink) const {
+    std::lock_guard lock(mu_);
+    sink.varint(next_tx_id_);
+    sink.varint(next_rx_seq_);
+    sink.varint(busy_until_);
+    sink.varint(tx_staged_.size());
+    for (const auto& [id, frame] : tx_staged_) {
+      sink.varint(id);
+      sink.varint(frame.size());
+      sink.varint(util::fnv1a64({frame.data(), frame.size()}));
+    }
+    sink.varint(rx_ring_.size());
+    for (const auto& frame : rx_ring_) {
+      sink.varint(frame.size());
+      sink.varint(util::fnv1a64({frame.data(), frame.size()}));
+    }
+  }
 
  private:
   EthernetConfig cfg_;

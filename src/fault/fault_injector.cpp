@@ -1,6 +1,8 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace compass::fault {
 
@@ -180,6 +182,41 @@ void FaultInjector::publish(stats::StatsRegistry& reg) const {
     reg.counter(std::string("fault.recovered.") + to_string(k))
         .inc(recovered(k));
   }
+}
+
+namespace {
+
+void dump_rng(util::StateSink& sink, const util::Rng& rng) {
+  for (const std::uint64_t w : rng.state()) sink.u64le(w);
+}
+
+}  // namespace
+
+void FaultInjector::ckpt_dump(util::StateSink& sink) {
+  std::vector<std::pair<ProcId, const ProcStreams*>> procs;
+  {
+    std::lock_guard lock(mu_);
+    procs.reserve(per_proc_.size());
+    for (const auto& [proc, streams] : per_proc_)
+      procs.emplace_back(proc, &streams);
+  }
+  std::sort(procs.begin(), procs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  sink.varint(procs.size());
+  for (const auto& [proc, streams] : procs) {
+    sink.varint(static_cast<std::uint64_t>(proc));
+    dump_rng(sink, streams->disk);
+    dump_rng(sink, streams->oscall);
+    sink.svarint(streams->consecutive_oscall_faults);
+    sink.u8(static_cast<std::uint8_t>(streams->last_oscall));
+  }
+  dump_rng(sink, net_);
+  dump_rng(sink, rx_);
+  dump_rng(sink, sched_);
+  for (const auto& c : injected_)
+    sink.varint(c.load(std::memory_order_relaxed));
+  for (const auto& c : recovered_)
+    sink.varint(c.load(std::memory_order_relaxed));
 }
 
 }  // namespace compass::fault

@@ -35,6 +35,7 @@
 #include "fault/fault_plan.h"
 #include "stats/counters.h"
 #include "util/rng.h"
+#include "util/state_io.h"
 
 namespace compass::fault {
 
@@ -126,6 +127,10 @@ class FaultInjector final : public core::SchedPerturber {
   /// Writes fault.injected.<kind> / fault.recovered.<kind> counters.
   /// Call after the simulation has quiesced (single-threaded).
   void publish(stats::StatsRegistry& reg) const;
+
+  /// Serialize every stream position and the fault tallies in canonical
+  /// order. Quiescent-point only (no draw site is active).
+  void ckpt_dump(util::StateSink& sink);
 
  private:
   /// Per-process draw state (disk + oscall streams).

@@ -67,6 +67,46 @@ std::size_t Arena::bytes_in_use() const {
   return capacity_ - free_bytes;
 }
 
+void Arena::ckpt_dump(util::StateSink& sink) const {
+  constexpr std::size_t kDumpPage = 4096;
+  std::lock_guard lock(mu_);
+  sink.str(name_);
+  sink.varint(base_);
+  sink.varint(capacity_);
+  sink.varint(free_list_.size());
+  for (const auto& [start, size] : free_list_) {
+    sink.varint(start);
+    sink.varint(size);
+  }
+  // Pages with content, delta-compressed against the zero page (arenas are
+  // zero-initialized, so untouched pages need no bytes at all).
+  std::uint64_t nonzero = 0;
+  const std::size_t pages = (capacity_ + kDumpPage - 1) / kDumpPage;
+  std::vector<std::uint64_t> dirty;
+  for (std::size_t p = 0; p < pages; ++p) {
+    const std::size_t off = p * kDumpPage;
+    const std::size_t len = std::min(kDumpPage, capacity_ - off);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(data_.get() + off);
+    bool any = false;
+    for (std::size_t i = 0; i < len; ++i)
+      if (bytes[i] != 0) {
+        any = true;
+        break;
+      }
+    if (any) {
+      dirty.push_back(p);
+      ++nonzero;
+    }
+  }
+  sink.varint(nonzero);
+  for (const std::uint64_t p : dirty) {
+    const std::size_t off = static_cast<std::size_t>(p) * kDumpPage;
+    const std::size_t len = std::min(kDumpPage, capacity_ - off);
+    sink.varint(p);
+    sink.blob({reinterpret_cast<const std::uint8_t*>(data_.get() + off), len});
+  }
+}
+
 void AddressMap::add(Arena& arena) {
   std::lock_guard lock(mu_);
   // Overlap check against neighbors.

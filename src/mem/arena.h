@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,7 @@
 #include "core/sim_context.h"
 #include "core/types.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::mem {
 
@@ -60,6 +62,12 @@ class Arena {
 
   std::size_t bytes_in_use() const;
 
+  /// Serialize identity, free list and contents, delta-compressed against
+  /// zero pages: only 4 KiB pages with any nonzero byte are emitted. Safe at
+  /// a quiescent dispatch point: every frontend host thread is parked in a
+  /// port wait that happens-after its last arena write.
+  void ckpt_dump(util::StateSink& sink) const;
+
  private:
   std::string name_;
   Addr base_;
@@ -78,6 +86,12 @@ class AddressMap {
 
   Arena& arena_of(Addr a);
   std::byte* host(Addr a) { return arena_of(a).host(a); }
+
+  /// Visit every registered arena in ascending base order.
+  void for_each(const std::function<void(const Arena&)>& fn) const {
+    std::lock_guard lock(mu_);
+    for (const auto& [base, arena] : by_base_) fn(*arena);
+  }
 
  private:
   mutable std::mutex mu_;

@@ -18,6 +18,7 @@
 
 #include "mem/mem_config.h"
 #include "stats/counters.h"
+#include "util/state_io.h"
 
 namespace compass::mem {
 
@@ -78,6 +79,25 @@ class Cache {
 
   /// Number of resident (non-invalid) lines.
   std::size_t resident_lines() const;
+
+  /// Serialize the full metadata arrays (tags, states, LRU stamps). The
+  /// geometry is config-derived, so save/load sides always agree on shape.
+  void ckpt_save(util::StateSink& sink) const {
+    sink.varint(tags_.size());
+    for (const std::uint64_t t : tags_) sink.varint(t);
+    for (const Mesi s : states_) sink.u8(static_cast<std::uint8_t>(s));
+    for (const std::uint64_t l : lru_) sink.varint(l);
+    sink.varint(lru_clock_);
+  }
+
+  void ckpt_load(util::StateSource& src) {
+    if (src.varint() != tags_.size())
+      throw util::StateError("cache geometry mismatch in checkpoint");
+    for (std::uint64_t& t : tags_) t = src.varint();
+    for (Mesi& s : states_) s = static_cast<Mesi>(src.u8());
+    for (std::uint64_t& l : lru_) l = src.varint();
+    lru_clock_ = src.varint();
+  }
 
  private:
   /// Tag stored in invalid ways; no real address produces it (tags are

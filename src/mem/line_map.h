@@ -15,9 +15,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::mem {
 
@@ -124,6 +126,30 @@ class LineMap {
 
   /// Number of keys with a non-zero mask.
   std::size_t size() const { return size_; }
+
+  /// Serialize entries in sorted key order (canonical form — the physical
+  /// slot layout is probe-history-dependent and behaviorally irrelevant).
+  void ckpt_save(util::StateSink& sink) const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    entries.reserve(size_);
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] != kEmpty) entries.emplace_back(keys_[i], vals_[i]);
+    std::sort(entries.begin(), entries.end());
+    sink.varint(entries.size());
+    for (const auto& [k, v] : entries) {
+      sink.varint(k);
+      sink.varint(v);
+    }
+  }
+
+  void ckpt_load(util::StateSource& src) {
+    clear();
+    const std::uint64_t n = src.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t k = src.varint();
+      set(k, src.varint());
+    }
+  }
 
  private:
   static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};

@@ -31,6 +31,38 @@
 
 namespace compass::mem {
 
+/// Checkpoint codec for a teach slot. Address fields use kNone as an
+/// absent-sentinel, encoded as 0 with present values shifted by one so
+/// typical (small) line addresses stay short varints.
+inline void ckpt_save_teach(util::StateSink& sink, const core::L1Teach& t) {
+  const auto put_addr = [&sink](Addr a) {
+    sink.varint(a == core::L1Teach::kNone ? 0 : a + 1);
+  };
+  put_addr(t.vpage);
+  put_addr(t.ppage);
+  put_addr(t.line);
+  put_addr(t.victim);
+  put_addr(t.victim2);
+  sink.varint(t.gen);
+  sink.u8(t.state);
+}
+
+inline core::L1Teach ckpt_load_teach(util::StateSource& src) {
+  const auto get_addr = [&src]() {
+    const std::uint64_t v = src.varint();
+    return v == 0 ? core::L1Teach::kNone : static_cast<Addr>(v - 1);
+  };
+  core::L1Teach t;
+  t.vpage = get_addr();
+  t.ppage = get_addr();
+  t.line = get_addr();
+  t.victim = get_addr();
+  t.victim2 = get_addr();
+  t.gen = src.varint();
+  t.state = src.u8();
+  return t;
+}
+
 /// Fixed-latency memory with optional VM translation.
 ///
 /// Without a Vm the model is stateless per access, so it advertises
@@ -46,6 +78,8 @@ class FlatMemory : public core::MemorySystem {
   Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
   bool concurrent_access_safe() const override { return vm_ == nullptr; }
   void flush_stats() override;
+  void ckpt_save(util::StateSink& sink) const override;
+  void ckpt_load(util::StateSource& src) override;
 
  private:
   Cycles latency_;
@@ -92,6 +126,9 @@ class SimpleMachine : public core::MemorySystem {
   const Cache& cache(CpuId cpu) const {
     return caches_[static_cast<std::size_t>(cpu)];
   }
+
+  void ckpt_save(util::StateSink& sink) const override;
+  void ckpt_load(util::StateSource& src) override;
 
  private:
   /// Acquire the bus at `now`: returns queueing delay and holds the bus for
@@ -167,6 +204,9 @@ class NumaMachine : public core::MemorySystem {
   NodeId node_of_cpu(CpuId cpu) const {
     return static_cast<NodeId>(cpu / cpus_per_node_);
   }
+
+  void ckpt_save(util::StateSink& sink) const override;
+  void ckpt_load(util::StateSource& src) override;
 
  private:
   /// Directory entry for one cached line, held at the line's home node.

@@ -301,4 +301,54 @@ void NumaMachine::on_context_switch(CpuId cpu, ProcId, ProcId) {
   gen_bump(cpu);
 }
 
+void NumaMachine::ckpt_save(util::StateSink& sink) const {
+  sink.varint(l1_.size());
+  for (const Cache& c : l1_) c.ckpt_save(sink);
+  for (const Cache& c : l2_) c.ckpt_save(sink);
+  // Directories in sorted line order: the unordered_map's physical layout is
+  // insertion-history-dependent and behaviorally irrelevant.
+  sink.varint(dirs_.size());
+  for (const auto& dir : dirs_) {
+    std::vector<std::pair<PhysAddr, DirEntry>> entries(dir.begin(), dir.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    sink.varint(entries.size());
+    for (const auto& [line, e] : entries) {
+      sink.varint(line);
+      sink.u8(static_cast<std::uint8_t>(e.state));
+      sink.varint(e.sharers);
+      sink.svarint(e.owner);
+    }
+  }
+  for (const Cycles c : mem_free_) sink.varint(c);
+  for (const Cycles c : net_free_) sink.varint(c);
+  for (const std::uint64_t g : gens_) sink.varint(g);
+  for (const core::L1Teach& t : teach_) ckpt_save_teach(sink, t);
+}
+
+void NumaMachine::ckpt_load(util::StateSource& src) {
+  if (src.varint() != l1_.size())
+    throw util::StateError("NumaMachine CPU count mismatch in checkpoint");
+  for (Cache& c : l1_) c.ckpt_load(src);
+  for (Cache& c : l2_) c.ckpt_load(src);
+  if (src.varint() != dirs_.size())
+    throw util::StateError("NumaMachine node count mismatch in checkpoint");
+  for (auto& dir : dirs_) {
+    dir.clear();
+    const std::uint64_t n = src.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const PhysAddr line = src.varint();
+      DirEntry e;
+      e.state = static_cast<DirEntry::State>(src.u8());
+      e.sharers = src.varint();
+      e.owner = static_cast<CpuId>(src.svarint());
+      dir.emplace(line, e);
+    }
+  }
+  for (Cycles& c : mem_free_) c = src.varint();
+  for (Cycles& c : net_free_) c = src.varint();
+  for (std::uint64_t& g : gens_) g = src.varint();
+  for (core::L1Teach& t : teach_) t = ckpt_load_teach(src);
+}
+
 }  // namespace compass::mem

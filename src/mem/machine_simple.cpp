@@ -265,4 +265,33 @@ void SimpleMachine::on_context_switch(CpuId cpu, ProcId, ProcId) {
   gen_bump(cpu);
 }
 
+void FlatMemory::ckpt_save(util::StateSink& sink) const {
+  // Latency is config; the only run state is the unflushed reference tally
+  // (flush_stats runs in the run() epilogue, after any mid-run snapshot).
+  sink.varint(pending_refs_.load(std::memory_order_relaxed));
+}
+
+void FlatMemory::ckpt_load(util::StateSource& src) {
+  pending_refs_.store(src.varint(), std::memory_order_relaxed);
+}
+
+void SimpleMachine::ckpt_save(util::StateSink& sink) const {
+  sink.varint(caches_.size());
+  for (const Cache& c : caches_) c.ckpt_save(sink);
+  sink.varint(bus_free_);
+  presence_.ckpt_save(sink);
+  for (const std::uint64_t g : gens_) sink.varint(g);
+  for (const core::L1Teach& t : teach_) ckpt_save_teach(sink, t);
+}
+
+void SimpleMachine::ckpt_load(util::StateSource& src) {
+  if (src.varint() != caches_.size())
+    throw util::StateError("SimpleMachine CPU count mismatch in checkpoint");
+  for (Cache& c : caches_) c.ckpt_load(src);
+  bus_free_ = src.varint();
+  presence_.ckpt_load(src);
+  for (std::uint64_t& g : gens_) g = src.varint();
+  for (core::L1Teach& t : teach_) t = ckpt_load_teach(src);
+}
+
 }  // namespace compass::mem

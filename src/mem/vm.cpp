@@ -1,5 +1,8 @@
 #include "mem/vm.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace compass::mem {
 
 Vm::Vm(const VmConfig& cfg, stats::StatsRegistry* stats) : cfg_(cfg) {
@@ -213,6 +216,110 @@ std::vector<std::size_t> Vm::pages_per_node() const {
   std::vector<std::size_t> out(static_cast<std::size_t>(cfg_.num_nodes), 0);
   for (const auto& [_, home] : page_homes_) ++out[static_cast<std::size_t>(home)];
   return out;
+}
+
+namespace {
+// Unordered page tables serialize in sorted vpage order (canonical form).
+void save_page_table(util::StateSink& sink, const std::unordered_map<std::uint64_t, Vm::Pte>& table) {
+  std::vector<std::pair<std::uint64_t, Vm::Pte>> entries(table.begin(), table.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  sink.varint(entries.size());
+  for (const auto& [vpage, pte] : entries) {
+    sink.varint(vpage);
+    sink.varint(pte.ppage);
+    sink.svarint(pte.home);
+  }
+}
+
+void load_page_table(util::StateSource& src, std::unordered_map<std::uint64_t, Vm::Pte>& table) {
+  table.clear();
+  const std::uint64_t n = src.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t vpage = src.varint();
+    Vm::Pte pte;
+    pte.ppage = src.varint();
+    pte.home = static_cast<NodeId>(src.svarint());
+    table.emplace(vpage, pte);
+  }
+}
+}  // namespace
+
+void Vm::ckpt_save(util::StateSink& sink) const {
+  sink.varint(shootdown_epoch_);
+  sink.varint(next_ppage_);
+  sink.varint(rr_next_node_);
+  sink.varint(next_shm_base_);
+  sink.svarint(next_segid_);
+  std::vector<std::pair<std::uint64_t, NodeId>> homes(page_homes_.begin(),
+                                                      page_homes_.end());
+  std::sort(homes.begin(), homes.end());
+  sink.varint(homes.size());
+  for (const auto& [ppage, home] : homes) {
+    sink.varint(ppage);
+    sink.svarint(home);
+  }
+  sink.varint(tables_.size());
+  for (const auto& [proc, table] : tables_) {
+    sink.svarint(proc);
+    save_page_table(sink, table);
+  }
+  save_page_table(sink, kernel_table_);
+  sink.varint(segments_.size());
+  for (const auto& [segid, seg] : segments_) {
+    sink.svarint(segid);
+    sink.varint(seg.key);
+    sink.varint(seg.size);
+    sink.varint(seg.base);
+    sink.svarint(seg.attach_count);
+    sink.varint(seg.ppages.size());
+    for (const auto& p : seg.ppages)
+      sink.varint(p.has_value() ? *p + 1 : 0);
+  }
+}
+
+void Vm::ckpt_load(util::StateSource& src) {
+  shootdown_epoch_ = src.varint();
+  next_ppage_ = src.varint();
+  rr_next_node_ = src.varint();
+  next_shm_base_ = src.varint();
+  next_segid_ = src.svarint();
+  page_homes_.clear();
+  const std::uint64_t nh = src.varint();
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    const std::uint64_t ppage = src.varint();
+    page_homes_.emplace(ppage, static_cast<NodeId>(src.svarint()));
+  }
+  tables_.clear();
+  const std::uint64_t nt = src.varint();
+  for (std::uint64_t i = 0; i < nt; ++i) {
+    const auto proc = static_cast<ProcId>(src.svarint());
+    load_page_table(src, tables_[proc]);
+  }
+  load_page_table(src, kernel_table_);
+  segments_.clear();
+  seg_by_key_.clear();
+  const std::uint64_t ns = src.varint();
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    const std::int64_t segid = src.svarint();
+    Segment seg;
+    seg.key = src.varint();
+    seg.size = src.varint();
+    seg.base = src.varint();
+    seg.attach_count = static_cast<int>(src.svarint());
+    const std::uint64_t np = src.varint();
+    seg.ppages.resize(np);
+    for (std::uint64_t p = 0; p < np; ++p) {
+      const std::uint64_t v = src.varint();
+      if (v != 0) seg.ppages[p] = v - 1;
+    }
+    seg_by_key_[seg.key] = segid;
+    segments_.emplace(segid, std::move(seg));
+  }
+  // The TLBs cache translations from the pre-install tables; drop them all
+  // (they refill lazily and transparently — Debug cross-checks every hit).
+  tlbs_.clear();
+  for (auto& e : kernel_tlb_) e = TlbEntry{};
 }
 
 }  // namespace compass::mem

@@ -29,6 +29,7 @@
 #include "core/types.h"
 #include "mem/mem_config.h"
 #include "stats/counters.h"
+#include "util/state_io.h"
 
 namespace compass::mem {
 
@@ -94,13 +95,21 @@ class Vm {
   /// Pages homed on each node (placement diagnostics).
   std::vector<std::size_t> pages_per_node() const;
 
- private:
+  /// Serialize the complete paging state: page tables, page homes, segments,
+  /// allocation cursors. Software TLBs are a host-only fast path rebuilt
+  /// lazily and are not saved; ckpt_load clears them.
+  void ckpt_save(util::StateSink& sink) const;
+  void ckpt_load(util::StateSource& src);
+
   /// Page-table entry: physical page plus its (immutable) home node, so a
-  /// page-table hit never needs the page_homes_ hash.
+  /// page-table hit never needs the page_homes_ hash. Public for the
+  /// checkpoint codec's free helper functions.
   struct Pte {
     std::uint64_t ppage = 0;
     NodeId home = 0;
   };
+
+ private:
   using PageTable = std::unordered_map<std::uint64_t, Pte>;
 
   /// Direct-mapped TLB entry. The tag is vpage + 1 so that zero-initialized

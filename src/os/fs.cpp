@@ -518,4 +518,52 @@ bool FileSystem::exists(const std::string& path) const {
   return names_.contains(path);
 }
 
+void FileSystem::ckpt_dump(util::StateSink& sink) const {
+  const std::uint32_t bs = kernel_.config().fs_block_size;
+  sink.varint(names_.size());
+  for (const auto& [path, inode] : names_) {
+    sink.str(path);
+    sink.varint(inode->id);
+    sink.varint(inode->size);
+    sink.svarint(inode->disk);
+    sink.varint(inode->first_block);
+    sink.varint(inode->header_addr);
+    // Platter contents as per-page digests: enough to prove the restored
+    // run rebuilt byte-identical file data without storing it twice (the
+    // pages are host-side state the warp re-creates).
+    sink.varint(inode->pages.size());
+    for (const auto& [page, data] : inode->pages) {
+      sink.varint(page);
+      sink.varint(util::fnv1a64({data->data(), data->size()}));
+    }
+  }
+  sink.varint(next_inode_);
+  sink.varint(lru_clock_);
+  sink.varint(bufs_.size());
+  for (const auto& buf : bufs_) {
+    sink.varint(buf->key);
+    sink.varint(buf->inode_id);
+    sink.varint(buf->page);
+    sink.varint(buf->header_addr);
+    sink.varint(buf->data_addr);
+    sink.u8(buf->valid ? 1 : 0);
+    sink.u8(buf->dirty ? 1 : 0);
+    sink.u8(buf->busy ? 1 : 0);
+    sink.varint(buf->lru);
+    sink.varint(buf->waiters.size());
+    if (buf->valid)
+      sink.varint(util::fnv1a64(
+          {reinterpret_cast<const std::uint8_t*>(kernel_.mem().host(buf->data_addr)),
+           bs}));
+  }
+  sink.varint(mappings_.size());
+  for (const auto& [base, m] : mappings_) {
+    sink.varint(base);
+    sink.varint(m.inode_id);
+    sink.varint(m.offset);
+    sink.varint(m.len);
+  }
+  sink.varint(next_map_base_);
+}
+
 }  // namespace compass::os

@@ -87,6 +87,10 @@ class FileSystem {
 
   Inode* inode_by_id(std::uint64_t id);
 
+  /// Serialize the namespace, inodes (per-page content digests), buffer
+  /// cache and mappings in canonical order. Quiescent-point only.
+  void ckpt_dump(util::StateSink& sink) const;
+
  private:
   struct Buf {
     std::uint64_t key = 0;        ///< (inode_id << 20) | page

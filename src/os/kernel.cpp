@@ -370,4 +370,41 @@ std::int64_t Kernel::syscall(core::SimContext& ctx, ProcId proc,
   return -kEINVAL;
 }
 
+void Kernel::ckpt_dump(util::StateSink& sink) {
+  {
+    std::lock_guard lock(fd_mu_);
+    sink.varint(fd_tables_.size());
+    for (const auto& [proc, table] : fd_tables_) {
+      sink.varint(static_cast<std::uint64_t>(proc));
+      sink.varint(table.size());
+      for (const FdEntry& e : table) {
+        sink.u8(static_cast<std::uint8_t>(e.kind));
+        sink.varint(e.obj);
+        sink.varint(e.offset);
+        sink.varint(e.flags);
+      }
+    }
+  }
+  sink.varint(next_channel_.load(std::memory_order_relaxed));
+  // Semaphores: quiescence means no OS thread holds semlock_, so host
+  // reads are race-free without taking it.
+  sink.varint(sems_.size());
+  for (const auto& [id, sem] : sems_) {
+    sink.svarint(id);
+    sink.svarint(sem.count);
+    sink.varint(sem.waiters.size());
+  }
+  {
+    std::lock_guard lock(shm_mu_);
+    sink.varint(shm_sizes_.size());
+    for (const auto& [segid, size] : shm_sizes_) {
+      sink.svarint(segid);
+      sink.varint(size);
+    }
+  }
+  sink.varint(kmem_->bytes_in_use());
+  fs_->ckpt_dump(sink);
+  net_->ckpt_dump(sink);
+}
+
 }  // namespace compass::os

@@ -132,6 +132,12 @@ class Kernel {
   void note_shm_size(std::int64_t segid, std::uint64_t size);
   void ensure_shm_host(std::int64_t segid, Addr base);
 
+  /// Serialize kernel bookkeeping (fd tables, semaphores, channel cursor,
+  /// shm sizes) plus the file-system and TCP/IP dumps, in canonical order.
+  /// Callable only at a quiescent dispatch point: no OS thread is inside a
+  /// kernel critical section, so host-side reads need no KMutex.
+  void ckpt_dump(util::StateSink& sink);
+
  private:
   std::int64_t sys_sem(core::SimContext& ctx, ProcId proc, Sys sys,
                        std::span<const std::int64_t> args);

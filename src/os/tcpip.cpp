@@ -497,4 +497,55 @@ void TcpIp::native_rx(std::vector<std::uint8_t> frame) {
 
 std::size_t TcpIp::open_sockets() const { return sockets_.size(); }
 
+void TcpIp::ckpt_dump(util::StateSink& sink) const {
+  sink.varint(sockets_.size());
+  for (const auto& [id, s] : sockets_) {
+    sink.varint(id);
+    sink.varint(s->ctrl_addr);
+    sink.u8(static_cast<std::uint8_t>(s->state));
+    sink.varint(s->conn);
+    sink.varint(s->port);
+    sink.u8(s->peer_fin ? 1 : 0);
+    sink.varint(s->tx_seq);
+    sink.varint(s->rx_last_seq);
+    sink.u8(s->rx_has_seq ? 1 : 0);
+    sink.varint(s->rxq.size());
+    for (const auto& m : s->rxq) {
+      sink.varint(m.addr);
+      sink.varint(m.len);
+      sink.varint(m.consumed);
+    }
+    sink.varint(s->rx_avail);
+    sink.varint(s->pending_accepts.size());
+    for (const std::uint64_t a : s->pending_accepts) sink.varint(a);
+    sink.varint(s->readers.size());
+    sink.varint(s->accepters.size());
+    sink.varint(s->connecters.size());
+    sink.varint(s->selectors.size());
+  }
+  sink.varint(listeners_.size());
+  for (const auto& [port, ids] : listeners_) {
+    sink.varint(port);
+    sink.varint(ids.size());
+    for (const std::uint64_t id : ids) sink.varint(id);
+  }
+  sink.varint(listener_rr_.size());
+  for (const auto& [port, rr] : listener_rr_) {
+    sink.varint(port);
+    sink.varint(rr);
+  }
+  sink.varint(conns_.size());
+  for (const auto& [conn, sock_id] : conns_) {
+    sink.varint(conn);
+    sink.varint(sock_id);
+  }
+  sink.varint(next_sock_);
+  sink.varint(next_conn_);
+  // The freelist order is alloc/free history under the netlock, which the
+  // backend grants deterministically — dump it verbatim.
+  sink.varint(mbuf_freelist_.size());
+  for (const Addr a : mbuf_freelist_) sink.varint(a);
+  sink.varint(rx_staging_);
+}
+
 }  // namespace compass::os

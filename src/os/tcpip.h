@@ -25,6 +25,7 @@
 #include "core/sim_context.h"
 #include "os/ksync.h"
 #include "os/syscall.h"
+#include "util/state_io.h"
 
 namespace compass::os {
 
@@ -102,6 +103,10 @@ class TcpIp {
   void native_rx(std::vector<std::uint8_t> frame);
 
   std::size_t open_sockets() const;
+
+  /// Serialize sockets, listener tables, connection map, mbuf freelist and
+  /// allocation cursors in canonical order. Quiescent-point only.
+  void ckpt_dump(util::StateSink& sink) const;
 
  private:
   struct Socket {

@@ -11,6 +11,12 @@ constexpr Addr kUserHeapStride = 0x10'0000'0000ull;  // 64 GB per process
 
 Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.core.validate();
+  // core.batch_size is the simulated-machine interleaving knob (and the one
+  // the trace/checkpoint config fingerprint records); the frontend contexts
+  // read SimContextOptions::batch_size. Install the former into the latter
+  // unless a caller already set the context option directly.
+  if (cfg_.os_server.ctx_opts.batch_size == 1)
+    cfg_.os_server.ctx_opts.batch_size = cfg_.core.batch_size;
   comm_ = std::make_unique<core::Communicator>(cfg_.core.num_cpus,
                                                cfg_.core.host_cpus);
 
@@ -41,6 +47,7 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   hooks.devices = devices_.get();
   hooks.idle_irq = &idle_binder_;
   hooks.trace = cfg_.trace_sink;
+  hooks.ckpt = cfg_.ckpt;
   if (injector_ != nullptr) hooks.sched_perturb = injector_.get();
   backend_ = std::make_unique<core::Backend>(cfg_.core, *comm_, hooks, &registry_);
   devices_->set_trace_sink(cfg_.trace_sink);
@@ -112,6 +119,7 @@ Simulation::Simulation(SimulationConfig cfg) : cfg_(std::move(cfg)) {
   }
   os_server_ = std::make_unique<os::OsServer>(cfg_.os_server, *backend_, *kernel_);
   idle_binder_.target = os_server_.get();
+  if (cfg_.post_build) cfg_.post_build(*this);
 }
 
 Simulation::~Simulation() {

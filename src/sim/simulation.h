@@ -25,6 +25,8 @@
 
 namespace compass::sim {
 
+class Simulation;
+
 enum class BackendModel {
   kFlat,    ///< fixed-latency memory (no caches)
   kSimple,  ///< paper's "simplest backend": one-level cache + MESI bus
@@ -50,6 +52,14 @@ struct SimulationConfig {
   /// batch plus the device/kernel side-band records. Not owned; must
   /// outlive the Simulation.
   core::TraceSink* trace_sink = nullptr;
+  /// Optional checkpoint coordinator (src/ckpt/): consulted at every
+  /// dispatch point for snapshot/stop triggers and (on restore) supplies
+  /// the warp fast-forward replies. Not owned; must outlive the Simulation.
+  core::CkptHook* ckpt = nullptr;
+  /// Called at the end of construction with the fully-wired Simulation —
+  /// the hook point where a checkpoint coordinator binds to the subsystem
+  /// objects it snapshots/restores.
+  std::function<void(Simulation&)> post_build;
 };
 
 class Simulation {
@@ -72,6 +82,8 @@ class Simulation {
 
   core::Backend& backend() { return *backend_; }
   core::Communicator& communicator() { return *comm_; }
+  /// The real architecture model (behind the construction trampoline).
+  core::MemorySystem& machine() { return *machine_; }
   os::Kernel& kernel() { return *kernel_; }
   os::OsServer& os_server() { return *os_server_; }
   dev::DeviceHub& devices() { return *devices_; }
@@ -117,6 +129,10 @@ class Simulation {
       return real->take_l1_teach(c);
     }
     void l1_filter_bump(CpuId c) override { real->l1_filter_bump(c); }
+    void ckpt_save(util::StateSink& sink) const override {
+      real->ckpt_save(sink);
+    }
+    void ckpt_load(util::StateSource& src) override { real->ckpt_load(src); }
   };
 
   struct ProcSlot {

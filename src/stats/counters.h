@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::stats {
 
@@ -19,6 +20,8 @@ class Counter {
   void inc(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
+  /// Checkpoint install only: overwrite with the snapshotted value.
+  void set(std::uint64_t v) { value_ = v; }
 
  private:
   std::uint64_t value_ = 0;
@@ -42,6 +45,37 @@ class Histogram {
   std::uint64_t quantile(double q) const;
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
   void reset();
+
+  void ckpt_save(util::StateSink& sink) const {
+    sink.varint(count_);
+    sink.varint(sum_);
+    sink.varint(min_);
+    sink.varint(max_);
+    std::size_t nonzero = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      if (buckets_[i] != 0) ++nonzero;
+    sink.varint(nonzero);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      sink.varint(i);
+      sink.varint(buckets_[i]);
+    }
+  }
+
+  void ckpt_load(util::StateSource& src) {
+    reset();
+    count_ = src.varint();
+    sum_ = src.varint();
+    min_ = src.varint();
+    max_ = src.varint();
+    const std::uint64_t nonzero = src.varint();
+    for (std::uint64_t i = 0; i < nonzero; ++i) {
+      const std::uint64_t idx = src.varint();
+      if (idx >= buckets_.size())
+        throw util::StateError("histogram bucket index out of range");
+      buckets_[idx] = src.varint();
+    }
+  }
 
  private:
   static constexpr std::size_t kBuckets = 65;
@@ -69,6 +103,39 @@ class StatsRegistry {
   }
 
   void reset_all();
+
+  /// Serialize every named counter value and histogram.
+  void ckpt_save(util::StateSink& sink) const {
+    sink.varint(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      sink.str(name);
+      sink.varint(c.value());
+    }
+    sink.varint(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      sink.str(name);
+      h.ckpt_save(sink);
+    }
+  }
+
+  /// Install a snapshot wholesale: named entries take the snapshotted
+  /// values, entries registered since (warp-time registrations) are zeroed.
+  /// std::map nodes are stable, so cached Counter*/Histogram* pointers held
+  /// by hot paths stay valid across the install.
+  void ckpt_load(util::StateSource& src) {
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, h] : histograms_) h.reset();
+    const std::uint64_t nc = src.varint();
+    for (std::uint64_t i = 0; i < nc; ++i) {
+      const std::string name = src.str();
+      counters_[name].set(src.varint());
+    }
+    const std::uint64_t nh = src.varint();
+    for (std::uint64_t i = 0; i < nh; ++i) {
+      const std::string name = src.str();
+      histograms_[name].ckpt_load(src);
+    }
+  }
 
  private:
   std::map<std::string, Counter> counters_;

@@ -182,10 +182,15 @@ StatsSnapshot parse_stats_json(const std::string& text) {
   JsonCursor c(text);
   c.expect('{');
   bool first_key = true;
+  std::map<std::string, bool> seen_top;
   while (!c.try_consume('}')) {
     if (!first_key) c.expect(',');
     first_key = false;
     const std::string key = c.string();
+    // A duplicate key means one of the two values silently wins — reject it
+    // rather than hand golden comparisons a half-overwritten snapshot.
+    if (!seen_top.emplace(key, true).second)
+      c.fail("duplicate key '" + key + "'");
     c.expect(':');
     if (key == "cycles") {
       snap.cycles = static_cast<Cycles>(c.integer());
@@ -197,7 +202,9 @@ StatsSnapshot parse_stats_json(const std::string& text) {
         first = false;
         const std::string name = c.string();
         c.expect(':');
-        snap.counters[name] = c.integer();
+        const std::uint64_t v = c.integer();
+        if (!snap.counters.emplace(name, v).second)
+          c.fail("duplicate counter '" + name + "'");
       }
     } else if (key == "cpu_time") {
       c.expect('[');
@@ -223,10 +230,13 @@ StatsSnapshot parse_stats_json(const std::string& text) {
         c.expect('{');
         HistSummary h;
         bool hfirst = true;
+        std::map<std::string, bool> seen_fields;
         while (!c.try_consume('}')) {
           if (!hfirst) c.expect(',');
           hfirst = false;
           const std::string field = c.string();
+          if (!seen_fields.emplace(field, true).second)
+            c.fail("duplicate histogram field '" + field + "'");
           c.expect(':');
           const std::uint64_t v = c.integer();
           if (field == "count") h.count = v;
@@ -235,7 +245,8 @@ StatsSnapshot parse_stats_json(const std::string& text) {
           else if (field == "max") h.max = v;
           else c.fail("unknown histogram field '" + field + "'");
         }
-        snap.histograms[name] = h;
+        if (!snap.histograms.emplace(name, h).second)
+          c.fail("duplicate histogram '" + name + "'");
       }
     } else {
       c.fail("unknown key '" + key + "'");

@@ -13,6 +13,7 @@
 
 #include "core/types.h"
 #include "util/check.h"
+#include "util/state_io.h"
 
 namespace compass::stats {
 
@@ -63,6 +64,19 @@ class TimeBreakdown {
   std::string to_string(const std::string& label) const;
 
   void reset();
+
+  void ckpt_save(util::StateSink& sink) const {
+    sink.varint(cpus_.size());
+    for (const CpuTime& ct : cpus_)
+      for (const Cycles c : ct.by_mode) sink.varint(c);
+  }
+
+  void ckpt_load(util::StateSource& src) {
+    if (src.varint() != cpus_.size())
+      throw util::StateError("time-breakdown CPU count mismatch");
+    for (CpuTime& ct : cpus_)
+      for (Cycles& c : ct.by_mode) c = src.varint();
+  }
 
  private:
   std::vector<CpuTime> cpus_;

@@ -31,6 +31,10 @@ class Rng {
     for (auto& s : state_) s = splitmix();
   }
 
+  /// Raw generator state, for checkpointing stream positions.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;

@@ -1,0 +1,173 @@
+// Byte-oriented serialization primitives for checkpoint state sections.
+//
+// StateSink appends scalars/blobs to a growable byte vector; StateSource is
+// a bounds-checked cursor modeled on trace/'s ByteReader: every overrun or
+// malformed varint throws StateError instead of reading past the buffer, so
+// a truncated or corrupt checkpoint fails loudly rather than installing
+// garbage simulator state. Lives in util/ so core/mem/os/dev state dumpers
+// depend only on util, keeping src/ckpt/ free to link sim+trace on top.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace compass::util {
+
+/// Any malformed-checkpoint condition: truncation, corrupt varint,
+/// bad magic/version/hash, section mismatch.
+class StateError : public SimError {
+ public:
+  explicit StateError(const std::string& what) : SimError(what) {}
+};
+
+/// FNV-1a over a byte span (section and page fingerprints).
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Append-only byte-vector writer. All integers go out as LEB128 varints
+/// unless a fixed-width little-endian form is requested explicitly.
+class StateSink {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u64le(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u32le(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Zigzag-encoded signed varint.
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void raw(std::span<const std::uint8_t> b) {
+    bytes_.insert(bytes_.end(), b.begin(), b.end());
+  }
+
+  /// Length-prefixed byte blob.
+  void blob(std::span<const std::uint8_t> b) {
+    varint(b.size());
+    raw(b);
+  }
+
+  /// Length-prefixed string.
+  void str(std::string_view s) {
+    varint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked cursor over serialized state. Mirrors trace::ByteReader's
+/// rejection discipline (truncation + non-canonical varints throw).
+class StateSource {
+ public:
+  explicit StateSource(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size())
+      throw StateError("checkpoint truncated at byte " + std::to_string(pos_));
+    return bytes_[pos_++];
+  }
+
+  std::uint64_t u64le() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::uint32_t u32le() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) {
+        // Reject non-canonical 10-byte encodings overflowing 64 bits.
+        if (shift == 63 && b > 1)
+          throw StateError("corrupt varint at byte " + std::to_string(pos_));
+        return v;
+      }
+    }
+    throw StateError("corrupt varint at byte " + std::to_string(pos_));
+  }
+
+  std::int64_t svarint() {
+    const std::uint64_t v = varint();
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+  }
+
+  void raw(std::span<std::uint8_t> out) {
+    if (bytes_.size() - pos_ < out.size())
+      throw StateError("checkpoint truncated at byte " + std::to_string(pos_));
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = bytes_[pos_ + i];
+    pos_ += out.size();
+  }
+
+  /// `n` raw bytes; the returned span aliases the source buffer.
+  std::span<const std::uint8_t> bytes(std::uint64_t n) {
+    if (bytes_.size() - pos_ < n)
+      throw StateError("checkpoint truncated at byte " + std::to_string(pos_));
+    const std::span<const std::uint8_t> out = bytes_.subspan(
+        pos_, static_cast<std::size_t>(n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed blob; the returned span aliases the source buffer.
+  std::span<const std::uint8_t> blob() { return bytes(varint()); }
+
+  std::string str() {
+    const std::span<const std::uint8_t> b = blob();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace compass::util

@@ -200,6 +200,63 @@ ScenarioStats run_web(sim::SimulationConfig cfg, const WebScenario& sc) {
   return out;
 }
 
+// --------------------------------------------------------- generic dispatch
+
+namespace {
+
+/// Pull an integer knob from `kv`, consuming it (so leftovers are errors).
+std::int64_t take_int(std::map<std::string, std::string>& kv,
+                      const std::string& key, std::int64_t def) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return def;
+  const std::int64_t v = std::stoll(it->second);
+  kv.erase(it);
+  return v;
+}
+
+}  // namespace
+
+ScenarioStats run_scenario(sim::SimulationConfig cfg,
+                           const ScenarioParams& params) {
+  std::map<std::string, std::string> kv = params.kv;
+  ScenarioStats st;
+  if (params.workload == "sci") {
+    SciScenario sc;
+    sc.matmul.n = static_cast<int>(take_int(kv, "n", 32));
+    sc.matmul.nprocs = static_cast<int>(take_int(kv, "nprocs", 2));
+    st = run_sci(cfg, sc);
+  } else if (params.workload == "web") {
+    WebScenario sc;
+    sc.requests = static_cast<std::uint64_t>(take_int(kv, "requests", 20));
+    sc.servers = static_cast<int>(take_int(kv, "servers", 1));
+    sc.seed = static_cast<std::uint64_t>(take_int(kv, "seed", 99));
+    st = run_web(cfg, sc);
+  } else if (params.workload == "tpcc") {
+    TpccScenario sc;
+    sc.workers = static_cast<int>(take_int(kv, "workers", 2));
+    sc.tpcc.txns_per_worker = static_cast<int>(
+        take_int(kv, "txns", sc.tpcc.txns_per_worker));
+    sc.tpcc.items = static_cast<int>(take_int(kv, "items", sc.tpcc.items));
+    sc.tpcc.warehouses =
+        static_cast<int>(take_int(kv, "warehouses", sc.tpcc.warehouses));
+    sc.tpcc.db.pool_pages = static_cast<std::uint32_t>(
+        take_int(kv, "pool", sc.tpcc.db.pool_pages));
+    st = run_tpcc(cfg, sc);
+  } else if (params.workload == "tpcd") {
+    TpcdScenario sc;
+    sc.workers = static_cast<int>(take_int(kv, "workers", 2));
+    sc.repeats = static_cast<int>(take_int(kv, "repeats", 1));
+    st = run_tpcd(cfg, sc);
+  } else {
+    throw util::ConfigError("unknown workload '" + params.workload +
+                            "' (expected sci|web|tpcc|tpcd)");
+  }
+  COMPASS_CHECK_MSG(kv.empty(), "unknown workload parameter '"
+                                    << kv.begin()->first << "' for "
+                                    << params.workload);
+  return st;
+}
+
 // -------------------------------------------------------------------- sci
 
 ScenarioStats run_sci(sim::SimulationConfig cfg, const SciScenario& sc) {

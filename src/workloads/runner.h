@@ -7,6 +7,8 @@
 #pragma once
 
 #include <chrono>
+#include <map>
+#include <string>
 
 #include "sim/simulation.h"
 #include "stats/json.h"
@@ -85,5 +87,22 @@ struct SciScenario {
   sci::MatmulConfig matmul;
 };
 ScenarioStats run_sci(sim::SimulationConfig cfg, const SciScenario& sc);
+
+// ---- generic dispatch ------------------------------------------------------
+
+/// A workload selection in portable string form — what checkpoint files and
+/// tools pass around. `kv` holds the per-workload knobs under the same names
+/// trace_record uses (sci: n, nprocs; web: requests, servers, seed;
+/// tpcc/tpcd: workers; tpcc: txns, items, warehouses, pool; tpcd: repeats);
+/// missing keys take the trace_record defaults. Unknown keys are rejected.
+struct ScenarioParams {
+  std::string workload;  ///< "sci" | "web" | "tpcc" | "tpcd"
+  std::map<std::string, std::string> kv;
+};
+
+/// Run the named scenario: the single entry point the checkpoint tools use
+/// so that a restore re-executes exactly the workload the original run did.
+ScenarioStats run_scenario(sim::SimulationConfig cfg,
+                           const ScenarioParams& params);
 
 }  // namespace compass::workloads

@@ -1,0 +1,424 @@
+// Tests for the checkpoint/restore subsystem (src/ckpt/): state-io
+// primitives, checkpoint-file robustness against malformed input, and the
+// golden restore-equivalence property — a run restored from cycle T must
+// produce byte-identical traces and golden-matching counters versus the
+// uninterrupted run — crossed with backend workers, the frontend L1 filter
+// and an enabled fault plan.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "trace/golden.h"
+#include "trace/trace_recorder.h"
+#include "util/state_io.h"
+#include "workloads/runner.h"
+
+namespace compass {
+namespace {
+
+using util::StateError;
+using util::StateSink;
+using util::StateSource;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "compass_ckpt_test." + name;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> bytes;
+  int c = 0;
+  while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+  std::fclose(f);
+  return bytes;
+}
+
+// ---- state-io primitives ---------------------------------------------------
+
+TEST(StateIo, VarintRoundTrip) {
+  StateSink sink;
+  const std::uint64_t values[] = {0,     1,          127,        128,
+                                  16383, 16384,      0xDEADBEEF, 1ull << 62,
+                                  ~0ull, 0x80,       0x3FFF,     42};
+  for (const std::uint64_t v : values) sink.varint(v);
+  StateSource src({sink.bytes().data(), sink.bytes().size()});
+  for (const std::uint64_t v : values) EXPECT_EQ(src.varint(), v);
+  EXPECT_TRUE(src.at_end());
+}
+
+TEST(StateIo, SvarintRoundTrip) {
+  StateSink sink;
+  const std::int64_t values[] = {0, 1, -1, 63, -64, 1ll << 40, -(1ll << 40),
+                                 INT64_MAX, INT64_MIN};
+  for (const std::int64_t v : values) sink.svarint(v);
+  StateSource src({sink.bytes().data(), sink.bytes().size()});
+  for (const std::int64_t v : values) EXPECT_EQ(src.svarint(), v);
+  EXPECT_TRUE(src.at_end());
+}
+
+TEST(StateIo, VarintRejectsTruncation) {
+  StateSink sink;
+  sink.varint(1ull << 40);
+  std::vector<std::uint8_t> buf = sink.take();
+  buf.pop_back();  // drop the terminating byte
+  StateSource src({buf.data(), buf.size()});
+  EXPECT_THROW(src.varint(), StateError);
+}
+
+TEST(StateIo, VarintRejectsOverlongEncoding) {
+  const std::vector<std::uint8_t> buf(11, 0x80);
+  StateSource src({buf.data(), buf.size()});
+  EXPECT_THROW(src.varint(), StateError);
+}
+
+TEST(StateIo, ScalarAndBlobRoundTrip) {
+  StateSink sink;
+  sink.u8(0xAB);
+  sink.u32le(0x01020304);
+  sink.u64le(0x1122334455667788ull);
+  sink.str("quiescent");
+  const std::uint8_t payload[] = {9, 8, 7};
+  sink.blob({payload, 3});
+  StateSource src({sink.bytes().data(), sink.bytes().size()});
+  EXPECT_EQ(src.u8(), 0xAB);
+  EXPECT_EQ(src.u32le(), 0x01020304u);
+  EXPECT_EQ(src.u64le(), 0x1122334455667788ull);
+  EXPECT_EQ(src.str(), "quiescent");
+  const auto got = src.blob();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[2], 7);
+  EXPECT_TRUE(src.at_end());
+}
+
+TEST(StateIo, TruncatedBlobThrows) {
+  StateSink sink;
+  const std::vector<std::uint8_t> payload(64, 0x5A);
+  sink.blob({payload.data(), payload.size()});
+  std::vector<std::uint8_t> buf = sink.take();
+  buf.resize(buf.size() - 10);
+  StateSource src({buf.data(), buf.size()});
+  EXPECT_THROW(src.blob(), StateError);
+}
+
+// ---- checkpoint-file format ------------------------------------------------
+
+ckpt::CheckpointFile make_test_file() {
+  ckpt::CheckpointFile f;
+  f.config = {{3, 17}, {7, 1}};
+  f.meta = {{"workload", "sci"}, {"n", "8"}};
+  f.target = 1000;
+  f.quiescent = 1034;
+  f.nprocs = 4;
+  f.sections[static_cast<std::uint8_t>(ckpt::SectionId::kWarpLog)] = {1, 2, 3};
+  f.sections[static_cast<std::uint8_t>(ckpt::SectionId::kStats)] = {0, 9};
+  return f;
+}
+
+TEST(CkptFormat, EncodeDecodeRoundTrip) {
+  const ckpt::CheckpointFile f = make_test_file();
+  const std::vector<std::uint8_t> bytes = ckpt::encode_file(f);
+  const ckpt::CheckpointFile g = ckpt::decode_file(bytes);
+  EXPECT_EQ(g.config, f.config);
+  EXPECT_EQ(g.meta, f.meta);
+  EXPECT_EQ(g.target, f.target);
+  EXPECT_EQ(g.quiescent, f.quiescent);
+  EXPECT_EQ(g.nprocs, f.nprocs);
+  EXPECT_EQ(g.sections, f.sections);
+  EXPECT_TRUE(g.has_section(ckpt::SectionId::kStats));
+  EXPECT_FALSE(g.has_section(ckpt::SectionId::kVm));
+  EXPECT_THROW(g.section(ckpt::SectionId::kVm), StateError);
+}
+
+TEST(CkptFormat, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = ckpt::encode_file(make_test_file());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(ckpt::decode_file(bytes), StateError);
+}
+
+TEST(CkptFormat, RejectsUnknownVersion) {
+  std::vector<std::uint8_t> bytes = ckpt::encode_file(make_test_file());
+  bytes[8] += 1;  // version u32 LE sits right after the 8-byte magic
+  EXPECT_THROW(ckpt::decode_file(bytes), StateError);
+}
+
+TEST(CkptFormat, RejectsCorruptedSectionPayload) {
+  std::vector<std::uint8_t> bytes = ckpt::encode_file(make_test_file());
+  bytes.back() ^= 0x01;  // last byte of the last section payload
+  EXPECT_THROW(ckpt::decode_file(bytes), StateError);
+}
+
+TEST(CkptFormat, RejectsCorruptedConfigBlock) {
+  const ckpt::CheckpointFile f = make_test_file();
+  std::vector<std::uint8_t> bytes = ckpt::encode_file(f);
+  // The config block starts right after magic+version+hash (8+4+8 bytes);
+  // flipping its first byte must trip the config fingerprint.
+  bytes[20] ^= 0x01;
+  EXPECT_THROW(ckpt::decode_file(bytes), StateError);
+}
+
+TEST(CkptFormat, RejectsEveryTruncation) {
+  const std::vector<std::uint8_t> bytes = ckpt::encode_file(make_test_file());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        ckpt::decode_file({bytes.data(), len}), StateError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(CkptFormat, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = ckpt::encode_file(make_test_file());
+  bytes.push_back(0);
+  EXPECT_THROW(ckpt::decode_file(bytes), StateError);
+}
+
+TEST(CkptFormat, FileRoundTrip) {
+  const std::string path = temp_path("roundtrip.ckpt");
+  const ckpt::CheckpointFile f = make_test_file();
+  ckpt::write_file(path, f);
+  const ckpt::CheckpointFile g = ckpt::read_file(path);
+  EXPECT_EQ(g.sections, f.sections);
+  std::remove(path.c_str());
+}
+
+TEST(CkptWriter, RejectsConflictingOrMissingTargets) {
+  sim::SimulationConfig cfg;
+  ckpt::CreateOptions both;
+  both.every = 100;
+  both.at_cycles = {200};
+  EXPECT_THROW(ckpt::CheckpointWriter(cfg, both), util::SimError);
+  ckpt::CreateOptions neither;
+  EXPECT_THROW(ckpt::CheckpointWriter(cfg, neither), util::SimError);
+}
+
+// ---- golden restore equivalence --------------------------------------------
+
+struct RunOutput {
+  workloads::ScenarioStats stats;
+  std::vector<std::uint8_t> trace;
+};
+
+/// Uninterrupted reference run with a trace recorder attached.
+RunOutput run_plain(sim::SimulationConfig cfg,
+                    const workloads::ScenarioParams& params,
+                    const std::string& tag) {
+  const std::string path = temp_path(tag + ".base.trace");
+  RunOutput out;
+  {
+    trace::TraceRecorder recorder(cfg, path);
+    cfg.trace_sink = &recorder;
+    out.stats = workloads::run_scenario(cfg, params);
+    recorder.finalize();
+  }
+  out.trace = slurp(path);
+  std::remove(path.c_str());
+  return out;
+}
+
+/// Same run with a CheckpointWriter snapshotting at `opts` targets.
+std::vector<std::string> run_create(sim::SimulationConfig cfg,
+                                    const workloads::ScenarioParams& params,
+                                    ckpt::CreateOptions opts) {
+  opts.meta = params.kv;
+  opts.meta["workload"] = params.workload;
+  ckpt::CheckpointWriter writer(cfg, opts);
+  cfg.ckpt = &writer;
+  cfg.post_build = [&writer](sim::Simulation& s) { writer.bind(s); };
+  workloads::run_scenario(cfg, params);
+  return writer.written();
+}
+
+/// Restore from an in-memory checkpoint and run to completion (or run_for).
+RunOutput run_restore(ckpt::CheckpointFile file, const std::string& tag,
+                      Cycles run_for = 0, int workers_override = -1) {
+  sim::SimulationConfig cfg = ckpt::config_from(file, workers_override);
+  const workloads::ScenarioParams params = [&file] {
+    workloads::ScenarioParams p;
+    p.kv = file.meta;
+    p.workload = p.kv.at("workload");
+    p.kv.erase("workload");
+    return p;
+  }();
+  ckpt::CheckpointRestorer restorer(std::move(file), run_for);
+  cfg.ckpt = &restorer;
+  cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
+  const std::string path = temp_path(tag + ".restore.trace");
+  RunOutput out;
+  {
+    trace::TraceRecorder recorder(cfg, path);
+    cfg.trace_sink = &recorder;
+    out.stats = workloads::run_scenario(cfg, params);
+    recorder.finalize();
+  }
+  EXPECT_TRUE(restorer.installed()) << tag << ": warp never reached snapshot";
+  out.trace = slurp(path);
+  std::remove(path.c_str());
+  return out;
+}
+
+void expect_equivalent(const RunOutput& base, const RunOutput& restored,
+                       const std::string& tag) {
+  EXPECT_EQ(base.trace, restored.trace)
+      << tag << ": restored trace is not byte-identical";
+  const std::vector<std::string> diff =
+      trace::golden_diff(base.stats.snapshot, restored.stats.snapshot);
+  EXPECT_TRUE(diff.empty()) << tag << ": " << diff.size()
+                            << " counter mismatches, first: "
+                            << (diff.empty() ? "" : diff.front());
+  EXPECT_EQ(base.stats.cycles, restored.stats.cycles) << tag;
+  EXPECT_EQ(base.stats.work_units, restored.stats.work_units) << tag;
+}
+
+/// One full equivalence check: uninterrupted vs create-at-T vs restore.
+void check_roundtrip(const sim::SimulationConfig& cfg,
+                     const workloads::ScenarioParams& params, Cycles at,
+                     const std::string& tag, int restore_workers = -1) {
+  const RunOutput base = run_plain(cfg, params, tag);
+  ASSERT_GT(base.stats.cycles, at) << tag << ": snapshot target after run end";
+  ckpt::CreateOptions opts;
+  opts.out = temp_path(tag + ".ckpt");
+  opts.at_cycles = {at};
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_EQ(files.size(), 1u) << tag;
+  ckpt::CheckpointFile file = ckpt::read_file(files[0]);
+  EXPECT_GE(file.quiescent, at) << tag;
+  const RunOutput restored =
+      run_restore(std::move(file), tag, 0, restore_workers);
+  expect_equivalent(base, restored, tag);
+  std::remove(files[0].c_str());
+}
+
+workloads::ScenarioParams sci_params() {
+  return {"sci", {{"n", "16"}, {"nprocs", "2"}}};
+}
+
+workloads::ScenarioParams web_params() {
+  return {"web", {{"requests", "6"}, {"servers", "1"}, {"seed", "99"}}};
+}
+
+workloads::ScenarioParams tpcc_params() {
+  return {"tpcc", {{"workers", "2"}}};
+}
+
+TEST(CkptGolden, SciRestoreMatchesUninterrupted) {
+  sim::SimulationConfig cfg;
+  check_roundtrip(cfg, sci_params(), 15'000, "sci");
+}
+
+TEST(CkptGolden, WebRestoreMatchesUninterrupted) {
+  sim::SimulationConfig cfg;
+  check_roundtrip(cfg, web_params(), 400'000, "web");
+}
+
+TEST(CkptGolden, TpccRestoreMatchesUninterrupted) {
+  sim::SimulationConfig cfg;
+  check_roundtrip(cfg, tpcc_params(), 1'000'000, "tpcc");
+}
+
+TEST(CkptGolden, ParallelBackendRestoreMatches) {
+  // W=4 on both sides of the snapshot: triggers must fire at the same
+  // dispatch points as the serial loop, and the restore warp must force
+  // serial dispatch until install.
+  sim::SimulationConfig cfg;
+  cfg.core.backend_workers = 4;
+  check_roundtrip(cfg, tpcc_params(), 1'000'000, "tpcc_w4");
+}
+
+TEST(CkptGolden, L1FilterRestoreMatches) {
+  // With the frontend filter on, warp replies must carry the recorded
+  // l1_gen and teach slots or the mirrors diverge.
+  sim::SimulationConfig cfg;
+  cfg.core.l1_filter = true;
+  check_roundtrip(cfg, sci_params(), 15'000, "sci_l1");
+}
+
+TEST(CkptGolden, FaultedPlanRestoreMatches) {
+  sim::SimulationConfig cfg;
+  cfg.fault.seed = 7;
+  cfg.fault.disk_error_prob = 0.05;
+  cfg.fault.oscall_eintr_prob = 0.02;
+  check_roundtrip(cfg, tpcc_params(), 1'000'000, "tpcc_fault");
+}
+
+TEST(CkptGolden, RestoreWithDifferentWorkerCountMatches) {
+  // backend_workers is deliberately excluded from the config fingerprint: a
+  // serial create run must restore bit-identically under W=4 fan-out.
+  sim::SimulationConfig cfg;
+  check_roundtrip(cfg, sci_params(), 15'000, "sci_w_override",
+                  /*restore_workers=*/4);
+}
+
+TEST(CkptGolden, EverySeriesEachRestores) {
+  sim::SimulationConfig cfg;
+  const workloads::ScenarioParams params = web_params();
+  const RunOutput base = run_plain(cfg, params, "web_series");
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("web_series.ckpt");
+  opts.every = 600'000;
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_GE(files.size(), 2u) << "run too short to sample twice";
+  for (const std::string& path : files) {
+    const RunOutput restored =
+        run_restore(ckpt::read_file(path), "web_series");
+    expect_equivalent(base, restored, "web_series:" + path);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CkptGolden, RunForStopsEarly) {
+  sim::SimulationConfig cfg;
+  const workloads::ScenarioParams params = web_params();
+  const RunOutput base = run_plain(cfg, params, "web_runfor");
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("web_runfor.ckpt");
+  opts.at_cycles = {400'000};
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_EQ(files.size(), 1u);
+  ckpt::CheckpointFile file = ckpt::read_file(files[0]);
+  const Cycles quiescent = file.quiescent;
+  const RunOutput region =
+      run_restore(std::move(file), "web_runfor", /*run_for=*/100'000);
+  EXPECT_LT(region.stats.cycles, base.stats.cycles)
+      << "run_for did not stop the region early";
+  EXPECT_GE(region.stats.cycles, quiescent + 100'000);
+  std::remove(files[0].c_str());
+}
+
+TEST(CkptGolden, TruncatedWarpLogIsDivergence) {
+  sim::SimulationConfig cfg;
+  const workloads::ScenarioParams params = sci_params();
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("sci_diverge.ckpt");
+  opts.at_cycles = {15'000};
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_EQ(files.size(), 1u);
+  ckpt::CheckpointFile file = ckpt::read_file(files[0]);
+  // Chop the tail off the warp log: the warp must notice the missing
+  // replies instead of installing silently-wrong state.
+  auto& log =
+      file.sections[static_cast<std::uint8_t>(ckpt::SectionId::kWarpLog)];
+  ASSERT_GT(log.size(), 64u);
+  log.resize(log.size() - 48);
+  EXPECT_THROW(run_restore(std::move(file), "sci_diverge"), StateError);
+  std::remove(files[0].c_str());
+}
+
+TEST(CkptGolden, WrongProcessCountIsRejected) {
+  sim::SimulationConfig cfg;
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("sci_nprocs.ckpt");
+  opts.at_cycles = {15'000};
+  const std::vector<std::string> files = run_create(cfg, sci_params(), opts);
+  ASSERT_EQ(files.size(), 1u);
+  ckpt::CheckpointFile file = ckpt::read_file(files[0]);
+  file.nprocs += 1;
+  EXPECT_THROW(run_restore(std::move(file), "sci_nprocs"), StateError);
+  std::remove(files[0].c_str());
+}
+
+}  // namespace
+}  // namespace compass

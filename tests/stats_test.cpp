@@ -1,9 +1,13 @@
-// Unit tests for stats: counters, histograms, time breakdown, tables.
+// Unit tests for stats: counters, histograms, time breakdown, tables, and
+// the snapshot JSON codec's rejection of malformed input.
 #include <gtest/gtest.h>
 
 #include "stats/counters.h"
+#include "stats/json.h"
 #include "stats/report.h"
 #include "stats/time_breakdown.h"
+#include "util/check.h"
+#include "util/rng.h"
 
 namespace compass::stats {
 namespace {
@@ -139,6 +143,101 @@ TEST(Format, Helpers) {
   EXPECT_EQ(with_commas(34841), "34,841");
   EXPECT_EQ(with_commas(7), "7");
   EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+// ---- snapshot JSON codec ---------------------------------------------------
+
+namespace {
+
+StatsSnapshot sample_snapshot() {
+  StatsSnapshot snap;
+  snap.cycles = 123456789;
+  snap.counters = {{"backend.mem_refs", 592261},
+                   {"os.syscalls", 9468},
+                   {"weird \"name\"\\with\tescapes", 7}};
+  snap.cpu_time = {{1, 2, 3, 4}, {0, 0, 0, 0}};
+  snap.histograms["web.latency"] = HistSummary{10, 1000, 5, 400};
+  return snap;
+}
+
+}  // namespace
+
+TEST(StatsJson, RoundTripPreservesEverything) {
+  const StatsSnapshot snap = sample_snapshot();
+  const StatsSnapshot back = parse_stats_json(to_json(snap));
+  EXPECT_EQ(back.cycles, snap.cycles);
+  EXPECT_EQ(back.counters, snap.counters);
+  EXPECT_EQ(back.cpu_time, snap.cpu_time);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  const HistSummary& h = back.histograms.at("web.latency");
+  EXPECT_EQ(h.count, 10u);
+  EXPECT_EQ(h.sum, 1000u);
+  EXPECT_EQ(h.min, 5u);
+  EXPECT_EQ(h.max, 400u);
+}
+
+TEST(StatsJson, RejectsMalformedDocuments) {
+  const char* kBad[] = {
+      "",                                     // empty
+      "42",                                   // not an object
+      "{\"cycles\": }",                       // missing value
+      "{\"cycles\": -1}",                     // negative integer
+      "{\"cycles\": 1,}",                     // trailing comma
+      "{\"cycles\": 1",                       // unterminated object
+      "{\"bogus\": 1}",                       // unknown key
+      "{\"cycles\": 1} trailing",             // trailing content
+      "{\"counters\": {\"a\" 1}}",            // missing colon
+      "{\"counters\": {\"a\": \"str\"}}",     // wrong value type
+      "{\"cpu_time\": [[1, 2, 3]]}",          // short cpu row
+      "{\"cpu_time\": [[1, 2, 3, 4, 5]]}",    // long cpu row
+      "{\"histograms\": {\"h\": {\"bogus\": 1}}}",  // unknown hist field
+      "{\"counters\": {\"unterminated",       // unterminated string
+  };
+  for (const char* text : kBad)
+    EXPECT_THROW(parse_stats_json(text), util::SimError) << text;
+}
+
+TEST(StatsJson, RejectsEveryTruncation) {
+  // Any strict prefix of a valid document must throw, never mis-parse.
+  const std::string good = to_json(sample_snapshot());
+  ASSERT_TRUE(good.size() > 2);
+  for (std::size_t n = 0; n + 1 < good.size(); ++n)
+    EXPECT_THROW(parse_stats_json(good.substr(0, n)), util::SimError) << n;
+}
+
+TEST(StatsJson, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_stats_json("{\"cycles\": 1, \"cycles\": 2}"),
+               util::SimError);
+  EXPECT_THROW(
+      parse_stats_json("{\"counters\": {\"a\": 1, \"a\": 2}}"),
+      util::SimError);
+  EXPECT_THROW(parse_stats_json("{\"histograms\": {\"h\": {\"count\": 1}, "
+                                "\"h\": {\"count\": 2}}}"),
+               util::SimError);
+  EXPECT_THROW(parse_stats_json("{\"histograms\": {\"h\": {\"count\": 1, "
+                                "\"count\": 2}}}"),
+               util::SimError);
+}
+
+TEST(StatsJson, RandomizedCounterMapRoundTrip) {
+  // Property: any counter map — hostile names included — survives
+  // to_json/parse unchanged.
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    StatsSnapshot snap;
+    snap.cycles = rng.next_u64() >> 1;
+    const int n = static_cast<int>(rng.next_in(0, 40));
+    for (int i = 0; i < n; ++i) {
+      std::string name;
+      const int len = static_cast<int>(rng.next_in(1, 24));
+      for (int k = 0; k < len; ++k)
+        name += static_cast<char>(rng.next_in(1, 126));  // incl. " \ and ctl
+      snap.counters[name] = rng.next_u64();
+    }
+    const StatsSnapshot back = parse_stats_json(to_json(snap));
+    EXPECT_EQ(back.cycles, snap.cycles);
+    EXPECT_EQ(back.counters, snap.counters);
+  }
 }
 
 }  // namespace

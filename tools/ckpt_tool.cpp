@@ -1,0 +1,398 @@
+// ckpt_tool: create, inspect and restore simulation checkpoints, plus a
+// region-sampling mode that fans restored regions across host processes.
+//
+//   ckpt_tool create  --workload=tpcc --out=run.ckpt --at=2000000
+//   ckpt_tool create  --workload=tpcc --out=run.ckpt --every=1000000
+//   ckpt_tool info    run.ckpt
+//   ckpt_tool restore run.ckpt [--run-for=500000] [--workers=4]
+//                     [--trace-out=r.trace] [--stats-json=r.json]
+//                     [--golden-json=ref.json]
+//   ckpt_tool sample  --workload=tpcc --out=run.ckpt --every=1000000
+//                     [--jobs=4]
+//
+// `sample` runs the workload once taking a checkpoint every K cycles, then
+// forks one host process per checkpoint, each restoring its region and
+// simulating K cycles — the warmup skip-ahead + parallel-region workflow.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "fault/fault_flags.h"
+#include "trace/golden.h"
+#include "trace/trace_recorder.h"
+#include "util/flags.h"
+#include "workloads/runner.h"
+
+using namespace compass;
+
+namespace {
+
+sim::BackendModel parse_model(const std::string& name) {
+  if (name == "flat") return sim::BackendModel::kFlat;
+  if (name == "simple") return sim::BackendModel::kSimple;
+  if (name == "numa") return sim::BackendModel::kNuma;
+  throw util::ConfigError("unknown model '" + name +
+                          "' (expected flat|simple|numa)");
+}
+
+std::vector<Cycles> parse_cycle_list(const std::string& csv) {
+  std::vector<Cycles> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!item.empty()) out.push_back(std::stoull(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+sim::SimulationConfig config_from_flags(const util::Flags& flags) {
+  sim::SimulationConfig cfg;
+  cfg.core.num_cpus = static_cast<int>(flags.get_int("cpus"));
+  cfg.core.num_nodes = static_cast<int>(flags.get_int("nodes"));
+  cfg.core.backend_workers =
+      static_cast<int>(flags.get_int("backend-workers"));
+  if (flags.get_int("quantum") > 0) {
+    cfg.core.preemptive = true;
+    cfg.core.quantum = static_cast<Cycles>(flags.get_int("quantum"));
+  }
+  cfg.model = parse_model(flags.get("model"));
+  cfg.core.l1_filter = flags.get_int("l1-filter") != 0;
+  cfg.core.batch_size = static_cast<int>(flags.get_int("batch-size"));
+  cfg.fault = fault::fault_plan_from_flags(flags);
+  return cfg;
+}
+
+/// Workload selection in run_scenario form, plus its meta-block image.
+workloads::ScenarioParams scenario_from_flags(const util::Flags& flags) {
+  workloads::ScenarioParams params;
+  params.workload = flags.get("workload");
+  if (params.workload == "sci") {
+    params.kv["n"] = flags.get("n");
+    params.kv["nprocs"] = flags.get("nprocs");
+  } else if (params.workload == "web") {
+    params.kv["requests"] = flags.get("requests");
+    params.kv["servers"] = flags.get("servers");
+    params.kv["seed"] = flags.get("seed");
+  } else if (params.workload == "tpcc") {
+    params.kv["workers"] = flags.get("workers");
+    params.kv["txns"] = flags.get("txns");
+    params.kv["items"] = flags.get("items");
+    params.kv["warehouses"] = flags.get("warehouses");
+  } else if (params.workload == "tpcd") {
+    params.kv["workers"] = flags.get("workers");
+    params.kv["repeats"] = flags.get("repeats");
+  } else {
+    throw util::ConfigError("unknown workload '" + params.workload + "'");
+  }
+  return params;
+}
+
+workloads::ScenarioParams scenario_from_meta(const ckpt::CheckpointFile& f) {
+  workloads::ScenarioParams params;
+  params.kv = f.meta;
+  const auto it = params.kv.find("workload");
+  if (it == params.kv.end())
+    throw util::StateError("checkpoint meta block has no 'workload' key");
+  params.workload = it->second;
+  params.kv.erase(it);
+  return params;
+}
+
+void print_summary(const char* what, const workloads::ScenarioStats& st) {
+  std::printf("%s: %llu cycles, %llu mem refs, %llu syscalls, %llu work units\n",
+              what, static_cast<unsigned long long>(st.cycles),
+              static_cast<unsigned long long>(st.mem_refs),
+              static_cast<unsigned long long>(st.syscalls),
+              static_cast<unsigned long long>(st.work_units));
+}
+
+int cmd_create(const util::Flags& flags) {
+  sim::SimulationConfig cfg = config_from_flags(flags);
+  const workloads::ScenarioParams params = scenario_from_flags(flags);
+
+  ckpt::CreateOptions opts;
+  opts.out = flags.get("out");
+  opts.at_cycles = parse_cycle_list(flags.get("at"));
+  opts.every = static_cast<Cycles>(flags.get_int("every"));
+  opts.meta = params.kv;
+  opts.meta["workload"] = params.workload;
+
+  ckpt::CheckpointWriter writer(cfg, opts);
+  cfg.ckpt = &writer;
+  cfg.post_build = [&writer](sim::Simulation& s) { writer.bind(s); };
+
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<trace::TraceRecorder>(cfg, trace_out);
+    cfg.trace_sink = recorder.get();
+  }
+
+  const workloads::ScenarioStats st = workloads::run_scenario(cfg, params);
+  if (recorder != nullptr) recorder->finalize();
+  print_summary(params.workload.c_str(), st);
+  for (const std::string& path : writer.written())
+    std::printf("wrote %s\n", path.c_str());
+  if (writer.written().empty())
+    std::fprintf(stderr,
+                 "warning: run ended at cycle %llu before any target\n",
+                 static_cast<unsigned long long>(st.cycles));
+  const std::string json_path = flags.get("stats-json");
+  if (!json_path.empty()) {
+    stats::write_json_file(json_path, st.snapshot);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return writer.written().empty() ? 1 : 0;
+}
+
+int cmd_info(const std::string& path) {
+  const ckpt::CheckpointFile f = ckpt::read_file(path);
+  std::printf("%s:\n", path.c_str());
+  std::printf("  target cycle     %llu\n",
+              static_cast<unsigned long long>(f.target));
+  std::printf("  quiescent cycle  %llu\n",
+              static_cast<unsigned long long>(f.quiescent));
+  std::printf("  processes        %llu\n",
+              static_cast<unsigned long long>(f.nprocs));
+  std::printf("  config pairs     %zu\n", f.config.size());
+  for (const auto& [key, value] : f.meta)
+    std::printf("  meta             %s=%s\n", key.c_str(), value.c_str());
+  for (const auto& [id, payload] : f.sections)
+    std::printf("  section %-10s %zu bytes\n",
+                ckpt::to_string(static_cast<ckpt::SectionId>(id)),
+                payload.size());
+  return 0;
+}
+
+int cmd_restore(const util::Flags& flags, const std::string& path) {
+  ckpt::CheckpointFile f = ckpt::read_file(path);
+  const std::string workers = flags.get("restore-workers");
+  sim::SimulationConfig cfg = ckpt::config_from(
+      f, workers.empty() ? -1 : static_cast<int>(std::stoll(workers)));
+  const workloads::ScenarioParams params = scenario_from_meta(f);
+  const auto run_for = static_cast<Cycles>(flags.get_int("run-for"));
+
+  ckpt::CheckpointRestorer restorer(std::move(f), run_for);
+  cfg.ckpt = &restorer;
+  cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
+
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<trace::TraceRecorder>(cfg, trace_out);
+    cfg.trace_sink = recorder.get();
+  }
+
+  const workloads::ScenarioStats st = workloads::run_scenario(cfg, params);
+  if (recorder != nullptr) recorder->finalize();
+  if (!restorer.installed()) {
+    std::fprintf(stderr, "restore failed: run ended before the warp reached "
+                         "the snapshot cycle\n");
+    return 1;
+  }
+  std::printf("restored at cycle %llu\n",
+              static_cast<unsigned long long>(restorer.installed_at()));
+  print_summary(params.workload.c_str(), st);
+  const std::string json_path = flags.get("stats-json");
+  if (!json_path.empty()) {
+    stats::write_json_file(json_path, st.snapshot);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  const std::string golden = flags.get("golden-json");
+  if (!golden.empty()) {
+    const stats::StatsSnapshot ref = stats::read_json_file(golden);
+    const std::vector<std::string> diff = trace::golden_diff(ref, st.snapshot);
+    if (!diff.empty()) {
+      std::fprintf(stderr, "golden mismatch vs %s:\n", golden.c_str());
+      for (const std::string& line : diff)
+        std::fprintf(stderr, "  %s\n", line.c_str());
+      return 1;
+    }
+    std::printf("golden match vs %s\n", golden.c_str());
+  }
+  return 0;
+}
+
+/// Restore one region in a forked child (all simulation threads of previous
+/// runs are joined, so fork() is safe here).
+int run_region_child(const std::string& path, Cycles run_for) {
+  try {
+    ckpt::CheckpointFile f = ckpt::read_file(path);
+    sim::SimulationConfig cfg = ckpt::config_from(f);
+    const workloads::ScenarioParams params = scenario_from_meta(f);
+    ckpt::CheckpointRestorer restorer(std::move(f), run_for);
+    cfg.ckpt = &restorer;
+    cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
+    const workloads::ScenarioStats st = workloads::run_scenario(cfg, params);
+    if (!restorer.installed()) return 1;
+    std::printf("region %s: installed at %llu, ran to %llu\n", path.c_str(),
+                static_cast<unsigned long long>(restorer.installed_at()),
+                static_cast<unsigned long long>(st.cycles));
+    std::fflush(nullptr);  // the caller _exit()s, which skips stdio flush
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "region %s: %s\n", path.c_str(), e.what());
+    std::fflush(nullptr);
+    return 1;
+  }
+}
+
+int cmd_sample(const util::Flags& flags) {
+  const auto every = static_cast<Cycles>(flags.get_int("every"));
+  if (every == 0)
+    throw util::ConfigError("sample mode requires --every=<cycles>");
+  // Phase 1: uninterrupted run, snapshotting every K cycles.
+  sim::SimulationConfig cfg = config_from_flags(flags);
+  const workloads::ScenarioParams params = scenario_from_flags(flags);
+  ckpt::CreateOptions opts;
+  opts.out = flags.get("out");
+  opts.every = every;
+  opts.meta = params.kv;
+  opts.meta["workload"] = params.workload;
+  ckpt::CheckpointWriter writer(cfg, opts);
+  cfg.ckpt = &writer;
+  cfg.post_build = [&writer](sim::Simulation& s) { writer.bind(s); };
+  const workloads::ScenarioStats st = workloads::run_scenario(cfg, params);
+  print_summary(params.workload.c_str(), st);
+  std::printf("sampled %zu regions of %llu cycles\n", writer.written().size(),
+              static_cast<unsigned long long>(every));
+  if (writer.written().empty()) return 1;
+
+  // Phase 2: fan the regions across host processes.
+  int jobs = static_cast<int>(flags.get_int("jobs"));
+  if (jobs <= 0)
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<std::string>& regions = writer.written();
+  std::fflush(nullptr);  // forked children must not inherit buffered output
+  std::size_t next = 0;
+  int live = 0;
+  int failures = 0;
+  std::map<pid_t, std::string> running;
+  while (next < regions.size() || live > 0) {
+    while (next < regions.size() && live < jobs) {
+      const std::string& path = regions[next++];
+      const pid_t pid = fork();
+      if (pid == 0) _exit(run_region_child(path, every));
+      if (pid < 0) {
+        std::fprintf(stderr, "fork failed for %s\n", path.c_str());
+        ++failures;
+        continue;
+      }
+      running[pid] = path;
+      ++live;
+    }
+    if (live == 0) break;
+    int status = 0;
+    const pid_t done = waitpid(-1, &status, 0);
+    if (done < 0) break;
+    --live;
+    const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!ok) {
+      std::fprintf(stderr, "region %s failed\n", running[done].c_str());
+      ++failures;
+    }
+    running.erase(done);
+  }
+  std::printf("%zu/%zu regions completed\n", regions.size() - failures,
+              regions.size());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::map<std::string, std::string> defaults = {
+        {"workload", "sci"},
+        {"out", "compass.ckpt"},
+        {"at", ""},
+        {"every", "0"},
+        {"run-for", "0"},
+        {"restore-workers", ""},
+        {"jobs", "0"},
+        {"trace-out", ""},
+        {"stats-json", ""},
+        {"golden-json", ""},
+        {"cpus", "4"},
+        {"nodes", "1"},
+        {"backend-workers", "1"},
+        {"quantum", "0"},
+        {"model", "simple"},
+        {"l1-filter", "0"},
+        {"batch-size", "1"},
+        {"n", "32"},
+        {"nprocs", "2"},
+        {"workers", "2"},
+        {"txns", "40"},
+        {"items", "400"},
+        {"warehouses", "2"},
+        {"repeats", "1"},
+        {"requests", "20"},
+        {"servers", "1"},
+        {"seed", "99"}};
+    std::map<std::string, std::string> help = {
+        {"workload", "sci | web | tpcc | tpcd"},
+        {"out", "checkpoint path (create/sample; .<cycle> appended per file)"},
+        {"at", "create: comma-separated snapshot cycles"},
+        {"every", "create/sample: snapshot every K cycles"},
+        {"run-for", "restore: stop this many cycles after the install point"},
+        {"restore-workers", "restore: override backend dispatch lanes"},
+        {"jobs", "sample: parallel region processes (0 = host cores)"},
+        {"trace-out", "record the run's event trace"},
+        {"stats-json", "dump final stats as JSON"},
+        {"golden-json", "restore: compare final stats vs this reference"},
+        {"cpus", "simulated processors"},
+        {"nodes", "NUMA nodes"},
+        {"backend-workers", "backend dispatch lanes"},
+        {"quantum", "preemption quantum in cycles (0 = cooperative)"},
+        {"model", "memory-system model: flat | simple | numa"},
+        {"l1-filter", "frontend L1 reference filter"},
+        {"batch-size", "events per event-port post (interleaving grain)"},
+        {"n", "sci: matrix dimension"},
+        {"nprocs", "sci: worker processes"},
+        {"workers", "tpcc/tpcd: worker processes"},
+        {"txns", "tpcc: transactions per worker"},
+        {"items", "tpcc: item-table size"},
+        {"warehouses", "tpcc: warehouse count"},
+        {"repeats", "tpcd: query executions per worker"},
+        {"requests", "web: request count"},
+        {"servers", "web: server processes"},
+        {"seed", "web: request-trace seed"}};
+    fault::add_fault_flags(defaults, help);
+    util::Flags flags(argc, argv, std::move(defaults), std::move(help));
+    if (flags.help_requested() || flags.positional().empty()) {
+      std::fputs("usage: ckpt_tool create|info|restore|sample [flags] "
+                 "[checkpoint]\n",
+                 stdout);
+      std::fputs(flags.usage("ckpt_tool").c_str(), stdout);
+      return flags.help_requested() ? 0 : 2;
+    }
+    const std::string& cmd = flags.positional()[0];
+    if (cmd == "create") return cmd_create(flags);
+    if (cmd == "sample") return cmd_sample(flags);
+    if (cmd == "info" || cmd == "restore") {
+      if (flags.positional().size() < 2)
+        throw util::ConfigError(cmd + " needs a checkpoint file argument");
+      const std::string& path = flags.positional()[1];
+      return cmd == "info" ? cmd_info(path) : cmd_restore(flags, path);
+    }
+    throw util::ConfigError("unknown subcommand '" + cmd +
+                            "' (expected create|info|restore|sample)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ckpt_tool: %s\n", e.what());
+    return 2;
+  }
+}

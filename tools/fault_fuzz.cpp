@@ -15,15 +15,26 @@
 //     invariant sum(STOCK.ytd) == sum(ORDERLINE.amount) holds even across
 //     a WAL crash, and recovery replays exactly the committed prefix.
 //
+// With --ckpt-at=T each trial additionally snapshots itself at the first
+// dispatch point past cycle T (when the faulted run lives that long),
+// restores the snapshot in a fresh simulation and re-checks every invariant
+// on the restored run — then requires the restored run's final cycle count,
+// work units and counters to match the uninterrupted trial exactly. This
+// fuzzes checkpoint/restore across random fault plans, worker counts and
+// filter settings; the repro line carries the checkpoint offset.
+//
 // A failing trial prints its seed, the full plan and a one-line repro
 // command, then the driver exits non-zero.
 //
-//   fault_fuzz --workload=tpcc --trials=100 --seed0=1
+//   fault_fuzz --workload=tpcc --trials=100 --seed0=1 --ckpt-at=2000000
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "fault/fault_plan.h"
+#include "trace/golden.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "workloads/runner.h"
@@ -112,16 +123,17 @@ void check_counters(const stats::StatsSnapshot& snap) {
 
 // ---- per-workload trials ----------------------------------------------------
 
-void trial_sci(sim::SimulationConfig cfg) {
+workloads::ScenarioStats trial_sci(sim::SimulationConfig cfg) {
   workloads::SciScenario sc;
   sc.matmul.n = 16;
   sc.matmul.nprocs = 2;
   const workloads::ScenarioStats st = workloads::run_sci(cfg, sc);
   if (st.work_units != 1) throw std::runtime_error("sci did not complete");
   check_counters(st.snapshot);
+  return st;
 }
 
-void trial_web(sim::SimulationConfig cfg) {
+workloads::ScenarioStats trial_web(sim::SimulationConfig cfg) {
   workloads::WebScenario sc;
   sc.requests = 12;
   const workloads::ScenarioStats st = workloads::run_web(cfg, sc);
@@ -131,9 +143,10 @@ void trial_web(sim::SimulationConfig cfg) {
     throw std::runtime_error("web completed " + std::to_string(st.work_units) +
                              "/" + std::to_string(sc.requests) + " requests");
   check_counters(st.snapshot);
+  return st;
 }
 
-void trial_tpcc(sim::SimulationConfig cfg) {
+workloads::ScenarioStats trial_tpcc(sim::SimulationConfig cfg) {
   constexpr std::int64_t kStartSem = 9001;
   constexpr std::int64_t kDoneSem = 9002;
   workloads::TpccScenario sc;
@@ -195,7 +208,63 @@ void trial_tpcc(sim::SimulationConfig cfg) {
   }
   workloads::ScenarioStats st;
   workloads::collect_stats(sim, st);
+  st.work_units = committed;
   check_counters(st.snapshot);
+  return st;
+}
+
+/// Run the trial once; with ckpt_at > 0 run it a second time restored from a
+/// mid-run snapshot and require the restored run to (a) pass every invariant
+/// the live run passed — the trial body throws otherwise — and (b) finish
+/// with identical cycles, work units and counters. Trials that end before
+/// the snapshot cycle simply skip the checkpoint leg.
+void run_trial(const sim::SimulationConfig& base, Cycles ckpt_at,
+               const std::function<workloads::ScenarioStats(
+                   sim::SimulationConfig)>& trial) {
+  if (ckpt_at == 0) {
+    (void)trial(base);
+    return;
+  }
+  ckpt::CreateOptions opts;
+  opts.at_cycles = {ckpt_at};
+  opts.out = "fault_fuzz.ckpt";
+  sim::SimulationConfig create_cfg = base;
+  ckpt::CheckpointWriter writer(create_cfg, opts);
+  create_cfg.ckpt = &writer;
+  create_cfg.post_build = [&writer](sim::Simulation& s) { writer.bind(s); };
+  const workloads::ScenarioStats created = trial(create_cfg);
+  if (writer.written().empty()) return;  // run ended before the snapshot
+
+  ckpt::CheckpointFile f = ckpt::read_file(writer.written().front());
+  std::remove(writer.written().front().c_str());
+  sim::SimulationConfig restore_cfg = ckpt::config_from(f);
+  restore_cfg.core.backend_workers = base.core.backend_workers;
+  ckpt::CheckpointRestorer restorer(std::move(f), 0);
+  restore_cfg.ckpt = &restorer;
+  restore_cfg.post_build = [&restorer](sim::Simulation& s) {
+    restorer.bind(s);
+  };
+  const workloads::ScenarioStats restored = trial(restore_cfg);
+  if (!restorer.installed())
+    throw std::runtime_error("checkpoint restore never reached its install "
+                             "point (snapshot cycle past end of run?)");
+  if (restored.cycles != created.cycles)
+    throw std::runtime_error(
+        "restored run finished at cycle " + std::to_string(restored.cycles) +
+        " but the uninterrupted run finished at " +
+        std::to_string(created.cycles));
+  if (restored.work_units != created.work_units)
+    throw std::runtime_error(
+        "restored run committed " + std::to_string(restored.work_units) +
+        " work units vs " + std::to_string(created.work_units));
+  const std::vector<std::string> diff =
+      trace::golden_diff(created.snapshot, restored.snapshot);
+  if (!diff.empty())
+    throw std::runtime_error("restored counters diverge: " + diff.front() +
+                             (diff.size() > 1
+                                  ? " (+" + std::to_string(diff.size() - 1) +
+                                        " more)"
+                                  : ""));
 }
 
 }  // namespace
@@ -210,6 +279,7 @@ int main(int argc, char** argv) {
          {"cpus", "2"},
          {"workers", "-1"},
          {"l1-filter", "-1"},
+         {"ckpt-at", "0"},
          {"verbose", "false"}},
         {{"workload", "sci | web | tpcc"},
          {"trials", "number of seeded trials"},
@@ -219,6 +289,9 @@ int main(int argc, char** argv) {
                      "{1,2,4} (output is worker-count invariant)"},
          {"l1-filter", "frontend L1 reference filter; -1 varies per trial "
                        "over {off,on}, 0/1 pins it"},
+         {"ckpt-at", "snapshot each trial at this cycle, restore, and "
+                     "re-check every invariant plus exact-counter "
+                     "equivalence (0 = off)"},
          {"verbose", "print each trial's plan"}});
     if (flags.help_requested()) {
       std::fputs(flags.usage("fault_fuzz").c_str(), stdout);
@@ -263,21 +336,25 @@ int main(int argc, char** argv) {
                     static_cast<long long>(t),
                     static_cast<unsigned long long>(seed), workers,
                     static_cast<int>(l1_filter), describe(plan).c_str());
+      const Cycles ckpt_at =
+          static_cast<Cycles>(flags.get_int("ckpt-at"));
       try {
-        if (workload == "sci") trial_sci(cfg);
-        else if (workload == "web") trial_web(cfg);
-        else trial_tpcc(cfg);
+        if (workload == "sci") run_trial(cfg, ckpt_at, trial_sci);
+        else if (workload == "web") run_trial(cfg, ckpt_at, trial_web);
+        else run_trial(cfg, ckpt_at, trial_tpcc);
       } catch (const std::exception& e) {
         std::fprintf(stderr,
                      "FAIL trial %lld (seed %llu): %s\n  plan: %s\n"
                      "  repro: fault_fuzz --workload=%s --seed0=%llu "
-                     "--trials=1 --cpus=%lld --workers=%d --l1-filter=%d\n",
+                     "--trials=1 --cpus=%lld --workers=%d --l1-filter=%d "
+                     "--ckpt-at=%llu\n",
                      static_cast<long long>(t),
                      static_cast<unsigned long long>(seed), e.what(),
                      describe(plan).c_str(), workload.c_str(),
                      static_cast<unsigned long long>(seed),
                      static_cast<long long>(flags.get_int("cpus")), workers,
-                     static_cast<int>(l1_filter));
+                     static_cast<int>(l1_filter),
+                     static_cast<unsigned long long>(ckpt_at));
         return 1;
       }
     }
