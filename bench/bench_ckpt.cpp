@@ -8,17 +8,24 @@
 //   3. restore   — one region restored end-to-end (warp + install cost)
 //   4. sample    — every region in its own forked process, in parallel;
 //                  region 0 is the prefix run stopped at the first snapshot
+//   5. warp      — at 32 simulated CPUs, the same prefix reached three
+//                  ways: lived, self-serve warped (frontends replay their
+//                  own shards) and port-paced warped (every batch still
+//                  crosses the EventPort)
 //
 // The sampled phase is only a win when the warp fast-forward (host
 // re-execution with the memory model skipped) beats live simulation and the
 // host has real parallelism; under 4 host cores the phase is skipped with a
 // note (CI enforces the speedup on >=4-core runners only, reading the JSON
-// this bench writes).
+// this bench writes). The warp phase is serial and always runs; CI gates
+// its self-serve speedup (and the restore-vs-live ratio, via the
+// --gbench-json output fed to tools/bench_gate.py) on >=4-core runners.
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <limits>
 #include <string>
 #include <thread>
@@ -112,8 +119,12 @@ int run_region(const std::vector<std::string>& files, std::size_t region,
 
 int main(int argc, char** argv) {
   try {
-    util::Flags flags(argc, argv, {{"json", "bench_ckpt.json"}},
-                      {{"json", "write phase timings to this JSON file"}});
+    util::Flags flags(
+        argc, argv, {{"json", "bench_ckpt.json"}, {"gbench-json", ""}},
+        {{"json", "write phase timings to this JSON file"},
+         {"gbench-json",
+          "also write google-benchmark-format entries (warp phase + "
+          "restore-vs-live ratio) for tools/bench_gate.py"}});
     const unsigned cores = std::thread::hardware_concurrency();
 
     // Phase 1: serial reference.
@@ -211,6 +222,80 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(serial.cycles), speedup);
     }
 
+    // Phase 5: warp skip-ahead at 32 simulated CPUs — the regime the warp
+    // targets: per-reference NUMA model work dominates, so replaying the
+    // prefix from the recorded replies should far outpace living it.
+    sim::SimulationConfig warp_cfg = bench_cfg();
+    warp_cfg.core.num_cpus = 32;
+    warp_cfg.core.num_nodes = 4;
+    const workloads::ScenarioParams warp_params = {
+        "tpcc", {{"workers", "8"}, {"txns", "40"}, {"items", "4000"}}};
+    t0 = std::chrono::steady_clock::now();
+    const workloads::ScenarioStats live32 =
+        workloads::run_scenario(warp_cfg, warp_params);
+    const double live32_s = seconds_since(t0);
+    const Cycles warp_at = live32.cycles * 3 / 4;
+
+    ckpt::CreateOptions warp_opts;
+    warp_opts.out = "bench_ckpt_warp.tmp";
+    warp_opts.at_cycles = {warp_at};
+    warp_opts.meta = warp_params.kv;
+    warp_opts.meta["workload"] = warp_params.workload;
+    sim::SimulationConfig warp_create_cfg = warp_cfg;
+    ckpt::CheckpointWriter warp_writer(warp_create_cfg, warp_opts);
+    warp_create_cfg.ckpt = &warp_writer;
+    warp_create_cfg.post_build = [&warp_writer](sim::Simulation& s) {
+      warp_writer.bind(s);
+    };
+    workloads::run_scenario(warp_create_cfg, warp_params);
+    if (warp_writer.written().size() != 1) {
+      std::fprintf(stderr, "bench_ckpt: warp snapshot not written\n");
+      return 1;
+    }
+    const std::string warp_file = warp_writer.written().front();
+    const Cycles warp_quiescent = ckpt::read_file(warp_file).quiescent;
+
+    // Live leg: simulate the prefix and stop where the snapshot landed.
+    t0 = std::chrono::steady_clock::now();
+    {
+      sim::SimulationConfig cfg = warp_cfg;
+      StopHook stop(warp_at);
+      cfg.ckpt = &stop;
+      workloads::run_scenario(cfg, warp_params);
+    }
+    const double warp_live_s = seconds_since(t0);
+
+    // Warp legs: fast-forward to the same point through each warp path,
+    // then stop immediately (run_for=1) — warp + install cost only.
+    double warp_leg_s[2] = {0, 0};
+    const ckpt::WarpMode modes[2] = {ckpt::WarpMode::kSelfServe,
+                                     ckpt::WarpMode::kPortPaced};
+    for (int leg = 0; leg < 2; ++leg) {
+      t0 = std::chrono::steady_clock::now();
+      ckpt::CheckpointFile f = ckpt::read_file(warp_file);
+      sim::SimulationConfig cfg = ckpt::config_from(f);
+      ckpt::CheckpointRestorer restorer(std::move(f), /*run_for=*/1,
+                                        modes[leg]);
+      cfg.ckpt = &restorer;
+      cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
+      workloads::run_scenario(cfg, warp_params);
+      if (!restorer.installed()) {
+        std::fprintf(stderr, "bench_ckpt: warp leg %d never installed\n", leg);
+        return 1;
+      }
+      warp_leg_s[leg] = seconds_since(t0);
+    }
+    const double warp_self_s = warp_leg_s[0];
+    const double warp_port_s = warp_leg_s[1];
+    const double warp_speedup = warp_live_s / warp_self_s;
+    std::remove(warp_file.c_str());
+    std::printf("warp     live %.2fs | self-serve %.2fs (%.2fx) | "
+                "port-paced %.2fs (%.2fx)  to cycle %llu of %llu @32 cpus\n",
+                warp_live_s, warp_self_s, warp_speedup, warp_port_s,
+                warp_live_s / warp_port_s,
+                static_cast<unsigned long long>(warp_quiescent),
+                static_cast<unsigned long long>(live32.cycles));
+
     const std::string json = flags.get("json");
     if (!json.empty()) {
       std::FILE* f = std::fopen(json.c_str(), "w");
@@ -227,11 +312,47 @@ int main(int argc, char** argv) {
                    "  \"create_s\": %.4f,\n"
                    "  \"restore_s\": %.4f,\n"
                    "  \"sample_s\": %.4f,\n"
-                   "  \"speedup\": %.4f\n"
+                   "  \"speedup\": %.4f,\n"
+                   "  \"warp_cycles\": %llu,\n"
+                   "  \"warp_live_s\": %.4f,\n"
+                   "  \"warp_self_s\": %.4f,\n"
+                   "  \"warp_port_s\": %.4f,\n"
+                   "  \"warp_speedup\": %.4f\n"
                    "}\n",
                    cores, static_cast<unsigned long long>(serial.cycles),
                    files.size(), serial_s, create_s, restore_s, sample_s,
-                   speedup);
+                   speedup, static_cast<unsigned long long>(warp_quiescent),
+                   warp_live_s, warp_self_s, warp_port_s, warp_speedup);
+      std::fclose(f);
+    }
+    const std::string gbench = flags.get("gbench-json");
+    if (!gbench.empty()) {
+      // google-benchmark shape so tools/bench_gate.py can gate these next
+      // to the real benches. The ratio entry is dimensionless; the gate
+      // only compares each entry against its own baseline, so the unit is
+      // irrelevant there.
+      std::FILE* f = std::fopen(gbench.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "bench_ckpt: cannot write %s\n", gbench.c_str());
+        return 1;
+      }
+      const struct {
+        const char* name;
+        double value;
+      } entries[] = {
+          {"BM_CkptWarpLivePrefix/cpus:32/real_time", warp_live_s * 1e9},
+          {"BM_CkptWarpSelfServe/cpus:32/real_time", warp_self_s * 1e9},
+          {"BM_CkptWarpPortPaced/cpus:32/real_time", warp_port_s * 1e9},
+          {"BM_CkptRestoreVsLive/ratio", restore_s / serial_s},
+      };
+      std::fprintf(f, "{\n  \"benchmarks\": [\n");
+      for (std::size_t i = 0; i < std::size(entries); ++i)
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"real_time\": %.4f, "
+                     "\"time_unit\": \"ns\"}%s\n",
+                     entries[i].name, entries[i].value,
+                     i + 1 < std::size(entries) ? "," : "");
+      std::fprintf(f, "  ]\n}\n");
       std::fclose(f);
     }
     for (const std::string& path : files) std::remove(path.c_str());

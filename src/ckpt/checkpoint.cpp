@@ -125,6 +125,18 @@ void CheckpointWriter::snapshot(core::Backend& backend, Cycles t,
   };
   put(SectionId::kWarpLog, log_.bytes());  // accumulated prefix, copied
 
+  // Self-serve warp sections, always emitted alongside the legacy log so a
+  // restore can pick either path (and tests can compare them bit-for-bit).
+  {
+    std::lock_guard lock(tap_mu_);
+    put(SectionId::kWarpSpine, encode_spine(spine_));
+    std::vector<WarpShard> shards;
+    shards.reserve(shards_.size());
+    for (const auto& [proc, records] : shards_)
+      if (!records.empty()) shards.push_back(WarpShard{proc, records});
+    put(SectionId::kWarpShards, encode_shards(shards, l1_filter_));
+  }
+
   StateSink machine;
   sim_->machine().ckpt_save(machine);
   put(SectionId::kMachine, machine.take());
@@ -161,6 +173,58 @@ void CheckpointWriter::on_data_reply(ProcId proc, Cycles now_after,
     log_.varint(r.l1_gen);
     mem::ckpt_save_teach(log_, r.teach);
   }
+  // Shard twin of the record: everything the frontend needs to serve itself
+  // this reply during a self-serve warp, pinned to its slot in the backend's
+  // consumption total order.
+  ShardRecord rec;
+  rec.tag = kShardData;
+  rec.resume_time = r.resume_time;
+  rec.cpu = r.cpu;
+  rec.interrupt_pending = r.interrupt_pending;
+  if (l1_filter_) {
+    rec.l1_gen = r.l1_gen;
+    rec.teach = r.teach;
+  }
+  std::lock_guard lock(tap_mu_);
+  rec.seq = seq_++;
+  shards_[proc].push_back(rec);
+}
+
+void CheckpointWriter::on_pick(ProcId proc, Cycles t, bool is_data) {
+  std::lock_guard lock(tap_mu_);
+  spine_.push_back(
+      SpineRecord{is_data ? kSpinePickData : kSpinePickControl, proc, t});
+}
+
+void CheckpointWriter::on_rebase(ProcId proc, Cycles base) {
+  std::lock_guard lock(tap_mu_);
+  spine_.push_back(SpineRecord{kSpineRebase, proc, base});
+}
+
+void CheckpointWriter::on_control_taken(ProcId proc) {
+  ShardRecord rec;
+  rec.tag = kShardPost;
+  std::lock_guard lock(tap_mu_);
+  rec.seq = seq_++;
+  shards_[proc].push_back(rec);
+}
+
+void CheckpointWriter::on_irq_pop(ProcId proc, CpuId cpu,
+                                  const core::IrqDesc& d) {
+  // Fires on the popping frontend's host thread while the backend is parked
+  // in wait_all_pending, so the spine position is still deterministic.
+  ShardRecord rec;
+  rec.tag = kShardIrqPop;
+  rec.cpu = cpu;
+  rec.irq = d;
+  std::lock_guard lock(tap_mu_);
+  spine_.push_back(SpineRecord{kSpineIrqPop, proc, static_cast<Cycles>(cpu)});
+  shards_[proc].push_back(rec);
+}
+
+void CheckpointWriter::on_idle_dispatch(std::uint64_t call, ProcId proc) {
+  std::lock_guard lock(tap_mu_);
+  spine_.push_back(SpineRecord{kSpineIdleIrq, proc, call});
 }
 
 void CheckpointWriter::on_control_reply(ProcId proc, const core::Reply& r) {
@@ -187,7 +251,8 @@ void CheckpointWriter::warp_deferred_reply(ProcId, core::Reply&) {
 
 // ---------------------------------------------------------------- restorer
 
-CheckpointRestorer::CheckpointRestorer(CheckpointFile file, Cycles run_for)
+CheckpointRestorer::CheckpointRestorer(CheckpointFile file, Cycles run_for,
+                                       WarpMode mode)
     : file_(std::move(file)),
       l1_filter_([this] {
         std::uint64_t v = 0;
@@ -196,9 +261,58 @@ CheckpointRestorer::CheckpointRestorer(CheckpointFile file, Cycles run_for)
                v != 0;
       }()),
       run_for_(run_for),
+      mode_(mode),
       log_({file_.section(SectionId::kWarpLog).data(),
             file_.section(SectionId::kWarpLog).size()}),
-      stop_at_(kNever) {}
+      stop_at_(kNever) {
+  const bool have = file_.has_section(SectionId::kWarpSpine) &&
+                    file_.has_section(SectionId::kWarpShards);
+  if (mode_ == WarpMode::kSelfServe && !have)
+    throw StateError(
+        "checkpoint has no self-serve warp sections "
+        "(warp-spine/warp-shards); created by an older writer?");
+  if (mode_ == WarpMode::kPortPaced || !have) return;
+  // Decode + validate eagerly: a truncated or inconsistent shard set fails
+  // here, on the main thread, before any frontend starts replaying.
+  const std::vector<std::uint8_t>& spine_bytes =
+      file_.section(SectionId::kWarpSpine);
+  spine_ = decode_spine({spine_bytes.data(), spine_bytes.size()});
+  for (const SpineRecord& rec : spine_)
+    if (rec.proc < 0 || static_cast<std::uint64_t>(rec.proc) >= file_.nprocs)
+      throw StateError("warp spine names proc " + std::to_string(rec.proc) +
+                       ", but the checkpoint has " +
+                       std::to_string(file_.nprocs) + " processes");
+  const std::vector<std::uint8_t>& shard_bytes =
+      file_.section(SectionId::kWarpShards);
+  shards_ = decode_shards({shard_bytes.data(), shard_bytes.size()}, l1_filter_);
+  validate_shards(shards_, file_.nprocs);
+  for (const WarpShard& shard : shards_)
+    for (const ShardRecord& rec : shard.records)
+      if (rec.tag == kShardIrqPop) ++warp_pop_counts_[rec.cpu];
+  want_self_serve_ = true;
+}
+
+void CheckpointRestorer::bind(sim::Simulation& sim) {
+  sim_ = &sim;
+  if (!want_self_serve_) return;
+  if (sim.config().core.host_cpus > 0) {
+    // Host throttle on: frontend threads hold host-CPU permits for their
+    // whole lifetime, so parking them on the sequence ticket would starve
+    // the permit pool the backend needs. Fall back to the port-paced warp.
+    if (mode_ == WarpMode::kSelfServe)
+      throw StateError(
+          "self-serve warp requires the host throttle off "
+          "(core.host_cpus == 0); use the port-paced warp instead");
+    want_self_serve_ = false;
+    return;
+  }
+  trace_ = sim.config().trace_sink;
+  server_ = std::make_unique<WarpServer>(
+      std::move(spine_), std::move(shards_), file_.nprocs,
+      /*trace_copies=*/trace_ != nullptr);
+  sim.communicator().set_warp_hub(server_.get());
+  self_serve_ = true;
+}
 
 Cycles CheckpointRestorer::window_boundary() const {
   return warping_ ? kNever : stop_at_;
@@ -241,6 +355,24 @@ void CheckpointRestorer::install(core::Backend& backend, Cycles t) {
     throw StateError("restore mismatch: checkpoint has " +
                      std::to_string(file_.nprocs) + " processes, this run " +
                      std::to_string(backend.num_procs()));
+  // Quiescent point: every frontend is past its last shard record and parked
+  // in a real port wait, so the hub can be unhooked — the simulation
+  // continues fully live from here.
+  if (self_serve_) {
+    sim_->communicator().set_warp_hub(nullptr);
+    // The walk raised interrupts into the live CpuState queues while the
+    // frontends' pops replayed from their shards; consume the recorded pop
+    // count per CPU so the queues (and request flags, which pop() clears on
+    // drain) match the create run's dump bit-for-bit.
+    for (const auto& [cpu, count] : warp_pop_counts_) {
+      core::CpuState& cs = sim_->communicator().cpu_state(cpu);
+      for (std::uint64_t i = 0; i < count; ++i)
+        if (!cs.pop().has_value())
+          throw StateError("restore diverged: cpu " + std::to_string(cpu) +
+                           " raised fewer interrupts during the warp than "
+                           "the create run popped");
+    }
+  }
   (void)t;
   auto load = [this](SectionId id, auto&& fn) {
     const std::vector<std::uint8_t>& bytes = file_.section(id);
@@ -314,6 +446,50 @@ void CheckpointRestorer::warp_control_reply(ProcId proc, core::Reply& r) {
 void CheckpointRestorer::warp_deferred_reply(ProcId proc, core::Reply& r) {
   expect(kLogDeferred, proc, "deferred");
   if (l1_filter_) r.l1_gen = log_.varint();
+}
+
+void CheckpointRestorer::drain_markers() {
+  ProcId proc = kNoProc;
+  CpuId cpu = kNoCpu;
+  while (server_->next_marker(proc, cpu)) {
+    ++drained_pops_[cpu];
+    if (trace_ != nullptr) trace_->on_irq_pop(proc, cpu);
+  }
+}
+
+bool CheckpointRestorer::next_pick(ProcId& proc, Cycles& t, bool& is_data) {
+  drain_markers();
+  return server_->next_pick(proc, t, is_data);
+}
+
+Cycles CheckpointRestorer::warp_rebase(ProcId proc) {
+  drain_markers();
+  return server_->take_rebase(proc);
+}
+
+bool CheckpointRestorer::warp_idle_pick(std::uint64_t call, ProcId& proc) {
+  drain_markers();
+  return server_->idle_pick(call, proc);
+}
+
+bool CheckpointRestorer::warp_interrupt_pending(CpuId cpu) {
+  // Reply construction happens between two spine records, and no frontend
+  // can pop between the preceding pick and this read (they are all parked or
+  // paced behind the ticket), so the drained-marker count is exact here.
+  const core::CpuState& cs = sim_->communicator().cpu_state(cpu);
+  if (!cs.interrupts_enabled()) return false;
+  const auto it = drained_pops_.find(cpu);
+  const std::uint64_t popped = it == drained_pops_.end() ? 0 : it->second;
+  return cs.pending_count() > popped;
+}
+
+bool CheckpointRestorer::warp_failed() const {
+  return server_ != nullptr && server_->poisoned();
+}
+
+std::vector<core::Event> CheckpointRestorer::warp_take_trace_batch(
+    ProcId proc) {
+  return server_->take_trace_batch(proc);
 }
 
 // ------------------------------------------------------------------ config

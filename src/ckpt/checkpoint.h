@@ -28,11 +28,15 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ckpt/ckpt_format.h"
+#include "ckpt/warp_shard.h"
 #include "core/ckpt_hook.h"
+#include "core/trace_sink.h"
 #include "sim/simulation.h"
 
 namespace compass::ckpt {
@@ -71,6 +75,11 @@ class CheckpointWriter final : public core::CkptHook {
                        core::Reply& r) override;
   void warp_control_reply(ProcId proc, core::Reply& r) override;
   void warp_deferred_reply(ProcId proc, core::Reply& r) override;
+  void on_pick(ProcId proc, Cycles t, bool is_data) override;
+  void on_rebase(ProcId proc, Cycles base) override;
+  void on_control_taken(ProcId proc) override;
+  void on_irq_pop(ProcId proc, CpuId cpu, const core::IrqDesc& d) override;
+  void on_idle_dispatch(std::uint64_t call, ProcId proc) override;
 
  private:
   void snapshot(core::Backend& backend, Cycles t, Cycles target);
@@ -80,22 +89,47 @@ class CheckpointWriter final : public core::CkptHook {
   bool l1_filter_;
   sim::Simulation* sim_ = nullptr;
   util::StateSink log_;
+  // Self-serve warp sections, accumulated alongside the legacy log: the
+  // backend's pick/rebase/idle-irq decision stream and the per-process
+  // reply shards with their global sequence slots (see warp_shard.h).
+  // Guarded by tap_mu_: on_irq_pop fires on frontend threads (the backend
+  // is parked in wait_all_pending then, so the recorded interleaving is
+  // still deterministic, but the appends need a real happens-before edge).
+  std::mutex tap_mu_;
+  std::vector<SpineRecord> spine_;
+  std::map<ProcId, std::vector<ShardRecord>> shards_;
+  std::uint64_t seq_ = 0;     ///< next slot in the consumption total order
   std::size_t next_at_ = 0;   ///< cursor into opts_.at_cycles
   Cycles next_target_;        ///< next snapshot cycle; max() when done
   std::vector<std::string> written_;
+};
+
+/// How a restore fast-forwards to the snapshot cycle.
+enum class WarpMode {
+  /// Self-serve when the checkpoint has warp-spine/warp-shards sections and
+  /// the host throttle is off; port-paced otherwise.
+  kAuto,
+  /// Require the sharded self-serve warp; throws when unavailable.
+  kSelfServe,
+  /// Force the legacy port-paced warp (every batch crosses the EventPort).
+  kPortPaced,
 };
 
 class CheckpointRestorer final : public core::CkptHook {
  public:
   /// `run_for` > 0 stops the run `run_for` cycles after the install point
   /// (region sampling); 0 runs to completion.
-  explicit CheckpointRestorer(CheckpointFile file, Cycles run_for = 0);
+  explicit CheckpointRestorer(CheckpointFile file, Cycles run_for = 0,
+                              WarpMode mode = WarpMode::kAuto);
 
   /// Bind to the fully-wired simulation (SimulationConfig::post_build).
-  void bind(sim::Simulation& sim) { sim_ = &sim; }
+  /// Installs the self-serve warp hub on the Communicator when active.
+  void bind(sim::Simulation& sim);
 
   bool installed() const { return !warping_; }
   Cycles installed_at() const { return installed_at_; }
+  /// True when this restore fast-forwards via the sharded self-serve path.
+  bool self_serve_active() const { return self_serve_; }
 
   // ---- core::CkptHook -----------------------------------------------------
 
@@ -110,21 +144,49 @@ class CheckpointRestorer final : public core::CkptHook {
                        core::Reply& r) override;
   void warp_control_reply(ProcId proc, core::Reply& r) override;
   void warp_deferred_reply(ProcId proc, core::Reply& r) override;
+  bool self_serve() const override { return self_serve_ && warping_; }
+  bool next_pick(ProcId& proc, Cycles& t, bool& is_data) override;
+  Cycles warp_rebase(ProcId proc) override;
+  bool warp_idle_pick(std::uint64_t call, ProcId& proc) override;
+  bool warp_interrupt_pending(CpuId cpu) override;
+  bool warp_failed() const override;
+  std::vector<core::Event> warp_take_trace_batch(ProcId proc) override;
 
  private:
   /// Throws unless the next log record is (`tag`, `proc`).
   void expect(std::uint8_t tag, ProcId proc, const char* what);
+  /// Emit trace records for any leading irq-pop markers in the spine: the
+  /// walk replays them at their recorded stream positions, since the
+  /// popping frontends run decoupled from the trace during the warp.
+  void drain_markers();
   void install(core::Backend& backend, Cycles t);
   void verify(core::Backend& backend);
 
   CheckpointFile file_;
   bool l1_filter_;
   Cycles run_for_;
+  WarpMode mode_;
   sim::Simulation* sim_ = nullptr;
   util::StateSource log_;
   bool warping_ = true;
   Cycles installed_at_ = 0;
   Cycles stop_at_;  ///< max() until the install point sets it
+  // Self-serve warp: decoded+validated eagerly at construction (a malformed
+  // shard fails on the main thread, before any frontend starts), armed in
+  // bind() unless the host throttle forces the port-paced fallback.
+  std::vector<SpineRecord> spine_;
+  std::vector<WarpShard> shards_;
+  /// Recorded irq pops per CPU: consumed from the live queues at install,
+  /// where the walk's raises accumulated while the frontends' pops replayed
+  /// from their shards.
+  std::map<CpuId, std::uint64_t> warp_pop_counts_;
+  /// Pops drained from the spine so far (walk thread only): the create run's
+  /// queue view at any walk point is the live depth minus this count.
+  std::map<CpuId, std::uint64_t> drained_pops_;
+  bool want_self_serve_ = false;
+  bool self_serve_ = false;
+  core::TraceSink* trace_ = nullptr;
+  std::unique_ptr<WarpServer> server_;
 };
 
 /// Rebuild the SimulationConfig a checkpoint was created with.

@@ -21,6 +21,8 @@ const char* to_string(SectionId id) {
     case SectionId::kKernel: return "kernel";
     case SectionId::kDevices: return "devices";
     case SectionId::kFault: return "fault";
+    case SectionId::kWarpSpine: return "warp-spine";
+    case SectionId::kWarpShards: return "warp-shards";
   }
   return "?";
 }

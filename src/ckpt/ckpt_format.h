@@ -54,6 +54,8 @@ enum class SectionId : std::uint8_t {
   kKernel = 8,     ///< VERIFY: fd tables, sems, fs, tcp/ip
   kDevices = 9,    ///< VERIFY: disk + NIC state
   kFault = 10,     ///< VERIFY: fault-injector stream positions
+  kWarpSpine = 11, ///< self-serve warp: backend pick/rebase decision stream
+  kWarpShards = 12,///< self-serve warp: per-process reply shards + seq slots
 };
 
 const char* to_string(SectionId id);

@@ -1,0 +1,404 @@
+#include "ckpt/warp_shard.h"
+
+#include <chrono>
+#include <string>
+
+#include "mem/machine.h"
+#include "util/check.h"
+
+namespace compass::ckpt {
+
+namespace {
+
+using util::StateError;
+using util::StateSink;
+using util::StateSource;
+
+// One trace-batch copy per shard record at most, but a frontend far ahead of
+// the backend walk parks once this many copies are queued.
+constexpr std::size_t kTraceQueueCap = 256;
+
+void append_shard_record(StateSink& sink, const ShardRecord& rec,
+                         bool l1_filter) {
+  sink.u8(rec.tag);
+  if (rec.tag == kShardIrqPop) {
+    sink.svarint(rec.cpu);
+    sink.varint(static_cast<std::uint64_t>(rec.irq.irq));
+    sink.varint(rec.irq.payload);
+    sink.varint(rec.irq.raised_at);
+    return;
+  }
+  sink.varint(rec.seq);
+  if (rec.tag != kShardData) return;
+  sink.varint(rec.resume_time);
+  sink.svarint(rec.cpu);
+  sink.u8(rec.interrupt_pending ? 1 : 0);
+  if (l1_filter) {
+    sink.varint(rec.l1_gen);
+    mem::ckpt_save_teach(sink, rec.teach);
+  }
+}
+
+ShardRecord read_shard_record(StateSource& src, bool l1_filter) {
+  ShardRecord rec;
+  rec.tag = src.u8();
+  if (rec.tag != kShardData && rec.tag != kShardPost &&
+      rec.tag != kShardIrqPop)
+    throw StateError("warp shard: unknown record tag " +
+                     std::to_string(rec.tag));
+  if (rec.tag == kShardIrqPop) {
+    rec.cpu = static_cast<CpuId>(src.svarint());
+    const std::uint64_t irq = src.varint();
+    if (irq >= static_cast<std::uint64_t>(core::Irq::kCount))
+      throw StateError("warp shard: popped descriptor names unknown irq " +
+                       std::to_string(irq));
+    rec.irq.irq = static_cast<core::Irq>(irq);
+    rec.irq.payload = src.varint();
+    rec.irq.raised_at = src.varint();
+    return rec;
+  }
+  rec.seq = src.varint();
+  if (rec.tag != kShardData) return rec;
+  rec.resume_time = src.varint();
+  rec.cpu = static_cast<CpuId>(src.svarint());
+  rec.interrupt_pending = src.u8() != 0;
+  if (l1_filter) {
+    rec.l1_gen = src.varint();
+    rec.teach = mem::ckpt_load_teach(src);
+  }
+  return rec;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- codec
+
+std::vector<std::uint8_t> encode_spine(std::span<const SpineRecord> records) {
+  StateSink sink;
+  for (const SpineRecord& rec : records) {
+    sink.u8(rec.tag);
+    sink.varint(static_cast<std::uint64_t>(rec.proc));
+    sink.varint(rec.value);
+  }
+  return sink.take();
+}
+
+std::vector<SpineRecord> decode_spine(std::span<const std::uint8_t> bytes) {
+  StateSource src(bytes);
+  std::vector<SpineRecord> records;
+  while (!src.at_end()) {
+    SpineRecord rec;
+    rec.tag = src.u8();
+    if (rec.tag != kSpinePickData && rec.tag != kSpinePickControl &&
+        rec.tag != kSpineRebase && rec.tag != kSpineIrqPop &&
+        rec.tag != kSpineIdleIrq)
+      throw StateError("warp spine: unknown record tag " +
+                       std::to_string(rec.tag));
+    rec.proc = static_cast<ProcId>(src.varint());
+    rec.value = src.varint();
+    records.push_back(rec);
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> encode_shards(std::span<const WarpShard> shards,
+                                        bool l1_filter) {
+  StateSink sink;
+  sink.varint(shards.size());
+  for (const WarpShard& shard : shards) {
+    sink.varint(static_cast<std::uint64_t>(shard.proc));
+    sink.varint(shard.records.size());
+    StateSink payload;
+    for (const ShardRecord& rec : shard.records)
+      append_shard_record(payload, rec, l1_filter);
+    sink.blob(payload.bytes());
+  }
+  return sink.take();
+}
+
+std::vector<WarpShard> decode_shards(std::span<const std::uint8_t> bytes,
+                                     bool l1_filter) {
+  StateSource src(bytes);
+  std::vector<WarpShard> shards;
+  const std::uint64_t nshards = src.varint();
+  for (std::uint64_t i = 0; i < nshards; ++i) {
+    WarpShard shard;
+    shard.proc = static_cast<ProcId>(src.varint());
+    const std::uint64_t nrecords = src.varint();
+    const std::span<const std::uint8_t> payload = src.blob();
+    StateSource body(payload);
+    shard.records.reserve(static_cast<std::size_t>(nrecords));
+    for (std::uint64_t r = 0; r < nrecords; ++r)
+      shard.records.push_back(read_shard_record(body, l1_filter));
+    if (!body.at_end())
+      throw StateError("warp shard for proc " + std::to_string(shard.proc) +
+                       " has " + std::to_string(body.remaining()) +
+                       " bytes beyond its declared records");
+    shards.push_back(std::move(shard));
+  }
+  if (!src.at_end())
+    throw StateError("warp shard section has " +
+                     std::to_string(src.remaining()) + " trailing bytes");
+  return shards;
+}
+
+void validate_shards(std::span<const WarpShard> shards, std::uint64_t nprocs) {
+  // Only data replies and control posts occupy ticket slots; irq-pop
+  // records ride along in per-proc program order without one.
+  std::uint64_t total = 0;
+  for (const WarpShard& shard : shards)
+    for (const ShardRecord& rec : shard.records)
+      if (rec.tag != kShardIrqPop) ++total;
+  std::vector<bool> seen_seq(static_cast<std::size_t>(total), false);
+  std::vector<bool> seen_proc(static_cast<std::size_t>(nprocs), false);
+  for (const WarpShard& shard : shards) {
+    if (shard.proc < 0 || static_cast<std::uint64_t>(shard.proc) >= nprocs)
+      throw StateError("warp shard names proc " + std::to_string(shard.proc) +
+                       ", but the checkpoint has " + std::to_string(nprocs) +
+                       " processes");
+    if (seen_proc[static_cast<std::size_t>(shard.proc)])
+      throw StateError("duplicate warp shard for proc " +
+                       std::to_string(shard.proc));
+    seen_proc[static_cast<std::size_t>(shard.proc)] = true;
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const ShardRecord& rec : shard.records) {
+      if (rec.tag == kShardIrqPop) {
+        if (rec.cpu < 0)
+          throw StateError("warp shard for proc " +
+                           std::to_string(shard.proc) +
+                           " records an irq pop on negative cpu");
+        continue;
+      }
+      if (!first && rec.seq <= prev)
+        throw StateError("warp shard for proc " + std::to_string(shard.proc) +
+                         " is out of program order: seq " +
+                         std::to_string(rec.seq) + " after " +
+                         std::to_string(prev));
+      first = false;
+      prev = rec.seq;
+      if (rec.seq >= total ||
+          seen_seq[static_cast<std::size_t>(rec.seq)])
+        throw StateError("warp shards do not tile the sequence space: seq " +
+                         std::to_string(rec.seq) +
+                         (rec.seq >= total ? " out of range" : " duplicated"));
+      seen_seq[static_cast<std::size_t>(rec.seq)] = true;
+    }
+  }
+  // total records and no duplicates imply every slot 0..total-1 is covered.
+}
+
+// ------------------------------------------------------------- WarpServer
+
+WarpServer::WarpServer(std::vector<SpineRecord> spine,
+                       std::vector<WarpShard> shards, std::uint64_t nprocs,
+                       bool trace_copies)
+    : spine_(std::move(spine)),
+      shards_(static_cast<std::size_t>(nprocs)),
+      trace_copies_(trace_copies) {
+  for (WarpShard& shard : shards)
+    shards_[static_cast<std::size_t>(shard.proc)].records =
+        std::move(shard.records);
+}
+
+void WarpServer::wait_turn(std::uint64_t seq) {
+  // Brief spin first: at high event rates the predecessor action retires
+  // within the window and no sleep/wake round trip is paid.
+  for (int i = 0; i < 4096; ++i) {
+    if (ticket_.load(std::memory_order_acquire) >= seq || poisoned()) return;
+  }
+  std::unique_lock lock(ticket_mu_);
+  ticket_cv_.wait(lock, [&] {
+    return ticket_.load(std::memory_order_relaxed) >= seq ||
+           poisoned_.load(std::memory_order_relaxed);
+  });
+}
+
+void WarpServer::advance_turn() {
+  {
+    std::lock_guard lock(ticket_mu_);
+    ticket_.fetch_add(1, std::memory_order_release);
+  }
+  ticket_cv_.notify_all();
+}
+
+bool WarpServer::warp_post(ProcId proc, std::span<const core::Event> batch,
+                           core::Reply& out) {
+  if (proc < 0 || static_cast<std::size_t>(proc) >= shards_.size())
+    return false;
+  Shard& sh = shards_[static_cast<std::size_t>(proc)];
+  // Shard exhausted: the create run never consumed this post before the
+  // snapshot — it is the proc's final pending batch. Post it live; the walk
+  // picks it up after the spine runs dry.
+  if (sh.cursor >= sh.records.size()) return false;
+  const ShardRecord& rec = sh.records[sh.cursor];
+  const core::EventKind kind = batch.front().kind;
+  const bool is_data = kind == core::EventKind::kMemRef ||
+                       kind == core::EventKind::kYield;
+  if (rec.tag == kShardIrqPop) {
+    abort_waiters();
+    throw StateError("self-serve warp diverged: proc " + std::to_string(proc) +
+                     " posted a batch where its shard records an interrupt "
+                     "pop");
+  }
+  if (is_data != (rec.tag == kShardData)) {
+    abort_waiters();
+    throw StateError("self-serve warp diverged: proc " + std::to_string(proc) +
+                     " posted a " + std::string(is_data ? "data" : "control") +
+                     " batch where its shard records a " +
+                     (rec.tag == kShardData ? "data reply" : "control post"));
+  }
+  wait_turn(rec.seq);
+  if (poisoned()) {
+    out = core::Reply{};
+    out.aborted = true;
+    return true;
+  }
+  ++sh.cursor;
+  if (rec.tag == kShardPost) {
+    // Control events cross the real port (their handlers mutate backend
+    // state the walk rebuilds live); the ticket only pins the post's slot in
+    // the total order. Advancing before the physical post is safe: this
+    // thread's prior writes are release-ordered by the ticket store, and the
+    // backend/blocked-waiter ordering still flows through the port atomics.
+    advance_turn();
+    return false;
+  }
+  if (trace_copies_) {
+    {
+      std::unique_lock lock(sh.mu);
+      sh.cv.wait(lock, [&] {
+        return poisoned_.load(std::memory_order_relaxed) ||
+               sh.trace_q.size() < kTraceQueueCap;
+      });
+      if (poisoned_.load(std::memory_order_relaxed)) {
+        out = core::Reply{};
+        out.aborted = true;
+        return true;
+      }
+      sh.trace_q.emplace_back(batch.begin(), batch.end());
+    }
+    sh.cv.notify_all();
+  }
+  out = core::Reply{};
+  out.resume_time = rec.resume_time;
+  out.cpu = rec.cpu;
+  out.interrupt_pending = rec.interrupt_pending;
+  out.l1_gen = rec.l1_gen;
+  out.teach = rec.teach;
+  advance_turn();
+  return true;
+}
+
+bool WarpServer::warp_pop(ProcId proc, CpuId cpu,
+                          std::optional<core::IrqDesc>& out) {
+  if (proc < 0 || static_cast<std::size_t>(proc) >= shards_.size())
+    return false;
+  Shard& sh = shards_[static_cast<std::size_t>(proc)];
+  out.reset();
+  // Cursor at a non-pop record (or at the shard's end): the create run's
+  // pop at this point of the proc's re-execution came up dry, ending its
+  // handler loop. Serving "empty" — rather than popping the live queue —
+  // keeps the walk's concurrently raised descriptors intact for the
+  // horizon reconciliation (CheckpointRestorer::install).
+  if (sh.cursor >= sh.records.size()) return true;
+  const ShardRecord& rec = sh.records[sh.cursor];
+  if (rec.tag != kShardIrqPop) return true;
+  if (rec.cpu != cpu) {
+    abort_waiters();
+    throw StateError("self-serve warp diverged: proc " + std::to_string(proc) +
+                     " popped cpu " + std::to_string(cpu) +
+                     " where its shard records a pop on cpu " +
+                     std::to_string(rec.cpu));
+  }
+  out = rec.irq;
+  ++sh.cursor;
+  return true;
+}
+
+void WarpServer::abort_waiters() {
+  {
+    std::lock_guard lock(ticket_mu_);
+    poisoned_.store(true, std::memory_order_release);
+  }
+  ticket_cv_.notify_all();
+  for (Shard& sh : shards_) {
+    { std::lock_guard lock(sh.mu); }
+    sh.cv.notify_all();
+  }
+}
+
+bool WarpServer::next_marker(ProcId& proc, CpuId& cpu) {
+  if (spine_cursor_ >= spine_.size()) return false;
+  const SpineRecord& rec = spine_[spine_cursor_];
+  if (rec.tag != kSpineIrqPop) return false;
+  ++spine_cursor_;
+  proc = rec.proc;
+  cpu = static_cast<CpuId>(rec.value);
+  return true;
+}
+
+bool WarpServer::next_pick(ProcId& proc, Cycles& t, bool& is_data) {
+  if (spine_cursor_ >= spine_.size()) return false;
+  const SpineRecord& rec = spine_[spine_cursor_];
+  if (rec.tag != kSpinePickData && rec.tag != kSpinePickControl)
+    throw StateError("warp spine diverged: record tag " +
+                     std::to_string(rec.tag) + " for proc " +
+                     std::to_string(rec.proc) +
+                     " is due where the walk reached a pick");
+  ++spine_cursor_;
+  proc = rec.proc;
+  t = rec.value;
+  is_data = rec.tag == kSpinePickData;
+  return true;
+}
+
+bool WarpServer::idle_pick(std::uint64_t call, ProcId& proc) {
+  if (spine_cursor_ >= spine_.size()) return false;
+  const SpineRecord& rec = spine_[spine_cursor_];
+  if (rec.tag != kSpineIdleIrq || rec.value != call) return false;
+  ++spine_cursor_;
+  proc = rec.proc;
+  return true;
+}
+
+Cycles WarpServer::take_rebase(ProcId proc) {
+  if (spine_cursor_ >= spine_.size())
+    throw StateError("warp spine exhausted where a rebase record for proc " +
+                     std::to_string(proc) + " is due");
+  const SpineRecord& rec = spine_[spine_cursor_];
+  if (rec.tag != kSpineRebase || rec.proc != proc)
+    throw StateError("warp spine diverged: expected a rebase record for proc " +
+                     std::to_string(proc) + ", found tag " +
+                     std::to_string(rec.tag) + " for proc " +
+                     std::to_string(rec.proc));
+  ++spine_cursor_;
+  return rec.value;
+}
+
+std::vector<core::Event> WarpServer::take_trace_batch(ProcId proc) {
+  COMPASS_CHECK_MSG(proc >= 0 && static_cast<std::size_t>(proc) < shards_.size(),
+                    "trace-batch pop for unknown proc " << proc);
+  Shard& sh = shards_[static_cast<std::size_t>(proc)];
+  std::vector<core::Event> out;
+  {
+    std::unique_lock lock(sh.mu);
+    const bool got = sh.cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return poisoned_.load(std::memory_order_relaxed) || !sh.trace_q.empty();
+    });
+    if (poisoned_.load(std::memory_order_relaxed))
+      throw StateError("self-serve warp aborted while recording the batch of "
+                       "proc " +
+                       std::to_string(proc));
+    if (!got)
+      throw StateError("self-serve warp stalled: no traced batch copy from "
+                       "proc " +
+                       std::to_string(proc) + " (divergent replay?)");
+    out = std::move(sh.trace_q.front());
+    sh.trace_q.pop_front();
+  }
+  sh.cv.notify_all();
+  return out;
+}
+
+}  // namespace compass::ckpt

@@ -1,0 +1,178 @@
+// Self-serve sharded warp restore: spine + per-process shard codec and the
+// WarpServer hub that replays the shards during a restore.
+//
+// The legacy warp (checkpoint.h) is port-paced: every frontend batch crosses
+// the EventPort and the backend answers it from one global reply log, so the
+// fast-forward serializes on 2N port crossings. The sharded warp splits the
+// same information two ways at create time:
+//
+//  * the SPINE — the backend run loop's own decision stream: every pick-min
+//    observation (proc, cycle, data/control) and every pending-batch rebase,
+//    in loop order. A restore walk replays the loop from the spine alone,
+//    never waiting on the frontends for data picks.
+//  * per-process SHARDS — for each frontend, its replies in program order.
+//    Each record carries a global sequence number: the position of the
+//    corresponding frontend action (data reply consumed, control post taken)
+//    in the backend's total consumption order. During the warp a frontend
+//    replays its own shard locally, gated only by an atomic sequence ticket
+//    that admits action `seq` exactly when all `seq-1` earlier actions have
+//    retired — so every cross-thread interaction of the create run is
+//    reproduced without any data batch crossing the port.
+//
+// Control events still cross the real port (their handlers mutate backend
+// state the walk rebuilds live); the shard's kShardPost record only pins the
+// post's slot in the sequence space. See DESIGN.md, "Self-serve warp".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/event.h"
+#include "core/types.h"
+#include "core/warp_hub.h"
+#include "util/state_io.h"
+
+namespace compass::ckpt {
+
+// ---- spine -----------------------------------------------------------------
+
+inline constexpr std::uint8_t kSpinePickData = 1;
+inline constexpr std::uint8_t kSpinePickControl = 2;
+inline constexpr std::uint8_t kSpineRebase = 3;
+/// A frontend's interrupt-handler loop popped a descriptor here. The walk
+/// re-emits the trace record at this stream position: in the create run the
+/// backend was parked in wait_all_pending while the pop happened, which is
+/// exactly "between the surrounding backend records".
+inline constexpr std::uint8_t kSpineIrqPop = 4;
+/// The backend dispatched an idle-CPU interrupt to a parked bottom half.
+/// Replayed by invocation index because the live decision reads the
+/// interrupt-request flag, which frontend pops clear on their own host
+/// clock during the warp.
+inline constexpr std::uint8_t kSpineIdleIrq = 5;
+
+struct SpineRecord {
+  std::uint8_t tag = kSpinePickData;
+  ProcId proc = 0;
+  /// Pick cycle (pick tags), the new pending-batch base (kSpineRebase), the
+  /// popped CPU (kSpineIrqPop) or the maybe_dispatch_idle_irq invocation
+  /// index (kSpineIdleIrq).
+  Cycles value = 0;
+};
+
+std::vector<std::uint8_t> encode_spine(std::span<const SpineRecord> records);
+/// Throws util::StateError on truncation or an unknown record tag.
+std::vector<SpineRecord> decode_spine(std::span<const std::uint8_t> bytes);
+
+// ---- shards ----------------------------------------------------------------
+
+inline constexpr std::uint8_t kShardData = 1;
+inline constexpr std::uint8_t kShardPost = 2;
+/// An interrupt-queue pop the proc performed between two port actions.
+/// Carries no sequence slot: per-proc program order is enough, because the
+/// proc itself replays the pop at the same point of its own re-execution.
+inline constexpr std::uint8_t kShardIrqPop = 3;
+
+struct ShardRecord {
+  std::uint8_t tag = kShardData;
+  /// Global slot in the backend's consumption order (ticket admission key).
+  /// kShardData / kShardPost only.
+  std::uint64_t seq = 0;
+  // kShardData only: the reply the frontend serves itself.
+  Cycles resume_time = 0;
+  CpuId cpu = kNoCpu;  ///< also the popped CPU for kShardIrqPop
+  bool interrupt_pending = false;
+  std::uint64_t l1_gen = 0;      ///< l1_filter runs only
+  core::L1Teach teach{};         ///< l1_filter runs only
+  // kShardIrqPop only: the recorded descriptor.
+  core::IrqDesc irq{};
+};
+
+struct WarpShard {
+  ProcId proc = 0;
+  std::vector<ShardRecord> records;
+};
+
+/// `l1_filter` selects whether data records carry the gen+teach payload; it
+/// must match the checkpoint's config fingerprint on both sides.
+std::vector<std::uint8_t> encode_shards(std::span<const WarpShard> shards,
+                                        bool l1_filter);
+/// Throws util::StateError on truncation, a length mismatch between a
+/// shard's declared payload and its decoded records, or an unknown tag.
+std::vector<WarpShard> decode_shards(std::span<const std::uint8_t> bytes,
+                                     bool l1_filter);
+
+/// Structural validation after decode: every shard proc in [0, nprocs), no
+/// duplicate shards, per-shard seqs strictly increasing (program order), and
+/// the union of all seqs a bijection onto 0..total-1 — the ticket admits
+/// every record exactly once or the warp would wedge. Throws util::StateError.
+void validate_shards(std::span<const WarpShard> shards, std::uint64_t nprocs);
+
+// ---- restore-side hub ------------------------------------------------------
+
+/// The frontend/backend rendezvous for a self-serve warp. Installed on the
+/// Communicator before the frontends start; frontends enter via
+/// core::WarpHub::warp_post (from inside EventPort::post_and_wait), the
+/// backend walk via the cursor methods (backend thread only).
+class WarpServer final : public core::WarpHub {
+ public:
+  /// `trace_copies`: when a trace sink is attached, self-served data batches
+  /// never reach the backend through the port, so each frontend queues a
+  /// copy here for the walk to record at the dispatch point.
+  WarpServer(std::vector<SpineRecord> spine, std::vector<WarpShard> shards,
+             std::uint64_t nprocs, bool trace_copies);
+
+  // ---- core::WarpHub (frontend threads) -----------------------------------
+  bool warp_post(ProcId proc, std::span<const core::Event> batch,
+                 core::Reply& out) override;
+  bool warp_pop(ProcId proc, CpuId cpu,
+                std::optional<core::IrqDesc>& out) override;
+  void abort_waiters() override;
+
+  // ---- backend walk -------------------------------------------------------
+  /// Consume one leading kSpineIrqPop marker, if present: the walk emits the
+  /// matching trace record before taking the next pick/rebase/idle record.
+  bool next_marker(ProcId& proc, CpuId& cpu);
+  /// Next spine pick; false once the spine is exhausted. Throws when the
+  /// walk's schedule diverged (a rebase record where a pick is due).
+  bool next_pick(ProcId& proc, Cycles& t, bool& is_data);
+  /// Consume the next spine record, which must be a rebase for `proc`.
+  Cycles take_rebase(ProcId proc);
+  /// Consume the next spine record iff it is an idle-irq dispatch recorded
+  /// at invocation `call`; false (nothing consumed) otherwise.
+  bool idle_pick(std::uint64_t call, ProcId& proc);
+  /// Blocking pop of `proc`'s next queued trace-batch copy.
+  std::vector<core::Event> take_trace_batch(ProcId proc);
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+ private:
+  struct Shard {
+    std::vector<ShardRecord> records;
+    std::size_t cursor = 0;                 // frontend thread only
+    // Trace-batch copies, frontend -> backend walk. Bounded: a frontend far
+    // ahead of the walk parks instead of buffering its whole shard.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<core::Event>> trace_q;
+  };
+
+  void wait_turn(std::uint64_t seq);
+  void advance_turn();
+
+  std::vector<SpineRecord> spine_;
+  std::size_t spine_cursor_ = 0;  // backend thread only
+  std::vector<Shard> shards_;     // slot per proc; shard-less procs stay empty
+  bool trace_copies_;
+
+  std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<bool> poisoned_{false};
+  std::mutex ticket_mu_;
+  std::condition_variable ticket_cv_;
+};
+
+}  // namespace compass::ckpt

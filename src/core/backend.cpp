@@ -1,9 +1,11 @@
 #include "core/backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "core/ckpt_hook.h"
 #include "util/check.h"
@@ -108,6 +110,10 @@ bool Backend::interrupt_pending_for(ProcId proc) const {
   const ProcInfo& pi = info(proc);
   if (pi.cpu == kNoCpu) return false;
   if (pi.mode == ExecMode::kInterrupt) return false;  // handler loop drains
+  // Self-serve warp: the frontends' pops replay from their shards without
+  // draining the live queue, so the hook reconstructs the create run's view.
+  if (hooks_.ckpt != nullptr && hooks_.ckpt->self_serve())
+    return hooks_.ckpt->warp_interrupt_pending(pi.cpu);
   return comm_.cpu_state(pi.cpu).deliverable();
 }
 
@@ -171,6 +177,17 @@ void Backend::schedule_ready_procs() {
       }
       pi.wake_retval = 0;
       port.reply(r);
+    } else if (hooks_.ckpt != nullptr && hooks_.ckpt->self_serve()) {
+      // Self-serve warp: the preempted batch may never be posted (data
+      // batches are answered frontend-locally), so the recorded spine
+      // supplies the base the create run computed here. It is applied to
+      // the real port at the batch's pick — or folded into the traced
+      // copy when the batch never crosses.
+      const Cycles base = hooks_.ckpt->warp_rebase(proc);
+      COMPASS_CHECK_MSG(base >= start, "recorded rebase base " << base
+                                           << " precedes slice start " << start);
+      warp_rebase_stash_[proc] = base;
+      pi.last_time = base;
     } else {
       // Preempted with its batch still pending: rebase it to the new start.
       COMPASS_CHECK_MSG(port.has_pending(),
@@ -179,6 +196,7 @@ void Backend::schedule_ready_procs() {
       const Cycles base = std::max(start, port.pending_time());
       port.rebase_pending(base);
       pi.last_time = base;
+      if (hooks_.ckpt != nullptr) hooks_.ckpt->on_rebase(proc, base);
     }
     running_dirty_ = true;
   }
@@ -278,19 +296,32 @@ void Backend::run_loop() {
       run_one_task();
       continue;
     }
-    comm_.wait_all_pending(running_);
-    const ProcId proc = comm_.pick_min(running_);
-    const Cycles t = comm_.port(proc).pending_time();
+    ProcId proc = kNoProc;
+    Cycles t = 0;
+    bool is_data = false;
+    const bool from_spine = next_dispatch(proc, t, is_data);
     // Quiescent dispatch point: every running frontend is parked in a port
     // wait with its batch posted, no window is in flight. The checkpoint
     // hook snapshots (create) or installs (restore) here; true means stop.
     if (hooks_.ckpt != nullptr && hooks_.ckpt->at_dispatch_point(*this, t))
       break;
+    // Spine tap AFTER the dispatch-point trigger: the quiescent pick itself
+    // is never part of its own snapshot's spine (the restore walk stops
+    // exactly there), but re-observations after tasks are recorded — the
+    // walk replays the same loop and consumes one record per observation.
+    if (hooks_.ckpt != nullptr) hooks_.ckpt->on_pick(proc, t, is_data);
     if (sched_queue_.next_time() <= t) {
       // Device completions and timer ticks scheduled before the earliest
       // frontend event run first; they may change run states, so loop.
       run_one_task();
       continue;
+    }
+    if (from_spine) {
+      if (is_data) {
+        warp_self_serve_data(proc, t);
+        continue;
+      }
+      warp_await_control(proc);
     }
     dispatch(proc);
   }
@@ -314,6 +345,10 @@ void Backend::dispatch(ProcId proc) {
   if (is_control) {
     COMPASS_CHECK_MSG(batch.size() == 1,
                       "control events must be posted alone (proc " << proc << ")");
+    // Assign the post its slot in the warp sequence space (shared with data
+    // replies): a self-serve restore paces the reposting frontend against
+    // this very consumption order.
+    if (hooks_.ckpt != nullptr) hooks_.ckpt->on_control_taken(proc);
     handle_control(proc, batch.front(), port);
     return;
   }
@@ -487,6 +522,11 @@ void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
   // the identical total order the serial backend consumes, so trace bytes
   // do not depend on the worker count.
   for (WindowItem& it : window_) {
+    // Per-item spine tap in merge order: the serial loop would observe each
+    // of these picks at its own loop top (window formation proves nothing
+    // can reorder them), so the recorded spine is worker-count independent.
+    if (hooks_.ckpt != nullptr)
+      hooks_.ckpt->on_pick(it.proc, it.port->pending_time(), /*is_data=*/true);
     it.batch = it.port->take_batch();
     COMPASS_CHECK(!it.batch.empty());
     if (hooks_.trace != nullptr)
@@ -560,9 +600,10 @@ void Backend::run_loop_windowed(int workers) {
       run_one_task();
       continue;
     }
-    comm_.wait_all_pending(running_);
-    const ProcId proc = comm_.pick_min(running_);
-    const Cycles t = comm_.port(proc).pending_time();
+    ProcId proc = kNoProc;
+    Cycles t = 0;
+    bool is_data = false;
+    const bool from_spine = next_dispatch(proc, t, is_data);
     // Same quiescent-point hook as the serial loop: the trigger fires at a
     // pick-min observation, never inside a window (form_window refuses to
     // cross the hook's boundary), so create/restore points are identical
@@ -570,7 +611,20 @@ void Backend::run_loop_windowed(int workers) {
     if (hooks_.ckpt != nullptr && hooks_.ckpt->at_dispatch_point(*this, t))
       break;
     if (sched_queue_.next_time() <= t) {
+      // Spine tap here and in the serial-dispatch branch below, NOT at the
+      // loop top: window items record their own picks in execute_window, so
+      // an unconditional tap would double-record the window's first item.
+      if (hooks_.ckpt != nullptr) hooks_.ckpt->on_pick(proc, t, is_data);
       run_one_task();
+      continue;
+    }
+    if (from_spine) {
+      if (is_data) {
+        warp_self_serve_data(proc, t);
+        continue;
+      }
+      warp_await_control(proc);
+      dispatch(proc);
       continue;
     }
     // Windows of one fall through to the serial dispatch path — identical
@@ -579,12 +633,106 @@ void Backend::run_loop_windowed(int workers) {
     if (running_.size() < 2 ||
         (hooks_.ckpt != nullptr && hooks_.ckpt->warping()) ||
         form_window(proc) <= 1) {
+      if (hooks_.ckpt != nullptr) hooks_.ckpt->on_pick(proc, t, is_data);
       dispatch(proc);
       continue;
     }
     execute_window(pool, hooks_.memsys->concurrent_access_safe());
   }
   for (CpuId c = 0; c < cfg_.num_cpus; ++c) account_idle_until(c, now_);
+}
+
+bool Backend::next_dispatch(ProcId& proc, Cycles& t, bool& is_data) {
+  // Self-serve warp: replay the recorded pick-min observation instead of
+  // synchronizing with the frontends — they serve their own data replies
+  // from the shard log and only touch the ports for control events. The
+  // pending-min index is deliberately bypassed too: most ports are never
+  // pending during the walk, which would trip pick_min's invariants.
+  if (hooks_.ckpt != nullptr && hooks_.ckpt->self_serve() &&
+      hooks_.ckpt->next_pick(proc, t, is_data))
+    return true;
+  comm_.wait_all_pending(running_);
+  if (!warp_rebase_stash_.empty() && hooks_.ckpt != nullptr &&
+      hooks_.ckpt->self_serve()) {
+    // Warp horizon: the spine is exhausted and every running frontend just
+    // posted its final batch live (no shard records left). Apply the
+    // trailing recorded rebases so pending times — and the snapshot's
+    // per-port peeks verified at install — match the create run.
+    for (const auto& [p, base] : warp_rebase_stash_)
+      comm_.port(p).rebase_pending(base);
+    warp_rebase_stash_.clear();
+  }
+  proc = comm_.pick_min(running_);
+  EventPort& port = comm_.port(proc);
+  t = port.pending_time();
+  if (hooks_.ckpt != nullptr) {
+    const EventPort::PendingPeek peek = port.peek_pending();
+    is_data = peek.kind == EventKind::kMemRef || peek.kind == EventKind::kYield;
+  }
+  return false;
+}
+
+void Backend::warp_self_serve_data(ProcId proc, Cycles t) {
+  // The frontend already served itself this batch's reply from its shard;
+  // the walk only replays the backend-side effects of the dispatch. The
+  // preemption check must still run against the recorded pick time — a
+  // preempted pick consumes nothing (the stash stays for the re-pick).
+  if (maybe_preempt(proc, t)) return;
+  ProcInfo& pi = info(proc);
+  COMPASS_CHECK_MSG(pi.cpu != kNoCpu,
+                    "data batch from proc " << proc << " with no CPU");
+  const auto stash = warp_rebase_stash_.find(proc);
+  if (hooks_.trace != nullptr) {
+    // The serving frontend queued a copy of the batch; record it here, at
+    // the dispatch point, so the trace keeps the backend's total order.
+    // Fold the stashed rebase exactly as take_batch would have.
+    std::vector<Event> batch = hooks_.ckpt->warp_take_trace_batch(proc);
+    COMPASS_CHECK(!batch.empty());
+    if (stash != warp_rebase_stash_.end()) {
+      COMPASS_CHECK_MSG(stash->second >= batch.front().time,
+                        "recorded rebase moved a batch backwards");
+      const Cycles delta = stash->second - batch.front().time;
+      for (Event& e : batch) e.time += delta;
+    }
+    hooks_.trace->on_batch(proc, pi.last_time, batch);
+  }
+  if (stash != warp_rebase_stash_.end()) warp_rebase_stash_.erase(stash);
+  Reply r;
+  Cycles now_after = now_;
+  hooks_.ckpt->warp_data_reply(proc, now_after, r);
+  COMPASS_CHECK_MSG(now_after >= now_, "warp log clock went backwards");
+  now_ = now_after;
+  pi.last_time = r.resume_time;
+  CpuInfo& ci = cpus_[static_cast<std::size_t>(pi.cpu)];
+  ci.busy_until = std::max(ci.busy_until, pi.last_time);
+}
+
+void Backend::warp_await_control(ProcId proc) {
+  EventPort& port = comm_.port(proc);
+  // The walk runs decoupled from the frontends; a control batch crosses the
+  // real port (its handler mutates backend state), so wait for the post.
+  // The sequence ticket guarantees it is the recorded one.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!port.has_pending()) {
+    if (hooks_.ckpt->warp_failed())
+      throw util::StateError("self-serve warp aborted while waiting for the "
+                             "control post of proc " +
+                             std::to_string(proc));
+    if (std::chrono::steady_clock::now() > deadline)
+      throw util::StateError(
+          "self-serve warp stalled: proc " + std::to_string(proc) +
+          " never posted its recorded control batch (divergent replay?)");
+    std::this_thread::yield();
+  }
+  if (const auto it = warp_rebase_stash_.find(proc);
+      it != warp_rebase_stash_.end()) {
+    // Apply the recorded rebase before dispatch: handle_control charges the
+    // lead-in against pi.last_time, which schedule_ready_procs already
+    // advanced to this base.
+    port.rebase_pending(it->second);
+    warp_rebase_stash_.erase(it);
+  }
 }
 
 void Backend::handle_control(ProcId proc, const Event& ev, EventPort& port) {
@@ -800,6 +948,24 @@ CpuId Backend::pick_irq_cpu() {
 void Backend::maybe_dispatch_idle_irq(CpuId cpu) {
   if (cpu == kNoCpu) return;
   if (hooks_.idle_irq == nullptr) return;
+  const std::uint64_t call = idle_irq_calls_++;
+  if (hooks_.ckpt != nullptr && hooks_.ckpt->self_serve()) {
+    // Self-serve warp: the interrupt-request flag is cleared by frontend
+    // pops on their own host clock, so the live guards below are racy
+    // against the decoupled walk. Replay the recorded decision instead.
+    ProcId proc = kNoProc;
+    if (!hooks_.ckpt->warp_idle_pick(call, proc)) return;
+    COMPASS_CHECK_MSG(proc >= 0 && static_cast<std::size_t>(proc) < procs_.size(),
+                      "recorded idle-irq dispatch to unknown proc " << proc);
+    ProcInfo& pi = info(proc);
+    COMPASS_CHECK_MSG(pi.is_bottom_half && pi.state == RunState::kParked,
+                      "recorded idle-irq dispatch to proc "
+                          << proc << ", which is not a parked bottom half");
+    COMPASS_CHECK_MSG(proc_sched_.cpu_free(cpu),
+                      "recorded idle-irq dispatch to busy cpu " << cpu);
+    dispatch_idle_irq_to(cpu, proc);
+    return;
+  }
   if (!comm_.cpu_state(cpu).interrupt_requested()) return;
   if (!comm_.cpu_state(cpu).interrupts_enabled()) return;
   if (!proc_sched_.cpu_free(cpu)) return;  // someone will see the flag
@@ -807,22 +973,29 @@ void Backend::maybe_dispatch_idle_irq(CpuId cpu) {
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     ProcInfo& pi = procs_[i];
     if (!pi.is_bottom_half || pi.state != RunState::kParked) continue;
-    proc_sched_.reserve_cpu(cpu);
-    CpuInfo& ci = cpus_[static_cast<std::size_t>(cpu)];
-    const Cycles when = std::max(now_, ci.busy_until);
-    account_idle_until(cpu, when);
-    pi.state = RunState::kRunning;
-    pi.cpu = cpu;
-    pi.saved_mode = ExecMode::kUser;
-    pi.last_time = when;
-    ci.slice_start = when;
-    running_dirty_ = true;
-    stats_->counter("os.bottom_half_dispatches").inc();
-    hooks_.idle_irq->dispatch_idle_irq(cpu, static_cast<ProcId>(i), when);
+    if (hooks_.ckpt != nullptr)
+      hooks_.ckpt->on_idle_dispatch(call, static_cast<ProcId>(i));
+    dispatch_idle_irq_to(cpu, static_cast<ProcId>(i));
     return;
   }
   // No parked bottom half: retried when one parks (kIrqExit) or when the
   // flag is seen by whichever process next runs on this CPU.
+}
+
+void Backend::dispatch_idle_irq_to(CpuId cpu, ProcId proc) {
+  ProcInfo& pi = info(proc);
+  proc_sched_.reserve_cpu(cpu);
+  CpuInfo& ci = cpus_[static_cast<std::size_t>(cpu)];
+  const Cycles when = std::max(now_, ci.busy_until);
+  account_idle_until(cpu, when);
+  pi.state = RunState::kRunning;
+  pi.cpu = cpu;
+  pi.saved_mode = ExecMode::kUser;
+  pi.last_time = when;
+  ci.slice_start = when;
+  running_dirty_ = true;
+  stats_->counter("os.bottom_half_dispatches").inc();
+  hooks_.idle_irq->dispatch_idle_irq(cpu, proc, when);
 }
 
 std::string Backend::dump_states() const {

@@ -122,6 +122,10 @@ class Backend {
   Communicator& communicator() { return comm_; }
   const SimConfig& config() const { return cfg_; }
   Cycles now() const { return now_; }
+  /// The configured taps, for code outside the run loop (the kernel's
+  /// interrupt handler loop records its pops through the checkpoint hook).
+  CkptHook* ckpt_hook() const { return hooks_.ckpt; }
+  TraceSink* trace_sink() const { return hooks_.trace; }
 
   stats::TimeBreakdown& time_breakdown() { return breakdown_; }
   const stats::TimeBreakdown& time_breakdown() const { return breakdown_; }
@@ -175,7 +179,23 @@ class Backend {
   void handle_control(ProcId proc, const Event& ev, EventPort& port);
   void handle_wakeup(WaitChannel channel, std::uint64_t count);
   void maybe_dispatch_idle_irq(CpuId cpu);
+  void dispatch_idle_irq_to(CpuId cpu, ProcId proc);
   bool maybe_preempt(ProcId proc, Cycles event_time);
+  // ---- self-serve warp walk (sharded restore; see DESIGN.md) ------------
+  /// One spine-driven loop-top step shared by both run loops. Fills
+  /// (proc, t, is_data) either from the recorded spine or, once the spine
+  /// is exhausted (or no self-serve restore is active), from a live
+  /// wait_all_pending + pick_min. Returns true when the pick came from the
+  /// spine.
+  bool next_dispatch(ProcId& proc, Cycles& t, bool& is_data);
+  /// Consume one self-served data pick: preemption check, trace recording
+  /// from the hub's batch copy, clock/proc bookkeeping from the warp log.
+  /// The reply itself never touches the port — the frontend served it.
+  void warp_self_serve_data(ProcId proc, Cycles t);
+  /// Spin until `proc`'s control batch lands on its port (the frontends
+  /// run decoupled from the walk), applying any stashed rebase before the
+  /// caller dispatches it. Throws on a poisoned or stalled warp.
+  void warp_await_control(ProcId proc);
   // ---- sharded (windowed) dispatch; see DESIGN.md -----------------------
   void run_loop_windowed(int workers);
   /// Maximal safe prefix of the pending batches in pick-min order; fills
@@ -226,6 +246,16 @@ class Backend {
   std::vector<WindowItem> window_;
   std::uint64_t windows_executed_ = 0;
   std::vector<std::pair<Cycles, ProcId>> window_cand_;
+
+  // Self-serve warp walk: rebases recorded for picks not yet reached. A
+  // data pick folds its stash into the traced batch copy; a control pick
+  // (and the final live picks at the warp horizon) applies it to the real
+  // port so pending times and charge_lead_in match the create run.
+  std::map<ProcId, Cycles> warp_rebase_stash_;
+  // Invocation count of maybe_dispatch_idle_irq. Identical across a create
+  // run and its restore walk (same deterministic call sequence), so it keys
+  // the recorded idle-irq dispatch decisions during a self-serve warp.
+  std::uint64_t idle_irq_calls_ = 0;
 };
 
 }  // namespace compass::core

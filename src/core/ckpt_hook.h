@@ -11,12 +11,17 @@
 // src/ckpt/ provides the implementation; core sees only this interface.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "core/cpu_state.h"
+#include "core/event.h"
 #include "core/types.h"
+#include "util/check.h"
 
 namespace compass::core {
 
 class Backend;
-struct Reply;
 
 class CkptHook {
  public:
@@ -51,6 +56,85 @@ class CkptHook {
   virtual void warp_data_reply(ProcId proc, Cycles& now_after, Reply& r) = 0;
   virtual void warp_control_reply(ProcId proc, Reply& r) = 0;
   virtual void warp_deferred_reply(ProcId proc, Reply& r) = 0;
+
+  // ---- self-serve warp (sharded restore) ----------------------------------
+  //
+  // Defaulted: only the sharded CheckpointWriter/CheckpointRestorer pair
+  // implements these; other hook implementations (bench stop hooks, the
+  // port-paced restore path) keep working unchanged.
+
+  /// Create-mode spine taps, fired on the backend thread in loop order:
+  /// every pick-min observation that survived the dispatch-point trigger
+  /// (including ones that lose to a scheduler task and are re-observed),
+  /// and every pending-batch rebase performed when a preempted process is
+  /// rescheduled. Together they let a restore walk replay the run loop's
+  /// decisions without any port input.
+  virtual void on_pick(ProcId /*proc*/, Cycles /*t*/, bool /*is_data*/) {}
+  virtual void on_rebase(ProcId /*proc*/, Cycles /*base*/) {}
+  /// A control batch was taken from `proc`'s port (assigns the post its
+  /// slot in the warp sequence space, shared with data replies).
+  virtual void on_control_taken(ProcId /*proc*/) {}
+  /// `proc`'s interrupt handler loop popped `d` from `cpu`'s queue. Fires on
+  /// the popping host thread, between two of the proc's event posts — the
+  /// only create-mode tap not on the backend thread.
+  virtual void on_irq_pop(ProcId /*proc*/, CpuId /*cpu*/,
+                          const IrqDesc& /*d*/) {}
+  /// The backend dispatched an idle-CPU interrupt to parked bottom half
+  /// `proc`. `call` is the index of this maybe_dispatch_idle_irq invocation
+  /// since the run started: both the create run and a restore walk see the
+  /// identical invocation sequence, so the index pins the recorded decision
+  /// to its exact call site.
+  virtual void on_idle_dispatch(std::uint64_t /*call*/, ProcId /*proc*/) {}
+
+  /// True while a restore warp should be driven from the recorded spine
+  /// instead of wait_all_pending + pick_min (implies warping()).
+  virtual bool self_serve() const { return false; }
+  /// Next recorded pick-min observation; false once the spine is exhausted
+  /// (the loop then falls back to live picks for the final, posted batches).
+  virtual bool next_pick(ProcId& /*proc*/, Cycles& /*t*/, bool& /*is_data*/) {
+    return false;
+  }
+  /// Consume the recorded rebase for `proc` (self-serve counterpart of the
+  /// live rebase in schedule_ready_procs) and return the new base cycle.
+  virtual Cycles warp_rebase(ProcId /*proc*/);
+  /// Self-serve counterpart of the live idle-irq dispatch decision: the
+  /// interrupt-request flags are cleared by frontend pops on their own host
+  /// clock during the warp, so the live guards are racy — the walk replays
+  /// the create run's decision instead. True (with `proc` set to the chosen
+  /// bottom half) when invocation `call` dispatched at create time.
+  virtual bool warp_idle_pick(std::uint64_t /*call*/, ProcId& /*proc*/);
+  /// Self-serve counterpart of CpuState::deliverable() for reply
+  /// construction: the live queue never drains during the warp (pops replay
+  /// from the shards), so the walk reconstructs the create run's view — the
+  /// raises so far minus the pops already drained from the spine.
+  virtual bool warp_interrupt_pending(CpuId /*cpu*/);
+  /// True once the warp was poisoned (a frontend diverged or aborted); the
+  /// backend's port spins consult this to fail instead of hanging.
+  virtual bool warp_failed() const { return false; }
+  /// Blocking: the batch copy the self-serving frontend recorded for
+  /// `proc`'s next data pick, for trace recording in dispatch order. Only
+  /// called when a trace sink is attached.
+  virtual std::vector<Event> warp_take_trace_batch(ProcId /*proc*/);
 };
+
+inline Cycles CkptHook::warp_rebase(ProcId) {
+  COMPASS_CHECK_MSG(false, "this checkpoint hook cannot drive a self-serve warp");
+  return 0;
+}
+
+inline bool CkptHook::warp_idle_pick(std::uint64_t, ProcId&) {
+  COMPASS_CHECK_MSG(false, "this checkpoint hook cannot drive a self-serve warp");
+  return false;
+}
+
+inline bool CkptHook::warp_interrupt_pending(CpuId) {
+  COMPASS_CHECK_MSG(false, "this checkpoint hook cannot drive a self-serve warp");
+  return false;
+}
+
+inline std::vector<Event> CkptHook::warp_take_trace_batch(ProcId) {
+  COMPASS_CHECK_MSG(false, "this checkpoint hook cannot drive a self-serve warp");
+  return {};
+}
 
 }  // namespace compass::core

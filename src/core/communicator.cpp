@@ -126,6 +126,9 @@ ProcId Communicator::pick_min(std::span<const ProcId> running) const {
 }
 
 void Communicator::close_all_ports() {
+  // Poison before closing: a frontend parked on the warp hub's sequence
+  // ticket never reaches its port, so the port close alone cannot wake it.
+  if (WarpHub* hub = warp_hub()) hub->abort_waiters();
   std::lock_guard lock(ports_mu_);
   for (auto& port : ports_)
     if (port != nullptr) port->close();

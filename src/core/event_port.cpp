@@ -21,6 +21,14 @@ Reply EventPort::post_and_wait(std::span<const Event> batch) {
   for (std::size_t i = 1; i < batch.size(); ++i)
     COMPASS_CHECK_MSG(batch[i].time >= batch[i - 1].time,
                       "event times must be nondecreasing (proc " << proc_ << ")");
+  // Self-serve warp restore: while a hub is installed, data batches are
+  // answered straight from this proc's warp-log shard (no port crossing)
+  // and control posts are sequenced against the shared ticket before
+  // falling through to the normal path below.
+  if (WarpHub* hub = comm_.warp_hub()) {
+    Reply r;
+    if (hub->warp_post(proc_, batch, r)) return r;
+  }
   {
     std::lock_guard lock(mu_);
     if (closed_) {

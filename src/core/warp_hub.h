@@ -1,0 +1,54 @@
+// WarpHub: the frontend-side interception point for self-serve warp restore.
+//
+// During a port-paced restore warp every logged event still crosses the
+// event port, so restore speed tracks live speed on control-heavy
+// workloads. A WarpHub installed on the Communicator short-circuits that:
+// EventPort::post_and_wait offers every batch to the hub first, and the hub
+// either serves the reply locally from the frontend's warp-log shard (data
+// batches — no port crossing at all) or orders the post against the shared
+// sequence ticket and lets it fall through to the port (control batches,
+// which carry live arguments the backend must see).
+//
+// The hub is owned by the checkpoint restorer (src/ckpt/warp_shard.h); core
+// sees only this interface so EventPort stays free of checkpoint headers.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/cpu_state.h"
+#include "core/event.h"
+#include "core/types.h"
+
+namespace compass::core {
+
+class WarpHub {
+ public:
+  virtual ~WarpHub() = default;
+
+  /// Offer a batch about to be posted by `proc`. Returns true when the hub
+  /// served the reply itself (filled `out`; the caller must NOT post).
+  /// Returns false when the batch must cross the port normally — either it
+  /// is a control batch (the hub has already sequenced the post) or the
+  /// proc's shard is exhausted (warp horizon: live dispatch resumes).
+  /// On an aborted warp the hub returns true with `out.aborted` set.
+  virtual bool warp_post(ProcId proc, std::span<const Event> batch,
+                         Reply& out) = 0;
+
+  /// Intercept an interrupt-queue pop by `proc`'s handler loop on `cpu`.
+  /// During the warp the live CpuState queues are fed by the decoupled
+  /// backend walk, so pops replay from the proc's shard instead: returns
+  /// true with `out` holding the recorded descriptor, or true with an empty
+  /// `out` when the create run's pop at this point came up dry (handler
+  /// loop exit). Returns false only for procs the hub does not manage —
+  /// the caller then pops the live queue as usual.
+  virtual bool warp_pop(ProcId proc, CpuId cpu,
+                        std::optional<IrqDesc>& out) = 0;
+
+  /// Poison the sequence ticket: every current and future warp_post waiter
+  /// returns an aborted reply instead of blocking. Called on the backend
+  /// shutdown path (Communicator::close_all_ports).
+  virtual void abort_waiters() = 0;
+};
+
+}  // namespace compass::core

@@ -1,7 +1,10 @@
 #include "os/kernel.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/ckpt_hook.h"
+#include "core/warp_hub.h"
 #include "mem/mem_config.h"
 #include "os/backend_os.h"
 #include "os/fs.h"
@@ -110,14 +113,26 @@ void Kernel::ensure_shm_host(std::int64_t segid, Addr base) {
 void Kernel::handle_irqs(core::SimContext& ctx, CpuId cpu) {
   COMPASS_CHECK_MSG(backend_ != nullptr, "interrupts need a backend");
   core::CpuState& cs = backend_->communicator().cpu_state(cpu);
+  core::CkptHook* ck = backend_->ckpt_hook();
   ctx.irq_enter(0);
   const ExecMode saved = ctx.mode();
   ctx.set_mode(ExecMode::kInterrupt);
-  while (auto d = cs.pop()) {
-    // Each successful pop mutates the CPU's interrupt queue from this host
-    // thread, exactly between two of its event posts; the trace records the
-    // pop at that stream position so replay can redo it.
-    if (trace_ != nullptr) trace_->on_irq_pop(ctx.proc(), cpu);
+  for (;;) {
+    std::optional<core::IrqDesc> d;
+    if (core::WarpHub* hub = backend_->communicator().warp_hub();
+        hub == nullptr || !hub->warp_pop(ctx.proc(), cpu, d)) {
+      // Each successful pop mutates the CPU's interrupt queue from this
+      // host thread, exactly between two of its event posts; the trace
+      // records the pop at that stream position so replay can redo it.
+      // During a self-serve warp the hub serves the pop from the proc's
+      // shard instead (the live queue is fed by the decoupled walk, which
+      // also emits the matching trace records at their recorded positions).
+      d = cs.pop();
+      if (d.has_value() && trace_ != nullptr)
+        trace_->on_irq_pop(ctx.proc(), cpu);
+    }
+    if (!d.has_value()) break;
+    if (ck != nullptr) ck->on_irq_pop(ctx.proc(), cpu, *d);
     switch (d->irq) {
       case core::Irq::kTimer:
         // Timekeeping: bump the tick count, scan the callout list head.

@@ -246,6 +246,9 @@ ScenarioStats run_scenario(sim::SimulationConfig cfg,
     TpcdScenario sc;
     sc.workers = static_cast<int>(take_int(kv, "workers", 2));
     sc.repeats = static_cast<int>(take_int(kv, "repeats", 1));
+    sc.use_mmap = take_int(kv, "use_mmap", 0) != 0;
+    sc.tpcd.lineitems =
+        static_cast<int>(take_int(kv, "lineitems", sc.tpcd.lineitems));
     st = run_tpcd(cfg, sc);
   } else {
     throw util::ConfigError("unknown workload '" + params.workload +

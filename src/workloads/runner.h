@@ -93,8 +93,9 @@ ScenarioStats run_sci(sim::SimulationConfig cfg, const SciScenario& sc);
 /// A workload selection in portable string form — what checkpoint files and
 /// tools pass around. `kv` holds the per-workload knobs under the same names
 /// trace_record uses (sci: n, nprocs; web: requests, servers, seed;
-/// tpcc/tpcd: workers; tpcc: txns, items, warehouses, pool; tpcd: repeats);
-/// missing keys take the trace_record defaults. Unknown keys are rejected.
+/// tpcc/tpcd: workers; tpcc: txns, items, warehouses, pool; tpcd: repeats,
+/// use_mmap, lineitems); missing keys take the trace_record defaults.
+/// Unknown keys are rejected.
 struct ScenarioParams {
   std::string workload;  ///< "sci" | "web" | "tpcc" | "tpcd"
   std::map<std::string, std::string> kv;

@@ -2,8 +2,9 @@
 // primitives, checkpoint-file robustness against malformed input, and the
 // golden restore-equivalence property — a run restored from cycle T must
 // produce byte-identical traces and golden-matching counters versus the
-// uninterrupted run — crossed with backend workers, the frontend L1 filter
-// and an enabled fault plan.
+// uninterrupted run — crossed with backend workers, the frontend L1 filter,
+// an enabled fault plan, and both warp paths (sharded self-serve vs legacy
+// port-paced), plus structural rejection of malformed warp-shard sections.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -200,6 +201,7 @@ TEST(CkptWriter, RejectsConflictingOrMissingTargets) {
 struct RunOutput {
   workloads::ScenarioStats stats;
   std::vector<std::uint8_t> trace;
+  bool self_serve = false;  ///< restore runs: which warp path fast-forwarded
 };
 
 /// Uninterrupted reference run with a trace recorder attached.
@@ -234,7 +236,8 @@ std::vector<std::string> run_create(sim::SimulationConfig cfg,
 
 /// Restore from an in-memory checkpoint and run to completion (or run_for).
 RunOutput run_restore(ckpt::CheckpointFile file, const std::string& tag,
-                      Cycles run_for = 0, int workers_override = -1) {
+                      Cycles run_for = 0, int workers_override = -1,
+                      ckpt::WarpMode warp = ckpt::WarpMode::kAuto) {
   sim::SimulationConfig cfg = ckpt::config_from(file, workers_override);
   const workloads::ScenarioParams params = [&file] {
     workloads::ScenarioParams p;
@@ -243,7 +246,7 @@ RunOutput run_restore(ckpt::CheckpointFile file, const std::string& tag,
     p.kv.erase("workload");
     return p;
   }();
-  ckpt::CheckpointRestorer restorer(std::move(file), run_for);
+  ckpt::CheckpointRestorer restorer(std::move(file), run_for, warp);
   cfg.ckpt = &restorer;
   cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
   const std::string path = temp_path(tag + ".restore.trace");
@@ -255,6 +258,7 @@ RunOutput run_restore(ckpt::CheckpointFile file, const std::string& tag,
     recorder.finalize();
   }
   EXPECT_TRUE(restorer.installed()) << tag << ": warp never reached snapshot";
+  out.self_serve = restorer.self_serve_active();
   out.trace = slurp(path);
   std::remove(path.c_str());
   return out;
@@ -302,6 +306,12 @@ workloads::ScenarioParams web_params() {
 
 workloads::ScenarioParams tpcc_params() {
   return {"tpcc", {{"workers", "2"}}};
+}
+
+workloads::ScenarioParams tpcd_params() {
+  // lineitems trimmed so the scan still crosses the snapshot cycle but the
+  // three-legged roundtrip stays fast.
+  return {"tpcd", {{"workers", "2"}, {"repeats", "1"}, {"lineitems", "1500"}}};
 }
 
 TEST(CkptGolden, SciRestoreMatchesUninterrupted) {
@@ -405,6 +415,209 @@ TEST(CkptGolden, TruncatedWarpLogIsDivergence) {
   log.resize(log.size() - 48);
   EXPECT_THROW(run_restore(std::move(file), "sci_diverge"), StateError);
   std::remove(files[0].c_str());
+}
+
+// ---- workload-coverage gaps ------------------------------------------------
+
+TEST(CkptGolden, TpcdRestoreMatchesUninterrupted) {
+  sim::SimulationConfig cfg;
+  check_roundtrip(cfg, tpcd_params(), 1'000'000, "tpcd");
+}
+
+TEST(CkptGolden, TpcdMmapRestoreMatchesUninterrupted) {
+  // Q1 through the mmap path (single worker): page-fault driven reads must
+  // replay from the warp log exactly like buffer-pool reads do.
+  sim::SimulationConfig cfg;
+  workloads::ScenarioParams params = tpcd_params();
+  params.kv["workers"] = "1";
+  params.kv["use_mmap"] = "1";
+  check_roundtrip(cfg, params, 1'000'000, "tpcd_mmap");
+}
+
+TEST(CkptGolden, WebMultiServerRestoreMatches) {
+  // Two httpd processes share the listen queue; the snapshot lands with
+  // both mid-request and the restore must revive each server's connection
+  // state bit-identically.
+  sim::SimulationConfig cfg;
+  workloads::ScenarioParams params = web_params();
+  params.kv["servers"] = "2";
+  check_roundtrip(cfg, params, 400'000, "web2");
+}
+
+// ---- self-serve vs port-paced warp -----------------------------------------
+
+TEST(CkptGolden, PortPacedWarpMatchesSelfServe) {
+  // The same checkpoint must restore bit-identically through both warp
+  // paths, for every workload family.
+  struct Case {
+    workloads::ScenarioParams params;
+    Cycles at;
+    const char* tag;
+  };
+  const Case cases[] = {
+      {sci_params(), 15'000, "sci_modes"},
+      {web_params(), 400'000, "web_modes"},
+      {tpcc_params(), 1'000'000, "tpcc_modes"},
+      {tpcd_params(), 1'000'000, "tpcd_modes"},
+  };
+  for (const Case& c : cases) {
+    sim::SimulationConfig cfg;
+    const RunOutput base = run_plain(cfg, c.params, c.tag);
+    ckpt::CreateOptions opts;
+    opts.out = temp_path(std::string(c.tag) + ".ckpt");
+    opts.at_cycles = {c.at};
+    const std::vector<std::string> files = run_create(cfg, c.params, opts);
+    ASSERT_EQ(files.size(), 1u) << c.tag;
+    const RunOutput self = run_restore(ckpt::read_file(files[0]), c.tag, 0, -1,
+                                       ckpt::WarpMode::kSelfServe);
+    EXPECT_TRUE(self.self_serve) << c.tag;
+    expect_equivalent(base, self, std::string(c.tag) + ":self");
+    const RunOutput port = run_restore(ckpt::read_file(files[0]), c.tag, 0, -1,
+                                       ckpt::WarpMode::kPortPaced);
+    EXPECT_FALSE(port.self_serve) << c.tag;
+    expect_equivalent(base, port, std::string(c.tag) + ":port");
+    std::remove(files[0].c_str());
+  }
+}
+
+TEST(CkptGolden, SelfServeWarpAcrossWorkerCounts) {
+  // W is a host execution strategy: a serial create must self-serve restore
+  // bit-identically under any backend fan-out.
+  sim::SimulationConfig cfg;
+  const workloads::ScenarioParams params = tpcc_params();
+  const RunOutput base = run_plain(cfg, params, "tpcc_selfw");
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("tpcc_selfw.ckpt");
+  opts.at_cycles = {1'000'000};
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_EQ(files.size(), 1u);
+  for (int w : {1, 2, 4}) {
+    const RunOutput restored =
+        run_restore(ckpt::read_file(files[0]), "tpcc_selfw", 0, w,
+                    ckpt::WarpMode::kSelfServe);
+    EXPECT_TRUE(restored.self_serve) << "w" << w;
+    expect_equivalent(base, restored, "tpcc_selfw:w" + std::to_string(w));
+  }
+  std::remove(files[0].c_str());
+}
+
+TEST(CkptGolden, L1FilterSelfServeAndPortPacedMatch) {
+  // Filter-on shards carry the l1_gen + teach payloads; both warp paths
+  // must hand them to the frontend mirrors identically.
+  sim::SimulationConfig cfg;
+  cfg.core.l1_filter = true;
+  const workloads::ScenarioParams params = sci_params();
+  const RunOutput base = run_plain(cfg, params, "sci_l1_modes");
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("sci_l1_modes.ckpt");
+  opts.at_cycles = {15'000};
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_EQ(files.size(), 1u);
+  const RunOutput self = run_restore(ckpt::read_file(files[0]), "sci_l1_modes",
+                                     0, -1, ckpt::WarpMode::kSelfServe);
+  EXPECT_TRUE(self.self_serve);
+  expect_equivalent(base, self, "sci_l1_modes:self");
+  const RunOutput port = run_restore(ckpt::read_file(files[0]), "sci_l1_modes",
+                                     0, -1, ckpt::WarpMode::kPortPaced);
+  EXPECT_FALSE(port.self_serve);
+  expect_equivalent(base, port, "sci_l1_modes:port");
+  std::remove(files[0].c_str());
+}
+
+// ---- warp-shard format robustness ------------------------------------------
+
+/// Create a small sci checkpoint and hand back its decoded file.
+ckpt::CheckpointFile make_sci_ckpt(const std::string& tag) {
+  sim::SimulationConfig cfg;
+  ckpt::CreateOptions opts;
+  opts.out = temp_path(tag + ".ckpt");
+  opts.at_cycles = {15'000};
+  const std::vector<std::string> files = run_create(cfg, sci_params(), opts);
+  EXPECT_EQ(files.size(), 1u);
+  ckpt::CheckpointFile file = ckpt::read_file(files[0]);
+  std::remove(files[0].c_str());
+  return file;
+}
+
+std::vector<std::uint8_t>& shard_section(ckpt::CheckpointFile& f) {
+  return f.sections[static_cast<std::uint8_t>(ckpt::SectionId::kWarpShards)];
+}
+
+TEST(CkptShards, StrippedWarpSectionsFallBackToPortPaced) {
+  // A file without the self-serve sections (older writer) must still
+  // restore golden through the port-paced warp under kAuto — and refuse
+  // kSelfServe outright.
+  sim::SimulationConfig cfg;
+  const workloads::ScenarioParams params = sci_params();
+  const RunOutput base = run_plain(cfg, params, "sci_strip");
+  ckpt::CreateOptions opts;
+  opts.out = temp_path("sci_strip.ckpt");
+  opts.at_cycles = {15'000};
+  const std::vector<std::string> files = run_create(cfg, params, opts);
+  ASSERT_EQ(files.size(), 1u);
+  ckpt::CheckpointFile file = ckpt::read_file(files[0]);
+  std::remove(files[0].c_str());
+  file.sections.erase(static_cast<std::uint8_t>(ckpt::SectionId::kWarpSpine));
+  file.sections.erase(static_cast<std::uint8_t>(ckpt::SectionId::kWarpShards));
+  ckpt::CheckpointFile stripped = file;
+  const RunOutput restored = run_restore(std::move(file), "sci_strip");
+  EXPECT_FALSE(restored.self_serve)
+      << "restore self-served without warp sections";
+  expect_equivalent(base, restored, "sci_strip");
+  EXPECT_THROW(ckpt::CheckpointRestorer(std::move(stripped), 0,
+                                        ckpt::WarpMode::kSelfServe),
+               StateError);
+}
+
+TEST(CkptShards, TruncatedShardSectionIsRejected) {
+  ckpt::CheckpointFile file = make_sci_ckpt("sci_shard_trunc");
+  std::vector<std::uint8_t>& bytes = shard_section(file);
+  ASSERT_GT(bytes.size(), 16u);
+  bytes.resize(bytes.size() - 9);
+  EXPECT_THROW(ckpt::CheckpointRestorer(std::move(file)), StateError);
+}
+
+TEST(CkptShards, ReorderedShardSeqIsRejected) {
+  ckpt::CheckpointFile file = make_sci_ckpt("sci_shard_order");
+  std::vector<std::uint8_t>& bytes = shard_section(file);
+  std::vector<ckpt::WarpShard> shards =
+      ckpt::decode_shards({bytes.data(), bytes.size()}, /*l1_filter=*/false);
+  // Swap the first two ticketed records of some shard out of program order.
+  bool swapped = false;
+  for (ckpt::WarpShard& shard : shards) {
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < shard.records.size() && slots.size() < 2; ++i)
+      if (shard.records[i].tag != ckpt::kShardIrqPop) slots.push_back(i);
+    if (slots.size() < 2) continue;
+    std::swap(shard.records[slots[0]].seq, shard.records[slots[1]].seq);
+    swapped = true;
+    break;
+  }
+  ASSERT_TRUE(swapped) << "no shard with two ticketed records";
+  bytes = ckpt::encode_shards(shards, /*l1_filter=*/false);
+  EXPECT_THROW(ckpt::CheckpointRestorer(std::move(file)), StateError);
+}
+
+TEST(CkptShards, ForeignProcShardIsRejected) {
+  ckpt::CheckpointFile file = make_sci_ckpt("sci_shard_foreign");
+  std::vector<std::uint8_t>& bytes = shard_section(file);
+  std::vector<ckpt::WarpShard> shards =
+      ckpt::decode_shards({bytes.data(), bytes.size()}, /*l1_filter=*/false);
+  ASSERT_FALSE(shards.empty());
+  shards.front().proc = static_cast<ProcId>(file.nprocs + 3);
+  bytes = ckpt::encode_shards(shards, /*l1_filter=*/false);
+  EXPECT_THROW(ckpt::CheckpointRestorer(std::move(file)), StateError);
+}
+
+TEST(CkptShards, DuplicateProcShardIsRejected) {
+  ckpt::CheckpointFile file = make_sci_ckpt("sci_shard_dup");
+  std::vector<std::uint8_t>& bytes = shard_section(file);
+  std::vector<ckpt::WarpShard> shards =
+      ckpt::decode_shards({bytes.data(), bytes.size()}, /*l1_filter=*/false);
+  ASSERT_FALSE(shards.empty());
+  shards.push_back(shards.front());
+  bytes = ckpt::encode_shards(shards, /*l1_filter=*/false);
+  EXPECT_THROW(ckpt::CheckpointRestorer(std::move(file)), StateError);
 }
 
 TEST(CkptGolden, WrongProcessCountIsRejected) {

@@ -27,6 +27,11 @@ baseline entry missing from the results (a bench binary was renamed,
 dropped from the smoke run, or skipped on this host) are each reported
 with a clear WARNING and skipped. Only a measured regression fails.
 
+Entries whose name ends in "/ratio" are host-invariant dimensionless
+ratios (e.g. bench_ckpt's restore-vs-live time ratio): they are excluded
+from the host-speed median and compared raw against
+baseline * (1 + threshold), since host speed cancels out of a ratio.
+
   bench_gate.py selftest
 
 runs the gate against synthetic data and verifies both mismatch
@@ -100,16 +105,19 @@ def cmd_check(args):
         print("bench_gate: no comparable benchmarks", file=sys.stderr)
         return 1
 
-    norm = statistics.median(ratios.values())
+    timed = [r for n, r in ratios.items() if not n.endswith("/ratio")]
+    norm = statistics.median(timed) if timed else 1.0
     limit = norm * (1.0 + args.threshold)
     print(f"bench_gate: {len(ratios)} benchmarks, host-speed factor "
-          f"{norm:.3f}, per-benchmark limit {limit:.3f}x baseline")
+          f"{norm:.3f}, per-benchmark limit {limit:.3f}x baseline "
+          f"(host-invariant /ratio entries: {1.0 + args.threshold:.3f}x)")
 
     failures = []
     for name, r in sorted(ratios.items(), key=lambda kv: -kv[1]):
-        verdict = "FAIL" if r > limit else "ok"
-        print(f"  {verdict:4} {r / norm:6.3f}x normalized  ({r:6.3f}x raw)  {name}")
-        if r > limit:
+        n = 1.0 if name.endswith("/ratio") else norm
+        verdict = "FAIL" if r > n * (1.0 + args.threshold) else "ok"
+        print(f"  {verdict:4} {r / n:6.3f}x normalized  ({r:6.3f}x raw)  {name}")
+        if verdict == "FAIL":
             failures.append(name)
 
     if failures:
@@ -183,6 +191,17 @@ def cmd_selftest(_args):
     rc, out = run_check({"a": 100.0, "b": 100.0, "c": 100.0},
                         {"a": 100.0, "b": 100.0, "c": 200.0})
     checks.append(("regression still fails", rc == 1 and "FAIL" in out))
+
+    # A host-invariant /ratio entry must not trip on a uniformly faster
+    # host (the times halve, the ratio does not)...
+    rc, out = run_check({"a": 100.0, "b": 100.0, "x/ratio": 1.0},
+                        {"a": 50.0, "b": 50.0, "x/ratio": 1.0})
+    checks.append(("ratio ignores host speed", rc == 0))
+
+    # ...but a regressed ratio must fail even when every timing is flat.
+    rc, out = run_check({"a": 100.0, "b": 100.0, "x/ratio": 1.0},
+                        {"a": 100.0, "b": 100.0, "x/ratio": 1.5})
+    checks.append(("ratio regression fails", rc == 1 and "x/ratio" in out))
 
     ok = True
     for name, passed in checks:

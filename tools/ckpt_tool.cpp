@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "ckpt/checkpoint.h"
+#include "ckpt/warp_shard.h"
 #include "fault/fault_flags.h"
+#include "trace/config_codec.h"
 #include "trace/golden.h"
 #include "trace/trace_recorder.h"
 #include "util/flags.h"
@@ -94,6 +96,7 @@ workloads::ScenarioParams scenario_from_flags(const util::Flags& flags) {
   } else if (params.workload == "tpcd") {
     params.kv["workers"] = flags.get("workers");
     params.kv["repeats"] = flags.get("repeats");
+    params.kv["use_mmap"] = flags.get("use-mmap");
   } else {
     throw util::ConfigError("unknown workload '" + params.workload + "'");
   }
@@ -174,7 +177,41 @@ int cmd_info(const std::string& path) {
     std::printf("  section %-10s %zu bytes\n",
                 ckpt::to_string(static_cast<ckpt::SectionId>(id)),
                 payload.size());
+  if (f.has_section(ckpt::SectionId::kWarpSpine)) {
+    const std::vector<std::uint8_t>& bytes =
+        f.section(ckpt::SectionId::kWarpSpine);
+    std::printf("  spine records    %zu\n",
+                ckpt::decode_spine({bytes.data(), bytes.size()}).size());
+  }
+  if (f.has_section(ckpt::SectionId::kWarpShards)) {
+    std::uint64_t l1 = 0;
+    trace::config_lookup(f.config, trace::ConfigKey::kL1Filter, l1);
+    const std::vector<std::uint8_t>& bytes =
+        f.section(ckpt::SectionId::kWarpShards);
+    for (const ckpt::WarpShard& shard :
+         ckpt::decode_shards({bytes.data(), bytes.size()}, l1 != 0)) {
+      std::size_t data = 0;
+      std::size_t posts = 0;
+      std::size_t pops = 0;
+      for (const ckpt::ShardRecord& rec : shard.records) {
+        if (rec.tag == ckpt::kShardData) ++data;
+        else if (rec.tag == ckpt::kShardPost) ++posts;
+        else ++pops;
+      }
+      std::printf("  shard proc %-5d %zu records (%zu data, %zu posts, "
+                  "%zu irq pops)\n",
+                  shard.proc, shard.records.size(), data, posts, pops);
+    }
+  }
   return 0;
+}
+
+ckpt::WarpMode parse_warp_mode(const std::string& name) {
+  if (name == "auto") return ckpt::WarpMode::kAuto;
+  if (name == "self") return ckpt::WarpMode::kSelfServe;
+  if (name == "port") return ckpt::WarpMode::kPortPaced;
+  throw util::ConfigError("unknown warp mode '" + name +
+                          "' (expected auto|self|port)");
 }
 
 int cmd_restore(const util::Flags& flags, const std::string& path) {
@@ -185,7 +222,8 @@ int cmd_restore(const util::Flags& flags, const std::string& path) {
   const workloads::ScenarioParams params = scenario_from_meta(f);
   const auto run_for = static_cast<Cycles>(flags.get_int("run-for"));
 
-  ckpt::CheckpointRestorer restorer(std::move(f), run_for);
+  ckpt::CheckpointRestorer restorer(std::move(f), run_for,
+                                    parse_warp_mode(flags.get("warp")));
   cfg.ckpt = &restorer;
   cfg.post_build = [&restorer](sim::Simulation& s) { restorer.bind(s); };
 
@@ -203,8 +241,9 @@ int cmd_restore(const util::Flags& flags, const std::string& path) {
                          "the snapshot cycle\n");
     return 1;
   }
-  std::printf("restored at cycle %llu\n",
-              static_cast<unsigned long long>(restorer.installed_at()));
+  std::printf("restored at cycle %llu (%s warp)\n",
+              static_cast<unsigned long long>(restorer.installed_at()),
+              restorer.self_serve_active() ? "self-serve" : "port-paced");
   print_summary(params.workload.c_str(), st);
   const std::string json_path = flags.get("stats-json");
   if (!json_path.empty()) {
@@ -321,6 +360,7 @@ int main(int argc, char** argv) {
         {"at", ""},
         {"every", "0"},
         {"run-for", "0"},
+        {"warp", "auto"},
         {"restore-workers", ""},
         {"jobs", "0"},
         {"trace-out", ""},
@@ -340,6 +380,7 @@ int main(int argc, char** argv) {
         {"items", "400"},
         {"warehouses", "2"},
         {"repeats", "1"},
+        {"use-mmap", "0"},
         {"requests", "20"},
         {"servers", "1"},
         {"seed", "99"}};
@@ -349,6 +390,7 @@ int main(int argc, char** argv) {
         {"at", "create: comma-separated snapshot cycles"},
         {"every", "create/sample: snapshot every K cycles"},
         {"run-for", "restore: stop this many cycles after the install point"},
+        {"warp", "restore: fast-forward mode auto | self | port"},
         {"restore-workers", "restore: override backend dispatch lanes"},
         {"jobs", "sample: parallel region processes (0 = host cores)"},
         {"trace-out", "record the run's event trace"},
@@ -368,6 +410,7 @@ int main(int argc, char** argv) {
         {"items", "tpcc: item-table size"},
         {"warehouses", "tpcc: warehouse count"},
         {"repeats", "tpcd: query executions per worker"},
+        {"use-mmap", "tpcd: run Q1 through mmap (single worker only)"},
         {"requests", "web: request count"},
         {"servers", "web: server processes"},
         {"seed", "web: request-trace seed"}};

@@ -13,7 +13,9 @@
 //     retried family (disk, net drop, oscall) that injected also recovered;
 //   * workload consistency: web completes every request; tpcc's table
 //     invariant sum(STOCK.ytd) == sum(ORDERLINE.amount) holds even across
-//     a WAL crash, and recovery replays exactly the committed prefix.
+//     a WAL crash, and recovery replays exactly the committed prefix;
+//     tpcd's repeated Q1/Q6 scans over the immutable LINEITEM table return
+//     bit-identical answers on every repeat.
 //
 // With --ckpt-at=T each trial additionally snapshots itself at the first
 // dispatch point past cycle T (when the faulted run lives that long),
@@ -31,6 +33,8 @@
 #include <exception>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "fault/fault_plan.h"
@@ -213,6 +217,60 @@ workloads::ScenarioStats trial_tpcc(sim::SimulationConfig cfg) {
   return st;
 }
 
+workloads::ScenarioStats trial_tpcd(sim::SimulationConfig cfg) {
+  constexpr std::int64_t kStartSem = 9001;
+  workloads::TpcdScenario sc;
+  sc.workers = 2;
+  sc.repeats = 2;
+  sc.tpcd.lineitems = 1200;
+
+  sim::Simulation sim(cfg);
+  auto tpcd = std::make_shared<workloads::db::Tpcd>(sc.tpcd);
+  using Answer = std::pair<workloads::db::Tpcd::Q1Result, std::int64_t>;
+  std::vector<std::vector<Answer>> answers(
+      static_cast<std::size_t>(sc.workers));
+  sim.spawn("db2.coord", [&, workers = sc.workers](sim::Proc& p) {
+    tpcd->setup(p);
+    p.sem_init(kStartSem, 0);
+    for (int i = 0; i < workers; ++i) p.sem_v(kStartSem);
+  });
+  for (int w = 0; w < sc.workers; ++w) {
+    sim.spawn("db2.query" + std::to_string(w), [&, w](sim::Proc& p) {
+      p.sem_init(kStartSem, 0);
+      p.sem_p(kStartSem);
+      auto& mine = answers[static_cast<std::size_t>(w)];
+      for (int r = 0; r < sc.repeats; ++r)
+        mine.emplace_back(tpcd->q1(p, w, sc.workers),
+                          tpcd->q6(p, w, sc.workers));
+    });
+  }
+  sim.run();
+
+  // The queries scan an immutable LINEITEM table, so injected faults (disk
+  // errors, timeouts, EINTR retries) must be invisible to the answers:
+  // every repeat returns the same groups and the same revenue.
+  for (const std::vector<Answer>& mine : answers) {
+    for (std::size_t r = 1; r < mine.size(); ++r) {
+      const auto& [q1a, q6a] = mine[0];
+      const auto& [q1b, q6b] = mine[r];
+      bool same = q6a == q6b;
+      for (std::size_t g = 0; g < q1a.size() && same; ++g)
+        same = q1a[g].count == q1b[g].count &&
+               q1a[g].sum_qty == q1b[g].sum_qty &&
+               q1a[g].sum_price == q1b[g].sum_price &&
+               q1a[g].sum_disc_price == q1b[g].sum_disc_price;
+      if (!same)
+        throw std::runtime_error("tpcd repeat " + std::to_string(r) +
+                                 " returned a different answer than repeat 0");
+    }
+  }
+  workloads::ScenarioStats st;
+  workloads::collect_stats(sim, st);
+  st.work_units = static_cast<std::uint64_t>(sc.workers * sc.repeats);
+  check_counters(st.snapshot);
+  return st;
+}
+
 /// Run the trial once; with ckpt_at > 0 run it a second time restored from a
 /// mid-run snapshot and require the restored run to (a) pass every invariant
 /// the live run passed — the trial body throws otherwise — and (b) finish
@@ -281,7 +339,7 @@ int main(int argc, char** argv) {
          {"l1-filter", "-1"},
          {"ckpt-at", "0"},
          {"verbose", "false"}},
-        {{"workload", "sci | web | tpcc"},
+        {{"workload", "sci | web | tpcc | tpcd"},
          {"trials", "number of seeded trials"},
          {"seed0", "seed of the first trial (trial t uses seed0 + t)"},
          {"cpus", "simulated processors"},
@@ -298,7 +356,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     const std::string workload = flags.get("workload");
-    if (workload != "sci" && workload != "web" && workload != "tpcc")
+    if (workload != "sci" && workload != "web" && workload != "tpcc" &&
+        workload != "tpcd")
       throw util::ConfigError("unknown workload '" + workload + "'");
     const std::int64_t trials = flags.get_int("trials");
     const std::uint64_t seed0 = static_cast<std::uint64_t>(flags.get_int("seed0"));
@@ -341,6 +400,7 @@ int main(int argc, char** argv) {
       try {
         if (workload == "sci") run_trial(cfg, ckpt_at, trial_sci);
         else if (workload == "web") run_trial(cfg, ckpt_at, trial_web);
+        else if (workload == "tpcd") run_trial(cfg, ckpt_at, trial_tpcd);
         else run_trial(cfg, ckpt_at, trial_tpcc);
       } catch (const std::exception& e) {
         std::fprintf(stderr,

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
         {"n", "32"},
         {"nprocs", "2"},
         {"workers", "2"},
+        {"repeats", "1"},
+        {"use-mmap", "0"},
         {"requests", "20"},
         {"servers", "1"},
         {"seed", "99"}};
@@ -71,6 +73,8 @@ int main(int argc, char** argv) {
         {"n", "sci: matrix dimension"},
         {"nprocs", "sci: worker processes"},
         {"workers", "tpcc/tpcd: worker processes"},
+        {"repeats", "tpcd: query executions per worker"},
+        {"use-mmap", "tpcd: run Q1 through mmap (single worker only)"},
         {"requests", "web: request count"},
         {"servers", "web: server processes"},
         {"seed", "web: request-trace seed"}};
@@ -117,6 +121,8 @@ int main(int argc, char** argv) {
     } else if (workload == "tpcd") {
       workloads::TpcdScenario sc;
       sc.workers = static_cast<int>(flags.get_int("workers"));
+      sc.repeats = static_cast<int>(flags.get_int("repeats"));
+      sc.use_mmap = flags.get_int("use-mmap") != 0;
       st = workloads::run_tpcd(cfg, sc);
     } else {
       throw util::ConfigError("unknown workload '" + workload + "'");
