@@ -7,6 +7,13 @@
 // (invert for ns/dispatch). The CI bench gate consumes the same JSON
 // schema as the other microbenches.
 //
+// The Cache/Numa families run the same shape over the stateful models
+// (lane B): each frontend laps a private working set that fits in its L1,
+// so after the first cold lap the classify pass proves every batch clean
+// and disjoint and the window fans out across the shard pool. The
+// laneb_windows / laneb_par_items counters report how often that plan
+// succeeded (per iteration).
+//
 // Workers > 1 only outperforms serial on a multi-core host; on a single
 // core the window protocol's bookkeeping is pure overhead, which is
 // exactly what the W=1-vs-W>1 comparison is there to quantify.
@@ -19,6 +26,7 @@
 #include "core/backend.h"
 #include "core/frontend.h"
 #include "mem/machine.h"
+#include "mem/vm.h"
 
 using namespace compass;
 
@@ -70,6 +78,76 @@ void BM_ParallelBackend(benchmark::State& state) {
       static_cast<double>(windows) / static_cast<double>(state.iterations());
 }
 
+// Lane-B benchmark body shared by the cache and NUMA families: `make`
+// builds the machine for one iteration (the Vm it captures outlives the
+// Backend). Hit-heavy private laps: 64 lines x 2 refs x kLaps per proc.
+constexpr int kLaps = 12;
+constexpr int kLanebLines = 64;
+
+template <typename MakeMachine>
+void run_laneb_backend(benchmark::State& state, MakeMachine make) {
+  const int workers = static_cast<int>(state.range(0));
+  const int cpus = static_cast<int>(state.range(1));
+  std::uint64_t laneb_windows = 0;
+  std::uint64_t laneb_items = 0;
+  for (auto _ : state) {
+    core::SimConfig cfg;
+    cfg.num_cpus = cpus;
+    cfg.backend_workers = workers;
+    core::Communicator comm(cfg.num_cpus);
+    mem::Vm vm({.num_nodes = 2});
+    auto memsys = make(vm, cpus);
+    core::Backend::Hooks hooks;
+    hooks.memsys = memsys.get();
+    core::Backend backend(cfg, comm, hooks);
+
+    std::vector<std::unique_ptr<core::Frontend>> procs;
+    core::SimContext::Options opts;
+    opts.batch_size = kBatchSize;
+    for (int p = 0; p < cpus; ++p)
+      procs.push_back(std::make_unique<core::Frontend>(
+          backend, "p" + std::to_string(p), opts));
+    for (int p = 0; p < cpus; ++p) {
+      const Addr base = 0x1000 + static_cast<Addr>(p) * 0x100000;
+      procs[static_cast<std::size_t>(p)]->start([base, p](core::SimContext& ctx) {
+        for (int lap = 0; lap < kLaps; ++lap) {
+          for (int i = 0; i < kLanebLines; ++i) {
+            const Addr a = base + static_cast<Addr>(i) * 64;
+            ctx.compute(static_cast<Cycles>(9 + (p % 5) * 3));
+            ctx.load(a, 8);
+            ctx.store(a, 8);
+          }
+        }
+      });
+    }
+    backend.run();
+    for (auto& f : procs) f->join();
+    laneb_windows += backend.laneb_windows();
+    laneb_items += backend.laneb_parallel_items();
+  }
+  const auto events = static_cast<std::int64_t>(state.iterations()) * cpus *
+                      kLaps * kLanebLines * 2;
+  state.SetItemsProcessed(events);
+  state.counters["laneb_windows"] = static_cast<double>(laneb_windows) /
+                                    static_cast<double>(state.iterations());
+  state.counters["laneb_par_items"] = static_cast<double>(laneb_items) /
+                                      static_cast<double>(state.iterations());
+}
+
+void BM_ParallelBackendCache(benchmark::State& state) {
+  run_laneb_backend(state, [](mem::Vm& vm, int cpus) {
+    return std::make_unique<mem::SimpleMachine>(mem::SimpleMachineConfig{},
+                                                cpus, vm);
+  });
+}
+
+void BM_ParallelBackendNuma(benchmark::State& state) {
+  run_laneb_backend(state, [](mem::Vm& vm, int cpus) {
+    return std::make_unique<mem::NumaMachine>(mem::NumaMachineConfig{}, cpus,
+                                              2, vm);
+  });
+}
+
 }  // namespace
 
 BENCHMARK(BM_ParallelBackend)
@@ -83,6 +161,25 @@ BENCHMARK(BM_ParallelBackend)
     ->Args({1, 32})
     ->Args({2, 32})
     ->Args({4, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ParallelBackendCache)
+    ->ArgNames({"workers", "cpus"})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->Args({1, 32})
+    ->Args({2, 32})
+    ->Args({4, 32})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ParallelBackendNuma)
+    ->ArgNames({"workers", "cpus"})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({4, 16})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -77,6 +77,53 @@ void check_section(SectionId id, const std::vector<std::uint8_t>& recorded,
 
 }  // namespace
 
+// ---------------------------------------------------------------- profiler
+
+std::uint64_t EventProfile::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+std::vector<Cycles> balanced_sample_cycles(const EventProfile& profile,
+                                           int regions) {
+  COMPASS_CHECK_MSG(regions >= 2, "balanced sampling needs >= 2 regions");
+  const std::uint64_t total = profile.total();
+  std::vector<Cycles> out;
+  if (total == 0) return out;
+  // Walk the histogram once, emitting a boundary at each bucket end whose
+  // cumulative count first reaches the next k/regions quantile. One bucket
+  // can satisfy several quantiles (a spike); it still contributes at most
+  // one boundary, keeping the result strictly increasing.
+  std::uint64_t cum = 0;
+  int k = 1;
+  for (std::size_t b = 0; b < profile.counts.size() && k < regions; ++b) {
+    cum += profile.counts[b];
+    bool hit = false;
+    while (k < regions &&
+           cum * static_cast<std::uint64_t>(regions) >=
+               total * static_cast<std::uint64_t>(k)) {
+      ++k;
+      hit = true;
+    }
+    if (hit && cum < total)
+      out.push_back(static_cast<Cycles>(b + 1) * profile.bucket_width);
+  }
+  return out;
+}
+
+Cycles EventProfiler::window_boundary() const { return kNever; }
+
+void EventProfiler::warp_data_reply(ProcId, Cycles&, core::Reply&) {
+  COMPASS_CHECK_MSG(false, "EventProfiler never warps");
+}
+void EventProfiler::warp_control_reply(ProcId, core::Reply&) {
+  COMPASS_CHECK_MSG(false, "EventProfiler never warps");
+}
+void EventProfiler::warp_deferred_reply(ProcId, core::Reply&) {
+  COMPASS_CHECK_MSG(false, "EventProfiler never warps");
+}
+
 // ------------------------------------------------------------------ writer
 
 CheckpointWriter::CheckpointWriter(const sim::SimulationConfig& cfg,

@@ -53,6 +53,62 @@ struct CreateOptions {
   std::map<std::string, std::string> meta;
 };
 
+/// Data-batch dispatch histogram over fixed-width cycle buckets: the
+/// event-rate profile a first pass records so region sampling can place
+/// snapshot cycles where the events actually are, instead of spacing them
+/// evenly over a run whose activity may be front- or back-loaded.
+struct EventProfile {
+  explicit EventProfile(Cycles bucket_width = 1 << 14)
+      : bucket_width(bucket_width) {}
+  Cycles bucket_width;
+  /// counts[b] = data picks in cycles [b*bucket_width, (b+1)*bucket_width).
+  std::vector<std::uint64_t> counts;
+  void record(Cycles t) {
+    const std::size_t b = static_cast<std::size_t>(t / bucket_width);
+    if (b >= counts.size()) counts.resize(b + 1, 0);
+    ++counts[b];
+  }
+  std::uint64_t total() const;
+};
+
+/// Split the profiled event stream into `regions` parts of (near-)equal
+/// event count and return the `regions - 1` interior boundary cycles, each
+/// rounded up to its bucket's end so a snapshot target never lands mid-
+/// bucket before the events it is meant to capture. Boundaries are strictly
+/// increasing; fewer than `regions - 1` cycles come back when the profile
+/// is too concentrated to split further (all remaining mass in one bucket).
+std::vector<Cycles> balanced_sample_cycles(const EventProfile& profile,
+                                           int regions);
+
+/// First-pass hook for profile-driven region sampling: counts data-batch
+/// picks per cycle bucket and otherwise stays invisible — never snapshots,
+/// never stops the run, imposes no window boundary.
+class EventProfiler final : public core::CkptHook {
+ public:
+  explicit EventProfiler(Cycles bucket_width = 1 << 14)
+      : profile_(bucket_width) {}
+
+  const EventProfile& profile() const { return profile_; }
+
+  // ---- core::CkptHook -----------------------------------------------------
+
+  bool warping() const override { return false; }
+  Cycles window_boundary() const override;
+  bool at_dispatch_point(core::Backend&, Cycles) override { return false; }
+  void on_data_reply(ProcId, Cycles, const core::Reply&) override {}
+  void on_control_reply(ProcId, const core::Reply&) override {}
+  void on_deferred_reply(ProcId, const core::Reply&) override {}
+  void warp_data_reply(ProcId, Cycles&, core::Reply&) override;
+  void warp_control_reply(ProcId, core::Reply&) override;
+  void warp_deferred_reply(ProcId, core::Reply&) override;
+  void on_pick(ProcId, Cycles t, bool is_data) override {
+    if (is_data) profile_.record(t);
+  }
+
+ private:
+  EventProfile profile_;
+};
+
 class CheckpointWriter final : public core::CkptHook {
  public:
   CheckpointWriter(const sim::SimulationConfig& cfg, CreateOptions opts);

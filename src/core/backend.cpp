@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -28,6 +29,14 @@ Backend::Backend(const SimConfig& cfg, Communicator& comm, Hooks hooks,
                     "Communicator/SimConfig CPU count mismatch");
   ctr_mem_refs_ = &stats_->counter("backend.mem_refs");
   ctr_batches_ = &stats_->counter("backend.batches");
+  // Install the configured spin thresholds before any port exists (ports are
+  // created by add_process, which always runs after this constructor).
+  comm_.set_spin_policies(cfg_.frontend_spin_policy(), cfg_.backend_spin_policy());
+#ifndef NDEBUG
+  laneb_lockstep_ = true;
+#endif
+  if (const char* env = std::getenv("COMPASS_LANE_B_LOCKSTEP"); env != nullptr)
+    laneb_lockstep_ = env[0] != '0';
   comm_.set_stall_handler([this](std::span<const ProcId> missing) {
     std::ostringstream os;
     os << "COMPASS backend stalled waiting for frontends to post:";
@@ -419,7 +428,27 @@ Reply Backend::process_data(ProcId proc, std::span<const Event> batch,
     if (ev.kind == EventKind::kMemRef) {
       Event issued = ev;
       issued.time = issue;
-      latency = hooks_.memsys->access(cpu, proc, issued);
+      if (acc != nullptr && acc->cls != nullptr) {
+        // Lane-B planned-parallel item: consume the classify verdict. In
+        // lockstep the literal model runs instead (coordinator, merge order)
+        // and must agree — any disagreement means the classify kernels'
+        // clean-hit proof is wrong for this model.
+        COMPASS_CHECK_MSG(refs < acc->cls->verdicts.size(),
+                          "lane-B verdict underrun for proc " << proc);
+        const LaneBVerdict& v = acc->cls->verdicts[refs];
+        if (laneb_lockstep_) {
+          latency = hooks_.memsys->access(cpu, proc, issued);
+          COMPASS_CHECK_MSG(
+              latency == v.lat,
+              "lane-B lockstep mismatch: proc " << proc << " cpu " << cpu
+                  << " addr 0x" << std::hex << ev.addr << std::dec
+                  << " literal latency " << latency << " != verdict " << v.lat);
+        } else {
+          latency = hooks_.memsys->lane_b_apply(cpu, issued, v);
+        }
+      } else {
+        latency = hooks_.memsys->access(cpu, proc, issued);
+      }
       ++refs;
     }
     charge(cpu, ev.mode, latency);
@@ -512,7 +541,21 @@ std::size_t Backend::form_window(ProcId first) {
 }
 
 void Backend::run_window_item(WindowItem& item) {
-  if (item.execute) item.reply = process_data(item.proc, item.batch, &item);
+  switch (item.op) {
+    case WindowOp::kClassify:
+      // Strictly read-only: the plan decides afterwards what executes where,
+      // so no reply leaves here.
+      item.cls->reset();
+      hooks_.memsys->lane_b_classify(info(item.proc).cpu, item.proc,
+                                     item.batch, *item.cls);
+      return;
+    case WindowOp::kExecute:
+    case WindowOp::kApply:
+      item.reply = process_data(item.proc, item.batch, &item);
+      break;
+    case WindowOp::kDeliver:
+      break;
+  }
   item.port->reply(item.reply);
 }
 
@@ -543,7 +586,7 @@ void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
     // concurrent access() for distinct CPUs.
     pool.begin_window(delegated);
     for (WindowItem& it : window_) {
-      it.execute = true;
+      it.op = WindowOp::kExecute;
       if (it.proc % lanes != 0) pool.push(it.proc % lanes - 1, &it);
     }
     for (WindowItem& it : window_)
@@ -564,11 +607,18 @@ void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
     ctr_batches_->inc(window_.size());
   } else {
     // Lane B: the model has shared zero-lookahead state (coherence bus,
-    // directory, page tables), so the coordinator runs every computation
-    // itself in exact merge order; workers only deliver the replies,
-    // offloading the wakeup cost — the dominant per-dispatch expense.
+    // directory, page tables). The sharded tier first tries to PROVE part
+    // of the window independent of that state (lane_b_window); when the
+    // proof fails, the coordinator runs every computation itself in exact
+    // merge order and workers only deliver the replies, offloading the
+    // wakeup cost — the dominant per-dispatch expense of the serial loop.
+    if (lane_b_window(pool)) return;
     pool.begin_window(delegated);
     for (WindowItem& it : window_) {
+      // A failed lane-B attempt may have left op/cls set by its plan; the
+      // serial tier computes here and delegates bare delivery only.
+      it.op = WindowOp::kDeliver;
+      it.cls = nullptr;
       it.reply = process_data(it.proc, it.batch, nullptr);
       if (hooks_.ckpt != nullptr)
         hooks_.ckpt->on_data_reply(it.proc, now_, it.reply);
@@ -581,12 +631,144 @@ void Backend::execute_window(ShardPool& pool, bool concurrent_model) {
   }
 }
 
+bool Backend::lane_b_window(ShardPool& pool) {
+  // Sharded lane B (complex models). Three phases over an already
+  // taken-and-traced window:
+  //
+  //   1. CLASSIFY (parallel, read-only): every item's batch is resolved
+  //      against the frozen pre-window model state into per-reference
+  //      clean-hit verdicts plus a 64-slice line-hash footprint.
+  //   2. PLAN (coordinator): items that are all-clean AND whose slices are
+  //      disjoint from every non-clean item's footprint go to the parallel
+  //      APPLY tier; the rest execute literally on the coordinator in merge
+  //      order. Disjointness is what keeps the tiers from aliasing: a
+  //      serial reference's cross-CPU mutations only ever target lines it
+  //      accesses, and a literal execution can deviate from its classified
+  //      footprint only on lines an earlier serial reference already
+  //      mutated — both stay inside the serial slices by induction.
+  //   3. APPLY/EXECUTE: workers replay parallel items' verdicts (own-L1
+  //      LRU/state writes at pre-resolved ways, no tag scans) while the
+  //      coordinator runs the serial remainder; then a lane-A-style merge.
+  //
+  // In Debug lockstep the plan still runs, but planned-parallel items
+  // execute literally on the coordinator and process_data asserts each
+  // latency equals its verdict — the full serial ground truth.
+  if (!hooks_.memsys->lane_b_shardable()) return false;
+  if (!laneb_lockstep_ && laneb_backoff_ > 0) {
+    --laneb_backoff_;
+    return false;
+  }
+  const int lanes = pool.workers() + 1;
+
+  // Phase 1: classify. Fan out like lane A (proc % lanes); read-only, so a
+  // failed attempt below leaves the model untouched.
+  if (laneb_cls_.size() < window_.size()) laneb_cls_.resize(window_.size());
+  int delegated = 0;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    window_[i].op = WindowOp::kClassify;
+    window_[i].cls = &laneb_cls_[i];
+    if (window_[i].proc % lanes != 0) ++delegated;
+  }
+  pool.begin_window(delegated);
+  for (WindowItem& it : window_)
+    if (it.proc % lanes != 0) pool.push(it.proc % lanes - 1, &it);
+  for (WindowItem& it : window_)
+    if (it.proc % lanes == 0) run_window_item(it);
+  pool.wait_window();
+
+  // Phase 2: plan. An unresolvable translation anywhere poisons the whole
+  // window (the missing footprint could alias anything).
+  std::uint64_t serial_mask = 0;
+  bool unknown = false;
+  for (const WindowItem& it : window_) {
+    if (!it.cls->lines_known) unknown = true;
+    if (!it.cls->all_clean) serial_mask |= it.cls->slice_mask;
+  }
+  std::size_t n_parallel = 0;
+  for (WindowItem& it : window_) {
+    const bool parallel = !unknown && it.cls->all_clean &&
+                          (it.cls->slice_mask & serial_mask) == 0;
+    if (parallel) {
+      it.op = WindowOp::kApply;
+      ++n_parallel;
+    } else {
+      it.op = WindowOp::kExecute;
+      it.cls = nullptr;
+    }
+  }
+  if (n_parallel == 0) {
+    // Nothing provable: pace future attempts down so classify overhead on
+    // hostile (write-shared) phases stays bounded, recovering quickly once
+    // windows turn clean again. Lockstep keeps classifying for coverage.
+    if (!laneb_lockstep_) {
+      laneb_penalty_ = std::min<std::uint32_t>(laneb_penalty_ * 2 + 1, 64);
+      laneb_backoff_ = laneb_penalty_;
+    }
+    return false;
+  }
+  laneb_penalty_ = 0;
+  ++laneb_windows_;
+  laneb_parallel_items_ += n_parallel;
+
+  // Phase 3: execute.
+  if (laneb_lockstep_) {
+    // Serial ground truth, in exact merge order; process_data cross-checks
+    // every planned-parallel reference against the literal model.
+    std::uint64_t refs = 0;
+    for (WindowItem& it : window_) {
+      it.reply = process_data(it.proc, it.batch, &it);
+      now_ = std::max(now_, it.local_now);
+      if (hooks_.ckpt != nullptr)
+        hooks_.ckpt->on_data_reply(it.proc, now_, it.reply);
+      it.port->reply(it.reply);
+      refs += it.local_refs;
+    }
+    ctr_mem_refs_->inc(refs);
+    ctr_batches_->inc(window_.size());
+    return true;
+  }
+  if (n_parallel == window_.size()) {
+    // All clean: the whole window is its own parallel tier — distribute
+    // like lane A, coordinator included.
+    pool.begin_window(delegated);
+    for (WindowItem& it : window_)
+      if (it.proc % lanes != 0) pool.push(it.proc % lanes - 1, &it);
+    for (WindowItem& it : window_)
+      if (it.proc % lanes == 0) run_window_item(it);
+    pool.wait_window();
+  } else {
+    // Mixed: every apply goes to a worker (round-robin — the coordinator's
+    // serial remainder is the critical path, so it delegates all of them),
+    // and the serial items run here in merge order, overlapped.
+    pool.begin_window(static_cast<int>(n_parallel));
+    int wi = 0;
+    for (WindowItem& it : window_)
+      if (it.op == WindowOp::kApply) pool.push(wi++ % pool.workers(), &it);
+    for (WindowItem& it : window_)
+      if (it.op == WindowOp::kExecute) run_window_item(it);
+    pool.wait_window();
+  }
+  // Lane-A-style merge: order-insensitive tallies folded in merge order so
+  // the checkpoint tap observes the serial loop's exact clock values.
+  std::uint64_t refs = 0;
+  for (const WindowItem& it : window_) {
+    now_ = std::max(now_, it.local_now);
+    if (hooks_.ckpt != nullptr)
+      hooks_.ckpt->on_data_reply(it.proc, now_, it.reply);
+    refs += it.local_refs;
+  }
+  ctr_mem_refs_->inc(refs);
+  ctr_batches_->inc(window_.size());
+  return true;
+}
+
 void Backend::run_loop_windowed(int workers) {
   HostThrottle::Hold hold(comm_.throttle());
   // Pool local to the loop: stack unwinding joins the workers before run()'s
   // catch block closes the ports, on success and failure alike.
   ShardPool pool(workers, procs_.size(),
-                 [this](WindowItem& item) { run_window_item(item); });
+                 [this](WindowItem& item) { run_window_item(item); },
+                 cfg_.backend_spin_policy());
   while (true) {
     schedule_ready_procs();
     if (all_apps_exited()) break;

@@ -135,6 +135,12 @@ class Backend {
   /// Host-side observability only — deliberately NOT a stats counter, so
   /// snapshots stay bit-identical across worker counts.
   std::uint64_t windows_executed() const { return windows_executed_; }
+  /// Windows where the sharded lane-B plan engaged (complex models: the
+  /// classify pass proved at least one item parallel-applicable), and the
+  /// total items applied in the parallel tier. Host-side only, like
+  /// windows_executed().
+  std::uint64_t laneb_windows() const { return laneb_windows_; }
+  std::uint64_t laneb_parallel_items() const { return laneb_parallel_items_; }
   ProcessScheduler& proc_sched() { return proc_sched_; }
 
   RunState state_of(ProcId proc) const;
@@ -204,7 +210,14 @@ class Backend {
   /// Side-effect-free replica of maybe_preempt's trigger predicate.
   bool would_preempt(ProcId proc, Cycles event_time) const;
   void execute_window(ShardPool& pool, bool concurrent_model);
-  /// Worker entry: full execution (item.execute) or reply delivery.
+  /// Sharded lane B (complex models): classify the window read-only in
+  /// parallel, plan the parallel/serial split by line-slice footprints, then
+  /// apply proven-clean items on workers concurrently with the coordinator's
+  /// serial remainder. Returns false (window untouched beyond the read-only
+  /// classify) when the window must take the serial lane-B tier instead.
+  bool lane_b_window(ShardPool& pool);
+  /// Worker/coordinator entry, dispatched on item.op: classify (no reply),
+  /// full execution or verdict apply (+ reply), or bare reply delivery.
   void run_window_item(WindowItem& item);
   /// The data-batch computation shared by the serial path and both window
   /// lanes. With `acc == nullptr` it updates global time and counters
@@ -246,6 +259,19 @@ class Backend {
   std::vector<WindowItem> window_;
   std::uint64_t windows_executed_ = 0;
   std::vector<std::pair<Cycles, ProcId>> window_cand_;
+
+  // Sharded lane-B state (coordinator only). laneb_cls_ is per-window-slot
+  // classification scratch; the penalty/backoff pair paces the classify
+  // attempts down when windows keep planning zero parallel items.
+  std::vector<LaneBClass> laneb_cls_;
+  /// Debug lockstep: execute planned-parallel items with the literal model
+  /// on the coordinator and assert each latency equals its verdict. Default
+  /// on in Debug builds; COMPASS_LANE_B_LOCKSTEP=0/1 overrides.
+  bool laneb_lockstep_ = false;
+  std::uint32_t laneb_penalty_ = 0;
+  std::uint32_t laneb_backoff_ = 0;
+  std::uint64_t laneb_windows_ = 0;
+  std::uint64_t laneb_parallel_items_ = 0;
 
   // Self-serve warp walk: rebases recorded for picks not yet reached. A
   // data pick folds its stash into the traced batch copy; a control pick

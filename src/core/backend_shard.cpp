@@ -7,8 +7,12 @@
 namespace compass::core {
 
 ShardPool::ShardPool(int workers, std::size_t capacity,
-                     std::function<void(WindowItem&)> run)
-    : capacity_(capacity == 0 ? 1 : capacity), run_(std::move(run)) {
+                     std::function<void(WindowItem&)> run,
+                     AdaptiveSpin::Policy spin)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      run_(std::move(run)),
+      spin_policy_(spin),
+      barrier_spin_(spin) {
   COMPASS_CHECK_MSG(workers >= 1, "ShardPool needs at least one worker");
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
@@ -78,7 +82,7 @@ void ShardPool::wait_window() {
 }
 
 void ShardPool::worker_main(Worker& w) {
-  AdaptiveSpin spin(AdaptiveSpin::backend_policy());
+  AdaptiveSpin spin(spin_policy_);
   while (true) {
     const std::uint32_t t = w.tail.load(std::memory_order_relaxed);
     if (w.head.load(std::memory_order_acquire) == t) {

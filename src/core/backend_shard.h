@@ -5,7 +5,7 @@
 // pending batches, in (time, ProcId) pick-min order, that provably dispatch
 // consecutively under the serial protocol. Window items are then fanned out
 // to W-1 worker threads (shard of proc = proc % W; shard 0 stays on the
-// coordinator). Two delegation modes per item, chosen by the backend:
+// coordinator). Delegation modes per item, chosen by the backend:
 //
 //  * execute: the worker runs the full data-batch computation (issue-time
 //    serialization, per-CPU time charges, memory-model access, reply).
@@ -18,6 +18,11 @@
 //    directories, page tables); the worker only performs port.reply(),
 //    offloading the reply/wakeup cost — the dominant per-dispatch cost of
 //    the serial loop.
+//  * classify / apply: the sharded lane-B protocol for complex models
+//    (MemorySystem::lane_b_*, see backend.cpp lane_b_window). classify is a
+//    strictly read-only pass producing per-item verdicts and line-slice
+//    footprints; apply replays proven-clean own-L1 hits from those verdicts
+//    concurrently with the coordinator's serial remainder.
 //
 // Handoff is one SPSC ring per worker (coordinator is the single producer)
 // with Dekker-gated futex wakeups in both directions, mirroring the
@@ -45,11 +50,20 @@
 
 #include "core/adaptive_spin.h"
 #include "core/event.h"
+#include "core/memory_system.h"
 #include "core/types.h"
 
 namespace compass::core {
 
 class EventPort;
+
+/// What run_window_item does with a WindowItem (see the header comment).
+enum class WindowOp : std::uint8_t {
+  kDeliver,   ///< port->reply(reply) only; reply precomputed serially
+  kExecute,   ///< full process_data + reply (lane A, or lane-B serial tier)
+  kClassify,  ///< read-only lane-B classification into *cls; no reply
+  kApply,     ///< process_data consuming cls verdicts + reply
+};
 
 /// One dispatchable batch inside a window. Filled by the coordinator,
 /// optionally executed on a worker, results merged at the window barrier.
@@ -59,10 +73,12 @@ struct WindowItem {
   std::span<const Event> batch;
   /// deliver mode: reply precomputed by the coordinator in serial order.
   Reply reply{};
-  /// true = execute (full data-batch processing on the worker),
-  /// false = deliver (worker only performs port->reply(reply)).
-  bool execute = false;
-  /// execute-mode outputs, merged by the coordinator at the barrier:
+  WindowOp op = WindowOp::kDeliver;
+  /// Lane-B classification slot (backend-owned scratch): written by the
+  /// kClassify pass, consumed by process_data when the plan kept the item
+  /// in the parallel tier; null otherwise.
+  LaneBClass* cls = nullptr;
+  /// execute/apply outputs, merged by the coordinator at the barrier:
   Cycles local_now = 0;          ///< max issue cycle observed in the batch
   std::uint64_t local_refs = 0;  ///< kMemRef count (order-insensitive sum)
 };
@@ -73,8 +89,10 @@ class ShardPool {
   /// that may be in flight per window (the backend passes its process
   /// count). `run` is invoked on worker threads for each delegated item;
   /// exceptions it throws are captured and rethrown from wait_window().
+  /// `spin` tunes the ring/barrier spin-then-block waits (SimConfig::spin_*).
   ShardPool(int workers, std::size_t capacity,
-            std::function<void(WindowItem&)> run);
+            std::function<void(WindowItem&)> run,
+            AdaptiveSpin::Policy spin = AdaptiveSpin::backend_policy());
   ~ShardPool();
 
   ShardPool(const ShardPool&) = delete;
@@ -108,6 +126,7 @@ class ShardPool {
 
   const std::size_t capacity_;
   std::function<void(WindowItem&)> run_;
+  const AdaptiveSpin::Policy spin_policy_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   /// Items of the current window not yet completed by workers.
@@ -116,7 +135,7 @@ class ShardPool {
   std::atomic<bool> coordinator_waiting_{false};
   std::atomic<bool> stop_{false};
 
-  AdaptiveSpin barrier_spin_{AdaptiveSpin::backend_policy()};  // coordinator-private
+  AdaptiveSpin barrier_spin_;  // coordinator-private; policy from ctor
 
   std::mutex err_mu_;
   std::exception_ptr first_error_;  // guarded by err_mu_

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "core/adaptive_spin.h"
 #include "core/types.h"
 #include "util/check.h"
 
@@ -66,6 +67,17 @@ struct SimConfig {
   /// Target-processor clock, used to convert cycles to seconds in reports.
   double cpu_mhz = 133.0;  // the paper's 133 MHz PowerPC
 
+  // Adaptive spin-then-block thresholds (core/adaptive_spin.h). Host
+  // execution strategy like backend_workers: deliberately NOT part of the
+  // trace-config fingerprint, so tuning them on a multi-core runner never
+  // invalidates recorded traces or checkpoints. The frontend budget floor
+  // is pinned at 1 (probe 0 is always free).
+  int spin_frontend_max_probes = 512;
+  int spin_frontend_pause_probes = 512;
+  int spin_backend_min_probes = 4;
+  int spin_backend_max_probes = 64;
+  int spin_backend_pause_probes = 16;
+
   void validate() const {
     COMPASS_CHECK_MSG(num_cpus > 0, "num_cpus must be positive");
     COMPASS_CHECK_MSG(num_nodes > 0 && num_cpus % num_nodes == 0,
@@ -74,6 +86,27 @@ struct SimConfig {
     COMPASS_CHECK_MSG(!preemptive || quantum > 0, "preemptive needs a quantum");
     COMPASS_CHECK_MSG(backend_workers >= 0 && backend_workers <= 256,
                       "backend_workers must be in [0, 256]");
+    COMPASS_CHECK_MSG(spin_frontend_max_probes >= 1 &&
+                          spin_frontend_pause_probes >= 0,
+                      "frontend spin thresholds out of range");
+    COMPASS_CHECK_MSG(spin_backend_min_probes >= 1 &&
+                          spin_backend_max_probes >= spin_backend_min_probes &&
+                          spin_backend_pause_probes >= 0,
+                      "backend spin thresholds out of range");
+  }
+
+  /// Spin policy for frontend reply waits (EventPort).
+  AdaptiveSpin::Policy frontend_spin_policy() const {
+    return AdaptiveSpin::Policy{1, spin_frontend_max_probes,
+                                spin_frontend_pause_probes, false};
+  }
+
+  /// Spin policy for backend waits (Communicator all-pending, ShardPool
+  /// rings and window barrier).
+  AdaptiveSpin::Policy backend_spin_policy() const {
+    return AdaptiveSpin::Policy{spin_backend_min_probes,
+                                spin_backend_max_probes,
+                                spin_backend_pause_probes, true};
   }
 
   /// Resolved worker count: `backend_workers`, or an automatic pick when 0

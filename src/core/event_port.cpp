@@ -5,7 +5,7 @@
 namespace compass::core {
 
 EventPort::EventPort(ProcId proc, Communicator& comm)
-    : proc_(proc), comm_(comm) {}
+    : proc_(proc), comm_(comm), spin_(comm.frontend_spin_policy()) {}
 
 Reply EventPort::consume_reply() {
   // reply_ was written before the kReplied release store; the caller's

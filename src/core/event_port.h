@@ -141,7 +141,7 @@ class EventPort {
   std::vector<Event> rebased_;     // reused scratch for the rebase path
   Cycles rebase_delta_ = 0;        // backend-only; applied in take_batch
   Reply reply_{};
-  AdaptiveSpin spin_{AdaptiveSpin::frontend_policy()};  // frontend-thread-private
+  AdaptiveSpin spin_;  // frontend-thread-private; policy from the Communicator
 };
 
 }  // namespace compass::core

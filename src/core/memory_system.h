@@ -13,12 +13,65 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/event.h"
 #include "core/types.h"
 #include "util/state_io.h"
 
 namespace compass::core {
+
+// ---- sharded lane B (complex models, see backend.cpp execute_window) -------
+//
+// Models with shared coherence state (concurrent_access_safe() == false) can
+// still fan a window out across workers when the coordinator PROVES, before
+// anything mutates, that every delegated reference is a pure own-L1 hit whose
+// cache lines are disjoint from every line any serially-executed reference
+// could touch. The proof is a read-only CLASSIFY pass producing per-item
+// verdicts plus a 64-slice line-hash footprint; the plan then excludes from
+// the parallel tier any item whose slices intersect a non-clean item's
+// footprint, so a verdict can never be invalidated by the serial remainder.
+
+/// What a proven-clean reference does to its own L1 (and, for the NUMA
+/// model, the matching L2 line) when applied. All ops charge the L1-hit
+/// latency; none touches the bus, directory, snoop filter or any other
+/// CPU's state.
+enum class LaneBOp : std::uint8_t {
+  kTouch,      ///< LRU-touch the hit way (read hit, or write hit in M)
+  kTouchToM,   ///< touch + set the L1 way to Modified (write hit in E)
+  kTouchToML2, ///< NUMA: kTouchToM on L1 plus Modified on the L2 way
+};
+
+/// One classified reference: the exact latency access() would return and the
+/// cache way indices lane_b_apply() needs so it never re-probes tags.
+struct LaneBVerdict {
+  Cycles lat = 0;
+  std::uint32_t way = 0;    ///< flat way index into the CPU's L1 arrays
+  std::uint32_t way2 = 0;   ///< NUMA: flat way index into the CPU's L2
+  LaneBOp op = LaneBOp::kTouch;
+};
+
+/// Classification of one window item's batch (all kMemRef events, in order).
+struct LaneBClass {
+  /// Every memory reference in the batch is a proven-clean L1 hit.
+  bool all_clean = false;
+  /// Every referenced line could be resolved without faulting. When false
+  /// the footprint is incomplete and the whole window must run serially
+  /// (a fault can map an existing shared page, aliasing any line).
+  bool lines_known = true;
+  /// OR of the 64-slice line-hash bits of every line the batch touches
+  /// (complete only when lines_known).
+  std::uint64_t slice_mask = 0;
+  /// One verdict per leading clean kMemRef; empty unless all_clean.
+  std::vector<LaneBVerdict> verdicts;
+
+  void reset() {
+    all_clean = false;
+    lines_known = true;
+    slice_mask = 0;
+    verdicts.clear();
+  }
+};
 
 /// Target memory-system model: maps a timed reference to a stall latency.
 class MemorySystem {
@@ -60,6 +113,42 @@ class MemorySystem {
   /// once by the backend when the run completes (for every worker count, so
   /// counter values stay bit-identical across serial and sharded runs).
   virtual void flush_stats() {}
+
+  // ---- sharded lane B (complex models) ----------------------------------
+  //
+  // Advisory like the filter protocol: a model that keeps the defaults
+  // simply never gets a parallel lane-B tier and the backend falls back to
+  // the serial loop, which is always correct.
+
+  /// True when lane_b_classify / lane_b_apply implement the clean-hit
+  /// protocol above for the model's CURRENT configuration. May vary at
+  /// runtime (e.g. the L1 filter's teach recording is serial-order coupled,
+  /// so enabling it turns this off).
+  virtual bool lane_b_shardable() const { return false; }
+
+  /// Read-only: classify `batch`'s memory references for `cpu`/`proc`
+  /// into `out`. MUST NOT mutate any model state (several classify calls
+  /// run concurrently on distinct host threads). `out` is reset by the
+  /// caller.
+  virtual void lane_b_classify(CpuId cpu, ProcId proc,
+                               std::span<const Event> batch,
+                               LaneBClass& out) const {
+    (void)cpu;
+    (void)proc;
+    (void)batch;
+    out.all_clean = false;
+    out.lines_known = false;
+  }
+
+  /// Apply one previously classified clean reference on `cpu` and return
+  /// its latency (== verdict.lat). Touches only the CPU's own cache arrays
+  /// at the verdict's way indices plus that CPU's hit counters.
+  virtual Cycles lane_b_apply(CpuId cpu, const Event& ev,
+                              const LaneBVerdict& v) {
+    (void)cpu;
+    (void)ev;
+    return v.lat;
+  }
 
   // ---- frontend L1 reference filter support (SimConfig::l1_filter) ------
   //

@@ -77,6 +77,34 @@ class Cache {
   /// Drop every line (used when modeling cache-flush operations).
   void invalidate_all();
 
+  // ---- indexed access for the sharded lane-B fast path --------------------
+  //
+  // The classify pass resolves a hit to a flat way index once (read-only),
+  // and the apply pass replays exactly lookup()'s hit side effects at that
+  // index without re-scanning tags — which is what lets an apply run while
+  // another thread serially probes DIFFERENT lines of the same cache: the
+  // apply never reads tags_ and only writes its own way's elements.
+
+  /// No-match sentinel for find_way().
+  static constexpr std::size_t kWayNotFound = ~std::size_t{0};
+
+  /// Flat way index of the resident line containing `addr`, or
+  /// kWayNotFound. No side effects (not even miss counting).
+  std::size_t find_way(PhysAddr addr) const { return find(addr); }
+
+  /// State of way `i` (from find_way).
+  Mesi state_at(std::size_t i) const { return states_[i]; }
+
+  /// Replay lookup()'s hit path at way `i`: LRU refresh + hit count.
+  void touch_hit(std::size_t i) {
+    lru_[i] = ++lru_clock_;
+    if (hits_ != nullptr) hits_->inc();
+  }
+
+  /// Set the state of way `i` without a tag scan. `state` must not be
+  /// kInvalid (indexed invalidation would skip clear_way's tag reset).
+  void set_state_at(std::size_t i, Mesi state) { states_[i] = state; }
+
   /// Number of resident (non-invalid) lines.
   std::size_t resident_lines() const;
 

@@ -1,0 +1,115 @@
+#include "mem/line_shard.h"
+
+namespace compass::mem {
+namespace {
+
+/// Resolve the clean-hit verdict for a one-level lookup. Returns false when
+/// the reference is not a proven-clean own-L1 hit (miss, or a write hit in
+/// Shared, which needs a bus/directory upgrade).
+bool l1_verdict(const Cache& cache, PhysAddr line, bool is_write,
+                std::size_t& way, core::LaneBOp& op) {
+  way = cache.find_way(line);
+  if (way == Cache::kWayNotFound) return false;
+  const Mesi s = cache.state_at(way);
+  if (!is_write || s == Mesi::kModified) {
+    op = core::LaneBOp::kTouch;
+    return true;
+  }
+  if (s == Mesi::kExclusive) {
+    op = core::LaneBOp::kTouchToM;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// Classification sees the pre-window cache state for every reference, while
+// execution evolves it. The only transition a clean batch can make is E -> M
+// on its own lines, and every verdict is insensitive to it: a later write to
+// the same line classifies as kTouchToM (idempotent re-apply of Modified)
+// where serial execution would see a Modified hit, and both charge the same
+// L1-hit latency. Anything else a batch does makes it non-clean here, which
+// only costs parallelism, never correctness.
+
+void classify_l1_batch(const Vm& vm, const Cache& cache, ProcId proc,
+                       std::span<const core::Event> batch, Cycles l1_hit,
+                       Cycles sync_overhead, core::LaneBClass& out) {
+  bool clean = true;
+  for (const core::Event& ev : batch) {
+    if (ev.kind != core::EventKind::kMemRef) continue;
+    Vm::Translation tr;
+    if (!vm.probe(proc, ev.addr, tr)) {
+      // A fault can map a fresh page anywhere, so the footprint of this and
+      // every later reference is unknowable: the whole window stays serial.
+      out.lines_known = false;
+      out.all_clean = false;
+      out.verdicts.clear();
+      return;
+    }
+    const PhysAddr line = cache.line_addr(tr.paddr);
+    out.slice_mask |= line_slice_bit(line);
+    if (!clean) continue;  // keep accumulating the footprint
+    std::size_t way = 0;
+    core::LaneBOp op = core::LaneBOp::kTouch;
+    if (!l1_verdict(cache, line, ev.ref_type != RefType::kLoad, way, op)) {
+      clean = false;
+      continue;
+    }
+    core::LaneBVerdict v;
+    v.lat = l1_hit + (ev.ref_type == RefType::kSync ? sync_overhead : 0);
+    v.way = static_cast<std::uint32_t>(way);
+    v.op = op;
+    out.verdicts.push_back(v);
+  }
+  out.all_clean = clean;
+  if (!clean) out.verdicts.clear();
+}
+
+void classify_l1l2_batch(const Vm& vm, const Cache& l1, const Cache& l2,
+                         ProcId proc, std::span<const core::Event> batch,
+                         Cycles l1_hit, Cycles sync_overhead,
+                         core::LaneBClass& out) {
+  bool clean = true;
+  for (const core::Event& ev : batch) {
+    if (ev.kind != core::EventKind::kMemRef) continue;
+    Vm::Translation tr;
+    if (!vm.probe(proc, ev.addr, tr)) {
+      out.lines_known = false;
+      out.all_clean = false;
+      out.verdicts.clear();
+      return;
+    }
+    const PhysAddr line = l2.line_addr(tr.paddr);
+    out.slice_mask |= line_slice_bit(line);
+    if (!clean) continue;
+    std::size_t way = 0;
+    core::LaneBOp op = core::LaneBOp::kTouch;
+    if (!l1_verdict(l1, line, ev.ref_type != RefType::kLoad, way, op)) {
+      clean = false;
+      continue;
+    }
+    core::LaneBVerdict v;
+    v.lat = l1_hit + (ev.ref_type == RefType::kSync ? sync_overhead : 0);
+    v.way = static_cast<std::uint32_t>(way);
+    if (op == core::LaneBOp::kTouchToM) {
+      // Inclusive M propagation needs the L2 way; resolving it here keeps
+      // the apply tag-scan-free. A missing L2 copy would violate inclusion —
+      // treat it as not clean rather than assume.
+      const std::size_t way2 = l2.find_way(line);
+      if (way2 == Cache::kWayNotFound) {
+        clean = false;
+        continue;
+      }
+      v.op = core::LaneBOp::kTouchToML2;
+      v.way2 = static_cast<std::uint32_t>(way2);
+    } else {
+      v.op = core::LaneBOp::kTouch;
+    }
+    out.verdicts.push_back(v);
+  }
+  out.all_clean = clean;
+  if (!clean) out.verdicts.clear();
+}
+
+}  // namespace compass::mem

@@ -1,0 +1,57 @@
+// Line-slice hashing and the read-only classify kernels for the sharded
+// lane-B backend path (core/memory_system.h "sharded lane B", backend.cpp
+// lane_b_window).
+//
+// A cache line's *slice* is one of 64 hash buckets of its physical line
+// address. Classification records each window item's footprint as a 64-bit
+// slice bitmask; the backend's plan keeps an item in the parallel tier only
+// when its slices are disjoint from every serially-executed item's
+// footprint, so the two tiers can never alias a line: every cross-CPU
+// mutation a serial reference performs targets the line it accesses, and
+// that line's slice bit is, by construction, excluded from every parallel
+// footprint.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/event.h"
+#include "core/memory_system.h"
+#include "mem/cache.h"
+#include "mem/vm.h"
+
+namespace compass::mem {
+
+inline constexpr int kLineSliceCount = 64;
+
+/// Slice bit of a physical line address: a splitmix64-style mix of the line
+/// number, so neighboring lines land in unrelated slices and a strided
+/// footprint does not collapse onto a few bits.
+inline std::uint64_t line_slice_bit(PhysAddr line) {
+  std::uint64_t x = line;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return 1ull << (x & 63);
+}
+
+/// Classify `batch` against `cache` (the CPU's own L1) for the one-level
+/// snooping machine. `l1_hit`/`sync_overhead` are the machine's hit and
+/// kSync charges. Strictly read-only; fills `out` per the LaneBClass
+/// contract (verdicts only when every reference is a proven-clean hit, the
+/// slice footprint always accumulated while translations resolve).
+void classify_l1_batch(const Vm& vm, const Cache& cache, ProcId proc,
+                       std::span<const core::Event> batch, Cycles l1_hit,
+                       Cycles sync_overhead, core::LaneBClass& out);
+
+/// Two-level variant (CC-NUMA machine): a clean write hit in Exclusive also
+/// resolves the matching L2 way so the apply can propagate Modified without
+/// a tag scan (inclusive hierarchy).
+void classify_l1l2_batch(const Vm& vm, const Cache& l1, const Cache& l2,
+                         ProcId proc, std::span<const core::Event> batch,
+                         Cycles l1_hit, Cycles sync_overhead,
+                         core::LaneBClass& out);
+
+}  // namespace compass::mem

@@ -109,6 +109,16 @@ class SimpleMachine : public core::MemorySystem {
   Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
   void on_context_switch(CpuId cpu, ProcId from, ProcId to) override;
 
+  // ---- sharded lane B (see core/memory_system.h, mem/line_shard.h) ------
+  /// The L1 filter's teach recording is coupled to serial access order, so
+  /// enabling it turns the classify/apply protocol off.
+  bool lane_b_shardable() const override { return !filter_on_; }
+  void lane_b_classify(CpuId cpu, ProcId proc,
+                       std::span<const core::Event> batch,
+                       core::LaneBClass& out) const override;
+  Cycles lane_b_apply(CpuId cpu, const core::Event& ev,
+                      const core::LaneBVerdict& v) override;
+
   // ---- frontend L1-filter protocol (SimConfig::l1_filter) ---------------
   void set_l1_filter(bool enabled) override { filter_on_ = enabled; }
   std::uint64_t l1_filter_gen(CpuId cpu) const override {
@@ -186,6 +196,14 @@ class NumaMachine : public core::MemorySystem {
 
   Cycles access(CpuId cpu, ProcId proc, const core::Event& ev) override;
   void on_context_switch(CpuId cpu, ProcId from, ProcId to) override;
+
+  // ---- sharded lane B (see core/memory_system.h, mem/line_shard.h) ------
+  bool lane_b_shardable() const override { return !filter_on_; }
+  void lane_b_classify(CpuId cpu, ProcId proc,
+                       std::span<const core::Event> batch,
+                       core::LaneBClass& out) const override;
+  Cycles lane_b_apply(CpuId cpu, const core::Event& ev,
+                      const core::LaneBVerdict& v) override;
 
   // ---- frontend L1-filter protocol (SimConfig::l1_filter) ---------------
   void set_l1_filter(bool enabled) override { filter_on_ = enabled; }

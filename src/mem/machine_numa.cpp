@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "mem/line_shard.h"
+
 namespace compass::mem {
 
 NumaMachine::NumaMachine(const NumaMachineConfig& cfg, int num_cpus,
@@ -292,6 +294,29 @@ Cycles NumaMachine::finish_ref(CpuId cpu, const core::Event& ev, PhysAddr ppage,
                           << std::dec << " latency " << lat);
 #endif
   return lat;
+}
+
+void NumaMachine::lane_b_classify(CpuId cpu, ProcId proc,
+                                  std::span<const core::Event> batch,
+                                  core::LaneBClass& out) const {
+  const auto c = static_cast<std::size_t>(cpu);
+  classify_l1l2_batch(vm_, l1_[c], l2_[c], proc, batch, cfg_.l1_hit,
+                      cfg_.sync_overhead, out);
+}
+
+Cycles NumaMachine::lane_b_apply(CpuId cpu, const core::Event& ev,
+                                 const core::LaneBVerdict& v) {
+  // Proven own-L1 hit (lines tracked at L2-line granularity, like access).
+  // Touches only this CPU's cache arrays at the verdict ways: no directory,
+  // no memory controller or network horizon, no gens_, no peer cache.
+  const auto c = static_cast<std::size_t>(cpu);
+  l1_[c].touch_hit(v.way);
+  if (v.op == core::LaneBOp::kTouchToML2) {
+    l1_[c].set_state_at(v.way, Mesi::kModified);
+    l2_[c].set_state_at(v.way2, Mesi::kModified);
+  }
+  (void)ev;
+  return v.lat;
 }
 
 void NumaMachine::on_context_switch(CpuId cpu, ProcId, ProcId) {

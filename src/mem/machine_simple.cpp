@@ -3,6 +3,8 @@
 
 #include <bit>
 
+#include "mem/line_shard.h"
+
 namespace compass::mem {
 
 // ----------------------------------------------------------- FlatMemory
@@ -256,6 +258,27 @@ Cycles SimpleMachine::access(CpuId cpu, ProcId proc, const core::Event& ev) {
 #endif
   }
   return lat;
+}
+
+void SimpleMachine::lane_b_classify(CpuId cpu, ProcId proc,
+                                    std::span<const core::Event> batch,
+                                    core::LaneBClass& out) const {
+  classify_l1_batch(vm_, caches_[static_cast<std::size_t>(cpu)], proc, batch,
+                    cfg_.l1_hit, cfg_.sync_overhead, out);
+}
+
+Cycles SimpleMachine::lane_b_apply(CpuId cpu, const core::Event& ev,
+                                   const core::LaneBVerdict& v) {
+  // Proven own-L1 hit: replay lookup()'s hit side effects at the resolved
+  // way. Never touches the bus horizon, the snoop filter, gens_ or any peer
+  // cache — that confinement is what makes applies safe concurrently with
+  // the window's serial tier (see line_shard.h).
+  Cache& cache = caches_[static_cast<std::size_t>(cpu)];
+  cache.touch_hit(v.way);
+  if (v.op == core::LaneBOp::kTouchToM)
+    cache.set_state_at(v.way, Mesi::kModified);
+  (void)ev;
+  return v.lat;
 }
 
 void SimpleMachine::on_context_switch(CpuId cpu, ProcId, ProcId) {

@@ -125,6 +125,24 @@ Vm::Translation Vm::translate(ProcId proc, Addr vaddr, NodeId touching_node) {
   return t;
 }
 
+bool Vm::probe(ProcId proc, Addr vaddr, Translation& out) const {
+  const std::uint64_t vpage = vaddr >> kPageShift;
+  const PageTable* table;
+  if (is_kernel_addr(vaddr)) {
+    table = &kernel_table_;
+  } else {
+    const auto it = tables_.find(proc);
+    if (it == tables_.end()) return false;
+    table = &it->second;
+  }
+  const auto it = table->find(vpage);
+  if (it == table->end()) return false;
+  out.paddr = (it->second.ppage << kPageShift) | (vaddr & (kPageSize - 1));
+  out.home = it->second.home;
+  out.fault = false;
+  return true;
+}
+
 NodeId Vm::home_of_ppage(std::uint64_t ppage) const {
   const auto it = page_homes_.find(ppage);
   COMPASS_CHECK_MSG(it != page_homes_.end(), "no home for ppage " << ppage);

@@ -53,6 +53,13 @@ class Vm {
   /// `touching_node` is the node of the accessing CPU (first-touch homes).
   Translation translate(ProcId proc, Addr vaddr, NodeId touching_node);
 
+  /// Strictly read-only translation: walks the page tables without filling
+  /// any TLB slot and without creating mappings. Returns false when
+  /// translate() would fault (out.fault is never set). Safe to call from
+  /// several threads concurrently as long as nobody mutates the Vm — the
+  /// sharded lane-B classify pass relies on exactly that.
+  bool probe(ProcId proc, Addr vaddr, Translation& out) const;
+
   // ---- shared memory segments (shmget / shmat / shmdt) ------------------
 
   /// Create (or look up) the common shared-memory descriptor for `key`.

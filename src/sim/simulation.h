@@ -121,6 +121,15 @@ class Simulation {
       return real->concurrent_access_safe();
     }
     void flush_stats() override { real->flush_stats(); }
+    bool lane_b_shardable() const override { return real->lane_b_shardable(); }
+    void lane_b_classify(CpuId c, ProcId p, std::span<const core::Event> b,
+                         core::LaneBClass& out) const override {
+      real->lane_b_classify(c, p, b, out);
+    }
+    Cycles lane_b_apply(CpuId c, const core::Event& e,
+                        const core::LaneBVerdict& v) override {
+      return real->lane_b_apply(c, e, v);
+    }
     void set_l1_filter(bool e) override { real->set_l1_filter(e); }
     std::uint64_t l1_filter_gen(CpuId c) const override {
       return real->l1_filter_gen(c);

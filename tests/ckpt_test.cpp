@@ -620,6 +620,71 @@ TEST(CkptShards, DuplicateProcShardIsRejected) {
   EXPECT_THROW(ckpt::CheckpointRestorer(std::move(file)), StateError);
 }
 
+// ---- profile-driven region sampling ----------------------------------------
+
+// A heavily front-loaded profile: even cycle spacing would stuff almost all
+// events into the first region, while the event-count quantile boundaries
+// must land early and produce regions whose event counts balance.
+TEST(CkptSampling, BalancedCyclesEqualizeFrontLoadedProfile) {
+  ckpt::EventProfile profile(/*bucket_width=*/100);
+  // 100 buckets spanning cycles [0, 10000): bucket b gets 1000 events for
+  // b < 10, then 10 events each — 10000 events up front, 900 in the tail.
+  for (std::size_t b = 0; b < 100; ++b)
+    for (std::uint64_t i = 0; i < (b < 10 ? 1000u : 10u); ++i)
+      profile.record(static_cast<Cycles>(b) * 100);
+  const std::uint64_t total = profile.total();
+  ASSERT_EQ(total, 10'900u);
+
+  const int regions = 4;
+  const std::vector<Cycles> cuts =
+      ckpt::balanced_sample_cycles(profile, regions);
+  ASSERT_EQ(cuts.size(), static_cast<std::size_t>(regions - 1));
+  // Boundaries sit inside the front-loaded burst, not at even spacing
+  // (2500/5000/7500): the last quantile still falls in the first tenth of
+  // the cycle span.
+  EXPECT_LT(cuts.back(), 1'100u);
+  for (std::size_t i = 1; i < cuts.size(); ++i)
+    EXPECT_LT(cuts[i - 1], cuts[i]);
+
+  // Per-region event counts from the histogram: each region must carry its
+  // fair share within one bucket's worth of slack (a boundary can only be
+  // off by the bucket that crossed the quantile).
+  std::vector<std::uint64_t> sums(static_cast<std::size_t>(regions), 0);
+  for (std::size_t b = 0; b < profile.counts.size(); ++b) {
+    const Cycles start = static_cast<Cycles>(b) * profile.bucket_width;
+    std::size_t region = 0;
+    while (region < cuts.size() && start >= cuts[region]) ++region;
+    sums[region] += profile.counts[b];
+  }
+  const std::uint64_t fair = total / static_cast<std::uint64_t>(regions);
+  constexpr std::uint64_t kMaxBucket = 1000;  // largest single-bucket count
+  for (const std::uint64_t s : sums) {
+    EXPECT_GE(s + kMaxBucket, fair);
+    EXPECT_LE(s, fair + kMaxBucket);
+  }
+}
+
+TEST(CkptSampling, UniformProfileSplitsEvenly) {
+  ckpt::EventProfile profile(/*bucket_width=*/10);
+  for (std::size_t b = 0; b < 80; ++b)
+    for (int i = 0; i < 5; ++i)
+      profile.record(static_cast<Cycles>(b) * 10);
+  const std::vector<Cycles> cuts = ckpt::balanced_sample_cycles(profile, 4);
+  ASSERT_EQ(cuts.size(), 3u);
+  EXPECT_EQ(cuts[0], 200u);
+  EXPECT_EQ(cuts[1], 400u);
+  EXPECT_EQ(cuts[2], 600u);
+}
+
+TEST(CkptSampling, EmptyAndSpikeProfiles) {
+  ckpt::EventProfile empty(100);
+  EXPECT_TRUE(ckpt::balanced_sample_cycles(empty, 4).empty());
+  // All mass in one bucket: no interior boundary can split it.
+  ckpt::EventProfile spike(100);
+  for (int i = 0; i < 500; ++i) spike.record(250);
+  EXPECT_TRUE(ckpt::balanced_sample_cycles(spike, 4).empty());
+}
+
 TEST(CkptGolden, WrongProcessCountIsRejected) {
   sim::SimulationConfig cfg;
   ckpt::CreateOptions opts;

@@ -235,13 +235,36 @@ struct GoldenRun {
   std::vector<std::uint8_t> trace;
 };
 
-enum class Wl { kSci, kWeb, kTpcc, kTpccPreempt, kWebFaulted };
+enum class Wl {
+  // Default (simple MESI-bus) machine: lane B via classify/plan/apply.
+  kSci, kWeb, kTpcc, kTpccPreempt, kWebFaulted,
+  // CC-NUMA machine: the "most complex backend", same lane-B property.
+  kSciNuma, kWebNuma, kTpccNuma, kWebFaultedNuma,
+  // 16-CPU simple machine: above snoop_filter_min_cpus, so the sharded
+  // lane-B tier coexists with the exact presence-bitmask snoop filter
+  // (and its Debug probe-sweep cross-check).
+  kTpccSnoop16,
+};
 
 GoldenRun golden_run(Wl which, int workers, const std::string& tag) {
   sim::SimulationConfig cfg;
   cfg.core.num_cpus = 4;
   cfg.core.backend_workers = workers;
   cfg.core.l1_filter = test_filter_enabled();
+  switch (which) {
+    case Wl::kSciNuma:
+    case Wl::kWebNuma:
+    case Wl::kTpccNuma:
+    case Wl::kWebFaultedNuma:
+      cfg.model = sim::BackendModel::kNuma;
+      cfg.core.num_nodes = 2;
+      break;
+    case Wl::kTpccSnoop16:
+      cfg.core.num_cpus = 16;
+      break;
+    default:
+      break;
+  }
 
   // Each case creates its recorder AFTER its config tweaks so the recorded
   // header matches the effective configuration.
@@ -249,7 +272,8 @@ GoldenRun golden_run(Wl which, int workers, const std::string& tag) {
   GoldenRun out;
   workloads::ScenarioStats st;
   switch (which) {
-    case Wl::kSci: {
+    case Wl::kSci:
+    case Wl::kSciNuma: {
       workloads::SciScenario sc;
       sc.matmul.n = 10;
       sc.matmul.nprocs = 3;
@@ -259,7 +283,8 @@ GoldenRun golden_run(Wl which, int workers, const std::string& tag) {
       rec.finalize();
       break;
     }
-    case Wl::kWeb: {
+    case Wl::kWeb:
+    case Wl::kWebNuma: {
       workloads::WebScenario sc;
       sc.requests = 30;
       sc.servers = 2;
@@ -270,9 +295,11 @@ GoldenRun golden_run(Wl which, int workers, const std::string& tag) {
       rec.finalize();
       break;
     }
-    case Wl::kTpcc: {
+    case Wl::kTpcc:
+    case Wl::kTpccNuma:
+    case Wl::kTpccSnoop16: {
       workloads::TpccScenario sc;
-      sc.workers = 4;
+      sc.workers = which == Wl::kTpccSnoop16 ? 8 : 4;
       trace::TraceRecorder rec(cfg, path);
       cfg.trace_sink = &rec;
       st = workloads::run_tpcc(cfg, sc);
@@ -290,7 +317,8 @@ GoldenRun golden_run(Wl which, int workers, const std::string& tag) {
       rec.finalize();
       break;
     }
-    case Wl::kWebFaulted: {
+    case Wl::kWebFaulted:
+    case Wl::kWebFaultedNuma: {
       cfg.fault.seed = 7;
       cfg.fault.oscall_eintr_prob = 0.2;
       cfg.fault.net_drop_prob = 0.1;
@@ -330,19 +358,89 @@ TEST_P(GoldenAcrossWorkers, BitIdenticalToSerial) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Workloads, GoldenAcrossWorkers,
-                         ::testing::Values(Wl::kSci, Wl::kWeb, Wl::kTpcc,
-                                           Wl::kTpccPreempt, Wl::kWebFaulted),
-                         [](const auto& info) {
-                           switch (info.param) {
-                             case Wl::kSci: return "sci";
-                             case Wl::kWeb: return "web";
-                             case Wl::kTpcc: return "tpcc";
-                             case Wl::kTpccPreempt: return "tpcc_preemptive";
-                             case Wl::kWebFaulted: return "web_faulted";
-                           }
-                           return "unknown";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, GoldenAcrossWorkers,
+    ::testing::Values(Wl::kSci, Wl::kWeb, Wl::kTpcc, Wl::kTpccPreempt,
+                      Wl::kWebFaulted, Wl::kSciNuma, Wl::kWebNuma,
+                      Wl::kTpccNuma, Wl::kWebFaultedNuma, Wl::kTpccSnoop16),
+    [](const auto& info) {
+      switch (info.param) {
+        case Wl::kSci: return "sci";
+        case Wl::kWeb: return "web";
+        case Wl::kTpcc: return "tpcc";
+        case Wl::kTpccPreempt: return "tpcc_preemptive";
+        case Wl::kWebFaulted: return "web_faulted";
+        case Wl::kSciNuma: return "sci_numa";
+        case Wl::kWebNuma: return "web_numa";
+        case Wl::kTpccNuma: return "tpcc_numa";
+        case Wl::kWebFaultedNuma: return "web_faulted_numa";
+        case Wl::kTpccSnoop16: return "tpcc_snoop16";
+      }
+      return "unknown";
+    });
+
+// ------------------------------------- direct Backend, sharded lane B
+
+/// Drive a raw Backend over a SimpleMachine with a hit-heavy looped
+/// workload: after the first lap every reference is an own-L1 hit, so the
+/// classify pass proves whole windows clean and the lane-B parallel tier
+/// must actually engage — not just fall back to the serial tier.
+DirectRun direct_laneb_run(int workers) {
+  SimConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.context_switch_cycles = 100;
+  cfg.backend_workers = workers;
+  Communicator comm(cfg.num_cpus);
+  stats::StatsRegistry reg;
+  mem::Vm vm({.num_nodes = 1});
+  mem::SimpleMachine memsys({}, cfg.num_cpus, vm, &reg);
+  Backend::Hooks hooks;
+  hooks.memsys = &memsys;
+  Backend backend(cfg, comm, hooks, &reg);
+
+  std::vector<std::unique_ptr<Frontend>> procs;
+  core::SimContext::Options opts;
+  opts.batch_size = 8;
+  constexpr int kProcs = 4;  // == CPUs: all procs stay running, windows form
+  for (int p = 0; p < kProcs; ++p)
+    procs.push_back(
+        std::make_unique<Frontend>(backend, "lb" + std::to_string(p), opts));
+  for (int p = 0; p < kProcs; ++p) {
+    const Addr base = 0x10000 + static_cast<Addr>(p) * 0x100000;
+    procs[static_cast<std::size_t>(p)]->start([base, p](core::SimContext& ctx) {
+      for (int lap = 0; lap < 50; ++lap) {
+        for (int i = 0; i < 64; ++i) {
+          ctx.compute(static_cast<Cycles>(11 + (p % 3) * 5));
+          ctx.load(base + static_cast<Addr>(i) * 64, 8);
+          ctx.store(base + static_cast<Addr>(i) * 64, 8);
+        }
+      }
+    });
+  }
+  backend.run();
+  for (auto& f : procs) f->join();
+  memsys.flush_stats();
+
+  DirectRun out;
+  out.cycles = backend.now();
+  out.windows = backend.laneb_windows();
+  out.snap = stats::make_snapshot(backend.now(), reg, backend.time_breakdown());
+  return out;
+}
+
+TEST(ParallelBackend, LaneBEngagesAndMatchesSerial) {
+  const DirectRun serial = direct_laneb_run(1);
+  EXPECT_EQ(serial.windows, 0u);  // workers=1 never enters the windowed loop
+  for (const int w : worker_counts()) {
+    const DirectRun par = direct_laneb_run(w);
+    EXPECT_EQ(par.cycles, serial.cycles) << "workers=" << w;
+    EXPECT_EQ(par.snap.counters, serial.snap.counters) << "workers=" << w;
+    EXPECT_EQ(par.snap.cpu_time, serial.snap.cpu_time) << "workers=" << w;
+    // The plan must prove clean windows on this workload (in Debug lockstep
+    // the same plan runs with the literal model cross-checking verdicts).
+    EXPECT_GT(par.windows, 0u) << "workers=" << w;
+  }
+}
 
 // ----------------------------------- L1 filter on-vs-off golden identity
 

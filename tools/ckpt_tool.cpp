@@ -9,10 +9,15 @@
 //                     [--golden-json=ref.json]
 //   ckpt_tool sample  --workload=tpcc --out=run.ckpt --every=1000000
 //                     [--jobs=4]
+//   ckpt_tool sample  --workload=tpcc --out=run.ckpt --regions=8 [--jobs=4]
 //
 // `sample` runs the workload once taking a checkpoint every K cycles, then
 // forks one host process per checkpoint, each restoring its region and
 // simulating K cycles — the warmup skip-ahead + parallel-region workflow.
+// With --regions=N the snapshot cycles come from a first profiling pass
+// instead of even spacing: the run's data-dispatch histogram is split at
+// event-count quantile boundaries, so each forked region replays a
+// near-equal share of the events even when the run is front-loaded.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -289,32 +294,90 @@ int run_region_child(const std::string& path, Cycles run_for) {
   }
 }
 
+/// Actual snapshot cycle from a multi-snapshot path (`out`.<cycle>); 0 when
+/// the path carries no parseable suffix (single-snapshot runs).
+Cycles cycle_from_path(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return 0;
+  const std::string tail = path.substr(dot + 1);
+  if (tail.empty() ||
+      tail.find_first_not_of("0123456789") != std::string::npos)
+    return 0;
+  return std::stoull(tail);
+}
+
 int cmd_sample(const util::Flags& flags) {
   const auto every = static_cast<Cycles>(flags.get_int("every"));
-  if (every == 0)
-    throw util::ConfigError("sample mode requires --every=<cycles>");
-  // Phase 1: uninterrupted run, snapshotting every K cycles.
+  const int regions_want = static_cast<int>(flags.get_int("regions"));
+  if ((every == 0) == (regions_want == 0))
+    throw util::ConfigError(
+        "sample mode requires exactly one of --every=<cycles> or "
+        "--regions=<n>");
   sim::SimulationConfig cfg = config_from_flags(flags);
   const workloads::ScenarioParams params = scenario_from_flags(flags);
   ckpt::CreateOptions opts;
   opts.out = flags.get("out");
-  opts.every = every;
   opts.meta = params.kv;
   opts.meta["workload"] = params.workload;
+  if (regions_want > 0) {
+    // Profile pass: run the workload once with only the event-rate tap
+    // attached, then place the snapshot cycles at the event-count quantile
+    // boundaries. Even cycle spacing makes front-loaded runs (setup-heavy
+    // workloads, burst phases) produce a few huge regions and many idle
+    // ones; balancing by event count equalizes the actual replay work.
+    sim::SimulationConfig profile_cfg = cfg;
+    ckpt::EventProfiler profiler;
+    profile_cfg.ckpt = &profiler;
+    const workloads::ScenarioStats prof =
+        workloads::run_scenario(profile_cfg, params);
+    opts.at_cycles =
+        ckpt::balanced_sample_cycles(profiler.profile(), regions_want);
+    std::printf("profiled %llu data picks over %llu cycles -> %zu balanced "
+                "snapshot cycles\n",
+                static_cast<unsigned long long>(profiler.profile().total()),
+                static_cast<unsigned long long>(prof.cycles),
+                opts.at_cycles.size());
+    if (opts.at_cycles.empty()) {
+      std::fprintf(stderr,
+                   "profile too concentrated to split into %d regions\n",
+                   regions_want);
+      return 1;
+    }
+  } else {
+    opts.every = every;
+  }
+
+  // Snapshot pass: uninterrupted run, snapshotting at each target.
   ckpt::CheckpointWriter writer(cfg, opts);
   cfg.ckpt = &writer;
   cfg.post_build = [&writer](sim::Simulation& s) { writer.bind(s); };
   const workloads::ScenarioStats st = workloads::run_scenario(cfg, params);
   print_summary(params.workload.c_str(), st);
-  std::printf("sampled %zu regions of %llu cycles\n", writer.written().size(),
-              static_cast<unsigned long long>(every));
+  if (every > 0)
+    std::printf("sampled %zu regions of %llu cycles\n",
+                writer.written().size(),
+                static_cast<unsigned long long>(every));
+  else
+    std::printf("sampled %zu event-balanced regions\n",
+                writer.written().size());
   if (writer.written().empty()) return 1;
 
-  // Phase 2: fan the regions across host processes.
+  // Fan the regions across host processes. In --every mode each region
+  // runs a fixed K cycles; in --regions mode region i runs until region
+  // i+1's actual snapshot cycle (the last one runs to completion).
+  const std::vector<std::string>& regions = writer.written();
+  std::vector<Cycles> run_fors(regions.size(), every);
+  if (regions_want > 0) {
+    for (std::size_t i = 0; i + 1 < regions.size(); ++i) {
+      const Cycles a = cycle_from_path(regions[i]);
+      const Cycles b = cycle_from_path(regions[i + 1]);
+      run_fors[i] = b > a ? b - a : 0;
+    }
+    run_fors.back() = 0;  // to completion
+  }
   int jobs = static_cast<int>(flags.get_int("jobs"));
   if (jobs <= 0)
     jobs = std::max(1u, std::thread::hardware_concurrency());
-  const std::vector<std::string>& regions = writer.written();
   std::fflush(nullptr);  // forked children must not inherit buffered output
   std::size_t next = 0;
   int live = 0;
@@ -322,9 +385,10 @@ int cmd_sample(const util::Flags& flags) {
   std::map<pid_t, std::string> running;
   while (next < regions.size() || live > 0) {
     while (next < regions.size() && live < jobs) {
-      const std::string& path = regions[next++];
+      const std::size_t idx = next++;
+      const std::string& path = regions[idx];
       const pid_t pid = fork();
-      if (pid == 0) _exit(run_region_child(path, every));
+      if (pid == 0) _exit(run_region_child(path, run_fors[idx]));
       if (pid < 0) {
         std::fprintf(stderr, "fork failed for %s\n", path.c_str());
         ++failures;
@@ -359,6 +423,7 @@ int main(int argc, char** argv) {
         {"out", "compass.ckpt"},
         {"at", ""},
         {"every", "0"},
+        {"regions", "0"},
         {"run-for", "0"},
         {"warp", "auto"},
         {"restore-workers", ""},
@@ -389,6 +454,9 @@ int main(int argc, char** argv) {
         {"out", "checkpoint path (create/sample; .<cycle> appended per file)"},
         {"at", "create: comma-separated snapshot cycles"},
         {"every", "create/sample: snapshot every K cycles"},
+        {"regions", "sample: profile a first pass, then snapshot at N-region "
+                    "event-count quantile boundaries (exclusive with "
+                    "--every)"},
         {"run-for", "restore: stop this many cycles after the install point"},
         {"warp", "restore: fast-forward mode auto | self | port"},
         {"restore-workers", "restore: override backend dispatch lanes"},

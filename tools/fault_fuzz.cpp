@@ -22,8 +22,9 @@
 // restores the snapshot in a fresh simulation and re-checks every invariant
 // on the restored run — then requires the restored run's final cycle count,
 // work units and counters to match the uninterrupted trial exactly. This
-// fuzzes checkpoint/restore across random fault plans, worker counts and
-// filter settings; the repro line carries the checkpoint offset.
+// fuzzes checkpoint/restore across random fault plans, worker counts,
+// filter settings and memory-system models (cache vs numa — both drive the
+// sharded lane-B window path); the repro line carries the checkpoint offset.
 //
 // A failing trial prints its seed, the full plan and a one-line repro
 // command, then the driver exits non-zero.
@@ -337,6 +338,7 @@ int main(int argc, char** argv) {
          {"cpus", "2"},
          {"workers", "-1"},
          {"l1-filter", "-1"},
+         {"model", "vary"},
          {"ckpt-at", "0"},
          {"verbose", "false"}},
         {{"workload", "sci | web | tpcc | tpcd"},
@@ -347,6 +349,8 @@ int main(int argc, char** argv) {
                      "{1,2,4} (output is worker-count invariant)"},
          {"l1-filter", "frontend L1 reference filter; -1 varies per trial "
                        "over {off,on}, 0/1 pins it"},
+         {"model", "memory-system model: cache | numa; 'vary' draws one "
+                   "per trial (both feed the sharded lane-B window path)"},
          {"ckpt-at", "snapshot each trial at this cycle, restore, and "
                      "re-check every invariant plus exact-counter "
                      "equivalence (0 = off)"},
@@ -390,11 +394,27 @@ int main(int argc, char** argv) {
       const bool l1_filter =
           filter_flag >= 0 ? filter_flag != 0 : r.next_bool(0.5);
       cfg.core.l1_filter = l1_filter;
+      // Both stateful machines run the sharded lane-B window path, so
+      // varying the model per trial fuzzes it over two cache hierarchies.
+      const std::string model_flag = flags.get("model");
+      bool numa_model;
+      if (model_flag == "vary") numa_model = r.next_bool(0.5);
+      else if (model_flag == "cache") numa_model = false;
+      else if (model_flag == "numa") numa_model = true;
+      else
+        throw util::ConfigError("unknown model '" + model_flag +
+                                "' (want cache | numa | vary)");
+      const char* model_name = numa_model ? "numa" : "cache";
+      if (numa_model) {
+        cfg.model = sim::BackendModel::kNuma;
+        cfg.core.num_nodes = 2;
+      }
       if (verbose)
-        std::printf("trial %lld (seed %llu, workers %d, l1-filter %d): %s\n",
-                    static_cast<long long>(t),
-                    static_cast<unsigned long long>(seed), workers,
-                    static_cast<int>(l1_filter), describe(plan).c_str());
+        std::printf(
+            "trial %lld (seed %llu, workers %d, l1-filter %d, model %s): %s\n",
+            static_cast<long long>(t), static_cast<unsigned long long>(seed),
+            workers, static_cast<int>(l1_filter), model_name,
+            describe(plan).c_str());
       const Cycles ckpt_at =
           static_cast<Cycles>(flags.get_int("ckpt-at"));
       try {
@@ -407,13 +427,13 @@ int main(int argc, char** argv) {
                      "FAIL trial %lld (seed %llu): %s\n  plan: %s\n"
                      "  repro: fault_fuzz --workload=%s --seed0=%llu "
                      "--trials=1 --cpus=%lld --workers=%d --l1-filter=%d "
-                     "--ckpt-at=%llu\n",
+                     "--model=%s --ckpt-at=%llu\n",
                      static_cast<long long>(t),
                      static_cast<unsigned long long>(seed), e.what(),
                      describe(plan).c_str(), workload.c_str(),
                      static_cast<unsigned long long>(seed),
                      static_cast<long long>(flags.get_int("cpus")), workers,
-                     static_cast<int>(l1_filter),
+                     static_cast<int>(l1_filter), model_name,
                      static_cast<unsigned long long>(ckpt_at));
         return 1;
       }
